@@ -1,0 +1,68 @@
+// Ablation: sensitivity of the greedy strategies' binary search to the
+// termination epsilon (the paper uses 1 / (b + l)). Smaller epsilons cost
+// iterations; larger ones can miss better periods. Measured via a modified
+// search over the paper's scenario grid.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "core/fertac.hpp"
+#include "core/greedy_common.hpp"
+#include "core/herad.hpp"
+#include "sim/generator.hpp"
+#include "sim/stats.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace amp;
+
+/// FERTAC with an explicit epsilon scale (1.0 = the paper's 1/(b+l)).
+core::Solution fertac_with_epsilon(const core::TaskChain& chain, core::Resources resources,
+                                   double epsilon_scale, core::ScheduleStats* stats)
+{
+    const int n = chain.size();
+    const double sum_big = chain.interval_sum(1, n, core::CoreType::big);
+    const double sum_little = chain.interval_sum(1, n, core::CoreType::little);
+    const double period_min = std::max(sum_big / resources.total(),
+                                       chain.max_sequential_weight(core::CoreType::big));
+    const double period_max = period_min + chain.max_weight(core::CoreType::little);
+    const double epsilon = epsilon_scale / resources.total();
+    return core::binary_search_period(
+        chain, resources, period_min, period_max, epsilon, std::max(sum_big, sum_little) + 1.0,
+        [](const core::TaskChain& c, int s, core::Resources avail, double period) {
+            return core::fertac_compute_solution(c, s, avail, period);
+        },
+        stats);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const ArgParse args(argc, argv);
+    const int chains = static_cast<int>(args.get_int("chains", 200));
+
+    std::printf("== Ablation: binary-search epsilon (FERTAC, R=(10,10), SR=0.5) ==\n\n");
+    TextTable table({"epsilon scale", "avg slowdown vs HeRAD", "% optimal", "avg iterations"});
+    for (const double scale : {16.0, 4.0, 1.0, 0.25, 0.0625}) {
+        Rng rng{0xe9};
+        sim::GeneratorConfig generator;
+        std::vector<double> slowdowns;
+        double iterations = 0.0;
+        for (int c = 0; c < chains; ++c) {
+            const auto chain = sim::generate_chain(generator, rng);
+            const double optimal = core::herad_optimal_period(chain, {10, 10});
+            core::ScheduleStats stats;
+            const auto solution = fertac_with_epsilon(chain, {10, 10}, scale, &stats);
+            slowdowns.push_back(solution.period(chain) / optimal);
+            iterations += stats.iterations;
+        }
+        const auto summary = sim::summarize_slowdowns(slowdowns);
+        table.add_row({fmt(scale, 4), fmt(summary.average, 4), fmt_pct(summary.pct_optimal, 1),
+                       fmt(iterations / chains, 1)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\n(scale 1.0 is the paper's epsilon = 1/(b+l))\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: HeRAD's sound lower-bound prune (DESIGN.md). Measures the DP's
+// execution time with and without the prune on growing instances and checks
+// that the results are identical.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "core/herad.hpp"
+#include "sim/generator.hpp"
+#include "sim/timing.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv)
+{
+    using namespace amp;
+    const ArgParse args(argc, argv);
+    const int reps = static_cast<int>(args.get_int("reps", 3));
+
+    std::printf("== Ablation: HeRAD lower-bound prune ==\n\n");
+    TextTable table({"tasks", "R", "SR", "pruned (us)", "exact (us)", "speedup", "identical"});
+    for (const int tasks : {20, 40, 60}) {
+        for (const double sr : {0.2, 0.8}) {
+            const core::Resources resources{20, 20};
+            Rng rng{0xab1e ^ static_cast<std::uint64_t>(tasks)};
+            sim::GeneratorConfig generator;
+            generator.num_tasks = tasks;
+            generator.stateless_ratio = sr;
+            double pruned_us = 0.0;
+            double exact_us = 0.0;
+            bool identical = true;
+            for (int r = 0; r < reps; ++r) {
+                const auto chain = sim::generate_chain(generator, rng);
+                core::Solution pruned;
+                core::Solution exact;
+                pruned_us += sim::time_once_us(
+                    [&] { pruned = core::herad(chain, resources, {.prune = true}); });
+                exact_us += sim::time_once_us(
+                    [&] { exact = core::herad(chain, resources, {.prune = false}); });
+                identical &= pruned.period(chain) == exact.period(chain)
+                    && pruned.used() == exact.used();
+            }
+            table.add_row({std::to_string(tasks), "(20,20)", fmt(sr, 1),
+                           fmt(pruned_us / reps, 1), fmt(exact_us / reps, 1),
+                           fmt(exact_us / pruned_us, 2), identical ? "yes" : "NO"});
+        }
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}

@@ -1,0 +1,55 @@
+// Extension bench: the paper's §VI-B generalization claim — "non-optimal
+// strategies tend to perform worse when more tasks have to be scheduled
+// (more decisions to make), but better when more resources are available
+// (easier to have enough resources for the slowest stage)". Sweeps chain
+// length and machine size beyond the Table I grid and reports %optimal and
+// average slowdowns for the heuristics.
+//
+// Flags: --chains=N per point (default 150).
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "support/campaign.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv)
+{
+    using namespace amp;
+    const ArgParse args(argc, argv);
+    const int chains = static_cast<int>(args.get_int("chains", 150));
+
+    std::printf("== Extension: generalization over chain length and machine size ==\n\n");
+
+    std::printf("(a) more tasks, fixed R = (10, 10), SR = 0.5  [expect: heuristics degrade]\n");
+    TextTable by_tasks({"tasks", "2CATAC %opt / avg", "FERTAC %opt / avg"});
+    for (const int tasks : {10, 20, 30, 40}) {
+        bench::ScenarioConfig scenario;
+        scenario.resources = {10, 10};
+        scenario.num_tasks = tasks;
+        scenario.chains = chains;
+        const auto result = bench::run_scenario(scenario);
+        const auto& two = result.outcomes.at(core::Strategy::twocatac).summary;
+        const auto& fer = result.outcomes.at(core::Strategy::fertac).summary;
+        by_tasks.add_row({std::to_string(tasks),
+                          fmt_pct(two.pct_optimal, 0) + " / " + fmt(two.average, 3),
+                          fmt_pct(fer.pct_optimal, 0) + " / " + fmt(fer.average, 3)});
+    }
+    std::printf("%s\n", by_tasks.str().c_str());
+
+    std::printf("(b) more resources, fixed 20 tasks, SR = 0.5  [expect: heuristics improve]\n");
+    TextTable by_cores({"R", "2CATAC %opt / avg", "FERTAC %opt / avg"});
+    for (const int cores : {5, 10, 20, 40}) {
+        bench::ScenarioConfig scenario;
+        scenario.resources = {cores, cores};
+        scenario.chains = chains;
+        const auto result = bench::run_scenario(scenario);
+        const auto& two = result.outcomes.at(core::Strategy::twocatac).summary;
+        const auto& fer = result.outcomes.at(core::Strategy::fertac).summary;
+        by_cores.add_row({"(" + std::to_string(cores) + "," + std::to_string(cores) + ")",
+                          fmt_pct(two.pct_optimal, 0) + " / " + fmt(two.average, 3),
+                          fmt_pct(fer.pct_optimal, 0) + " / " + fmt(fer.average, 3)});
+    }
+    std::printf("%s", by_cores.str().c_str());
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Fig. 1: cumulative distributions of slowdown ratios relative
+// to HeRAD, (a) zoomed into [1, 1.5] for the 3x3 (resources x SR) grid and
+// (b) over the full range for R = (10, 10).
+//
+// Flags: --chains=N (default 1000), --points=N (CDF grid), --seed=S.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "support/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace {
+
+void print_cdf_block(const amp::bench::ScenarioResult& result,
+                     const std::vector<double>& thresholds)
+{
+    using namespace amp;
+    std::vector<std::string> header{"slowdown"};
+    for (const auto& [strategy, outcome] : result.outcomes) {
+        (void)outcome;
+        header.push_back(core::to_string(strategy));
+    }
+    TextTable table{header};
+    std::vector<std::vector<double>> cdfs;
+    for (const auto& [strategy, outcome] : result.outcomes)
+        cdfs.push_back(sim::empirical_cdf(outcome.slowdowns, thresholds));
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        std::vector<std::string> row{fmt(thresholds[i], 3)};
+        for (const auto& cdf : cdfs)
+            row.push_back(fmt(cdf[i], 3));
+        table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.str().c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace amp;
+    const ArgParse args(argc, argv);
+    const int chains = static_cast<int>(args.get_int("chains", 1000));
+    const int points = static_cast<int>(args.get_int("points", 11));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xbe9c));
+
+    std::printf("== Fig. 1a: CDF of slowdown ratios vs HeRAD, zoom [1, 1.5] ==\n\n");
+    const auto zoom = sim::linspace(1.0, 1.5, points);
+    for (const auto& scenario : bench::paper_scenarios(chains, seed)) {
+        const auto result = bench::run_scenario(scenario);
+        std::printf("R = (%dB, %dL), SR = %.1f\n", scenario.resources.big,
+                    scenario.resources.little, scenario.stateless_ratio);
+        print_cdf_block(result, zoom);
+    }
+
+    std::printf("== Fig. 1b: full slowdown range for R = (10B, 10L) ==\n\n");
+    for (const double sr : {0.2, 0.5, 0.8}) {
+        bench::ScenarioConfig scenario;
+        scenario.resources = {10, 10};
+        scenario.stateless_ratio = sr;
+        scenario.chains = chains;
+        scenario.seed = seed;
+        const auto result = bench::run_scenario(scenario);
+        double max_ratio = 1.0;
+        for (const auto& [strategy, outcome] : result.outcomes)
+            max_ratio = std::max(max_ratio, outcome.summary.maximum);
+        std::printf("SR = %.1f (max observed slowdown %.2f)\n", sr, max_ratio);
+        print_cdf_block(result, sim::linspace(1.0, max_ratio, points));
+    }
+    return 0;
+}

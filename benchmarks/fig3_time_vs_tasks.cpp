@@ -1,0 +1,81 @@
+// Reproduces Fig. 3: average strategy execution times (microseconds) as a
+// function of the number of tasks, for fixed resources R = (20, 20) (a) and
+// R = (100, 100) (b), with SR in {0.2, 0.5, 0.8}.
+//
+// The paper averages 50 chains per point; on a small machine that is slow
+// for HeRAD at the largest sizes, so the default is --reps=5 with HeRAD
+// capped at 100 tasks for R = (100, 100). Pass --full for paper scale.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "core/scheduler.hpp"
+#include "sim/generator.hpp"
+#include "sim/timing.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+
+double mean_time_us(core::Strategy strategy, int tasks, core::Resources resources, double sr,
+                    int reps, std::uint64_t seed)
+{
+    Rng rng{seed ^ static_cast<std::uint64_t>(tasks * 131 + resources.big)};
+    sim::GeneratorConfig generator;
+    generator.num_tasks = tasks;
+    generator.stateless_ratio = sr;
+    double total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto chain = sim::generate_chain(generator, rng);
+        total += sim::time_once_us([&] {
+            const auto solution = core::schedule(strategy, chain, resources);
+            if (solution.empty())
+                std::fprintf(stderr, "warning: empty solution\n");
+        });
+    }
+    return total / reps;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const ArgParse args(argc, argv);
+    const bool full = args.get_bool("full");
+    const int reps = static_cast<int>(args.get_int("reps", full ? 50 : 5));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xf16));
+    const int max_tasks = static_cast<int>(args.get_int("max-tasks", 160));
+
+    for (const core::Resources resources : {core::Resources{20, 20}, core::Resources{100, 100}}) {
+        std::printf("== Fig. 3%s: strategy times (us) vs #tasks, R = (%d, %d), %d reps ==\n\n",
+                    resources.big == 20 ? "a" : "b", resources.big, resources.little, reps);
+        for (const double sr : {0.2, 0.5, 0.8}) {
+            std::printf("SR = %.1f\n", sr);
+            TextTable table({"tasks", "OTAC (B)", "FERTAC", "2CATAC", "HeRAD"});
+            for (int tasks = 20; tasks <= max_tasks; tasks += 20) {
+                std::vector<std::string> row{std::to_string(tasks)};
+                row.push_back(fmt(
+                    mean_time_us(core::Strategy::otac_big, tasks, resources, sr, reps, seed), 1));
+                row.push_back(fmt(
+                    mean_time_us(core::Strategy::fertac, tasks, resources, sr, reps, seed), 1));
+                // 2CATAC is exponential: the paper stops at 60 tasks.
+                row.push_back(tasks <= 60
+                                  ? fmt(mean_time_us(core::Strategy::twocatac, tasks, resources,
+                                                     sr, reps, seed),
+                                        1)
+                                  : std::string{"-"});
+                const bool herad_feasible = full || resources.big <= 20 || tasks <= 100;
+                row.push_back(herad_feasible
+                                  ? fmt(mean_time_us(core::Strategy::herad, tasks, resources, sr,
+                                                     reps, seed),
+                                        1)
+                                  : std::string{"(--full)"});
+                table.add_row(std::move(row));
+            }
+            std::printf("%s\n", table.str().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Fig. 4: average strategy execution times (microseconds) as a
+// function of the number of resources, for fixed numbers of tasks (20 and
+// 60), with R = (20i, 20i), i in [1, 8], and SR in {0.2, 0.5, 0.8}.
+//
+// Defaults reduced for small machines (--reps=5, HeRAD capped at 120 cores
+// per type for 60 tasks); pass --full for paper scale.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "core/scheduler.hpp"
+#include "sim/generator.hpp"
+#include "sim/timing.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+
+double mean_time_us(core::Strategy strategy, int tasks, core::Resources resources, double sr,
+                    int reps, std::uint64_t seed)
+{
+    Rng rng{seed ^ static_cast<std::uint64_t>(tasks * 977 + resources.big)};
+    sim::GeneratorConfig generator;
+    generator.num_tasks = tasks;
+    generator.stateless_ratio = sr;
+    double total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto chain = sim::generate_chain(generator, rng);
+        total += sim::time_once_us(
+            [&] { (void)core::schedule(strategy, chain, resources); });
+    }
+    return total / reps;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const ArgParse args(argc, argv);
+    const bool full = args.get_bool("full");
+    const int reps = static_cast<int>(args.get_int("reps", full ? 50 : 5));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xf46));
+    const int max_cores = static_cast<int>(args.get_int("max-cores", 160));
+
+    for (const int tasks : {20, 60}) {
+        std::printf("== Fig. 4%s: strategy times (us) vs #cores, %d tasks, %d reps ==\n\n",
+                    tasks == 20 ? "a" : "b", tasks, reps);
+        for (const double sr : {0.2, 0.5, 0.8}) {
+            std::printf("SR = %.1f\n", sr);
+            TextTable table({"cores/type", "OTAC (B)", "FERTAC", "2CATAC", "HeRAD"});
+            for (int cores = 20; cores <= max_cores; cores += 20) {
+                const core::Resources resources{cores, cores};
+                std::vector<std::string> row{std::to_string(cores)};
+                row.push_back(fmt(
+                    mean_time_us(core::Strategy::otac_big, tasks, resources, sr, reps, seed), 1));
+                row.push_back(fmt(
+                    mean_time_us(core::Strategy::fertac, tasks, resources, sr, reps, seed), 1));
+                row.push_back(fmt(
+                    mean_time_us(core::Strategy::twocatac, tasks, resources, sr, reps, seed), 1));
+                const bool herad_feasible = full || tasks <= 20 || cores <= 120;
+                row.push_back(herad_feasible
+                                  ? fmt(mean_time_us(core::Strategy::herad, tasks, resources, sr,
+                                                     reps, seed),
+                                        1)
+                                  : std::string{"(--full)"});
+                table.add_row(std::move(row));
+            }
+            std::printf("%s\n", table.str().c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "support/campaign.hpp"
+
+namespace amp::bench {
+
+ScenarioResult run_scenario(const ScenarioConfig& config)
+{
+    ScenarioResult result;
+    result.config = config;
+
+    Rng rng{config.seed
+            ^ (static_cast<std::uint64_t>(config.resources.big) << 32)
+            ^ (static_cast<std::uint64_t>(config.resources.little) << 16)
+            ^ static_cast<std::uint64_t>(config.stateless_ratio * 1000)};
+
+    sim::GeneratorConfig generator;
+    generator.num_tasks = config.num_tasks;
+    generator.stateless_ratio = config.stateless_ratio;
+
+    for (auto& strategy : core::kAllStrategies)
+        result.outcomes[strategy]; // materialize in a stable order
+
+    for (int c = 0; c < config.chains; ++c) {
+        const core::TaskChain chain = sim::generate_chain(generator, rng);
+        const core::Solution optimal = core::herad(chain, config.resources);
+        const double optimal_period = optimal.period(chain);
+        result.herad_usages.push_back(optimal.used());
+
+        for (auto& [strategy, outcome] : result.outcomes) {
+            const core::Solution solution = core::schedule(strategy, chain, config.resources);
+            outcome.slowdowns.push_back(solution.period(chain) / optimal_period);
+            outcome.usages.push_back(solution.used());
+        }
+    }
+
+    for (auto& [strategy, outcome] : result.outcomes) {
+        outcome.summary = sim::summarize_slowdowns(outcome.slowdowns);
+        double big = 0.0;
+        double little = 0.0;
+        for (const auto& usage : outcome.usages) {
+            big += usage.big;
+            little += usage.little;
+        }
+        const auto n = static_cast<double>(outcome.usages.size());
+        outcome.avg_big_used = n > 0 ? big / n : 0.0;
+        outcome.avg_little_used = n > 0 ? little / n : 0.0;
+    }
+    return result;
+}
+
+std::vector<ScenarioConfig> paper_scenarios(int chains, std::uint64_t seed)
+{
+    std::vector<ScenarioConfig> scenarios;
+    for (const core::Resources resources :
+         {core::Resources{16, 4}, core::Resources{10, 10}, core::Resources{4, 16}}) {
+        for (const double sr : {0.2, 0.5, 0.8}) {
+            ScenarioConfig config;
+            config.resources = resources;
+            config.stateless_ratio = sr;
+            config.chains = chains;
+            config.seed = seed;
+            scenarios.push_back(config);
+        }
+    }
+    return scenarios;
+}
+
+} // namespace amp::bench

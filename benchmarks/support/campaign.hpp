@@ -1,0 +1,44 @@
+#pragma once
+// Shared machinery for the simulation-campaign benches (Table I, Figs 1-2):
+// runs every scheduling strategy over a batch of synthetic chains and
+// collects slowdown ratios and core usages relative to HeRAD.
+
+#include "core/scheduler.hpp"
+#include "sim/generator.hpp"
+#include "sim/stats.hpp"
+
+#include <map>
+#include <vector>
+
+namespace amp::bench {
+
+struct ScenarioConfig {
+    core::Resources resources;
+    double stateless_ratio = 0.5;
+    int num_tasks = 20;
+    int chains = 1000;
+    std::uint64_t seed = 0xbe9c;
+};
+
+struct StrategyOutcome {
+    std::vector<double> slowdowns;       ///< P(strategy) / P(HeRAD), one per chain
+    std::vector<core::Resources> usages; ///< cores used, one per chain
+    sim::SlowdownSummary summary;
+    double avg_big_used = 0.0;
+    double avg_little_used = 0.0;
+};
+
+struct ScenarioResult {
+    ScenarioConfig config;
+    std::map<core::Strategy, StrategyOutcome> outcomes;
+    std::vector<core::Resources> herad_usages; ///< aligned with each chain
+};
+
+/// Runs the campaign for one (R, SR) scenario over `chains` random chains.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// The paper's scenario grid: R in {(16,4),(10,10),(4,16)} x SR in
+/// {0.2, 0.5, 0.8}.
+[[nodiscard]] std::vector<ScenarioConfig> paper_scenarios(int chains, std::uint64_t seed);
+
+} // namespace amp::bench

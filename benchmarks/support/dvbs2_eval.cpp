@@ -1,0 +1,54 @@
+#include "support/dvbs2_eval.hpp"
+
+#include "dvbs2/params.hpp"
+
+namespace amp::bench {
+
+std::vector<ScheduleEvaluation> evaluate_platform(const dvbs2::PlatformProfile& profile,
+                                                  core::Resources resources,
+                                                  const dsim::OverheadModel& overhead)
+{
+    const core::TaskChain chain = dvbs2::profile_chain(profile);
+    dvbs2::FrameParams params;
+    params.interframe = profile.interframe;
+
+    std::vector<ScheduleEvaluation> evaluations;
+    for (const core::Strategy strategy : core::kAllStrategies) {
+        ScheduleEvaluation eval;
+        eval.platform = profile.name;
+        eval.resources = resources;
+        eval.strategy = strategy;
+        eval.solution = core::schedule(strategy, chain, resources);
+        if (eval.solution.empty()) {
+            evaluations.push_back(std::move(eval));
+            continue;
+        }
+        eval.stage_count = static_cast<int>(eval.solution.stage_count());
+        eval.big_used = eval.solution.used(core::CoreType::big);
+        eval.little_used = eval.solution.used(core::CoreType::little);
+        eval.expected_period_us = eval.solution.period(chain);
+        eval.expected_fps =
+            dvbs2::fps_from_period_us(eval.expected_period_us, profile.interframe);
+        eval.expected_mbps = dvbs2::mbps_from_fps(eval.expected_fps, params.k_bch);
+
+        dsim::SimulationConfig sim_config;
+        sim_config.overhead = overhead;
+        const auto simulated = dsim::simulate(chain, eval.solution, sim_config);
+        eval.real_fps = dvbs2::fps_from_period_us(simulated.period_us, profile.interframe);
+        eval.real_mbps = dvbs2::mbps_from_fps(eval.real_fps, params.k_bch);
+        evaluations.push_back(std::move(eval));
+    }
+    return evaluations;
+}
+
+std::vector<PlatformCase> paper_platform_cases()
+{
+    return {
+        {&dvbs2::mac_studio_profile(), dvbs2::mac_studio_profile().cores_half},
+        {&dvbs2::mac_studio_profile(), dvbs2::mac_studio_profile().cores_full},
+        {&dvbs2::x7ti_profile(), dvbs2::x7ti_profile().cores_half},
+        {&dvbs2::x7ti_profile(), dvbs2::x7ti_profile().cores_full},
+    };
+}
+
+} // namespace amp::bench

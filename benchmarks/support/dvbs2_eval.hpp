@@ -1,0 +1,50 @@
+#pragma once
+// Shared machinery for the DVB-S2 evaluation benches (Table II, Fig 5):
+// computes every strategy's schedule from a platform's Table III profile
+// and measures "real" throughput with the discrete-event pipeline simulator
+// (the documented substitute for the paper's hybrid-core testbeds).
+
+#include "core/scheduler.hpp"
+#include "dsim/simulator.hpp"
+#include "dvbs2/profiles.hpp"
+
+#include <string>
+#include <vector>
+
+namespace amp::bench {
+
+struct ScheduleEvaluation {
+    std::string platform;
+    core::Resources resources;
+    core::Strategy strategy{};
+    core::Solution solution;
+    int stage_count = 0;
+    int big_used = 0;
+    int little_used = 0;
+    double expected_period_us = 0.0;
+    double expected_fps = 0.0;
+    double expected_mbps = 0.0;
+    double real_fps = 0.0;
+    double real_mbps = 0.0;
+    [[nodiscard]] double mbps_diff() const noexcept { return expected_mbps - real_mbps; }
+    [[nodiscard]] double mbps_ratio() const noexcept
+    {
+        return real_mbps > 0.0 ? (expected_mbps - real_mbps) / real_mbps : 0.0;
+    }
+};
+
+/// Evaluates all five strategies for one platform profile and resource
+/// configuration. `overhead` tunes the DES "reality" model.
+[[nodiscard]] std::vector<ScheduleEvaluation>
+evaluate_platform(const dvbs2::PlatformProfile& profile, core::Resources resources,
+                  const dsim::OverheadModel& overhead = {});
+
+/// The paper's four configurations: Mac Studio (8,2) and (16,4), X7 Ti
+/// (3,4) and (6,8).
+struct PlatformCase {
+    const dvbs2::PlatformProfile* profile;
+    core::Resources resources;
+};
+[[nodiscard]] std::vector<PlatformCase> paper_platform_cases();
+
+} // namespace amp::bench

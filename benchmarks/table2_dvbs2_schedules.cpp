@@ -1,0 +1,60 @@
+// Reproduces Table II: the schedules every strategy computes for the
+// DVB-S2 receiver on both platforms (from the Table III profiles), with the
+// pipeline decomposition, stage/core counts, expected period, and the
+// simulated ("Sim.") vs discrete-event-measured ("Real") FPS and Mb/s.
+//
+// Flags: --adaptor-us, --jitter, --rep-penalty, --little-penalty tune the
+// DES overhead model (defaults documented in DESIGN.md).
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "support/dvbs2_eval.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv)
+{
+    using namespace amp;
+    const ArgParse args(argc, argv);
+    dsim::OverheadModel overhead;
+    overhead.adaptor_crossing_us = args.get_double("adaptor-us", overhead.adaptor_crossing_us);
+    overhead.jitter_cv = args.get_double("jitter", overhead.jitter_cv);
+    overhead.replication_penalty = args.get_double("rep-penalty", overhead.replication_penalty);
+    overhead.little_replication_penalty =
+        args.get_double("little-penalty", overhead.little_replication_penalty);
+
+    std::printf("== Table II: DVB-S2 receiver schedules and throughput ==\n");
+    std::printf("(Real = discrete-event pipeline simulation with the calibrated overhead "
+                "model; see DESIGN.md substitution 1)\n\n");
+
+    int id = 1;
+    for (const auto& platform_case : bench::paper_platform_cases()) {
+        const auto& profile = *platform_case.profile;
+        std::printf("%s, R = (%dB, %dL), interframe %d\n", profile.name.c_str(),
+                    platform_case.resources.big, platform_case.resources.little,
+                    profile.interframe);
+        TextTable table({"Id", "Strategy", "Pipeline decomposition", "s", "b", "l",
+                         "Period(us)", "SimFPS", "RealFPS", "SimMb/s", "RealMb/s", "Diff",
+                         "Ratio"});
+        const auto evaluations =
+            bench::evaluate_platform(profile, platform_case.resources, overhead);
+        for (const auto& eval : evaluations) {
+            if (eval.solution.empty()) {
+                table.add_row({"S" + std::to_string(id++), core::to_string(eval.strategy),
+                               "(no valid schedule)", "-", "-", "-", "-", "-", "-", "-", "-",
+                               "-", "-"});
+                continue;
+            }
+            table.add_row({"S" + std::to_string(id++), core::to_string(eval.strategy),
+                           eval.solution.decomposition(), std::to_string(eval.stage_count),
+                           std::to_string(eval.big_used), std::to_string(eval.little_used),
+                           fmt(eval.expected_period_us, 1), fmt(eval.expected_fps, 0),
+                           fmt(eval.real_fps, 0), fmt(eval.expected_mbps, 1),
+                           fmt(eval.real_mbps, 1),
+                           (eval.mbps_diff() >= 0 ? "+" : "") + fmt(eval.mbps_diff(), 1),
+                           (eval.mbps_ratio() >= 0 ? "+" : "") + fmt_pct(eval.mbps_ratio(), 0)});
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table III: the DVB-S2 receiver's average task latencies.
+// Prints (a) the paper's embedded profiles for both platforms and (b) a
+// live profile of THIS repository's receiver implementation, measured on
+// the local machine (big column) with the Mac Studio little/big ratios
+// applied (little column), as the local substitute for e-core profiling.
+//
+// Flags: --frames=N profiling frames (default 6), --interframe=N.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "dvbs2/profiles.hpp"
+#include "dvbs2/receiver.hpp"
+#include "rt/profiler.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv)
+{
+    using namespace amp;
+    const ArgParse args(argc, argv);
+    const auto frames = static_cast<std::uint64_t>(args.get_int("frames", 6));
+    const int interframe = static_cast<int>(args.get_int("interframe", 4));
+
+    const auto& names = dvbs2::receiver_task_names();
+    const auto& replicable = dvbs2::receiver_task_replicable();
+    const auto& mac = dvbs2::mac_studio_profile();
+    const auto& x7 = dvbs2::x7ti_profile();
+
+    std::printf("== Table III (paper profiles): average task latency (us) ==\n\n");
+    {
+        TextTable table({"Id", "Name", "Rep.", "Mac B", "Mac L", "X7 B", "X7 L"});
+        double totals[4] = {0, 0, 0, 0};
+        for (std::size_t i = 0; i < 23; ++i) {
+            table.add_row({"tau" + std::to_string(i + 1), names[i], replicable[i] ? "yes" : "no",
+                           fmt(mac.big_us[i], 1), fmt(mac.little_us[i], 1),
+                           fmt(x7.big_us[i], 1), fmt(x7.little_us[i], 1)});
+            totals[0] += mac.big_us[i];
+            totals[1] += mac.little_us[i];
+            totals[2] += x7.big_us[i];
+            totals[3] += x7.little_us[i];
+        }
+        table.add_row({"", "Total", "", fmt(totals[0], 1), fmt(totals[1], 1), fmt(totals[2], 1),
+                       fmt(totals[3], 1)});
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    std::printf("== Live profile of this repository's receiver (interframe %d, %llu frames) "
+                "==\n(little column = measured big x Mac Studio per-task ratio)\n\n",
+                interframe, static_cast<unsigned long long>(frames));
+    dvbs2::ReceiverConfig config;
+    config.params.interframe = interframe;
+    auto chain = dvbs2::build_receiver_chain(config);
+    const auto profile = rt::profile_sequence(chain.sequence, frames, 2);
+    const auto ratios = dvbs2::little_slowdown_factors(mac);
+
+    TextTable table({"Id", "Name", "Rep.", "B (us)", "L (us, modeled)", "ratio"});
+    double total_big = 0.0;
+    for (std::size_t i = 0; i < 23; ++i) {
+        const double big = profile.latency_us[i];
+        total_big += big;
+        table.add_row({"tau" + std::to_string(i + 1), names[i], replicable[i] ? "yes" : "no",
+                       fmt(big, 1), fmt(big * ratios[i], 1), fmt(ratios[i], 2)});
+    }
+    table.add_row({"", "Total", "", fmt(total_big, 1), "", ""});
+    std::printf("%s", table.str().c_str());
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Command-line scheduler: the deployment workflow of the paper's §VI —
+// profile your task chain once, then compute schedules offline for any
+// machine configuration.
+//
+//   $ ./schedule_tool profile.csv --big=6 --little=8 [--strategy=herad]
+//                     [--all] [--power] [--csv]
+//
+// profile.csv: one task per line, "name,w_big,w_little,replicable".
+// With no file argument, the embedded X7 Ti DVB-S2 profile is used.
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "core/power.hpp"
+#include "core/scheduler.hpp"
+#include "core/serialize.hpp"
+#include "dvbs2/profiles.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+int main(int argc, char** argv)
+{
+    using namespace amp;
+    const ArgParse args(argc, argv);
+
+    core::TaskChain chain;
+    if (args.positional().empty()) {
+        std::printf("(no profile given: using the embedded X7 Ti DVB-S2 profile)\n");
+        chain = dvbs2::profile_chain(dvbs2::x7ti_profile());
+    } else {
+        std::ifstream file{args.positional().front()};
+        if (!file) {
+            std::fprintf(stderr, "error: cannot open '%s'\n",
+                         args.positional().front().c_str());
+            return 1;
+        }
+        try {
+            chain = core::parse_chain_csv(file);
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+    }
+
+    const core::Resources machine{static_cast<int>(args.get_int("big", 4)),
+                                  static_cast<int>(args.get_int("little", 4))};
+    std::printf("%d tasks (%.0f%% replicable), R = (%dB, %dL)\n\n", chain.size(),
+                chain.stateless_ratio() * 100.0, machine.big, machine.little);
+
+    std::vector<core::Strategy> strategies;
+    if (args.get_bool("all"))
+        strategies.assign(std::begin(core::kAllStrategies), std::end(core::kAllStrategies));
+    else
+        strategies.push_back(core::parse_strategy(args.get("strategy", "herad")));
+
+    const core::PowerModel power_model;
+    TextTable table({"Strategy", "Period", "Throughput (items/s)", "Cores (B,L)",
+                     args.get_bool("power") ? "Power (W)" : "Stages", "Decomposition"});
+    for (const core::Strategy strategy : strategies) {
+        const auto solution = core::schedule(strategy, chain, machine);
+        if (solution.empty()) {
+            table.add_row({core::to_string(strategy), "-", "-", "-", "-", "(none)"});
+            continue;
+        }
+        table.add_row(
+            {core::to_string(strategy), fmt(solution.period(chain), 1),
+             fmt(1e6 / solution.period(chain), 0),
+             "(" + std::to_string(solution.used(core::CoreType::big)) + ","
+                 + std::to_string(solution.used(core::CoreType::little)) + ")",
+             args.get_bool("power") ? fmt(core::solution_power(solution, power_model), 1)
+                                    : std::to_string(solution.stage_count()),
+             solution.decomposition()});
+    }
+    if (args.get_bool("csv"))
+        std::printf("%s", table.csv().c_str());
+    else
+        std::printf("%s", table.str().c_str());
+    return 0;
+}

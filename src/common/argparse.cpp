@@ -1,0 +1,59 @@
+#include "common/argparse.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace amp {
+
+ArgParse::ArgParse(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg.erase(0, 2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "true";
+        }
+    }
+}
+
+bool ArgParse::has(const std::string& key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string ArgParse::get(const std::string& key, const std::string& fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParse::get_int(const std::string& key, std::int64_t fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParse::get_double(const std::string& key, double fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParse::get_bool(const std::string& key, bool fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+} // namespace amp

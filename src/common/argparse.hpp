@@ -1,0 +1,33 @@
+#pragma once
+// A tiny command-line flag parser for the bench/example binaries.
+// Supports "--key=value", "--key value" and boolean "--flag" forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amp {
+
+class ArgParse {
+public:
+    ArgParse(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    [[nodiscard]] bool get_bool(const std::string& key, bool fallback = false) const;
+
+    /// Positional (non-flag) arguments in order of appearance.
+    [[nodiscard]] const std::vector<std::string>& positional() const noexcept
+    {
+        return positional_;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace amp

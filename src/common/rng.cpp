@@ -1,0 +1,56 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace amp {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept
+{
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) // full 64-bit range requested
+        return static_cast<std::int64_t>((*this)());
+
+    // Lemire's method: multiply into a 128-bit product and reject the small
+    // biased fringe.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+        const std::uint64_t threshold = (0 - range) % range;
+        while (low < threshold) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * range;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept
+{
+    // 53 random bits -> [0, 1) with full double precision.
+    const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+}
+
+double Rng::normal() noexcept
+{
+    if (has_spare_normal_) {
+        has_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform_real(-1.0, 1.0);
+        v = uniform_real(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    has_spare_normal_ = true;
+    return u * factor;
+}
+
+} // namespace amp

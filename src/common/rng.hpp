@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// The standard library's distributions (std::uniform_int_distribution, ...)
+// are not guaranteed to produce the same streams across implementations, so
+// all experiment workload generation goes through this header instead. The
+// engine is xoshiro256** seeded via splitmix64, the combination recommended
+// by the xoshiro authors.
+
+#include <cstdint>
+#include <limits>
+
+namespace amp {
+
+/// splitmix64 step; used both for seeding and as a standalone mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive). Uses Lemire's multiply-shift
+    /// rejection method for an unbiased draw.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform real in [lo, hi).
+    [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+    /// Standard normal variate (Marsaglia polar method).
+    [[nodiscard]] double normal() noexcept;
+
+    /// Bernoulli draw with probability p of returning true.
+    [[nodiscard]] bool bernoulli(double p) noexcept { return uniform_real(0.0, 1.0) < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+    bool has_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+} // namespace amp

@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace amp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        throw std::invalid_argument{"TextTable: header must not be empty"};
+}
+
+void TextTable::add_row(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        throw std::invalid_argument{"TextTable: row arity does not match header"};
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+    emit_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        out << (c == 0 ? "|-" : "-|-");
+        out << std::string(widths[c], '-');
+    }
+    out << "-|\n";
+    for (const auto& row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string TextTable::csv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0)
+                out << ',';
+            out << row[c];
+        }
+        out << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string fmt(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string fmt_pct(double fraction, int decimals)
+{
+    return fmt(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace amp

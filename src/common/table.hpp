@@ -1,0 +1,38 @@
+#pragma once
+// Minimal ASCII table / CSV reporting used by the benchmark harnesses so that
+// every table and figure of the paper can be printed in a uniform format.
+
+#include <string>
+#include <vector>
+
+namespace amp {
+
+/// A text table with a header row and aligned columns.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Appends a data row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Renders the table with column alignment and a separator under the
+    /// header.
+    [[nodiscard]] std::string str() const;
+
+    /// Renders the table as CSV (no alignment padding).
+    [[nodiscard]] std::string csv() const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (fixed notation).
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+/// Formats a percentage (value in [0,1]) like "95.8%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+
+} // namespace amp

@@ -1,0 +1,111 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amp::core {
+
+namespace {
+
+constexpr double kTieTol = 1e-12;
+
+struct Enumerator {
+    const TaskChain& chain;
+    Resources budget;
+    double best_period = kInfiniteWeight;
+    // All optimal-period (usage, solution) pairs found so far.
+    std::vector<std::pair<Resources, Solution>> optimal;
+    std::vector<Stage> current;
+
+    void record(double period)
+    {
+        Solution solution{current};
+        if (period < best_period - kTieTol) {
+            best_period = period;
+            optimal.clear();
+        }
+        optimal.emplace_back(solution.used(), std::move(solution));
+    }
+
+    void recurse(int s, Resources available, double period_so_far)
+    {
+        // Prune: this branch can no longer beat or tie the best period.
+        if (period_so_far > best_period + kTieTol)
+            return;
+        const int n = chain.size();
+        for (int e = s; e <= n; ++e) {
+            const bool replicable = chain.interval_replicable(s, e);
+            for (const CoreType v : {CoreType::big, CoreType::little}) {
+                // Extra cores on a stage with a sequential task change
+                // nothing (Eq. 1), so one core suffices for those stages.
+                const int max_r = replicable ? available.count(v) : std::min(available.count(v), 1);
+                for (int r = 1; r <= max_r; ++r) {
+                    const double weight = chain.stage_weight(s, e, r, v);
+                    const double period = std::max(period_so_far, weight);
+                    if (period > best_period + kTieTol)
+                        continue;
+                    current.push_back(Stage{s, e, r, v});
+                    if (e == n) {
+                        record(period);
+                    } else {
+                        Resources remaining = available;
+                        remaining.count(v) -= r;
+                        recurse(e + 1, remaining, period);
+                    }
+                    current.pop_back();
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+BruteForceResult brute_force(const TaskChain& chain, Resources resources)
+{
+    BruteForceResult result;
+    if (chain.empty() || resources.total() < 1)
+        return result;
+
+    Enumerator enumerator{.chain = chain, .budget = resources, .best_period = kInfiniteWeight,
+                          .optimal = {}, .current = {}};
+    enumerator.recurse(1, resources, 0.0);
+    result.optimal_period = enumerator.best_period;
+
+    // Keep only solutions whose period actually ties the best (the running
+    // prune lets slightly-worse-than-best-at-the-time entries linger).
+    std::vector<std::pair<Resources, Solution>> tied;
+    for (auto& [usage, solution] : enumerator.optimal)
+        if (solution.period(chain) <= enumerator.best_period + kTieTol)
+            tied.emplace_back(usage, std::move(solution));
+
+    // Pareto-filter the usages.
+    for (std::size_t i = 0; i < tied.size(); ++i) {
+        const Resources& u = tied[i].first;
+        bool dominated = false;
+        for (std::size_t k = 0; k < tied.size() && !dominated; ++k) {
+            if (k == i)
+                continue;
+            const Resources& w = tied[k].first;
+            if (w.big <= u.big && w.little <= u.little && (w.big < u.big || w.little < u.little))
+                dominated = true;
+        }
+        if (dominated)
+            continue;
+        const bool duplicate =
+            std::any_of(result.pareto_usages.begin(), result.pareto_usages.end(),
+                        [&](const Resources& seen) { return seen == u; });
+        if (!duplicate) {
+            result.pareto_usages.push_back(u);
+            result.pareto_solutions.push_back(std::move(tied[i].second));
+        }
+    }
+    return result;
+}
+
+double brute_force_optimal_period(const TaskChain& chain, Resources resources)
+{
+    return brute_force(chain, resources).optimal_period;
+}
+
+} // namespace amp::core

@@ -1,0 +1,33 @@
+#pragma once
+// Exhaustive reference solver, used only by tests and ablations to validate
+// HeRAD's optimality claims (Theorem 1) on small instances.
+//
+// Enumerates every interval partition of the chain, every per-stage core
+// type, and every per-stage core count, subject to Eq. (3). Returns the
+// optimal period and the Pareto-minimal core usages among optimal-period
+// solutions (the precise meaning of "as many little cores as necessary").
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+#include <vector>
+
+namespace amp::core {
+
+struct BruteForceResult {
+    double optimal_period = kInfiniteWeight;
+    /// Core usages (b_used, l_used) of optimal-period solutions that are
+    /// Pareto-minimal: no other optimal-period solution uses <= big AND
+    /// <= little cores with at least one strict inequality.
+    std::vector<Resources> pareto_usages;
+    /// One representative optimal solution per Pareto usage (same order).
+    std::vector<Solution> pareto_solutions;
+};
+
+/// Exhaustive search; exponential, intended for n <= ~10 and small budgets.
+[[nodiscard]] BruteForceResult brute_force(const TaskChain& chain, Resources resources);
+
+/// Convenience: the optimal period only.
+[[nodiscard]] double brute_force_optimal_period(const TaskChain& chain, Resources resources);
+
+} // namespace amp::core

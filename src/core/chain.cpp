@@ -1,0 +1,46 @@
+#include "core/chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amp::core {
+
+TaskChain::TaskChain(std::vector<TaskDesc> tasks)
+    : tasks_(std::move(tasks))
+{
+    const auto n = static_cast<int>(tasks_.size());
+    for (const auto& t : tasks_) {
+        if (!(t.w_big > 0.0) || !(t.w_little > 0.0))
+            throw std::invalid_argument{
+                "TaskChain: task weights must be strictly positive (task '" + t.name + "')"};
+    }
+
+    prefix_big_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    prefix_little_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    for (int i = 1; i <= n; ++i) {
+        prefix_big_[static_cast<std::size_t>(i)] =
+            prefix_big_[static_cast<std::size_t>(i - 1)] + tasks_[static_cast<std::size_t>(i - 1)].w_big;
+        prefix_little_[static_cast<std::size_t>(i)] =
+            prefix_little_[static_cast<std::size_t>(i - 1)] + tasks_[static_cast<std::size_t>(i - 1)].w_little;
+    }
+
+    next_sequential_.assign(static_cast<std::size_t>(n) + 2, n + 1);
+    for (int i = n; i >= 1; --i) {
+        const auto& t = tasks_[static_cast<std::size_t>(i - 1)];
+        next_sequential_[static_cast<std::size_t>(i)] =
+            t.replicable ? next_sequential_[static_cast<std::size_t>(i + 1)] : i;
+    }
+
+    for (const auto& t : tasks_) {
+        max_w_big_ = std::max(max_w_big_, t.w_big);
+        max_w_little_ = std::max(max_w_little_, t.w_little);
+        if (t.replicable) {
+            ++replicable_count_;
+        } else {
+            max_seq_w_big_ = std::max(max_seq_w_big_, t.w_big);
+            max_seq_w_little_ = std::max(max_seq_w_little_, t.w_little);
+        }
+    }
+}
+
+} // namespace amp::core

@@ -1,0 +1,155 @@
+#pragma once
+// Task-chain model of the paper's §III problem formulation.
+//
+// A linear chain of n tasks, each either replicable (stateless) or sequential
+// (stateful), with one computation weight (latency) per core type. Tasks are
+// 1-based, matching the paper's pseudocode, so that interval [s, e] means
+// tasks tau_s..tau_e inclusive.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace amp::core {
+
+/// The two kinds of cores of the asymmetric multicore (paper's B and L).
+enum class CoreType : std::uint8_t { big = 0, little = 1 };
+
+[[nodiscard]] constexpr CoreType other(CoreType v) noexcept
+{
+    return v == CoreType::big ? CoreType::little : CoreType::big;
+}
+
+[[nodiscard]] constexpr const char* to_string(CoreType v) noexcept
+{
+    return v == CoreType::big ? "B" : "L";
+}
+
+/// Available resources R = (b, l).
+struct Resources {
+    int big = 0;
+    int little = 0;
+
+    [[nodiscard]] constexpr int total() const noexcept { return big + little; }
+    [[nodiscard]] constexpr int count(CoreType v) const noexcept
+    {
+        return v == CoreType::big ? big : little;
+    }
+    constexpr int& count(CoreType v) noexcept
+    {
+        return v == CoreType::big ? big : little;
+    }
+    [[nodiscard]] constexpr bool operator==(const Resources&) const noexcept = default;
+};
+
+/// One task of the chain: weights per core type and the replicability flag.
+struct TaskDesc {
+    std::string name;
+    double w_big = 0.0;
+    double w_little = 0.0;
+    bool replicable = false;
+};
+
+constexpr double kInfiniteWeight = std::numeric_limits<double>::infinity();
+
+/// Immutable task chain with O(1) interval-weight and interval-replicability
+/// queries (two prefix sums plus a next-sequential-task index, instead of the
+/// paper's O(n^2) precomputed table).
+class TaskChain {
+public:
+    TaskChain() = default;
+    explicit TaskChain(std::vector<TaskDesc> tasks);
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(tasks_.size()); }
+    [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+    /// Task descriptor, i in [1, n].
+    [[nodiscard]] const TaskDesc& task(int i) const
+    {
+        assert(i >= 1 && i <= size());
+        return tasks_[static_cast<std::size_t>(i - 1)];
+    }
+
+    [[nodiscard]] double weight(int i, CoreType v) const
+    {
+        const auto& t = task(i);
+        return v == CoreType::big ? t.w_big : t.w_little;
+    }
+
+    [[nodiscard]] bool replicable(int i) const { return task(i).replicable; }
+
+    /// Sum of weights of tasks s..e (inclusive) on core type v; 0 if s > e.
+    [[nodiscard]] double interval_sum(int s, int e, CoreType v) const
+    {
+        assert(s >= 1 && e <= size());
+        if (s > e)
+            return 0.0;
+        const auto& prefix = v == CoreType::big ? prefix_big_ : prefix_little_;
+        return prefix[static_cast<std::size_t>(e)] - prefix[static_cast<std::size_t>(s - 1)];
+    }
+
+    /// IsRep (Algo 3): true iff no sequential task lies in [s, e].
+    [[nodiscard]] bool interval_replicable(int s, int e) const
+    {
+        assert(s >= 1);
+        if (s > e)
+            return true;
+        return next_sequential_[static_cast<std::size_t>(s)] > e;
+    }
+
+    /// FinalRepTask (Algo 3): the largest i >= e such that [s, i] is still
+    /// replicable (assumes [s, e] is replicable).
+    [[nodiscard]] int final_replicable_task(int s, [[maybe_unused]] int e) const
+    {
+        assert(interval_replicable(s, e));
+        return next_sequential_[static_cast<std::size_t>(s)] - 1;
+    }
+
+    /// Stage weight w(s, r, v) per the paper's Eq. (1).
+    [[nodiscard]] double stage_weight(int s, int e, int r, CoreType v) const
+    {
+        if (r < 1)
+            return kInfiniteWeight;
+        const double sum = interval_sum(s, e, v);
+        if (interval_replicable(s, e))
+            return sum / static_cast<double>(r);
+        return sum;
+    }
+
+    /// Largest single-task weight on core type v (0 for an empty chain).
+    [[nodiscard]] double max_weight(CoreType v) const noexcept
+    {
+        return v == CoreType::big ? max_w_big_ : max_w_little_;
+    }
+
+    /// Largest sequential-task weight on core type v (0 if all replicable).
+    [[nodiscard]] double max_sequential_weight(CoreType v) const noexcept
+    {
+        return v == CoreType::big ? max_seq_w_big_ : max_seq_w_little_;
+    }
+
+    /// Number of replicable tasks.
+    [[nodiscard]] int replicable_count() const noexcept { return replicable_count_; }
+
+    /// Fraction of replicable tasks (the paper's stateless ratio, SR).
+    [[nodiscard]] double stateless_ratio() const noexcept
+    {
+        return empty() ? 0.0 : static_cast<double>(replicable_count_) / size();
+    }
+
+private:
+    std::vector<TaskDesc> tasks_;
+    std::vector<double> prefix_big_;    // prefix_big_[i] = sum of w^B of tasks 1..i
+    std::vector<double> prefix_little_; // prefix_little_[i] = sum of w^L of tasks 1..i
+    std::vector<int> next_sequential_;  // next_sequential_[i] = min j >= i with tau_j
+                                        // sequential, or n+1 if none (index 0 unused)
+    double max_w_big_ = 0.0;
+    double max_w_little_ = 0.0;
+    double max_seq_w_big_ = 0.0;
+    double max_seq_w_little_ = 0.0;
+    int replicable_count_ = 0;
+};
+
+} // namespace amp::core

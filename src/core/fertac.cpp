@@ -1,0 +1,47 @@
+#include "core/fertac.hpp"
+
+namespace amp::core {
+
+Solution fertac_compute_solution(const TaskChain& chain, int s, Resources available,
+                                 double target_period, FertacPreference preference)
+{
+    const int n = chain.size();
+
+    // Preferred core type first; the other only if no valid stage exists.
+    const CoreType first =
+        preference == FertacPreference::little_first ? CoreType::little : CoreType::big;
+    const CoreType second = other(first);
+
+    auto cut = compute_stage(chain, s, available.count(first), first, target_period);
+    Stage stage{s, cut.end, cut.used, first};
+    if (!stage_fits(chain, stage, available, target_period)) {
+        cut = compute_stage(chain, s, available.count(second), second, target_period);
+        stage = Stage{s, cut.end, cut.used, second};
+        if (!stage_fits(chain, stage, available, target_period))
+            return Solution{}; // no valid stage with either core type
+    }
+
+    if (stage.last == n)
+        return Solution{{stage}};
+
+    available.count(stage.type) -= stage.cores;
+    Solution rest =
+        fertac_compute_solution(chain, stage.last + 1, available, target_period, preference);
+    if (!rest.is_valid(chain, available, target_period))
+        return Solution{};
+    rest.prepend(stage);
+    return rest;
+}
+
+Solution fertac(const TaskChain& chain, Resources resources, ScheduleStats* stats,
+                FertacPreference preference)
+{
+    return schedule_with_binary_search(
+        chain, resources,
+        [preference](const TaskChain& c, int s, Resources avail, double period) {
+            return fertac_compute_solution(c, s, avail, period, preference);
+        },
+        stats);
+}
+
+} // namespace amp::core

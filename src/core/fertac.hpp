@@ -1,0 +1,33 @@
+#pragma once
+// FERTAC -- First Efficient Resources for TAsk Chains (paper §IV-A, Algo 4).
+//
+// Greedy heuristic that builds each stage with little cores first and falls
+// back to big cores only when the little-core stage cannot respect the
+// target period. Complexity O(n log(w_max (b + l)) + n) with the O(1)
+// interval queries of TaskChain.
+
+#include "core/chain.hpp"
+#include "core/greedy_common.hpp"
+#include "core/solution.hpp"
+
+namespace amp::core {
+
+/// Which core type FERTAC offers to each stage first. The paper's FERTAC is
+/// little-first; big-first is the extension suggested by its §VI-E
+/// observation that replicating the slowest stage on big cores sometimes
+/// beats the expected-optimal schedule in practice.
+enum class FertacPreference { little_first, big_first };
+
+/// ComputeSolution for FERTAC (Algo 4): schedules tasks [s, n] given the
+/// remaining resources and a target period; empty solution on failure.
+[[nodiscard]] Solution
+fertac_compute_solution(const TaskChain& chain, int s, Resources available,
+                        double target_period,
+                        FertacPreference preference = FertacPreference::little_first);
+
+/// Full FERTAC schedule (binary search of Algo 1 over Algo 4).
+[[nodiscard]] Solution fertac(const TaskChain& chain, Resources resources,
+                              ScheduleStats* stats = nullptr,
+                              FertacPreference preference = FertacPreference::little_first);
+
+} // namespace amp::core

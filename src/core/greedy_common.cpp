@@ -1,0 +1,138 @@
+#include "core/greedy_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amp::core {
+
+namespace {
+
+// Relative tolerance for period comparisons: profiles are fractional
+// microseconds, and replicated stage weights divide sums by core counts.
+constexpr double kRelTol = 1e-9;
+
+} // namespace
+
+int max_packing(const TaskChain& chain, int s, int c, CoreType v, double P)
+{
+    const int n = chain.size();
+    if (c < 1)
+        return s; // no cores: forced single task; caller will reject the stage
+    // Stage weight is non-decreasing in the end index (weights are positive
+    // and replicability can only be lost), so binary search applies.
+    int lo = s;      // always packable per the paper's max(s, ...)
+    int hi = n;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo + 1) / 2;
+        if (chain.stage_weight(s, mid, c, v) <= P)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+int required_cores(const TaskChain& chain, int s, int e, CoreType v, double P)
+{
+    const double weight = chain.interval_sum(s, e, v);
+    const double exact = weight / P;
+    return std::max(1, static_cast<int>(std::ceil(exact * (1.0 - kRelTol))));
+}
+
+StageCut compute_stage(const TaskChain& chain, int s, int c, CoreType v, double P)
+{
+    const int n = chain.size();
+    int e = max_packing(chain, s, 1, v, P);
+    int u = required_cores(chain, s, e, v, P);
+    if (e != n && chain.interval_replicable(s, e)) {
+        e = chain.final_replicable_task(s, e);
+        u = required_cores(chain, s, e, v, P);
+        if (u > c) {
+            // Not enough cores for the full replicable run: keep what fits.
+            e = max_packing(chain, s, c, v, P);
+            u = c;
+        } else if (e != n && u > 1) {
+            // A sequential task follows. Check whether shrinking this stage
+            // by one core lets the leftover tasks ride along with the next
+            // stage on a single core (Algo 2, lines 8-12).
+            const int f = max_packing(chain, s, u - 1, v, P);
+            if (chain.stage_weight(s, f, u - 1, v) <= P
+                && required_cores(chain, f + 1, e + 1, v, P) == 1) {
+                e = f;
+                u = u - 1;
+            }
+        }
+    }
+    return {e, u};
+}
+
+bool stage_fits(const TaskChain& chain, const Stage& stage, const Resources& available, double P)
+{
+    return stage.cores >= 1 && stage.cores <= available.count(stage.type)
+        && chain.stage_weight(stage.first, stage.last, stage.cores, stage.type) <= P;
+}
+
+Solution binary_search_period(const TaskChain& chain, Resources resources, double period_min,
+                              double period_max, double epsilon, double fallback_period_cap,
+                              const ComputeSolutionFn& compute, ScheduleStats* stats)
+{
+    Solution best;
+    int iterations = 0;
+
+    auto search = [&](double lo, double hi) {
+        while (hi - lo >= epsilon) {
+            ++iterations;
+            const double mid = (hi + lo) / 2.0;
+            Solution candidate = compute(chain, 1, resources, mid);
+            if (candidate.is_valid(chain, resources, mid)) {
+                best = std::move(candidate);
+                hi = best.period(chain);
+            } else {
+                lo = mid;
+            }
+        }
+        return std::pair{lo, hi};
+    };
+
+    auto [lo, hi] = search(period_min, period_max);
+
+    if (best.empty() && fallback_period_cap > period_max) {
+        // The paper's upper bound assumes tasks run fastest on big cores; for
+        // other weight profiles it can be infeasible. Retry up to the period
+        // of the trivial one-stage schedule, which every greedy satisfies.
+        std::tie(lo, hi) = search(period_max, fallback_period_cap);
+        if (best.empty()) {
+            // The cap itself is feasible by construction; take it verbatim.
+            Solution candidate = compute(chain, 1, resources, fallback_period_cap);
+            if (candidate.is_valid(chain, resources, fallback_period_cap))
+                best = std::move(candidate);
+        }
+    }
+
+    if (stats != nullptr)
+        *stats = {iterations, lo, hi};
+    return best;
+}
+
+Solution schedule_with_binary_search(const TaskChain& chain, Resources resources,
+                                     const ComputeSolutionFn& compute, ScheduleStats* stats)
+{
+    if (chain.empty())
+        return Solution{};
+    if (resources.total() < 1)
+        throw std::invalid_argument{"schedule: at least one core is required"};
+
+    const int n = chain.size();
+    const double sum_big = chain.interval_sum(1, n, CoreType::big);
+    const double sum_little = chain.interval_sum(1, n, CoreType::little);
+    const double period_min = std::max(sum_big / static_cast<double>(resources.total()),
+                                       chain.max_sequential_weight(CoreType::big));
+    const double period_max = period_min + chain.max_weight(CoreType::little);
+    const double epsilon = 1.0 / static_cast<double>(resources.total());
+    const double cap = std::max(sum_big, sum_little) + 1.0;
+    return binary_search_period(chain, resources, period_min, period_max, epsilon, cap, compute,
+                                stats);
+}
+
+} // namespace amp::core

@@ -1,0 +1,70 @@
+#pragma once
+// Machinery shared by the greedy strategies (paper Algos 1-3):
+//   * support methods MaxPacking / RequiredCores (Algo 3),
+//   * ComputeStage (Algo 2),
+//   * the Schedule binary search on the target period (Algo 1).
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+#include <functional>
+
+namespace amp::core {
+
+/// MaxPacking (Algo 3): the largest e in [s, n] such that the stage [s, e]
+/// with c cores of type v weighs at most P -- but at least s, so a stage
+/// always receives one task even when that task alone exceeds the target.
+[[nodiscard]] int max_packing(const TaskChain& chain, int s, int c, CoreType v, double P);
+
+/// RequiredCores (Algo 3): ceil(w([s, e], 1, v) / P), with a small relative
+/// tolerance so that exactly-divisible workloads do not round up spuriously.
+[[nodiscard]] int required_cores(const TaskChain& chain, int s, int e, CoreType v, double P);
+
+/// Result of ComputeStage: last task of the stage and cores used by it.
+struct StageCut {
+    int end = 0;
+    int used = 0;
+};
+
+/// ComputeStage (Algo 2): greedily decides where the stage starting at s
+/// ends and how many of the c available cores of type v it needs to respect
+/// the target period P. Replicable stages are extended as far as possible,
+/// then reduced if cores run short, and shrunk by one core when the spilled
+/// tasks plus the next (sequential) task fit on a single core.
+[[nodiscard]] StageCut compute_stage(const TaskChain& chain, int s, int c, CoreType v, double P);
+
+/// Checks a freshly built stage against the remaining budget and target
+/// period (the IsValid calls on single stages in Algos 4-5).
+[[nodiscard]] bool stage_fits(const TaskChain& chain, const Stage& stage,
+                              const Resources& available, double P);
+
+/// A ComputeSolution implementation: builds a [partial] solution for tasks
+/// [s, n] with the available resources and target period; empty on failure.
+using ComputeSolutionFn =
+    std::function<Solution(const TaskChain&, int s, Resources available, double P)>;
+
+/// Optional telemetry from the binary search.
+struct ScheduleStats {
+    int iterations = 0;     ///< binary-search iterations executed
+    double period_min = 0;  ///< final lower bound
+    double period_max = 0;  ///< final upper bound
+};
+
+/// Schedule (Algo 1): binary search on the target period between the
+/// theoretical lower bound and lower bound + max task weight, with
+/// epsilon = 1 / (b + l). If the paper's upper bound turns out infeasible
+/// for the given ComputeSolution (possible for adversarial weight profiles
+/// where tasks run faster on little cores), a second search up to the
+/// trivially feasible single-stage period is performed.
+[[nodiscard]] Solution schedule_with_binary_search(const TaskChain& chain, Resources resources,
+                                                   const ComputeSolutionFn& compute,
+                                                   ScheduleStats* stats = nullptr);
+
+/// Variant with explicit bounds; used by OTAC's homogeneous search.
+[[nodiscard]] Solution binary_search_period(const TaskChain& chain, Resources resources,
+                                            double period_min, double period_max, double epsilon,
+                                            double fallback_period_cap,
+                                            const ComputeSolutionFn& compute,
+                                            ScheduleStats* stats = nullptr);
+
+} // namespace amp::core

@@ -1,0 +1,282 @@
+#include "core/herad.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace amp::core {
+
+namespace {
+
+/// One DP cell: the optimal partial solution for (tasks 1..j, b big, l
+/// little). `prev_*` index the predecessor cell (state before the last
+/// stage), `acc_*` accumulate the cores actually used, `v`/`start` describe
+/// the last stage.
+struct Cell {
+    double pbest = kInfiniteWeight;
+    std::uint16_t prev_b = 0;
+    std::uint16_t prev_l = 0;
+    std::uint16_t acc_b = 0;
+    std::uint16_t acc_l = 0;
+    CoreType v = CoreType::little;
+    std::int32_t start = 0;
+};
+
+/// CompareCells (Algo 10): returns the better of the current cell C and the
+/// new candidate N. Ties on the period are broken in favour of the solution
+/// that exchanges big cores for little ones, then the one using fewer cores.
+[[nodiscard]] const Cell& compare_cells(const Cell& current, const Cell& candidate) noexcept
+{
+    if (candidate.pbest == kInfiniteWeight)
+        return current;
+    if (current.pbest > candidate.pbest)
+        return candidate;
+    if (current.pbest == candidate.pbest) {
+        const auto cb = current.acc_b;
+        const auto cl = current.acc_l;
+        const auto nb = candidate.acc_b;
+        const auto nl = candidate.acc_l;
+        if (cl < nl && cb > nb)
+            return candidate; // candidate trades big cores for little ones
+        if (cl >= nl && cb >= nb)
+            return candidate; // candidate uses no more cores of either type
+    }
+    return current;
+}
+
+/// The DP matrix S[j][rb][rl], j in [0, n], rb in [0, b], rl in [0, l].
+class Matrix {
+public:
+    Matrix(int n, int b, int l)
+        : stride_b_(static_cast<std::size_t>(l) + 1)
+        , stride_j_(static_cast<std::size_t>(b + 1) * stride_b_)
+        , cells_(static_cast<std::size_t>(n + 1) * stride_j_)
+    {
+        // Base case P*(0, ., .) = 0: scheduling zero tasks costs nothing.
+        for (std::size_t idx = 0; idx < stride_j_; ++idx)
+            cells_[idx].pbest = 0.0;
+    }
+
+    [[nodiscard]] Cell& at(int j, int rb, int rl) noexcept
+    {
+        return cells_[static_cast<std::size_t>(j) * stride_j_
+                      + static_cast<std::size_t>(rb) * stride_b_ + static_cast<std::size_t>(rl)];
+    }
+    [[nodiscard]] const Cell& at(int j, int rb, int rl) const noexcept
+    {
+        return cells_[static_cast<std::size_t>(j) * stride_j_
+                      + static_cast<std::size_t>(rb) * stride_b_ + static_cast<std::size_t>(rl)];
+    }
+
+private:
+    std::size_t stride_b_;
+    std::size_t stride_j_;
+    std::vector<Cell> cells_;
+};
+
+/// SingleStageSolution (Algo 8): seeds row t with the best single-stage
+/// schedules [1, t] for every (rb, rl) budget.
+void single_stage_solution(int t, Matrix& S, const TaskChain& chain, int b, int l)
+{
+    const bool replicable = chain.interval_replicable(1, t);
+
+    // Little-core single stage for every little budget (big budget 0).
+    for (int rl = 1; rl <= l; ++rl) {
+        Cell& cell = S.at(t, 0, rl);
+        cell.pbest = chain.stage_weight(1, t, rl, CoreType::little);
+        cell.acc_b = 0;
+        cell.acc_l = static_cast<std::uint16_t>(replicable ? rl : 1);
+        cell.prev_b = 0;
+        cell.prev_l = 0;
+        cell.v = CoreType::little;
+        cell.start = 1;
+    }
+
+    // Big-core single stage, compared against the little-core one.
+    for (int rb = 1; rb <= b; ++rb) {
+        const double w_big = chain.stage_weight(1, t, rb, CoreType::big);
+        const auto used_big = static_cast<std::uint16_t>(replicable ? rb : 1);
+        for (int rl = 0; rl <= l; ++rl) {
+            Cell& cell = S.at(t, rb, rl);
+            const Cell& little_cell = S.at(t, 0, rl);
+            if (w_big < little_cell.pbest) {
+                cell.pbest = w_big;
+                cell.acc_b = used_big;
+                cell.acc_l = 0;
+                cell.prev_b = 0;
+                cell.prev_l = 0;
+                cell.v = CoreType::big;
+                cell.start = 1;
+            } else {
+                cell = little_cell;
+            }
+        }
+    }
+}
+
+/// RecomputeCell (Algo 9): computes P*(j, b, l) from all stage starts i and
+/// core allocations u of either type, against the single-stage seed and the
+/// one-fewer-core neighbor cells.
+void recompute_cell(int j, Matrix& S, const TaskChain& chain, int b, int l,
+                    const HeradOptions& options)
+{
+    const bool prune = options.prune;
+    Cell best = S.at(j, b, l); // seed from SingleStageSolution
+    if (l > 0)
+        best = compare_cells(best, S.at(j, b, l - 1));
+    if (b > 0)
+        best = compare_cells(best, S.at(j, b - 1, l));
+
+    for (int i = j; i >= 1; --i) {
+        const bool replicable = chain.interval_replicable(i, j);
+
+        if (prune) {
+            // Lightest this stage can possibly be; grows monotonically as i
+            // decreases, so once it exceeds the best period we can stop.
+            double lower_bound = kInfiniteWeight;
+            if (b > 0)
+                lower_bound = std::min(
+                    lower_bound, chain.stage_weight(i, j, replicable ? b : 1, CoreType::big));
+            if (l > 0)
+                lower_bound = std::min(
+                    lower_bound, chain.stage_weight(i, j, replicable ? l : 1, CoreType::little));
+            if (lower_bound > best.pbest)
+                break;
+        }
+
+        // A stage containing a sequential task cannot exploit extra cores
+        // (paper's RecomputeCell optimization): limit u to one core.
+        const auto consider = [&](CoreType type, int u) {
+            const Cell& prev =
+                type == CoreType::big ? S.at(i - 1, b - u, l) : S.at(i - 1, b, l - u);
+            if (prev.pbest == kInfiniteWeight)
+                return;
+            Cell cand;
+            cand.pbest = std::max(prev.pbest, chain.stage_weight(i, j, u, type));
+            if (type == CoreType::big) {
+                cand.acc_b = static_cast<std::uint16_t>(prev.acc_b + (replicable ? u : 1));
+                cand.acc_l = prev.acc_l;
+                cand.prev_b = static_cast<std::uint16_t>(b - u);
+                cand.prev_l = static_cast<std::uint16_t>(l);
+            } else {
+                cand.acc_b = prev.acc_b;
+                cand.acc_l = static_cast<std::uint16_t>(prev.acc_l + (replicable ? u : 1));
+                cand.prev_b = static_cast<std::uint16_t>(b);
+                cand.prev_l = static_cast<std::uint16_t>(l - u);
+            }
+            cand.v = type;
+            cand.start = i;
+            best = compare_cells(best, cand);
+        };
+
+        const auto sweep = [&](CoreType type, int max_u) {
+            if (max_u < 1)
+                return;
+            if (!options.fast_u_search || !replicable || max_u <= 4) {
+                for (int u = 1; u <= max_u; ++u)
+                    consider(type, u);
+                return;
+            }
+            // The predecessor period g(u) is non-decreasing in u (fewer
+            // cores remain) and the stage weight h(u) is decreasing, so
+            // min_u max(g, h) sits at the crossing: binary search for the
+            // smallest u with g(u) >= h(u) and examine its two neighbors.
+            const auto g = [&](int u) {
+                return type == CoreType::big ? S.at(i - 1, b - u, l).pbest
+                                             : S.at(i - 1, b, l - u).pbest;
+            };
+            const auto h = [&](int u) { return chain.stage_weight(i, j, u, type); };
+            int lo = 1;
+            int hi = max_u + 1; // first u satisfying g >= h, or max_u + 1
+            while (lo < hi) {
+                const int mid = lo + (hi - lo) / 2;
+                if (g(mid) >= h(mid))
+                    hi = mid;
+                else
+                    lo = mid + 1;
+            }
+            consider(type, std::min(lo, max_u));
+            if (lo - 1 >= 1)
+                consider(type, lo - 1);
+        };
+
+        sweep(CoreType::big, replicable ? b : std::min(b, 1));
+        sweep(CoreType::little, replicable ? l : std::min(l, 1));
+    }
+
+    S.at(j, b, l) = best;
+}
+
+/// ExtractSolution (Algo 11): walks the matrix backwards from (n, b, l).
+[[nodiscard]] Solution extract_solution(const Matrix& S, const TaskChain& chain, int b, int l)
+{
+    std::vector<Stage> stages;
+    int e = chain.size();
+    int rb = b;
+    int rl = l;
+    while (e >= 1) {
+        const Cell& cell = S.at(e, rb, rl);
+        if (cell.pbest == kInfiniteWeight)
+            return Solution{}; // unreachable with >= 1 core, kept for safety
+        const int s = cell.start;
+        int used_b = cell.acc_b;
+        int used_l = cell.acc_l;
+        if (s > 1) {
+            const Cell& prev = S.at(s - 1, cell.prev_b, cell.prev_l);
+            used_b -= prev.acc_b;
+            used_l -= prev.acc_l;
+        }
+        const int cores = cell.v == CoreType::big ? used_b : used_l;
+        stages.push_back(Stage{s, e, cores, cell.v});
+        e = s - 1;
+        rb = cell.prev_b;
+        rl = cell.prev_l;
+    }
+    std::reverse(stages.begin(), stages.end());
+    return Solution{std::move(stages)};
+}
+
+[[nodiscard]] Matrix run_dp(const TaskChain& chain, Resources resources,
+                            const HeradOptions& options)
+{
+    const int n = chain.size();
+    const int b = resources.big;
+    const int l = resources.little;
+    Matrix S(n, b, l);
+
+    single_stage_solution(1, S, chain, b, l);
+    for (int e = 2; e <= n; ++e) {
+        single_stage_solution(e, S, chain, b, l);
+        for (int ub = 0; ub <= b; ++ub)
+            for (int ul = 0; ul <= l; ++ul)
+                if (ub != 0 || ul != 0)
+                    recompute_cell(e, S, chain, ub, ul, options);
+    }
+    return S;
+}
+
+} // namespace {anonymous}
+
+Solution herad(const TaskChain& chain, Resources resources, const HeradOptions& options)
+{
+    if (chain.empty())
+        return Solution{};
+    if (resources.total() < 1)
+        throw std::invalid_argument{"herad: at least one core is required"};
+    if (resources.big > 0xffff || resources.little > 0xffff)
+        throw std::invalid_argument{"herad: resource counts exceed the DP cell capacity"};
+
+    const Matrix S = run_dp(chain, resources, options);
+    Solution solution = extract_solution(S, chain, resources.big, resources.little);
+    if (options.merge_stages)
+        solution.merge_replicable_stages(chain);
+    return solution;
+}
+
+double herad_optimal_period(const TaskChain& chain, Resources resources)
+{
+    return herad(chain, resources).period(chain);
+}
+
+} // namespace amp::core

@@ -1,0 +1,41 @@
+#pragma once
+// HeRAD -- Heterogeneous Resource Allocation using Dynamic programming
+// (paper §V, Eq. 4, Algos 7-11).
+//
+// Computes the optimal period P*(j, b, l) for every prefix of the chain and
+// every resource budget, with the paper's secondary objective (use as many
+// little cores as necessary) enforced through CompareCells tie-breaking.
+// O(n^2 b l (b + l)) time and O(n b l) space, with two refinements:
+//   * the paper's optimization: a stage containing a sequential task only
+//     considers a single core (extra cores cannot reduce its weight), and
+//   * a sound lower-bound break on the stage-start loop: once the lightest
+//     possible stage weight already exceeds the cell's current best period,
+//     extending the stage further cannot help.
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+namespace amp::core {
+
+struct HeradOptions {
+    /// Merge consecutive replicable stages of the same core type after
+    /// extraction (period-neutral, fewer stages). Paper §V.
+    bool merge_stages = true;
+    /// Enable the lower-bound break described above (sound; on by default).
+    bool prune = true;
+    /// Binary-search the core-count loop of Eq. (4): the predecessor period
+    /// is non-decreasing and the stage weight non-increasing in u, so the
+    /// minimum of their max lies at the crossing. Exact for the period;
+    /// may pick a different (period-equal) tie than the exhaustive loop,
+    /// so it is off by default and used by the large timing benches.
+    bool fast_u_search = false;
+};
+
+/// Full HeRAD schedule; optimal in period and little-core usage.
+[[nodiscard]] Solution herad(const TaskChain& chain, Resources resources,
+                             const HeradOptions& options = {});
+
+/// The optimal period P*(n, b, l) alone (runs the same DP).
+[[nodiscard]] double herad_optimal_period(const TaskChain& chain, Resources resources);
+
+} // namespace amp::core

@@ -1,0 +1,55 @@
+#include "core/otac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amp::core {
+
+Solution otac_compute_solution(const TaskChain& chain, int s, int cores, CoreType v,
+                               double target_period)
+{
+    const int n = chain.size();
+    const auto cut = compute_stage(chain, s, cores, v, target_period);
+    const Stage stage{s, cut.end, cut.used, v};
+    Resources available{};
+    available.count(v) = cores;
+    if (!stage_fits(chain, stage, available, target_period))
+        return Solution{};
+    if (stage.last == n)
+        return Solution{{stage}};
+
+    const int remaining = cores - stage.cores;
+    Solution rest = otac_compute_solution(chain, stage.last + 1, remaining, v, target_period);
+    Resources remaining_res{};
+    remaining_res.count(v) = remaining;
+    if (!rest.is_valid(chain, remaining_res, target_period))
+        return Solution{};
+    rest.prepend(stage);
+    return rest;
+}
+
+Solution otac(const TaskChain& chain, int cores, CoreType v, ScheduleStats* stats)
+{
+    if (chain.empty())
+        return Solution{};
+    if (cores < 1)
+        throw std::invalid_argument{"otac: at least one core is required"};
+
+    const int n = chain.size();
+    const double sum = chain.interval_sum(1, n, v);
+    const double period_min =
+        std::max(sum / static_cast<double>(cores), chain.max_sequential_weight(v));
+    const double period_max = period_min + chain.max_weight(v);
+    const double epsilon = 1.0 / static_cast<double>(cores);
+
+    Resources resources{};
+    resources.count(v) = cores;
+    return binary_search_period(
+        chain, resources, period_min, period_max, epsilon, sum + 1.0,
+        [cores, v](const TaskChain& c, int s, Resources, double period) {
+            return otac_compute_solution(c, s, cores, v, period);
+        },
+        stats);
+}
+
+} // namespace amp::core

@@ -1,0 +1,22 @@
+#pragma once
+// OTAC -- Optimal scheduling for pipelined and replicated TAsk Chains on
+// HOMOGENEOUS resources (Orhan et al. 2023), the baseline the paper compares
+// against. It is the binary search of Algo 1 over the greedy packing of
+// Algo 2 restricted to a single core type: OTAC(B) uses only big cores,
+// OTAC(L) only little cores.
+
+#include "core/chain.hpp"
+#include "core/greedy_common.hpp"
+#include "core/solution.hpp"
+
+namespace amp::core {
+
+/// ComputeSolution for OTAC on `cores` cores of type v.
+[[nodiscard]] Solution otac_compute_solution(const TaskChain& chain, int s, int cores,
+                                             CoreType v, double target_period);
+
+/// Full OTAC schedule on a homogeneous pool of `cores` cores of type v.
+[[nodiscard]] Solution otac(const TaskChain& chain, int cores, CoreType v,
+                            ScheduleStats* stats = nullptr);
+
+} // namespace amp::core

@@ -1,0 +1,32 @@
+#include "core/power.hpp"
+
+namespace amp::core {
+
+double solution_power(const Solution& solution, const PowerModel& model)
+{
+    return solution.used(CoreType::big) * model.big_watts
+        + solution.used(CoreType::little) * model.little_watts;
+}
+
+double platform_power(const Solution& solution, const Resources& machine,
+                      const PowerModel& model)
+{
+    const int idle = machine.total() - solution.used().total();
+    return solution_power(solution, model) + (idle > 0 ? idle * model.idle_watts : 0.0);
+}
+
+double energy_per_item(const TaskChain& chain, const Solution& solution,
+                       const PowerModel& model)
+{
+    return solution_power(solution, model) * solution.period(chain);
+}
+
+double pipeline_latency(const TaskChain& chain, const Solution& solution)
+{
+    double latency = 0.0;
+    for (const Stage& stage : solution.stages())
+        latency += chain.interval_sum(stage.first, stage.last, stage.type);
+    return latency;
+}
+
+} // namespace amp::core

@@ -1,0 +1,39 @@
+#pragma once
+// Power model for schedules (paper §III and future work: "use direct power
+// measurements instead of assumptions about the architectures").
+//
+// The paper's secondary objective treats little-core usage as a power proxy;
+// this extension makes the proxy explicit: each core type has an active
+// power draw, and a solution's power is the draw of the cores it uses. An
+// energy-per-bit metric combines it with the achieved period.
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+namespace amp::core {
+
+struct PowerModel {
+    double big_watts = 4.0;    ///< active power of one big core
+    double little_watts = 1.0; ///< active power of one little core
+    double idle_watts = 0.1;   ///< per unused-but-powered core (optional)
+};
+
+/// Active power draw of a solution: cores used x per-type power.
+[[nodiscard]] double solution_power(const Solution& solution, const PowerModel& model);
+
+/// Total platform power including idle cores that remain powered.
+[[nodiscard]] double platform_power(const Solution& solution, const Resources& machine,
+                                    const PowerModel& model);
+
+/// Energy per processed stream item: power x period (J if period in s;
+/// returns watt-microseconds for microsecond periods).
+[[nodiscard]] double energy_per_item(const TaskChain& chain, const Solution& solution,
+                                     const PowerModel& model);
+
+/// Pipeline latency of a solution: the time one item spends traversing all
+/// stages (sum of stage latencies; a replicated stage's latency is its full
+/// interval time, not the divided weight). The paper's future work calls out
+/// shorter pipelines; this is the metric that captures them.
+[[nodiscard]] double pipeline_latency(const TaskChain& chain, const Solution& solution);
+
+} // namespace amp::core

@@ -1,0 +1,34 @@
+#include "core/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace amp::core {
+
+Strategy parse_strategy(const std::string& name)
+{
+    if (name == "herad" || name == "HeRAD")
+        return Strategy::herad;
+    if (name == "2catac" || name == "twocatac" || name == "2CATAC")
+        return Strategy::twocatac;
+    if (name == "fertac" || name == "FERTAC")
+        return Strategy::fertac;
+    if (name == "otac-b" || name == "otac_big" || name == "OTAC(B)")
+        return Strategy::otac_big;
+    if (name == "otac-l" || name == "otac_little" || name == "OTAC(L)")
+        return Strategy::otac_little;
+    throw std::invalid_argument{"unknown strategy: " + name};
+}
+
+Solution schedule(Strategy strategy, const TaskChain& chain, Resources resources)
+{
+    switch (strategy) {
+    case Strategy::herad: return herad(chain, resources);
+    case Strategy::twocatac: return twocatac(chain, resources);
+    case Strategy::fertac: return fertac(chain, resources);
+    case Strategy::otac_big: return otac(chain, resources.big, CoreType::big);
+    case Strategy::otac_little: return otac(chain, resources.little, CoreType::little);
+    }
+    throw std::logic_error{"unreachable"};
+}
+
+} // namespace amp::core

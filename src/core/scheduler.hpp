@@ -1,0 +1,43 @@
+#pragma once
+// Umbrella header and strategy dispatcher for the scheduling library.
+
+#include "core/brute_force.hpp"
+#include "core/chain.hpp"
+#include "core/fertac.hpp"
+#include "core/greedy_common.hpp"
+#include "core/herad.hpp"
+#include "core/otac.hpp"
+#include "core/solution.hpp"
+#include "core/twocatac.hpp"
+
+#include <string>
+
+namespace amp::core {
+
+/// Every strategy evaluated in the paper.
+enum class Strategy { herad, twocatac, fertac, otac_big, otac_little };
+
+inline constexpr Strategy kAllStrategies[] = {Strategy::herad, Strategy::twocatac,
+                                              Strategy::fertac, Strategy::otac_big,
+                                              Strategy::otac_little};
+
+[[nodiscard]] constexpr const char* to_string(Strategy strategy) noexcept
+{
+    switch (strategy) {
+    case Strategy::herad: return "HeRAD";
+    case Strategy::twocatac: return "2CATAC";
+    case Strategy::fertac: return "FERTAC";
+    case Strategy::otac_big: return "OTAC (B)";
+    case Strategy::otac_little: return "OTAC (L)";
+    }
+    return "?";
+}
+
+/// Parses a strategy name ("herad", "2catac", "fertac", "otac-b", "otac-l").
+[[nodiscard]] Strategy parse_strategy(const std::string& name);
+
+/// Runs the given strategy on the chain with resources R = (b, l).
+/// OTAC (B) / OTAC (L) ignore the cores of the other type, as in the paper.
+[[nodiscard]] Solution schedule(Strategy strategy, const TaskChain& chain, Resources resources);
+
+} // namespace amp::core

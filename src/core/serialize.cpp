@@ -1,0 +1,156 @@
+#include "core/serialize.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace amp::core {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message)
+{
+    throw std::invalid_argument{"chain CSV, line " + std::to_string(line) + ": " + message};
+}
+
+std::vector<std::string> split(const std::string& line, char separator)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream stream{line};
+    while (std::getline(stream, field, separator))
+        fields.push_back(field);
+    return fields;
+}
+
+std::string trim(const std::string& text)
+{
+    const auto begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return {};
+    const auto end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+bool parse_bool(const std::string& text, int line)
+{
+    const std::string value = trim(text);
+    if (value == "1" || value == "true" || value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "no")
+        return false;
+    fail(line, "expected a boolean replicable flag, got '" + value + "'");
+}
+
+double parse_weight(const std::string& text, int line)
+{
+    const std::string value = trim(text);
+    char* end = nullptr;
+    const double weight = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fail(line, "expected a numeric weight, got '" + value + "'");
+    if (!(weight > 0.0))
+        fail(line, "weights must be strictly positive, got '" + value + "'");
+    return weight;
+}
+
+} // namespace
+
+TaskChain parse_chain_csv(std::istream& input)
+{
+    std::vector<TaskDesc> tasks;
+    std::string line;
+    int line_number = 0;
+    bool header_skipped = false;
+    while (std::getline(input, line)) {
+        ++line_number;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed.front() == '#')
+            continue;
+        const auto fields = split(trimmed, ',');
+        if (!header_skipped) {
+            header_skipped = true;
+            // Tolerate a header row: detect by a non-numeric second field.
+            if (fields.size() >= 2) {
+                char* end = nullptr;
+                (void)std::strtod(fields[1].c_str(), &end);
+                if (end == fields[1].c_str())
+                    continue;
+            }
+        }
+        if (fields.size() != 4)
+            fail(line_number, "expected 4 fields (name,w_big,w_little,replicable), got "
+                     + std::to_string(fields.size()));
+        TaskDesc task;
+        task.name = trim(fields[0]);
+        task.w_big = parse_weight(fields[1], line_number);
+        task.w_little = parse_weight(fields[2], line_number);
+        task.replicable = parse_bool(fields[3], line_number);
+        tasks.push_back(std::move(task));
+    }
+    if (tasks.empty())
+        throw std::invalid_argument{"chain CSV: no tasks found"};
+    return TaskChain{std::move(tasks)};
+}
+
+TaskChain parse_chain_csv(const std::string& text)
+{
+    std::istringstream stream{text};
+    return parse_chain_csv(stream);
+}
+
+void write_chain_csv(std::ostream& output, const TaskChain& chain)
+{
+    output << "name,w_big,w_little,replicable\n";
+    for (int i = 1; i <= chain.size(); ++i) {
+        const TaskDesc& task = chain.task(i);
+        output << task.name << ',' << task.w_big << ',' << task.w_little << ','
+               << (task.replicable ? 1 : 0) << '\n';
+    }
+}
+
+std::string chain_to_csv(const TaskChain& chain)
+{
+    std::ostringstream stream;
+    write_chain_csv(stream, chain);
+    return stream.str();
+}
+
+Solution parse_decomposition(const std::string& text)
+{
+    std::vector<Stage> stages;
+    int next_first = 1;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const auto open = text.find('(', pos);
+        if (open == std::string::npos)
+            break;
+        const auto comma = text.find(',', open);
+        const auto close = text.find(')', open);
+        if (comma == std::string::npos || close == std::string::npos || comma > close)
+            throw std::invalid_argument{"decomposition: malformed stage near '"
+                                        + text.substr(open, 8) + "'"};
+        const int count = std::atoi(text.substr(open + 1, comma - open - 1).c_str());
+        const std::string cores_type = text.substr(comma + 1, close - comma - 1);
+        if (count < 1 || cores_type.size() < 2)
+            throw std::invalid_argument{"decomposition: bad stage '"
+                                        + text.substr(open, close - open + 1) + "'"};
+        const char type_char = cores_type.back();
+        if (type_char != 'B' && type_char != 'L')
+            throw std::invalid_argument{"decomposition: core type must be B or L"};
+        const int cores = std::atoi(cores_type.substr(0, cores_type.size() - 1).c_str());
+        if (cores < 1)
+            throw std::invalid_argument{"decomposition: core count must be >= 1"};
+        stages.push_back(Stage{next_first, next_first + count - 1, cores,
+                               type_char == 'B' ? CoreType::big : CoreType::little});
+        next_first += count;
+        pos = close + 1;
+    }
+    if (stages.empty())
+        throw std::invalid_argument{"decomposition: no stages found"};
+    return Solution{std::move(stages)};
+}
+
+} // namespace amp::core

@@ -1,0 +1,35 @@
+#pragma once
+// Text serialization of task chains and solutions, so schedules can be
+// computed from externally profiled applications (the workflow of the
+// paper's Table II: profile once, schedule offline, deploy).
+//
+// Chain format: CSV with a header, one task per line:
+//     name,w_big,w_little,replicable
+//     Radio - receive,52.3,248.3,0
+// Blank lines and lines starting with '#' are ignored.
+//
+// Solution format: the paper's decomposition notation, e.g.
+//     (5,1B),(1,2B),(4,1L)
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace amp::core {
+
+/// Parses a chain from CSV text. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+[[nodiscard]] TaskChain parse_chain_csv(std::istream& input);
+[[nodiscard]] TaskChain parse_chain_csv(const std::string& text);
+
+/// Writes a chain in the same CSV format (round-trips with the parser).
+void write_chain_csv(std::ostream& output, const TaskChain& chain);
+[[nodiscard]] std::string chain_to_csv(const TaskChain& chain);
+
+/// Parses the decomposition notation back into a Solution (task indices are
+/// reconstructed from the per-stage counts).
+[[nodiscard]] Solution parse_decomposition(const std::string& text);
+
+} // namespace amp::core

@@ -1,0 +1,83 @@
+#include "core/solution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace amp::core {
+
+double Solution::period(const TaskChain& chain) const
+{
+    if (stages_.empty())
+        return kInfiniteWeight;
+    double period = 0.0;
+    for (const auto& st : stages_)
+        period = std::max(period, chain.stage_weight(st.first, st.last, st.cores, st.type));
+    return period;
+}
+
+int Solution::used(CoreType v) const noexcept
+{
+    int total = 0;
+    for (const auto& st : stages_)
+        if (st.type == v)
+            total += st.cores;
+    return total;
+}
+
+bool Solution::is_valid(const TaskChain& chain, const Resources& budget,
+                        double target_period) const
+{
+    return !stages_.empty() && period(chain) <= target_period
+        && used(CoreType::big) <= budget.big && used(CoreType::little) <= budget.little;
+}
+
+bool Solution::is_well_formed(const TaskChain& chain) const
+{
+    if (stages_.empty())
+        return chain.empty();
+    int expected_first = 1;
+    for (const auto& st : stages_) {
+        if (st.first != expected_first || st.last < st.first || st.cores < 1)
+            return false;
+        if (st.cores > 1 && !chain.interval_replicable(st.first, st.last))
+            return false;
+        expected_first = st.last + 1;
+    }
+    return expected_first == chain.size() + 1;
+}
+
+void Solution::merge_replicable_stages(const TaskChain& chain)
+{
+    if (stages_.size() < 2)
+        return;
+    std::vector<Stage> merged;
+    merged.reserve(stages_.size());
+    merged.push_back(stages_.front());
+    for (std::size_t i = 1; i < stages_.size(); ++i) {
+        Stage& prev = merged.back();
+        const Stage& cur = stages_[i];
+        const bool both_replicable = chain.interval_replicable(prev.first, prev.last)
+            && chain.interval_replicable(cur.first, cur.last);
+        if (both_replicable && prev.type == cur.type) {
+            prev.last = cur.last;
+            prev.cores += cur.cores;
+        } else {
+            merged.push_back(cur);
+        }
+    }
+    stages_ = std::move(merged);
+}
+
+std::string Solution::decomposition() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (i != 0)
+            out << ',';
+        out << '(' << stages_[i].task_count() << ',' << stages_[i].cores
+            << to_string(stages_[i].type) << ')';
+    }
+    return out.str();
+}
+
+} // namespace amp::core

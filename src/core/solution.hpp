@@ -1,0 +1,76 @@
+#pragma once
+// Pipelined-and-replicated solution S = (s, r, v): an ordered list of stages,
+// each an interval of tasks with a number of cores of a single type.
+
+#include "core/chain.hpp"
+
+#include <string>
+#include <vector>
+
+namespace amp::core {
+
+/// One pipeline stage: tasks [first, last] executed by `cores` cores of
+/// type `type`. A stage with more than one core replicates all its tasks.
+struct Stage {
+    int first = 0;
+    int last = 0;
+    int cores = 0;
+    CoreType type = CoreType::big;
+
+    [[nodiscard]] constexpr int task_count() const noexcept { return last - first + 1; }
+    [[nodiscard]] constexpr bool operator==(const Stage&) const noexcept = default;
+};
+
+/// A (possibly empty == invalid) solution.
+class Solution {
+public:
+    Solution() = default;
+    explicit Solution(std::vector<Stage> stages)
+        : stages_(std::move(stages))
+    {
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return stages_.empty(); }
+    [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
+    [[nodiscard]] const std::vector<Stage>& stages() const noexcept { return stages_; }
+    [[nodiscard]] const Stage& stage(std::size_t i) const { return stages_.at(i); }
+
+    void prepend(const Stage& stage) { stages_.insert(stages_.begin(), stage); }
+    void append(const Stage& stage) { stages_.push_back(stage); }
+    void clear() noexcept { stages_.clear(); }
+
+    /// Period P(s, r, v) = max stage weight (Eq. 2). Infinity when empty.
+    [[nodiscard]] double period(const TaskChain& chain) const;
+
+    /// Total cores of the given type used across stages (Eq. 3 left sides).
+    [[nodiscard]] int used(CoreType v) const noexcept;
+    [[nodiscard]] Resources used() const noexcept
+    {
+        return {used(CoreType::big), used(CoreType::little)};
+    }
+
+    /// The paper's IsValid (Algo 3): non-empty, period within target, and
+    /// resource budgets respected.
+    [[nodiscard]] bool is_valid(const TaskChain& chain, const Resources& budget,
+                                double target_period) const;
+
+    /// Structural soundness against a chain: stages contiguous from task 1
+    /// to n, cores >= 1, and no replicated stage containing a sequential
+    /// task. (Stricter than IsValid; used by tests and the runtime.)
+    [[nodiscard]] bool is_well_formed(const TaskChain& chain) const;
+
+    /// Merges consecutive replicable stages that use the same core type
+    /// (HeRAD post-pass; period-neutral, reduces stage count).
+    void merge_replicable_stages(const TaskChain& chain);
+
+    /// Pipeline decomposition in the paper's Table II notation, e.g.
+    /// "(5,1B),(1,1B),(9,1B),(1,2B),(2,1L),(1,3B),(4,1L)".
+    [[nodiscard]] std::string decomposition() const;
+
+    [[nodiscard]] bool operator==(const Solution&) const noexcept = default;
+
+private:
+    std::vector<Stage> stages_;
+};
+
+} // namespace amp::core

@@ -1,0 +1,71 @@
+#include "core/twocatac.hpp"
+
+namespace amp::core {
+
+Solution choose_best_solution(const TaskChain& chain, Solution big_rooted,
+                              Solution little_rooted, const Resources& budget,
+                              double target_period)
+{
+    const bool big_valid = big_rooted.is_valid(chain, budget, target_period);
+    const bool little_valid = little_rooted.is_valid(chain, budget, target_period);
+    if (big_valid && little_valid) {
+        const Resources use_b = big_rooted.used();
+        const Resources use_l = little_rooted.used();
+        if (use_b.little > use_l.little && use_b.big < use_l.big)
+            return big_rooted; // big-rooted candidate exchanges big for little
+        if (use_b.little < use_l.little && use_b.big > use_l.big)
+            return little_rooted; // little-rooted candidate exchanges better
+        if (use_b.total() < use_l.total())
+            return big_rooted; // fewer cores in total
+        return little_rooted;
+    }
+    if (big_valid)
+        return big_rooted;
+    if (little_valid)
+        return little_rooted;
+    return Solution{};
+}
+
+Solution twocatac_compute_solution(const TaskChain& chain, int s, Resources available,
+                                   double target_period)
+{
+    const int n = chain.size();
+    Solution candidate[2];
+
+    for (const CoreType v : {CoreType::big, CoreType::little}) {
+        Solution& out = candidate[v == CoreType::big ? 0 : 1];
+        const auto cut = compute_stage(chain, s, available.count(v), v, target_period);
+        const Stage stage{s, cut.end, cut.used, v};
+        if (!stage_fits(chain, stage, available, target_period)) {
+            out = Solution{}; // no valid stage with this core type
+        } else if (stage.last == n) {
+            out = Solution{{stage}}; // valid final stage
+        } else {
+            Resources remaining = available;
+            remaining.count(v) -= stage.cores;
+            Solution rest =
+                twocatac_compute_solution(chain, stage.last + 1, remaining, target_period);
+            if (rest.is_valid(chain, remaining, target_period)) {
+                rest.prepend(stage);
+                out = std::move(rest);
+            } else {
+                out = Solution{};
+            }
+        }
+    }
+
+    return choose_best_solution(chain, std::move(candidate[0]), std::move(candidate[1]),
+                                available, target_period);
+}
+
+Solution twocatac(const TaskChain& chain, Resources resources, ScheduleStats* stats)
+{
+    return schedule_with_binary_search(
+        chain, resources,
+        [](const TaskChain& c, int s, Resources avail, double period) {
+            return twocatac_compute_solution(c, s, avail, period);
+        },
+        stats);
+}
+
+} // namespace amp::core

@@ -1,0 +1,29 @@
+#pragma once
+// 2CATAC -- Two-Choice Allocation for TAsk Chains (paper §IV-B, Algos 5-6).
+//
+// Greedy heuristic that builds each stage with BOTH core types and keeps the
+// candidate that better serves the secondary objective (exchange big cores
+// for little ones; otherwise use fewer cores). Worst-case exponential in the
+// number of stages, but fast in practice for replicable-heavy chains.
+
+#include "core/chain.hpp"
+#include "core/greedy_common.hpp"
+#include "core/solution.hpp"
+
+namespace amp::core {
+
+/// ChooseBestSolution (Algo 6): picks between the big-rooted and the
+/// little-rooted candidate solutions. Exposed for unit testing.
+[[nodiscard]] Solution choose_best_solution(const TaskChain& chain, Solution big_rooted,
+                                            Solution little_rooted, const Resources& budget,
+                                            double target_period);
+
+/// ComputeSolution for 2CATAC (Algo 5).
+[[nodiscard]] Solution twocatac_compute_solution(const TaskChain& chain, int s,
+                                                 Resources available, double target_period);
+
+/// Full 2CATAC schedule (binary search of Algo 1 over Algo 5).
+[[nodiscard]] Solution twocatac(const TaskChain& chain, Resources resources,
+                                ScheduleStats* stats = nullptr);
+
+} // namespace amp::core

@@ -1,0 +1,44 @@
+#include "dvbs2/common/bb_scrambler.hpp"
+
+namespace amp::dvbs2 {
+
+namespace {
+
+/// 15-bit LFSR with feedback x^14 + x^15 and the standard's init sequence.
+class Lfsr {
+public:
+    Lfsr()
+        : state_(0b100101010000000)
+    {
+    }
+
+    std::uint8_t next()
+    {
+        const std::uint8_t out = static_cast<std::uint8_t>((state_ >> 13 ^ state_ >> 14) & 1u);
+        state_ = static_cast<std::uint16_t>(((state_ << 1) | out) & 0x7fff);
+        return out;
+    }
+
+private:
+    std::uint16_t state_;
+};
+
+} // namespace
+
+void BbScrambler::scramble(std::vector<std::uint8_t>& bits)
+{
+    Lfsr lfsr;
+    for (auto& bit : bits)
+        bit ^= lfsr.next();
+}
+
+std::vector<std::uint8_t> BbScrambler::prbs(std::size_t count)
+{
+    Lfsr lfsr;
+    std::vector<std::uint8_t> out(count);
+    for (auto& bit : out)
+        bit = lfsr.next();
+    return out;
+}
+
+} // namespace amp::dvbs2

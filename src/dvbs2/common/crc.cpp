@@ -1,0 +1,40 @@
+#include "dvbs2/common/crc.hpp"
+
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+std::uint8_t Crc8::compute(const std::vector<std::uint8_t>& bits, std::size_t offset,
+                           std::size_t count) const
+{
+    if (offset + count > bits.size())
+        throw std::out_of_range{"Crc8::compute: range exceeds input"};
+    std::uint8_t crc = 0;
+    for (std::size_t i = offset; i < offset + count; ++i) {
+        const auto top = static_cast<std::uint8_t>((crc >> 7) ^ (bits[i] & 1u));
+        crc = static_cast<std::uint8_t>(crc << 1);
+        if (top)
+            crc ^= poly_;
+    }
+    return crc;
+}
+
+void Crc8::append(std::vector<std::uint8_t>& bits) const
+{
+    const std::uint8_t crc = compute(bits);
+    for (int b = 7; b >= 0; --b)
+        bits.push_back(static_cast<std::uint8_t>((crc >> b) & 1u));
+}
+
+bool Crc8::check(const std::vector<std::uint8_t>& bits) const
+{
+    if (bits.size() < 8)
+        return false;
+    const std::uint8_t expected = compute(bits, 0, bits.size() - 8);
+    std::uint8_t found = 0;
+    for (std::size_t i = bits.size() - 8; i < bits.size(); ++i)
+        found = static_cast<std::uint8_t>((found << 1) | (bits[i] & 1u));
+    return expected == found;
+}
+
+} // namespace amp::dvbs2

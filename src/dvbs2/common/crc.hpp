@@ -1,0 +1,41 @@
+#pragma once
+// CRC-8 over bit vectors with the DVB-S2 BBHEADER polynomial
+// x^8 + x^7 + x^6 + x^4 + x^2 + 1 (ETSI EN 302 307 §5.1.6). The transmitter
+// protects each baseband frame header with it; the receiver's monitor can
+// then detect residual errors in-band.
+
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class Crc8 {
+public:
+    /// DVB-S2 BBHEADER generator, bit mask without the x^8 term.
+    static constexpr std::uint8_t kDvbs2Poly = 0b11010101;
+
+    explicit constexpr Crc8(std::uint8_t poly = kDvbs2Poly) noexcept
+        : poly_(poly)
+    {
+    }
+
+    /// CRC over `count` bits of the 0/1 byte vector starting at `offset`.
+    [[nodiscard]] std::uint8_t compute(const std::vector<std::uint8_t>& bits,
+                                       std::size_t offset, std::size_t count) const;
+
+    [[nodiscard]] std::uint8_t compute(const std::vector<std::uint8_t>& bits) const
+    {
+        return compute(bits, 0, bits.size());
+    }
+
+    /// Appends the 8 CRC bits (MSB first) to the vector.
+    void append(std::vector<std::uint8_t>& bits) const;
+
+    /// True iff the last 8 bits are the CRC of everything before them.
+    [[nodiscard]] bool check(const std::vector<std::uint8_t>& bits) const;
+
+private:
+    std::uint8_t poly_;
+};
+
+} // namespace amp::dvbs2

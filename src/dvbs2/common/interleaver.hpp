@@ -1,0 +1,58 @@
+#pragma once
+// Row/column block interleaver (the DVB-S2 bit interleaver family, §5.3.3):
+// written row-wise into `columns` columns, read column-wise. Works on any
+// element type so the RX side can deinterleave soft LLRs.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class BlockInterleaver {
+public:
+    explicit BlockInterleaver(int columns)
+        : columns_(columns)
+    {
+        if (columns < 1)
+            throw std::invalid_argument{"BlockInterleaver: columns must be >= 1"};
+    }
+
+    [[nodiscard]] int columns() const noexcept { return columns_; }
+
+    template <typename T>
+    [[nodiscard]] std::vector<T> interleave(const std::vector<T>& input) const
+    {
+        const std::size_t rows = check_size(input.size());
+        std::vector<T> output(input.size());
+        std::size_t write = 0;
+        for (std::size_t c = 0; c < static_cast<std::size_t>(columns_); ++c)
+            for (std::size_t r = 0; r < rows; ++r)
+                output[write++] = input[r * static_cast<std::size_t>(columns_) + c];
+        return output;
+    }
+
+    template <typename T>
+    [[nodiscard]] std::vector<T> deinterleave(const std::vector<T>& input) const
+    {
+        const std::size_t rows = check_size(input.size());
+        std::vector<T> output(input.size());
+        std::size_t read = 0;
+        for (std::size_t c = 0; c < static_cast<std::size_t>(columns_); ++c)
+            for (std::size_t r = 0; r < rows; ++r)
+                output[r * static_cast<std::size_t>(columns_) + c] = input[read++];
+        return output;
+    }
+
+private:
+    [[nodiscard]] std::size_t check_size(std::size_t size) const
+    {
+        if (size % static_cast<std::size_t>(columns_) != 0)
+            throw std::invalid_argument{"BlockInterleaver: size not divisible by columns"};
+        return size / static_cast<std::size_t>(columns_);
+    }
+
+    int columns_;
+};
+
+} // namespace amp::dvbs2

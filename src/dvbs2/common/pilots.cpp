@@ -1,0 +1,51 @@
+#include "dvbs2/common/pilots.hpp"
+
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+std::vector<int> pilot_block_offsets(const PilotLayout& layout)
+{
+    std::vector<int> offsets;
+    offsets.reserve(static_cast<std::size_t>(layout.block_count()));
+    for (int b = 0; b < layout.block_count(); ++b)
+        offsets.push_back((b + 1) * layout.payload_per_block + b * layout.block_symbols);
+    return offsets;
+}
+
+std::vector<std::complex<float>> insert_pilots(const std::vector<std::complex<float>>& payload,
+                                               const PilotLayout& layout)
+{
+    if (static_cast<int>(payload.size()) != layout.payload_symbols)
+        throw std::invalid_argument{"insert_pilots: payload size mismatch"};
+    std::vector<std::complex<float>> out;
+    out.reserve(static_cast<std::size_t>(layout.total_symbols()));
+    int consumed = 0;
+    for (int b = 0; b < layout.block_count(); ++b) {
+        out.insert(out.end(), payload.begin() + consumed,
+                   payload.begin() + consumed + layout.payload_per_block);
+        consumed += layout.payload_per_block;
+        out.insert(out.end(), static_cast<std::size_t>(layout.block_symbols), pilot_symbol());
+    }
+    out.insert(out.end(), payload.begin() + consumed, payload.end());
+    return out;
+}
+
+std::vector<std::complex<float>>
+remove_pilots(const std::vector<std::complex<float>>& with_pilots, const PilotLayout& layout)
+{
+    if (static_cast<int>(with_pilots.size()) != layout.total_symbols())
+        throw std::invalid_argument{"remove_pilots: input size mismatch"};
+    std::vector<std::complex<float>> out;
+    out.reserve(static_cast<std::size_t>(layout.payload_symbols));
+    int cursor = 0;
+    for (int b = 0; b < layout.block_count(); ++b) {
+        out.insert(out.end(), with_pilots.begin() + cursor,
+                   with_pilots.begin() + cursor + layout.payload_per_block);
+        cursor += layout.payload_per_block + layout.block_symbols;
+    }
+    out.insert(out.end(), with_pilots.begin() + cursor, with_pilots.end());
+    return out;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,50 @@
+#pragma once
+// PLFRAME pilot structure (DVB-S2 §5.5.3): when pilots are on, a block of 36
+// unmodulated pilot symbols is inserted after every 16 slots (16 x 90 = 1440
+// payload symbols). For the short-frame QPSK configuration (8100 payload
+// symbols) this yields 5 pilot blocks = 180 pilot symbols.
+//
+// Pilots make the fine phase/frequency task (tau_13) replicable: each frame
+// carries enough known symbols to track phase without cross-frame state.
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct PilotLayout {
+    int payload_symbols;        ///< data symbols per frame (e.g. 8100)
+    int block_symbols = 36;     ///< pilots per block
+    int payload_per_block = 1440; ///< data symbols between blocks (16 slots)
+
+    [[nodiscard]] int block_count() const noexcept
+    {
+        // A block is inserted after every full 1440-symbol section, except
+        // when it would trail the very end of the payload.
+        const int sections = payload_symbols / payload_per_block;
+        return payload_symbols % payload_per_block == 0 ? sections - 1 : sections;
+    }
+    [[nodiscard]] int pilot_symbols() const noexcept { return block_count() * block_symbols; }
+    [[nodiscard]] int total_symbols() const noexcept
+    {
+        return payload_symbols + pilot_symbols();
+    }
+};
+
+[[nodiscard]] inline std::complex<float> pilot_symbol() noexcept
+{
+    return {0.70710678118654752F, 0.70710678118654752F};
+}
+
+/// Inserts pilot blocks into a payload-symbol vector (TX direction).
+[[nodiscard]] std::vector<std::complex<float>>
+insert_pilots(const std::vector<std::complex<float>>& payload, const PilotLayout& layout);
+
+/// Removes the pilot blocks again (RX direction).
+[[nodiscard]] std::vector<std::complex<float>>
+remove_pilots(const std::vector<std::complex<float>>& with_pilots, const PilotLayout& layout);
+
+/// Start indices (within the pilot-bearing payload) of each pilot block.
+[[nodiscard]] std::vector<int> pilot_block_offsets(const PilotLayout& layout);
+
+} // namespace amp::dvbs2

@@ -1,0 +1,68 @@
+#include "dvbs2/common/pl_scrambler.hpp"
+
+#include <mutex>
+
+namespace amp::dvbs2 {
+
+namespace {
+
+constexpr std::size_t kMaxSequence = 1 << 15; // enough for one PLFRAME payload
+
+/// Generates the R_n sequence once; frames reuse the same prefix (the
+/// standard restarts the sequence at every PLFRAME).
+const std::vector<std::uint8_t>& cached_sequence()
+{
+    static std::vector<std::uint8_t> seq;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // 18-bit m-sequence registers; x: 1 + x^7 + x^18, y: 1+y^5+y^7+y^10+y^18.
+        std::uint32_t x = 0x00001; // standard init: x starts at 000...01
+        std::uint32_t y = 0x3ffff; // y starts at all ones
+        seq.resize(kMaxSequence);
+        for (std::size_t n = 0; n < kMaxSequence; ++n) {
+            const std::uint32_t zx = x & 1u;
+            const std::uint32_t zy = y & 1u;
+            // b = x(i+131072) realized via a second tap combination in real
+            // hardware; here the Gold construction zx ^ zy plus zx gives the
+            // 2-bit R_n as in the standard's integer-rotation form.
+            seq[n] = static_cast<std::uint8_t>(((zx ^ zy) << 1) | zx);
+            x = (x >> 1) | ((zx ^ (x >> 7 & 1u)) << 17);
+            y = (y >> 1) | ((zy ^ (y >> 5 & 1u) ^ (y >> 7 & 1u) ^ (y >> 10 & 1u)) << 17);
+        }
+    });
+    return seq;
+}
+
+[[nodiscard]] std::complex<float> rotate(std::complex<float> value, std::uint8_t quarter_turns)
+{
+    switch (quarter_turns & 3u) {
+    case 0: return value;
+    case 1: return {-value.imag(), value.real()};  // * i
+    case 2: return {-value.real(), -value.imag()}; // * -1
+    default: return {value.imag(), -value.real()}; // * -i
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t> PlScrambler::sequence(std::size_t count)
+{
+    const auto& seq = cached_sequence();
+    return {seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(std::min(count, seq.size()))};
+}
+
+void PlScrambler::scramble(std::vector<std::complex<float>>& symbols)
+{
+    const auto& seq = cached_sequence();
+    for (std::size_t n = 0; n < symbols.size(); ++n)
+        symbols[n] = rotate(symbols[n], seq[n % seq.size()]);
+}
+
+void PlScrambler::descramble(std::vector<std::complex<float>>& symbols)
+{
+    const auto& seq = cached_sequence();
+    for (std::size_t n = 0; n < symbols.size(); ++n)
+        symbols[n] = rotate(symbols[n], static_cast<std::uint8_t>(4u - (seq[n % seq.size()] & 3u)));
+}
+
+} // namespace amp::dvbs2

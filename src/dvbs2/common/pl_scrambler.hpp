@@ -1,0 +1,26 @@
+#pragma once
+// Physical-layer symbol scrambler (DVB-S2 §5.5.4): the payload symbols of
+// every PLFRAME are rotated by i^(R_n) where R_n in {0,1,2,3} comes from a
+// Gold-like sequence built from two length-2^18-1 m-sequences (polynomials
+// 1 + x^7 + x^18 and 1 + y^5 + y^7 + y^10 + y^18). The PLHEADER itself is
+// not scrambled. Descrambling applies the conjugate rotation.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class PlScrambler {
+public:
+    /// Scrambling sequence R_n for n in [0, count), using scrambling code 0.
+    [[nodiscard]] static std::vector<std::uint8_t> sequence(std::size_t count);
+
+    /// Rotates `symbols` by i^(R_n) in place (TX direction).
+    static void scramble(std::vector<std::complex<float>>& symbols);
+
+    /// Applies the conjugate rotation in place (RX direction).
+    static void descramble(std::vector<std::complex<float>>& symbols);
+};
+
+} // namespace amp::dvbs2

@@ -1,0 +1,120 @@
+#include "dvbs2/common/plh_framer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+namespace {
+
+constexpr float kInvSqrt2 = 0.70710678118654752F;
+
+/// RM(1,5) generator rows: the all-ones row plus the 5 binary "address"
+/// rows; 6 information bits -> 32-bit codeword.
+[[nodiscard]] std::uint32_t rm15_encode(std::uint8_t info6)
+{
+    std::uint32_t word = 0;
+    for (int position = 0; position < 32; ++position) {
+        std::uint8_t bit = (info6 >> 5) & 1u; // all-ones row weight
+        for (int row = 0; row < 5; ++row)
+            if ((info6 >> row) & 1u)
+                bit ^= static_cast<std::uint8_t>((position >> row) & 1);
+        word |= static_cast<std::uint32_t>(bit) << position;
+    }
+    return word;
+}
+
+} // namespace
+
+std::complex<float> PlhFramer::pi2_bpsk(std::uint8_t bit, int index)
+{
+    const float amplitude = bit ? -1.0F : 1.0F;
+    // Base constellation point at 45 degrees, rotated by 90 degrees per
+    // symbol index (the pi/2-BPSK spin).
+    std::complex<float> value{amplitude * kInvSqrt2, amplitude * kInvSqrt2};
+    switch (index & 3) {
+    case 0: return value;
+    case 1: return {-value.imag(), value.real()};
+    case 2: return {-value.real(), -value.imag()};
+    default: return {value.imag(), -value.real()};
+    }
+}
+
+const std::vector<std::complex<float>>& PlhFramer::sof_symbols()
+{
+    static const std::vector<std::complex<float>> symbols = [] {
+        std::vector<std::complex<float>> out(kSofBits);
+        for (int j = 0; j < kSofBits; ++j) {
+            const std::uint8_t bit =
+                static_cast<std::uint8_t>((kSofPattern >> (kSofBits - 1 - j)) & 1u);
+            out[static_cast<std::size_t>(j)] = pi2_bpsk(bit, j);
+        }
+        return out;
+    }();
+    return symbols;
+}
+
+std::vector<std::uint8_t> PlhFramer::encode_pls(std::uint8_t pls)
+{
+    // 7 bits: 6 through RM(1,5) into 32 bits y, then 64 bits by emitting
+    // (y_i, y_i ^ b7) pairs -- the standard's construction.
+    const std::uint32_t y = rm15_encode(static_cast<std::uint8_t>(pls >> 1));
+    const std::uint8_t b7 = pls & 1u;
+    std::vector<std::uint8_t> bits(kPlscBits);
+    for (int i = 0; i < 32; ++i) {
+        const auto yi = static_cast<std::uint8_t>((y >> i) & 1u);
+        bits[static_cast<std::size_t>(2 * i)] = yi;
+        bits[static_cast<std::size_t>(2 * i + 1)] = yi ^ b7;
+    }
+    return bits;
+}
+
+std::uint8_t PlhFramer::decode_pls(const std::vector<std::complex<float>>& symbols)
+{
+    if (static_cast<int>(symbols.size()) != kPlscBits)
+        throw std::invalid_argument{"PlhFramer::decode_pls: expected 64 symbols"};
+    float best = -1.0F;
+    std::uint8_t best_pls = 0;
+    for (int pls = 0; pls < 128; ++pls) {
+        const auto bits = encode_pls(static_cast<std::uint8_t>(pls));
+        float correlation = 0.0F;
+        for (int i = 0; i < kPlscBits; ++i) {
+            const auto reference = pi2_bpsk(bits[static_cast<std::size_t>(i)], kSofBits + i);
+            correlation += symbols[static_cast<std::size_t>(i)].real() * reference.real()
+                + symbols[static_cast<std::size_t>(i)].imag() * reference.imag();
+        }
+        if (correlation > best) {
+            best = correlation;
+            best_pls = static_cast<std::uint8_t>(pls);
+        }
+    }
+    return best_pls;
+}
+
+std::vector<std::complex<float>> PlhFramer::build_header(std::uint8_t pls)
+{
+    std::vector<std::complex<float>> header = sof_symbols();
+    header.reserve(kHeaderSymbols);
+    const auto bits = encode_pls(pls);
+    for (int i = 0; i < kPlscBits; ++i)
+        header.push_back(pi2_bpsk(bits[static_cast<std::size_t>(i)], kSofBits + i));
+    return header;
+}
+
+std::vector<std::complex<float>>
+PlhFramer::insert(std::uint8_t pls, const std::vector<std::complex<float>>& payload)
+{
+    std::vector<std::complex<float>> frame = build_header(pls);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+std::vector<std::complex<float>>
+PlhFramer::remove(const std::vector<std::complex<float>>& plframe)
+{
+    if (static_cast<int>(plframe.size()) < kHeaderSymbols)
+        throw std::invalid_argument{"PlhFramer::remove: frame shorter than the header"};
+    return {plframe.begin() + kHeaderSymbols, plframe.end()};
+}
+
+} // namespace amp::dvbs2

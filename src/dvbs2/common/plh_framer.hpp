@@ -1,0 +1,45 @@
+#pragma once
+// Physical-layer header framing (DVB-S2 §5.5.2): every PLFRAME starts with a
+// 90-symbol PLHEADER = SOF (26 symbols, fixed pattern 0x18D2E82) + PLSC
+// (64 symbols carrying the 7-bit PLS field through a (64,7) biorthogonal
+// Reed-Muller construction). Header symbols are pi/2-BPSK.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class PlhFramer {
+public:
+    static constexpr int kSofBits = 26;
+    static constexpr int kPlscBits = 64;
+    static constexpr int kHeaderSymbols = kSofBits + kPlscBits;
+    static constexpr std::uint32_t kSofPattern = 0x18D2E82; // 26 bits, MSB first
+
+    /// The 26 SOF symbols (pi/2-BPSK of the fixed pattern).
+    [[nodiscard]] static const std::vector<std::complex<float>>& sof_symbols();
+
+    /// Encodes the 7-bit PLS field (MODCOD << 2 | TYPE) into 64 bits.
+    [[nodiscard]] static std::vector<std::uint8_t> encode_pls(std::uint8_t pls);
+
+    /// Maximum-correlation decoding of a received 64-symbol PLSC field.
+    [[nodiscard]] static std::uint8_t decode_pls(const std::vector<std::complex<float>>& symbols);
+
+    /// Builds the 90-symbol header for the given PLS field.
+    [[nodiscard]] static std::vector<std::complex<float>> build_header(std::uint8_t pls);
+
+    /// Prepends the header to a payload (TX, "Framer PLH - insert").
+    [[nodiscard]] static std::vector<std::complex<float>>
+    insert(std::uint8_t pls, const std::vector<std::complex<float>>& payload);
+
+    /// Strips the 90 header symbols (RX, "Framer PLH - remove").
+    [[nodiscard]] static std::vector<std::complex<float>>
+    remove(const std::vector<std::complex<float>>& plframe);
+
+    /// pi/2-BPSK mapping used for all header bits: bit b of index j maps to
+    /// exp(i pi/4) * (1 - 2b) * i^j (a spinning BPSK constellation).
+    [[nodiscard]] static std::complex<float> pi2_bpsk(std::uint8_t bit, int index);
+};
+
+} // namespace amp::dvbs2

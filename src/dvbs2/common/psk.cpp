@@ -1,0 +1,154 @@
+#include "dvbs2/common/psk.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+namespace {
+
+constexpr float kInvSqrt2 = 0.70710678118654752F;
+
+[[nodiscard]] std::complex<float> from_angle(double radians, double radius = 1.0)
+{
+    return {static_cast<float>(radius * std::cos(radians)),
+            static_cast<float>(radius * std::sin(radians))};
+}
+
+std::vector<std::complex<float>> build_points(Modulation modulation, float gamma)
+{
+    switch (modulation) {
+    case Modulation::qpsk: {
+        // Matches QpskModem: bit0 -> I sign, bit1 -> Q sign (Gray).
+        std::vector<std::complex<float>> points(4);
+        for (int label = 0; label < 4; ++label) {
+            const float i = (label & 0b10) ? -kInvSqrt2 : kInvSqrt2;
+            const float q = (label & 0b01) ? -kInvSqrt2 : kInvSqrt2;
+            points[static_cast<std::size_t>(label)] = {i, q};
+        }
+        return points;
+    }
+    case Modulation::psk8: {
+        // DVB-S2 8PSK Gray labelling around the circle, first point at pi/4.
+        static constexpr int kGray[8] = {0, 1, 3, 2, 6, 7, 5, 4};
+        std::vector<std::complex<float>> points(8);
+        for (int position = 0; position < 8; ++position) {
+            const double angle = std::numbers::pi / 4.0
+                + position * (2.0 * std::numbers::pi / 8.0);
+            points[static_cast<std::size_t>(kGray[position])] = from_angle(angle);
+        }
+        return points;
+    }
+    case Modulation::apsk16: {
+        // 4 + 12 APSK: inner QPSK ring radius r1, outer 12-PSK ring radius
+        // r2 = gamma * r1, normalized to unit average energy. Labels follow
+        // the standard's structure: the two MSBs select ring/sector, the
+        // rest the position (a Gray-ish mapping adequate for max-log LLRs).
+        if (gamma <= 1.0F)
+            throw std::invalid_argument{"16APSK: gamma must exceed 1"};
+        const double r1 = std::sqrt(4.0 / (1.0 + 3.0 * gamma * gamma));
+        const double r2 = gamma * r1;
+        std::vector<std::complex<float>> points(16);
+        // Inner ring: labels 12..15 (11xx in DVB-S2 carry the inner ring).
+        static constexpr int kInner[4] = {0b1100, 0b1110, 0b1111, 0b1101};
+        for (int position = 0; position < 4; ++position) {
+            const double angle = std::numbers::pi / 4.0
+                + position * (std::numbers::pi / 2.0);
+            points[static_cast<std::size_t>(kInner[position])] = from_angle(angle, r1);
+        }
+        static constexpr int kOuter[12] = {0b0000, 0b0100, 0b0110, 0b0010, 0b0011, 0b0111,
+                                           0b0101, 0b0001, 0b1001, 0b1011, 0b1010, 0b1000};
+        for (int position = 0; position < 12; ++position) {
+            const double angle = std::numbers::pi / 12.0
+                + position * (2.0 * std::numbers::pi / 12.0);
+            points[static_cast<std::size_t>(kOuter[position])] = from_angle(angle, r2);
+        }
+        return points;
+    }
+    }
+    throw std::invalid_argument{"unknown modulation"};
+}
+
+} // namespace
+
+ConstellationModem::ConstellationModem(Modulation modulation, float apsk_gamma)
+    : modulation_(modulation)
+    , points_(build_points(modulation, apsk_gamma))
+{
+}
+
+std::vector<std::complex<float>>
+ConstellationModem::modulate(const std::vector<std::uint8_t>& bits) const
+{
+    const int per_symbol = this->bits();
+    if (bits.size() % static_cast<std::size_t>(per_symbol) != 0)
+        throw std::invalid_argument{"ConstellationModem::modulate: bit count mismatch"};
+    std::vector<std::complex<float>> symbols(bits.size() / static_cast<std::size_t>(per_symbol));
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        int label = 0;
+        for (int b = 0; b < per_symbol; ++b)
+            label = (label << 1)
+                | (bits[s * static_cast<std::size_t>(per_symbol) + static_cast<std::size_t>(b)]
+                   & 1);
+        symbols[s] = points_[static_cast<std::size_t>(label)];
+    }
+    return symbols;
+}
+
+std::vector<float>
+ConstellationModem::demodulate(const std::vector<std::complex<float>>& symbols,
+                               float sigma2) const
+{
+    if (sigma2 <= 0.0F)
+        throw std::invalid_argument{"ConstellationModem::demodulate: sigma2 must be positive"};
+    const int per_symbol = this->bits();
+    std::vector<float> llrs(symbols.size() * static_cast<std::size_t>(per_symbol));
+
+    std::vector<float> distance(points_.size());
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        for (std::size_t label = 0; label < points_.size(); ++label)
+            distance[label] = std::norm(symbols[s] - points_[label]);
+        for (int b = 0; b < per_symbol; ++b) {
+            // Max-log: LLR = (min dist over bit=1) - (min dist over bit=0),
+            // scaled by 1/sigma2; positive favours bit 0.
+            float best0 = std::numeric_limits<float>::max();
+            float best1 = std::numeric_limits<float>::max();
+            const int mask = 1 << (per_symbol - 1 - b);
+            for (std::size_t label = 0; label < points_.size(); ++label) {
+                if (static_cast<int>(label) & mask)
+                    best1 = std::min(best1, distance[label]);
+                else
+                    best0 = std::min(best0, distance[label]);
+            }
+            llrs[s * static_cast<std::size_t>(per_symbol) + static_cast<std::size_t>(b)] =
+                (best1 - best0) / sigma2;
+        }
+    }
+    return llrs;
+}
+
+std::vector<std::uint8_t>
+ConstellationModem::hard_decide(const std::vector<std::complex<float>>& symbols) const
+{
+    const int per_symbol = this->bits();
+    std::vector<std::uint8_t> bits(symbols.size() * static_cast<std::size_t>(per_symbol));
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        float best = std::numeric_limits<float>::max();
+        int best_label = 0;
+        for (std::size_t label = 0; label < points_.size(); ++label) {
+            const float dist = std::norm(symbols[s] - points_[label]);
+            if (dist < best) {
+                best = dist;
+                best_label = static_cast<int>(label);
+            }
+        }
+        for (int b = 0; b < per_symbol; ++b)
+            bits[s * static_cast<std::size_t>(per_symbol) + static_cast<std::size_t>(b)] =
+                static_cast<std::uint8_t>((best_label >> (per_symbol - 1 - b)) & 1);
+    }
+    return bits;
+}
+
+} // namespace amp::dvbs2

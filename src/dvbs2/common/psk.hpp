@@ -1,0 +1,70 @@
+#pragma once
+// Generic constellation modem covering the DVB-S2 modulations beyond the
+// paper's QPSK configuration: 8PSK and 16APSK (32APSK omitted), with
+// max-log LLR demodulation over the constellation points.
+//
+// QpskModem (qpsk.hpp) remains the fast path the 23-task chain uses (its
+// LLRs are exact and linear); this modem generalizes the library to the
+// other MODCODs of the standard.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+enum class Modulation : std::uint8_t { qpsk, psk8, apsk16 };
+
+[[nodiscard]] constexpr int bits_per_symbol(Modulation modulation) noexcept
+{
+    switch (modulation) {
+    case Modulation::qpsk: return 2;
+    case Modulation::psk8: return 3;
+    case Modulation::apsk16: return 4;
+    }
+    return 0;
+}
+
+[[nodiscard]] constexpr const char* to_string(Modulation modulation) noexcept
+{
+    switch (modulation) {
+    case Modulation::qpsk: return "QPSK";
+    case Modulation::psk8: return "8PSK";
+    case Modulation::apsk16: return "16APSK";
+    }
+    return "?";
+}
+
+/// Unit-average-energy constellation with max-log soft demodulation.
+class ConstellationModem {
+public:
+    /// `apsk_gamma` is the 16APSK outer/inner ring ratio (DVB-S2 uses
+    /// code-rate-dependent values; 3.15 corresponds to rate 8/9).
+    explicit ConstellationModem(Modulation modulation, float apsk_gamma = 3.15F);
+
+    [[nodiscard]] Modulation modulation() const noexcept { return modulation_; }
+    [[nodiscard]] int bits() const noexcept { return bits_per_symbol(modulation_); }
+    [[nodiscard]] const std::vector<std::complex<float>>& points() const noexcept
+    {
+        return points_;
+    }
+
+    /// Maps bits (count divisible by bits()) to symbols.
+    [[nodiscard]] std::vector<std::complex<float>>
+    modulate(const std::vector<std::uint8_t>& bits) const;
+
+    /// Max-log LLRs, bits() per symbol, positive = bit 0, for complex AWGN
+    /// with total noise power sigma2.
+    [[nodiscard]] std::vector<float>
+    demodulate(const std::vector<std::complex<float>>& symbols, float sigma2) const;
+
+    /// Nearest-point hard decisions.
+    [[nodiscard]] std::vector<std::uint8_t>
+    hard_decide(const std::vector<std::complex<float>>& symbols) const;
+
+private:
+    Modulation modulation_;
+    std::vector<std::complex<float>> points_; ///< points_[label] = symbol
+};
+
+} // namespace amp::dvbs2

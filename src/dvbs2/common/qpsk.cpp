@@ -1,0 +1,49 @@
+#include "dvbs2/common/qpsk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+namespace {
+constexpr float kInvSqrt2 = 0.70710678118654752F;
+} // namespace
+
+std::vector<std::complex<float>> QpskModem::modulate(const std::vector<std::uint8_t>& bits)
+{
+    if (bits.size() % 2 != 0)
+        throw std::invalid_argument{"QpskModem::modulate: bit count must be even"};
+    std::vector<std::complex<float>> symbols(bits.size() / 2);
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        const float i = bits[2 * s] ? -kInvSqrt2 : kInvSqrt2;
+        const float q = bits[2 * s + 1] ? -kInvSqrt2 : kInvSqrt2;
+        symbols[s] = {i, q};
+    }
+    return symbols;
+}
+
+std::vector<float> QpskModem::demodulate(const std::vector<std::complex<float>>& symbols,
+                                         float sigma2)
+{
+    if (sigma2 <= 0.0F)
+        throw std::invalid_argument{"QpskModem::demodulate: sigma2 must be positive"};
+    const float gain = 2.0F * std::sqrt(2.0F) / sigma2;
+    std::vector<float> llr(symbols.size() * 2);
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        llr[2 * s] = gain * symbols[s].real();
+        llr[2 * s + 1] = gain * symbols[s].imag();
+    }
+    return llr;
+}
+
+std::vector<std::uint8_t> QpskModem::hard_decide(const std::vector<std::complex<float>>& symbols)
+{
+    std::vector<std::uint8_t> bits(symbols.size() * 2);
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        bits[2 * s] = symbols[s].real() < 0.0F ? 1 : 0;
+        bits[2 * s + 1] = symbols[s].imag() < 0.0F ? 1 : 0;
+    }
+    return bits;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,29 @@
+#pragma once
+// Gray-mapped QPSK modem. Mapping (DVB-S2 convention): the symbol carries
+// bits (b0, b1) with I = (1 - 2 b0) / sqrt(2), Q = (1 - 2 b1) / sqrt(2), so
+// each component independently carries one bit and the max-likelihood LLR is
+// linear in the received component: LLR(b) = 2 sqrt(2) y / sigma^2 with
+// positive LLR meaning bit 0.
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class QpskModem {
+public:
+    /// Maps 2N bits to N unit-energy symbols.
+    [[nodiscard]] static std::vector<std::complex<float>>
+    modulate(const std::vector<std::uint8_t>& bits);
+
+    /// Computes per-bit LLRs (2 per symbol) for AWGN with noise variance
+    /// sigma2 (total complex noise power). Positive LLR = bit 0.
+    [[nodiscard]] static std::vector<float>
+    demodulate(const std::vector<std::complex<float>>& symbols, float sigma2);
+
+    /// Hard decisions straight from symbol signs (2 bits per symbol).
+    [[nodiscard]] static std::vector<std::uint8_t>
+    hard_decide(const std::vector<std::complex<float>>& symbols);
+};
+
+} // namespace amp::dvbs2

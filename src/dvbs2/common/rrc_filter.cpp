@@ -1,0 +1,160 @@
+#include "dvbs2/common/rrc_filter.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+std::vector<float> rrc_taps(float rolloff, int sps, int span)
+{
+    if (rolloff <= 0.0F || rolloff > 1.0F)
+        throw std::invalid_argument{"rrc_taps: rolloff must be in (0, 1]"};
+    if (sps < 1 || span < 1)
+        throw std::invalid_argument{"rrc_taps: sps and span must be >= 1"};
+
+    const int half = span * sps;
+    const int count = 2 * half + 1;
+    std::vector<float> taps(static_cast<std::size_t>(count));
+    const double beta = rolloff;
+    const double pi = std::numbers::pi;
+
+    double energy = 0.0;
+    for (int i = 0; i < count; ++i) {
+        const double t = static_cast<double>(i - half) / sps; // in symbols
+        double value = 0.0;
+        const double singular = std::abs(std::abs(4.0 * beta * t) - 1.0);
+        if (t == 0.0) {
+            value = 1.0 + beta * (4.0 / pi - 1.0);
+        } else if (singular < 1e-8) {
+            value = (beta / std::sqrt(2.0))
+                * ((1.0 + 2.0 / pi) * std::sin(pi / (4.0 * beta))
+                   + (1.0 - 2.0 / pi) * std::cos(pi / (4.0 * beta)));
+        } else {
+            const double num = std::sin(pi * t * (1.0 - beta))
+                + 4.0 * beta * t * std::cos(pi * t * (1.0 + beta));
+            const double den = pi * t * (1.0 - 16.0 * beta * beta * t * t);
+            value = num / den;
+        }
+        taps[static_cast<std::size_t>(i)] = static_cast<float>(value);
+        energy += value * value;
+    }
+    const auto norm = static_cast<float>(1.0 / std::sqrt(energy));
+    for (auto& tap : taps)
+        tap *= norm;
+    return taps;
+}
+
+StreamingFir::StreamingFir(std::vector<float> taps)
+    : taps_(std::move(taps))
+{
+    if (taps_.empty())
+        throw std::invalid_argument{"StreamingFir: empty tap set"};
+    history_.assign(taps_.size() - 1, {0.0F, 0.0F});
+}
+
+void StreamingFir::reset()
+{
+    history_.assign(history_.size(), {0.0F, 0.0F});
+}
+
+std::vector<std::complex<float>>
+StreamingFir::filter(const std::vector<std::complex<float>>& input)
+{
+    const std::size_t t = taps_.size();
+    // Work buffer = history + input so that x[n-k] lookups never branch.
+    std::vector<std::complex<float>> extended;
+    extended.reserve(history_.size() + input.size());
+    extended.insert(extended.end(), history_.begin(), history_.end());
+    extended.insert(extended.end(), input.begin(), input.end());
+
+    std::vector<std::complex<float>> output(input.size());
+    for (std::size_t n = 0; n < input.size(); ++n) {
+        float acc_re = 0.0F;
+        float acc_im = 0.0F;
+        const std::complex<float>* x = extended.data() + n; // x[n - (t-1)] .. x[n]
+        for (std::size_t k = 0; k < t; ++k) {
+            const auto& sample = x[t - 1 - k];
+            acc_re += taps_[k] * sample.real();
+            acc_im += taps_[k] * sample.imag();
+        }
+        output[n] = {acc_re, acc_im};
+    }
+
+    if (!history_.empty()) {
+        if (input.size() >= history_.size()) {
+            history_.assign(extended.end() - static_cast<std::ptrdiff_t>(history_.size()),
+                            extended.end());
+        } else {
+            history_.erase(history_.begin(),
+                           history_.begin() + static_cast<std::ptrdiff_t>(input.size()));
+            history_.insert(history_.end(), input.begin(), input.end());
+        }
+    }
+    return output;
+}
+
+SplitFir::SplitFir(const std::vector<float>& taps)
+    : first_(std::vector<float>(taps.begin(), taps.begin() + static_cast<std::ptrdiff_t>(taps.size() / 2)))
+    , second_(std::vector<float>(taps.begin() + static_cast<std::ptrdiff_t>(taps.size() / 2), taps.end()))
+    , delay_(static_cast<int>(taps.size() / 2))
+{
+    if (taps.size() < 2)
+        throw std::invalid_argument{"SplitFir: need at least two taps"};
+    delay_line_.assign(static_cast<std::size_t>(delay_), {0.0F, 0.0F});
+}
+
+std::vector<std::complex<float>> SplitFir::part1(const std::vector<std::complex<float>>& input)
+{
+    return first_.filter(input);
+}
+
+std::vector<std::complex<float>>
+SplitFir::part2(const std::vector<std::complex<float>>& input,
+                std::vector<std::complex<float>> partial)
+{
+    if (partial.size() != input.size())
+        throw std::invalid_argument{"SplitFir::part2: partial/input size mismatch"};
+    // Delay the input by taps/2 samples, then run the second-half FIR:
+    // y2[n] = (h2 * x)[n - delay].
+    std::vector<std::complex<float>> delayed;
+    delayed.reserve(input.size());
+    if (input.size() >= delay_line_.size()) {
+        delayed.insert(delayed.end(), delay_line_.begin(), delay_line_.end());
+        delayed.insert(delayed.end(), input.begin(),
+                       input.end() - static_cast<std::ptrdiff_t>(delay_line_.size()));
+        delay_line_.assign(input.end() - static_cast<std::ptrdiff_t>(delay_line_.size()),
+                           input.end());
+    } else {
+        delayed.insert(delayed.end(), delay_line_.begin(),
+                       delay_line_.begin() + static_cast<std::ptrdiff_t>(input.size()));
+        delay_line_.erase(delay_line_.begin(),
+                          delay_line_.begin() + static_cast<std::ptrdiff_t>(input.size()));
+        delay_line_.insert(delay_line_.end(), input.begin(), input.end());
+    }
+    const auto tail = second_.filter(delayed);
+    for (std::size_t n = 0; n < partial.size(); ++n)
+        partial[n] += tail[n];
+    return partial;
+}
+
+ShapingFilter::ShapingFilter(float rolloff, int sps, int span)
+    : sps_(sps)
+    , fir_(rrc_taps(rolloff, sps, span))
+{
+}
+
+std::vector<std::complex<float>>
+ShapingFilter::shape(const std::vector<std::complex<float>>& symbols)
+{
+    std::vector<std::complex<float>> upsampled(symbols.size() * static_cast<std::size_t>(sps_),
+                                               {0.0F, 0.0F});
+    // Scale by sqrt(sps) so that the shaped signal keeps unit symbol energy
+    // after matched filtering.
+    const float gain = std::sqrt(static_cast<float>(sps_));
+    for (std::size_t s = 0; s < symbols.size(); ++s)
+        upsampled[s * static_cast<std::size_t>(sps_)] = gain * symbols[s];
+    return fir_.filter(upsampled);
+}
+
+} // namespace amp::dvbs2

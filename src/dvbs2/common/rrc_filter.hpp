@@ -1,0 +1,80 @@
+#pragma once
+// Root-raised-cosine pulse shaping / matched filtering (DVB-S2 uses RRC
+// with rolloff 0.35 / 0.25 / 0.20; the evaluated configuration uses 0.20).
+//
+// The RX matched filter appears in the paper's chain as two tasks
+// ("Filter Matched - filter (part 1/2)"): SplitFir computes the convolution
+// with the first half of the taps in part 1 and adds the second half in
+// part 2, each part keeping its own streaming delay line. Summing the two
+// partial convolutions reproduces the full filter exactly.
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+/// RRC impulse response with `span` symbols on each side at `sps` samples
+/// per symbol; unit-energy normalized. Tap count = 2 * span * sps + 1.
+[[nodiscard]] std::vector<float> rrc_taps(float rolloff, int sps, int span);
+
+/// Streaming FIR filter over complex samples with persistent state.
+class StreamingFir {
+public:
+    explicit StreamingFir(std::vector<float> taps);
+
+    /// Filters a block; the delay line persists across calls, so
+    /// concatenated blocks produce the same output as one big block.
+    [[nodiscard]] std::vector<std::complex<float>>
+    filter(const std::vector<std::complex<float>>& input);
+
+    void reset();
+
+    [[nodiscard]] const std::vector<float>& taps() const noexcept { return taps_; }
+
+private:
+    std::vector<float> taps_;
+    std::vector<std::complex<float>> history_; ///< last taps-1 input samples
+};
+
+/// The matched filter split into two partial convolutions (paper tasks
+/// tau_4 / tau_5): part1() computes taps [0, T/2), part2() adds taps
+/// [T/2, T) with the appropriate delay. part1 followed by part2 equals
+/// StreamingFir over the full tap set.
+class SplitFir {
+public:
+    explicit SplitFir(const std::vector<float>& taps);
+
+    [[nodiscard]] std::vector<std::complex<float>>
+    part1(const std::vector<std::complex<float>>& input);
+
+    /// `input` must be the same block passed to part1; `partial` is part1's
+    /// output, completed in place and returned.
+    [[nodiscard]] std::vector<std::complex<float>>
+    part2(const std::vector<std::complex<float>>& input, std::vector<std::complex<float>> partial);
+
+    /// Accessors for building the two halves as independent tasks.
+    [[nodiscard]] StreamingFir& first_half() noexcept { return first_; }
+    [[nodiscard]] StreamingFir& second_half() noexcept { return second_; }
+
+private:
+    StreamingFir first_;
+    StreamingFir second_;
+    int delay_;
+    std::vector<std::complex<float>> delay_line_;
+};
+
+/// TX upsampler + shaping filter: zero-stuffs to `sps` samples per symbol
+/// and applies the RRC pulse, streaming across frames.
+class ShapingFilter {
+public:
+    ShapingFilter(float rolloff, int sps, int span);
+
+    [[nodiscard]] std::vector<std::complex<float>>
+    shape(const std::vector<std::complex<float>>& symbols);
+
+private:
+    int sps_;
+    StreamingFir fir_;
+};
+
+} // namespace amp::dvbs2

@@ -1,0 +1,57 @@
+#pragma once
+// BCH codec over GF(2^m) with systematic encoding (LFSR division by the
+// generator polynomial) and hard-decision decoding (syndromes +
+// Berlekamp-Massey + Chien search).
+//
+// The DVB-S2 short-FECFRAME outer code at rate 8/9 is the shortened
+// BCH(14400, 14232) with t = 12 over GF(2^14); see `dvbs2_short_8_9()`.
+
+#include "dvbs2/fec/galois.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class BchCode {
+public:
+    /// Shortened BCH over GF(2^m) correcting t errors with codeword length n
+    /// (n <= 2^m - 1). k is derived from the generator-polynomial degree.
+    BchCode(int m, int t, int n);
+
+    /// The paper's configuration: BCH(14400, 14232, t=12) over GF(2^14)
+    /// (short FECFRAME, rate 8/9).
+    static const BchCode& dvbs2_short_8_9();
+
+    /// Normal FECFRAME, rate 8/9: BCH(57600, 57472, t=8) over GF(2^16).
+    static const BchCode& dvbs2_normal_8_9();
+
+    [[nodiscard]] int n() const noexcept { return n_; }
+    [[nodiscard]] int k() const noexcept { return k_; }
+    [[nodiscard]] int t() const noexcept { return t_; }
+    [[nodiscard]] int parity_bits() const noexcept { return n_ - k_; }
+
+    /// Encodes k message bits into an n-bit systematic codeword
+    /// (message first, parity last). Bits are 0/1 bytes.
+    [[nodiscard]] std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& message) const;
+
+    struct DecodeResult {
+        bool success = false;      ///< false when > t errors were detected
+        int corrected = 0;         ///< number of bit flips applied
+        std::vector<std::uint8_t> message; ///< first k bits after correction
+    };
+
+    /// Hard-input hard-output decoding of an n-bit word, in place of the
+    /// paper's "Decoder BCH - decode HIHO" task.
+    [[nodiscard]] DecodeResult decode(std::vector<std::uint8_t> codeword) const;
+
+private:
+    const GaloisField& field_;
+    int t_;
+    int n_;
+    int k_;
+    std::vector<std::uint64_t> generator_; ///< g(x) bitmask, LSB = x^0
+    int generator_degree_;
+};
+
+} // namespace amp::dvbs2

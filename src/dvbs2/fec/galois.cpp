@@ -1,0 +1,140 @@
+#include "dvbs2/fec/galois.hpp"
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+GaloisField::GaloisField(int m, std::uint32_t primitive_poly)
+    : m_(m)
+    , q_(1 << m)
+{
+    if (m < 2 || m > 16)
+        throw std::invalid_argument{"GaloisField: m must be in [2, 16]"};
+    if ((primitive_poly & (1u << m)) == 0)
+        throw std::invalid_argument{"GaloisField: polynomial must have degree m"};
+
+    log_.assign(static_cast<std::size_t>(q_), -1);
+    antilog_.assign(static_cast<std::size_t>(q_ - 1), 0);
+
+    int value = 1;
+    for (int e = 0; e < q_ - 1; ++e) {
+        if (log_[static_cast<std::size_t>(value)] != -1)
+            throw std::invalid_argument{"GaloisField: polynomial is not primitive"};
+        log_[static_cast<std::size_t>(value)] = e;
+        antilog_[static_cast<std::size_t>(e)] = value;
+        value <<= 1;
+        if (value & q_)
+            value ^= static_cast<int>(primitive_poly);
+    }
+    if (value != 1)
+        throw std::invalid_argument{"GaloisField: polynomial is not primitive"};
+}
+
+const GaloisField& GaloisField::standard(int m)
+{
+    // Known primitive polynomials (from standard tables) per degree.
+    static const std::map<int, std::uint32_t> polys = {
+        {2, 0b111},
+        {3, 0b1011},
+        {4, 0b10011},
+        {5, 0b100101},
+        {6, 0b1000011},
+        {7, 0b10001001},
+        {8, 0b100011101},
+        {9, 0b1000010001},
+        {10, 0b10000001001},
+        {11, 0b100000000101},
+        {12, 0b1000001010011},
+        {13, 0b10000000011011},
+        {14, 0b100010001000011},
+        {15, 0b1000000000000011},
+        {16, 0b10001000000001011},
+    };
+    static std::map<int, GaloisField> cache;
+    static std::mutex mutex;
+    std::lock_guard lock{mutex};
+    auto it = cache.find(m);
+    if (it == cache.end()) {
+        const auto poly = polys.find(m);
+        if (poly == polys.end())
+            throw std::invalid_argument{"GaloisField::standard: unsupported m"};
+        it = cache.emplace(m, GaloisField{m, poly->second}).first;
+    }
+    return it->second;
+}
+
+int GaloisField::inv(int a) const
+{
+    if (a == 0)
+        throw std::domain_error{"GaloisField: zero has no inverse"};
+    return antilog_[static_cast<std::size_t>((order() - log_[static_cast<std::size_t>(a)])
+                                             % order())];
+}
+
+int GaloisField::log_alpha(int a) const
+{
+    if (a == 0)
+        throw std::domain_error{"GaloisField: log of zero"};
+    return log_[static_cast<std::size_t>(a)];
+}
+
+std::uint64_t GaloisField::minimal_polynomial(int e) const
+{
+    // Conjugacy class of alpha^e: exponents e, 2e, 4e, ... (mod 2^m - 1).
+    std::set<int> conjugates;
+    long long exp = e % order();
+    while (conjugates.insert(static_cast<int>(exp)).second)
+        exp = (exp * 2) % order();
+
+    // m(x) = prod (x - alpha^c). Coefficients live in GF(2^m) during the
+    // product but collapse to GF(2) at the end.
+    std::vector<int> coeffs{1}; // constant polynomial 1
+    for (const int c : conjugates) {
+        const int root = pow_alpha(c);
+        std::vector<int> next(coeffs.size() + 1, 0);
+        for (std::size_t i = 0; i < coeffs.size(); ++i) {
+            next[i + 1] ^= coeffs[i];              // x * coeff
+            next[i] ^= mul(coeffs[i], root);       // root * coeff
+        }
+        coeffs = std::move(next);
+    }
+
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+        if (coeffs[i] != 0 && coeffs[i] != 1)
+            throw std::logic_error{"minimal_polynomial: coefficients must be binary"};
+        if (coeffs[i] == 1)
+            mask |= 1ULL << i;
+    }
+    return mask;
+}
+
+namespace gf2 {
+
+std::vector<std::uint64_t> poly_mul(const std::vector<std::uint64_t>& a, int deg_a,
+                                    const std::vector<std::uint64_t>& b, int deg_b)
+{
+    std::vector<std::uint64_t> out(static_cast<std::size_t>((deg_a + deg_b) / 64 + 1), 0);
+    for (int i = 0; i <= deg_a; ++i) {
+        if (!get_bit(a, i))
+            continue;
+        // out ^= b << i
+        const int word_shift = i >> 6;
+        const int bit_shift = i & 63;
+        const int b_words = deg_b / 64 + 1;
+        for (int w = 0; w < b_words; ++w) {
+            const std::uint64_t chunk = b[static_cast<std::size_t>(w)];
+            out[static_cast<std::size_t>(w + word_shift)] ^= chunk << bit_shift;
+            if (bit_shift != 0 && static_cast<std::size_t>(w + word_shift + 1) < out.size())
+                out[static_cast<std::size_t>(w + word_shift + 1)] ^= chunk >> (64 - bit_shift);
+        }
+    }
+    return out;
+}
+
+} // namespace gf2
+
+} // namespace amp::dvbs2

@@ -1,0 +1,88 @@
+#pragma once
+// Galois field GF(2^m) arithmetic via log/antilog tables, used by the BCH
+// codec. DVB-S2 short FECFRAMEs use GF(2^14).
+
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class GaloisField {
+public:
+    /// Builds GF(2^m) from a primitive polynomial given as a bitmask with
+    /// the x^m term included (e.g. 0b10011 = x^4 + x + 1). Throws if the
+    /// polynomial is not primitive (the generated powers must enumerate the
+    /// whole multiplicative group).
+    GaloisField(int m, std::uint32_t primitive_poly);
+
+    /// GF(2^m) with a known-good primitive polynomial for m in [2, 16].
+    static const GaloisField& standard(int m);
+
+    [[nodiscard]] int m() const noexcept { return m_; }
+    [[nodiscard]] int size() const noexcept { return q_; }          ///< 2^m
+    [[nodiscard]] int order() const noexcept { return q_ - 1; }     ///< 2^m - 1
+
+    [[nodiscard]] int add(int a, int b) const noexcept { return a ^ b; }
+
+    [[nodiscard]] int mul(int a, int b) const noexcept
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return antilog_[static_cast<std::size_t>((log_[static_cast<std::size_t>(a)]
+                                                  + log_[static_cast<std::size_t>(b)])
+                                                 % order())];
+    }
+
+    [[nodiscard]] int inv(int a) const;
+
+    [[nodiscard]] int div(int a, int b) const { return mul(a, inv(b)); }
+
+    /// alpha^e for any integer exponent (reduced modulo the group order).
+    [[nodiscard]] int pow_alpha(long long e) const noexcept
+    {
+        long long r = e % order();
+        if (r < 0)
+            r += order();
+        return antilog_[static_cast<std::size_t>(r)];
+    }
+
+    /// Discrete log base alpha; element must be nonzero.
+    [[nodiscard]] int log_alpha(int a) const;
+
+    /// Minimal polynomial of alpha^e over GF(2), as a coefficient bitmask
+    /// (bit i = coefficient of x^i).
+    [[nodiscard]] std::uint64_t minimal_polynomial(int e) const;
+
+private:
+    int m_;
+    int q_;
+    std::vector<int> log_;     // log_[element] = exponent, log_[0] unused
+    std::vector<int> antilog_; // antilog_[exponent] = element
+};
+
+/// Polynomials over GF(2) packed in bit vectors (LSB = x^0), helpers for
+/// building BCH generator polynomials of degree up to a few hundred.
+namespace gf2 {
+
+/// Multiplies two GF(2) polynomials given as coefficient bit vectors.
+[[nodiscard]] std::vector<std::uint64_t> poly_mul(const std::vector<std::uint64_t>& a, int deg_a,
+                                                  const std::vector<std::uint64_t>& b, int deg_b);
+
+[[nodiscard]] inline bool get_bit(const std::vector<std::uint64_t>& bits, int i) noexcept
+{
+    return (bits[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& bits, int i, bool value) noexcept
+{
+    const auto word = static_cast<std::size_t>(i >> 6);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+        bits[word] |= mask;
+    else
+        bits[word] &= ~mask;
+}
+
+} // namespace gf2
+
+} // namespace amp::dvbs2

@@ -1,0 +1,187 @@
+#include "dvbs2/fec/ldpc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+LdpcCode::LdpcCode(int n, int k, int info_degree, std::uint64_t seed)
+    : n_(n)
+    , k_(k)
+{
+    const int m = n - k;
+    if (n <= 0 || k <= 0 || m <= 0)
+        throw std::invalid_argument{"LdpcCode: need n > k > 0"};
+    if (info_degree < 2 || info_degree > m)
+        throw std::invalid_argument{"LdpcCode: info_degree out of range"};
+
+    // H1: every information column connects to `info_degree` distinct check
+    // rows. Rows are drawn pseudo-randomly but balanced (round-robin base +
+    // random offset) so that row degrees stay near-uniform, which keeps the
+    // layered decoder's work per row even.
+    std::vector<std::vector<int>> rows(static_cast<std::size_t>(m));
+    Rng rng{seed};
+    for (int col = 0; col < k; ++col) {
+        int picked = 0;
+        std::vector<int> chosen;
+        chosen.reserve(static_cast<std::size_t>(info_degree));
+        while (picked < info_degree) {
+            const int base = static_cast<int>((static_cast<long long>(col) * info_degree + picked)
+                                              % m);
+            const int jitter = static_cast<int>(rng.uniform_int(0, m - 1));
+            const int row = (base + jitter) % m;
+            if (std::find(chosen.begin(), chosen.end(), row) != chosen.end())
+                continue;
+            chosen.push_back(row);
+            rows[static_cast<std::size_t>(row)].push_back(col);
+            ++picked;
+        }
+    }
+
+    info_cols_per_row_.resize(static_cast<std::size_t>(m));
+    for (int r = 0; r < m; ++r)
+        info_cols_per_row_[static_cast<std::size_t>(r)] = rows[static_cast<std::size_t>(r)];
+
+    // H2 (accumulator): check r involves parity bits p_r and p_{r-1}.
+    for (int r = 0; r < m; ++r) {
+        rows[static_cast<std::size_t>(r)].push_back(k + r);
+        if (r > 0)
+            rows[static_cast<std::size_t>(r)].push_back(k + r - 1);
+    }
+
+    row_ptr_.reserve(static_cast<std::size_t>(m) + 1);
+    row_ptr_.push_back(0);
+    for (int r = 0; r < m; ++r) {
+        const auto& row = rows[static_cast<std::size_t>(r)];
+        col_idx_.insert(col_idx_.end(), row.begin(), row.end());
+        row_ptr_.push_back(static_cast<int>(col_idx_.size()));
+    }
+}
+
+const LdpcCode& LdpcCode::dvbs2_short_8_9()
+{
+    static const LdpcCode code{16200, 14400};
+    return code;
+}
+
+const LdpcCode& LdpcCode::dvbs2_normal_8_9()
+{
+    static const LdpcCode code{64800, 57600};
+    return code;
+}
+
+std::vector<std::uint8_t> LdpcCode::encode(const std::vector<std::uint8_t>& message) const
+{
+    if (static_cast<int>(message.size()) != k_)
+        throw std::invalid_argument{"LdpcCode::encode: message must have k bits"};
+
+    std::vector<std::uint8_t> codeword(static_cast<std::size_t>(n_), 0);
+    std::copy(message.begin(), message.end(), codeword.begin());
+
+    // Accumulator: check r states p_r = p_{r-1} + sum of its info bits.
+    std::uint8_t accumulator = 0;
+    for (int r = 0; r < m(); ++r) {
+        std::uint8_t sum = accumulator;
+        for (const int col : info_cols_per_row_[static_cast<std::size_t>(r)])
+            sum ^= message[static_cast<std::size_t>(col)];
+        codeword[static_cast<std::size_t>(k_ + r)] = sum;
+        accumulator = sum;
+    }
+    return codeword;
+}
+
+bool LdpcCode::check(const std::vector<std::uint8_t>& word) const
+{
+    if (static_cast<int>(word.size()) != n_)
+        throw std::invalid_argument{"LdpcCode::check: word must have n bits"};
+    for (std::size_t r = 0; r + 1 < row_ptr_.size(); ++r) {
+        std::uint8_t parity = 0;
+        for (int e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e)
+            parity ^= word[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)])];
+        if (parity != 0)
+            return false;
+    }
+    return true;
+}
+
+LdpcCode::DecodeResult LdpcCode::decode(const std::vector<float>& llr) const
+{
+    return decode(llr, DecodeConfig{});
+}
+
+LdpcCode::DecodeResult LdpcCode::decode(const std::vector<float>& llr,
+                                        const DecodeConfig& config) const
+{
+    if (static_cast<int>(llr.size()) != n_)
+        throw std::invalid_argument{"LdpcCode::decode: llr must have n entries"};
+
+    std::vector<float> posterior = llr;
+    std::vector<float> messages(col_idx_.size(), 0.0F);
+    std::vector<float> q_buffer;
+
+    DecodeResult result;
+    result.bits.assign(static_cast<std::size_t>(n_), 0);
+
+    auto hard_decide = [&] {
+        for (int i = 0; i < n_; ++i)
+            result.bits[static_cast<std::size_t>(i)] =
+                posterior[static_cast<std::size_t>(i)] < 0.0F ? 1 : 0;
+    };
+
+    for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
+        // Horizontal layered pass: each check row immediately updates the
+        // posteriors it touches (faster convergence than flooding).
+        for (std::size_t r = 0; r + 1 < row_ptr_.size(); ++r) {
+            const int begin = row_ptr_[r];
+            const int end = row_ptr_[r + 1];
+            const int degree = end - begin;
+            q_buffer.resize(static_cast<std::size_t>(degree));
+
+            float min1 = std::numeric_limits<float>::max();
+            float min2 = std::numeric_limits<float>::max();
+            int arg_min = -1;
+            std::uint32_t sign_product = 0;
+            for (int e = begin; e < end; ++e) {
+                const int col = col_idx_[static_cast<std::size_t>(e)];
+                const float q = posterior[static_cast<std::size_t>(col)]
+                    - messages[static_cast<std::size_t>(e)];
+                q_buffer[static_cast<std::size_t>(e - begin)] = q;
+                const float magnitude = std::fabs(q);
+                sign_product ^= q < 0.0F ? 1u : 0u;
+                if (magnitude < min1) {
+                    min2 = min1;
+                    min1 = magnitude;
+                    arg_min = e;
+                } else if (magnitude < min2) {
+                    min2 = magnitude;
+                }
+            }
+            for (int e = begin; e < end; ++e) {
+                const float q = q_buffer[static_cast<std::size_t>(e - begin)];
+                const std::uint32_t sign = sign_product ^ (q < 0.0F ? 1u : 0u);
+                const float magnitude = config.normalization * (e == arg_min ? min2 : min1);
+                const float updated = sign != 0 ? -magnitude : magnitude;
+                messages[static_cast<std::size_t>(e)] = updated;
+                posterior[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)])] =
+                    q + updated;
+            }
+        }
+
+        result.iterations = iteration;
+        if (config.early_stop) {
+            hard_decide();
+            if (check(result.bits)) {
+                result.success = true;
+                return result;
+            }
+        }
+    }
+
+    hard_decide();
+    result.success = check(result.bits);
+    return result;
+}
+
+} // namespace amp::dvbs2

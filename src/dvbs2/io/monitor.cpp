@@ -1,0 +1,31 @@
+#include "dvbs2/io/monitor.hpp"
+
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+void Monitor::check(const std::vector<std::uint8_t>& decoded,
+                    const std::vector<std::uint8_t>& reference) const
+{
+    if (decoded.size() != reference.size())
+        throw std::invalid_argument{"Monitor::check: size mismatch"};
+    std::uint64_t errors = 0;
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        errors += (decoded[i] ^ reference[i]) & 1u;
+    counters_->frames_checked.fetch_add(1, std::memory_order_relaxed);
+    counters_->bits_checked.fetch_add(decoded.size(), std::memory_order_relaxed);
+    if (errors != 0) {
+        counters_->frame_errors.fetch_add(1, std::memory_order_relaxed);
+        counters_->bit_errors.fetch_add(errors, std::memory_order_relaxed);
+    }
+}
+
+void BinarySink::send(const std::vector<std::uint8_t>& bits)
+{
+    for (const auto bit : bits) {
+        checksum_ = (checksum_ << 1 | checksum_ >> 63) ^ (bit & 1u);
+        ++bits_;
+    }
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,76 @@
+#pragma once
+// Stream verification endpoints of the chain:
+//   "Source - generate":     regenerates the reference payload for a decoded
+//                            frame from its embedded 64-bit index,
+//   "Monitor - check errors": compares decoded against reference bits and
+//                            accumulates error statistics,
+//   "Sink Binary File - send": accumulates the output stream into a
+//                            checksum (stand-in for the file sink).
+//
+// Monitor counters are shared through an atomic block so that a replicated
+// monitor stage (the task is stateless per frame) stays correct.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct MonitorCounters {
+    std::atomic<std::uint64_t> frames_checked{0};
+    std::atomic<std::uint64_t> frame_errors{0};
+    std::atomic<std::uint64_t> bit_errors{0};
+    std::atomic<std::uint64_t> bits_checked{0};
+    std::atomic<std::uint64_t> frames_skipped{0}; ///< invalid (sync warmup)
+
+    [[nodiscard]] double frame_error_rate() const noexcept
+    {
+        const auto checked = frames_checked.load();
+        return checked == 0 ? 0.0 : static_cast<double>(frame_errors.load()) / checked;
+    }
+    [[nodiscard]] double bit_error_rate() const noexcept
+    {
+        const auto checked = bits_checked.load();
+        return checked == 0 ? 0.0 : static_cast<double>(bit_errors.load()) / checked;
+    }
+};
+
+class Monitor {
+public:
+    explicit Monitor(std::shared_ptr<MonitorCounters> counters)
+        : counters_(std::move(counters))
+    {
+    }
+
+    /// Compares one decoded payload against its reference (equal lengths).
+    /// Const: only the shared atomic counters are mutated.
+    void check(const std::vector<std::uint8_t>& decoded,
+               const std::vector<std::uint8_t>& reference) const;
+
+    void skip() const { counters_->frames_skipped.fetch_add(1, std::memory_order_relaxed); }
+
+    [[nodiscard]] const std::shared_ptr<MonitorCounters>& counters() const noexcept
+    {
+        return counters_;
+    }
+
+private:
+    std::shared_ptr<MonitorCounters> counters_;
+};
+
+/// Order-insensitive checksum sink (the binary-file stand-in): XOR-rotate
+/// over payload bytes plus a running bit count.
+class BinarySink {
+public:
+    void send(const std::vector<std::uint8_t>& bits);
+
+    [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+    [[nodiscard]] std::uint64_t bits_received() const noexcept { return bits_; }
+
+private:
+    std::uint64_t checksum_ = 0;
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace amp::dvbs2

@@ -1,0 +1,26 @@
+#include "dvbs2/io/radio.hpp"
+
+namespace amp::dvbs2 {
+
+Radio::Radio(FrameParams params, ChannelConfig channel, std::uint64_t data_seed)
+    : params_(params)
+    , data_seed_(data_seed)
+    , transmitter_(params, data_seed)
+    , channel_(channel)
+{
+}
+
+std::vector<std::complex<float>> Radio::receive(int frames)
+{
+    std::vector<std::complex<float>> chunk;
+    chunk.reserve(static_cast<std::size_t>(frames)
+                  * static_cast<std::size_t>(params_.plframe_samples()));
+    for (int f = 0; f < frames; ++f) {
+        const auto clean = transmitter_.next_frame_samples();
+        const auto impaired = channel_.apply(clean);
+        chunk.insert(chunk.end(), impaired.begin(), impaired.end());
+    }
+    return chunk;
+}
+
+} // namespace amp::dvbs2

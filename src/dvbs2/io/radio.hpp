@@ -1,0 +1,34 @@
+#pragma once
+// Radio front-end ("Radio - receive"): replays the channel-impaired sample
+// stream of the embedded transmitter. Each receive() call returns the next
+// contiguous chunk of the stream (one PLFRAME's worth of samples per
+// requested frame). Stateful: the stream cursor, shaping filter, channel
+// phase and noise generator all persist.
+
+#include "dvbs2/params.hpp"
+#include "dvbs2/tx/channel.hpp"
+#include "dvbs2/tx/transmitter.hpp"
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class Radio {
+public:
+    Radio(FrameParams params, ChannelConfig channel = {}, std::uint64_t data_seed = 0xdada);
+
+    /// The next `frames` PLFRAMEs of impaired samples (generated lazily).
+    [[nodiscard]] std::vector<std::complex<float>> receive(int frames);
+
+    [[nodiscard]] const FrameParams& params() const noexcept { return params_; }
+    [[nodiscard]] std::uint64_t data_seed() const noexcept { return data_seed_; }
+
+private:
+    FrameParams params_;
+    std::uint64_t data_seed_;
+    Transmitter transmitter_;
+    Channel channel_;
+};
+
+} // namespace amp::dvbs2

@@ -1,0 +1,34 @@
+#include "dvbs2/modcod.hpp"
+
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+const std::vector<ModCod>& supported_modcods()
+{
+    static const std::vector<ModCod> modcods = [] {
+        std::vector<ModCod> list;
+        list.push_back(ModCod{2, "qpsk-8/9-short", Modulation::qpsk, FrameSize::short_frame,
+                              &BchCode::dvbs2_short_8_9(), &LdpcCode::dvbs2_short_8_9()});
+        list.push_back(ModCod{2 | 0x80, "qpsk-8/9-normal", Modulation::qpsk,
+                              FrameSize::normal_frame, &BchCode::dvbs2_normal_8_9(),
+                              &LdpcCode::dvbs2_normal_8_9()});
+        list.push_back(ModCod{17, "8psk-8/9-short", Modulation::psk8, FrameSize::short_frame,
+                              &BchCode::dvbs2_short_8_9(), &LdpcCode::dvbs2_short_8_9()});
+        list.push_back(ModCod{23, "16apsk-8/9-short", Modulation::apsk16,
+                              FrameSize::short_frame, &BchCode::dvbs2_short_8_9(),
+                              &LdpcCode::dvbs2_short_8_9()});
+        return list;
+    }();
+    return modcods;
+}
+
+const ModCod& modcod_by_name(const std::string& name)
+{
+    for (const auto& modcod : supported_modcods())
+        if (modcod.name == name)
+            return modcod;
+    throw std::invalid_argument{"unknown MODCOD: " + name};
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,45 @@
+#pragma once
+// MODCOD registry: the modulation/coding combinations this library
+// implements, following the structure of ETSI EN 302 307 Table 12. The
+// paper's evaluated configuration is MODCOD 2-style QPSK rate 8/9 on short
+// frames; the others generalize the transceiver substrate.
+
+#include "dvbs2/common/psk.hpp"
+#include "dvbs2/fec/bch.hpp"
+#include "dvbs2/fec/ldpc.hpp"
+
+#include <string>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+enum class FrameSize : std::uint8_t { short_frame, normal_frame };
+
+struct ModCod {
+    int id = 0;
+    std::string name;
+    Modulation modulation = Modulation::qpsk;
+    FrameSize frame_size = FrameSize::short_frame;
+    const BchCode* bch = nullptr;
+    const LdpcCode* ldpc = nullptr;
+
+    [[nodiscard]] int n_ldpc() const { return ldpc->n(); }
+    [[nodiscard]] int k_bch() const { return bch->k(); }
+    [[nodiscard]] int symbols_per_frame() const
+    {
+        return n_ldpc() / bits_per_symbol(modulation);
+    }
+    /// Spectral efficiency in information bits per symbol.
+    [[nodiscard]] double efficiency() const
+    {
+        return static_cast<double>(k_bch()) / symbols_per_frame();
+    }
+};
+
+/// The MODCODs this library ships. Index 0 is the paper's configuration.
+[[nodiscard]] const std::vector<ModCod>& supported_modcods();
+
+/// Lookup by name ("qpsk-8/9-short", ...); throws on unknown names.
+[[nodiscard]] const ModCod& modcod_by_name(const std::string& name);
+
+} // namespace amp::dvbs2

@@ -1,0 +1,61 @@
+#pragma once
+// Frame parameters of the evaluated DVB-S2 configuration (paper §VI-A2):
+// transmission phase, short FECFRAME, K = 14232, rate 8/9, MODCOD 2 (QPSK),
+// interframe level in {4, 8}.
+
+#include <cstdint>
+
+namespace amp::dvbs2 {
+
+struct FrameParams {
+    int n_ldpc = 16200;        ///< coded bits per FECFRAME (short frame)
+    int k_ldpc = 14400;        ///< LDPC information bits (= N_bch)
+    int k_bch = 14232;         ///< BCH information bits (the payload K)
+    int bits_per_symbol = 2;   ///< QPSK (MODCOD 2)
+    int sof_symbols = 26;      ///< start-of-frame field of the PLHEADER
+    int plsc_symbols = 64;     ///< PLS-code field of the PLHEADER
+    int samples_per_symbol = 2;
+    int interframe = 4;        ///< frames fused per pipeline traversal
+    int pilot_block_symbols = 36;   ///< pilots per pilot block (pilots on)
+    int payload_per_pilot_block = 1440; ///< 16 slots between pilot blocks
+
+    [[nodiscard]] constexpr int xfec_symbols() const noexcept
+    {
+        return n_ldpc / bits_per_symbol; // 8100 for QPSK short frames
+    }
+    [[nodiscard]] constexpr int header_symbols() const noexcept
+    {
+        return sof_symbols + plsc_symbols; // 90
+    }
+    [[nodiscard]] constexpr int pilot_block_count() const noexcept
+    {
+        const int sections = xfec_symbols() / payload_per_pilot_block;
+        return xfec_symbols() % payload_per_pilot_block == 0 ? sections - 1 : sections;
+    }
+    [[nodiscard]] constexpr int pilot_symbols() const noexcept
+    {
+        return pilot_block_count() * pilot_block_symbols; // 180
+    }
+    [[nodiscard]] constexpr int plframe_symbols() const noexcept
+    {
+        return header_symbols() + xfec_symbols() + pilot_symbols(); // 8370
+    }
+    [[nodiscard]] constexpr int plframe_samples() const noexcept
+    {
+        return plframe_symbols() * samples_per_symbol; // 16740
+    }
+};
+
+/// Information throughput helpers used by the evaluation (Table II):
+/// FPS = interframe * 1e6 / period_us, Mb/s = FPS * K / 1e6.
+[[nodiscard]] constexpr double fps_from_period_us(double period_us, int interframe) noexcept
+{
+    return period_us > 0.0 ? static_cast<double>(interframe) * 1e6 / period_us : 0.0;
+}
+
+[[nodiscard]] constexpr double mbps_from_fps(double fps, int k_bch) noexcept
+{
+    return fps * static_cast<double>(k_bch) / 1e6;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,95 @@
+#include "dvbs2/profiles.hpp"
+
+namespace amp::dvbs2 {
+
+const std::array<const char*, 23>& receiver_task_names()
+{
+    static const std::array<const char*, 23> names = {
+        "Radio - receive",
+        "Multiplier AGC - imultiply",
+        "Sync. Freq. Coarse - synchronize",
+        "Filter Matched - filter (part 1)",
+        "Filter Matched - filter (part 2)",
+        "Sync. Timing - synchronize",
+        "Sync. Timing - extract",
+        "Multiplier AGC - imultiply",
+        "Sync. Frame - synchronize (part 1)",
+        "Sync. Frame - synchronize (part 2)",
+        "Scrambler Symbol - descramble",
+        "Sync. Freq. Fine L&R - synchronize",
+        "Sync. Freq. Fine P/F - synchronize",
+        "Framer PLH - remove",
+        "Noise Estimator - estimate",
+        "Modem QPSK - demodulate",
+        "Interleaver - deinterleave",
+        "Decoder LDPC - decode SIHO",
+        "Decoder BCH - decode HIHO",
+        "Scrambler Binary - descramble",
+        "Sink Binary File - send",
+        "Source - generate",
+        "Monitor - check errors",
+    };
+    return names;
+}
+
+const std::array<bool, 23>& receiver_task_replicable()
+{
+    static const std::array<bool, 23> replicable = {
+        false, false, false, false, false, false, false, false, false, false,
+        true,  false, true,  true,  true,  true,  true,  true,  true,  true,
+        false, false, true,
+    };
+    return replicable;
+}
+
+const PlatformProfile& mac_studio_profile()
+{
+    static const PlatformProfile profile = {
+        "Mac Studio",
+        4,
+        {52.3, 75.2, 96.4, 318.9, 315.1, 950.6, 55.5, 37.1, 361.0, 52.9, 16.0, 50.5, 99.2,
+         23.4, 40.5, 2257.5, 21.1, 153.2, 3339.9, 191.7, 9.5, 4.0, 9.5},
+        {248.3, 149.9, 496.6, 902.9, 883.2, 1468.9, 106.0, 75.4, 1064.7, 169.1, 61.0, 247.1,
+         597.8, 65.1, 65.4, 4838.6, 58.4, 506.7, 7303.5, 464.9, 33.3, 13.6, 21.0},
+        core::Resources{16, 4},
+        core::Resources{8, 2},
+    };
+    return profile;
+}
+
+const PlatformProfile& x7ti_profile()
+{
+    static const PlatformProfile profile = {
+        "X7 Ti",
+        8,
+        {131.7, 138.3, 113.7, 334.8, 329.3, 1341.9, 58.7, 63.5, 365.9, 81.1, 25.1, 54.3,
+         253.8, 47.4, 32.4, 2123.1, 29.3, 239.7, 6209.0, 559.0, 34.6, 16.9, 9.2},
+        {133.2, 318.1, 429.0, 711.9, 712.6, 2387.1, 135.1, 157.4, 848.1, 197.9, 65.9, 203.2,
+         356.2, 87.7, 65.4, 5742.4, 47.6, 1024.4, 8166.2, 621.8, 75.6, 23.4, 20.5},
+        core::Resources{6, 8},
+        core::Resources{3, 4},
+    };
+    return profile;
+}
+
+core::TaskChain profile_chain(const PlatformProfile& profile)
+{
+    const auto& names = receiver_task_names();
+    const auto& replicable = receiver_task_replicable();
+    std::vector<core::TaskDesc> tasks;
+    tasks.reserve(23);
+    for (std::size_t i = 0; i < 23; ++i)
+        tasks.push_back(core::TaskDesc{names[i], profile.big_us[i], profile.little_us[i],
+                                       replicable[i]});
+    return core::TaskChain{std::move(tasks)};
+}
+
+std::vector<double> little_slowdown_factors(const PlatformProfile& profile)
+{
+    std::vector<double> factors(23);
+    for (std::size_t i = 0; i < 23; ++i)
+        factors[i] = profile.little_us[i] / profile.big_us[i];
+    return factors;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,40 @@
+#pragma once
+// Embedded task-latency profiles of the paper's Table III: the average
+// per-task latency (microseconds) of the DVB-S2 receiver on the two
+// evaluated platforms. These drive the Table II schedule reproduction on
+// machines without asymmetric cores, and calibrate the core emulator.
+
+#include "core/chain.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct PlatformProfile {
+    std::string name;
+    int interframe;                   ///< frames fused per traversal
+    std::array<double, 23> big_us;    ///< w^B per task (Table III order)
+    std::array<double, 23> little_us; ///< w^L per task
+    core::Resources cores_full;       ///< all cores configuration
+    core::Resources cores_half;       ///< half cores configuration
+};
+
+/// Apple M1 Ultra "Mac Studio": 16 big + 4 little, interframe 4.
+[[nodiscard]] const PlatformProfile& mac_studio_profile();
+
+/// Intel Ultra 9 185H "X7 Ti": 6 big + 8 little, interframe 8.
+[[nodiscard]] const PlatformProfile& x7ti_profile();
+
+/// Task names and replicability flags of the receiver chain (Table III).
+[[nodiscard]] const std::array<const char*, 23>& receiver_task_names();
+[[nodiscard]] const std::array<bool, 23>& receiver_task_replicable();
+
+/// Builds the scheduler chain for a profile.
+[[nodiscard]] core::TaskChain profile_chain(const PlatformProfile& profile);
+
+/// Little/big latency ratios per task (for the runtime core emulator).
+[[nodiscard]] std::vector<double> little_slowdown_factors(const PlatformProfile& profile);
+
+} // namespace amp::dvbs2

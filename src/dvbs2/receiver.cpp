@@ -1,0 +1,385 @@
+#include "dvbs2/receiver.hpp"
+
+#include "dvbs2/common/bb_scrambler.hpp"
+#include "dvbs2/common/interleaver.hpp"
+#include "dvbs2/common/pl_scrambler.hpp"
+#include "dvbs2/common/plh_framer.hpp"
+#include "dvbs2/common/pilots.hpp"
+#include "dvbs2/common/qpsk.hpp"
+#include "dvbs2/common/rrc_filter.hpp"
+#include "dvbs2/fec/bch.hpp"
+#include "dvbs2/fec/ldpc.hpp"
+#include "dvbs2/rx/agc.hpp"
+#include "dvbs2/rx/frame_sync.hpp"
+#include "dvbs2/rx/freq_coarse.hpp"
+#include "dvbs2/rx/freq_fine.hpp"
+#include "dvbs2/rx/noise_estimator.hpp"
+#include "dvbs2/rx/timing.hpp"
+#include "dvbs2/tx/transmitter.hpp"
+
+#include <algorithm>
+
+namespace amp::dvbs2 {
+
+namespace {
+
+using rt::make_task;
+
+constexpr float kRolloff = 0.2F;
+constexpr int kRrcSpan = 8;
+
+} // namespace
+
+ReceiverChain build_receiver_chain(const ReceiverConfig& config)
+{
+    const FrameParams& p = config.params;
+    const PilotLayout layout{p.xfec_symbols(), p.pilot_block_symbols,
+                             p.payload_per_pilot_block};
+    const int interframe = p.interframe;
+    const int plframe = p.plframe_symbols();
+
+    ReceiverChain chain;
+    chain.counters = std::make_shared<MonitorCounters>();
+    chain.sink = std::make_shared<BinarySink>();
+    auto& seq = chain.sequence;
+
+    // tau_1: Radio - receive (sequential).
+    {
+        auto radio = std::make_shared<Radio>(p, config.channel, config.data_seed);
+        seq.push_back(make_task<DvbFrame>(
+            "Radio - receive", true,
+            [radio, interframe](DvbFrame& f) { f.samples = radio->receive(interframe); }));
+    }
+
+    // tau_2: Multiplier AGC - imultiply (sequential: running power estimate).
+    {
+        auto agc = std::make_shared<Agc>(1.0F);
+        seq.push_back(make_task<DvbFrame>("Multiplier AGC - imultiply", true,
+                                          [agc](DvbFrame& f) { agc->apply(f.samples); }));
+    }
+
+    // tau_3: Sync. Freq. Coarse - synchronize (sequential: NCO state).
+    {
+        auto coarse = std::make_shared<CoarseFreqSync>();
+        seq.push_back(make_task<DvbFrame>("Sync. Freq. Coarse - synchronize", true,
+                                          [coarse](DvbFrame& f) {
+                                              coarse->synchronize(f.samples);
+                                          }));
+    }
+
+    // tau_4 / tau_5: Filter Matched - filter parts 1 and 2 (sequential:
+    // streaming delay lines). They share a SplitFir whose two halves hold
+    // disjoint state, so the two pipeline stages never race.
+    {
+        auto split = std::make_shared<SplitFir>(rrc_taps(kRolloff, p.samples_per_symbol,
+                                                         kRrcSpan));
+        seq.push_back(make_task<DvbFrame>("Filter Matched - filter (part 1)", true,
+                                          [split](DvbFrame& f) {
+                                              f.filtered = split->part1(f.samples);
+                                          }));
+        seq.push_back(make_task<DvbFrame>("Filter Matched - filter (part 2)", true,
+                                          [split](DvbFrame& f) {
+                                              f.filtered = split->part2(f.samples,
+                                                                        std::move(f.filtered));
+                                              f.samples.clear();
+                                          }));
+    }
+
+    // tau_6 / tau_7: Sync. Timing - synchronize / extract (sequential).
+    {
+        auto timing = std::make_shared<TimingSync>();
+        seq.push_back(make_task<DvbFrame>("Sync. Timing - synchronize", true,
+                                          [timing](DvbFrame& f) {
+                                              auto out = timing->synchronize(f.filtered);
+                                              f.interpolated = std::move(out.interpolated);
+                                              f.strobes = std::move(out.strobes);
+                                              f.filtered.clear();
+                                          }));
+        auto extractor = std::make_shared<SymbolExtractor>();
+        seq.push_back(make_task<DvbFrame>(
+            "Sync. Timing - extract", true, [extractor](DvbFrame& f) {
+                TimingSync::Output view;
+                view.interpolated = std::move(f.interpolated);
+                view.strobes = std::move(f.strobes);
+                f.symbols = extractor->extract(view);
+                f.interpolated.clear();
+                f.strobes.clear();
+            }));
+    }
+
+    // tau_8: Multiplier AGC - imultiply (symbol-level gain, sequential).
+    {
+        auto agc = std::make_shared<Agc>(1.0F);
+        seq.push_back(make_task<DvbFrame>("Multiplier AGC - imultiply (2)", true,
+                                          [agc](DvbFrame& f) { agc->apply(f.symbols); }));
+    }
+
+    // tau_9 / tau_10: Sync. Frame - synchronize parts 1 and 2 (sequential).
+    {
+        auto correlator = std::make_shared<FrameSyncCorrelator>(plframe, interframe);
+        seq.push_back(make_task<DvbFrame>(
+            "Sync. Frame - synchronize (part 1)", true, [correlator](DvbFrame& f) {
+                auto window = correlator->process(f.symbols);
+                f.sync_ready = window.ready;
+                f.window = std::move(window.window);
+                f.correlation = std::move(window.correlation);
+                f.symbols.clear();
+            }));
+        auto aligner = std::make_shared<FrameAligner>(plframe, interframe);
+        seq.push_back(make_task<DvbFrame>(
+            "Sync. Frame - synchronize (part 2)", true, [aligner](DvbFrame& f) {
+                FrameSyncWindow window;
+                window.ready = f.sync_ready;
+                window.window = std::move(f.window);
+                window.correlation = std::move(f.correlation);
+                auto aligned = aligner->align(window);
+                f.valid = aligned.valid;
+                f.aligned = std::move(aligned.frames);
+                f.window.clear();
+                f.correlation.clear();
+            }));
+    }
+
+    // tau_11: Scrambler Symbol - descramble (replicable).
+    {
+        const int header = p.header_symbols();
+        seq.push_back(make_task<DvbFrame>(
+            "Scrambler Symbol - descramble", false, [plframe, header](DvbFrame& f) {
+                if (!f.valid)
+                    return;
+                for (std::size_t start = 0; start + static_cast<std::size_t>(plframe)
+                     <= f.aligned.size();
+                     start += static_cast<std::size_t>(plframe)) {
+                    std::vector<std::complex<float>> body(
+                        f.aligned.begin() + static_cast<std::ptrdiff_t>(start) + header,
+                        f.aligned.begin() + static_cast<std::ptrdiff_t>(start) + plframe);
+                    PlScrambler::descramble(body);
+                    std::copy(body.begin(), body.end(),
+                              f.aligned.begin() + static_cast<std::ptrdiff_t>(start) + header);
+                }
+            }));
+    }
+
+    // tau_12: Sync. Freq. Fine L&R - synchronize (sequential: tracked CFO).
+    {
+        auto lr = std::make_shared<FineFreqLr>(plframe);
+        seq.push_back(make_task<DvbFrame>("Sync. Freq. Fine L&R - synchronize", true,
+                                          [lr](DvbFrame& f) {
+                                              if (f.valid)
+                                                  lr->synchronize(f.aligned);
+                                          }));
+    }
+
+    // tau_13: Sync. Freq. Fine P/F - synchronize (replicable, pilot-aided).
+    {
+        const FineFreqPf pf{plframe, layout};
+        seq.push_back(make_task<DvbFrame>("Sync. Freq. Fine P/F - synchronize", false,
+                                          [pf](DvbFrame& f) {
+                                              if (f.valid)
+                                                  f.aligned = pf.synchronize(f.aligned);
+                                          }));
+    }
+
+    // tau_14: Framer PLH - remove (replicable).
+    {
+        const int header = p.header_symbols();
+        const int frame_no_pilots = p.header_symbols() + p.xfec_symbols();
+        seq.push_back(make_task<DvbFrame>(
+            "Framer PLH - remove", false, [header, frame_no_pilots](DvbFrame& f) {
+                if (!f.valid)
+                    return;
+                std::vector<std::complex<float>> payload;
+                payload.reserve(f.aligned.size());
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(frame_no_pilots) <= f.aligned.size();
+                     start += static_cast<std::size_t>(frame_no_pilots)) {
+                    payload.insert(payload.end(),
+                                   f.aligned.begin() + static_cast<std::ptrdiff_t>(start)
+                                       + header,
+                                   f.aligned.begin() + static_cast<std::ptrdiff_t>(start)
+                                       + frame_no_pilots);
+                }
+                f.aligned = std::move(payload);
+            }));
+    }
+
+    // tau_15: Noise Estimator - estimate (replicable).
+    seq.push_back(make_task<DvbFrame>("Noise Estimator - estimate", false, [](DvbFrame& f) {
+        if (f.valid)
+            f.sigma2 = NoiseEstimator::estimate(f.aligned).sigma2;
+    }));
+
+    // tau_16: Modem QPSK - demodulate (replicable).
+    seq.push_back(make_task<DvbFrame>("Modem QPSK - demodulate", false, [](DvbFrame& f) {
+        if (!f.valid)
+            return;
+        f.llrs = QpskModem::demodulate(f.aligned, f.sigma2);
+        f.aligned.clear();
+    }));
+
+    // tau_17: Interleaver - deinterleave (replicable).
+    {
+        const BlockInterleaver interleaver{p.bits_per_symbol};
+        const int n_ldpc = p.n_ldpc;
+        seq.push_back(make_task<DvbFrame>(
+            "Interleaver - deinterleave", false, [interleaver, n_ldpc](DvbFrame& f) {
+                if (!f.valid)
+                    return;
+                std::vector<float> out;
+                out.reserve(f.llrs.size());
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(n_ldpc) <= f.llrs.size();
+                     start += static_cast<std::size_t>(n_ldpc)) {
+                    const std::vector<float> block(
+                        f.llrs.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.llrs.begin() + static_cast<std::ptrdiff_t>(start) + n_ldpc);
+                    const auto restored = interleaver.deinterleave(block);
+                    out.insert(out.end(), restored.begin(), restored.end());
+                }
+                f.llrs = std::move(out);
+            }));
+    }
+
+    // tau_18: Decoder LDPC - decode SIHO (replicable).
+    {
+        const LdpcCode::DecodeConfig decode_config{config.ldpc.max_iterations,
+                                                   config.ldpc.normalization,
+                                                   config.ldpc.early_stop};
+        const int n_ldpc = p.n_ldpc;
+        const int k_ldpc = p.k_ldpc;
+        seq.push_back(make_task<DvbFrame>(
+            "Decoder LDPC - decode SIHO", false, [decode_config, n_ldpc, k_ldpc](DvbFrame& f) {
+                if (!f.valid)
+                    return;
+                const auto& code = LdpcCode::dvbs2_short_8_9();
+                std::vector<std::uint8_t> decoded;
+                decoded.reserve(f.llrs.size() / static_cast<std::size_t>(n_ldpc)
+                                * static_cast<std::size_t>(k_ldpc));
+                f.fec_ok = true;
+                f.ldpc_iterations = 0;
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(n_ldpc) <= f.llrs.size();
+                     start += static_cast<std::size_t>(n_ldpc)) {
+                    const std::vector<float> block(
+                        f.llrs.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.llrs.begin() + static_cast<std::ptrdiff_t>(start) + n_ldpc);
+                    auto result = code.decode(block, decode_config);
+                    f.fec_ok &= result.success;
+                    f.ldpc_iterations += result.iterations;
+                    decoded.insert(decoded.end(), result.bits.begin(),
+                                   result.bits.begin() + k_ldpc);
+                }
+                f.bits = std::move(decoded);
+                f.llrs.clear();
+            }));
+    }
+
+    // tau_19: Decoder BCH - decode HIHO (replicable).
+    {
+        const int k_ldpc = p.k_ldpc;
+        const int k_bch = p.k_bch;
+        seq.push_back(make_task<DvbFrame>(
+            "Decoder BCH - decode HIHO", false, [k_ldpc, k_bch](DvbFrame& f) {
+                if (!f.valid)
+                    return;
+                const auto& code = BchCode::dvbs2_short_8_9();
+                std::vector<std::uint8_t> decoded;
+                decoded.reserve(f.bits.size() / static_cast<std::size_t>(k_ldpc)
+                                * static_cast<std::size_t>(k_bch));
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(k_ldpc) <= f.bits.size();
+                     start += static_cast<std::size_t>(k_ldpc)) {
+                    std::vector<std::uint8_t> block(
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start) + k_ldpc);
+                    auto result = code.decode(std::move(block));
+                    f.fec_ok &= result.success;
+                    decoded.insert(decoded.end(), result.message.begin(), result.message.end());
+                }
+                f.bits = std::move(decoded);
+            }));
+    }
+
+    // tau_20: Scrambler Binary - descramble (replicable).
+    {
+        const int k_bch = p.k_bch;
+        seq.push_back(make_task<DvbFrame>(
+            "Scrambler Binary - descramble", false, [k_bch](DvbFrame& f) {
+                if (!f.valid)
+                    return;
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(k_bch) <= f.bits.size();
+                     start += static_cast<std::size_t>(k_bch)) {
+                    std::vector<std::uint8_t> block(
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start) + k_bch);
+                    BbScrambler::scramble(block);
+                    std::copy(block.begin(), block.end(),
+                              f.bits.begin() + static_cast<std::ptrdiff_t>(start));
+                }
+            }));
+    }
+
+    // tau_21: Sink Binary File - send (sequential).
+    {
+        auto sink = chain.sink;
+        seq.push_back(make_task<DvbFrame>("Sink Binary File - send", true,
+                                          [sink](DvbFrame& f) {
+                                              if (f.valid)
+                                                  sink->send(f.bits);
+                                          }));
+    }
+
+    // tau_22: Source - generate (sequential per the paper's flag; the
+    // reference is regenerated from each decoded frame's embedded index).
+    {
+        const int k_bch = p.k_bch;
+        const std::uint64_t seed = config.data_seed;
+        seq.push_back(make_task<DvbFrame>(
+            "Source - generate", true, [k_bch, seed](DvbFrame& f) {
+                f.reference_bits.clear();
+                if (!f.valid)
+                    return;
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(k_bch) <= f.bits.size();
+                     start += static_cast<std::size_t>(k_bch)) {
+                    const std::vector<std::uint8_t> block(
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start) + k_bch);
+                    const auto reference =
+                        reference_payload(k_bch, seed, extract_frame_index(block));
+                    f.reference_bits.insert(f.reference_bits.end(), reference.begin(),
+                                            reference.end());
+                }
+            }));
+    }
+
+    // tau_23: Monitor - check errors (replicable, shared atomic counters).
+    {
+        const int k_bch = p.k_bch;
+        const Monitor monitor{chain.counters};
+        seq.push_back(make_task<DvbFrame>(
+            "Monitor - check errors", false, [k_bch, monitor](DvbFrame& f) mutable {
+                if (!f.valid || f.bits.size() != f.reference_bits.size()
+                    || f.bits.empty()) {
+                    monitor.skip();
+                    return;
+                }
+                for (std::size_t start = 0;
+                     start + static_cast<std::size_t>(k_bch) <= f.bits.size();
+                     start += static_cast<std::size_t>(k_bch)) {
+                    const std::vector<std::uint8_t> decoded(
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.bits.begin() + static_cast<std::ptrdiff_t>(start) + k_bch);
+                    const std::vector<std::uint8_t> reference(
+                        f.reference_bits.begin() + static_cast<std::ptrdiff_t>(start),
+                        f.reference_bits.begin() + static_cast<std::ptrdiff_t>(start) + k_bch);
+                    monitor.check(decoded, reference);
+                }
+            }));
+    }
+
+    return chain;
+}
+
+} // namespace amp::dvbs2

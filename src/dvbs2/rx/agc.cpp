@@ -1,0 +1,35 @@
+#include "dvbs2/rx/agc.hpp"
+
+#include <cmath>
+
+namespace amp::dvbs2 {
+
+Agc::Agc(float target_rms, float smoothing)
+    : target_rms_(target_rms)
+    , smoothing_(smoothing)
+{
+}
+
+void Agc::apply(std::vector<std::complex<float>>& samples)
+{
+    if (samples.empty())
+        return;
+    double power = 0.0;
+    for (const auto& sample : samples)
+        power += static_cast<double>(std::norm(sample));
+    power /= static_cast<double>(samples.size());
+
+    if (!primed_) {
+        power_estimate_ = static_cast<float>(power);
+        primed_ = true;
+    } else {
+        power_estimate_ += smoothing_ * (static_cast<float>(power) - power_estimate_);
+    }
+    if (power_estimate_ > 0.0F)
+        gain_ = target_rms_ / std::sqrt(power_estimate_);
+
+    for (auto& sample : samples)
+        sample *= gain_;
+}
+
+} // namespace amp::dvbs2

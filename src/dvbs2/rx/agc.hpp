@@ -1,0 +1,28 @@
+#pragma once
+// Automatic gain control ("Multiplier AGC - imultiply" in the paper's
+// chain): tracks the input RMS with a first-order IIR estimator and scales
+// the block towards the target RMS. Stateful (the power estimate persists).
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class Agc {
+public:
+    explicit Agc(float target_rms = 1.0F, float smoothing = 0.1F);
+
+    /// Scales `samples` in place; updates the running power estimate.
+    void apply(std::vector<std::complex<float>>& samples);
+
+    [[nodiscard]] float gain() const noexcept { return gain_; }
+
+private:
+    float target_rms_;
+    float smoothing_;
+    float power_estimate_ = 1.0F;
+    float gain_ = 1.0F;
+    bool primed_ = false;
+};
+
+} // namespace amp::dvbs2

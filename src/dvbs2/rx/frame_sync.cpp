@@ -1,0 +1,92 @@
+#include "dvbs2/rx/frame_sync.hpp"
+
+#include "dvbs2/common/plh_framer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+FrameSyncCorrelator::FrameSyncCorrelator(int frame_symbols, int interframe)
+    : frame_symbols_(frame_symbols)
+    , interframe_(interframe)
+{
+    if (frame_symbols < PlhFramer::kSofBits + 1 || interframe < 1)
+        throw std::invalid_argument{"FrameSyncCorrelator: bad geometry"};
+    const auto& sof = PlhFramer::sof_symbols();
+    sof_diff_.reserve(sof.size() - 1);
+    for (std::size_t j = 1; j < sof.size(); ++j)
+        sof_diff_.push_back(sof[j] * std::conj(sof[j - 1]));
+}
+
+FrameSyncWindow FrameSyncCorrelator::process(const std::vector<std::complex<float>>& symbols)
+{
+    buffer_.insert(buffer_.end(), symbols.begin(), symbols.end());
+
+    FrameSyncWindow result;
+    const auto window_size = static_cast<std::size_t>((interframe_ + 1) * frame_symbols_);
+    if (buffer_.size() < window_size)
+        return result;
+
+    result.ready = true;
+    result.window.assign(buffer_.begin(),
+                         buffer_.begin() + static_cast<std::ptrdiff_t>(window_size));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin()
+                      + static_cast<std::ptrdiff_t>(interframe_) * frame_symbols_);
+
+    // Differential correlation of every candidate offset with the SOF.
+    result.correlation.resize(static_cast<std::size_t>(frame_symbols_));
+    for (int d = 0; d < frame_symbols_; ++d) {
+        std::complex<float> acc{0.0F, 0.0F};
+        for (std::size_t j = 0; j < sof_diff_.size(); ++j) {
+            const auto& a = result.window[static_cast<std::size_t>(d) + j + 1];
+            const auto& b = result.window[static_cast<std::size_t>(d) + j];
+            acc += a * std::conj(b) * std::conj(sof_diff_[j]);
+        }
+        result.correlation[static_cast<std::size_t>(d)] = std::abs(acc);
+    }
+    return result;
+}
+
+FrameAligner::FrameAligner(int frame_symbols, int interframe, int warmup_windows)
+    : frame_symbols_(frame_symbols)
+    , interframe_(interframe)
+    , warmup_windows_(warmup_windows)
+{
+}
+
+AlignedFrames FrameAligner::align(const FrameSyncWindow& input)
+{
+    AlignedFrames result;
+    if (!input.ready)
+        return result;
+
+    const auto peak = std::max_element(input.correlation.begin(), input.correlation.end());
+    int offset = static_cast<int>(peak - input.correlation.begin());
+    if (locked_) {
+        // Hysteresis: keep the lock while its correlation stays close to
+        // the instantaneous peak (avoids jitter between adjacent frames).
+        const float at_lock = input.correlation[static_cast<std::size_t>(locked_offset_)];
+        if (at_lock >= 0.9F * *peak)
+            offset = locked_offset_;
+    }
+    locked_ = true;
+    locked_offset_ = offset;
+    if (windows_seen_ < warmup_windows_) {
+        ++windows_seen_;
+        return result; // acquisition: upstream loops are still converging
+    }
+
+    result.valid = true;
+    result.offset = offset;
+    result.frames.reserve(static_cast<std::size_t>(interframe_ * frame_symbols_));
+    for (int f = 0; f < interframe_; ++f) {
+        const auto begin = input.window.begin() + offset
+            + static_cast<std::ptrdiff_t>(f) * frame_symbols_;
+        result.frames.insert(result.frames.end(), begin, begin + frame_symbols_);
+    }
+    return result;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,71 @@
+#pragma once
+// PLFRAME synchronization ("Sync. Frame") via differential correlation with
+// the known SOF pattern -- robust to residual carrier offsets because the
+// differential products only rotate by a constant phase.
+//
+// The paper's two tasks:
+//   tau_9  "synchronize (part 1)": buffers the symbol stream and computes
+//          the correlation magnitude for every candidate offset (heavy),
+//   tau_10 "synchronize (part 2)": picks the peak with lock hysteresis and
+//          extracts the aligned PLFRAMEs (light).
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct FrameSyncWindow {
+    bool ready = false;                          ///< enough symbols buffered
+    std::vector<std::complex<float>> window;     ///< (interframe+1) frames
+    std::vector<float> correlation;              ///< one value per offset in [0, frame)
+};
+
+class FrameSyncCorrelator {
+public:
+    FrameSyncCorrelator(int frame_symbols, int interframe);
+
+    /// Appends symbols to the internal buffer; when at least
+    /// (interframe + 1) frames are buffered, emits a window (consuming
+    /// interframe frames) and the SOF correlation profile over the first
+    /// frame's worth of candidate offsets.
+    [[nodiscard]] FrameSyncWindow process(const std::vector<std::complex<float>>& symbols);
+
+    [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+private:
+    int frame_symbols_;
+    int interframe_;
+    std::vector<std::complex<float>> sof_diff_; ///< differential SOF reference
+    std::vector<std::complex<float>> buffer_;
+};
+
+struct AlignedFrames {
+    bool valid = false;
+    int offset = 0;                          ///< chosen frame-start offset
+    std::vector<std::complex<float>> frames; ///< interframe x frame_symbols
+};
+
+class FrameAligner {
+public:
+    /// `warmup_windows`: number of locked windows to discard before frames
+    /// are declared valid. The upstream loops (coarse CFO, timing) converge
+    /// during these windows; the paper's evaluation likewise measures the
+    /// transmission phase, after the receiver's learning phases.
+    FrameAligner(int frame_symbols, int interframe, int warmup_windows = 2);
+
+    /// Picks the correlation peak (with hysteresis around the locked
+    /// offset) and slices the aligned frames out of the window.
+    [[nodiscard]] AlignedFrames align(const FrameSyncWindow& input);
+
+    [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+private:
+    int frame_symbols_;
+    int interframe_;
+    int warmup_windows_;
+    int windows_seen_ = 0;
+    bool locked_ = false;
+    int locked_offset_ = 0;
+};
+
+} // namespace amp::dvbs2

@@ -1,0 +1,52 @@
+#include "dvbs2/rx/freq_coarse.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace amp::dvbs2 {
+
+CoarseFreqSync::CoarseFreqSync(float initial_smoothing, float steady_smoothing)
+    : initial_smoothing_(initial_smoothing)
+    , steady_smoothing_(steady_smoothing)
+{
+}
+
+void CoarseFreqSync::synchronize(std::vector<std::complex<float>>& samples)
+{
+    if (samples.size() < 2)
+        return;
+
+    // Fourth power removes the QPSK modulation; the angle of the lag-1
+    // autocorrelation of z = x^4 is 4 * 2*pi * cfo.
+    std::complex<double> acc{0.0, 0.0};
+    std::complex<double> prev{0.0, 0.0};
+    bool have_prev = false;
+    for (const auto& sample : samples) {
+        const std::complex<double> x{sample.real(), sample.imag()};
+        const std::complex<double> x2 = x * x;
+        const std::complex<double> z = x2 * x2;
+        if (have_prev)
+            acc += z * std::conj(prev);
+        prev = z;
+        have_prev = true;
+    }
+    const double instant = std::arg(acc) / (8.0 * std::numbers::pi);
+    ++blocks_seen_;
+    const double smoothing =
+        std::max(static_cast<double>(steady_smoothing_),
+                 static_cast<double>(initial_smoothing_) / blocks_seen_);
+    cfo_ += smoothing * (instant - cfo_);
+
+    // Derotate with a continuous-phase NCO so block boundaries stay smooth.
+    const double step = -2.0 * std::numbers::pi * cfo_;
+    for (auto& sample : samples) {
+        const auto rotation = std::complex<float>{static_cast<float>(std::cos(phase_)),
+                                                  static_cast<float>(std::sin(phase_))};
+        sample *= rotation;
+        phase_ += step;
+        if (phase_ > std::numbers::pi * 64.0 || phase_ < -std::numbers::pi * 64.0)
+            phase_ = std::fmod(phase_, 2.0 * std::numbers::pi);
+    }
+}
+
+} // namespace amp::dvbs2

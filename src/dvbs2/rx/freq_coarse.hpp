@@ -1,0 +1,34 @@
+#pragma once
+// Coarse carrier-frequency synchronization ("Sync. Freq. Coarse"): a blind
+// fourth-power delay-and-multiply estimator (QPSK modulation removal) with a
+// smoothed estimate and a continuous-phase NCO derotator. Stateful.
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class CoarseFreqSync {
+public:
+    /// `initial_smoothing` is the blend factor of the first block; it then
+    /// decays towards `steady_smoothing`, so acquisition is fast while the
+    /// steady-state estimate averages many blocks (low jitter -- the
+    /// fourth-power estimator is noisy on oversampled, shaped input).
+    explicit CoarseFreqSync(float initial_smoothing = 0.5F, float steady_smoothing = 0.02F);
+
+    /// Estimates the residual CFO of the block, updates the tracked value,
+    /// and derotates the block in place (phase continuous across calls).
+    void synchronize(std::vector<std::complex<float>>& samples);
+
+    /// Tracked CFO estimate in cycles per sample.
+    [[nodiscard]] double estimate() const noexcept { return cfo_; }
+
+private:
+    float initial_smoothing_;
+    float steady_smoothing_;
+    int blocks_seen_ = 0;
+    double cfo_ = 0.0;
+    double phase_ = 0.0; ///< NCO phase in radians, persists across blocks
+};
+
+} // namespace amp::dvbs2

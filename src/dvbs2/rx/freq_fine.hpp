@@ -1,0 +1,63 @@
+#pragma once
+// Fine carrier synchronization over aligned PLFRAMEs.
+//
+//   tau_12 "Sync. Freq. Fine L&R": Luise & Reggiannini frequency estimation
+//          on the modulation-stripped PLHEADER, tracked across frames with
+//          a smoothing integrator and a continuous-phase derotator
+//          (stateful, hence sequential in the chain).
+//   tau_13 "Sync. Freq. Fine P/F": pilot-aided phase estimation -- one
+//          phase per known-symbol group (header + pilot blocks), unwrapped
+//          and linearly interpolated across the frame, then the pilots are
+//          consumed. Uses only the current frame, hence replicable.
+
+#include "dvbs2/common/pilots.hpp"
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class FineFreqLr {
+public:
+    /// `frame_symbols` = PLFRAME length (with pilots); `autocorr_lags` is
+    /// the L&R design parameter M.
+    FineFreqLr(int frame_symbols, int autocorr_lags = 16, float smoothing = 0.2F);
+
+    /// Estimates the residual CFO from each frame's header and derotates
+    /// all frames in place (input holds interframe aligned PLFRAMEs).
+    void synchronize(std::vector<std::complex<float>>& frames);
+
+    /// Tracked residual CFO in cycles per symbol.
+    [[nodiscard]] double estimate() const noexcept { return cfo_; }
+
+private:
+    int frame_symbols_;
+    int lags_;
+    float smoothing_;
+    double cfo_ = 0.0;
+    double phase_ = 0.0;
+};
+
+class FineFreqPf {
+public:
+    /// `payload_symbols` = data symbols per frame (pilot layout geometry).
+    FineFreqPf(int frame_symbols, PilotLayout layout);
+
+    /// Phase-corrects each frame using header + pilots, removes the pilot
+    /// blocks, and returns frames of (header + payload) symbols.
+    [[nodiscard]] std::vector<std::complex<float>>
+    synchronize(const std::vector<std::complex<float>>& frames) const;
+
+    [[nodiscard]] int output_frame_symbols() const noexcept
+    {
+        return PlhFramerHeaderSymbols + layout_.payload_symbols;
+    }
+
+    static constexpr int PlhFramerHeaderSymbols = 90;
+
+private:
+    int frame_symbols_;
+    PilotLayout layout_;
+};
+
+} // namespace amp::dvbs2

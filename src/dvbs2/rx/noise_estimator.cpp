@@ -1,0 +1,35 @@
+#include "dvbs2/rx/noise_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amp::dvbs2 {
+
+NoiseEstimate NoiseEstimator::estimate(const std::vector<std::complex<float>>& symbols)
+{
+    NoiseEstimate result;
+    if (symbols.empty())
+        return result;
+
+    double m2 = 0.0;
+    double m4 = 0.0;
+    for (const auto& s : symbols) {
+        const double power = static_cast<double>(std::norm(s));
+        m2 += power;
+        m4 += power * power;
+    }
+    m2 /= static_cast<double>(symbols.size());
+    m4 /= static_cast<double>(symbols.size());
+
+    // For a constant-modulus signal in complex AWGN:
+    //   M2 = S + N,  M4 = S^2 + 4 S N + 2 N^2  =>  S = sqrt(2 M2^2 - M4).
+    const double s2 = std::max(2.0 * m2 * m2 - m4, 1e-12);
+    const double signal = std::sqrt(s2);
+    const double noise = std::max(m2 - signal, 1e-6);
+
+    result.signal = static_cast<float>(signal);
+    result.sigma2 = static_cast<float>(noise);
+    return result;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,24 @@
+#pragma once
+// Noise estimation ("Noise Estimator - estimate"): blind M2/M4 moments
+// estimator for constant-modulus constellations (QPSK). Uses only the
+// current frame, hence replicable.
+
+#include <complex>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct NoiseEstimate {
+    float sigma2 = 1.0F;  ///< complex noise power N0
+    float signal = 1.0F;  ///< signal power S
+    [[nodiscard]] float snr() const noexcept { return sigma2 > 0.0F ? signal / sigma2 : 0.0F; }
+};
+
+class NoiseEstimator {
+public:
+    /// M2M4 estimate over the given symbols; clamps to sane positives so a
+    /// degenerate frame cannot produce zero/negative powers downstream.
+    [[nodiscard]] static NoiseEstimate estimate(const std::vector<std::complex<float>>& symbols);
+};
+
+} // namespace amp::dvbs2

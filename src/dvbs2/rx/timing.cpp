@@ -1,0 +1,90 @@
+#include "dvbs2/rx/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amp::dvbs2 {
+
+TimingSync::TimingSync(float loop_gain_p, float loop_gain_i)
+    : gain_p_(loop_gain_p)
+    , gain_i_(loop_gain_i)
+{
+}
+
+std::complex<float> TimingSync::interpolate(std::size_t base, double mu) const
+{
+    // Catmull-Rom cubic over samples base-1 .. base+2 evaluated at
+    // base + mu (0 <= mu < 1).
+    const auto& p0 = buffer_[base - 1];
+    const auto& p1 = buffer_[base];
+    const auto& p2 = buffer_[base + 1];
+    const auto& p3 = buffer_[base + 2];
+    const auto t = static_cast<float>(mu);
+    const float t2 = t * t;
+    const float t3 = t2 * t;
+    const float c0 = -0.5F * t3 + t2 - 0.5F * t;
+    const float c1 = 1.5F * t3 - 2.5F * t2 + 1.0F;
+    const float c2 = -1.5F * t3 + 2.0F * t2 + 0.5F * t;
+    const float c3 = 0.5F * t3 - 0.5F * t2;
+    return c0 * p0 + c1 * p1 + c2 * p2 + c3 * p3;
+}
+
+TimingSync::Output TimingSync::synchronize(const std::vector<std::complex<float>>& samples)
+{
+    buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+
+    Output output;
+    output.interpolated.reserve(samples.size());
+    output.strobes.reserve(samples.size());
+
+    // Emit T/2-spaced interpolants while the cubic has enough context
+    // (needs samples cursor-1 .. cursor+2).
+    while (cursor_ + 2.0 < static_cast<double>(buffer_.size()) && cursor_ >= 1.0) {
+        const auto base = static_cast<std::size_t>(cursor_);
+        const double mu = cursor_ - static_cast<double>(base);
+        const std::complex<float> value = interpolate(base, mu);
+        output.interpolated.push_back(value);
+        output.strobes.push_back(on_time_ ? 1 : 0);
+
+        if (on_time_) {
+            if (have_on_time_) {
+                // Gardner TED: e = Re{ (y[k-1] - y[k]) * conj(y_mid) }.
+                const std::complex<float> diff = last_on_time_ - value;
+                const float error = diff.real() * last_mid_.real()
+                    + diff.imag() * last_mid_.imag();
+                integrator_ += gain_i_ * error;
+                correction_ = gain_p_ * error + integrator_;
+                correction_ = std::clamp(correction_, -0.2, 0.2);
+            }
+            last_on_time_ = value;
+            have_on_time_ = true;
+        } else {
+            last_mid_ = value;
+        }
+        on_time_ = !on_time_;
+
+        // Advance one nominal half-symbol (1 input sample at 2 sps), nudged
+        // by the loop correction (spread over the two strobes per symbol).
+        cursor_ += 1.0 + correction_ * 0.5;
+    }
+
+    // Compact the buffer, keeping one sample of left context for the cubic.
+    const auto keep_from = static_cast<std::size_t>(std::max(0.0, cursor_ - 1.0));
+    if (keep_from > 0) {
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+        cursor_ -= static_cast<double>(keep_from);
+    }
+    return output;
+}
+
+std::vector<std::complex<float>> SymbolExtractor::extract(const TimingSync::Output& input) const
+{
+    std::vector<std::complex<float>> symbols;
+    symbols.reserve(input.interpolated.size() / 2 + 1);
+    for (std::size_t i = 0; i < input.interpolated.size(); ++i)
+        if (input.strobes[i] != 0)
+            symbols.push_back(input.interpolated[i]);
+    return symbols;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,56 @@
+#pragma once
+// Symbol timing recovery ("Sync. Timing"): Gardner timing-error detector
+// driving a PI loop filter that paces a cubic (Catmull-Rom / Farrow)
+// interpolator over the 2-samples-per-symbol stream.
+//
+// The paper's chain splits this into two tasks:
+//   tau_6 "synchronize": runs the loop and produces the interpolated
+//          half-symbol-spaced stream with strobe flags (heavy),
+//   tau_7 "extract":     keeps the on-time strobes only (light).
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+class TimingSync {
+public:
+    struct Output {
+        std::vector<std::complex<float>> interpolated; ///< T/2-spaced stream
+        std::vector<std::uint8_t> strobes;             ///< 1 = on-time instant
+    };
+
+    /// `loop_gain_p/i`: PI gains of the timing loop (in samples per
+    /// half-symbol update); defaults converge within a few hundred symbols.
+    explicit TimingSync(float loop_gain_p = 0.02F, float loop_gain_i = 0.0005F);
+
+    /// Consumes a block of 2-sps samples; emits the interpolated stream.
+    /// Streaming: leftover input is buffered for the next call.
+    [[nodiscard]] Output synchronize(const std::vector<std::complex<float>>& samples);
+
+    /// Current fractional-timing correction in samples (for tests).
+    [[nodiscard]] double timing_offset() const noexcept { return correction_; }
+
+private:
+    [[nodiscard]] std::complex<float> interpolate(std::size_t base, double mu) const;
+
+    float gain_p_;
+    float gain_i_;
+    double cursor_ = 1.0;      ///< next output instant, in buffer sample units
+    double correction_ = 0.0;  ///< loop output v (samples per output)
+    double integrator_ = 0.0;
+    bool on_time_ = true;      ///< strobe alternation
+    std::complex<float> last_on_time_{0.0F, 0.0F};
+    std::complex<float> last_mid_{0.0F, 0.0F};
+    bool have_on_time_ = false;
+    std::vector<std::complex<float>> buffer_; ///< unconsumed input samples
+};
+
+/// tau_7: picks the on-time interpolants out of a TimingSync output.
+class SymbolExtractor {
+public:
+    [[nodiscard]] std::vector<std::complex<float>> extract(const TimingSync::Output& input) const;
+};
+
+} // namespace amp::dvbs2

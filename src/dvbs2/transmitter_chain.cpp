@@ -1,0 +1,128 @@
+#include "dvbs2/transmitter_chain.hpp"
+
+#include "dvbs2/common/bb_scrambler.hpp"
+#include "dvbs2/common/interleaver.hpp"
+#include "dvbs2/common/pilots.hpp"
+#include "dvbs2/common/pl_scrambler.hpp"
+#include "dvbs2/common/plh_framer.hpp"
+#include "dvbs2/common/qpsk.hpp"
+#include "dvbs2/common/rrc_filter.hpp"
+#include "dvbs2/fec/bch.hpp"
+#include "dvbs2/fec/ldpc.hpp"
+#include "dvbs2/tx/transmitter.hpp"
+
+#include <algorithm>
+
+namespace amp::dvbs2 {
+
+namespace {
+using rt::make_task;
+constexpr float kRolloff = 0.2F;
+constexpr int kRrcSpan = 8;
+} // namespace
+
+const std::vector<const char*>& transmitter_task_names()
+{
+    static const std::vector<const char*> names = {
+        "Source - generate",      "Scrambler Binary - scramble", "Encoder BCH - encode",
+        "Encoder LDPC - encode",  "Interleaver - interleave",    "Modem QPSK - modulate",
+        "Framer PLH - insert",    "Scrambler Symbol - scramble", "Filter Shaping - filter",
+        "Radio - send",
+    };
+    return names;
+}
+
+const std::vector<bool>& transmitter_task_replicable()
+{
+    // The source must emit frames in order (it stamps the frame index), the
+    // shaping filter carries its delay line, and the radio sends in order.
+    static const std::vector<bool> replicable = {false, true, true, true, true,
+                                                 true,  true, true, false, false};
+    return replicable;
+}
+
+TransmitterChain build_transmitter_chain(const FrameParams& params, std::uint64_t data_seed,
+                                         bool collect_samples)
+{
+    TransmitterChain chain;
+    chain.sink = std::make_shared<TxSink>();
+    auto& seq = chain.sequence;
+    const PilotLayout layout{params.xfec_symbols(), params.pilot_block_symbols,
+                             params.payload_per_pilot_block};
+
+    // 1. Source - generate: the frame's payload bits (64-bit index + PRBS).
+    {
+        const int k_bch = params.k_bch;
+        seq.push_back(make_task<TxFrame>("Source - generate", true, [k_bch, data_seed](TxFrame& f) {
+            f.bits = reference_payload(k_bch, data_seed, f.seq);
+        }));
+    }
+
+    // 2. Scrambler Binary - scramble.
+    seq.push_back(make_task<TxFrame>("Scrambler Binary - scramble", false,
+                                     [](TxFrame& f) { BbScrambler::scramble(f.bits); }));
+
+    // 3. Encoder BCH - encode.
+    seq.push_back(make_task<TxFrame>("Encoder BCH - encode", false, [](TxFrame& f) {
+        f.bits = BchCode::dvbs2_short_8_9().encode(f.bits);
+    }));
+
+    // 4. Encoder LDPC - encode.
+    seq.push_back(make_task<TxFrame>("Encoder LDPC - encode", false, [](TxFrame& f) {
+        f.bits = LdpcCode::dvbs2_short_8_9().encode(f.bits);
+    }));
+
+    // 5. Interleaver - interleave.
+    {
+        const BlockInterleaver interleaver{params.bits_per_symbol};
+        seq.push_back(make_task<TxFrame>("Interleaver - interleave", false,
+                                         [interleaver](TxFrame& f) {
+                                             f.bits = interleaver.interleave(f.bits);
+                                         }));
+    }
+
+    // 6. Modem QPSK - modulate.
+    seq.push_back(make_task<TxFrame>("Modem QPSK - modulate", false, [](TxFrame& f) {
+        f.symbols = QpskModem::modulate(f.bits);
+        f.bits.clear();
+    }));
+
+    // 7. Framer PLH - insert (pilots + header).
+    seq.push_back(make_task<TxFrame>("Framer PLH - insert", false, [layout](TxFrame& f) {
+        f.symbols = PlhFramer::insert(Transmitter::kPls, insert_pilots(f.symbols, layout));
+    }));
+
+    // 8. Scrambler Symbol - scramble (header stays clean).
+    seq.push_back(make_task<TxFrame>("Scrambler Symbol - scramble", false, [](TxFrame& f) {
+        std::vector<std::complex<float>> body(f.symbols.begin() + PlhFramer::kHeaderSymbols,
+                                              f.symbols.end());
+        PlScrambler::scramble(body);
+        std::copy(body.begin(), body.end(), f.symbols.begin() + PlhFramer::kHeaderSymbols);
+    }));
+
+    // 9. Filter Shaping - filter (stateful: streaming RRC).
+    {
+        auto shaping =
+            std::make_shared<ShapingFilter>(kRolloff, params.samples_per_symbol, kRrcSpan);
+        seq.push_back(make_task<TxFrame>("Filter Shaping - filter", true,
+                                         [shaping](TxFrame& f) {
+                                             f.samples = shaping->shape(f.symbols);
+                                             f.symbols.clear();
+                                         }));
+    }
+
+    // 10. Radio - send.
+    {
+        auto sink = chain.sink;
+        seq.push_back(make_task<TxFrame>("Radio - send", true,
+                                         [sink, collect_samples](TxFrame& f) {
+                                             sink->send(f.samples);
+                                             if (!collect_samples)
+                                                 f.samples.clear();
+                                         }));
+    }
+
+    return chain;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,58 @@
+#pragma once
+// The DVB-S2 transmitter as a schedulable task chain (the TX counterpart of
+// receiver.hpp; the aff3ct DVB-S2 application ships the same split). Ten
+// tasks from "Source - generate" to "Radio - send"; the produced sample
+// stream is bit-identical to the monolithic Transmitter class, which the
+// tests verify.
+
+#include "dvbs2/params.hpp"
+#include "rt/task.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct TxFrame {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> bits;                ///< payload -> codeword bits
+    std::vector<std::complex<float>> symbols;      ///< modulated payload
+    std::vector<std::complex<float>> samples;      ///< shaped output samples
+};
+
+/// Captures the transmitted sample stream (the "Radio - send" endpoint).
+class TxSink {
+public:
+    void send(const std::vector<std::complex<float>>& samples)
+    {
+        samples_sent_ += samples.size();
+        for (const auto& s : samples)
+            energy_ += static_cast<double>(s.real()) * s.real()
+                + static_cast<double>(s.imag()) * s.imag();
+    }
+    [[nodiscard]] std::uint64_t samples_sent() const noexcept { return samples_sent_; }
+    [[nodiscard]] double energy() const noexcept { return energy_; }
+
+private:
+    std::uint64_t samples_sent_ = 0;
+    double energy_ = 0.0;
+};
+
+struct TransmitterChain {
+    rt::TaskSequence<TxFrame> sequence;
+    std::shared_ptr<TxSink> sink;
+};
+
+/// Builds the 10-task transmitter chain. `collect_samples`: keep the shaped
+/// samples in the frame after sending (for tests / piping into a channel).
+[[nodiscard]] TransmitterChain build_transmitter_chain(const FrameParams& params,
+                                                       std::uint64_t data_seed,
+                                                       bool collect_samples = false);
+
+/// Task names/replicability of the TX chain (for scheduling experiments).
+[[nodiscard]] const std::vector<const char*>& transmitter_task_names();
+[[nodiscard]] const std::vector<bool>& transmitter_task_replicable();
+
+} // namespace amp::dvbs2

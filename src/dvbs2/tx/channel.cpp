@@ -1,0 +1,62 @@
+#include "dvbs2/tx/channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace amp::dvbs2 {
+
+Channel::Channel(ChannelConfig config)
+    : config_(config)
+    , rng_(config.seed)
+    , carrier_phase_(config.phase_offset_rad)
+{
+    delay_line_.assign(static_cast<std::size_t>(std::max(0, config_.integer_delay)),
+                       {0.0F, 0.0F});
+}
+
+std::vector<std::complex<float>> Channel::apply(const std::vector<std::complex<float>>& input)
+{
+    std::vector<std::complex<float>> output;
+    output.reserve(input.size());
+
+    const double step = 2.0 * std::numbers::pi * config_.cfo_cycles_per_sample;
+    const auto mu = static_cast<float>(config_.fractional_delay);
+
+    for (const auto& raw : input) {
+        // Fractional delay by linear interpolation with the previous sample.
+        const std::complex<float> delayed =
+            (1.0F - mu) * raw + mu * previous_sample_;
+        previous_sample_ = raw;
+
+        // Integer delay through a FIFO.
+        std::complex<float> sample = delayed;
+        if (!delay_line_.empty()) {
+            delay_line_.push_back(delayed);
+            sample = delay_line_.front();
+            delay_line_.erase(delay_line_.begin());
+        }
+
+        // Gain, carrier offset and static phase.
+        const std::complex<float> rotation{static_cast<float>(std::cos(carrier_phase_)),
+                                           static_cast<float>(std::sin(carrier_phase_))};
+        sample *= config_.gain * rotation;
+        carrier_phase_ += step;
+        if (carrier_phase_ > 64.0 * std::numbers::pi)
+            carrier_phase_ = std::fmod(carrier_phase_, 2.0 * std::numbers::pi);
+
+        // AWGN calibrated against the running signal-power estimate.
+        signal_power_estimate_ += (static_cast<double>(std::norm(sample))
+                                   - signal_power_estimate_)
+            / static_cast<double>(std::min<std::uint64_t>(++samples_seen_, 4096));
+        const double snr_linear = std::pow(10.0, config_.snr_db / 10.0);
+        noise_sigma_per_component_ =
+            std::sqrt(signal_power_estimate_ / snr_linear / 2.0);
+        const auto noise = std::complex<float>{
+            static_cast<float>(noise_sigma_per_component_ * rng_.normal()),
+            static_cast<float>(noise_sigma_per_component_ * rng_.normal())};
+        output.push_back(sample + noise);
+    }
+    return output;
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,48 @@
+#pragma once
+// Channel model between the transmitter and the receiver's radio front-end:
+// complex gain, carrier-frequency offset (continuous phase), static phase
+// offset, fractional + integer delay, and AWGN. Replaces the paper's real
+// RF front-end (DESIGN.md, substitution 3) with a deterministic, seeded
+// impairment chain in the "error-free SNR zone".
+
+#include "common/rng.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+struct ChannelConfig {
+    float gain = 0.8F;               ///< complex amplitude scale
+    double cfo_cycles_per_sample = 5e-4; ///< carrier offset at 2 sps
+    double phase_offset_rad = 0.6;   ///< static phase rotation
+    double fractional_delay = 0.3;   ///< sub-sample delay (linear interp)
+    int integer_delay = 23;          ///< whole-sample delay
+    double snr_db = 18.0;            ///< per-sample SNR (error-free zone)
+    std::uint64_t seed = 0xc4a11;
+};
+
+class Channel {
+public:
+    explicit Channel(ChannelConfig config = {});
+
+    /// Applies the impairments to a sample block (streaming: delay lines,
+    /// carrier phase and the noise generator persist across calls).
+    [[nodiscard]] std::vector<std::complex<float>>
+    apply(const std::vector<std::complex<float>>& input);
+
+    [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
+
+private:
+    ChannelConfig config_;
+    Rng rng_;
+    double carrier_phase_;
+    std::complex<float> previous_sample_{0.0F, 0.0F};
+    std::vector<std::complex<float>> delay_line_;
+    double noise_sigma_per_component_ = 0.0;
+    double signal_power_estimate_ = 1.0;
+    std::uint64_t samples_seen_ = 0;
+};
+
+} // namespace amp::dvbs2

@@ -1,0 +1,82 @@
+#include "dvbs2/tx/transmitter.hpp"
+
+#include "dvbs2/common/bb_scrambler.hpp"
+#include "dvbs2/common/interleaver.hpp"
+#include "dvbs2/common/pilots.hpp"
+#include "dvbs2/common/pl_scrambler.hpp"
+#include "dvbs2/common/plh_framer.hpp"
+#include "dvbs2/common/qpsk.hpp"
+#include "dvbs2/fec/bch.hpp"
+#include "dvbs2/fec/ldpc.hpp"
+
+#include <stdexcept>
+
+namespace amp::dvbs2 {
+
+std::vector<std::uint8_t> reference_payload(int k_bits, std::uint64_t seed, std::uint64_t index)
+{
+    if (k_bits <= 64)
+        throw std::invalid_argument{"reference_payload: k_bits must exceed the 64-bit header"};
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(k_bits));
+    for (int b = 0; b < 64; ++b)
+        bits[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>((index >> (63 - b)) & 1u);
+    Rng rng{seed ^ (index * 0x9e3779b97f4a7c15ULL + 0x7ULL)};
+    for (int b = 64; b < k_bits; ++b)
+        bits[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(rng() & 1u);
+    return bits;
+}
+
+std::uint64_t extract_frame_index(const std::vector<std::uint8_t>& payload)
+{
+    if (payload.size() < 64)
+        throw std::invalid_argument{"extract_frame_index: payload shorter than 64 bits"};
+    std::uint64_t index = 0;
+    for (int b = 0; b < 64; ++b)
+        index = (index << 1) | (payload[static_cast<std::size_t>(b)] & 1u);
+    return index;
+}
+
+Transmitter::Transmitter(FrameParams params, std::uint64_t data_seed, float rolloff,
+                         int rrc_span)
+    : params_(params)
+    , data_seed_(data_seed)
+    , shaping_(rolloff, params.samples_per_symbol, rrc_span)
+{
+}
+
+std::vector<std::complex<float>> Transmitter::frame_symbols(std::uint64_t index) const
+{
+    // Baseband frame: payload bits, scrambled, then the FEC cascade.
+    auto bits = reference_payload(params_.k_bch, data_seed_, index);
+    BbScrambler::scramble(bits);
+    const auto& bch = BchCode::dvbs2_short_8_9();
+    const auto& ldpc = LdpcCode::dvbs2_short_8_9();
+    const auto bch_word = bch.encode(bits);
+    const auto ldpc_word = ldpc.encode(bch_word);
+
+    const BlockInterleaver interleaver{params_.bits_per_symbol};
+    const auto interleaved = interleaver.interleave(ldpc_word);
+    auto payload_symbols = QpskModem::modulate(interleaved);
+
+    // Physical layer: pilots, header, scrambling (header stays clean).
+    const PilotLayout layout{params_.xfec_symbols(), params_.pilot_block_symbols,
+                             params_.payload_per_pilot_block};
+    const auto with_pilots = insert_pilots(payload_symbols, layout);
+    auto plframe = PlhFramer::insert(kPls, with_pilots);
+
+    std::vector<std::complex<float>> scrambled_part(plframe.begin() + PlhFramer::kHeaderSymbols,
+                                                    plframe.end());
+    PlScrambler::scramble(scrambled_part);
+    std::copy(scrambled_part.begin(), scrambled_part.end(),
+              plframe.begin() + PlhFramer::kHeaderSymbols);
+    return plframe;
+}
+
+std::vector<std::complex<float>> Transmitter::next_frame_samples()
+{
+    const auto symbols = frame_symbols(next_index_++);
+    return shaping_.shape(symbols);
+}
+
+} // namespace amp::dvbs2

@@ -1,0 +1,52 @@
+#pragma once
+// DVB-S2 transmitter: builds the PLFRAME sample stream the receiver chain
+// consumes. Per frame: payload bits (64-bit frame index + seeded PRBS) ->
+// BB scrambling -> BCH -> LDPC -> bit interleaving -> QPSK -> pilot
+// insertion -> PLHEADER insertion -> PL scrambling -> RRC pulse shaping at
+// 2 samples/symbol (streaming across frames).
+
+#include "common/rng.hpp"
+#include "dvbs2/common/rrc_filter.hpp"
+#include "dvbs2/params.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+/// Deterministic payload of frame `index`: the 64-bit index (MSB first)
+/// followed by PRBS bits seeded by (seed, index). The receiver's Source
+/// task regenerates this to verify decoded frames.
+[[nodiscard]] std::vector<std::uint8_t> reference_payload(int k_bits, std::uint64_t seed,
+                                                          std::uint64_t index);
+
+/// Reads the 64-bit frame index back from decoded payload bits.
+[[nodiscard]] std::uint64_t extract_frame_index(const std::vector<std::uint8_t>& payload);
+
+class Transmitter {
+public:
+    Transmitter(FrameParams params, std::uint64_t data_seed, float rolloff = 0.2F,
+                int rrc_span = 8);
+
+    /// Samples of the next PLFRAME (params.plframe_samples() of them); the
+    /// shaping filter streams across calls so frames are contiguous.
+    [[nodiscard]] std::vector<std::complex<float>> next_frame_samples();
+
+    /// PLFRAME symbols of an arbitrary frame (no shaping); used by tests.
+    [[nodiscard]] std::vector<std::complex<float>> frame_symbols(std::uint64_t index) const;
+
+    [[nodiscard]] std::uint64_t frames_sent() const noexcept { return next_index_; }
+    [[nodiscard]] const FrameParams& params() const noexcept { return params_; }
+
+    /// PLS field of the evaluated configuration (MODCOD 2, short frames).
+    static constexpr std::uint8_t kPls = (2 << 3) | 2;
+
+private:
+    FrameParams params_;
+    std::uint64_t data_seed_;
+    std::uint64_t next_index_ = 0;
+    ShapingFilter shaping_;
+};
+
+} // namespace amp::dvbs2

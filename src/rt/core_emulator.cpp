@@ -1,0 +1,29 @@
+#include "rt/core_emulator.hpp"
+
+namespace amp::rt {
+
+double SlowdownEmulator::factor_for(int task_index) const
+{
+    if (factors_.empty())
+        return uniform_factor_;
+    const auto idx = static_cast<std::size_t>(task_index - 1);
+    return idx < factors_.size() ? factors_[idx] : 1.0;
+}
+
+void SlowdownEmulator::after_task(int task_index, core::CoreType worker_type,
+                                  std::chrono::nanoseconds elapsed)
+{
+    if (worker_type != core::CoreType::little)
+        return;
+    const double factor = factor_for(task_index);
+    if (factor <= 1.0)
+        return;
+    const auto extra =
+        std::chrono::nanoseconds{static_cast<std::int64_t>(elapsed.count() * (factor - 1.0))};
+    const auto deadline = std::chrono::steady_clock::now() + extra;
+    while (std::chrono::steady_clock::now() < deadline) {
+        // busy wait: a little core would be occupied for this long
+    }
+}
+
+} // namespace amp::rt

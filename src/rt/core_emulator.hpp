@@ -1,0 +1,61 @@
+#pragma once
+// Core-type emulation for machines without asymmetric cores.
+//
+// On a real big.LITTLE processor, a pipeline worker pinned to a little core
+// naturally runs its tasks slower. This repository's test machine is a
+// homogeneous (single-core) VM, so the pipeline can instead attach an
+// emulator that inflates the cost of work executed by "little" workers by a
+// per-task slowdown factor (busy-wait spin, so the behaviour matches an
+// occupied core rather than a sleeping one). See DESIGN.md, substitution 1.
+
+#include "core/chain.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace amp::rt {
+
+class CoreEmulator {
+public:
+    virtual ~CoreEmulator() = default;
+
+    /// Called by a worker right after running task `task_index` (1-based).
+    /// `elapsed` is the actual wall-clock cost of the task on this machine.
+    virtual void after_task(int task_index, core::CoreType worker_type,
+                            std::chrono::nanoseconds elapsed) = 0;
+};
+
+/// No-op emulator: workers run at native speed regardless of type.
+class NullEmulator final : public CoreEmulator {
+public:
+    void after_task(int, core::CoreType, std::chrono::nanoseconds) override {}
+};
+
+/// Spins for (factor - 1) x the task's actual cost when the worker models a
+/// little core. With per-task factors taken from a latency profile, the
+/// emulated machine reproduces the big/little ratios of Table III.
+class SlowdownEmulator final : public CoreEmulator {
+public:
+    /// Uniform slowdown for every task.
+    explicit SlowdownEmulator(double factor)
+        : uniform_factor_(factor)
+    {
+    }
+
+    /// Per-task slowdowns (1-based task index maps to factors[index - 1]).
+    explicit SlowdownEmulator(std::vector<double> factors)
+        : factors_(std::move(factors))
+    {
+    }
+
+    void after_task(int task_index, core::CoreType worker_type,
+                    std::chrono::nanoseconds elapsed) override;
+
+private:
+    [[nodiscard]] double factor_for(int task_index) const;
+
+    double uniform_factor_ = 1.0;
+    std::vector<double> factors_;
+};
+
+} // namespace amp::rt

@@ -1,0 +1,253 @@
+#pragma once
+// Dynamic task-granularity executor: the scheduling model the paper argues
+// AGAINST for streaming SDR chains (§II: "dynamic schedulers from current
+// runtime systems are usually inefficient at our task granularity of
+// interest (tens to thousands of us)").
+//
+// Instead of a static pipeline decomposition, every (frame, task) pair is a
+// work item in a shared pool; any idle worker picks the next ready item.
+// Constraints preserved:
+//   * per-frame task order (task t+1 only after t),
+//   * stateful tasks process frames in stream order, one at a time, on the
+//     single shared task instance;
+//   * stateless tasks run on per-worker clones, any order, in parallel.
+//
+// Provided as a baseline for the ext_dynamic_vs_static bench and as a
+// generally useful executor for coarse-grained chains.
+
+#include "rt/ordered_queue.hpp"
+#include "rt/task.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace amp::rt {
+
+struct DynamicRunResult {
+    std::uint64_t frames = 0;
+    double elapsed_seconds = 0.0;
+    std::uint64_t scheduling_events = 0; ///< pool pushes+pops (overhead proxy)
+    [[nodiscard]] double fps() const noexcept
+    {
+        return elapsed_seconds > 0.0 ? static_cast<double>(frames) / elapsed_seconds : 0.0;
+    }
+};
+
+template <typename T>
+class DynamicExecutor {
+public:
+    /// `window` bounds the frames in flight (memory/backpressure control).
+    DynamicExecutor(TaskSequence<T>& sequence, int workers, std::size_t window = 8)
+        : sequence_(sequence)
+        , workers_(workers)
+        , window_(window == 0 ? 1 : window)
+    {
+        if (sequence_.empty())
+            throw std::invalid_argument{"DynamicExecutor: empty task sequence"};
+        if (workers_ < 1)
+            throw std::invalid_argument{"DynamicExecutor: need at least one worker"};
+    }
+
+    DynamicRunResult run(std::uint64_t num_frames,
+                         const std::function<void(T&)>& on_output = {})
+    {
+        const int n = sequence_.size();
+        State state;
+        state.next_expected.assign(static_cast<std::size_t>(n) + 1, 0);
+
+        // Per-worker clones for stateless tasks; stateful tasks share the
+        // original (safe: the ordering protocol serializes them).
+        std::vector<std::vector<Task<T>*>> worker_tasks(static_cast<std::size_t>(workers_));
+        std::vector<std::vector<std::unique_ptr<Task<T>>>> clone_storage(
+            static_cast<std::size_t>(workers_));
+        for (int w = 0; w < workers_; ++w) {
+            for (int t = 1; t <= n; ++t) {
+                Task<T>& original = sequence_.task(t);
+                if (original.stateful() || w == 0) {
+                    worker_tasks[static_cast<std::size_t>(w)].push_back(&original);
+                } else {
+                    clone_storage[static_cast<std::size_t>(w)].push_back(original.clone());
+                    worker_tasks[static_cast<std::size_t>(w)].push_back(
+                        clone_storage[static_cast<std::size_t>(w)].back().get());
+                }
+            }
+        }
+
+        // Capacity covers the worst-case reorder spread (about two windows
+        // of in-flight frames) plus one concurrent push per worker, so no
+        // set of workers can all block on a full buffer while the frame the
+        // consumer needs is still waiting in the pool.
+        OrderedQueue<T> output{2 * window_ + static_cast<std::size_t>(workers_) + 1};
+        const auto start = std::chrono::steady_clock::now();
+
+        if (num_frames == 0)
+            output.push(Envelope<T>::end_of_stream(0));
+
+        // Seed the pool with the initial window of frames at task 1.
+        {
+            std::lock_guard lock{state.mutex};
+            const std::uint64_t initial = std::min<std::uint64_t>(window_, num_frames);
+            for (std::uint64_t seq = 0; seq < initial; ++seq)
+                enqueue_locked(state, make_item(seq), 1);
+            state.spawned = initial;
+        }
+
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(workers_));
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+        for (int w = 0; w < workers_; ++w) {
+            threads.emplace_back([&, w] {
+                try {
+                    worker_loop(state, worker_tasks[static_cast<std::size_t>(w)], num_frames,
+                                output);
+                } catch (...) {
+                    {
+                        std::lock_guard lock{error_mutex};
+                        if (!first_error)
+                            first_error = std::current_exception();
+                    }
+                    std::lock_guard lock{state.mutex};
+                    state.aborted = true;
+                    state.work_available.notify_all();
+                    output.abort();
+                }
+            });
+        }
+
+        std::uint64_t delivered = 0;
+        while (auto envelope = output.pop()) {
+            if (envelope->end)
+                break;
+            if (on_output)
+                on_output(envelope->payload);
+            ++delivered;
+        }
+        for (auto& thread : threads)
+            thread.join();
+        const auto stop = std::chrono::steady_clock::now();
+        if (first_error)
+            std::rethrow_exception(first_error);
+
+        DynamicRunResult result;
+        result.frames = delivered;
+        result.elapsed_seconds = std::chrono::duration<double>(stop - start).count();
+        result.scheduling_events = state.scheduling_events;
+        return result;
+    }
+
+private:
+    struct Item {
+        std::uint64_t seq = 0;
+        T payload{};
+    };
+
+    struct State {
+        std::mutex mutex;
+        std::condition_variable work_available;
+        std::deque<std::pair<std::unique_ptr<Item>, int>> ready; ///< (frame, task)
+        // For each stateful task: next stream seq it may process, plus the
+        // frames parked until their turn.
+        std::vector<std::uint64_t> next_expected;
+        std::map<std::pair<int, std::uint64_t>, std::unique_ptr<Item>> parked;
+        std::uint64_t spawned = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t scheduling_events = 0;
+        bool aborted = false;
+    };
+
+    [[nodiscard]] std::unique_ptr<Item> make_item(std::uint64_t seq) const
+    {
+        auto item = std::make_unique<Item>();
+        item->seq = seq;
+        if constexpr (requires(T& p) { p.seq = seq; })
+            item->payload.seq = seq;
+        return item;
+    }
+
+    /// Queues (item, task) respecting the stateful-ordering constraint.
+    void enqueue_locked(State& state, std::unique_ptr<Item> item, int task)
+    {
+        ++state.scheduling_events;
+        if (sequence_.task(task).stateful()
+            && item->seq != state.next_expected[static_cast<std::size_t>(task)]) {
+            state.parked.emplace(std::make_pair(task, item->seq), std::move(item));
+            return;
+        }
+        state.ready.emplace_back(std::move(item), task);
+        state.work_available.notify_one();
+    }
+
+    void worker_loop(State& state, const std::vector<Task<T>*>& tasks,
+                     std::uint64_t num_frames, OrderedQueue<T>& output)
+    {
+        const int n = sequence_.size();
+        for (;;) {
+            std::unique_ptr<Item> item;
+            int task_index = 0;
+            {
+                std::unique_lock lock{state.mutex};
+                state.work_available.wait(lock, [&] {
+                    return state.aborted || !state.ready.empty()
+                        || state.completed == num_frames;
+                });
+                if (state.aborted || (state.ready.empty() && state.completed == num_frames))
+                    return;
+                item = std::move(state.ready.front().first);
+                task_index = state.ready.front().second;
+                state.ready.pop_front();
+                ++state.scheduling_events;
+            }
+
+            tasks[static_cast<std::size_t>(task_index - 1)]->process(item->payload);
+
+            std::unique_lock lock{state.mutex};
+            if (sequence_.task(task_index).stateful()) {
+                // Release the next parked frame of this task, if its turn came.
+                auto& expected = state.next_expected[static_cast<std::size_t>(task_index)];
+                ++expected;
+                const auto it = state.parked.find({task_index, expected});
+                if (it != state.parked.end()) {
+                    auto parked_item = std::move(it->second);
+                    state.parked.erase(it);
+                    state.ready.emplace_back(std::move(parked_item), task_index);
+                    state.work_available.notify_one();
+                    ++state.scheduling_events;
+                }
+            }
+
+            if (task_index < n) {
+                enqueue_locked(state, std::move(item), task_index + 1);
+            } else {
+                const std::uint64_t seq = item->seq;
+                T payload = std::move(item->payload);
+                ++state.completed;
+                const bool all_done = state.completed == num_frames;
+                // Spawn a replacement frame to keep the window full.
+                if (state.spawned < num_frames) {
+                    enqueue_locked(state, make_item(state.spawned), 1);
+                    ++state.spawned;
+                }
+                if (all_done)
+                    state.work_available.notify_all();
+                lock.unlock();
+                output.push(Envelope<T>::data(seq, std::move(payload)));
+                if (all_done)
+                    output.push(Envelope<T>::end_of_stream(num_frames));
+            }
+        }
+    }
+
+    TaskSequence<T>& sequence_;
+    int workers_;
+    std::size_t window_;
+};
+
+} // namespace amp::rt

@@ -1,0 +1,23 @@
+#pragma once
+// Frame envelope passed between pipeline stages: a payload plus the stream
+// sequence number used to restore ordering behind replicated stages.
+
+#include <cstdint>
+#include <utility>
+
+namespace amp::rt {
+
+template <typename T>
+struct Envelope {
+    std::uint64_t seq = 0;
+    bool end = false; ///< end-of-stream marker; sorts after all data frames
+    T payload{};
+
+    static Envelope data(std::uint64_t seq, T payload)
+    {
+        return Envelope{seq, false, std::move(payload)};
+    }
+    static Envelope end_of_stream(std::uint64_t seq) { return Envelope{seq, true, T{}}; }
+};
+
+} // namespace amp::rt

@@ -1,0 +1,176 @@
+#pragma once
+// StreamPU-flavored DSEL layer: modules with named input/output ports,
+// explicit bindings, and validated linearization into a TaskSequence.
+//
+// StreamPU programs declare modules whose task sockets are bound to one
+// another; the runtime then derives an executable sequence. This layer
+// reproduces that programming model on top of the blackboard payload: each
+// module names the payload fields it consumes and produces, `bind` wires a
+// producer's output port to a consumer's input port, and `linearize()`
+// checks the graph (every input bound exactly once, no cycles, a unique
+// topological order compatible with the declaration of a *chain*) before
+// emitting the TaskSequence the Pipeline executes.
+
+#include "rt/task.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amp::rt {
+
+/// Opaque handle to a module added to a graph.
+struct ModuleHandle {
+    int index = -1;
+    [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+    [[nodiscard]] bool operator==(const ModuleHandle&) const noexcept = default;
+};
+
+template <typename T>
+class ModuleGraph {
+public:
+    /// Adds a module. `inputs` / `outputs` are the port names it consumes /
+    /// produces. A module with no inputs is a source; with no outputs, a sink.
+    ModuleHandle add(std::string name, bool stateful, std::function<void(T&)> fn,
+                     std::vector<std::string> inputs = {},
+                     std::vector<std::string> outputs = {})
+    {
+        for (const auto& existing : modules_)
+            if (existing.name == name)
+                throw std::invalid_argument{"ModuleGraph: duplicate module name '" + name
+                                            + "'"};
+        Entry entry;
+        entry.name = std::move(name);
+        entry.stateful = stateful;
+        entry.fn = std::move(fn);
+        entry.inputs = std::move(inputs);
+        entry.outputs = std::move(outputs);
+        modules_.push_back(std::move(entry));
+        return ModuleHandle{static_cast<int>(modules_.size()) - 1};
+    }
+
+    /// Binds producer's output port to consumer's input port. Both ports
+    /// must exist; an input port accepts exactly one binding.
+    void bind(ModuleHandle producer, const std::string& out_port, ModuleHandle consumer,
+              const std::string& in_port)
+    {
+        const Entry& from = entry(producer, "bind: producer");
+        Entry& to = entry(consumer, "bind: consumer");
+        if (std::find(from.outputs.begin(), from.outputs.end(), out_port) == from.outputs.end())
+            throw std::invalid_argument{"ModuleGraph: module '" + from.name
+                                        + "' has no output port '" + out_port + "'"};
+        if (std::find(to.inputs.begin(), to.inputs.end(), in_port) == to.inputs.end())
+            throw std::invalid_argument{"ModuleGraph: module '" + to.name
+                                        + "' has no input port '" + in_port + "'"};
+        if (to.bound_inputs.count(in_port) != 0)
+            throw std::invalid_argument{"ModuleGraph: input '" + to.name + "." + in_port
+                                        + "' is already bound"};
+        to.bound_inputs.emplace(in_port, producer.index);
+    }
+
+    /// Convenience: binds every input port of `consumer` whose name matches
+    /// an output port of `producer`.
+    void auto_bind(ModuleHandle producer, ModuleHandle consumer)
+    {
+        const Entry& from = entry(producer, "auto_bind: producer");
+        const Entry& to = entry(consumer, "auto_bind: consumer");
+        for (const auto& port : to.inputs)
+            if (std::find(from.outputs.begin(), from.outputs.end(), port) != from.outputs.end()
+                && to.bound_inputs.count(port) == 0)
+                bind(producer, port, consumer, port);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return modules_.size(); }
+
+    /// Validates the graph and emits the executable sequence:
+    ///   * every input port must be bound,
+    ///   * the dependency graph must be acyclic,
+    ///   * and it must linearize into a *chain-compatible* order (Kahn's
+    ///     algorithm; declaration order breaks ties so the result is
+    ///     deterministic).
+    [[nodiscard]] TaskSequence<T> linearize() const
+    {
+        if (modules_.empty())
+            throw std::invalid_argument{"ModuleGraph: no modules"};
+
+        // Check all inputs bound; build adjacency.
+        std::vector<std::set<int>> successors(modules_.size());
+        std::vector<int> in_degree(modules_.size(), 0);
+        for (std::size_t m = 0; m < modules_.size(); ++m) {
+            const Entry& module = modules_[m];
+            for (const auto& port : module.inputs)
+                if (module.bound_inputs.count(port) == 0)
+                    throw std::invalid_argument{"ModuleGraph: input '" + module.name + "."
+                                                + port + "' is not bound"};
+            for (const auto& [port, producer] : module.bound_inputs)
+                if (successors[static_cast<std::size_t>(producer)].insert(static_cast<int>(m))
+                        .second)
+                    ++in_degree[m];
+        }
+
+        // Kahn topological sort, smallest declaration index first.
+        std::vector<int> order;
+        std::set<int> ready;
+        for (std::size_t m = 0; m < modules_.size(); ++m)
+            if (in_degree[m] == 0)
+                ready.insert(static_cast<int>(m));
+        while (!ready.empty()) {
+            const int next = *ready.begin();
+            ready.erase(ready.begin());
+            order.push_back(next);
+            for (const int succ : successors[static_cast<std::size_t>(next)])
+                if (--in_degree[static_cast<std::size_t>(succ)] == 0)
+                    ready.insert(succ);
+        }
+        if (order.size() != modules_.size())
+            throw std::invalid_argument{"ModuleGraph: binding cycle detected"};
+
+        TaskSequence<T> sequence;
+        for (const int index : order) {
+            const Entry& module = modules_[static_cast<std::size_t>(index)];
+            sequence.push_back(
+                make_task<T>(module.name, module.stateful, module.fn));
+        }
+        return sequence;
+    }
+
+    /// Names in linearized order (for inspection and tests).
+    [[nodiscard]] std::vector<std::string> linearized_names() const
+    {
+        const auto sequence = linearize();
+        std::vector<std::string> names;
+        names.reserve(static_cast<std::size_t>(sequence.size()));
+        for (int i = 1; i <= sequence.size(); ++i)
+            names.push_back(sequence.task(i).name());
+        return names;
+    }
+
+private:
+    struct Entry {
+        std::string name;
+        bool stateful = false;
+        std::function<void(T&)> fn;
+        std::vector<std::string> inputs;
+        std::vector<std::string> outputs;
+        std::map<std::string, int> bound_inputs; ///< port -> producer index
+    };
+
+    [[nodiscard]] const Entry& entry(ModuleHandle handle, const char* context) const
+    {
+        if (!handle.valid() || handle.index >= static_cast<int>(modules_.size()))
+            throw std::invalid_argument{std::string{context} + ": invalid module handle"};
+        return modules_[static_cast<std::size_t>(handle.index)];
+    }
+    [[nodiscard]] Entry& entry(ModuleHandle handle, const char* context)
+    {
+        return const_cast<Entry&>(std::as_const(*this).entry(handle, context));
+    }
+
+    std::vector<Entry> modules_;
+};
+
+} // namespace amp::rt

@@ -1,0 +1,101 @@
+#pragma once
+// Bounded inter-stage queue that restores stream order.
+//
+// Stages replicated over several workers complete frames out of order; the
+// queue buffers envelopes keyed by sequence number and hands them to
+// consumers strictly in order (the StreamPU "adaptor" role). Multiple
+// producers and multiple consumers are supported; each envelope is delivered
+// exactly once.
+//
+// Deadlock freedom under the bounded capacity: a push whose sequence number
+// is exactly the one the consumer waits for bypasses the capacity check, so
+// the frame the pipeline needs next can always enter the buffer.
+
+#include "rt/envelope.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace amp::rt {
+
+template <typename T>
+class OrderedQueue {
+public:
+    explicit OrderedQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    OrderedQueue(const OrderedQueue&) = delete;
+    OrderedQueue& operator=(const OrderedQueue&) = delete;
+
+    /// Blocks while the buffer is full, unless this envelope is the one the
+    /// consumer is waiting for or the queue was aborted.
+    void push(Envelope<T> envelope)
+    {
+        std::unique_lock lock{mutex_};
+        not_full_.wait(lock, [&] {
+            return aborted_ || buffer_.size() < capacity_ || envelope.seq == next_seq_;
+        });
+        if (aborted_)
+            return;
+        buffer_.emplace(envelope.seq, std::move(envelope));
+        not_empty_.notify_all();
+    }
+
+    /// Pops the next in-order envelope. Returns nullopt once the end-of-
+    /// stream envelope has been delivered (to some consumer) or the queue
+    /// was aborted. The end envelope itself is delivered exactly once.
+    std::optional<Envelope<T>> pop()
+    {
+        std::unique_lock lock{mutex_};
+        not_empty_.wait(lock, [&] {
+            return aborted_ || closed_ || buffer_.count(next_seq_) != 0;
+        });
+        if (aborted_ || closed_)
+            return std::nullopt;
+        auto node = buffer_.extract(next_seq_);
+        Envelope<T> envelope = std::move(node.mapped());
+        ++next_seq_;
+        if (envelope.end) {
+            closed_ = true;
+            not_empty_.notify_all(); // release consumers waiting on later seqs
+        }
+        not_full_.notify_all();
+        return envelope;
+    }
+
+    /// Unblocks every producer and consumer; subsequent pushes are dropped
+    /// and pops return nullopt. Used on error teardown.
+    void abort()
+    {
+        std::lock_guard lock{mutex_};
+        aborted_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Number of buffered envelopes (for tests/metrics).
+    [[nodiscard]] std::size_t buffered() const
+    {
+        std::lock_guard lock{mutex_};
+        return buffer_.size();
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::map<std::uint64_t, Envelope<T>> buffer_;
+    std::uint64_t next_seq_ = 0;
+    bool closed_ = false;
+    bool aborted_ = false;
+};
+
+} // namespace amp::rt

@@ -1,0 +1,247 @@
+#pragma once
+// Threaded pipeline executor: turns a scheduling Solution into running
+// worker threads connected by order-restoring bounded queues (the StreamPU
+// execution model, including the v1.6.0 extension that connects consecutive
+// replicated stages -- possibly of different core types).
+//
+// Stage i of the solution becomes r_i workers, each executing the stage's
+// task interval on every frame it pulls. Replicated stages clone their
+// (stateless) tasks once per extra worker. Sequential stages keep a single
+// worker and therefore observe frames in stream order, which is what makes
+// stateful tasks safe.
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+#include "rt/core_emulator.hpp"
+#include "rt/ordered_queue.hpp"
+#include "rt/task.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace amp::rt {
+
+struct PipelineConfig {
+    std::size_t queue_capacity = 8;      ///< per-adaptor buffered frames
+    CoreEmulator* emulator = nullptr;    ///< optional core-type emulation
+    /// Optional thread placement: worker k (in stage-major order, i.e. the
+    /// paper's compact placement) is pinned to CPU core_map[k % size]. Empty
+    /// = no pinning. Ignored on platforms without affinity support.
+    std::vector<int> core_map{};
+};
+
+struct RunResult {
+    std::uint64_t frames = 0;
+    double elapsed_seconds = 0.0;
+    [[nodiscard]] double fps() const noexcept
+    {
+        return elapsed_seconds > 0.0 ? static_cast<double>(frames) / elapsed_seconds : 0.0;
+    }
+};
+
+/// Pins the calling thread to the given CPU. Returns false when pinning is
+/// unsupported or fails (never fatal: placement is a performance hint).
+inline bool pin_current_thread_to_cpu([[maybe_unused]] int cpu)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+    return false;
+#endif
+}
+
+template <typename T>
+class Pipeline {
+public:
+    /// The sequence must outlive the pipeline. Throws if the solution does
+    /// not cover the chain or replicates a stage containing stateful tasks.
+    Pipeline(TaskSequence<T>& sequence, core::Solution solution, PipelineConfig config = {})
+        : sequence_(sequence)
+        , solution_(std::move(solution))
+        , config_(config)
+    {
+        validate();
+    }
+
+    /// Processes `num_frames` frames end to end. `on_output` (optional) is
+    /// invoked on the main thread, in stream order, with each final frame.
+    RunResult run(std::uint64_t num_frames, const std::function<void(T&)>& on_output = {})
+    {
+        const auto& stages = solution_.stages();
+        const std::size_t k = stages.size();
+
+        // Queue q[i] connects stage i to stage i+1; q[k-1] feeds the drain.
+        std::vector<std::unique_ptr<OrderedQueue<T>>> queues;
+        queues.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            queues.push_back(std::make_unique<OrderedQueue<T>>(config_.queue_capacity));
+
+        std::atomic<std::uint64_t> next_frame{0};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+        auto record_error = [&](std::exception_ptr error) {
+            {
+                std::lock_guard lock{error_mutex};
+                if (!first_error)
+                    first_error = error;
+            }
+            for (auto& queue : queues)
+                queue->abort();
+        };
+
+        // Per-worker task instances: worker 0 of each stage borrows the
+        // originals; extra (replica) workers own clones.
+        std::vector<std::vector<std::unique_ptr<Task<T>>>> clone_storage;
+        std::vector<std::thread> workers;
+        const auto start = std::chrono::steady_clock::now();
+
+        for (std::size_t s = 0; s < k; ++s) {
+            const core::Stage& stage = stages[s];
+            OrderedQueue<T>* in = s == 0 ? nullptr : queues[s - 1].get();
+            OrderedQueue<T>* out = queues[s].get();
+            for (int w = 0; w < stage.cores; ++w) {
+                std::vector<Task<T>*> tasks;
+                if (w == 0) {
+                    tasks = sequence_.stage_view(stage.first, stage.last);
+                } else {
+                    clone_storage.push_back(sequence_.stage_clones(stage.first, stage.last));
+                    for (auto& owned : clone_storage.back())
+                        tasks.push_back(owned.get());
+                }
+                const int pin_cpu = config_.core_map.empty()
+                    ? -1
+                    : config_.core_map[workers.size() % config_.core_map.size()];
+                workers.emplace_back([this, &next_frame, &record_error, num_frames, in, out,
+                                      stage, pin_cpu, tasks = std::move(tasks)] {
+                    if (pin_cpu >= 0)
+                        (void)pin_current_thread_to_cpu(pin_cpu);
+                    try {
+                        if (in == nullptr)
+                            source_loop(next_frame, num_frames, stage, tasks, *out);
+                        else
+                            stage_loop(stage, tasks, *in, *out);
+                    } catch (...) {
+                        record_error(std::current_exception());
+                    }
+                });
+            }
+        }
+
+        // Drain the final queue in order on this thread.
+        std::uint64_t delivered = 0;
+        try {
+            while (auto envelope = queues.back()->pop()) {
+                if (envelope->end)
+                    break;
+                if (on_output)
+                    on_output(envelope->payload);
+                ++delivered;
+            }
+        } catch (...) {
+            record_error(std::current_exception());
+        }
+
+        for (auto& worker : workers)
+            worker.join();
+        const auto stop = std::chrono::steady_clock::now();
+
+        if (first_error)
+            std::rethrow_exception(first_error);
+
+        return RunResult{delivered, std::chrono::duration<double>(stop - start).count()};
+    }
+
+    [[nodiscard]] const core::Solution& solution() const noexcept { return solution_; }
+
+private:
+    void validate() const
+    {
+        if (solution_.empty())
+            throw std::invalid_argument{"Pipeline: empty solution"};
+        int expected = 1;
+        for (const core::Stage& stage : solution_.stages()) {
+            if (stage.first != expected || stage.last < stage.first)
+                throw std::invalid_argument{"Pipeline: stages must tile the chain contiguously"};
+            if (stage.cores < 1)
+                throw std::invalid_argument{"Pipeline: every stage needs at least one core"};
+            if (stage.cores > 1)
+                for (int i = stage.first; i <= stage.last; ++i)
+                    if (sequence_.task(i).stateful())
+                        throw std::invalid_argument{
+                            "Pipeline: replicated stage contains stateful task '"
+                            + sequence_.task(i).name() + "'"};
+            expected = stage.last + 1;
+        }
+        if (expected != sequence_.size() + 1)
+            throw std::invalid_argument{"Pipeline: solution does not cover the whole chain"};
+    }
+
+    void run_tasks(const core::Stage& stage, const std::vector<Task<T>*>& tasks, T& frame)
+    {
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+            if (config_.emulator != nullptr) {
+                const auto begin = std::chrono::steady_clock::now();
+                tasks[t]->process(frame);
+                const auto elapsed = std::chrono::steady_clock::now() - begin;
+                config_.emulator->after_task(
+                    stage.first + static_cast<int>(t), stage.type,
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed));
+            } else {
+                tasks[t]->process(frame);
+            }
+        }
+    }
+
+    void source_loop(std::atomic<std::uint64_t>& next_frame, std::uint64_t num_frames,
+                     const core::Stage& stage, const std::vector<Task<T>*>& tasks,
+                     OrderedQueue<T>& out)
+    {
+        for (;;) {
+            const std::uint64_t seq = next_frame.fetch_add(1, std::memory_order_relaxed);
+            if (seq >= num_frames) {
+                if (seq == num_frames)
+                    out.push(Envelope<T>::end_of_stream(num_frames));
+                return;
+            }
+            Envelope<T> envelope = Envelope<T>::data(seq, T{});
+            if constexpr (requires(T& p) { p.seq = seq; })
+                envelope.payload.seq = seq; // payloads may carry their identity
+            run_tasks(stage, tasks, envelope.payload);
+            out.push(std::move(envelope));
+        }
+    }
+
+    void stage_loop(const core::Stage& stage, const std::vector<Task<T>*>& tasks,
+                    OrderedQueue<T>& in, OrderedQueue<T>& out)
+    {
+        while (auto envelope = in.pop()) {
+            if (envelope->end) {
+                out.push(std::move(*envelope));
+                return;
+            }
+            run_tasks(stage, tasks, envelope->payload);
+            out.push(std::move(*envelope));
+        }
+    }
+
+    TaskSequence<T>& sequence_;
+    core::Solution solution_;
+    PipelineConfig config_;
+};
+
+} // namespace amp::rt

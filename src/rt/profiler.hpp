@@ -1,0 +1,64 @@
+#pragma once
+// Sequential per-task latency profiler: runs a task sequence on a stream of
+// frames single-threaded and reports the average latency of every task in
+// microseconds. This mirrors the paper's profiling step that feeds Table III
+// and the schedule computations of Table II.
+
+#include "core/chain.hpp"
+#include "rt/task.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace amp::rt {
+
+struct TaskProfile {
+    std::vector<double> latency_us; ///< average per-task latency, 1-based order
+};
+
+/// Runs `frames` frames through the sequence (in order, single thread) and
+/// averages each task's wall-clock latency. `warmup` frames are executed
+/// first and excluded from the averages.
+template <typename T>
+[[nodiscard]] TaskProfile profile_sequence(TaskSequence<T>& sequence, std::uint64_t frames,
+                                           std::uint64_t warmup = 2)
+{
+    const int n = sequence.size();
+    std::vector<double> totals(static_cast<std::size_t>(n), 0.0);
+
+    for (std::uint64_t f = 0; f < warmup + frames; ++f) {
+        T frame{};
+        if constexpr (requires(T& p) { p.seq = f; })
+            frame.seq = f;
+        for (int i = 1; i <= n; ++i) {
+            const auto begin = std::chrono::steady_clock::now();
+            sequence.task(i).process(frame);
+            const auto stop = std::chrono::steady_clock::now();
+            if (f >= warmup)
+                totals[static_cast<std::size_t>(i - 1)] +=
+                    std::chrono::duration<double, std::micro>(stop - begin).count();
+        }
+    }
+
+    TaskProfile profile;
+    profile.latency_us.reserve(totals.size());
+    for (const double total : totals)
+        profile.latency_us.push_back(frames > 0 ? total / static_cast<double>(frames) : 0.0);
+    return profile;
+}
+
+/// Builds the scheduler chain from a big-core profile and per-task
+/// little-core slowdown factors (w^L = w^B * factor).
+template <typename T>
+[[nodiscard]] core::TaskChain to_scheduler_chain(const TaskSequence<T>& sequence,
+                                                 const TaskProfile& big_profile,
+                                                 const std::vector<double>& little_factors)
+{
+    std::vector<double> little(big_profile.latency_us.size());
+    for (std::size_t i = 0; i < little.size(); ++i)
+        little[i] = big_profile.latency_us[i]
+            * (i < little_factors.size() ? little_factors[i] : 1.0);
+    return sequence.to_core_chain(big_profile.latency_us, little);
+}
+
+} // namespace amp::rt

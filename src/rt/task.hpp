@@ -1,0 +1,137 @@
+#pragma once
+// Runtime task abstraction: the StreamPU-like module/task layer.
+//
+// A Task<T> transforms a frame payload of type T in place. Stateless tasks
+// must be clonable (replication instantiates one copy per worker); stateful
+// tasks are never cloned because the scheduler never replicates them.
+
+#include "core/chain.hpp"
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amp::rt {
+
+template <typename T>
+class Task {
+public:
+    Task(std::string name, bool stateful)
+        : name_(std::move(name))
+        , stateful_(stateful)
+    {
+    }
+    virtual ~Task() = default;
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    /// Transforms one frame in place.
+    virtual void process(T& frame) = 0;
+
+    /// Fresh instance with identical configuration. Stateless tasks must
+    /// implement this; the default (for stateful tasks) throws.
+    [[nodiscard]] virtual std::unique_ptr<Task<T>> clone() const
+    {
+        throw std::logic_error{"task '" + name_ + "' is stateful and cannot be replicated"};
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] bool stateful() const noexcept { return stateful_; }
+    [[nodiscard]] bool replicable() const noexcept { return !stateful_; }
+
+private:
+    std::string name_;
+    bool stateful_;
+};
+
+/// Wraps a callable as a task. Stateless lambda tasks clone by copying the
+/// callable; stateful ones use the base-class throwing clone.
+template <typename T, typename Fn>
+class LambdaTask final : public Task<T> {
+public:
+    LambdaTask(std::string name, bool stateful, Fn fn)
+        : Task<T>(std::move(name), stateful)
+        , fn_(std::move(fn))
+    {
+    }
+
+    void process(T& frame) override { fn_(frame); }
+
+    [[nodiscard]] std::unique_ptr<Task<T>> clone() const override
+    {
+        if (this->stateful())
+            return Task<T>::clone();
+        return std::make_unique<LambdaTask>(this->name(), false, fn_);
+    }
+
+private:
+    Fn fn_;
+};
+
+template <typename T, typename Fn>
+[[nodiscard]] std::unique_ptr<Task<T>> make_task(std::string name, bool stateful, Fn fn)
+{
+    return std::make_unique<LambdaTask<T, Fn>>(std::move(name), stateful, std::move(fn));
+}
+
+/// An ordered chain of runtime tasks (1-based indexing like core::TaskChain).
+template <typename T>
+class TaskSequence {
+public:
+    TaskSequence() = default;
+
+    void push_back(std::unique_ptr<Task<T>> task) { tasks_.push_back(std::move(task)); }
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(tasks_.size()); }
+    [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+    [[nodiscard]] Task<T>& task(int i) const
+    {
+        return *tasks_.at(static_cast<std::size_t>(i - 1));
+    }
+
+    /// Builds the per-worker task instances for stage [first, last]: worker 0
+    /// borrows the originals, workers >= 1 get clones (hence require all
+    /// stage tasks to be stateless).
+    [[nodiscard]] std::vector<Task<T>*> stage_view(int first, int last) const
+    {
+        std::vector<Task<T>*> view;
+        view.reserve(static_cast<std::size_t>(last - first + 1));
+        for (int i = first; i <= last; ++i)
+            view.push_back(&task(i));
+        return view;
+    }
+
+    [[nodiscard]] std::vector<std::unique_ptr<Task<T>>> stage_clones(int first, int last) const
+    {
+        std::vector<std::unique_ptr<Task<T>>> clones;
+        clones.reserve(static_cast<std::size_t>(last - first + 1));
+        for (int i = first; i <= last; ++i)
+            clones.push_back(task(i).clone());
+        return clones;
+    }
+
+    /// Converts to the scheduler's chain model given per-task weights.
+    [[nodiscard]] core::TaskChain
+    to_core_chain(const std::vector<double>& weights_big,
+                  const std::vector<double>& weights_little) const
+    {
+        if (weights_big.size() != tasks_.size() || weights_little.size() != tasks_.size())
+            throw std::invalid_argument{"to_core_chain: weight vectors must match chain size"};
+        std::vector<core::TaskDesc> descs;
+        descs.reserve(tasks_.size());
+        for (std::size_t i = 0; i < tasks_.size(); ++i)
+            descs.push_back(core::TaskDesc{tasks_[i]->name(), weights_big[i],
+                                           weights_little[i], tasks_[i]->replicable()});
+        return core::TaskChain{std::move(descs)};
+    }
+
+private:
+    std::vector<std::unique_ptr<Task<T>>> tasks_;
+};
+
+} // namespace amp::rt

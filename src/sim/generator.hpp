@@ -1,0 +1,34 @@
+#pragma once
+// Synthetic task-chain generator reproducing the paper's simulation setup
+// (§VI-A1): big-core weights uniform in the integer interval [1, 100], a
+// little-core slowdown uniform in [1, 5] applied per task and rounded with
+// the ceiling function, and a fixed fraction of replicable tasks (the
+// stateless ratio, SR) at uniformly random positions.
+
+#include "common/rng.hpp"
+#include "core/chain.hpp"
+
+namespace amp::sim {
+
+/// Big-core weight distribution. `uniform` is the paper's; the others probe
+/// robustness to workload shape (see the ext_workload_robustness bench):
+/// `bimodal` mixes light tasks with a few 10x heavy ones (decoder-like
+/// chains), `lognormal` produces a heavy right tail.
+enum class WeightDistribution { uniform, bimodal, lognormal };
+
+struct GeneratorConfig {
+    int num_tasks = 20;
+    int weight_min = 1;             ///< inclusive lower bound of w^B
+    int weight_max = 100;           ///< inclusive upper bound of w^B
+    double slowdown_min = 1.0;      ///< little-core slowdown lower bound
+    double slowdown_max = 5.0;      ///< little-core slowdown upper bound
+    double stateless_ratio = 0.5;   ///< fraction of replicable tasks (exact count)
+    WeightDistribution distribution = WeightDistribution::uniform;
+    double bimodal_heavy_fraction = 0.15; ///< share of 10x-heavy tasks (bimodal)
+};
+
+/// Generates one chain. Exactly round(SR * n) tasks are replicable, at
+/// uniformly random positions (Fisher-Yates selection).
+[[nodiscard]] core::TaskChain generate_chain(const GeneratorConfig& config, Rng& rng);
+
+} // namespace amp::sim

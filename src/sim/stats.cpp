@@ -1,0 +1,94 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace amp::sim {
+
+double mean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0)
+        / static_cast<double>(values.size());
+}
+
+double median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+SlowdownSummary summarize_slowdowns(std::vector<double> ratios, double tolerance)
+{
+    SlowdownSummary summary;
+    if (ratios.empty())
+        return summary;
+    const auto optimal = std::count_if(ratios.begin(), ratios.end(),
+                                       [&](double r) { return r <= 1.0 + tolerance; });
+    summary.pct_optimal = static_cast<double>(optimal) / static_cast<double>(ratios.size());
+    summary.average = mean(ratios);
+    summary.maximum = *std::max_element(ratios.begin(), ratios.end());
+    summary.median = median(std::move(ratios));
+    return summary;
+}
+
+std::vector<double> empirical_cdf(std::vector<double> samples,
+                                  const std::vector<double>& thresholds)
+{
+    std::sort(samples.begin(), samples.end());
+    std::vector<double> cdf;
+    cdf.reserve(thresholds.size());
+    for (const double x : thresholds) {
+        const auto it = std::upper_bound(samples.begin(), samples.end(), x);
+        cdf.push_back(samples.empty()
+                          ? 0.0
+                          : static_cast<double>(it - samples.begin())
+                              / static_cast<double>(samples.size()));
+    }
+    return cdf;
+}
+
+std::vector<double> linspace(double lo, double hi, int count)
+{
+    if (count < 2)
+        throw std::invalid_argument{"linspace: count must be >= 2"};
+    std::vector<double> points(static_cast<std::size_t>(count));
+    const double step = (hi - lo) / static_cast<double>(count - 1);
+    for (int i = 0; i < count; ++i)
+        points[static_cast<std::size_t>(i)] = lo + step * i;
+    return points;
+}
+
+void UsageHeatmap::add(const core::Resources& usage_a, const core::Resources& usage_b)
+{
+    ++cells_[{usage_a.big - usage_b.big, usage_a.little - usage_b.little}];
+    ++total_;
+}
+
+double UsageHeatmap::fraction(int delta_big, int delta_little) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const auto it = cells_.find({delta_big, delta_little});
+    return it == cells_.end() ? 0.0 : static_cast<double>(it->second) / total_;
+}
+
+double UsageHeatmap::fraction_at_most_total(int extra) const
+{
+    if (total_ == 0)
+        return 0.0;
+    int count = 0;
+    for (const auto& [delta, occurrences] : cells_)
+        if (delta.first + delta.second <= extra)
+            count += occurrences;
+    return static_cast<double>(count) / total_;
+}
+
+} // namespace amp::sim

@@ -1,0 +1,66 @@
+#pragma once
+// Statistics used by the paper's simulation campaign: slowdown-ratio
+// summaries (Table I), cumulative distributions (Fig. 1), and core-usage
+// difference heatmaps (Fig. 2).
+
+#include "core/chain.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace amp::sim {
+
+/// The 4-tuple the paper reports per strategy and scenario:
+/// (% optimal periods, average, median, maximum slowdown ratio).
+struct SlowdownSummary {
+    double pct_optimal = 0.0; ///< fraction in [0, 1]
+    double average = 0.0;
+    double median = 0.0;
+    double maximum = 0.0;
+};
+
+/// Summarizes slowdown ratios (P_strategy / P_optimal, each >= 1).
+/// A ratio counts as optimal when within `tolerance` of 1.
+[[nodiscard]] SlowdownSummary summarize_slowdowns(std::vector<double> ratios,
+                                                  double tolerance = 1e-6);
+
+/// Average of a sample.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// Median of a sample (average of the two middle elements for even sizes).
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Empirical CDF evaluated at the given thresholds: for each x, the
+/// fraction of samples <= x. Used to print Fig. 1's cumulative curves.
+[[nodiscard]] std::vector<double> empirical_cdf(std::vector<double> samples,
+                                                const std::vector<double>& thresholds);
+
+/// Evenly spaced thresholds in [lo, hi] (inclusive), count >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int count);
+
+/// Core-usage difference heatmap (Fig. 2): counts occurrences of
+/// (extra_big, extra_little) = usage_a - usage_b per solved instance.
+class UsageHeatmap {
+public:
+    void add(const core::Resources& usage_a, const core::Resources& usage_b);
+
+    /// Fraction of instances with the exact (delta_big, delta_little) cell.
+    [[nodiscard]] double fraction(int delta_big, int delta_little) const;
+
+    /// Fraction of instances using at most `extra` cores in total more
+    /// (i.e. delta_big + delta_little <= extra).
+    [[nodiscard]] double fraction_at_most_total(int extra) const;
+
+    [[nodiscard]] int total() const noexcept { return total_; }
+    [[nodiscard]] const std::map<std::pair<int, int>, int>& cells() const noexcept
+    {
+        return cells_;
+    }
+
+private:
+    std::map<std::pair<int, int>, int> cells_;
+    int total_ = 0;
+};
+
+} // namespace amp::sim

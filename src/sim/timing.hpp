@@ -1,0 +1,20 @@
+#pragma once
+// Wall-clock timing harness for the strategy execution-time experiments
+// (paper Figs. 3-4).
+
+#include <chrono>
+#include <utility>
+
+namespace amp::sim {
+
+/// Runs `fn` once and returns the elapsed wall-clock time in microseconds.
+template <typename Fn>
+[[nodiscard]] double time_once_us(Fn&& fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::forward<Fn>(fn)();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(stop - start).count();
+}
+
+} // namespace amp::sim

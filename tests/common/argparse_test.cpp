@@ -1,0 +1,52 @@
+#include "common/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using amp::ArgParse;
+
+TEST(ArgParse, ParsesKeyEqualsValue)
+{
+    const char* argv[] = {"prog", "--tasks=20", "--sr=0.5"};
+    ArgParse args(3, argv);
+    EXPECT_EQ(args.get_int("tasks", 0), 20);
+    EXPECT_DOUBLE_EQ(args.get_double("sr", 0.0), 0.5);
+}
+
+TEST(ArgParse, ParsesKeySpaceValue)
+{
+    const char* argv[] = {"prog", "--chains", "1000"};
+    ArgParse args(3, argv);
+    EXPECT_EQ(args.get_int("chains", 0), 1000);
+}
+
+TEST(ArgParse, BooleanFlag)
+{
+    const char* argv[] = {"prog", "--full", "--quiet=false"};
+    ArgParse args(3, argv);
+    EXPECT_TRUE(args.get_bool("full"));
+    EXPECT_FALSE(args.get_bool("quiet", true));
+    EXPECT_FALSE(args.get_bool("absent"));
+    EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+TEST(ArgParse, Fallbacks)
+{
+    const char* argv[] = {"prog"};
+    ArgParse args(1, argv);
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(args.get_int("missing", 7), 7);
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParse, Positional)
+{
+    const char* argv[] = {"prog", "input.bin", "--n=3", "output.bin"};
+    ArgParse args(4, argv);
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "input.bin");
+    EXPECT_EQ(args.positional()[1], "output.bin");
+}
+
+} // namespace

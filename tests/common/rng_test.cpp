@@ -1,0 +1,106 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace {
+
+using amp::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntStaysInBounds)
+{
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        const auto x = rng.uniform_int(1, 100);
+        EXPECT_GE(x, 1);
+        EXPECT_LE(x, 100);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng{7};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng{11};
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniform_int(0, 9));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform)
+{
+    Rng rng{13};
+    std::array<int, 10> buckets{};
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        ++buckets[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    for (const int count : buckets) {
+        EXPECT_GT(count, kDraws / 10 * 0.9);
+        EXPECT_LT(count, kDraws / 10 * 1.1);
+    }
+}
+
+TEST(Rng, UniformRealStaysInBounds)
+{
+    Rng rng{17};
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform_real(1.0, 5.0);
+        EXPECT_GE(x, 1.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance)
+{
+    Rng rng{19};
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double variance = sum_sq / kDraws - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng{23};
+    int hits = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using amp::TextTable;
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"b", "22"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, CsvHasNoPadding)
+{
+    TextTable table({"a", "b"});
+    table.add_row({"x", "y"});
+    EXPECT_EQ(table.csv(), "a,b\nx,y\n");
+}
+
+TEST(TextTable, RejectsMismatchedRow)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable{{}}, std::invalid_argument);
+}
+
+TEST(Format, FixedDecimals)
+{
+    EXPECT_EQ(amp::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(amp::fmt(1.0, 0), "1");
+    EXPECT_EQ(amp::fmt(2.5, 3), "2.500");
+}
+
+TEST(Format, Percentage)
+{
+    EXPECT_EQ(amp::fmt_pct(0.958, 1), "95.8%");
+    EXPECT_EQ(amp::fmt_pct(1.0, 1), "100.0%");
+}
+
+} // namespace

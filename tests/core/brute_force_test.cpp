@@ -1,0 +1,76 @@
+#include "core/brute_force.hpp"
+
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+using amp::testing::uniform_chain;
+
+TEST(BruteForce, TrivialSingleTask)
+{
+    const auto chain = make_chain({{10, 40, false}});
+    const auto result = brute_force(chain, {1, 1});
+    EXPECT_DOUBLE_EQ(result.optimal_period, 10.0);
+    ASSERT_FALSE(result.pareto_usages.empty());
+    for (const auto& usage : result.pareto_usages)
+        EXPECT_EQ(usage.total(), 1);
+}
+
+TEST(BruteForce, ReplicationHalvesPeriod)
+{
+    const auto chain = make_chain({{10, 10, true}});
+    const auto result = brute_force(chain, {2, 0});
+    EXPECT_DOUBLE_EQ(result.optimal_period, 5.0);
+}
+
+TEST(BruteForce, SequentialTaskCannotReplicate)
+{
+    const auto chain = make_chain({{10, 10, false}});
+    const auto result = brute_force(chain, {4, 4});
+    EXPECT_DOUBLE_EQ(result.optimal_period, 10.0);
+}
+
+TEST(BruteForce, ParetoFrontHasNoDominatedUsage)
+{
+    const auto chain = make_chain({{10, 10, true}, {10, 10, false}, {10, 10, true}});
+    const auto result = brute_force(chain, {2, 2});
+    ASSERT_FALSE(result.pareto_usages.empty());
+    for (std::size_t i = 0; i < result.pareto_usages.size(); ++i) {
+        for (std::size_t k = 0; k < result.pareto_usages.size(); ++k) {
+            if (i == k)
+                continue;
+            const auto& a = result.pareto_usages[i];
+            const auto& b = result.pareto_usages[k];
+            const bool dominates = a.big <= b.big && a.little <= b.little
+                && (a.big < b.big || a.little < b.little);
+            EXPECT_FALSE(dominates);
+        }
+    }
+}
+
+TEST(BruteForce, SolutionsMatchUsagesAndPeriod)
+{
+    const auto chain =
+        make_chain({{5, 9, true}, {12, 30, false}, {4, 6, true}, {8, 21, true}});
+    const auto result = brute_force(chain, {2, 2});
+    ASSERT_EQ(result.pareto_usages.size(), result.pareto_solutions.size());
+    for (std::size_t i = 0; i < result.pareto_solutions.size(); ++i) {
+        const auto& sol = result.pareto_solutions[i];
+        EXPECT_TRUE(sol.is_well_formed(chain));
+        EXPECT_NEAR(sol.period(chain), result.optimal_period, 1e-9);
+        EXPECT_EQ(sol.used(), result.pareto_usages[i]);
+    }
+}
+
+TEST(BruteForce, EmptyInputs)
+{
+    EXPECT_TRUE(brute_force(TaskChain{}, {1, 1}).pareto_usages.empty());
+    const auto chain = uniform_chain(2, 1.0, true);
+    EXPECT_TRUE(brute_force(chain, {0, 0}).pareto_usages.empty());
+}
+
+} // namespace

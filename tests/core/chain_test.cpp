@@ -1,0 +1,130 @@
+#include "core/chain.hpp"
+
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+using amp::testing::uniform_chain;
+
+TEST(TaskChain, BasicAccessors)
+{
+    const auto chain = make_chain({{10, 20, false}, {5, 25, true}, {8, 8, true}});
+    EXPECT_EQ(chain.size(), 3);
+    EXPECT_FALSE(chain.empty());
+    EXPECT_DOUBLE_EQ(chain.weight(1, CoreType::big), 10);
+    EXPECT_DOUBLE_EQ(chain.weight(1, CoreType::little), 20);
+    EXPECT_FALSE(chain.replicable(1));
+    EXPECT_TRUE(chain.replicable(2));
+    EXPECT_EQ(chain.replicable_count(), 2);
+}
+
+TEST(TaskChain, RejectsNonPositiveWeights)
+{
+    EXPECT_THROW(make_chain({{0, 1, true}}), std::invalid_argument);
+    EXPECT_THROW(make_chain({{1, 0, true}}), std::invalid_argument);
+    EXPECT_THROW(make_chain({{-3, 1, true}}), std::invalid_argument);
+}
+
+TEST(TaskChain, IntervalSums)
+{
+    const auto chain = make_chain({{1, 10, true}, {2, 20, true}, {3, 30, true}, {4, 40, true}});
+    EXPECT_DOUBLE_EQ(chain.interval_sum(1, 4, CoreType::big), 10);
+    EXPECT_DOUBLE_EQ(chain.interval_sum(2, 3, CoreType::big), 5);
+    EXPECT_DOUBLE_EQ(chain.interval_sum(2, 3, CoreType::little), 50);
+    EXPECT_DOUBLE_EQ(chain.interval_sum(3, 3, CoreType::big), 3);
+    EXPECT_DOUBLE_EQ(chain.interval_sum(3, 2, CoreType::big), 0) << "empty interval sums to 0";
+}
+
+TEST(TaskChain, IntervalReplicability)
+{
+    // replicable, sequential, replicable, replicable
+    const auto chain =
+        make_chain({{1, 1, true}, {1, 1, false}, {1, 1, true}, {1, 1, true}});
+    EXPECT_TRUE(chain.interval_replicable(1, 1));
+    EXPECT_FALSE(chain.interval_replicable(1, 2));
+    EXPECT_FALSE(chain.interval_replicable(2, 2));
+    EXPECT_TRUE(chain.interval_replicable(3, 4));
+    EXPECT_FALSE(chain.interval_replicable(2, 4));
+}
+
+TEST(TaskChain, FinalReplicableTask)
+{
+    const auto chain =
+        make_chain({{1, 1, true}, {1, 1, true}, {1, 1, false}, {1, 1, true}, {1, 1, true}});
+    EXPECT_EQ(chain.final_replicable_task(1, 1), 2);
+    EXPECT_EQ(chain.final_replicable_task(1, 2), 2);
+    EXPECT_EQ(chain.final_replicable_task(4, 4), 5) << "trailing replicable run extends to n";
+}
+
+TEST(TaskChain, StageWeightEquation1)
+{
+    // Tasks 1-2 replicable, task 3 sequential.
+    const auto chain = make_chain({{4, 8, true}, {6, 12, true}, {10, 30, false}});
+    // Replicable stage: weight divides by the core count.
+    EXPECT_DOUBLE_EQ(chain.stage_weight(1, 2, 1, CoreType::big), 10);
+    EXPECT_DOUBLE_EQ(chain.stage_weight(1, 2, 2, CoreType::big), 5);
+    EXPECT_DOUBLE_EQ(chain.stage_weight(1, 2, 4, CoreType::little), 5);
+    // A stage containing the sequential task never divides.
+    EXPECT_DOUBLE_EQ(chain.stage_weight(1, 3, 1, CoreType::big), 20);
+    EXPECT_DOUBLE_EQ(chain.stage_weight(1, 3, 5, CoreType::big), 20);
+    EXPECT_DOUBLE_EQ(chain.stage_weight(3, 3, 2, CoreType::little), 30);
+    // Zero cores means infinite weight.
+    EXPECT_EQ(chain.stage_weight(1, 2, 0, CoreType::big), kInfiniteWeight);
+}
+
+TEST(TaskChain, MaxWeights)
+{
+    const auto chain = make_chain({{4, 9, true}, {6, 30, false}, {10, 12, true}});
+    EXPECT_DOUBLE_EQ(chain.max_weight(CoreType::big), 10);
+    EXPECT_DOUBLE_EQ(chain.max_weight(CoreType::little), 30);
+    EXPECT_DOUBLE_EQ(chain.max_sequential_weight(CoreType::big), 6);
+    EXPECT_DOUBLE_EQ(chain.max_sequential_weight(CoreType::little), 30);
+}
+
+TEST(TaskChain, MaxSequentialWeightZeroWhenAllReplicable)
+{
+    const auto chain = uniform_chain(4, 5.0, true);
+    EXPECT_DOUBLE_EQ(chain.max_sequential_weight(CoreType::big), 0.0);
+    EXPECT_DOUBLE_EQ(chain.stateless_ratio(), 1.0);
+}
+
+TEST(TaskChain, StatelessRatio)
+{
+    const auto chain =
+        make_chain({{1, 1, true}, {1, 1, false}, {1, 1, true}, {1, 1, false}, {1, 1, false}});
+    EXPECT_DOUBLE_EQ(chain.stateless_ratio(), 0.4);
+}
+
+TEST(TaskChain, EmptyChain)
+{
+    const TaskChain chain;
+    EXPECT_TRUE(chain.empty());
+    EXPECT_EQ(chain.size(), 0);
+    EXPECT_DOUBLE_EQ(chain.stateless_ratio(), 0.0);
+}
+
+TEST(Resources, CountAccessors)
+{
+    Resources r{3, 5};
+    EXPECT_EQ(r.total(), 8);
+    EXPECT_EQ(r.count(CoreType::big), 3);
+    EXPECT_EQ(r.count(CoreType::little), 5);
+    r.count(CoreType::big) -= 2;
+    EXPECT_EQ(r.big, 1);
+}
+
+TEST(CoreType, OtherFlips)
+{
+    EXPECT_EQ(other(CoreType::big), CoreType::little);
+    EXPECT_EQ(other(CoreType::little), CoreType::big);
+    EXPECT_STREQ(to_string(CoreType::big), "B");
+    EXPECT_STREQ(to_string(CoreType::little), "L");
+}
+
+} // namespace

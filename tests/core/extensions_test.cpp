@@ -1,0 +1,85 @@
+// Tests of the extension features beyond the paper's core algorithms:
+// FERTAC's big-first preference and HeRAD's fast u-search.
+
+#include "core/fertac.hpp"
+#include "core/herad.hpp"
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+
+TEST(FertacBigFirst, PrefersBigCoresWhenTheySuffice)
+{
+    // Weights identical on both types: big-first grabs big cores where the
+    // paper's little-first FERTAC grabs little ones.
+    std::vector<TaskDesc> tasks;
+    for (int i = 0; i < 4; ++i)
+        tasks.push_back({"t" + std::to_string(i + 1), 10.0, 10.0, false});
+    const TaskChain chain{std::move(tasks)};
+
+    const Solution little_first = fertac(chain, {4, 4});
+    const Solution big_first =
+        fertac(chain, {4, 4}, nullptr, FertacPreference::big_first);
+    ASSERT_FALSE(little_first.empty());
+    ASSERT_FALSE(big_first.empty());
+    EXPECT_EQ(little_first.used(CoreType::big), 0);
+    EXPECT_EQ(big_first.used(CoreType::little), 0);
+    EXPECT_DOUBLE_EQ(little_first.period(chain), big_first.period(chain));
+}
+
+TEST(FertacBigFirst, BothVariantsStayValidOnRandomChains)
+{
+    amp::Rng rng{0xb1f};
+    amp::sim::GeneratorConfig config;
+    config.num_tasks = 15;
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto chain = amp::sim::generate_chain(config, rng);
+        for (const auto preference :
+             {FertacPreference::little_first, FertacPreference::big_first}) {
+            const Solution sol = fertac(chain, {3, 3}, nullptr, preference);
+            ASSERT_FALSE(sol.empty());
+            ASSERT_TRUE(sol.is_well_formed(chain));
+            ASSERT_LE(sol.used(CoreType::big), 3);
+            ASSERT_LE(sol.used(CoreType::little), 3);
+        }
+    }
+}
+
+TEST(HeradFastUSearch, PeriodMatchesExactSearch)
+{
+    amp::Rng rng{0xfa57};
+    amp::sim::GeneratorConfig config;
+    config.num_tasks = 12;
+    for (const double sr : {0.2, 0.5, 0.8}) {
+        config.stateless_ratio = sr;
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto chain = amp::sim::generate_chain(config, rng);
+            for (const Resources budget : {Resources{6, 6}, Resources{10, 2}}) {
+                const Solution exact = herad(chain, budget, {.fast_u_search = false});
+                const Solution fast = herad(chain, budget, {.fast_u_search = true});
+                ASSERT_FALSE(fast.empty());
+                ASSERT_TRUE(fast.is_well_formed(chain));
+                ASSERT_NEAR(fast.period(chain), exact.period(chain), 1e-9)
+                    << "sr=" << sr << " trial=" << trial;
+            }
+        }
+    }
+}
+
+TEST(HeradFastUSearch, RespectsBudgets)
+{
+    amp::Rng rng{0xfa58};
+    amp::sim::GeneratorConfig config;
+    config.num_tasks = 20;
+    config.stateless_ratio = 0.8;
+    const auto chain = amp::sim::generate_chain(config, rng);
+    const Resources budget{12, 12};
+    const Solution fast = herad(chain, budget, {.fast_u_search = true});
+    EXPECT_LE(fast.used(CoreType::big), budget.big);
+    EXPECT_LE(fast.used(CoreType::little), budget.little);
+}
+
+} // namespace

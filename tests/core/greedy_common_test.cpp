@@ -1,0 +1,164 @@
+#include "core/greedy_common.hpp"
+
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+using amp::testing::uniform_chain;
+
+TEST(MaxPacking, PacksAsManyTasksAsFit)
+{
+    const auto chain = uniform_chain(5, 10.0, false);
+    EXPECT_EQ(max_packing(chain, 1, 1, CoreType::big, 25.0), 2);
+    EXPECT_EQ(max_packing(chain, 1, 1, CoreType::big, 30.0), 3);
+    EXPECT_EQ(max_packing(chain, 2, 1, CoreType::big, 100.0), 5);
+}
+
+TEST(MaxPacking, AlwaysTakesAtLeastOneTask)
+{
+    const auto chain = uniform_chain(3, 10.0, false);
+    EXPECT_EQ(max_packing(chain, 2, 1, CoreType::big, 1.0), 2)
+        << "oversized task still starts the stage (paper's max(s, ...))";
+}
+
+TEST(MaxPacking, ReplicationExtendsPacking)
+{
+    const auto chain = uniform_chain(6, 10.0, true);
+    EXPECT_EQ(max_packing(chain, 1, 1, CoreType::big, 20.0), 2);
+    EXPECT_EQ(max_packing(chain, 1, 3, CoreType::big, 20.0), 6);
+}
+
+TEST(MaxPacking, SequentialTaskStopsDivision)
+{
+    // 2 replicable then 1 sequential task: including the sequential task
+    // makes the interval weight the plain sum.
+    const auto chain = make_chain({{10, 10, true}, {10, 10, true}, {10, 10, false}});
+    EXPECT_EQ(max_packing(chain, 1, 2, CoreType::big, 10.0), 2);
+    EXPECT_EQ(max_packing(chain, 1, 2, CoreType::big, 30.0), 3);
+}
+
+TEST(RequiredCores, CeilOfWeightOverPeriod)
+{
+    const auto chain = uniform_chain(4, 10.0, true);
+    EXPECT_EQ(required_cores(chain, 1, 4, CoreType::big, 40.0), 1);
+    EXPECT_EQ(required_cores(chain, 1, 4, CoreType::big, 20.0), 2);
+    EXPECT_EQ(required_cores(chain, 1, 4, CoreType::big, 13.0), 4);
+    EXPECT_EQ(required_cores(chain, 1, 4, CoreType::big, 10.0), 4);
+}
+
+TEST(RequiredCores, ExactDivisionDoesNotRoundUp)
+{
+    const auto chain = uniform_chain(3, 7.0, true);
+    // 21 / 7 == 3 exactly: must be 3, not 4 (FP tolerance).
+    EXPECT_EQ(required_cores(chain, 1, 3, CoreType::big, 7.0), 3);
+}
+
+TEST(ComputeStage, SingleCorePacking)
+{
+    const auto chain = uniform_chain(5, 10.0, false);
+    const auto cut = compute_stage(chain, 1, 3, CoreType::big, 20.0);
+    EXPECT_EQ(cut.end, 2);
+    EXPECT_EQ(cut.used, 1);
+}
+
+TEST(ComputeStage, ExtendsReplicableRun)
+{
+    // 4 replicable tasks then a sequential one. Target 10 with plenty of
+    // cores: the whole replicable run becomes one stage on 4 cores.
+    const auto chain = make_chain(
+        {{10, 10, true}, {10, 10, true}, {10, 10, true}, {10, 10, true}, {10, 10, false}});
+    const auto cut = compute_stage(chain, 1, 8, CoreType::big, 10.0);
+    EXPECT_EQ(cut.end, 4);
+    EXPECT_EQ(cut.used, 4);
+}
+
+TEST(ComputeStage, ReducesWhenCoresShort)
+{
+    const auto chain = make_chain(
+        {{10, 10, true}, {10, 10, true}, {10, 10, true}, {10, 10, true}, {10, 10, false}});
+    const auto cut = compute_stage(chain, 1, 2, CoreType::big, 10.0);
+    EXPECT_EQ(cut.end, 2);
+    EXPECT_EQ(cut.used, 2);
+}
+
+TEST(ComputeStage, LeavesOneCoreForNextStageWhenProfitable)
+{
+    // Replicable run of 3 tasks (10 each) then a sequential task of 10.
+    // Target 20: full run needs ceil(30/20)=2 cores; shrinking to 2 tasks
+    // (1 core) leaves task3+task4=20 for a single next core -> better.
+    const auto chain =
+        make_chain({{10, 10, true}, {10, 10, true}, {10, 10, true}, {10, 10, false}});
+    const auto cut = compute_stage(chain, 1, 4, CoreType::big, 20.0);
+    EXPECT_EQ(cut.end, 2);
+    EXPECT_EQ(cut.used, 1);
+}
+
+TEST(ComputeStage, KeepsStageWhenShrinkDoesNotHelp)
+{
+    // Same shape but the next task is too heavy to share a core.
+    const auto chain =
+        make_chain({{10, 10, true}, {10, 10, true}, {10, 10, true}, {15, 15, false}});
+    const auto cut = compute_stage(chain, 1, 4, CoreType::big, 20.0);
+    EXPECT_EQ(cut.end, 3);
+    EXPECT_EQ(cut.used, 2);
+}
+
+TEST(ComputeStage, FinalStageTakesWholeTail)
+{
+    const auto chain = uniform_chain(4, 10.0, true);
+    const auto cut = compute_stage(chain, 1, 4, CoreType::big, 10.0);
+    EXPECT_EQ(cut.end, 4);
+    EXPECT_EQ(cut.used, 4);
+}
+
+TEST(StageFits, RespectsBudgetAndPeriod)
+{
+    const auto chain = uniform_chain(2, 10.0, true);
+    EXPECT_TRUE(stage_fits(chain, Stage{1, 2, 2, CoreType::big}, {2, 0}, 10.0));
+    EXPECT_FALSE(stage_fits(chain, Stage{1, 2, 3, CoreType::big}, {2, 0}, 10.0));
+    EXPECT_FALSE(stage_fits(chain, Stage{1, 2, 1, CoreType::big}, {2, 0}, 10.0));
+    EXPECT_FALSE(stage_fits(chain, Stage{1, 2, 0, CoreType::big}, {2, 0}, 100.0));
+}
+
+TEST(ScheduleBinarySearch, ReportsStats)
+{
+    const auto chain = uniform_chain(6, 10.0, true);
+    ScheduleStats stats;
+    const Solution sol = schedule_with_binary_search(
+        chain, {2, 2},
+        [](const TaskChain& c, int s, Resources avail, double period) {
+            // Trivial ComputeSolution: one stage with everything on big.
+            (void)s;
+            const Stage stage{1, c.size(), avail.big, CoreType::big};
+            if (!stage_fits(c, stage, avail, period))
+                return Solution{};
+            return Solution{{stage}};
+        },
+        &stats);
+    EXPECT_FALSE(sol.empty());
+    EXPECT_GT(stats.iterations, 0);
+    EXPECT_DOUBLE_EQ(sol.period(chain), 30.0); // 60 total / 2 big cores
+}
+
+TEST(ScheduleBinarySearch, ThrowsWithoutCores)
+{
+    const auto chain = uniform_chain(2, 1.0, true);
+    EXPECT_THROW(
+        (void)schedule_with_binary_search(
+            chain, {0, 0}, [](const TaskChain&, int, Resources, double) { return Solution{}; }),
+        std::invalid_argument);
+}
+
+TEST(ScheduleBinarySearch, EmptyChainYieldsEmptySolution)
+{
+    const TaskChain chain;
+    const Solution sol = schedule_with_binary_search(
+        chain, {1, 1}, [](const TaskChain&, int, Resources, double) { return Solution{}; });
+    EXPECT_TRUE(sol.empty());
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+// Property tests of the paper's central claims, on randomized small
+// instances against the exhaustive reference:
+//   * Theorem 1: HeRAD is optimal in period, and its core usage is
+//     Pareto-minimal among optimal-period solutions;
+//   * FERTAC/2CATAC/OTAC always produce valid schedules and never beat the
+//     optimal period;
+//   * OTAC is optimal on homogeneous resources.
+
+#include "core/scheduler.hpp"
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace {
+
+using namespace amp::core;
+
+struct PropertyCase {
+    int num_tasks;
+    int big;
+    int little;
+    double stateless_ratio;
+};
+
+class OptimalityProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+constexpr int kTrialsPerCase = 40;
+
+TaskChain random_chain(const PropertyCase& param, amp::Rng& rng)
+{
+    amp::sim::GeneratorConfig config;
+    config.num_tasks = param.num_tasks;
+    config.weight_min = 1;
+    config.weight_max = 30;
+    config.stateless_ratio = param.stateless_ratio;
+    return amp::sim::generate_chain(config, rng);
+}
+
+TEST_P(OptimalityProperty, HeradMatchesBruteForcePeriod)
+{
+    const auto param = GetParam();
+    amp::Rng rng{0xabc0 + static_cast<std::uint64_t>(param.num_tasks * 1000 + param.big * 10
+                                                     + param.little)};
+    for (int trial = 0; trial < kTrialsPerCase; ++trial) {
+        const TaskChain chain = random_chain(param, rng);
+        const Resources budget{param.big, param.little};
+        const Solution sol = herad(chain, budget);
+        ASSERT_FALSE(sol.empty());
+        ASSERT_TRUE(sol.is_well_formed(chain));
+        const auto reference = brute_force(chain, budget);
+        ASSERT_NEAR(sol.period(chain), reference.optimal_period, 1e-9)
+            << "trial " << trial << " decomposition " << sol.decomposition();
+    }
+}
+
+TEST_P(OptimalityProperty, HeradUsageIsParetoMinimal)
+{
+    const auto param = GetParam();
+    amp::Rng rng{0xdef0 + static_cast<std::uint64_t>(param.num_tasks * 1000 + param.big * 10
+                                                     + param.little)};
+    for (int trial = 0; trial < kTrialsPerCase; ++trial) {
+        const TaskChain chain = random_chain(param, rng);
+        const Resources budget{param.big, param.little};
+        const Solution sol = herad(chain, budget);
+        const Resources usage = sol.used();
+        const auto reference = brute_force(chain, budget);
+        // No optimal-period solution may strictly dominate HeRAD's usage.
+        for (const auto& other : reference.pareto_usages) {
+            const bool dominates = other.big <= usage.big && other.little <= usage.little
+                && (other.big < usage.big || other.little < usage.little);
+            ASSERT_FALSE(dominates)
+                << "trial " << trial << ": HeRAD used (" << usage.big << "," << usage.little
+                << ") but (" << other.big << "," << other.little << ") is feasible; "
+                << sol.decomposition();
+        }
+    }
+}
+
+TEST_P(OptimalityProperty, GreedyHeuristicsAreValidAndNotSuperOptimal)
+{
+    const auto param = GetParam();
+    amp::Rng rng{0x1230 + static_cast<std::uint64_t>(param.num_tasks * 1000 + param.big * 10
+                                                     + param.little)};
+    for (int trial = 0; trial < kTrialsPerCase; ++trial) {
+        const TaskChain chain = random_chain(param, rng);
+        const Resources budget{param.big, param.little};
+        const double optimal = herad_optimal_period(chain, budget);
+        for (const Strategy strategy : {Strategy::fertac, Strategy::twocatac}) {
+            const Solution sol = schedule(strategy, chain, budget);
+            ASSERT_FALSE(sol.empty()) << to_string(strategy);
+            ASSERT_TRUE(sol.is_well_formed(chain)) << to_string(strategy);
+            ASSERT_LE(sol.used(CoreType::big), budget.big) << to_string(strategy);
+            ASSERT_LE(sol.used(CoreType::little), budget.little) << to_string(strategy);
+            ASSERT_GE(sol.period(chain), optimal - 1e-9)
+                << to_string(strategy) << " beat the optimal period?!";
+        }
+    }
+}
+
+TEST_P(OptimalityProperty, OtacOptimalOnHomogeneousPools)
+{
+    const auto param = GetParam();
+    amp::Rng rng{0x4560 + static_cast<std::uint64_t>(param.num_tasks * 1000 + param.big * 10
+                                                     + param.little)};
+    for (int trial = 0; trial < kTrialsPerCase / 2; ++trial) {
+        const TaskChain chain = random_chain(param, rng);
+        if (param.big >= 1) {
+            const Solution sol = otac(chain, param.big, CoreType::big);
+            ASSERT_FALSE(sol.empty());
+            ASSERT_NEAR(sol.period(chain), brute_force_optimal_period(chain, {param.big, 0}),
+                        1e-9)
+                << "big pool, trial " << trial;
+        }
+        if (param.little >= 1) {
+            const Solution sol = otac(chain, param.little, CoreType::little);
+            ASSERT_FALSE(sol.empty());
+            ASSERT_NEAR(sol.period(chain), brute_force_optimal_period(chain, {0, param.little}),
+                        1e-9)
+                << "little pool, trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, OptimalityProperty,
+    ::testing::Values(PropertyCase{4, 2, 2, 0.5}, PropertyCase{5, 1, 3, 0.2},
+                      PropertyCase{5, 3, 1, 0.8}, PropertyCase{6, 2, 2, 0.5},
+                      PropertyCase{6, 2, 3, 0.8}, PropertyCase{7, 2, 2, 0.2},
+                      PropertyCase{7, 3, 2, 0.5}, PropertyCase{8, 2, 2, 0.8}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+        return "n" + std::to_string(info.param.num_tasks) + "_b"
+            + std::to_string(info.param.big) + "_l" + std::to_string(info.param.little) + "_sr"
+            + std::to_string(static_cast<int>(info.param.stateless_ratio * 10));
+    });
+
+} // namespace

@@ -1,0 +1,95 @@
+#include "core/otac.hpp"
+
+#include "core/brute_force.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+using amp::testing::uniform_chain;
+
+TEST(Otac, SingleCoreSingleStage)
+{
+    const auto chain = uniform_chain(4, 10.0, false);
+    const Solution sol = otac(chain, 1, CoreType::big);
+    ASSERT_FALSE(sol.empty());
+    EXPECT_TRUE(sol.is_well_formed(chain));
+    EXPECT_EQ(sol.stage_count(), 1u);
+    EXPECT_DOUBLE_EQ(sol.period(chain), 40.0);
+}
+
+TEST(Otac, AllReplicableUsesOneReplicatedStage)
+{
+    // With homogeneous cores and a fully replicable chain, the optimum is a
+    // single stage replicated over all cores (paper §II).
+    const auto chain = uniform_chain(6, 10.0, true);
+    const Solution sol = otac(chain, 4, CoreType::big);
+    ASSERT_FALSE(sol.empty());
+    EXPECT_DOUBLE_EQ(sol.period(chain), 15.0); // 60 / 4
+    EXPECT_EQ(sol.used(CoreType::big), 4);
+    EXPECT_EQ(sol.used(CoreType::little), 0);
+}
+
+TEST(Otac, SequentialChainBalancedPartition)
+{
+    // 4 sequential tasks of weight 10 on 2 cores: optimum is 20.
+    const auto chain = uniform_chain(4, 10.0, false);
+    const Solution sol = otac(chain, 2, CoreType::big);
+    ASSERT_FALSE(sol.empty());
+    EXPECT_DOUBLE_EQ(sol.period(chain), 20.0);
+    EXPECT_LE(sol.used(CoreType::big), 2);
+}
+
+TEST(Otac, LittleCoresUseLittleWeights)
+{
+    const auto chain = make_chain({{10, 30, false}, {10, 30, false}});
+    const Solution sol = otac(chain, 2, CoreType::little);
+    ASSERT_FALSE(sol.empty());
+    EXPECT_DOUBLE_EQ(sol.period(chain), 30.0);
+    EXPECT_EQ(sol.used(CoreType::big), 0);
+}
+
+TEST(Otac, PeriodBoundedBySlowestSequentialTask)
+{
+    const auto chain = make_chain({{5, 5, true}, {50, 50, false}, {5, 5, true}});
+    const Solution sol = otac(chain, 8, CoreType::big);
+    ASSERT_FALSE(sol.empty());
+    EXPECT_DOUBLE_EQ(sol.period(chain), 50.0);
+}
+
+TEST(Otac, MatchesBruteForceOnSmallInstances)
+{
+    // OTAC is optimal on homogeneous resources; verify against brute force
+    // over a handful of structured instances.
+    const TaskChain chains[] = {
+        make_chain({{7, 7, true}, {3, 3, false}, {9, 9, true}, {4, 4, true}}),
+        make_chain({{12, 12, false}, {5, 5, true}, {5, 5, true}, {5, 5, true}, {8, 8, false}}),
+        make_chain({{2, 2, true}, {2, 2, true}, {2, 2, true}, {2, 2, true}, {2, 2, true}}),
+    };
+    for (const auto& chain : chains) {
+        for (int cores = 1; cores <= 4; ++cores) {
+            const Solution sol = otac(chain, cores, CoreType::big);
+            ASSERT_FALSE(sol.empty());
+            EXPECT_TRUE(sol.is_well_formed(chain));
+            const double reference = brute_force_optimal_period(chain, {cores, 0});
+            EXPECT_NEAR(sol.period(chain), reference, 1e-9)
+                << "cores=" << cores << " decomposition=" << sol.decomposition();
+        }
+    }
+}
+
+TEST(Otac, ThrowsWithoutCores)
+{
+    const auto chain = uniform_chain(2, 1.0, true);
+    EXPECT_THROW((void)otac(chain, 0, CoreType::big), std::invalid_argument);
+}
+
+TEST(Otac, EmptyChain)
+{
+    EXPECT_TRUE(otac(TaskChain{}, 2, CoreType::big).empty());
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#include "core/power.hpp"
+
+#include "core/herad.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+using amp::testing::uniform_chain;
+
+TEST(Power, SolutionPowerCountsUsedCores)
+{
+    const Solution sol{{Stage{1, 2, 2, CoreType::big}, Stage{3, 4, 3, CoreType::little}}};
+    const PowerModel model{4.0, 1.0, 0.1};
+    EXPECT_DOUBLE_EQ(solution_power(sol, model), 2 * 4.0 + 3 * 1.0);
+}
+
+TEST(Power, PlatformPowerAddsIdleCores)
+{
+    const Solution sol{{Stage{1, 2, 1, CoreType::big}}};
+    const PowerModel model{4.0, 1.0, 0.5};
+    EXPECT_DOUBLE_EQ(platform_power(sol, {4, 4}, model), 4.0 + 7 * 0.5);
+}
+
+TEST(Power, EnergyPerItemCombinesPowerAndPeriod)
+{
+    const auto chain = uniform_chain(2, 10.0, false);
+    const Solution sol{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::big}}};
+    const PowerModel model{2.0, 1.0, 0.0};
+    // period 10, power 4 -> 40 watt-us per item.
+    EXPECT_DOUBLE_EQ(energy_per_item(chain, sol, model), 40.0);
+}
+
+TEST(Power, LittleCoresReduceEnergyOnTies)
+{
+    // Two schedules with equal period: all-big vs all-little. The power
+    // model must rank the little one cheaper -- the paper's motivation for
+    // the secondary objective.
+    const auto chain = make_chain({{10, 10, false}, {10, 10, false}});
+    const Solution big{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::big}}};
+    const Solution little{{Stage{1, 1, 1, CoreType::little}, Stage{2, 2, 1, CoreType::little}}};
+    const PowerModel model{};
+    EXPECT_EQ(big.period(chain), little.period(chain));
+    EXPECT_LT(energy_per_item(chain, little, model), energy_per_item(chain, big, model));
+    // And HeRAD indeed picks the little-core schedule.
+    const Solution herad_sol = herad(chain, {2, 2});
+    EXPECT_DOUBLE_EQ(energy_per_item(chain, herad_sol, model),
+                     energy_per_item(chain, little, model));
+}
+
+TEST(Power, PipelineLatencySumsStageTraversal)
+{
+    const auto chain = make_chain({{10, 20, true}, {30, 60, true}, {5, 9, false}});
+    // Stage 1 replicated on 2 big cores: latency is still 10 + 30 = 40 (a
+    // single item is not accelerated by replication), stage 2 is 9 on L.
+    const Solution sol{{Stage{1, 2, 2, CoreType::big}, Stage{3, 3, 1, CoreType::little}}};
+    EXPECT_DOUBLE_EQ(pipeline_latency(chain, sol), 40.0 + 9.0);
+    // A single merged stage has lower latency than a longer pipeline.
+    const Solution longer{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::big},
+                           Stage{3, 3, 1, CoreType::little}}};
+    EXPECT_DOUBLE_EQ(pipeline_latency(chain, longer), pipeline_latency(chain, sol));
+}
+
+TEST(Power, LatencyCountsCoreTypeWeights)
+{
+    const auto chain = make_chain({{10, 25, true}});
+    EXPECT_DOUBLE_EQ(pipeline_latency(chain, Solution{{Stage{1, 1, 1, CoreType::big}}}), 10.0);
+    EXPECT_DOUBLE_EQ(pipeline_latency(chain, Solution{{Stage{1, 1, 1, CoreType::little}}}),
+                     25.0);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+#include "core/serialize.hpp"
+
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+
+TEST(ChainCsv, ParsesWellFormedInput)
+{
+    const auto chain = parse_chain_csv(
+        "name,w_big,w_little,replicable\n"
+        "radio,52.3,248.3,0\n"
+        "decode,153.2,506.7,1\n");
+    ASSERT_EQ(chain.size(), 2);
+    EXPECT_EQ(chain.task(1).name, "radio");
+    EXPECT_DOUBLE_EQ(chain.weight(1, CoreType::little), 248.3);
+    EXPECT_FALSE(chain.replicable(1));
+    EXPECT_TRUE(chain.replicable(2));
+}
+
+TEST(ChainCsv, HeaderIsOptional)
+{
+    const auto chain = parse_chain_csv("a,1,2,1\nb,3,4,0\n");
+    ASSERT_EQ(chain.size(), 2);
+    EXPECT_DOUBLE_EQ(chain.weight(2, CoreType::big), 3.0);
+}
+
+TEST(ChainCsv, SkipsCommentsAndBlankLines)
+{
+    const auto chain = parse_chain_csv("# profile v1\n\na,1,2,yes\n  \n# trailing\nb,3,4,no\n");
+    EXPECT_EQ(chain.size(), 2);
+}
+
+TEST(ChainCsv, AcceptsBooleanSpellings)
+{
+    const auto chain = parse_chain_csv("a,1,1,true\nb,1,1,no\nc,1,1,1\n");
+    EXPECT_TRUE(chain.replicable(1));
+    EXPECT_FALSE(chain.replicable(2));
+    EXPECT_TRUE(chain.replicable(3));
+}
+
+TEST(ChainCsv, RejectsMalformedInput)
+{
+    EXPECT_THROW((void)parse_chain_csv(""), std::invalid_argument);
+    EXPECT_THROW((void)parse_chain_csv("a,1,2\n"), std::invalid_argument);
+    EXPECT_THROW((void)parse_chain_csv("a,zero,2,1\n"), std::invalid_argument);
+    EXPECT_THROW((void)parse_chain_csv("a,-1,2,1\n"), std::invalid_argument);
+    EXPECT_THROW((void)parse_chain_csv("a,1,2,maybe\n"), std::invalid_argument);
+}
+
+TEST(ChainCsv, RoundTripsThroughWriter)
+{
+    const auto original = amp::testing::make_chain({{10, 20, true}, {5.5, 9.25, false}});
+    const auto parsed = parse_chain_csv(chain_to_csv(original));
+    ASSERT_EQ(parsed.size(), original.size());
+    for (int i = 1; i <= original.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parsed.weight(i, CoreType::big), original.weight(i, CoreType::big));
+        EXPECT_DOUBLE_EQ(parsed.weight(i, CoreType::little),
+                         original.weight(i, CoreType::little));
+        EXPECT_EQ(parsed.replicable(i), original.replicable(i));
+    }
+}
+
+TEST(Decomposition, ParsesPaperNotation)
+{
+    const Solution sol = parse_decomposition("(5,1B),(1,2B),(4,1L)");
+    ASSERT_EQ(sol.stage_count(), 3u);
+    EXPECT_EQ(sol.stage(0), (Stage{1, 5, 1, CoreType::big}));
+    EXPECT_EQ(sol.stage(1), (Stage{6, 6, 2, CoreType::big}));
+    EXPECT_EQ(sol.stage(2), (Stage{7, 10, 1, CoreType::little}));
+}
+
+TEST(Decomposition, RoundTripsWithSolutionPrinter)
+{
+    const Solution original{{Stage{1, 3, 2, CoreType::little}, Stage{4, 9, 7, CoreType::big},
+                             Stage{10, 10, 1, CoreType::little}}};
+    EXPECT_EQ(parse_decomposition(original.decomposition()), original);
+}
+
+TEST(Decomposition, RejectsGarbage)
+{
+    EXPECT_THROW((void)parse_decomposition(""), std::invalid_argument);
+    EXPECT_THROW((void)parse_decomposition("(0,1B)"), std::invalid_argument);
+    EXPECT_THROW((void)parse_decomposition("(2,0B)"), std::invalid_argument);
+    EXPECT_THROW((void)parse_decomposition("(2,1X)"), std::invalid_argument);
+    EXPECT_THROW((void)parse_decomposition("(2"), std::invalid_argument);
+}
+
+} // namespace

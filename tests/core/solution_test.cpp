@@ -1,0 +1,106 @@
+#include "core/solution.hpp"
+
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+
+TEST(Solution, PeriodIsMaxStageWeight)
+{
+    const auto chain = make_chain({{4, 8, true}, {6, 12, true}, {10, 30, false}});
+    Solution sol{{Stage{1, 2, 2, CoreType::big}, Stage{3, 3, 1, CoreType::big}}};
+    EXPECT_DOUBLE_EQ(sol.period(chain), 10.0); // max(10/2, 10)
+}
+
+TEST(Solution, EmptySolutionHasInfinitePeriod)
+{
+    const auto chain = make_chain({{1, 1, true}});
+    EXPECT_EQ(Solution{}.period(chain), kInfiniteWeight);
+}
+
+TEST(Solution, UsedCoresPerType)
+{
+    Solution sol{{Stage{1, 2, 2, CoreType::big}, Stage{3, 4, 3, CoreType::little},
+                  Stage{5, 5, 1, CoreType::big}}};
+    EXPECT_EQ(sol.used(CoreType::big), 3);
+    EXPECT_EQ(sol.used(CoreType::little), 3);
+    EXPECT_EQ(sol.used(), (Resources{3, 3}));
+}
+
+TEST(Solution, IsValidChecksPeriodAndBudget)
+{
+    const auto chain = make_chain({{4, 8, true}, {6, 12, true}});
+    const Solution sol{{Stage{1, 2, 2, CoreType::big}}}; // weight 5
+    EXPECT_TRUE(sol.is_valid(chain, {2, 0}, 5.0));
+    EXPECT_FALSE(sol.is_valid(chain, {2, 0}, 4.9)) << "period above target";
+    EXPECT_FALSE(sol.is_valid(chain, {1, 0}, 5.0)) << "big-core budget exceeded";
+    EXPECT_FALSE(Solution{}.is_valid(chain, {2, 0}, 100.0)) << "empty is invalid";
+}
+
+TEST(Solution, WellFormedRejectsGapsAndOverlaps)
+{
+    const auto chain = make_chain({{1, 1, true}, {1, 1, true}, {1, 1, true}});
+    EXPECT_TRUE(Solution({Stage{1, 2, 1, CoreType::big}, Stage{3, 3, 1, CoreType::little}})
+                    .is_well_formed(chain));
+    EXPECT_FALSE(Solution({Stage{1, 1, 1, CoreType::big}, Stage{3, 3, 1, CoreType::big}})
+                     .is_well_formed(chain))
+        << "gap at task 2";
+    EXPECT_FALSE(Solution({Stage{1, 2, 1, CoreType::big}, Stage{2, 3, 1, CoreType::big}})
+                     .is_well_formed(chain))
+        << "overlap at task 2";
+    EXPECT_FALSE(Solution({Stage{1, 2, 1, CoreType::big}}).is_well_formed(chain))
+        << "does not reach task n";
+    EXPECT_FALSE(Solution({Stage{1, 3, 0, CoreType::big}}).is_well_formed(chain))
+        << "zero cores";
+}
+
+TEST(Solution, WellFormedRejectsReplicatedSequentialStage)
+{
+    const auto chain = make_chain({{1, 1, true}, {1, 1, false}});
+    EXPECT_FALSE(Solution({Stage{1, 2, 2, CoreType::big}}).is_well_formed(chain));
+    EXPECT_TRUE(Solution({Stage{1, 2, 1, CoreType::big}}).is_well_formed(chain));
+}
+
+TEST(Solution, MergeReplicableStagesSameType)
+{
+    const auto chain = make_chain({{2, 2, true}, {2, 2, true}, {2, 2, true}, {2, 2, false}});
+    Solution sol{{Stage{1, 1, 1, CoreType::big}, Stage{2, 3, 2, CoreType::big},
+                  Stage{4, 4, 1, CoreType::little}}};
+    const double before = sol.period(chain);
+    sol.merge_replicable_stages(chain);
+    ASSERT_EQ(sol.stage_count(), 2u);
+    EXPECT_EQ(sol.stage(0), (Stage{1, 3, 3, CoreType::big}));
+    EXPECT_LE(sol.period(chain), before) << "merge must not worsen the period";
+}
+
+TEST(Solution, MergeKeepsDifferentCoreTypesApart)
+{
+    // The StreamPU v1.6.0 scenario: consecutive replicated stages with
+    // different core types must NOT merge.
+    const auto chain = make_chain({{2, 4, true}, {2, 4, true}});
+    Solution sol{{Stage{1, 1, 2, CoreType::big}, Stage{2, 2, 3, CoreType::little}}};
+    sol.merge_replicable_stages(chain);
+    EXPECT_EQ(sol.stage_count(), 2u);
+}
+
+TEST(Solution, MergeSkipsSequentialStages)
+{
+    const auto chain = make_chain({{2, 2, true}, {2, 2, false}, {2, 2, true}});
+    Solution sol{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::big},
+                  Stage{3, 3, 1, CoreType::big}}};
+    sol.merge_replicable_stages(chain);
+    // Stage 2 is sequential: only fully-replicable neighbors merge; none here.
+    EXPECT_EQ(sol.stage_count(), 3u);
+}
+
+TEST(Solution, DecompositionNotation)
+{
+    Solution sol{{Stage{1, 5, 1, CoreType::big}, Stage{6, 6, 2, CoreType::little}}};
+    EXPECT_EQ(sol.decomposition(), "(5,1B),(1,2L)");
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+#include "core/twocatac.hpp"
+
+#include "core/fertac.hpp"
+#include "core/herad.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::core;
+using amp::testing::make_chain;
+using amp::testing::uniform_chain;
+
+TEST(ChooseBestSolution, PicksOnlyValidCandidate)
+{
+    const auto chain = uniform_chain(2, 10.0, true);
+    const Solution valid{{Stage{1, 2, 1, CoreType::big}}};
+    const Solution invalid{};
+    const Resources budget{1, 1};
+    EXPECT_EQ(choose_best_solution(chain, valid, invalid, budget, 20.0), valid);
+    EXPECT_EQ(choose_best_solution(chain, invalid, valid, budget, 20.0), valid);
+    EXPECT_TRUE(choose_best_solution(chain, invalid, invalid, budget, 20.0).empty());
+}
+
+TEST(ChooseBestSolution, PrefersExchangeOfBigForLittle)
+{
+    const auto chain = uniform_chain(2, 10.0, true);
+    // Same period; candidate A uses (1B), candidate B uses (1L). B exchanges
+    // a big core for a little one and must win.
+    const Solution a{{Stage{1, 2, 1, CoreType::big}}};
+    const Solution b{{Stage{1, 2, 1, CoreType::little}}};
+    const Solution chosen = choose_best_solution(chain, a, b, {1, 1}, 20.0);
+    EXPECT_EQ(chosen, b);
+}
+
+TEST(ChooseBestSolution, PrefersFewerCoresOtherwise)
+{
+    const auto chain = uniform_chain(4, 10.0, true);
+    const Solution fewer{{Stage{1, 4, 2, CoreType::little}}};
+    const Solution more{{Stage{1, 2, 2, CoreType::little}, Stage{3, 4, 2, CoreType::little}}};
+    EXPECT_EQ(choose_best_solution(chain, more, fewer, {0, 4}, 20.0), fewer);
+    EXPECT_EQ(choose_best_solution(chain, fewer, more, {0, 4}, 20.0), fewer);
+}
+
+TEST(Twocatac, ProducesValidSolution)
+{
+    const auto chain = make_chain({{10, 20, false}, {30, 60, true}, {30, 60, true},
+                                   {10, 25, false}, {5, 10, true}});
+    const Solution sol = twocatac(chain, {3, 3});
+    ASSERT_FALSE(sol.empty());
+    EXPECT_TRUE(sol.is_well_formed(chain));
+    EXPECT_LE(sol.used(CoreType::big), 3);
+    EXPECT_LE(sol.used(CoreType::little), 3);
+}
+
+TEST(Twocatac, NeverWorseThanFertacHere)
+{
+    // On the paper's workloads 2CATAC dominates FERTAC on average; on these
+    // fixed instances it must be at least as good in period.
+    const TaskChain chains[] = {
+        make_chain({{10, 20, true}, {40, 90, false}, {10, 15, true}, {25, 70, true}}),
+        make_chain({{5, 25, false}, {5, 9, true}, {50, 90, true}, {20, 80, false},
+                    {10, 30, true}, {10, 12, true}}),
+        make_chain({{33, 50, true}, {12, 40, true}, {9, 20, false}, {28, 90, true},
+                    {17, 60, false}, {21, 44, true}, {10, 11, true}}),
+    };
+    for (const auto& chain : chains) {
+        for (const Resources budget : {Resources{2, 2}, Resources{4, 2}, Resources{2, 4}}) {
+            const double p_two = twocatac(chain, budget).period(chain);
+            const double p_fer = fertac(chain, budget).period(chain);
+            EXPECT_LE(p_two, p_fer + 1e-9);
+        }
+    }
+}
+
+TEST(Twocatac, NeverBeatsHeradPeriod)
+{
+    const auto chain = make_chain({{10, 20, true}, {40, 90, false}, {10, 15, true},
+                                   {25, 70, true}, {5, 6, true}});
+    for (const Resources budget : {Resources{2, 2}, Resources{1, 3}, Resources{3, 1}}) {
+        const double p_two = twocatac(chain, budget).period(chain);
+        const double p_opt = herad(chain, budget).period(chain);
+        EXPECT_GE(p_two, p_opt - 1e-9);
+    }
+}
+
+TEST(Twocatac, UsesLittleCoresLateInPipeline)
+{
+    // FERTAC burns little cores on the first stage; 2CATAC can save them
+    // for the tail. Both must still be valid.
+    const auto chain = make_chain({{10, 12, false}, {50, 120, true}, {50, 120, true},
+                                   {10, 12, false}});
+    const Solution sol = twocatac(chain, {3, 1});
+    ASSERT_FALSE(sol.empty());
+    EXPECT_TRUE(sol.is_well_formed(chain));
+}
+
+TEST(Twocatac, SingleResourceType)
+{
+    const auto chain = uniform_chain(4, 10.0, true);
+    const Solution big_only = twocatac(chain, {2, 0});
+    ASSERT_FALSE(big_only.empty());
+    EXPECT_EQ(big_only.used(CoreType::little), 0);
+    const Solution little_only = twocatac(chain, {0, 2});
+    ASSERT_FALSE(little_only.empty());
+    EXPECT_EQ(little_only.used(CoreType::big), 0);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+#include "dvbs2/fec/bch.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using amp::Rng;
+using amp::dvbs2::BchCode;
+
+std::vector<std::uint8_t> random_bits(int count, Rng& rng)
+{
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(count));
+    for (auto& bit : bits)
+        bit = static_cast<std::uint8_t>(rng() & 1u);
+    return bits;
+}
+
+// A small code for exhaustive-ish testing: BCH over GF(2^6), t=3, n=63.
+const BchCode& small_code()
+{
+    static const BchCode code{6, 3, 63};
+    return code;
+}
+
+TEST(Bch, SmallCodeParameters)
+{
+    EXPECT_EQ(small_code().n(), 63);
+    EXPECT_EQ(small_code().parity_bits(), 18); // 3 minimal polys of degree 6
+    EXPECT_EQ(small_code().k(), 45);
+}
+
+TEST(Bch, EncodeIsSystematic)
+{
+    Rng rng{1};
+    const auto message = random_bits(small_code().k(), rng);
+    const auto codeword = small_code().encode(message);
+    ASSERT_EQ(static_cast<int>(codeword.size()), small_code().n());
+    for (int i = 0; i < small_code().k(); ++i)
+        EXPECT_EQ(codeword[static_cast<std::size_t>(i)], message[static_cast<std::size_t>(i)]);
+}
+
+TEST(Bch, CleanRoundTrip)
+{
+    Rng rng{2};
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto message = random_bits(small_code().k(), rng);
+        const auto result = small_code().decode(small_code().encode(message));
+        EXPECT_TRUE(result.success);
+        EXPECT_EQ(result.corrected, 0);
+        EXPECT_EQ(result.message, message);
+    }
+}
+
+TEST(Bch, CorrectsUpToTErrors)
+{
+    Rng rng{3};
+    for (int errors = 1; errors <= small_code().t(); ++errors) {
+        for (int trial = 0; trial < 10; ++trial) {
+            const auto message = random_bits(small_code().k(), rng);
+            auto codeword = small_code().encode(message);
+            // Flip `errors` distinct positions.
+            std::vector<int> positions;
+            while (static_cast<int>(positions.size()) < errors) {
+                const int p = static_cast<int>(rng.uniform_int(0, small_code().n() - 1));
+                if (std::find(positions.begin(), positions.end(), p) == positions.end()) {
+                    positions.push_back(p);
+                    codeword[static_cast<std::size_t>(p)] ^= 1u;
+                }
+            }
+            const auto result = small_code().decode(codeword);
+            EXPECT_TRUE(result.success) << errors << " errors, trial " << trial;
+            EXPECT_EQ(result.corrected, errors);
+            EXPECT_EQ(result.message, message);
+        }
+    }
+}
+
+TEST(Bch, DetectsTooManyErrors)
+{
+    Rng rng{4};
+    int detected = 0;
+    constexpr int kTrials = 20;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto message = random_bits(small_code().k(), rng);
+        auto codeword = small_code().encode(message);
+        // t+2 errors: decoding must either flag failure or (rarely)
+        // miscorrect to a different codeword -- never report the original.
+        for (int e = 0; e < small_code().t() + 2; ++e)
+            codeword[static_cast<std::size_t>(rng.uniform_int(0, small_code().n() - 1))] ^= 1u;
+        const auto result = small_code().decode(codeword);
+        if (!result.success)
+            ++detected;
+    }
+    EXPECT_GT(detected, kTrials / 2) << "most overload patterns should be flagged";
+}
+
+TEST(Bch, Dvbs2ShortFrameParameters)
+{
+    const auto& code = BchCode::dvbs2_short_8_9();
+    EXPECT_EQ(code.n(), 14400);
+    EXPECT_EQ(code.k(), 14232) << "the paper's K";
+    EXPECT_EQ(code.t(), 12);
+    EXPECT_EQ(code.parity_bits(), 168);
+}
+
+TEST(Bch, Dvbs2ShortFrameRoundTripWithErrors)
+{
+    Rng rng{5};
+    const auto& code = BchCode::dvbs2_short_8_9();
+    const auto message = random_bits(code.k(), rng);
+    auto codeword = code.encode(message);
+    for (int e = 0; e < 12; ++e)
+        codeword[static_cast<std::size_t>(rng.uniform_int(0, code.n() - 1))] ^= 1u;
+    const auto result = code.decode(codeword);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.message, message);
+}
+
+TEST(Bch, RejectsWrongSizes)
+{
+    EXPECT_THROW((void)small_code().encode(std::vector<std::uint8_t>(10)),
+                 std::invalid_argument);
+    EXPECT_THROW((void)small_code().decode(std::vector<std::uint8_t>(10)),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+// Parameterized property sweeps over the FEC codecs: BCH across field
+// sizes and correction capacities, LDPC across geometries and decoder
+// configurations.
+
+#include "dvbs2/fec/bch.hpp"
+#include "dvbs2/fec/ldpc.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using amp::Rng;
+using amp::dvbs2::BchCode;
+using amp::dvbs2::LdpcCode;
+
+std::vector<std::uint8_t> random_bits(int count, Rng& rng)
+{
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(count));
+    for (auto& bit : bits)
+        bit = static_cast<std::uint8_t>(rng() & 1u);
+    return bits;
+}
+
+// ---------------------------------------------------------------- BCH sweep
+struct BchCase {
+    int m;
+    int t;
+    int n;
+};
+
+class BchSweep : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchSweep, CorrectsExactlyUpToT)
+{
+    const auto param = GetParam();
+    const BchCode code{param.m, param.t, param.n};
+    EXPECT_EQ(code.n(), param.n);
+    EXPECT_GT(code.k(), 0);
+    EXPECT_LE(code.parity_bits(), param.m * param.t);
+
+    Rng rng{0xbc4 ^ static_cast<std::uint64_t>(param.m * 100 + param.t)};
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto message = random_bits(code.k(), rng);
+        auto codeword = code.encode(message);
+        // flip exactly t distinct positions
+        std::vector<int> positions;
+        while (static_cast<int>(positions.size()) < param.t) {
+            const int p = static_cast<int>(rng.uniform_int(0, code.n() - 1));
+            if (std::find(positions.begin(), positions.end(), p) == positions.end()) {
+                positions.push_back(p);
+                codeword[static_cast<std::size_t>(p)] ^= 1u;
+            }
+        }
+        const auto result = code.decode(codeword);
+        ASSERT_TRUE(result.success);
+        ASSERT_EQ(result.corrected, param.t);
+        ASSERT_EQ(result.message, message);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, BchSweep,
+                         ::testing::Values(BchCase{5, 1, 31}, BchCase{6, 2, 63},
+                                           BchCase{6, 3, 45}, BchCase{7, 4, 127},
+                                           BchCase{8, 2, 255}, BchCase{8, 5, 200},
+                                           BchCase{10, 3, 1023}, BchCase{12, 8, 3000}),
+                         [](const ::testing::TestParamInfo<BchCase>& info) {
+                             return "m" + std::to_string(info.param.m) + "_t"
+                                 + std::to_string(info.param.t) + "_n"
+                                 + std::to_string(info.param.n);
+                         });
+
+// ---------------------------------------------------------------- LDPC sweep
+struct LdpcCase {
+    int n;
+    int k;
+    int degree;
+};
+
+class LdpcSweep : public ::testing::TestWithParam<LdpcCase> {};
+
+TEST_P(LdpcSweep, EncodeCheckDecodeRoundTrip)
+{
+    const auto param = GetParam();
+    const LdpcCode code{param.n, param.k, param.degree, 0x1d9c};
+    Rng rng{0x1d ^ static_cast<std::uint64_t>(param.n)};
+    const auto message = random_bits(code.k(), rng);
+    const auto word = code.encode(message);
+    ASSERT_TRUE(code.check(word));
+
+    std::vector<float> llr(word.size());
+    for (std::size_t i = 0; i < word.size(); ++i) {
+        const float symbol = word[i] ? -1.0F : 1.0F;
+        llr[i] = 2.0F * (symbol + 0.4F * static_cast<float>(rng.normal())) / 0.16F;
+    }
+    const auto result = code.decode(llr);
+    EXPECT_TRUE(result.success);
+    for (int i = 0; i < code.k(); ++i)
+        ASSERT_EQ(result.bits[static_cast<std::size_t>(i)], message[static_cast<std::size_t>(i)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, LdpcSweep,
+                         ::testing::Values(LdpcCase{256, 128, 3}, LdpcCase{512, 384, 3},
+                                           LdpcCase{1024, 768, 4}, LdpcCase{2048, 1536, 3},
+                                           LdpcCase{900, 600, 5}),
+                         [](const ::testing::TestParamInfo<LdpcCase>& info) {
+                             return "n" + std::to_string(info.param.n) + "_k"
+                                 + std::to_string(info.param.k) + "_d"
+                                 + std::to_string(info.param.degree);
+                         });
+
+TEST(LdpcDecoderConfig, NormalizationSweepStillDecodes)
+{
+    const LdpcCode code{512, 384, 3, 0x77};
+    Rng rng{0x77};
+    const auto message = random_bits(code.k(), rng);
+    const auto word = code.encode(message);
+    std::vector<float> llr(word.size());
+    for (std::size_t i = 0; i < word.size(); ++i) {
+        const float symbol = word[i] ? -1.0F : 1.0F;
+        llr[i] = 2.0F * (symbol + 0.45F * static_cast<float>(rng.normal())) / 0.2F;
+    }
+    for (const float alpha : {0.5F, 0.75F, 0.9F, 1.0F}) {
+        LdpcCode::DecodeConfig config;
+        config.normalization = alpha;
+        config.max_iterations = 20;
+        const auto result = code.decode(llr, config);
+        EXPECT_TRUE(result.success) << "alpha=" << alpha;
+    }
+}
+
+TEST(LdpcDecoderConfig, MoreIterationsNeverHurtSuccess)
+{
+    const LdpcCode code{512, 384, 3, 0x78};
+    Rng rng{0x78};
+    int more_iterations_wins = 0;
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto word = code.encode(random_bits(code.k(), rng));
+        std::vector<float> llr(word.size());
+        for (std::size_t i = 0; i < word.size(); ++i) {
+            const float symbol = word[i] ? -1.0F : 1.0F;
+            llr[i] = 2.0F * (symbol + 0.65F * static_cast<float>(rng.normal())) / 0.42F;
+        }
+        LdpcCode::DecodeConfig few;
+        few.max_iterations = 2;
+        LdpcCode::DecodeConfig many;
+        many.max_iterations = 30;
+        const bool few_ok = code.decode(llr, few).success;
+        const bool many_ok = code.decode(llr, many).success;
+        EXPECT_TRUE(!few_ok || many_ok) << "success must be monotone in iterations here";
+        more_iterations_wins += (many_ok && !few_ok) ? 1 : 0;
+    }
+    EXPECT_GT(more_iterations_wins, 0) << "the sweep should exercise the hard region";
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+#include "dvbs2/common/rrc_filter.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+std::vector<std::complex<float>> random_samples(std::size_t count, amp::Rng& rng)
+{
+    std::vector<std::complex<float>> samples(count);
+    for (auto& s : samples)
+        s = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+    return samples;
+}
+
+TEST(RrcTaps, UnitEnergyAndSymmetry)
+{
+    const auto taps = rrc_taps(0.2F, 2, 8);
+    ASSERT_EQ(taps.size(), 33u);
+    float energy = 0.0F;
+    for (const auto t : taps)
+        energy += t * t;
+    EXPECT_NEAR(energy, 1.0F, 1e-5);
+    for (std::size_t i = 0; i < taps.size(); ++i)
+        EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-6) << "symmetric impulse response";
+    EXPECT_GT(taps[16], taps[0]) << "peak at the center";
+}
+
+TEST(RrcTaps, CascadeIsApproximatelyNyquist)
+{
+    // RRC * RRC = raised cosine: zero ISI at symbol-spaced offsets.
+    const int sps = 2;
+    const auto taps = rrc_taps(0.2F, sps, 10);
+    const int n = static_cast<int>(taps.size());
+    std::vector<float> cascade(static_cast<std::size_t>(2 * n - 1), 0.0F);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            cascade[static_cast<std::size_t>(i + j)] += taps[static_cast<std::size_t>(i)]
+                * taps[static_cast<std::size_t>(j)];
+    const int center = n - 1;
+    const float peak = cascade[static_cast<std::size_t>(center)];
+    for (int k = 1; k <= 6; ++k) {
+        const float isi = cascade[static_cast<std::size_t>(center + k * sps)];
+        EXPECT_LT(std::fabs(isi / peak), 0.01F) << "ISI at symbol offset " << k;
+    }
+}
+
+TEST(StreamingFir, MatchesBatchFiltering)
+{
+    amp::Rng rng{1};
+    const auto taps = rrc_taps(0.25F, 2, 4);
+    const auto input = random_samples(256, rng);
+
+    StreamingFir batch{taps};
+    const auto expected = batch.filter(input);
+
+    StreamingFir streaming{taps};
+    std::vector<std::complex<float>> actual;
+    for (std::size_t start = 0; start < input.size();) {
+        const std::size_t chunk = std::min<std::size_t>(start % 37 + 1, input.size() - start);
+        const std::vector<std::complex<float>> block(input.begin() + static_cast<std::ptrdiff_t>(start),
+                                                     input.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+        const auto out = streaming.filter(block);
+        actual.insert(actual.end(), out.begin(), out.end());
+        start += chunk;
+    }
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_NEAR(actual[i].real(), expected[i].real(), 1e-5) << i;
+        EXPECT_NEAR(actual[i].imag(), expected[i].imag(), 1e-5) << i;
+    }
+}
+
+TEST(StreamingFir, ResetClearsHistory)
+{
+    const std::vector<float> taps{0.5F, 0.5F};
+    StreamingFir fir{taps};
+    (void)fir.filter({{2.0F, 0.0F}});
+    fir.reset();
+    const auto out = fir.filter({{2.0F, 0.0F}});
+    EXPECT_NEAR(out[0].real(), 1.0F, 1e-6) << "no leftover history after reset";
+}
+
+TEST(SplitFir, TwoPartsEqualFullFilter)
+{
+    amp::Rng rng{2};
+    const auto taps = rrc_taps(0.2F, 2, 8);
+    const auto input_a = random_samples(500, rng);
+    const auto input_b = random_samples(123, rng);
+
+    StreamingFir full{taps};
+    SplitFir split{taps};
+
+    for (const auto& block : {input_a, input_b}) {
+        const auto expected = full.filter(block);
+        const auto partial = split.part1(block);
+        const auto actual = split.part2(block, partial);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (std::size_t i = 0; i < actual.size(); ++i) {
+            EXPECT_NEAR(actual[i].real(), expected[i].real(), 1e-4) << i;
+            EXPECT_NEAR(actual[i].imag(), expected[i].imag(), 1e-4) << i;
+        }
+    }
+}
+
+TEST(ShapingFilter, PreservesSymbolEnergyThroughMatchedFilter)
+{
+    // Shape a long random QPSK stream, match-filter it, and check the
+    // symbol-instant samples recover the symbols (up to the filter delay).
+    amp::Rng rng{3};
+    const int sps = 2;
+    const int span = 8;
+    std::vector<std::complex<float>> symbols(400);
+    const float inv_sqrt2 = 0.70710678F;
+    for (auto& s : symbols)
+        s = {rng.bernoulli(0.5) ? inv_sqrt2 : -inv_sqrt2,
+             rng.bernoulli(0.5) ? inv_sqrt2 : -inv_sqrt2};
+
+    ShapingFilter shaping{0.2F, sps, span};
+    const auto shaped = shaping.shape(symbols);
+    ASSERT_EQ(shaped.size(), symbols.size() * 2);
+
+    StreamingFir matched{rrc_taps(0.2F, sps, span)};
+    const auto filtered = matched.filter(shaped);
+
+    // Total delay: 2 * (span * sps) samples; sample at symbol instants. The
+    // cascade gain is sqrt(sps) (shaping scales impulses by sqrt(sps) and
+    // the RRC pair has unit DC-tap energy).
+    const int delay = 2 * span * sps;
+    const float gain = std::sqrt(static_cast<float>(sps));
+    int checked = 0;
+    for (std::size_t k = 40; k + 40 < symbols.size(); ++k) {
+        const std::size_t idx = k * 2 + static_cast<std::size_t>(delay);
+        if (idx >= filtered.size())
+            break;
+        EXPECT_NEAR(filtered[idx].real(), gain * symbols[k].real(), 0.07F) << k;
+        EXPECT_NEAR(filtered[idx].imag(), gain * symbols[k].imag(), 0.07F) << k;
+        ++checked;
+    }
+    EXPECT_GT(checked, 100);
+}
+
+TEST(RrcTaps, RejectsBadParameters)
+{
+    EXPECT_THROW((void)rrc_taps(0.0F, 2, 8), std::invalid_argument);
+    EXPECT_THROW((void)rrc_taps(1.5F, 2, 8), std::invalid_argument);
+    EXPECT_THROW((void)rrc_taps(0.2F, 0, 8), std::invalid_argument);
+    EXPECT_THROW(StreamingFir{std::vector<float>{}}, std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+#include "dvbs2/common/interleaver.hpp"
+#include "dvbs2/common/pilots.hpp"
+#include "dvbs2/common/plh_framer.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+TEST(PlhFramer, SofIs26UnitSymbols)
+{
+    const auto& sof = PlhFramer::sof_symbols();
+    ASSERT_EQ(sof.size(), 26u);
+    for (const auto& s : sof)
+        EXPECT_NEAR(std::norm(s), 1.0F, 1e-6);
+}
+
+TEST(PlhFramer, PlsCodewordsAreDistant)
+{
+    // Any two distinct PLS fields must differ in at least 16 of 64 bits
+    // (biorthogonal construction: minimum distance 32 for the RM part).
+    const auto a = PlhFramer::encode_pls(0b0010101);
+    const auto b = PlhFramer::encode_pls(0b0010100);
+    const auto c = PlhFramer::encode_pls(0b1110101);
+    auto distance = [](const auto& x, const auto& y) {
+        int d = 0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            d += x[i] != y[i];
+        return d;
+    };
+    EXPECT_GE(distance(a, b), 16);
+    EXPECT_GE(distance(a, c), 16);
+}
+
+TEST(PlhFramer, PlsDecodeRecoversField)
+{
+    for (int pls = 0; pls < 128; pls += 11) {
+        const auto header = PlhFramer::build_header(static_cast<std::uint8_t>(pls));
+        const std::vector<std::complex<float>> plsc(header.begin() + PlhFramer::kSofBits,
+                                                    header.end());
+        EXPECT_EQ(PlhFramer::decode_pls(plsc), pls);
+    }
+}
+
+TEST(PlhFramer, PlsDecodeSurvivesNoise)
+{
+    amp::Rng rng{3};
+    const auto header = PlhFramer::build_header(0b0010110);
+    std::vector<std::complex<float>> plsc(header.begin() + PlhFramer::kSofBits, header.end());
+    for (auto& s : plsc)
+        s += std::complex<float>{0.3F * static_cast<float>(rng.normal()),
+                                 0.3F * static_cast<float>(rng.normal())};
+    EXPECT_EQ(PlhFramer::decode_pls(plsc), 0b0010110);
+}
+
+TEST(PlhFramer, InsertRemoveRoundTrip)
+{
+    std::vector<std::complex<float>> payload(100, {0.5F, -0.5F});
+    const auto frame = PlhFramer::insert(0x2a, payload);
+    EXPECT_EQ(frame.size(), payload.size() + 90u);
+    const auto recovered = PlhFramer::remove(frame);
+    EXPECT_EQ(recovered, payload);
+    EXPECT_THROW((void)PlhFramer::remove(std::vector<std::complex<float>>(50)),
+                 std::invalid_argument);
+}
+
+TEST(Pilots, LayoutGeometryMatchesPaperConfiguration)
+{
+    const PilotLayout layout{8100, 36, 1440};
+    EXPECT_EQ(layout.block_count(), 5);
+    EXPECT_EQ(layout.pilot_symbols(), 180);
+    EXPECT_EQ(layout.total_symbols(), 8280);
+    const auto offsets = pilot_block_offsets(layout);
+    ASSERT_EQ(offsets.size(), 5u);
+    EXPECT_EQ(offsets[0], 1440);
+    EXPECT_EQ(offsets[1], 1440 * 2 + 36);
+    EXPECT_EQ(offsets[4], 1440 * 5 + 36 * 4);
+}
+
+TEST(Pilots, InsertRemoveRoundTrip)
+{
+    amp::Rng rng{4};
+    const PilotLayout layout{8100, 36, 1440};
+    std::vector<std::complex<float>> payload(8100);
+    for (auto& s : payload)
+        s = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+    const auto with_pilots = insert_pilots(payload, layout);
+    ASSERT_EQ(static_cast<int>(with_pilots.size()), layout.total_symbols());
+    // Pilot positions carry the pilot symbol.
+    for (const int offset : pilot_block_offsets(layout))
+        for (int j = 0; j < layout.block_symbols; ++j)
+            EXPECT_EQ(with_pilots[static_cast<std::size_t>(offset + j)], pilot_symbol());
+    EXPECT_EQ(remove_pilots(with_pilots, layout), payload);
+}
+
+TEST(Pilots, NoTrailingBlockWhenPayloadDividesEvenly)
+{
+    const PilotLayout layout{2880, 36, 1440};
+    EXPECT_EQ(layout.block_count(), 1) << "no pilot block after the last section";
+}
+
+TEST(Interleaver, RoundTripBits)
+{
+    amp::Rng rng{5};
+    std::vector<std::uint8_t> bits(16200);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    const BlockInterleaver interleaver{2};
+    EXPECT_EQ(interleaver.deinterleave(interleaver.interleave(bits)), bits);
+}
+
+TEST(Interleaver, RoundTripLlrsWithThreeColumns)
+{
+    std::vector<float> llrs(90);
+    std::iota(llrs.begin(), llrs.end(), 0.0F);
+    const BlockInterleaver interleaver{3};
+    EXPECT_EQ(interleaver.deinterleave(interleaver.interleave(llrs)), llrs);
+}
+
+TEST(Interleaver, ActuallyPermutes)
+{
+    std::vector<int> data(10);
+    std::iota(data.begin(), data.end(), 0);
+    const BlockInterleaver interleaver{2};
+    const auto out = interleaver.interleave(data);
+    EXPECT_EQ(out, (std::vector<int>{0, 2, 4, 6, 8, 1, 3, 5, 7, 9}));
+}
+
+TEST(Interleaver, RejectsBadSizes)
+{
+    const BlockInterleaver interleaver{3};
+    EXPECT_THROW((void)interleaver.interleave(std::vector<int>(10)), std::invalid_argument);
+    EXPECT_THROW(BlockInterleaver{0}, std::invalid_argument);
+}
+
+} // namespace

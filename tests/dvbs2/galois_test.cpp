@@ -1,0 +1,97 @@
+#include "dvbs2/fec/galois.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using amp::dvbs2::GaloisField;
+
+TEST(Galois, SmallFieldMultiplicationTable)
+{
+    // GF(16) with x^4 + x + 1: alpha^4 = alpha + 1 = 0b0011.
+    const GaloisField gf{4, 0b10011};
+    EXPECT_EQ(gf.size(), 16);
+    EXPECT_EQ(gf.pow_alpha(0), 1);
+    EXPECT_EQ(gf.pow_alpha(1), 2);
+    EXPECT_EQ(gf.pow_alpha(4), 0b0011);
+    EXPECT_EQ(gf.mul(2, 9), 1) << "alpha * alpha^14 = alpha^15 = 1";
+}
+
+TEST(Galois, AddIsXor)
+{
+    const auto& gf = GaloisField::standard(8);
+    EXPECT_EQ(gf.add(0b1010, 0b0110), 0b1100);
+    EXPECT_EQ(gf.add(7, 7), 0);
+}
+
+TEST(Galois, MultiplicationProperties)
+{
+    const auto& gf = GaloisField::standard(8);
+    for (int a = 0; a < 256; a += 17) {
+        EXPECT_EQ(gf.mul(a, 1), a);
+        EXPECT_EQ(gf.mul(a, 0), 0);
+        for (int b = 1; b < 256; b += 31)
+            EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    }
+}
+
+TEST(Galois, InverseRoundTrip)
+{
+    const auto& gf = GaloisField::standard(10);
+    for (int a = 1; a < gf.size(); a += 97)
+        EXPECT_EQ(gf.mul(a, gf.inv(a)), 1);
+    EXPECT_THROW((void)gf.inv(0), std::domain_error);
+}
+
+TEST(Galois, LogAlphaConsistency)
+{
+    const auto& gf = GaloisField::standard(6);
+    for (int e = 0; e < gf.order(); ++e)
+        EXPECT_EQ(gf.log_alpha(gf.pow_alpha(e)), e);
+    EXPECT_THROW((void)gf.log_alpha(0), std::domain_error);
+}
+
+TEST(Galois, PowAlphaHandlesNegativeExponents)
+{
+    const auto& gf = GaloisField::standard(8);
+    EXPECT_EQ(gf.mul(gf.pow_alpha(-5), gf.pow_alpha(5)), 1);
+    EXPECT_EQ(gf.pow_alpha(gf.order()), 1);
+}
+
+TEST(Galois, RejectsNonPrimitivePolynomial)
+{
+    // x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive (order 5).
+    EXPECT_THROW((GaloisField{4, 0b11111}), std::invalid_argument);
+    // x^4 + 1 is not even irreducible.
+    EXPECT_THROW((GaloisField{4, 0b10001}), std::invalid_argument);
+}
+
+TEST(Galois, Gf14IsValid)
+{
+    const auto& gf = GaloisField::standard(14);
+    EXPECT_EQ(gf.size(), 16384);
+    EXPECT_EQ(gf.mul(gf.pow_alpha(9000), gf.pow_alpha(7383)), 1)
+        << "alpha^16383 = 1 in GF(2^14)";
+}
+
+TEST(Galois, MinimalPolynomialDividesFieldPolynomial)
+{
+    // Every minimal polynomial m(x) of alpha^e must satisfy m(alpha^e) = 0.
+    const auto& gf = GaloisField::standard(8);
+    for (const int e : {1, 3, 5, 7, 11}) {
+        const std::uint64_t poly = gf.minimal_polynomial(e);
+        int value = 0;
+        for (int i = 0; i < 64; ++i)
+            if ((poly >> i) & 1u)
+                value = gf.add(value, gf.pow_alpha(static_cast<long long>(e) * i));
+        EXPECT_EQ(value, 0) << "e=" << e;
+    }
+}
+
+TEST(Galois, MinimalPolynomialOfAlphaIsThePrimitivePoly)
+{
+    const GaloisField gf{4, 0b10011};
+    EXPECT_EQ(gf.minimal_polynomial(1), 0b10011u);
+}
+
+} // namespace

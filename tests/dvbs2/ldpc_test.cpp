@@ -1,0 +1,153 @@
+#include "dvbs2/fec/ldpc.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using amp::Rng;
+using amp::dvbs2::LdpcCode;
+
+std::vector<std::uint8_t> random_bits(int count, Rng& rng)
+{
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(count));
+    for (auto& bit : bits)
+        bit = static_cast<std::uint8_t>(rng() & 1u);
+    return bits;
+}
+
+/// BPSK-over-AWGN LLRs for a codeword at the given noise sigma.
+std::vector<float> noisy_llrs(const std::vector<std::uint8_t>& word, float sigma, Rng& rng)
+{
+    std::vector<float> llr(word.size());
+    for (std::size_t i = 0; i < word.size(); ++i) {
+        const float symbol = word[i] ? -1.0F : 1.0F;
+        const float received = symbol + sigma * static_cast<float>(rng.normal());
+        llr[i] = 2.0F * received / (sigma * sigma);
+    }
+    return llr;
+}
+
+const LdpcCode& small_code()
+{
+    static const LdpcCode code{512, 384, 3, 0x5eed};
+    return code;
+}
+
+TEST(Ldpc, EncodedWordSatisfiesAllChecks)
+{
+    Rng rng{1};
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto word = small_code().encode(random_bits(small_code().k(), rng));
+        EXPECT_TRUE(small_code().check(word));
+    }
+}
+
+TEST(Ldpc, CorruptedWordFailsCheck)
+{
+    Rng rng{2};
+    auto word = small_code().encode(random_bits(small_code().k(), rng));
+    word[100] ^= 1u;
+    EXPECT_FALSE(small_code().check(word));
+}
+
+TEST(Ldpc, EncodeIsSystematic)
+{
+    Rng rng{3};
+    const auto message = random_bits(small_code().k(), rng);
+    const auto word = small_code().encode(message);
+    for (int i = 0; i < small_code().k(); ++i)
+        EXPECT_EQ(word[static_cast<std::size_t>(i)], message[static_cast<std::size_t>(i)]);
+}
+
+TEST(Ldpc, DecodesCleanChannel)
+{
+    Rng rng{4};
+    const auto message = random_bits(small_code().k(), rng);
+    const auto word = small_code().encode(message);
+    std::vector<float> llr(word.size());
+    for (std::size_t i = 0; i < word.size(); ++i)
+        llr[i] = word[i] ? -10.0F : 10.0F;
+    const auto result = small_code().decode(llr);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.iterations, 1) << "early stop after the first pass";
+    for (int i = 0; i < small_code().n(); ++i)
+        EXPECT_EQ(result.bits[static_cast<std::size_t>(i)], word[static_cast<std::size_t>(i)]);
+}
+
+TEST(Ldpc, CorrectsAwgnNoiseAtWorkingSnr)
+{
+    Rng rng{5};
+    int successes = 0;
+    constexpr int kTrials = 10;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto message = random_bits(small_code().k(), rng);
+        const auto word = small_code().encode(message);
+        const auto llr = noisy_llrs(word, 0.5F, rng); // ~6 dB Eb/N0 region
+        const auto result = small_code().decode(llr);
+        if (!result.success)
+            continue;
+        bool info_ok = true;
+        for (int i = 0; i < small_code().k(); ++i)
+            info_ok &= result.bits[static_cast<std::size_t>(i)]
+                == message[static_cast<std::size_t>(i)];
+        successes += info_ok ? 1 : 0;
+    }
+    EXPECT_GE(successes, kTrials - 1) << "high-SNR decoding should almost always succeed";
+}
+
+TEST(Ldpc, EarlyStopSavesIterations)
+{
+    Rng rng{6};
+    const auto word = small_code().encode(random_bits(small_code().k(), rng));
+    const auto llr = noisy_llrs(word, 0.4F, rng);
+    LdpcCode::DecodeConfig with_stop;
+    with_stop.early_stop = true;
+    LdpcCode::DecodeConfig without_stop;
+    without_stop.early_stop = false;
+    const auto stopped = small_code().decode(llr, with_stop);
+    const auto full = small_code().decode(llr, without_stop);
+    EXPECT_TRUE(stopped.success);
+    EXPECT_TRUE(full.success);
+    EXPECT_LT(stopped.iterations, full.iterations);
+    EXPECT_EQ(full.iterations, 10);
+}
+
+TEST(Ldpc, Dvbs2ShortCodeGeometry)
+{
+    const auto& code = LdpcCode::dvbs2_short_8_9();
+    EXPECT_EQ(code.n(), 16200);
+    EXPECT_EQ(code.k(), 14400);
+    EXPECT_EQ(code.m(), 1800);
+    // eIRA edge count: K * 3 info edges + (2M - 1) accumulator edges.
+    EXPECT_EQ(code.edge_count(), 14400 * 3 + 2 * 1800 - 1);
+}
+
+TEST(Ldpc, Dvbs2ShortCodeRoundTrip)
+{
+    Rng rng{7};
+    const auto& code = LdpcCode::dvbs2_short_8_9();
+    const auto message = random_bits(code.k(), rng);
+    const auto word = code.encode(message);
+    ASSERT_TRUE(code.check(word));
+    const auto llr = noisy_llrs(word, 0.45F, rng);
+    const auto result = code.decode(llr);
+    EXPECT_TRUE(result.success);
+    for (int i = 0; i < code.k(); ++i)
+        ASSERT_EQ(result.bits[static_cast<std::size_t>(i)], message[static_cast<std::size_t>(i)])
+            << "info bit " << i;
+}
+
+TEST(Ldpc, RejectsBadInputs)
+{
+    EXPECT_THROW((LdpcCode{100, 100, 3}), std::invalid_argument);
+    EXPECT_THROW((LdpcCode{100, 80, 1}), std::invalid_argument);
+    EXPECT_THROW((void)small_code().encode(std::vector<std::uint8_t>(3)),
+                 std::invalid_argument);
+    EXPECT_THROW((void)small_code().decode(std::vector<float>(3)), std::invalid_argument);
+}
+
+} // namespace

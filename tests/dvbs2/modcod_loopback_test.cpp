@@ -1,0 +1,93 @@
+// Symbol-level loopback across every supported MODCOD: payload -> BCH ->
+// LDPC -> interleave -> modulate -> AWGN -> max-log demod -> LDPC -> BCH ->
+// payload. (No carrier/timing impairments here; the full synchronizer chain
+// is exercised by transceiver_test.cpp on the paper's QPSK configuration.)
+
+#include "dvbs2/common/interleaver.hpp"
+#include "dvbs2/common/psk.hpp"
+#include "dvbs2/modcod.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+class ModcodLoopback : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModcodLoopback, ErrorFreeAtWorkingSnr)
+{
+    const ModCod& modcod = modcod_by_name(GetParam());
+    const ConstellationModem modem{modcod.modulation};
+    const BlockInterleaver interleaver{modem.bits()};
+    amp::Rng rng{0x10af ^ static_cast<std::uint64_t>(modcod.id)};
+
+    // Random payload through the FEC cascade.
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(modcod.k_bch()));
+    for (auto& bit : payload)
+        bit = static_cast<std::uint8_t>(rng() & 1u);
+    const auto coded = modcod.ldpc->encode(modcod.bch->encode(payload));
+    auto symbols = modem.modulate(interleaver.interleave(coded));
+
+    // AWGN at a comfortably error-free Es/N0 for rate 8/9: higher-order
+    // modulations need more SNR.
+    const float snr_db = modcod.modulation == Modulation::qpsk ? 10.0F
+        : modcod.modulation == Modulation::psk8               ? 14.0F
+                                                              : 17.0F;
+    const float sigma2 = std::pow(10.0F, -snr_db / 10.0F);
+    const float per_component = std::sqrt(sigma2 / 2.0F);
+    for (auto& s : symbols)
+        s += std::complex<float>{per_component * static_cast<float>(rng.normal()),
+                                 per_component * static_cast<float>(rng.normal())};
+
+    // Receive.
+    const auto llrs = interleaver.deinterleave(modem.demodulate(symbols, sigma2));
+    const auto ldpc_result = modcod.ldpc->decode(llrs);
+    ASSERT_TRUE(ldpc_result.success) << modcod.name;
+    std::vector<std::uint8_t> inner(ldpc_result.bits.begin(),
+                                    ldpc_result.bits.begin() + modcod.ldpc->k());
+    const auto bch_result = modcod.bch->decode(std::move(inner));
+    ASSERT_TRUE(bch_result.success) << modcod.name;
+    EXPECT_EQ(bch_result.message, payload) << modcod.name;
+}
+
+TEST_P(ModcodLoopback, FailsGracefullyAtVeryLowSnr)
+{
+    const ModCod& modcod = modcod_by_name(GetParam());
+    if (modcod.frame_size == FrameSize::normal_frame)
+        GTEST_SKIP() << "normal frames covered by the working-SNR case";
+    const ConstellationModem modem{modcod.modulation};
+    const BlockInterleaver interleaver{modem.bits()};
+    amp::Rng rng{0xbad ^ static_cast<std::uint64_t>(modcod.id)};
+
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(modcod.k_bch()));
+    for (auto& bit : payload)
+        bit = static_cast<std::uint8_t>(rng() & 1u);
+    const auto coded = modcod.ldpc->encode(modcod.bch->encode(payload));
+    auto symbols = modem.modulate(interleaver.interleave(coded));
+    const float sigma2 = 2.0F; // -3 dB: far below threshold for rate 8/9
+    const float per_component = std::sqrt(sigma2 / 2.0F);
+    for (auto& s : symbols)
+        s += std::complex<float>{per_component * static_cast<float>(rng.normal()),
+                                 per_component * static_cast<float>(rng.normal())};
+
+    const auto llrs = interleaver.deinterleave(modem.demodulate(symbols, sigma2));
+    const auto ldpc_result = modcod.ldpc->decode(llrs);
+    EXPECT_FALSE(ldpc_result.success)
+        << "decoder must FLAG failure rather than pretend success";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModcods, ModcodLoopback,
+                         ::testing::Values("qpsk-8/9-short", "qpsk-8/9-normal",
+                                           "8psk-8/9-short", "16apsk-8/9-short"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                             std::string name = info.param;
+                             for (auto& c : name)
+                                 if (c == '-' || c == '/')
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace

@@ -1,0 +1,83 @@
+#include "dvbs2/common/qpsk.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using amp::Rng;
+using amp::dvbs2::QpskModem;
+
+TEST(Qpsk, UnitEnergySymbols)
+{
+    const auto symbols = QpskModem::modulate({0, 0, 0, 1, 1, 0, 1, 1});
+    ASSERT_EQ(symbols.size(), 4u);
+    for (const auto& s : symbols)
+        EXPECT_NEAR(std::norm(s), 1.0F, 1e-6);
+}
+
+TEST(Qpsk, GrayMappingComponents)
+{
+    const auto symbols = QpskModem::modulate({0, 0, 1, 1});
+    EXPECT_GT(symbols[0].real(), 0.0F);
+    EXPECT_GT(symbols[0].imag(), 0.0F);
+    EXPECT_LT(symbols[1].real(), 0.0F);
+    EXPECT_LT(symbols[1].imag(), 0.0F);
+}
+
+TEST(Qpsk, HardDecisionRoundTrip)
+{
+    Rng rng{1};
+    std::vector<std::uint8_t> bits(2000);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    const auto symbols = QpskModem::modulate(bits);
+    EXPECT_EQ(QpskModem::hard_decide(symbols), bits);
+}
+
+TEST(Qpsk, LlrSignMatchesBits)
+{
+    const std::vector<std::uint8_t> bits{0, 1, 1, 0};
+    const auto symbols = QpskModem::modulate(bits);
+    const auto llr = QpskModem::demodulate(symbols, 0.5F);
+    ASSERT_EQ(llr.size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == 0)
+            EXPECT_GT(llr[i], 0.0F) << "positive LLR means bit 0";
+        else
+            EXPECT_LT(llr[i], 0.0F);
+    }
+}
+
+TEST(Qpsk, LlrMagnitudeScalesWithSnr)
+{
+    const auto symbols = QpskModem::modulate({0, 0});
+    const auto high_noise = QpskModem::demodulate(symbols, 2.0F);
+    const auto low_noise = QpskModem::demodulate(symbols, 0.1F);
+    EXPECT_GT(std::fabs(low_noise[0]), std::fabs(high_noise[0]));
+}
+
+TEST(Qpsk, NoisyRoundTripAtHighSnr)
+{
+    Rng rng{2};
+    std::vector<std::uint8_t> bits(2000);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    auto symbols = QpskModem::modulate(bits);
+    const float sigma = 0.1F;
+    for (auto& s : symbols)
+        s += std::complex<float>{sigma * static_cast<float>(rng.normal()),
+                                 sigma * static_cast<float>(rng.normal())};
+    EXPECT_EQ(QpskModem::hard_decide(symbols), bits) << "no errors expected at 20 dB";
+}
+
+TEST(Qpsk, RejectsBadInput)
+{
+    EXPECT_THROW((void)QpskModem::modulate({0, 1, 0}), std::invalid_argument);
+    EXPECT_THROW((void)QpskModem::demodulate({{1.0F, 0.0F}}, 0.0F), std::invalid_argument);
+}
+
+} // namespace

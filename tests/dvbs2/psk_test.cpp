@@ -1,0 +1,150 @@
+#include "dvbs2/common/psk.hpp"
+
+#include "common/rng.hpp"
+#include "dvbs2/common/qpsk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+class ModemSweep : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModemSweep, UnitAverageEnergy)
+{
+    const ConstellationModem modem{GetParam()};
+    double energy = 0.0;
+    for (const auto& point : modem.points())
+        energy += std::norm(point);
+    EXPECT_NEAR(energy / static_cast<double>(modem.points().size()), 1.0, 1e-5);
+}
+
+TEST_P(ModemSweep, PointsAreDistinct)
+{
+    const ConstellationModem modem{GetParam()};
+    for (std::size_t i = 0; i < modem.points().size(); ++i)
+        for (std::size_t j = i + 1; j < modem.points().size(); ++j)
+            EXPECT_GT(std::norm(modem.points()[i] - modem.points()[j]), 1e-4);
+}
+
+TEST_P(ModemSweep, HardDecisionRoundTrip)
+{
+    const ConstellationModem modem{GetParam()};
+    amp::Rng rng{0x9d};
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(modem.bits()) * 600);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    EXPECT_EQ(modem.hard_decide(modem.modulate(bits)), bits);
+}
+
+TEST_P(ModemSweep, NoisyHardDecisionsAtHighSnr)
+{
+    const ConstellationModem modem{GetParam()};
+    amp::Rng rng{0x9e};
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(modem.bits()) * 2000);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    auto symbols = modem.modulate(bits);
+    const float sigma = 0.03F; // ~30 dB
+    for (auto& s : symbols)
+        s += std::complex<float>{sigma * static_cast<float>(rng.normal()),
+                                 sigma * static_cast<float>(rng.normal())};
+    EXPECT_EQ(modem.hard_decide(symbols), bits);
+}
+
+TEST_P(ModemSweep, LlrSignsMatchTransmittedBits)
+{
+    const ConstellationModem modem{GetParam()};
+    amp::Rng rng{0x9f};
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(modem.bits()) * 500);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    const auto llrs = modem.demodulate(modem.modulate(bits), 0.05F);
+    ASSERT_EQ(llrs.size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == 0)
+            EXPECT_GT(llrs[i], 0.0F) << i;
+        else
+            EXPECT_LT(llrs[i], 0.0F) << i;
+    }
+}
+
+TEST_P(ModemSweep, GrayishNeighbourLabels)
+{
+    // For every constellation point, its nearest neighbour should differ in
+    // few label bits (1 for true Gray mappings; <= 2 for 16APSK ring hops).
+    const ConstellationModem modem{GetParam()};
+    const auto& points = modem.points();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        float best = 1e9F;
+        std::size_t nearest = i;
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j == i)
+                continue;
+            const float dist = std::norm(points[i] - points[j]);
+            if (dist < best) {
+                best = dist;
+                nearest = j;
+            }
+        }
+        const int differing = std::popcount(static_cast<unsigned>(i ^ nearest));
+        EXPECT_LE(differing, 2) << "label " << i << " vs " << nearest;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modulations, ModemSweep,
+                         ::testing::Values(Modulation::qpsk, Modulation::psk8,
+                                           Modulation::apsk16),
+                         [](const ::testing::TestParamInfo<Modulation>& info) {
+                             return to_string(info.param);
+                         });
+
+TEST(ConstellationModem, QpskMatchesDedicatedModem)
+{
+    const ConstellationModem generic{Modulation::qpsk};
+    amp::Rng rng{0xa0};
+    std::vector<std::uint8_t> bits(400);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    const auto generic_symbols = generic.modulate(bits);
+    const auto dedicated_symbols = QpskModem::modulate(bits);
+    ASSERT_EQ(generic_symbols.size(), dedicated_symbols.size());
+    for (std::size_t i = 0; i < generic_symbols.size(); ++i) {
+        EXPECT_NEAR(generic_symbols[i].real(), dedicated_symbols[i].real(), 1e-6);
+        EXPECT_NEAR(generic_symbols[i].imag(), dedicated_symbols[i].imag(), 1e-6);
+    }
+}
+
+TEST(ConstellationModem, Apsk16RingRatio)
+{
+    const ConstellationModem modem{Modulation::apsk16, 3.15F};
+    float min_radius = 10.0F;
+    float max_radius = 0.0F;
+    for (const auto& point : modem.points()) {
+        min_radius = std::min(min_radius, std::abs(point));
+        max_radius = std::max(max_radius, std::abs(point));
+    }
+    EXPECT_NEAR(max_radius / min_radius, 3.15F, 1e-3);
+    EXPECT_THROW((ConstellationModem{Modulation::apsk16, 0.5F}), std::invalid_argument);
+}
+
+TEST(ConstellationModem, RejectsBadInput)
+{
+    const ConstellationModem modem{Modulation::psk8};
+    EXPECT_THROW((void)modem.modulate({0, 1}), std::invalid_argument);
+    EXPECT_THROW((void)modem.demodulate({{1.0F, 0.0F}}, 0.0F), std::invalid_argument);
+}
+
+TEST(Modulation, Helpers)
+{
+    EXPECT_EQ(bits_per_symbol(Modulation::qpsk), 2);
+    EXPECT_EQ(bits_per_symbol(Modulation::psk8), 3);
+    EXPECT_EQ(bits_per_symbol(Modulation::apsk16), 4);
+    EXPECT_STREQ(to_string(Modulation::psk8), "8PSK");
+}
+
+} // namespace

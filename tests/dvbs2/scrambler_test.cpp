@@ -1,0 +1,78 @@
+#include "dvbs2/common/bb_scrambler.hpp"
+#include "dvbs2/common/pl_scrambler.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+TEST(BbScrambler, SelfInverse)
+{
+    amp::Rng rng{1};
+    std::vector<std::uint8_t> bits(14232);
+    for (auto& b : bits)
+        b = static_cast<std::uint8_t>(rng() & 1u);
+    auto scrambled = bits;
+    BbScrambler::scramble(scrambled);
+    EXPECT_NE(scrambled, bits) << "scrambling must change the data";
+    BbScrambler::scramble(scrambled);
+    EXPECT_EQ(scrambled, bits);
+}
+
+TEST(BbScrambler, PrbsIsBalanced)
+{
+    const auto prbs = BbScrambler::prbs(10000);
+    int ones = 0;
+    for (const auto bit : prbs)
+        ones += bit;
+    EXPECT_GT(ones, 4500);
+    EXPECT_LT(ones, 5500);
+}
+
+TEST(BbScrambler, PrbsIsDeterministic)
+{
+    EXPECT_EQ(BbScrambler::prbs(100), BbScrambler::prbs(100));
+}
+
+TEST(PlScrambler, SequenceValuesAreQuarterTurns)
+{
+    const auto seq = PlScrambler::sequence(1000);
+    ASSERT_EQ(seq.size(), 1000u);
+    bool nontrivial = false;
+    for (const auto r : seq) {
+        EXPECT_LE(r, 3);
+        nontrivial |= r != 0;
+    }
+    EXPECT_TRUE(nontrivial);
+}
+
+TEST(PlScrambler, DescrambleInvertsScramble)
+{
+    amp::Rng rng{2};
+    std::vector<std::complex<float>> symbols(8280);
+    for (auto& s : symbols)
+        s = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+    const auto original = symbols;
+    PlScrambler::scramble(symbols);
+    PlScrambler::descramble(symbols);
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        EXPECT_NEAR(symbols[i].real(), original[i].real(), 1e-5);
+        EXPECT_NEAR(symbols[i].imag(), original[i].imag(), 1e-5);
+    }
+}
+
+TEST(PlScrambler, ScramblingPreservesMagnitude)
+{
+    std::vector<std::complex<float>> symbols{{1.0F, 0.0F}, {0.0F, 2.0F}, {-3.0F, 1.0F}};
+    const auto original = symbols;
+    PlScrambler::scramble(symbols);
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+        EXPECT_NEAR(std::abs(symbols[i]), std::abs(original[i]), 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+// End-to-end transceiver tests: the full 23-task receiver chain of
+// Table III consuming the impaired transmitter stream, run (a) sequentially
+// and (b) through the threaded pipeline runtime with replicated stages.
+
+#include "dvbs2/receiver.hpp"
+
+#include "dvbs2/profiles.hpp"
+#include "core/herad.hpp"
+#include "rt/pipeline.hpp"
+#include "rt/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::dvbs2;
+using amp::core::CoreType;
+using amp::core::Solution;
+using amp::core::Stage;
+
+ReceiverConfig test_config()
+{
+    ReceiverConfig config;
+    config.params.interframe = 2; // lighter frames for tests
+    return config;
+}
+
+TEST(Transceiver, ChainHasTheTableIiiShape)
+{
+    const auto chain = build_receiver_chain(test_config());
+    ASSERT_EQ(chain.sequence.size(), 23);
+    const auto& replicable = receiver_task_replicable();
+    for (int i = 1; i <= 23; ++i)
+        EXPECT_EQ(chain.sequence.task(i).replicable(),
+                  replicable[static_cast<std::size_t>(i - 1)])
+            << "task " << i << " (" << chain.sequence.task(i).name() << ")";
+}
+
+TEST(Transceiver, SequentialRunDecodesErrorFree)
+{
+    const auto config = test_config();
+    auto chain = build_receiver_chain(config);
+    constexpr int kFrames = 8;
+    for (int f = 0; f < kFrames; ++f) {
+        DvbFrame frame;
+        frame.seq = static_cast<std::uint64_t>(f);
+        for (int t = 1; t <= 23; ++t)
+            chain.sequence.task(t).process(frame);
+    }
+    const auto& counters = *chain.counters;
+    // Startup: one traversal fills the frame-sync buffer and two more are
+    // acquisition warmup; everything after that must be error free.
+    EXPECT_GE(counters.frames_checked.load(),
+              static_cast<std::uint64_t>((kFrames - 3) * config.params.interframe));
+    EXPECT_LE(counters.frames_skipped.load(), 3u);
+    EXPECT_EQ(counters.frame_errors.load(), 0u) << "error-free SNR zone";
+    EXPECT_EQ(counters.bit_errors.load(), 0u);
+    EXPECT_GT(chain.sink->bits_received(), 0u);
+}
+
+TEST(Transceiver, PipelinedRunMatchesSequentialOutput)
+{
+    const auto config = test_config();
+    constexpr std::uint64_t kFrames = 8;
+
+    // Reference: sequential execution.
+    std::uint64_t sequential_checksum = 0;
+    {
+        auto chain = build_receiver_chain(config);
+        amp::rt::Pipeline<DvbFrame> pipeline{chain.sequence,
+                                        Solution{{Stage{1, 23, 1, CoreType::big}}}};
+        (void)pipeline.run(kFrames);
+        sequential_checksum = chain.sink->checksum();
+        ASSERT_EQ(chain.counters->frame_errors.load(), 0u);
+    }
+
+    // Pipelined with replicated stages (tasks 11..20 contain the replicable
+    // run 13..20; stage boundaries follow the replicability flags).
+    {
+        auto chain = build_receiver_chain(config);
+        const Solution solution{{
+            Stage{1, 8, 1, CoreType::big},   // radio .. AGC2 (sequential tasks)
+            Stage{9, 12, 1, CoreType::big},  // frame sync + L&R (sequential)
+            Stage{13, 20, 3, CoreType::big}, // replicable run: P/F .. descramble
+            Stage{21, 23, 1, CoreType::little},
+        }};
+        amp::rt::Pipeline<DvbFrame> pipeline{chain.sequence, solution};
+        const auto result = pipeline.run(kFrames);
+        EXPECT_EQ(result.frames, kFrames);
+        EXPECT_EQ(chain.counters->frame_errors.load(), 0u);
+        EXPECT_EQ(chain.sink->checksum(), sequential_checksum)
+            << "pipelined output must be bit-identical to sequential";
+    }
+}
+
+TEST(Transceiver, SchedulerSolutionsAreRunnable)
+{
+    // Schedules computed from the paper's profile must be executable by the
+    // runtime on the real chain (stage boundaries compatible with state).
+    const auto& profile = mac_studio_profile();
+    const auto core_chain = profile_chain(profile);
+    const auto solution = amp::core::herad(core_chain, profile.cores_half);
+    ASSERT_FALSE(solution.empty());
+
+    auto config = test_config();
+    auto chain = build_receiver_chain(config);
+    amp::rt::Pipeline<DvbFrame> pipeline{chain.sequence, solution};
+    const auto result = pipeline.run(6);
+    EXPECT_EQ(result.frames, 6u);
+    EXPECT_EQ(chain.counters->frame_errors.load(), 0u);
+}
+
+TEST(Transceiver, ProfilerProducesPositiveLatencies)
+{
+    auto chain = build_receiver_chain(test_config());
+    const auto profile = amp::rt::profile_sequence(chain.sequence, 3, 2);
+    ASSERT_EQ(profile.latency_us.size(), 23u);
+    for (const double latency : profile.latency_us)
+        EXPECT_GT(latency, 0.0);
+    // The LDPC decoder and timing sync should be among the heavier tasks.
+    EXPECT_GT(profile.latency_us[17], profile.latency_us[16]);
+}
+
+TEST(Transceiver, ReferencePayloadRoundTrip)
+{
+    const auto payload = reference_payload(14232, 0xdada, 42);
+    EXPECT_EQ(payload.size(), 14232u);
+    EXPECT_EQ(extract_frame_index(payload), 42u);
+    const auto payload2 = reference_payload(14232, 0xdada, 43);
+    EXPECT_EQ(extract_frame_index(payload2), 43u);
+    EXPECT_NE(payload, payload2);
+}
+
+TEST(Transceiver, PaperProfilesAreConsistent)
+{
+    for (const auto* profile : {&mac_studio_profile(), &x7ti_profile()}) {
+        const auto chain = profile_chain(*profile);
+        ASSERT_EQ(chain.size(), 23);
+        for (int i = 1; i <= 23; ++i) {
+            EXPECT_GT(chain.weight(i, CoreType::big), 0.0);
+            EXPECT_GE(chain.weight(i, CoreType::little), chain.weight(i, CoreType::big) * 0.9)
+                << "little cores are not dramatically faster than big ones";
+        }
+    }
+    // Totals reported in Table III.
+    const auto mac = profile_chain(mac_studio_profile());
+    EXPECT_NEAR(mac.interval_sum(1, 23, CoreType::big), 8530.8, 1.0);
+    EXPECT_NEAR(mac.interval_sum(1, 23, CoreType::little), 19841.3, 1.5);
+    const auto x7 = profile_chain(x7ti_profile());
+    EXPECT_NEAR(x7.interval_sum(1, 23, CoreType::big), 12592.5, 1.0);
+    EXPECT_NEAR(x7.interval_sum(1, 23, CoreType::little), 22530.7, 1.5);
+}
+
+} // namespace

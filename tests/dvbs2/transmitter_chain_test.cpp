@@ -1,0 +1,108 @@
+#include "dvbs2/transmitter_chain.hpp"
+
+#include "core/herad.hpp"
+#include "dvbs2/tx/transmitter.hpp"
+#include "rt/pipeline.hpp"
+#include "rt/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+TEST(TransmitterChain, HasTenTasksWithDeclaredFlags)
+{
+    FrameParams params;
+    const auto chain = build_transmitter_chain(params, 0xdada);
+    ASSERT_EQ(chain.sequence.size(), 10);
+    const auto& names = transmitter_task_names();
+    const auto& replicable = transmitter_task_replicable();
+    for (int i = 1; i <= 10; ++i) {
+        EXPECT_EQ(chain.sequence.task(i).name(), names[static_cast<std::size_t>(i - 1)]);
+        EXPECT_EQ(chain.sequence.task(i).replicable(),
+                  replicable[static_cast<std::size_t>(i - 1)])
+            << names[static_cast<std::size_t>(i - 1)];
+    }
+}
+
+TEST(TransmitterChain, MatchesMonolithicTransmitter)
+{
+    // The chain must emit sample-for-sample the same stream as the
+    // Transmitter class used by the Radio.
+    FrameParams params;
+    Transmitter reference{params, 0xdada};
+    auto chain = build_transmitter_chain(params, 0xdada, /*collect_samples=*/true);
+
+    for (std::uint64_t f = 0; f < 3; ++f) {
+        const auto expected = reference.next_frame_samples();
+        TxFrame frame;
+        frame.seq = f;
+        for (int t = 1; t <= chain.sequence.size(); ++t)
+            chain.sequence.task(t).process(frame);
+        ASSERT_EQ(frame.samples.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            ASSERT_NEAR(frame.samples[i].real(), expected[i].real(), 1e-5) << i;
+            ASSERT_NEAR(frame.samples[i].imag(), expected[i].imag(), 1e-5) << i;
+        }
+    }
+}
+
+TEST(TransmitterChain, RunsPipelinedWithReplicatedMiddle)
+{
+    FrameParams params;
+    auto chain = build_transmitter_chain(params, 0x77);
+    // Stage split along the replicability boundaries: source | 2..8 x3 | 9..10.
+    const amp::core::Solution solution{{
+        amp::core::Stage{1, 1, 1, amp::core::CoreType::big},
+        amp::core::Stage{2, 8, 3, amp::core::CoreType::big},
+        amp::core::Stage{9, 10, 1, amp::core::CoreType::little},
+    }};
+    amp::rt::Pipeline<TxFrame> pipeline{chain.sequence, solution};
+    const auto result = pipeline.run(6);
+    EXPECT_EQ(result.frames, 6u);
+    EXPECT_EQ(chain.sink->samples_sent(),
+              6u * static_cast<std::uint64_t>(params.plframe_samples()));
+    EXPECT_GT(chain.sink->energy(), 0.0);
+}
+
+TEST(TransmitterChain, PipelinedStreamMatchesSequentialChecksum)
+{
+    FrameParams params;
+    auto sequential = build_transmitter_chain(params, 0x99);
+    {
+        TxFrame frame;
+        for (std::uint64_t f = 0; f < 5; ++f) {
+            frame = TxFrame{};
+            frame.seq = f;
+            for (int t = 1; t <= sequential.sequence.size(); ++t)
+                sequential.sequence.task(t).process(frame);
+        }
+    }
+    auto pipelined = build_transmitter_chain(params, 0x99);
+    const amp::core::Solution solution{{
+        amp::core::Stage{1, 1, 1, amp::core::CoreType::big},
+        amp::core::Stage{2, 8, 2, amp::core::CoreType::big},
+        amp::core::Stage{9, 10, 1, amp::core::CoreType::big},
+    }};
+    amp::rt::Pipeline<TxFrame> pipeline{pipelined.sequence, solution};
+    (void)pipeline.run(5);
+    EXPECT_EQ(pipelined.sink->samples_sent(), sequential.sink->samples_sent());
+    EXPECT_NEAR(pipelined.sink->energy(), sequential.sink->energy(), 1e-3);
+}
+
+TEST(TransmitterChain, SchedulableFromItsOwnProfile)
+{
+    FrameParams params;
+    auto chain = build_transmitter_chain(params, 0x42);
+    const auto profile = amp::rt::profile_sequence(chain.sequence, 3, 1);
+    const auto core_chain = amp::rt::to_scheduler_chain(chain.sequence, profile,
+                                                        std::vector<double>(10, 2.0));
+    const auto solution = amp::core::herad(core_chain, {3, 3});
+    ASSERT_FALSE(solution.empty());
+    EXPECT_TRUE(solution.is_well_formed(core_chain));
+    amp::rt::Pipeline<TxFrame> pipeline{chain.sequence, solution};
+    EXPECT_EQ(pipeline.run(4).frames, 4u);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+#include "dvbs2/tx/transmitter.hpp"
+
+#include "dvbs2/common/pilots.hpp"
+#include "dvbs2/common/pl_scrambler.hpp"
+#include "dvbs2/common/plh_framer.hpp"
+#include "dvbs2/tx/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace {
+
+using namespace amp::dvbs2;
+
+TEST(Transmitter, FrameSymbolsHaveTheRightGeometry)
+{
+    FrameParams params;
+    const Transmitter tx{params, 0xdada};
+    const auto frame = tx.frame_symbols(0);
+    EXPECT_EQ(static_cast<int>(frame.size()), params.plframe_symbols()); // 8370
+    // The header is unscrambled: the SOF must appear verbatim.
+    const auto& sof = PlhFramer::sof_symbols();
+    for (std::size_t j = 0; j < sof.size(); ++j) {
+        EXPECT_NEAR(frame[j].real(), sof[j].real(), 1e-6);
+        EXPECT_NEAR(frame[j].imag(), sof[j].imag(), 1e-6);
+    }
+}
+
+TEST(Transmitter, PayloadIsScrambled)
+{
+    FrameParams params;
+    const Transmitter tx{params, 0xdada};
+    auto frame = tx.frame_symbols(3);
+    // Descrambling the non-header part must reveal the pilot symbols at
+    // their layout positions.
+    std::vector<std::complex<float>> body(frame.begin() + params.header_symbols(),
+                                          frame.end());
+    PlScrambler::descramble(body);
+    const PilotLayout layout{params.xfec_symbols(), params.pilot_block_symbols,
+                             params.payload_per_pilot_block};
+    for (const int offset : pilot_block_offsets(layout))
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_NEAR(body[static_cast<std::size_t>(offset + j)].real(),
+                        pilot_symbol().real(), 1e-5);
+            EXPECT_NEAR(body[static_cast<std::size_t>(offset + j)].imag(),
+                        pilot_symbol().imag(), 1e-5);
+        }
+}
+
+TEST(Transmitter, DifferentFramesDifferentPayloads)
+{
+    FrameParams params;
+    const Transmitter tx{params, 0xdada};
+    const auto a = tx.frame_symbols(0);
+    const auto b = tx.frame_symbols(1);
+    int differing = 0;
+    for (std::size_t i = 200; i < a.size(); ++i)
+        differing += std::norm(a[i] - b[i]) > 1e-6 ? 1 : 0;
+    EXPECT_GT(differing, 1000);
+}
+
+TEST(Transmitter, SampleStreamIsContinuous)
+{
+    FrameParams params;
+    Transmitter tx{params, 0xdada};
+    const auto first = tx.next_frame_samples();
+    const auto second = tx.next_frame_samples();
+    EXPECT_EQ(static_cast<int>(first.size()), params.plframe_samples());
+    EXPECT_EQ(static_cast<int>(second.size()), params.plframe_samples());
+    EXPECT_EQ(tx.frames_sent(), 2u);
+}
+
+TEST(Channel, AppliesGainAndPhase)
+{
+    ChannelConfig config;
+    config.gain = 0.5F;
+    config.cfo_cycles_per_sample = 0.0;
+    config.phase_offset_rad = std::numbers::pi / 2.0;
+    config.fractional_delay = 0.0;
+    config.integer_delay = 0;
+    config.snr_db = 200.0; // effectively noiseless
+    Channel channel{config};
+    const auto out = channel.apply({{1.0F, 0.0F}});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].real(), 0.0F, 1e-4);
+    EXPECT_NEAR(out[0].imag(), 0.5F, 1e-4);
+}
+
+TEST(Channel, IntegerDelayShiftsTheStream)
+{
+    ChannelConfig config;
+    config.gain = 1.0F;
+    config.cfo_cycles_per_sample = 0.0;
+    config.phase_offset_rad = 0.0;
+    config.fractional_delay = 0.0;
+    config.integer_delay = 3;
+    config.snr_db = 200.0;
+    Channel channel{config};
+    const auto out = channel.apply({{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}});
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_NEAR(out[0].real(), 0.0F, 1e-5) << "delay line starts empty";
+    EXPECT_NEAR(out[3].real(), 1.0F, 1e-5);
+    EXPECT_NEAR(out[4].real(), 2.0F, 1e-5);
+}
+
+TEST(Channel, CfoRotatesProgressively)
+{
+    ChannelConfig config;
+    config.gain = 1.0F;
+    config.cfo_cycles_per_sample = 0.25; // quarter turn per sample
+    config.phase_offset_rad = 0.0;
+    config.fractional_delay = 0.0;
+    config.integer_delay = 0;
+    config.snr_db = 200.0;
+    Channel channel{config};
+    const auto out = channel.apply({{1, 0}, {1, 0}, {1, 0}, {1, 0}});
+    EXPECT_NEAR(out[0].real(), 1.0F, 1e-4);
+    EXPECT_NEAR(out[1].imag(), 1.0F, 1e-4);
+    EXPECT_NEAR(out[2].real(), -1.0F, 1e-4);
+    EXPECT_NEAR(out[3].imag(), -1.0F, 1e-4);
+}
+
+TEST(Channel, NoiseLevelTracksSnr)
+{
+    ChannelConfig config;
+    config.gain = 1.0F;
+    config.cfo_cycles_per_sample = 0.0;
+    config.phase_offset_rad = 0.0;
+    config.fractional_delay = 0.0;
+    config.integer_delay = 0;
+    config.snr_db = 10.0;
+    Channel channel{config};
+    std::vector<std::complex<float>> input(20000, {1.0F, 0.0F});
+    const auto out = channel.apply(input);
+    double noise_power = 0.0;
+    for (std::size_t i = 5000; i < out.size(); ++i) // after power-estimate settles
+        noise_power += std::norm(out[i] - std::complex<float>{1.0F, 0.0F});
+    noise_power /= static_cast<double>(out.size() - 5000);
+    EXPECT_NEAR(noise_power, 0.1, 0.02) << "10 dB SNR => noise power 0.1";
+}
+
+TEST(Channel, DeterministicForSeed)
+{
+    ChannelConfig config;
+    Channel a{config};
+    Channel b{config};
+    const std::vector<std::complex<float>> input(64, {1.0F, 0.5F});
+    const auto out_a = a.apply(input);
+    const auto out_b = b.apply(input);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        EXPECT_EQ(out_a[i], out_b[i]);
+}
+
+TEST(ReferencePayload, RejectsTinyFrames)
+{
+    EXPECT_THROW((void)reference_payload(32, 1, 0), std::invalid_argument);
+    EXPECT_THROW((void)extract_frame_index(std::vector<std::uint8_t>(10)),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+#include "rt/core_emulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::rt;
+using amp::core::CoreType;
+using namespace std::chrono;
+
+nanoseconds measure(CoreEmulator& emulator, int task, CoreType type, nanoseconds elapsed)
+{
+    const auto begin = steady_clock::now();
+    emulator.after_task(task, type, elapsed);
+    return duration_cast<nanoseconds>(steady_clock::now() - begin);
+}
+
+TEST(NullEmulator, AddsNoDelay)
+{
+    NullEmulator emulator;
+    EXPECT_LT(measure(emulator, 1, CoreType::little, milliseconds{5}), milliseconds{2});
+}
+
+TEST(SlowdownEmulator, BigCoreRunsNative)
+{
+    SlowdownEmulator emulator{3.0};
+    EXPECT_LT(measure(emulator, 1, CoreType::big, milliseconds{5}), milliseconds{2});
+}
+
+TEST(SlowdownEmulator, LittleCoreSpinsProportionally)
+{
+    SlowdownEmulator emulator{3.0};
+    // factor 3 => extra spin of ~2x the elapsed time.
+    const auto delay = measure(emulator, 1, CoreType::little, milliseconds{5});
+    EXPECT_GE(delay, milliseconds{9});
+    EXPECT_LT(delay, milliseconds{60});
+}
+
+TEST(SlowdownEmulator, PerTaskFactors)
+{
+    SlowdownEmulator emulator{std::vector<double>{1.0, 4.0}};
+    EXPECT_LT(measure(emulator, 1, CoreType::little, milliseconds{4}), milliseconds{2})
+        << "task 1 has factor 1: no spin";
+    EXPECT_GE(measure(emulator, 2, CoreType::little, milliseconds{4}), milliseconds{10})
+        << "task 2 has factor 4: ~12ms spin";
+    EXPECT_LT(measure(emulator, 3, CoreType::little, milliseconds{4}), milliseconds{2})
+        << "unknown task index defaults to factor 1";
+}
+
+TEST(SlowdownEmulator, FactorBelowOneIsIgnored)
+{
+    SlowdownEmulator emulator{0.5};
+    EXPECT_LT(measure(emulator, 1, CoreType::little, milliseconds{5}), milliseconds{2});
+}
+
+} // namespace

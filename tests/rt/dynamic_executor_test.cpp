@@ -1,0 +1,121 @@
+#include "rt/dynamic_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace amp::rt;
+
+struct Frame {
+    std::uint64_t seq = 0;
+    std::vector<int> trace;
+    int value = 0;
+};
+
+TaskSequence<Frame> make_sequence(const std::vector<bool>& stateful)
+{
+    TaskSequence<Frame> seq;
+    for (std::size_t i = 0; i < stateful.size(); ++i) {
+        const int id = static_cast<int>(i) + 1;
+        seq.push_back(make_task<Frame>("t" + std::to_string(id), stateful[i], [id](Frame& f) {
+            f.trace.push_back(id);
+            f.value += id;
+        }));
+    }
+    return seq;
+}
+
+void expect_correct(const std::vector<Frame>& outputs, int num_tasks)
+{
+    std::vector<int> expected(static_cast<std::size_t>(num_tasks));
+    std::iota(expected.begin(), expected.end(), 1);
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        EXPECT_EQ(outputs[i].seq, i) << "stream order restored";
+        EXPECT_EQ(outputs[i].trace, expected) << "tasks in per-frame order";
+    }
+}
+
+TEST(DynamicExecutor, SingleWorkerMatchesSequential)
+{
+    auto seq = make_sequence({true, false, true, false});
+    DynamicExecutor<Frame> executor{seq, 1};
+    std::vector<Frame> outputs;
+    const auto result = executor.run(50, [&](Frame& f) { outputs.push_back(f); });
+    EXPECT_EQ(result.frames, 50u);
+    ASSERT_EQ(outputs.size(), 50u);
+    expect_correct(outputs, 4);
+}
+
+TEST(DynamicExecutor, ManyWorkersPreserveOrderAndContent)
+{
+    auto seq = make_sequence({true, false, false, false, true});
+    DynamicExecutor<Frame> executor{seq, 6, 12};
+    std::vector<Frame> outputs;
+    const auto result = executor.run(400, [&](Frame& f) { outputs.push_back(f); });
+    EXPECT_EQ(result.frames, 400u);
+    ASSERT_EQ(outputs.size(), 400u);
+    expect_correct(outputs, 5);
+}
+
+TEST(DynamicExecutor, StatefulTasksSeeFramesInOrder)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("gen", false, [](Frame&) {}));
+    auto observed = std::make_shared<std::vector<std::uint64_t>>();
+    seq.push_back(
+        make_task<Frame>("stateful", true, [observed](Frame& f) { observed->push_back(f.seq); }));
+    seq.push_back(make_task<Frame>("post", false, [](Frame&) {}));
+    DynamicExecutor<Frame> executor{seq, 4, 8};
+    (void)executor.run(200);
+    ASSERT_EQ(observed->size(), 200u);
+    for (std::uint64_t i = 0; i < observed->size(); ++i)
+        EXPECT_EQ((*observed)[i], i);
+}
+
+TEST(DynamicExecutor, CountsSchedulingEvents)
+{
+    auto seq = make_sequence({false, false});
+    DynamicExecutor<Frame> executor{seq, 2};
+    const auto result = executor.run(50);
+    // At least one push + one pop per (frame, task) pair.
+    EXPECT_GE(result.scheduling_events, 2u * 50u * 2u);
+}
+
+TEST(DynamicExecutor, ExceptionPropagates)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("boom", false, [](Frame& f) {
+        if (f.seq == 17)
+            throw std::runtime_error{"dynamic failure"};
+    }));
+    DynamicExecutor<Frame> executor{seq, 3};
+    EXPECT_THROW((void)executor.run(60), std::runtime_error);
+}
+
+TEST(DynamicExecutor, ZeroFrames)
+{
+    auto seq = make_sequence({false});
+    DynamicExecutor<Frame> executor{seq, 2};
+    EXPECT_EQ(executor.run(0).frames, 0u);
+}
+
+TEST(DynamicExecutor, WindowSmallerThanWorkers)
+{
+    auto seq = make_sequence({false, true, false});
+    DynamicExecutor<Frame> executor{seq, 8, 2};
+    std::vector<Frame> outputs;
+    EXPECT_EQ(executor.run(100, [&](Frame& f) { outputs.push_back(f); }).frames, 100u);
+    expect_correct(outputs, 3);
+}
+
+TEST(DynamicExecutor, RejectsBadConfig)
+{
+    auto seq = make_sequence({false});
+    EXPECT_THROW((DynamicExecutor<Frame>{seq, 0}), std::invalid_argument);
+    TaskSequence<Frame> empty;
+    EXPECT_THROW((DynamicExecutor<Frame>{empty, 1}), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+#include "rt/module_graph.hpp"
+
+#include "rt/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::rt;
+
+struct Frame {
+    std::uint64_t seq = 0;
+    int a = 0;
+    int b = 0;
+    int out = 0;
+};
+
+TEST(ModuleGraph, LinearizesSimpleChain)
+{
+    ModuleGraph<Frame> graph;
+    const auto source = graph.add("source", true, [](Frame& f) { f.a = 1; }, {}, {"a"});
+    const auto work = graph.add("work", false, [](Frame& f) { f.b = f.a * 2; }, {"a"}, {"b"});
+    const auto sink = graph.add("sink", true, [](Frame& f) { f.out = f.b; }, {"b"}, {});
+    graph.bind(source, "a", work, "a");
+    graph.bind(work, "b", sink, "b");
+    const auto names = graph.linearized_names();
+    EXPECT_EQ(names, (std::vector<std::string>{"source", "work", "sink"}));
+}
+
+TEST(ModuleGraph, DeclarationOrderDoesNotDictateExecutionOrder)
+{
+    // Declare out of order; bindings define the true order.
+    ModuleGraph<Frame> graph;
+    const auto sink = graph.add("sink", true, [](Frame&) {}, {"x"}, {});
+    const auto source = graph.add("source", true, [](Frame&) {}, {}, {"x"});
+    graph.bind(source, "x", sink, "x");
+    EXPECT_EQ(graph.linearized_names(), (std::vector<std::string>{"source", "sink"}));
+}
+
+TEST(ModuleGraph, AutoBindMatchesPortNames)
+{
+    ModuleGraph<Frame> graph;
+    const auto source = graph.add("src", true, [](Frame&) {}, {}, {"a", "b"});
+    const auto sink = graph.add("dst", false, [](Frame&) {}, {"a", "b"}, {});
+    graph.auto_bind(source, sink);
+    EXPECT_EQ(graph.linearized_names(), (std::vector<std::string>{"src", "dst"}));
+}
+
+TEST(ModuleGraph, RejectsUnboundInput)
+{
+    ModuleGraph<Frame> graph;
+    graph.add("src", true, [](Frame&) {}, {}, {"a"});
+    graph.add("dst", false, [](Frame&) {}, {"a"}, {});
+    EXPECT_THROW((void)graph.linearize(), std::invalid_argument);
+}
+
+TEST(ModuleGraph, RejectsDoubleBinding)
+{
+    ModuleGraph<Frame> graph;
+    const auto s1 = graph.add("s1", true, [](Frame&) {}, {}, {"a"});
+    const auto s2 = graph.add("s2", true, [](Frame&) {}, {}, {"a"});
+    const auto dst = graph.add("dst", false, [](Frame&) {}, {"a"}, {});
+    graph.bind(s1, "a", dst, "a");
+    EXPECT_THROW(graph.bind(s2, "a", dst, "a"), std::invalid_argument);
+}
+
+TEST(ModuleGraph, RejectsUnknownPortsAndHandles)
+{
+    ModuleGraph<Frame> graph;
+    const auto src = graph.add("src", true, [](Frame&) {}, {}, {"a"});
+    const auto dst = graph.add("dst", false, [](Frame&) {}, {"a"}, {});
+    EXPECT_THROW(graph.bind(src, "nope", dst, "a"), std::invalid_argument);
+    EXPECT_THROW(graph.bind(src, "a", dst, "nope"), std::invalid_argument);
+    EXPECT_THROW(graph.bind(ModuleHandle{}, "a", dst, "a"), std::invalid_argument);
+}
+
+TEST(ModuleGraph, RejectsDuplicateNamesAndCycles)
+{
+    ModuleGraph<Frame> graph;
+    const auto a = graph.add("a", false, [](Frame&) {}, {"y"}, {"x"});
+    EXPECT_THROW(graph.add("a", false, [](Frame&) {}), std::invalid_argument);
+    const auto b = graph.add("b", false, [](Frame&) {}, {"x"}, {"y"});
+    graph.bind(a, "x", b, "x");
+    graph.bind(b, "y", a, "y");
+    EXPECT_THROW((void)graph.linearize(), std::invalid_argument);
+}
+
+TEST(ModuleGraph, EmptyGraphRejected)
+{
+    ModuleGraph<Frame> graph;
+    EXPECT_THROW((void)graph.linearize(), std::invalid_argument);
+}
+
+TEST(ModuleGraph, LinearizedSequenceRunsInPipeline)
+{
+    ModuleGraph<Frame> graph;
+    const auto source = graph.add("source", true, [](Frame& f) { f.a = 3; }, {}, {"a"});
+    const auto left = graph.add("dbl", false, [](Frame& f) { f.b = f.a * 2; }, {"a"}, {"b"});
+    const auto sink =
+        graph.add("sum", true, [](Frame& f) { f.out = f.a + f.b; }, {"a", "b"}, {});
+    graph.bind(source, "a", left, "a");
+    graph.bind(source, "a", sink, "a");
+    graph.bind(left, "b", sink, "b");
+
+    auto sequence = graph.linearize();
+    ASSERT_EQ(sequence.size(), 3);
+    amp::rt::Pipeline<Frame> pipeline{
+        sequence, amp::core::Solution{{amp::core::Stage{1, 3, 1, amp::core::CoreType::big}}}};
+    std::vector<int> outputs;
+    (void)pipeline.run(10, [&](Frame& f) { outputs.push_back(f.out); });
+    ASSERT_EQ(outputs.size(), 10u);
+    for (const int value : outputs)
+        EXPECT_EQ(value, 9); // 3 + 6
+}
+
+TEST(ModuleGraph, FanOutProducerFeedsTwoConsumers)
+{
+    ModuleGraph<Frame> graph;
+    const auto source = graph.add("src", true, [](Frame& f) { f.a = 1; }, {}, {"a"});
+    const auto left = graph.add("left", false, [](Frame& f) { f.b += f.a; }, {"a"}, {"b"});
+    const auto right = graph.add("right", false, [](Frame& f) { f.out += f.a; }, {"a"}, {"c"});
+    graph.bind(source, "a", left, "a");
+    graph.bind(source, "a", right, "a");
+    const auto names = graph.linearized_names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "src");
+    (void)left;
+    (void)right;
+}
+
+} // namespace

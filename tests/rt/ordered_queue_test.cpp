@@ -1,0 +1,130 @@
+#include "rt/ordered_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using amp::rt::Envelope;
+using amp::rt::OrderedQueue;
+
+TEST(OrderedQueue, DeliversInSequenceOrder)
+{
+    OrderedQueue<int> queue{8};
+    queue.push(Envelope<int>::data(2, 20));
+    queue.push(Envelope<int>::data(0, 0));
+    queue.push(Envelope<int>::data(1, 10));
+    for (std::uint64_t expected = 0; expected < 3; ++expected) {
+        const auto env = queue.pop();
+        ASSERT_TRUE(env.has_value());
+        EXPECT_EQ(env->seq, expected);
+        EXPECT_EQ(env->payload, static_cast<int>(expected * 10));
+    }
+}
+
+TEST(OrderedQueue, EndOfStreamClosesQueue)
+{
+    OrderedQueue<int> queue{8};
+    queue.push(Envelope<int>::data(0, 1));
+    queue.push(Envelope<int>::end_of_stream(1));
+    auto first = queue.pop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(first->end);
+    auto second = queue.pop();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->end);
+    EXPECT_FALSE(queue.pop().has_value()) << "closed after end delivery";
+}
+
+TEST(OrderedQueue, AbortUnblocksConsumers)
+{
+    OrderedQueue<int> queue{2};
+    std::thread consumer{[&] { EXPECT_FALSE(queue.pop().has_value()); }};
+    queue.abort();
+    consumer.join();
+}
+
+TEST(OrderedQueue, NextSeqBypassesFullBuffer)
+{
+    // Buffer of capacity 1 already holds seq 1; pushing seq 0 (the frame the
+    // consumer needs) must not deadlock.
+    OrderedQueue<int> queue{1};
+    queue.push(Envelope<int>::data(1, 11));
+    std::thread producer{[&] { queue.push(Envelope<int>::data(0, 1)); }};
+    const auto env = queue.pop();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->seq, 0u);
+    producer.join();
+    EXPECT_EQ(queue.pop()->seq, 1u);
+}
+
+TEST(OrderedQueue, BackpressureBlocksUntilDrained)
+{
+    OrderedQueue<int> queue{2};
+    queue.push(Envelope<int>::data(0, 0));
+    queue.push(Envelope<int>::data(1, 1));
+    std::atomic<bool> pushed{false};
+    std::thread producer{[&] {
+        queue.push(Envelope<int>::data(2, 2)); // over capacity, not next seq
+        pushed = true;
+    }};
+    // Give the producer a chance to (wrongly) slip through.
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    EXPECT_FALSE(pushed.load());
+    (void)queue.pop();
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+}
+
+TEST(OrderedQueue, ManyProducersManyConsumers)
+{
+    constexpr std::uint64_t kFrames = 500;
+    OrderedQueue<std::uint64_t> queue{8};
+    std::atomic<std::uint64_t> next{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&] {
+            for (;;) {
+                const std::uint64_t seq = next.fetch_add(1);
+                if (seq >= kFrames) {
+                    if (seq == kFrames)
+                        queue.push(Envelope<std::uint64_t>::end_of_stream(kFrames));
+                    return;
+                }
+                queue.push(Envelope<std::uint64_t>::data(seq, seq * 3));
+            }
+        });
+    }
+    std::mutex sink_mutex;
+    std::vector<std::uint64_t> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            while (auto env = queue.pop()) {
+                if (env->end)
+                    return;
+                std::lock_guard lock{sink_mutex};
+                seen.push_back(env->seq);
+            }
+        });
+    }
+    for (auto& t : producers)
+        t.join();
+    for (auto& t : consumers)
+        t.join();
+    ASSERT_EQ(seen.size(), kFrames);
+    std::sort(seen.begin(), seen.end());
+    for (std::uint64_t i = 0; i < kFrames; ++i)
+        EXPECT_EQ(seen[i], i) << "each frame delivered exactly once";
+}
+
+TEST(OrderedQueue, ZeroCapacityClampsToOne)
+{
+    OrderedQueue<int> queue{0};
+    EXPECT_EQ(queue.capacity(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+#include "rt/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace amp::rt;
+using amp::core::CoreType;
+using amp::core::Solution;
+using amp::core::Stage;
+
+struct Frame {
+    std::uint64_t seq = 0;
+    std::vector<int> trace; ///< task ids appended in execution order
+    int value = 0;
+};
+
+/// Builds a chain of n tasks; task i appends its id to the trace and adds
+/// i to the value. `stateful` marks which tasks are sequential.
+TaskSequence<Frame> make_sequence(const std::vector<bool>& stateful)
+{
+    TaskSequence<Frame> seq;
+    for (std::size_t i = 0; i < stateful.size(); ++i) {
+        const int id = static_cast<int>(i) + 1;
+        seq.push_back(make_task<Frame>("t" + std::to_string(id), stateful[i], [id](Frame& f) {
+            f.trace.push_back(id);
+            f.value += id;
+        }));
+    }
+    return seq;
+}
+
+std::vector<Frame> run_pipeline(TaskSequence<Frame>& seq, Solution solution,
+                                std::uint64_t frames, PipelineConfig config = {})
+{
+    Pipeline<Frame> pipeline{seq, std::move(solution), config};
+    std::vector<Frame> outputs;
+    const auto result = pipeline.run(frames, [&](Frame& f) { outputs.push_back(f); });
+    EXPECT_EQ(result.frames, frames);
+    return outputs;
+}
+
+void expect_correct_outputs(const std::vector<Frame>& outputs, int num_tasks)
+{
+    std::vector<int> expected_trace(static_cast<std::size_t>(num_tasks));
+    std::iota(expected_trace.begin(), expected_trace.end(), 1);
+    const int expected_value = num_tasks * (num_tasks + 1) / 2;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        EXPECT_EQ(outputs[i].seq, i) << "outputs must arrive in stream order";
+        EXPECT_EQ(outputs[i].trace, expected_trace);
+        EXPECT_EQ(outputs[i].value, expected_value);
+    }
+}
+
+TEST(Pipeline, SingleStageSingleWorker)
+{
+    auto seq = make_sequence({true, true, true});
+    const auto outputs =
+        run_pipeline(seq, Solution{{Stage{1, 3, 1, CoreType::big}}}, 50);
+    ASSERT_EQ(outputs.size(), 50u);
+    expect_correct_outputs(outputs, 3);
+}
+
+TEST(Pipeline, MultiStagePipeline)
+{
+    auto seq = make_sequence({true, false, true, false});
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 3, 1, CoreType::little},
+                             Stage{4, 4, 1, CoreType::big}}};
+    const auto outputs = run_pipeline(seq, solution, 100);
+    ASSERT_EQ(outputs.size(), 100u);
+    expect_correct_outputs(outputs, 4);
+}
+
+TEST(Pipeline, ReplicatedStagePreservesOrderAndContent)
+{
+    auto seq = make_sequence({true, false, false, true});
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 3, 4, CoreType::big},
+                             Stage{4, 4, 1, CoreType::big}}};
+    const auto outputs = run_pipeline(seq, solution, 200);
+    ASSERT_EQ(outputs.size(), 200u);
+    expect_correct_outputs(outputs, 4);
+}
+
+TEST(Pipeline, ConsecutiveReplicatedStagesDifferentTypes)
+{
+    // The StreamPU v1.6.0 extension scenario: two adjacent replicated
+    // stages using different core types.
+    auto seq = make_sequence({true, false, false, false, false});
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 3, 3, CoreType::big},
+                             Stage{4, 5, 2, CoreType::little}}};
+    const auto outputs = run_pipeline(seq, solution, 150);
+    ASSERT_EQ(outputs.size(), 150u);
+    expect_correct_outputs(outputs, 5);
+}
+
+TEST(Pipeline, ReplicatedSourceStage)
+{
+    auto seq = make_sequence({false, false});
+    const Solution solution{{Stage{1, 2, 3, CoreType::big}}};
+    const auto outputs = run_pipeline(seq, solution, 120);
+    ASSERT_EQ(outputs.size(), 120u);
+    expect_correct_outputs(outputs, 2);
+}
+
+TEST(Pipeline, StatefulTaskSeesFramesInOrder)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("gen", false, [](Frame&) {}));
+    // The stateful task records the sequence numbers it observes.
+    auto observed = std::make_shared<std::vector<std::uint64_t>>();
+    seq.push_back(make_task<Frame>("stateful", true,
+                                   [observed](Frame& f) { observed->push_back(f.seq); }));
+    const Solution solution{{Stage{1, 1, 2, CoreType::big}, Stage{2, 2, 1, CoreType::big}}};
+    Pipeline<Frame> pipeline{seq, solution};
+    (void)pipeline.run(100);
+    ASSERT_EQ(observed->size(), 100u);
+    for (std::uint64_t i = 0; i < observed->size(); ++i)
+        EXPECT_EQ((*observed)[i], i) << "stateful stage must process frames in stream order";
+}
+
+TEST(Pipeline, MatchesSequentialExecution)
+{
+    // Property: any well-formed solution produces bit-identical output to
+    // plain sequential execution.
+    const std::vector<bool> stateful{true, false, false, true, false, false};
+    const Solution solutions[] = {
+        Solution{{Stage{1, 6, 1, CoreType::big}}},
+        Solution{{Stage{1, 3, 1, CoreType::big}, Stage{4, 6, 1, CoreType::little}}},
+        Solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 3, 2, CoreType::little},
+                  Stage{4, 4, 1, CoreType::big}, Stage{5, 6, 3, CoreType::big}}},
+    };
+    // Reference: run tasks directly.
+    std::vector<Frame> reference(40);
+    {
+        auto seq = make_sequence(stateful);
+        for (std::uint64_t f = 0; f < reference.size(); ++f) {
+            reference[f].seq = f;
+            for (int i = 1; i <= seq.size(); ++i)
+                seq.task(i).process(reference[f]);
+        }
+    }
+    for (const auto& solution : solutions) {
+        auto seq = make_sequence(stateful);
+        const auto outputs = run_pipeline(seq, solution, reference.size());
+        ASSERT_EQ(outputs.size(), reference.size());
+        for (std::size_t f = 0; f < reference.size(); ++f) {
+            EXPECT_EQ(outputs[f].trace, reference[f].trace);
+            EXPECT_EQ(outputs[f].value, reference[f].value);
+        }
+    }
+}
+
+TEST(Pipeline, TaskExceptionPropagates)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("boom", false, [](Frame& f) {
+        if (f.seq == 7)
+            throw std::runtime_error{"injected failure"};
+    }));
+    Pipeline<Frame> pipeline{seq, Solution{{Stage{1, 1, 1, CoreType::big}}}};
+    EXPECT_THROW((void)pipeline.run(20), std::runtime_error);
+}
+
+TEST(Pipeline, ExceptionInReplicatedStagePropagates)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("gen", false, [](Frame&) {}));
+    seq.push_back(make_task<Frame>("boom", false, [](Frame& f) {
+        if (f.seq == 13)
+            throw std::runtime_error{"replica failure"};
+    }));
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 3, CoreType::big}}};
+    Pipeline<Frame> pipeline{seq, solution};
+    EXPECT_THROW((void)pipeline.run(50), std::runtime_error);
+}
+
+TEST(Pipeline, RejectsIllFormedSolutions)
+{
+    auto seq = make_sequence({true, false, true});
+    EXPECT_THROW((Pipeline<Frame>{seq, Solution{}}), std::invalid_argument);
+    EXPECT_THROW((Pipeline<Frame>{seq, Solution{{Stage{1, 2, 1, CoreType::big}}}}),
+                 std::invalid_argument)
+        << "must cover the whole chain";
+    EXPECT_THROW((Pipeline<Frame>{seq, Solution{{Stage{1, 3, 2, CoreType::big}}}}),
+                 std::invalid_argument)
+        << "replicating a stateful task is forbidden";
+    EXPECT_THROW((Pipeline<Frame>{seq, Solution{{Stage{1, 3, 0, CoreType::big}}}}),
+                 std::invalid_argument)
+        << "zero cores";
+}
+
+TEST(Pipeline, RunTwiceOnSameSequence)
+{
+    auto seq = make_sequence({true, false});
+    Pipeline<Frame> pipeline{seq, Solution{{Stage{1, 2, 1, CoreType::big}}}};
+    EXPECT_EQ(pipeline.run(10).frames, 10u);
+    EXPECT_EQ(pipeline.run(10).frames, 10u);
+}
+
+TEST(Pipeline, SmallQueueCapacityStillCompletes)
+{
+    auto seq = make_sequence({true, false, false, true});
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 3, 4, CoreType::big},
+                             Stage{4, 4, 1, CoreType::big}}};
+    PipelineConfig config;
+    config.queue_capacity = 1;
+    const auto outputs = run_pipeline(seq, solution, 100, config);
+    ASSERT_EQ(outputs.size(), 100u);
+    expect_correct_outputs(outputs, 4);
+}
+
+} // namespace

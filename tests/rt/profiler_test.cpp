@@ -1,0 +1,53 @@
+#include "rt/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using namespace amp::rt;
+
+struct Frame {
+    std::uint64_t seq = 0;
+};
+
+TEST(Profiler, MeasuresPerTaskLatency)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("fast", false, [](Frame&) {}));
+    seq.push_back(make_task<Frame>("slow", false, [](Frame&) {
+        std::this_thread::sleep_for(std::chrono::microseconds{500});
+    }));
+    const auto profile = profile_sequence(seq, 5);
+    ASSERT_EQ(profile.latency_us.size(), 2u);
+    EXPECT_LT(profile.latency_us[0], 200.0);
+    EXPECT_GT(profile.latency_us[1], 400.0);
+}
+
+TEST(Profiler, ToSchedulerChainAppliesFactors)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("a", false, [](Frame&) {}));
+    seq.push_back(make_task<Frame>("b", true, [](Frame&) {}));
+    TaskProfile profile;
+    profile.latency_us = {10.0, 20.0};
+    const auto chain = to_scheduler_chain(seq, profile, {2.0, 3.0});
+    EXPECT_DOUBLE_EQ(chain.weight(1, amp::core::CoreType::big), 10.0);
+    EXPECT_DOUBLE_EQ(chain.weight(1, amp::core::CoreType::little), 20.0);
+    EXPECT_DOUBLE_EQ(chain.weight(2, amp::core::CoreType::little), 60.0);
+    EXPECT_TRUE(chain.replicable(1));
+    EXPECT_FALSE(chain.replicable(2));
+}
+
+TEST(Profiler, SequenceStatePersistsAcrossFrames)
+{
+    TaskSequence<Frame> seq;
+    auto count = std::make_shared<int>(0);
+    seq.push_back(make_task<Frame>("counter", true, [count](Frame&) { ++*count; }));
+    (void)profile_sequence(seq, 4, 1);
+    EXPECT_EQ(*count, 5) << "warmup + measured frames all flow through the same instance";
+}
+
+} // namespace

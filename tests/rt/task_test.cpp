@@ -1,0 +1,84 @@
+#include "rt/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::rt;
+
+struct Frame {
+    std::uint64_t seq = 0;
+    int value = 0;
+};
+
+TEST(LambdaTask, ProcessesFrames)
+{
+    auto task = make_task<Frame>("inc", false, [](Frame& f) { f.value += 1; });
+    Frame frame;
+    task->process(frame);
+    task->process(frame);
+    EXPECT_EQ(frame.value, 2);
+    EXPECT_EQ(task->name(), "inc");
+    EXPECT_TRUE(task->replicable());
+}
+
+TEST(LambdaTask, StatelessCloneIsIndependent)
+{
+    int captured = 3;
+    auto task = make_task<Frame>("addk", false, [captured](Frame& f) { f.value += captured; });
+    auto clone = task->clone();
+    Frame frame;
+    clone->process(frame);
+    EXPECT_EQ(frame.value, 3);
+    EXPECT_EQ(clone->name(), "addk");
+}
+
+TEST(LambdaTask, StatefulCloneThrows)
+{
+    auto task = make_task<Frame>("counter", true, [count = 0](Frame& f) mutable {
+        f.value = ++count;
+    });
+    EXPECT_TRUE(task->stateful());
+    EXPECT_THROW((void)task->clone(), std::logic_error);
+}
+
+TEST(TaskSequence, OneBasedAccess)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("a", false, [](Frame&) {}));
+    seq.push_back(make_task<Frame>("b", true, [](Frame&) {}));
+    EXPECT_EQ(seq.size(), 2);
+    EXPECT_EQ(seq.task(1).name(), "a");
+    EXPECT_EQ(seq.task(2).name(), "b");
+}
+
+TEST(TaskSequence, StageViewAndClones)
+{
+    TaskSequence<Frame> seq;
+    for (int i = 0; i < 4; ++i)
+        seq.push_back(make_task<Frame>("t" + std::to_string(i + 1), false,
+                                       [i](Frame& f) { f.value += i; }));
+    const auto view = seq.stage_view(2, 3);
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_EQ(view[0]->name(), "t2");
+    const auto clones = seq.stage_clones(2, 3);
+    ASSERT_EQ(clones.size(), 2u);
+    EXPECT_EQ(clones[1]->name(), "t3");
+    EXPECT_NE(clones[0].get(), view[0]);
+}
+
+TEST(TaskSequence, ToCoreChain)
+{
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("a", false, [](Frame&) {}));
+    seq.push_back(make_task<Frame>("b", true, [](Frame&) {}));
+    const auto chain = seq.to_core_chain({10.0, 20.0}, {30.0, 40.0});
+    EXPECT_EQ(chain.size(), 2);
+    EXPECT_DOUBLE_EQ(chain.weight(1, amp::core::CoreType::big), 10.0);
+    EXPECT_DOUBLE_EQ(chain.weight(2, amp::core::CoreType::little), 40.0);
+    EXPECT_TRUE(chain.replicable(1));
+    EXPECT_FALSE(chain.replicable(2));
+    EXPECT_THROW((void)seq.to_core_chain({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+} // namespace

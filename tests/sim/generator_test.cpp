@@ -1,0 +1,146 @@
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace amp::sim;
+using amp::core::CoreType;
+
+TEST(Generator, ProducesRequestedSize)
+{
+    amp::Rng rng{1};
+    const auto chain = generate_chain({.num_tasks = 20}, rng);
+    EXPECT_EQ(chain.size(), 20);
+}
+
+TEST(Generator, WeightsWithinBounds)
+{
+    amp::Rng rng{2};
+    GeneratorConfig config;
+    config.num_tasks = 200;
+    const auto chain = generate_chain(config, rng);
+    for (int i = 1; i <= chain.size(); ++i) {
+        const double wb = chain.weight(i, CoreType::big);
+        const double wl = chain.weight(i, CoreType::little);
+        EXPECT_GE(wb, 1.0);
+        EXPECT_LE(wb, 100.0);
+        EXPECT_DOUBLE_EQ(wb, std::floor(wb)) << "big weights are integers";
+        EXPECT_DOUBLE_EQ(wl, std::floor(wl)) << "little weights use ceiling rounding";
+        EXPECT_GE(wl, wb) << "slowdown >= 1 means little is never faster";
+        EXPECT_LE(wl, std::ceil(wb * 5.0));
+    }
+}
+
+TEST(Generator, ExactStatelessRatio)
+{
+    amp::Rng rng{3};
+    for (const double sr : {0.2, 0.5, 0.8}) {
+        const auto chain = generate_chain({.num_tasks = 20, .stateless_ratio = sr}, rng);
+        EXPECT_EQ(chain.replicable_count(), static_cast<int>(std::lround(sr * 20)));
+    }
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    amp::Rng rng_a{7};
+    amp::Rng rng_b{7};
+    const auto a = generate_chain({}, rng_a);
+    const auto b = generate_chain({}, rng_b);
+    ASSERT_EQ(a.size(), b.size());
+    for (int i = 1; i <= a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.weight(i, CoreType::big), b.weight(i, CoreType::big));
+        EXPECT_DOUBLE_EQ(a.weight(i, CoreType::little), b.weight(i, CoreType::little));
+        EXPECT_EQ(a.replicable(i), b.replicable(i));
+    }
+}
+
+TEST(Generator, ReplicablePositionsVary)
+{
+    // The replicable subset must not always be a prefix: check that over
+    // many chains every position is sometimes replicable.
+    amp::Rng rng{11};
+    std::vector<int> hits(20, 0);
+    for (int c = 0; c < 200; ++c) {
+        const auto chain = generate_chain({.num_tasks = 20, .stateless_ratio = 0.5}, rng);
+        for (int i = 1; i <= 20; ++i)
+            hits[static_cast<std::size_t>(i - 1)] += chain.replicable(i) ? 1 : 0;
+    }
+    for (const int h : hits) {
+        EXPECT_GT(h, 50);
+        EXPECT_LT(h, 150);
+    }
+}
+
+TEST(Generator, RejectsBadConfig)
+{
+    amp::Rng rng{1};
+    EXPECT_THROW((void)generate_chain({.num_tasks = 0}, rng), std::invalid_argument);
+    EXPECT_THROW((void)generate_chain({.weight_min = 5, .weight_max = 4}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW((void)generate_chain({.slowdown_min = 0.5}, rng), std::invalid_argument);
+    EXPECT_THROW((void)generate_chain({.stateless_ratio = 1.5}, rng), std::invalid_argument);
+}
+
+} // namespace
+
+namespace {
+
+using namespace amp::sim;
+
+TEST(Generator, BimodalProducesHeavyTail)
+{
+    amp::Rng rng{21};
+    GeneratorConfig config;
+    config.num_tasks = 400;
+    config.distribution = WeightDistribution::bimodal;
+    const auto chain = generate_chain(config, rng);
+    int heavy = 0;
+    for (int i = 1; i <= chain.size(); ++i)
+        heavy += chain.weight(i, amp::core::CoreType::big) > 100.0 ? 1 : 0;
+    EXPECT_GT(heavy, 20) << "roughly 15% of tasks should be 10x heavy";
+    EXPECT_LT(heavy, 100);
+}
+
+TEST(Generator, LognormalStaysPositiveAndSkewed)
+{
+    amp::Rng rng{22};
+    GeneratorConfig config;
+    config.num_tasks = 400;
+    config.distribution = WeightDistribution::lognormal;
+    const auto chain = generate_chain(config, rng);
+    double mean = 0.0;
+    std::vector<double> weights;
+    for (int i = 1; i <= chain.size(); ++i) {
+        const double w = chain.weight(i, amp::core::CoreType::big);
+        EXPECT_GE(w, 1.0);
+        weights.push_back(w);
+        mean += w;
+    }
+    mean /= chain.size();
+    std::sort(weights.begin(), weights.end());
+    const double median = weights[weights.size() / 2];
+    EXPECT_GT(mean, median) << "right-skewed: mean above median";
+}
+
+TEST(Generator, DistributionsKeepSlowdownContract)
+{
+    amp::Rng rng{23};
+    for (const auto distribution :
+         {WeightDistribution::bimodal, WeightDistribution::lognormal}) {
+        GeneratorConfig config;
+        config.num_tasks = 100;
+        config.distribution = distribution;
+        const auto chain = generate_chain(config, rng);
+        for (int i = 1; i <= chain.size(); ++i) {
+            EXPECT_GE(chain.weight(i, amp::core::CoreType::little),
+                      chain.weight(i, amp::core::CoreType::big));
+        }
+    }
+}
+
+} // namespace

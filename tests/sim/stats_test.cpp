@@ -1,0 +1,71 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace amp::sim;
+
+TEST(Stats, MeanAndMedian)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, SlowdownSummary)
+{
+    const auto summary = summarize_slowdowns({1.0, 1.0, 1.2, 1.4});
+    EXPECT_DOUBLE_EQ(summary.pct_optimal, 0.5);
+    EXPECT_DOUBLE_EQ(summary.average, 1.15);
+    EXPECT_DOUBLE_EQ(summary.median, 1.1);
+    EXPECT_DOUBLE_EQ(summary.maximum, 1.4);
+}
+
+TEST(Stats, SlowdownSummaryToleratesFpNoise)
+{
+    const auto summary = summarize_slowdowns({1.0 + 1e-9, 1.5});
+    EXPECT_DOUBLE_EQ(summary.pct_optimal, 0.5);
+}
+
+TEST(Stats, EmpiricalCdf)
+{
+    const auto cdf = empirical_cdf({1.0, 1.1, 1.2, 1.3}, {0.9, 1.0, 1.15, 2.0});
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+    EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+    EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+TEST(Stats, Linspace)
+{
+    const auto points = linspace(1.0, 1.5, 6);
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_DOUBLE_EQ(points.front(), 1.0);
+    EXPECT_DOUBLE_EQ(points.back(), 1.5);
+    EXPECT_DOUBLE_EQ(points[1], 1.1);
+    EXPECT_THROW((void)linspace(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Stats, UsageHeatmap)
+{
+    UsageHeatmap map;
+    map.add({3, 2}, {2, 2}); // +1 big
+    map.add({3, 3}, {2, 2}); // +1 big +1 little
+    map.add({2, 2}, {2, 2}); // same
+    map.add({2, 1}, {2, 2}); // -1 little
+    EXPECT_EQ(map.total(), 4);
+    EXPECT_DOUBLE_EQ(map.fraction(1, 0), 0.25);
+    EXPECT_DOUBLE_EQ(map.fraction(1, 1), 0.25);
+    EXPECT_DOUBLE_EQ(map.fraction(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(map.fraction(0, -1), 0.25);
+    EXPECT_DOUBLE_EQ(map.fraction(5, 5), 0.0);
+    EXPECT_DOUBLE_EQ(map.fraction_at_most_total(0), 0.5);
+    EXPECT_DOUBLE_EQ(map.fraction_at_most_total(1), 0.75);
+    EXPECT_DOUBLE_EQ(map.fraction_at_most_total(2), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,42 @@
+#pragma once
+// Helpers shared across the test suite.
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace amp::testing {
+
+/// Builds a chain from (w_big, w_little, replicable) triples.
+struct TaskSpec {
+    double w_big;
+    double w_little;
+    bool replicable;
+};
+
+inline core::TaskChain make_chain(std::initializer_list<TaskSpec> specs)
+{
+    std::vector<core::TaskDesc> tasks;
+    tasks.reserve(specs.size());
+    int index = 1;
+    for (const auto& spec : specs) {
+        tasks.push_back(core::TaskDesc{"t" + std::to_string(index++), spec.w_big,
+                                       spec.w_little, spec.replicable});
+    }
+    return core::TaskChain{std::move(tasks)};
+}
+
+/// A chain where every task has the same weight on both core types.
+inline core::TaskChain uniform_chain(int n, double weight, bool replicable)
+{
+    std::vector<core::TaskDesc> tasks;
+    tasks.reserve(static_cast<std::size_t>(n));
+    for (int i = 1; i <= n; ++i)
+        tasks.push_back(core::TaskDesc{"t" + std::to_string(i), weight, weight, replicable});
+    return core::TaskChain{std::move(tasks)};
+}
+
+} // namespace amp::testing
