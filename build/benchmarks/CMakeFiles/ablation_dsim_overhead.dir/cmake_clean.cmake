@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dsim_overhead"
+  "../bench/ablation_dsim_overhead.pdb"
+  "CMakeFiles/ablation_dsim_overhead.dir/ablation_dsim_overhead.cpp.o"
+  "CMakeFiles/ablation_dsim_overhead.dir/ablation_dsim_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dsim_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

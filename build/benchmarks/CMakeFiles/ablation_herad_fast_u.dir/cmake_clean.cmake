@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_herad_fast_u"
+  "../bench/ablation_herad_fast_u.pdb"
+  "CMakeFiles/ablation_herad_fast_u.dir/ablation_herad_fast_u.cpp.o"
+  "CMakeFiles/ablation_herad_fast_u.dir/ablation_herad_fast_u.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_herad_fast_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_herad_fast_u.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_herad_prune"
+  "../bench/ablation_herad_prune.pdb"
+  "CMakeFiles/ablation_herad_prune.dir/ablation_herad_prune.cpp.o"
+  "CMakeFiles/ablation_herad_prune.dir/ablation_herad_prune.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_herad_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_bench_support.dir/support/campaign.cpp.o"
+  "CMakeFiles/amp_bench_support.dir/support/campaign.cpp.o.d"
+  "CMakeFiles/amp_bench_support.dir/support/dvbs2_eval.cpp.o"
+  "CMakeFiles/amp_bench_support.dir/support/dvbs2_eval.cpp.o.d"
+  "libamp_bench_support.a"
+  "libamp_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dynamic_vs_static"
+  "../bench/ext_dynamic_vs_static.pdb"
+  "CMakeFiles/ext_dynamic_vs_static.dir/ext_dynamic_vs_static.cpp.o"
+  "CMakeFiles/ext_dynamic_vs_static.dir/ext_dynamic_vs_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fertac_preference"
+  "../bench/ext_fertac_preference.pdb"
+  "CMakeFiles/ext_fertac_preference.dir/ext_fertac_preference.cpp.o"
+  "CMakeFiles/ext_fertac_preference.dir/ext_fertac_preference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fertac_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_fertac_preference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_generalization"
+  "../bench/ext_generalization.pdb"
+  "CMakeFiles/ext_generalization.dir/ext_generalization.cpp.o"
+  "CMakeFiles/ext_generalization.dir/ext_generalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

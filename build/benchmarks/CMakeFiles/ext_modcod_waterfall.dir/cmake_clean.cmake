@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_modcod_waterfall"
+  "../bench/ext_modcod_waterfall.pdb"
+  "CMakeFiles/ext_modcod_waterfall.dir/ext_modcod_waterfall.cpp.o"
+  "CMakeFiles/ext_modcod_waterfall.dir/ext_modcod_waterfall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_modcod_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

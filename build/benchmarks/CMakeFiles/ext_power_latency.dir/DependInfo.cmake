@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/benchmarks/ext_power_latency.cpp" "benchmarks/CMakeFiles/ext_power_latency.dir/ext_power_latency.cpp.o" "gcc" "benchmarks/CMakeFiles/ext_power_latency.dir/ext_power_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/benchmarks/CMakeFiles/amp_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/amp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsim/CMakeFiles/amp_dsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvbs2/CMakeFiles/amp_dvbs2.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

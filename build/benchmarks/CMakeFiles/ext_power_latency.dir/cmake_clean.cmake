@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_power_latency"
+  "../bench/ext_power_latency.pdb"
+  "CMakeFiles/ext_power_latency.dir/ext_power_latency.cpp.o"
+  "CMakeFiles/ext_power_latency.dir/ext_power_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

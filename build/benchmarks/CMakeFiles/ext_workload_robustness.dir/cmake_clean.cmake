@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_workload_robustness"
+  "../bench/ext_workload_robustness.pdb"
+  "CMakeFiles/ext_workload_robustness.dir/ext_workload_robustness.cpp.o"
+  "CMakeFiles/ext_workload_robustness.dir/ext_workload_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_core_heatmap"
+  "../bench/fig2_core_heatmap.pdb"
+  "CMakeFiles/fig2_core_heatmap.dir/fig2_core_heatmap.cpp.o"
+  "CMakeFiles/fig2_core_heatmap.dir/fig2_core_heatmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_core_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

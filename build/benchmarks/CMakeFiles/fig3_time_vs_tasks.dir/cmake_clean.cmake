@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_time_vs_tasks"
+  "../bench/fig3_time_vs_tasks.pdb"
+  "CMakeFiles/fig3_time_vs_tasks.dir/fig3_time_vs_tasks.cpp.o"
+  "CMakeFiles/fig3_time_vs_tasks.dir/fig3_time_vs_tasks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_vs_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

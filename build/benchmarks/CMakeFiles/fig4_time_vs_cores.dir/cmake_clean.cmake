@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_time_vs_cores"
+  "../bench/fig4_time_vs_cores.pdb"
+  "CMakeFiles/fig4_time_vs_cores.dir/fig4_time_vs_cores.cpp.o"
+  "CMakeFiles/fig4_time_vs_cores.dir/fig4_time_vs_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_time_vs_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

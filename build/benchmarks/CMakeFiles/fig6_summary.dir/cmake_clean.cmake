@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_summary"
+  "../bench/fig6_summary.pdb"
+  "CMakeFiles/fig6_summary.dir/fig6_summary.cpp.o"
+  "CMakeFiles/fig6_summary.dir/fig6_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_strategies"
+  "../bench/microbench_strategies.pdb"
+  "CMakeFiles/microbench_strategies.dir/microbench_strategies.cpp.o"
+  "CMakeFiles/microbench_strategies.dir/microbench_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_dvbs2_schedules"
+  "../bench/table2_dvbs2_schedules.pdb"
+  "CMakeFiles/table2_dvbs2_schedules.dir/table2_dvbs2_schedules.cpp.o"
+  "CMakeFiles/table2_dvbs2_schedules.dir/table2_dvbs2_schedules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dvbs2_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_task_profile"
+  "../bench/table3_task_profile.pdb"
+  "CMakeFiles/table3_task_profile.dir/table3_task_profile.cpp.o"
+  "CMakeFiles/table3_task_profile.dir/table3_task_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_task_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

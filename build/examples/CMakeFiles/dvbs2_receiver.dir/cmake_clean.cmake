@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvbs2_receiver.dir/dvbs2_receiver.cpp.o"
+  "CMakeFiles/dvbs2_receiver.dir/dvbs2_receiver.cpp.o.d"
+  "dvbs2_receiver"
+  "dvbs2_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvbs2_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_playground.dir/pipeline_playground.cpp.o"
+  "CMakeFiles/pipeline_playground.dir/pipeline_playground.cpp.o.d"
+  "pipeline_playground"
+  "pipeline_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

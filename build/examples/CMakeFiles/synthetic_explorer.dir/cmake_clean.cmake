@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_explorer.dir/synthetic_explorer.cpp.o"
+  "CMakeFiles/synthetic_explorer.dir/synthetic_explorer.cpp.o.d"
+  "synthetic_explorer"
+  "synthetic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

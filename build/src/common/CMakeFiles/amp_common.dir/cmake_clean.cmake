@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_common.dir/argparse.cpp.o"
+  "CMakeFiles/amp_common.dir/argparse.cpp.o.d"
+  "CMakeFiles/amp_common.dir/rng.cpp.o"
+  "CMakeFiles/amp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/amp_common.dir/table.cpp.o"
+  "CMakeFiles/amp_common.dir/table.cpp.o.d"
+  "libamp_common.a"
+  "libamp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/amp_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/amp_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/fertac.cpp" "src/core/CMakeFiles/amp_core.dir/fertac.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/fertac.cpp.o.d"
+  "/root/repo/src/core/greedy_common.cpp" "src/core/CMakeFiles/amp_core.dir/greedy_common.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/greedy_common.cpp.o.d"
+  "/root/repo/src/core/herad.cpp" "src/core/CMakeFiles/amp_core.dir/herad.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/herad.cpp.o.d"
+  "/root/repo/src/core/otac.cpp" "src/core/CMakeFiles/amp_core.dir/otac.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/otac.cpp.o.d"
+  "/root/repo/src/core/power.cpp" "src/core/CMakeFiles/amp_core.dir/power.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/power.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/amp_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/amp_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/core/CMakeFiles/amp_core.dir/solution.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/solution.cpp.o.d"
+  "/root/repo/src/core/twocatac.cpp" "src/core/CMakeFiles/amp_core.dir/twocatac.cpp.o" "gcc" "src/core/CMakeFiles/amp_core.dir/twocatac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/amp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

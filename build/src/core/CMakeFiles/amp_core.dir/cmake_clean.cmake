@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_core.dir/brute_force.cpp.o"
+  "CMakeFiles/amp_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/amp_core.dir/chain.cpp.o"
+  "CMakeFiles/amp_core.dir/chain.cpp.o.d"
+  "CMakeFiles/amp_core.dir/fertac.cpp.o"
+  "CMakeFiles/amp_core.dir/fertac.cpp.o.d"
+  "CMakeFiles/amp_core.dir/greedy_common.cpp.o"
+  "CMakeFiles/amp_core.dir/greedy_common.cpp.o.d"
+  "CMakeFiles/amp_core.dir/herad.cpp.o"
+  "CMakeFiles/amp_core.dir/herad.cpp.o.d"
+  "CMakeFiles/amp_core.dir/otac.cpp.o"
+  "CMakeFiles/amp_core.dir/otac.cpp.o.d"
+  "CMakeFiles/amp_core.dir/power.cpp.o"
+  "CMakeFiles/amp_core.dir/power.cpp.o.d"
+  "CMakeFiles/amp_core.dir/scheduler.cpp.o"
+  "CMakeFiles/amp_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/amp_core.dir/serialize.cpp.o"
+  "CMakeFiles/amp_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/amp_core.dir/solution.cpp.o"
+  "CMakeFiles/amp_core.dir/solution.cpp.o.d"
+  "CMakeFiles/amp_core.dir/twocatac.cpp.o"
+  "CMakeFiles/amp_core.dir/twocatac.cpp.o.d"
+  "libamp_core.a"
+  "libamp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_dsim.dir/simulator.cpp.o"
+  "CMakeFiles/amp_dsim.dir/simulator.cpp.o.d"
+  "libamp_dsim.a"
+  "libamp_dsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_dsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

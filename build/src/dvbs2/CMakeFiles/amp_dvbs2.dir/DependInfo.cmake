@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvbs2/common/bb_scrambler.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/bb_scrambler.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/bb_scrambler.cpp.o.d"
+  "/root/repo/src/dvbs2/common/crc.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/crc.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/crc.cpp.o.d"
+  "/root/repo/src/dvbs2/common/pilots.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/pilots.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/pilots.cpp.o.d"
+  "/root/repo/src/dvbs2/common/pl_scrambler.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/pl_scrambler.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/pl_scrambler.cpp.o.d"
+  "/root/repo/src/dvbs2/common/plh_framer.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/plh_framer.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/plh_framer.cpp.o.d"
+  "/root/repo/src/dvbs2/common/psk.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/psk.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/psk.cpp.o.d"
+  "/root/repo/src/dvbs2/common/qpsk.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/qpsk.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/qpsk.cpp.o.d"
+  "/root/repo/src/dvbs2/common/rrc_filter.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/rrc_filter.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/common/rrc_filter.cpp.o.d"
+  "/root/repo/src/dvbs2/fec/bch.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/fec/bch.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/fec/bch.cpp.o.d"
+  "/root/repo/src/dvbs2/fec/galois.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/fec/galois.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/fec/galois.cpp.o.d"
+  "/root/repo/src/dvbs2/fec/ldpc.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/fec/ldpc.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/fec/ldpc.cpp.o.d"
+  "/root/repo/src/dvbs2/io/monitor.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/io/monitor.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/io/monitor.cpp.o.d"
+  "/root/repo/src/dvbs2/io/radio.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/io/radio.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/io/radio.cpp.o.d"
+  "/root/repo/src/dvbs2/modcod.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/modcod.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/modcod.cpp.o.d"
+  "/root/repo/src/dvbs2/profiles.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/profiles.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/profiles.cpp.o.d"
+  "/root/repo/src/dvbs2/receiver.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/receiver.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/receiver.cpp.o.d"
+  "/root/repo/src/dvbs2/rx/agc.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/agc.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/agc.cpp.o.d"
+  "/root/repo/src/dvbs2/rx/frame_sync.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/frame_sync.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/frame_sync.cpp.o.d"
+  "/root/repo/src/dvbs2/rx/freq_coarse.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/freq_coarse.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/freq_coarse.cpp.o.d"
+  "/root/repo/src/dvbs2/rx/freq_fine.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/freq_fine.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/freq_fine.cpp.o.d"
+  "/root/repo/src/dvbs2/rx/noise_estimator.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/noise_estimator.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/noise_estimator.cpp.o.d"
+  "/root/repo/src/dvbs2/rx/timing.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/timing.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/rx/timing.cpp.o.d"
+  "/root/repo/src/dvbs2/transmitter_chain.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/transmitter_chain.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/transmitter_chain.cpp.o.d"
+  "/root/repo/src/dvbs2/tx/channel.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/tx/channel.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/tx/channel.cpp.o.d"
+  "/root/repo/src/dvbs2/tx/transmitter.cpp" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/tx/transmitter.cpp.o" "gcc" "src/dvbs2/CMakeFiles/amp_dvbs2.dir/tx/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/amp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_rt.dir/core_emulator.cpp.o"
+  "CMakeFiles/amp_rt.dir/core_emulator.cpp.o.d"
+  "libamp_rt.a"
+  "libamp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

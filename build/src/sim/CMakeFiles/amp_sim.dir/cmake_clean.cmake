@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_sim.dir/generator.cpp.o"
+  "CMakeFiles/amp_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/amp_sim.dir/stats.cpp.o"
+  "CMakeFiles/amp_sim.dir/stats.cpp.o.d"
+  "libamp_sim.a"
+  "libamp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

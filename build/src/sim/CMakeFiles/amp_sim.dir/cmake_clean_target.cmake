@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamp_sim.a"
+)

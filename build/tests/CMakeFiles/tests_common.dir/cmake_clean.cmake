@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/argparse_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/argparse_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/table_test.cpp.o"
+  "CMakeFiles/tests_common.dir/common/table_test.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

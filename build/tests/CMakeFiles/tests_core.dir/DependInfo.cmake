@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/tests_core.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/chain_test.cpp" "tests/CMakeFiles/tests_core.dir/core/chain_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/chain_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/tests_core.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/fertac_test.cpp" "tests/CMakeFiles/tests_core.dir/core/fertac_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/fertac_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_common_test.cpp" "tests/CMakeFiles/tests_core.dir/core/greedy_common_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/greedy_common_test.cpp.o.d"
+  "/root/repo/tests/core/herad_test.cpp" "tests/CMakeFiles/tests_core.dir/core/herad_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/herad_test.cpp.o.d"
+  "/root/repo/tests/core/optimality_property_test.cpp" "tests/CMakeFiles/tests_core.dir/core/optimality_property_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/optimality_property_test.cpp.o.d"
+  "/root/repo/tests/core/otac_test.cpp" "tests/CMakeFiles/tests_core.dir/core/otac_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/otac_test.cpp.o.d"
+  "/root/repo/tests/core/power_test.cpp" "tests/CMakeFiles/tests_core.dir/core/power_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/power_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/tests_core.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/tests_core.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/core/solution_test.cpp" "tests/CMakeFiles/tests_core.dir/core/solution_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/solution_test.cpp.o.d"
+  "/root/repo/tests/core/twocatac_test.cpp" "tests/CMakeFiles/tests_core.dir/core/twocatac_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/twocatac_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/amp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

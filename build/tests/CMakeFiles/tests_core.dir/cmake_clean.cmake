@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/brute_force_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/brute_force_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/chain_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/chain_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/fertac_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/fertac_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/greedy_common_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/greedy_common_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/herad_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/herad_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/optimality_property_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/optimality_property_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/otac_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/otac_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/power_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/power_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/serialize_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/serialize_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/solution_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/solution_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/twocatac_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/twocatac_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_dsim.dir/dsim/simulator_test.cpp.o"
+  "CMakeFiles/tests_dsim.dir/dsim/simulator_test.cpp.o.d"
+  "tests_dsim"
+  "tests_dsim.pdb"
+  "tests_dsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_dsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dvbs2/bch_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/bch_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/bch_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/crc_modcod_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/crc_modcod_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/crc_modcod_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/fec_param_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/fec_param_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/fec_param_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/filter_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/filter_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/filter_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/framer_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/framer_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/framer_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/galois_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/galois_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/galois_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/ldpc_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/ldpc_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/ldpc_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/modcod_loopback_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/modcod_loopback_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/modcod_loopback_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/modem_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/modem_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/modem_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/psk_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/psk_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/psk_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/radio_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/radio_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/radio_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/scrambler_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/scrambler_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/scrambler_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/sync_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/sync_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/sync_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/table2_regression_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/table2_regression_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/table2_regression_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/transceiver_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/transceiver_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/transceiver_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/transmitter_chain_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/transmitter_chain_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/transmitter_chain_test.cpp.o.d"
+  "/root/repo/tests/dvbs2/transmitter_test.cpp" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/transmitter_test.cpp.o" "gcc" "tests/CMakeFiles/tests_dvbs2.dir/dvbs2/transmitter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dvbs2/CMakeFiles/amp_dvbs2.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/amp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/core_emulator_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/core_emulator_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/core_emulator_test.cpp.o.d"
+  "/root/repo/tests/rt/dynamic_executor_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/dynamic_executor_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/dynamic_executor_test.cpp.o.d"
+  "/root/repo/tests/rt/module_graph_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/module_graph_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/module_graph_test.cpp.o.d"
+  "/root/repo/tests/rt/ordered_queue_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/ordered_queue_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/ordered_queue_test.cpp.o.d"
+  "/root/repo/tests/rt/pipeline_fuzz_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/pipeline_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/pipeline_fuzz_test.cpp.o.d"
+  "/root/repo/tests/rt/pipeline_stress_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/pipeline_stress_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/pipeline_stress_test.cpp.o.d"
+  "/root/repo/tests/rt/pipeline_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/pipeline_test.cpp.o.d"
+  "/root/repo/tests/rt/profiler_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/profiler_test.cpp.o.d"
+  "/root/repo/tests/rt/task_test.cpp" "tests/CMakeFiles/tests_rt.dir/rt/task_test.cpp.o" "gcc" "tests/CMakeFiles/tests_rt.dir/rt/task_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/amp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_rt.dir/rt/core_emulator_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/core_emulator_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/dynamic_executor_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/dynamic_executor_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/module_graph_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/module_graph_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/ordered_queue_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/ordered_queue_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/pipeline_fuzz_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/pipeline_fuzz_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/pipeline_stress_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/pipeline_stress_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/pipeline_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/pipeline_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/profiler_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/profiler_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/task_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/task_test.cpp.o.d"
+  "tests_rt"
+  "tests_rt.pdb"
+  "tests_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
