@@ -6,6 +6,38 @@
 
 namespace amp::dsim {
 
+namespace {
+
+/// Per-stage service model + server availability for one stage structure.
+struct StageModel {
+    std::vector<double> base_service;
+    std::vector<double> penalty;
+    std::vector<std::vector<double>> last_departures; ///< ring per stage
+
+    StageModel(const core::TaskChain& chain, const core::Solution& solution,
+               const OverheadModel& overhead, double ready_at)
+    {
+        const auto& stages = solution.stages();
+        const std::size_t k = stages.size();
+        base_service.resize(k);
+        penalty.resize(k);
+        last_departures.resize(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            const core::Stage& st = stages[i];
+            base_service[i] = chain.interval_sum(st.first, st.last, st.type);
+            penalty[i] = 1.0 + overhead.service_inflation;
+            if (st.cores > 1) {
+                penalty[i] += overhead.replication_penalty;
+                if (st.type == core::CoreType::little)
+                    penalty[i] += overhead.little_replication_penalty;
+            }
+            last_departures[i].assign(static_cast<std::size_t>(st.cores), ready_at);
+        }
+    }
+};
+
+} // namespace
+
 double expected_period_us(const core::TaskChain& chain, const core::Solution& solution)
 {
     return solution.period(chain);
@@ -92,4 +124,143 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
     return result;
 }
 
+FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
+                                               const core::Solution& solution,
+                                               core::Resources budget,
+                                               const SimulationConfig& config,
+                                               const FailureModel& faults)
+{
+    if (solution.empty())
+        throw std::invalid_argument{"simulate_with_failures: empty solution"};
+    if (!solution.is_well_formed(chain))
+        throw std::invalid_argument{"simulate_with_failures: solution does not fit the chain"};
+    if (config.frames <= config.warmup_frames)
+        throw std::invalid_argument{"simulate_with_failures: frames must exceed warmup_frames"};
+
+    std::vector<SimFailure> pending = faults.failures;
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const SimFailure& a, const SimFailure& b) { return a.frame < b.frame; });
+
+    // The rescheduler mirrors the runtime's recovery decisions: same chain,
+    // same degraded resource vector, same strategy preferences.
+    rt::Rescheduler rescheduler{chain, budget, faults.policy};
+
+    FailureSimulationResult result;
+    core::Solution current = solution;
+    StageModel model{chain, current, config.overhead, 0.0};
+
+    Rng rng{config.overhead.seed};
+    const double cv = config.overhead.jitter_cv;
+    const double sigma = cv > 0.0 ? std::sqrt(std::log(1.0 + cv * cv)) : 0.0;
+    const double mu = -0.5 * sigma * sigma; // unit-mean lognormal
+
+    std::size_t next_failure = 0;
+    std::uint64_t departed = 0;
+    double window_start = 0.0;
+    double final_departure = 0.0;
+
+    for (std::uint64_t f = 0; f < config.frames; ++f) {
+        bool frame_lost = false;
+        while (next_failure < pending.size() && pending[next_failure].frame <= f) {
+            const SimFailure& event = pending[next_failure++];
+            const std::size_t stage =
+                std::min(event.stage, current.stage_count() - 1);
+            const core::CoreType lost = current.stage(stage).type;
+
+            RecoveryRecord record;
+            record.frame = f;
+            record.stage = stage;
+            record.lost_type = lost;
+            record.downtime_us = faults.detection_us + faults.reschedule_us;
+            record.frames_dropped = 1; // the frame in service on the lost core
+
+            core::Solution next;
+            try {
+                next = rescheduler.on_core_loss(lost, 1);
+            } catch (const rt::NoScheduleError&) {
+                result.schedulable = false;
+            }
+            record.resources_after = rescheduler.resources();
+            if (!result.schedulable) {
+                result.recoveries.push_back(std::move(record));
+                result.frames_dropped += 1;
+                result.final_solution = current;
+                result.overall.period_us =
+                    departed > config.warmup_frames && final_departure > window_start
+                        ? (final_departure - window_start)
+                              / static_cast<double>(departed - config.warmup_frames)
+                        : 0.0;
+                result.overall.fps =
+                    result.overall.period_us > 0.0 ? 1e6 / result.overall.period_us : 0.0;
+                return result;
+            }
+            record.new_solution = next;
+            result.recoveries.push_back(record);
+            result.frames_dropped += 1;
+            frame_lost = true;
+
+            // Hot-swap: every server of the new structure becomes available
+            // once the loss is detected and the new schedule deployed.
+            const double resume_at = final_departure + record.downtime_us;
+            current = std::move(next);
+            model = StageModel{chain, current, config.overhead, resume_at};
+        }
+        if (frame_lost)
+            continue; // consumed by the failure event(s)
+
+        // Stage 0 sources frames continuously; the post-failure stall is
+        // carried by the servers' ready times (resume_at).
+        double arrival = 0.0;
+        const std::size_t k = current.stage_count();
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto r = model.last_departures[i].size();
+            double& server_free = model.last_departures[i][static_cast<std::size_t>(
+                departed % static_cast<std::uint64_t>(r))];
+            const double start = std::max(arrival, server_free);
+            const double jitter = sigma > 0.0 ? std::exp(mu + sigma * rng.normal()) : 1.0;
+            const double service = model.base_service[i] * model.penalty[i] * jitter;
+            const double depart = start + service;
+            server_free = depart;
+            arrival = depart + config.overhead.adaptor_crossing_us;
+        }
+        final_departure = arrival - config.overhead.adaptor_crossing_us;
+        ++departed;
+        if (departed == config.warmup_frames)
+            window_start = final_departure;
+    }
+
+    result.final_solution = current;
+    const auto measured = departed > config.warmup_frames
+        ? static_cast<double>(departed - config.warmup_frames)
+        : 0.0;
+    const double window = final_departure - window_start;
+    result.overall.period_us = measured > 0.0 && window > 0.0 ? window / measured : 0.0;
+    result.overall.fps = result.overall.period_us > 0.0 ? 1e6 / result.overall.period_us : 0.0;
+    return result;
+}
+
+std::vector<SimFailure> random_failures(std::uint64_t seed, int count, std::uint64_t warmup,
+                                        std::uint64_t frames, std::size_t stage_count)
+{
+    if (frames == 0 || stage_count == 0 || count <= 0)
+        return {};
+    if (warmup >= frames)
+        warmup = 0;
+    Rng rng{seed};
+    std::vector<SimFailure> plan;
+    plan.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        SimFailure failure;
+        failure.frame = static_cast<std::uint64_t>(rng.uniform_int(
+            static_cast<std::int64_t>(warmup), static_cast<std::int64_t>(frames) - 1));
+        failure.stage = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(stage_count) - 1));
+        plan.push_back(failure);
+    }
+    std::stable_sort(plan.begin(), plan.end(),
+                     [](const SimFailure& a, const SimFailure& b) { return a.frame < b.frame; });
+    return plan;
+}
+
 } // namespace amp::dsim
+

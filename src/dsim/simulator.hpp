@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "core/chain.hpp"
 #include "core/solution.hpp"
+#include "rt/rescheduler.hpp"
 
 #include <cstdint>
 #include <vector>
@@ -71,5 +72,65 @@ struct SimulationResult {
 /// i.e. what the scheduler itself predicts (no overheads).
 [[nodiscard]] double expected_period_us(const core::TaskChain& chain,
                                         const core::Solution& solution);
+
+// -- failure events -------------------------------------------------------
+//
+// Thread-free mirror of the runtime's fault model (docs/FAULT_MODEL.md):
+// at chosen stream positions a stage loses one core for good. The simulator
+// applies the same recovery decision the runtime would make -- it reduces
+// the resource vector, re-runs the schedulers through rt::Rescheduler, and
+// resumes the departure recurrence on the new stage structure after a
+// detection + reschedule latency -- so recovery behaviour is testable
+// deterministically, without threads or timing jitter.
+
+/// One permanent core loss: at stream frame `frame`, the stage at index
+/// `stage` (into the *current* solution; clamped if rescheduling shrank the
+/// stage list) loses one core.
+struct SimFailure {
+    std::uint64_t frame = 0;
+    std::size_t stage = 0;
+};
+
+struct FailureModel {
+    std::vector<SimFailure> failures;
+    double detection_us = 200.0;  ///< watchdog heartbeat-timeout equivalent
+    double reschedule_us = 50.0;  ///< solver + pipeline hot-swap cost
+    rt::ReschedulePolicy policy{};
+};
+
+/// What the simulator decided at one failure event.
+struct RecoveryRecord {
+    std::uint64_t frame = 0;           ///< stream position of the loss
+    std::size_t stage = 0;             ///< failed stage (pre-reschedule index)
+    core::CoreType lost_type = core::CoreType::big;
+    core::Resources resources_after{}; ///< degraded resource vector
+    core::Solution new_solution;       ///< schedule the pipeline resumed with
+    double downtime_us = 0.0;          ///< detection + reschedule stall
+    std::uint64_t frames_dropped = 0;  ///< in-flight frames lost to the event
+};
+
+struct FailureSimulationResult {
+    SimulationResult overall;              ///< throughput across the whole run
+    std::vector<RecoveryRecord> recoveries;
+    core::Solution final_solution;
+    std::uint64_t frames_dropped = 0;
+    bool schedulable = true; ///< false when a loss left no feasible schedule
+};
+
+/// Simulates `solution` over `chain` under permanent core losses. `budget`
+/// is the resource vector the solution was computed for; each loss removes
+/// one core of the failing stage's type before rescheduling.
+[[nodiscard]] FailureSimulationResult
+simulate_with_failures(const core::TaskChain& chain, const core::Solution& solution,
+                       core::Resources budget, const SimulationConfig& config,
+                       const FailureModel& faults);
+
+/// Deterministic random failure plan: `count` losses at frames drawn from
+/// [warmup, frames) and stages drawn from [0, stage_count). Same seed, same
+/// plan, on every platform.
+[[nodiscard]] std::vector<SimFailure> random_failures(std::uint64_t seed, int count,
+                                                      std::uint64_t warmup,
+                                                      std::uint64_t frames,
+                                                      std::size_t stage_count);
 
 } // namespace amp::dsim

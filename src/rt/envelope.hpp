@@ -1,6 +1,12 @@
 #pragma once
 // Frame envelope passed between pipeline stages: a payload plus the stream
 // sequence number used to restore ordering behind replicated stages.
+//
+// A `dropped` envelope is a tombstone: the watchdog publishes one for a frame
+// that was lost inside a failed worker so that downstream consumers (which
+// deliver strictly in sequence order) can advance past the hole. Tombstones
+// flow through the rest of the pipeline unprocessed and are counted as
+// dropped frames by the drain.
 
 #include <cstdint>
 #include <utility>
@@ -10,14 +16,16 @@ namespace amp::rt {
 template <typename T>
 struct Envelope {
     std::uint64_t seq = 0;
-    bool end = false; ///< end-of-stream marker; sorts after all data frames
+    bool end = false;     ///< end-of-stream marker; sorts after all data frames
+    bool dropped = false; ///< tombstone for a frame lost to a worker failure
     T payload{};
 
     static Envelope data(std::uint64_t seq, T payload)
     {
-        return Envelope{seq, false, std::move(payload)};
+        return Envelope{seq, false, false, std::move(payload)};
     }
-    static Envelope end_of_stream(std::uint64_t seq) { return Envelope{seq, true, T{}}; }
+    static Envelope end_of_stream(std::uint64_t seq) { return Envelope{seq, true, false, T{}}; }
+    static Envelope tombstone(std::uint64_t seq) { return Envelope{seq, false, true, T{}}; }
 };
 
 } // namespace amp::rt

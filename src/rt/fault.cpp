@@ -1,0 +1,118 @@
+#include "rt/fault.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace amp::rt {
+
+TransientTaskFault::TransientTaskFault(int task, std::uint64_t frame)
+    : std::runtime_error{"injected transient fault: task " + std::to_string(task) + ", frame "
+                         + std::to_string(frame)}
+    , task_(task)
+    , frame_(frame)
+{
+}
+
+void FaultInjector::add(FaultSpec spec)
+{
+    std::lock_guard lock{mutex_};
+    specs_.push_back(spec);
+}
+
+FaultInjector FaultInjector::random_plan(std::uint64_t seed, const RandomFaultConfig& config)
+{
+    FaultInjector injector;
+    Rng rng{seed};
+    const auto frame = [&] {
+        return static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(config.frames) - 1));
+    };
+    for (int i = 0; i < config.transients; ++i) {
+        FaultSpec spec;
+        spec.kind = FaultKind::transient;
+        spec.frame = frame();
+        spec.task = static_cast<int>(rng.uniform_int(1, std::max(1, config.tasks)));
+        spec.count = config.transient_count;
+        injector.specs_.push_back(spec);
+    }
+    for (int i = 0; i < config.stalls; ++i) {
+        FaultSpec spec;
+        spec.kind = FaultKind::stall;
+        spec.frame = frame();
+        spec.worker = static_cast<int>(rng.uniform_int(0, std::max(1, config.workers) - 1));
+        spec.stall = config.stall_duration;
+        injector.specs_.push_back(spec);
+    }
+    for (int i = 0; i < config.kills; ++i) {
+        FaultSpec spec;
+        spec.kind = FaultKind::kill;
+        spec.frame = frame();
+        spec.worker = static_cast<int>(rng.uniform_int(0, std::max(1, config.workers) - 1));
+        injector.specs_.push_back(spec);
+    }
+    return injector;
+}
+
+bool FaultInjector::should_throw(int task, std::uint64_t frame)
+{
+    std::lock_guard lock{mutex_};
+    for (FaultSpec& spec : specs_) {
+        if (spec.kind == FaultKind::transient && spec.task == task && spec.frame == frame
+            && spec.count > 0) {
+            --spec.count;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::chrono::milliseconds FaultInjector::stall_before(int worker, std::uint64_t frame)
+{
+    std::lock_guard lock{mutex_};
+    for (FaultSpec& spec : specs_) {
+        if (spec.kind == FaultKind::stall && spec.worker == worker && frame >= spec.frame
+            && spec.count > 0) {
+            --spec.count;
+            return spec.stall;
+        }
+    }
+    return std::chrono::milliseconds{0};
+}
+
+bool FaultInjector::should_kill(int worker, std::uint64_t frame)
+{
+    std::lock_guard lock{mutex_};
+    for (FaultSpec& spec : specs_) {
+        if (spec.kind == FaultKind::kill && spec.worker == worker && frame >= spec.frame
+            && spec.count > 0) {
+            --spec.count;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool FaultInjector::has_liveness_faults() const
+{
+    std::lock_guard lock{mutex_};
+    return std::any_of(specs_.begin(), specs_.end(), [](const FaultSpec& spec) {
+        return spec.kind != FaultKind::transient && spec.count > 0;
+    });
+}
+
+std::size_t FaultInjector::pending() const
+{
+    std::lock_guard lock{mutex_};
+    std::size_t pending = 0;
+    for (const FaultSpec& spec : specs_)
+        pending += static_cast<std::size_t>(std::max(0, spec.count));
+    return pending;
+}
+
+std::vector<FaultSpec> FaultInjector::plan() const
+{
+    std::lock_guard lock{mutex_};
+    return specs_;
+}
+
+} // namespace amp::rt

@@ -10,9 +10,17 @@
 // Deadlock freedom under the bounded capacity: a push whose sequence number
 // is exactly the one the consumer waits for bypasses the capacity check, so
 // the frame the pipeline needs next can always enter the buffer.
+//
+// For fault tolerance the queue offers timed variants (`try_pop_for`,
+// `try_push_for`) so that a worker blocked on a stalled or dead peer can
+// periodically wake up, refresh its heartbeat and check whether the watchdog
+// fenced it -- without tearing the whole pipeline down with abort(). Stale
+// pushes (seq already delivered, e.g. the original frame arriving after the
+// watchdog published a tombstone for it) are dropped silently.
 
 #include "rt/envelope.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <map>
@@ -24,8 +32,26 @@ namespace amp::rt {
 template <typename T>
 class OrderedQueue {
 public:
-    explicit OrderedQueue(std::size_t capacity)
+    /// Outcome of a timed push.
+    enum class PushOutcome {
+        pushed,    ///< envelope accepted (buffered)
+        timed_out, ///< buffer still full after the timeout; envelope untouched
+        rejected,  ///< queue aborted, or stale seq already delivered (dropped)
+    };
+
+    /// Outcome of a timed pop. `envelope` is engaged iff an in-order
+    /// envelope was available; `done` reports abort/close (no more data).
+    struct PopResult {
+        std::optional<Envelope<T>> envelope;
+        bool done = false;
+        [[nodiscard]] bool timed_out() const noexcept { return !envelope && !done; }
+    };
+
+    /// `first_seq` is the sequence number the consumer side starts waiting
+    /// for -- non-zero when a pipeline resumes a partially-delivered stream.
+    explicit OrderedQueue(std::size_t capacity, std::uint64_t first_seq = 0)
         : capacity_(capacity == 0 ? 1 : capacity)
+        , next_seq_(first_seq)
     {
     }
 
@@ -40,10 +66,28 @@ public:
         not_full_.wait(lock, [&] {
             return aborted_ || buffer_.size() < capacity_ || envelope.seq == next_seq_;
         });
-        if (aborted_)
+        if (aborted_ || envelope.seq < next_seq_)
             return;
         buffer_.emplace(envelope.seq, std::move(envelope));
         not_empty_.notify_all();
+    }
+
+    /// Timed push. On `timed_out` the envelope is left intact in `envelope`
+    /// so the caller can heartbeat and retry; on `pushed`/`rejected` it has
+    /// been consumed (moved from or dropped).
+    PushOutcome try_push_for(Envelope<T>& envelope, std::chrono::steady_clock::duration timeout)
+    {
+        std::unique_lock lock{mutex_};
+        const bool ready = not_full_.wait_for(lock, timeout, [&] {
+            return aborted_ || buffer_.size() < capacity_ || envelope.seq == next_seq_;
+        });
+        if (!ready)
+            return PushOutcome::timed_out;
+        if (aborted_ || envelope.seq < next_seq_)
+            return PushOutcome::rejected;
+        buffer_.emplace(envelope.seq, std::move(envelope));
+        not_empty_.notify_all();
+        return PushOutcome::pushed;
     }
 
     /// Pops the next in-order envelope. Returns nullopt once the end-of-
@@ -55,17 +99,23 @@ public:
         not_empty_.wait(lock, [&] {
             return aborted_ || closed_ || buffer_.count(next_seq_) != 0;
         });
-        if (aborted_ || closed_)
-            return std::nullopt;
-        auto node = buffer_.extract(next_seq_);
-        Envelope<T> envelope = std::move(node.mapped());
-        ++next_seq_;
-        if (envelope.end) {
-            closed_ = true;
-            not_empty_.notify_all(); // release consumers waiting on later seqs
-        }
-        not_full_.notify_all();
-        return envelope;
+        return pop_locked();
+    }
+
+    /// Timed pop: like pop() but gives up after `timeout` so the consumer
+    /// can wake up (heartbeat, fencing check) without a full abort().
+    PopResult try_pop_for(std::chrono::steady_clock::duration timeout)
+    {
+        std::unique_lock lock{mutex_};
+        const bool ready = not_empty_.wait_for(lock, timeout, [&] {
+            return aborted_ || closed_ || buffer_.count(next_seq_) != 0;
+        });
+        if (!ready)
+            return PopResult{};
+        auto envelope = pop_locked();
+        if (!envelope)
+            return PopResult{std::nullopt, true};
+        return PopResult{std::move(envelope), false};
     }
 
     /// Unblocks every producer and consumer; subsequent pushes are dropped
@@ -87,7 +137,30 @@ public:
         return buffer_.size();
     }
 
+    /// Next sequence number the consumer side waits for (for tests/metrics).
+    [[nodiscard]] std::uint64_t next_seq() const
+    {
+        std::lock_guard lock{mutex_};
+        return next_seq_;
+    }
+
 private:
+    // Requires mutex_ held and the wait predicate satisfied.
+    std::optional<Envelope<T>> pop_locked()
+    {
+        if (aborted_ || closed_)
+            return std::nullopt;
+        auto node = buffer_.extract(next_seq_);
+        Envelope<T> envelope = std::move(node.mapped());
+        ++next_seq_;
+        if (envelope.end) {
+            closed_ = true;
+            not_empty_.notify_all(); // release consumers waiting on later seqs
+        }
+        not_full_.notify_all();
+        return envelope;
+    }
+
     const std::size_t capacity_;
     mutable std::mutex mutex_;
     std::condition_variable not_full_;

@@ -9,21 +9,38 @@
 // (stateless) tasks once per extra worker. Sequential stages keep a single
 // worker and therefore observe frames in stream order, which is what makes
 // stateful tasks safe.
+//
+// Fault tolerance (docs/FAULT_MODEL.md): every worker maintains a heartbeat
+// that it refreshes whenever it makes progress or wakes from a bounded wait.
+// An optional watchdog thread (enabled by PipelineConfig::heartbeat_timeout)
+// fences workers whose heartbeat goes stale -- crashed or hung threads --
+// publishing a tombstone for the frame the worker held so downstream
+// consumers can advance, and, when a stage loses its last worker, initiating
+// a graceful drain: the source stops producing, a scavenger flushes the dead
+// stage's input in stream order (as tombstones), and the run returns a
+// degraded-but-ordered result instead of aborting. Transient task failures
+// are absorbed by a bounded retry with exponential backoff. A run that ends
+// early reports `stream_end`, the exact resume point for a rescheduled
+// pipeline (see rt/rescheduler.hpp).
 
 #include "core/chain.hpp"
 #include "core/solution.hpp"
 #include "rt/core_emulator.hpp"
+#include "rt/fault.hpp"
 #include "rt/ordered_queue.hpp"
 #include "rt/task.hpp"
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #if defined(__linux__)
@@ -40,11 +57,60 @@ struct PipelineConfig {
     /// paper's compact placement) is pinned to CPU core_map[k % size]. Empty
     /// = no pinning. Ignored on platforms without affinity support.
     std::vector<int> core_map{};
+
+    /// First frame of the stream this run produces: frames [first_frame,
+    /// num_frames) flow through the pipeline. Non-zero when resuming a
+    /// stream after a failure (the new pipeline picks up at the previous
+    /// run's `stream_end`).
+    std::uint64_t first_frame = 0;
+
+    /// Optional fault injection hooks (tests, recovery benchmarks).
+    FaultInjector* faults = nullptr;
+
+    /// Transient-failure policy: a task throw is retried up to
+    /// `max_task_retries` times per frame, sleeping retry_backoff *
+    /// retry_backoff_factor^attempt between attempts. The frame payload is
+    /// restored from a pre-attempt copy when T is copyable; otherwise tasks
+    /// must tolerate re-execution on a partially-processed frame. Keep the
+    /// worst-case total backoff below heartbeat_timeout, or the watchdog
+    /// will fence the retrying worker.
+    int max_task_retries = 0;
+    std::chrono::microseconds retry_backoff{200};
+    double retry_backoff_factor = 2.0;
+
+    /// Watchdog: a worker whose heartbeat is older than heartbeat_timeout
+    /// is declared lost (fenced). Zero disables the watchdog (and with it,
+    /// recovery from kill/stall faults). The timeout must exceed the
+    /// worst-case per-frame latency of any stage, or healthy-but-slow
+    /// workers get fenced.
+    std::chrono::milliseconds heartbeat_timeout{0};
+    std::chrono::milliseconds watchdog_poll{2};
+};
+
+/// One fenced (permanently lost) worker.
+struct WorkerLoss {
+    int worker = -1;                          ///< global stage-major index
+    int stage = -1;                           ///< stage the worker served
+    core::CoreType type = core::CoreType::big; ///< core type lost with it
+    std::uint64_t held_frame = 0;             ///< frame it held (kNoFrame if idle)
+
+    static constexpr std::uint64_t kNoFrame = std::numeric_limits<std::uint64_t>::max();
 };
 
 struct RunResult {
-    std::uint64_t frames = 0;
+    std::uint64_t frames = 0;        ///< frames delivered to the drain
     double elapsed_seconds = 0.0;
+    std::uint64_t frames_dropped = 0; ///< tombstones (frames lost to failures)
+    std::uint64_t retries = 0;        ///< transient faults absorbed by retry
+    /// One past the last stream position this run accounted for (delivered
+    /// or dropped). Equals the requested frame count on a full run; on a
+    /// degraded early drain it is the exact `first_frame` to resume from.
+    std::uint64_t stream_end = 0;
+    /// Time from run start to the first worker loss; negative when healthy.
+    double failure_seconds = -1.0;
+    std::vector<WorkerLoss> losses;   ///< workers fenced by the watchdog
+
+    [[nodiscard]] bool degraded() const noexcept { return !losses.empty(); }
     [[nodiscard]] double fps() const noexcept
     {
         return elapsed_seconds > 0.0 ? static_cast<double>(frames) / elapsed_seconds : 0.0;
@@ -78,97 +144,196 @@ public:
         validate();
     }
 
-    /// Processes `num_frames` frames end to end. `on_output` (optional) is
-    /// invoked on the main thread, in stream order, with each final frame.
+    /// Processes frames [config.first_frame, num_frames) end to end.
+    /// `on_output` (optional) is invoked on the main thread, in stream
+    /// order, with each final frame.
     RunResult run(std::uint64_t num_frames, const std::function<void(T&)>& on_output = {})
     {
+        if (config_.first_frame > num_frames)
+            throw std::invalid_argument{"Pipeline::run: first_frame past the stream end"};
+
         const auto& stages = solution_.stages();
         const std::size_t k = stages.size();
 
-        // Queue q[i] connects stage i to stage i+1; q[k-1] feeds the drain.
-        std::vector<std::unique_ptr<OrderedQueue<T>>> queues;
-        queues.reserve(k);
-        for (std::size_t i = 0; i < k; ++i)
-            queues.push_back(std::make_unique<OrderedQueue<T>>(config_.queue_capacity));
+        RunState st;
+        st.num_frames = num_frames;
+        st.next_frame.store(config_.first_frame);
+        st.beat_interval = config_.heartbeat_timeout.count() > 0
+            ? std::max<std::chrono::milliseconds>(std::chrono::milliseconds{1},
+                                                  config_.heartbeat_timeout / 4)
+            : std::chrono::milliseconds{50};
 
-        std::atomic<std::uint64_t> next_frame{0};
-        std::mutex error_mutex;
-        std::exception_ptr first_error;
-        auto record_error = [&](std::exception_ptr error) {
-            {
-                std::lock_guard lock{error_mutex};
-                if (!first_error)
-                    first_error = error;
-            }
-            for (auto& queue : queues)
-                queue->abort();
-        };
+        // Queue q[i] connects stage i to stage i+1; q[k-1] feeds the drain.
+        st.queues.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            st.queues.push_back(
+                std::make_unique<OrderedQueue<T>>(config_.queue_capacity, config_.first_frame));
+
+        st.live_in_stage = std::vector<std::atomic<int>>(k);
+        for (std::size_t s = 0; s < k; ++s)
+            st.live_in_stage[s].store(stages[s].cores);
 
         // Per-worker task instances: worker 0 of each stage borrows the
         // originals; extra (replica) workers own clones.
         std::vector<std::vector<std::unique_ptr<Task<T>>>> clone_storage;
-        std::vector<std::thread> workers;
-        const auto start = std::chrono::steady_clock::now();
-
+        std::vector<std::vector<Task<T>*>> worker_tasks;
         for (std::size_t s = 0; s < k; ++s) {
             const core::Stage& stage = stages[s];
-            OrderedQueue<T>* in = s == 0 ? nullptr : queues[s - 1].get();
-            OrderedQueue<T>* out = queues[s].get();
             for (int w = 0; w < stage.cores; ++w) {
-                std::vector<Task<T>*> tasks;
+                auto record = std::make_unique<WorkerRecord>();
+                record->index = static_cast<int>(st.workers.size());
+                record->stage = static_cast<int>(s);
+                record->last_beat_ns.store(now_ns());
+                st.workers.push_back(std::move(record));
                 if (w == 0) {
-                    tasks = sequence_.stage_view(stage.first, stage.last);
+                    worker_tasks.push_back(sequence_.stage_view(stage.first, stage.last));
                 } else {
                     clone_storage.push_back(sequence_.stage_clones(stage.first, stage.last));
+                    std::vector<Task<T>*> tasks;
                     for (auto& owned : clone_storage.back())
                         tasks.push_back(owned.get());
+                    worker_tasks.push_back(std::move(tasks));
                 }
-                const int pin_cpu = config_.core_map.empty()
-                    ? -1
-                    : config_.core_map[workers.size() % config_.core_map.size()];
-                workers.emplace_back([this, &next_frame, &record_error, num_frames, in, out,
-                                      stage, pin_cpu, tasks = std::move(tasks)] {
-                    if (pin_cpu >= 0)
-                        (void)pin_current_thread_to_cpu(pin_cpu);
-                    try {
-                        if (in == nullptr)
-                            source_loop(next_frame, num_frames, stage, tasks, *out);
-                        else
-                            stage_loop(stage, tasks, *in, *out);
-                    } catch (...) {
-                        record_error(std::current_exception());
-                    }
-                });
             }
         }
 
-        // Drain the final queue in order on this thread.
+        std::vector<std::thread> threads;
+        threads.reserve(st.workers.size());
+        const auto start = std::chrono::steady_clock::now();
+        st.start = start;
+
+        std::thread watchdog;
+        if (config_.heartbeat_timeout.count() > 0)
+            watchdog = std::thread{[this, &st] { watchdog_loop(st); }};
+
+        for (std::size_t w = 0; w < st.workers.size(); ++w) {
+            WorkerRecord& me = *st.workers[w];
+            const core::Stage& stage = stages[static_cast<std::size_t>(me.stage)];
+            OrderedQueue<T>* in = me.stage == 0 ? nullptr : st.queues[me.stage - 1].get();
+            OrderedQueue<T>* out = st.queues[me.stage].get();
+            const int pin_cpu = config_.core_map.empty()
+                ? -1
+                : config_.core_map[w % config_.core_map.size()];
+            threads.emplace_back([this, &st, &me, &stage, in, out, pin_cpu,
+                                  tasks = std::move(worker_tasks[w])] {
+                if (pin_cpu >= 0)
+                    (void)pin_current_thread_to_cpu(pin_cpu);
+                try {
+                    if (in == nullptr)
+                        source_loop(st, me, stage, tasks, *out);
+                    else
+                        stage_loop(st, me, stage, tasks, *in, *out);
+                } catch (...) {
+                    me.exited.store(true);
+                    record_error(st, std::current_exception());
+                    (void)retire(st, me);
+                }
+            });
+        }
+
+        // Drain the final queue in order on this thread. Tombstones are
+        // frames lost to worker failures; they keep the stream contiguous
+        // but are not handed to `on_output`.
         std::uint64_t delivered = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t end_seq = config_.first_frame;
+        bool end_seen = false;
         try {
-            while (auto envelope = queues.back()->pop()) {
-                if (envelope->end)
+            while (auto envelope = st.queues.back()->pop()) {
+                if (envelope->end) {
+                    end_seq = envelope->seq;
+                    end_seen = true;
                     break;
+                }
+                if (envelope->dropped) {
+                    ++dropped;
+                    continue;
+                }
                 if (on_output)
                     on_output(envelope->payload);
                 ++delivered;
             }
         } catch (...) {
-            record_error(std::current_exception());
+            record_error(st, std::current_exception());
         }
 
-        for (auto& worker : workers)
-            worker.join();
+        for (auto& thread : threads)
+            thread.join();
+        st.shutdown.store(true);
+        if (watchdog.joinable())
+            watchdog.join();
+        {
+            std::lock_guard lock{st.scavenger_mutex};
+            for (auto& scavenger : st.scavengers)
+                scavenger.join();
+        }
         const auto stop = std::chrono::steady_clock::now();
 
-        if (first_error)
-            std::rethrow_exception(first_error);
+        if (st.first_error)
+            std::rethrow_exception(st.first_error);
 
-        return RunResult{delivered, std::chrono::duration<double>(stop - start).count()};
+        RunResult result;
+        result.frames = delivered;
+        result.elapsed_seconds = std::chrono::duration<double>(stop - start).count();
+        result.frames_dropped = dropped;
+        result.retries = st.retries.load();
+        result.stream_end = end_seen ? end_seq : config_.first_frame + delivered + dropped;
+        {
+            std::lock_guard lock{st.loss_mutex};
+            result.losses = st.losses;
+            result.failure_seconds = st.failure_seconds;
+        }
+        return result;
     }
 
     [[nodiscard]] const core::Solution& solution() const noexcept { return solution_; }
 
 private:
+    static constexpr std::uint64_t kNoFrame = WorkerLoss::kNoFrame;
+
+    struct WorkerRecord {
+        std::atomic<std::int64_t> last_beat_ns{0};
+        std::atomic<std::uint64_t> holding{WorkerLoss::kNoFrame};
+        std::atomic<bool> fenced{false};
+        std::atomic<bool> exited{false};
+        std::atomic<bool> retired{false};
+        int index = 0;
+        int stage = 0;
+    };
+
+    struct RunState {
+        std::vector<std::unique_ptr<OrderedQueue<T>>> queues;
+        std::vector<std::unique_ptr<WorkerRecord>> workers;
+        std::vector<std::atomic<int>> live_in_stage;
+        std::atomic<std::uint64_t> next_frame{0};
+        std::atomic<std::uint64_t> retries{0};
+        std::atomic<bool> stop_source{false};
+        std::atomic<bool> end_pushed{false};
+        std::atomic<bool> shutdown{false};
+        std::uint64_t num_frames = 0;
+        std::chrono::milliseconds beat_interval{50};
+        std::chrono::steady_clock::time_point start{};
+
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+
+        std::mutex loss_mutex;
+        std::vector<WorkerLoss> losses;
+        double failure_seconds = -1.0;
+
+        std::mutex scavenger_mutex;
+        std::vector<std::thread> scavengers;
+    };
+
+    [[nodiscard]] static std::int64_t now_ns()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    static void beat(WorkerRecord& me) { me.last_beat_ns.store(now_ns()); }
+
     void validate() const
     {
         if (solution_.empty())
@@ -189,17 +354,46 @@ private:
         }
         if (expected != sequence_.size() + 1)
             throw std::invalid_argument{"Pipeline: solution does not cover the whole chain"};
+        if (config_.faults != nullptr && config_.faults->has_liveness_faults()
+            && config_.heartbeat_timeout.count() == 0)
+            throw std::invalid_argument{
+                "Pipeline: kill/stall fault injection requires the watchdog "
+                "(set PipelineConfig::heartbeat_timeout)"};
     }
 
-    void run_tasks(const core::Stage& stage, const std::vector<Task<T>*>& tasks, T& frame)
+    void record_error(RunState& st, std::exception_ptr error)
+    {
+        {
+            std::lock_guard lock{st.error_mutex};
+            if (!st.first_error)
+                st.first_error = error;
+        }
+        for (auto& queue : st.queues)
+            queue->abort();
+    }
+
+    /// Decrements the stage's live-worker count exactly once per worker.
+    /// Returns true when this call retired the stage's last worker.
+    static bool retire(RunState& st, WorkerRecord& me)
+    {
+        if (me.retired.exchange(true))
+            return false;
+        return st.live_in_stage[static_cast<std::size_t>(me.stage)].fetch_sub(1) == 1;
+    }
+
+    void run_tasks(const core::Stage& stage, const std::vector<Task<T>*>& tasks, T& frame,
+                   std::uint64_t seq)
     {
         for (std::size_t t = 0; t < tasks.size(); ++t) {
+            const int task_index = stage.first + static_cast<int>(t);
+            if (config_.faults != nullptr && config_.faults->should_throw(task_index, seq))
+                throw TransientTaskFault{task_index, seq};
             if (config_.emulator != nullptr) {
                 const auto begin = std::chrono::steady_clock::now();
                 tasks[t]->process(frame);
                 const auto elapsed = std::chrono::steady_clock::now() - begin;
                 config_.emulator->after_task(
-                    stage.first + static_cast<int>(t), stage.type,
+                    task_index, stage.type,
                     std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed));
             } else {
                 tasks[t]->process(frame);
@@ -207,35 +401,232 @@ private:
         }
     }
 
-    void source_loop(std::atomic<std::uint64_t>& next_frame, std::uint64_t num_frames,
-                     const core::Stage& stage, const std::vector<Task<T>*>& tasks,
-                     OrderedQueue<T>& out)
+    /// Runs the stage's tasks on one frame with the bounded-retry policy.
+    /// Throws (the last failure) once the retry budget is exhausted.
+    void process_frame(RunState& st, WorkerRecord& me, const core::Stage& stage,
+                       const std::vector<Task<T>*>& tasks, Envelope<T>& envelope)
+    {
+        constexpr bool restorable =
+            std::is_copy_constructible_v<T> && std::is_copy_assignable_v<T>;
+        T backup{};
+        if constexpr (restorable) {
+            if (config_.max_task_retries > 0)
+                backup = envelope.payload;
+        }
+        for (int attempt = 0;; ++attempt) {
+            try {
+                run_tasks(stage, tasks, envelope.payload, envelope.seq);
+                return;
+            } catch (...) {
+                if (attempt >= config_.max_task_retries)
+                    throw;
+                st.retries.fetch_add(1);
+                if constexpr (restorable)
+                    envelope.payload = backup;
+                const auto backoff = std::chrono::microseconds{static_cast<std::int64_t>(
+                    static_cast<double>(config_.retry_backoff.count())
+                    * std::pow(config_.retry_backoff_factor, attempt))};
+                beat(me);
+                std::this_thread::sleep_for(backoff);
+                beat(me);
+            }
+        }
+    }
+
+    /// Pushes with periodic heartbeats so a worker blocked on a full queue
+    /// stays visibly alive. Returns false when the queue rejected the
+    /// envelope (abort, or the frame was already delivered as a tombstone).
+    bool push_with_beat(RunState& st, WorkerRecord& me, OrderedQueue<T>& out,
+                        Envelope<T> envelope)
     {
         for (;;) {
-            const std::uint64_t seq = next_frame.fetch_add(1, std::memory_order_relaxed);
-            if (seq >= num_frames) {
-                if (seq == num_frames)
-                    out.push(Envelope<T>::end_of_stream(num_frames));
-                return;
+            const auto outcome = out.try_push_for(envelope, st.beat_interval);
+            if (outcome == OrderedQueue<T>::PushOutcome::pushed)
+                return true;
+            if (outcome == OrderedQueue<T>::PushOutcome::rejected)
+                return false;
+            beat(me);
+        }
+    }
+
+    void source_loop(RunState& st, WorkerRecord& me, const core::Stage& stage,
+                     const std::vector<Task<T>*>& tasks, OrderedQueue<T>& out)
+    {
+        for (;;) {
+            beat(me);
+            if (me.fenced.load())
+                return; // watchdog already did the bookkeeping
+            if (st.stop_source.load())
+                break;
+            const std::uint64_t seq = st.next_frame.fetch_add(1, std::memory_order_relaxed);
+            if (seq >= st.num_frames) {
+                if (seq == st.num_frames && !st.end_pushed.exchange(true))
+                    push_with_beat(st, me, out, Envelope<T>::end_of_stream(st.num_frames));
+                break;
+            }
+            me.holding.store(seq);
+            if (config_.faults != nullptr) {
+                if (config_.faults->should_kill(me.index, seq))
+                    return; // silent death, frame still held -> watchdog recovers
+                const auto stall = config_.faults->stall_before(me.index, seq);
+                if (stall.count() > 0)
+                    std::this_thread::sleep_for(stall);
             }
             Envelope<T> envelope = Envelope<T>::data(seq, T{});
             if constexpr (requires(T& p) { p.seq = seq; })
                 envelope.payload.seq = seq; // payloads may carry their identity
-            run_tasks(stage, tasks, envelope.payload);
-            out.push(std::move(envelope));
+            process_frame(st, me, stage, tasks, envelope);
+            beat(me);
+            if (me.holding.exchange(kNoFrame) == kNoFrame)
+                return; // watchdog presumed us dead and tombstoned the frame
+            if (!push_with_beat(st, me, out, std::move(envelope)))
+                break;
+        }
+        me.exited.store(true);
+        // The last source out owns the end-of-stream marker when the stream
+        // was cut short (stop_source or failures); on a full run the claimant
+        // of seq == num_frames already pushed it above.
+        if (retire(st, me) && !st.end_pushed.exchange(true)) {
+            const std::uint64_t end_seq = std::min(st.next_frame.load(), st.num_frames);
+            push_with_beat(st, me, out, Envelope<T>::end_of_stream(end_seq));
         }
     }
 
-    void stage_loop(const core::Stage& stage, const std::vector<Task<T>*>& tasks,
-                    OrderedQueue<T>& in, OrderedQueue<T>& out)
+    void stage_loop(RunState& st, WorkerRecord& me, const core::Stage& stage,
+                    const std::vector<Task<T>*>& tasks, OrderedQueue<T>& in,
+                    OrderedQueue<T>& out)
     {
-        while (auto envelope = in.pop()) {
-            if (envelope->end) {
-                out.push(std::move(*envelope));
+        for (;;) {
+            beat(me);
+            if (me.fenced.load())
                 return;
+            auto popped = in.try_pop_for(st.beat_interval);
+            if (popped.timed_out())
+                continue;
+            if (popped.done)
+                break; // aborted, or a sibling forwarded the end marker
+            Envelope<T> envelope = std::move(*popped.envelope);
+            if (envelope.end) {
+                push_with_beat(st, me, out, std::move(envelope));
+                break;
             }
-            run_tasks(stage, tasks, envelope->payload);
-            out.push(std::move(*envelope));
+            if (envelope.dropped) { // tombstone: forward unprocessed
+                if (!push_with_beat(st, me, out, std::move(envelope)))
+                    break;
+                continue;
+            }
+            me.holding.store(envelope.seq);
+            if (config_.faults != nullptr) {
+                if (config_.faults->should_kill(me.index, envelope.seq))
+                    return; // silent death, frame still held -> watchdog recovers
+                const auto stall = config_.faults->stall_before(me.index, envelope.seq);
+                if (stall.count() > 0)
+                    std::this_thread::sleep_for(stall);
+            }
+            process_frame(st, me, stage, tasks, envelope);
+            beat(me);
+            if (me.holding.exchange(kNoFrame) == kNoFrame)
+                return; // watchdog presumed us dead and tombstoned the frame
+            if (!push_with_beat(st, me, out, std::move(envelope)))
+                break;
+        }
+        me.exited.store(true);
+        (void)retire(st, me);
+    }
+
+    // -- watchdog ---------------------------------------------------------
+
+    void watchdog_loop(RunState& st)
+    {
+        const auto timeout_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(config_.heartbeat_timeout)
+                .count();
+        while (!st.shutdown.load()) {
+            std::this_thread::sleep_for(config_.watchdog_poll);
+            const std::int64_t now = now_ns();
+            for (auto& worker : st.workers) {
+                if (worker->exited.load() || worker->fenced.load())
+                    continue;
+                if (now - worker->last_beat_ns.load() > timeout_ns)
+                    fence(st, *worker);
+            }
+        }
+    }
+
+    /// Declares a worker permanently lost: records the loss, tombstones the
+    /// frame it held, and starts a graceful drain if its stage is now empty.
+    void fence(RunState& st, WorkerRecord& me)
+    {
+        me.fenced.store(true);
+        const core::Stage& stage = solution_.stage(static_cast<std::size_t>(me.stage));
+        const std::uint64_t held = me.holding.exchange(kNoFrame);
+        {
+            std::lock_guard lock{st.loss_mutex};
+            if (st.failure_seconds < 0.0)
+                st.failure_seconds =
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() - st.start)
+                        .count();
+            st.losses.push_back(WorkerLoss{me.index, me.stage, stage.type, held});
+        }
+        if (held != kNoFrame)
+            watchdog_push(st, *st.queues[static_cast<std::size_t>(me.stage)],
+                          Envelope<T>::tombstone(held));
+        if (retire(st, me))
+            initiate_drain(st, me.stage);
+    }
+
+    /// The stage lost its last worker: no frame can cross it any more. Stop
+    /// the source and flush everything already in flight, in stream order.
+    void initiate_drain(RunState& st, int stage)
+    {
+        st.stop_source.store(true);
+        if (stage == 0) {
+            if (!st.end_pushed.exchange(true)) {
+                const std::uint64_t end_seq = std::min(st.next_frame.load(), st.num_frames);
+                watchdog_push(st, *st.queues[0], Envelope<T>::end_of_stream(end_seq));
+            }
+            return;
+        }
+        std::lock_guard lock{st.scavenger_mutex};
+        st.scavengers.emplace_back([this, &st, stage] { scavenge(st, stage); });
+    }
+
+    /// Stands in for a fully-dead stage: converts its input frames into
+    /// tombstones on its output queue and forwards the end marker, so the
+    /// tail of the pipeline drains in order.
+    void scavenge(RunState& st, int stage)
+    {
+        OrderedQueue<T>& in = *st.queues[static_cast<std::size_t>(stage - 1)];
+        OrderedQueue<T>& out = *st.queues[static_cast<std::size_t>(stage)];
+        for (;;) {
+            auto popped = in.try_pop_for(std::chrono::milliseconds{5});
+            if (popped.timed_out()) {
+                if (st.shutdown.load())
+                    return;
+                continue;
+            }
+            if (popped.done)
+                return;
+            Envelope<T> envelope = std::move(*popped.envelope);
+            const bool end = envelope.end;
+            if (!end && !envelope.dropped)
+                envelope = Envelope<T>::tombstone(envelope.seq);
+            watchdog_push(st, out, std::move(envelope));
+            if (end)
+                return;
+        }
+    }
+
+    /// Bounded-retry push used by the watchdog and scavengers (they have no
+    /// heartbeat; they just refuse to block past shutdown).
+    void watchdog_push(RunState& st, OrderedQueue<T>& queue, Envelope<T> envelope)
+    {
+        for (;;) {
+            if (queue.try_push_for(envelope, std::chrono::milliseconds{5})
+                != OrderedQueue<T>::PushOutcome::timed_out)
+                return;
+            if (st.shutdown.load())
+                return;
         }
     }
 

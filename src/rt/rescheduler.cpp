@@ -1,0 +1,121 @@
+#include "rt/rescheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace amp::rt {
+
+namespace {
+
+/// Runs one strategy defensively: schedulers may throw or return an empty /
+/// over-budget solution on degenerate resource vectors.
+std::optional<core::Solution> try_strategy(core::Strategy strategy, const core::TaskChain& chain,
+                                           core::Resources resources)
+{
+    if (strategy == core::Strategy::otac_big && resources.big == 0)
+        return std::nullopt;
+    if (strategy == core::Strategy::otac_little && resources.little == 0)
+        return std::nullopt;
+    try {
+        core::Solution solution = core::schedule(strategy, chain, resources);
+        if (solution.empty() || !solution.is_well_formed(chain))
+            return std::nullopt;
+        const core::Resources used = solution.used();
+        if (used.big > resources.big || used.little > resources.little)
+            return std::nullopt;
+        return solution;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+Rescheduler::Rescheduler(core::TaskChain chain, core::Resources resources,
+                         ReschedulePolicy policy)
+    : chain_(std::move(chain))
+    , resources_(resources)
+    , policy_(policy)
+{
+    solution_ = recompute();
+}
+
+core::Solution Rescheduler::recompute()
+{
+    if (chain_.empty())
+        throw NoScheduleError{"Rescheduler: empty chain"};
+    if (resources_.total() < 1)
+        throw NoScheduleError{"Rescheduler: no cores left to schedule on"};
+
+    const core::Strategy candidates[] = {policy_.primary, policy_.fallback,
+                                         core::Strategy::otac_big, core::Strategy::otac_little};
+    core::Solution best;
+    double best_period = core::kInfiniteWeight;
+    for (const core::Strategy strategy : candidates) {
+        const auto solution = try_strategy(strategy, chain_, resources_);
+        if (!solution)
+            continue;
+        const double period = solution->period(chain_);
+        if (period < best_period) {
+            best = *solution;
+            best_period = period;
+        }
+    }
+    if (best.empty())
+        throw NoScheduleError{
+            "Rescheduler: no strategy produced a valid solution on R = ("
+            + std::to_string(resources_.big) + ", " + std::to_string(resources_.little) + ")"};
+    solution_ = best;
+    return solution_;
+}
+
+core::Solution Rescheduler::on_core_loss(core::CoreType type, int count)
+{
+    resources_.count(type) = std::max(0, resources_.count(type) - count);
+    return recompute();
+}
+
+std::optional<core::Solution> Rescheduler::report_profile(const std::vector<double>& big_us,
+                                                          const std::vector<double>& little_us)
+{
+    const auto n = static_cast<std::size_t>(chain_.size());
+    if (big_us.size() != n || little_us.size() != n)
+        throw std::invalid_argument{"report_profile: weight vectors must match chain size"};
+
+    double max_drift = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int task = static_cast<int>(i) + 1;
+        const double ref_big = chain_.weight(task, core::CoreType::big);
+        const double ref_little = chain_.weight(task, core::CoreType::little);
+        if (ref_big > 0.0)
+            max_drift = std::max(max_drift, std::abs(big_us[i] - ref_big) / ref_big);
+        if (ref_little > 0.0)
+            max_drift = std::max(max_drift, std::abs(little_us[i] - ref_little) / ref_little);
+    }
+
+    if (max_drift <= policy_.drift_threshold) {
+        drift_streak_ = 0;
+        return std::nullopt;
+    }
+    ++drift_streak_;
+    drifted_big_ = big_us;
+    drifted_little_ = little_us;
+    if (drift_streak_ < policy_.drift_patience)
+        return std::nullopt;
+
+    // Sustained drift: rebuild the chain around the observed weights and
+    // recompute the schedule.
+    std::vector<core::TaskDesc> descs;
+    descs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const core::TaskDesc& old = chain_.task(static_cast<int>(i) + 1);
+        descs.push_back(core::TaskDesc{old.name, drifted_big_[i], drifted_little_[i],
+                                       old.replicable});
+    }
+    chain_ = core::TaskChain{std::move(descs)};
+    drift_streak_ = 0;
+    return recompute();
+}
+
+} // namespace amp::rt

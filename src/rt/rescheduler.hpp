@@ -1,0 +1,180 @@
+#pragma once
+// Online rescheduling on degraded resources.
+//
+// The paper computes one schedule for a fixed resource vector R = (b, l).
+// When the runtime loses a core permanently (a fenced worker, see
+// rt/pipeline.hpp) or the profiler reports task weights that drifted away
+// from the profile the schedule was built on, the Rescheduler re-runs the
+// paper's schedulers (HeRAD primary, FERTAC/OTAC fallbacks) on the reduced
+// resource vector or refreshed chain, and hands back the best valid
+// solution. `run_with_recovery` glues it to the Pipeline: it hot-swaps the
+// schedule after a degraded run and resumes the stream at the exact frame
+// the failed pipeline drained to, reporting recovery latency and total
+// frames dropped. See docs/FAULT_MODEL.md for the full fault model.
+
+#include "core/scheduler.hpp"
+#include "rt/pipeline.hpp"
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace amp::rt {
+
+/// Raised when recovery is impossible (no cores left, or no scheduler can
+/// produce a well-formed solution on the degraded resources).
+class NoScheduleError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct ReschedulePolicy {
+    core::Strategy primary = core::Strategy::herad;
+    core::Strategy fallback = core::Strategy::fertac;
+    /// Relative per-task weight drift (max over tasks) that counts a
+    /// profiler report as drifted.
+    double drift_threshold = 0.25;
+    /// Consecutive drifted reports before the chain is re-profiled and the
+    /// schedule recomputed (debounces transient load spikes).
+    int drift_patience = 3;
+};
+
+class Rescheduler {
+public:
+    /// Computes the initial solution eagerly; throws NoScheduleError when
+    /// even the full resource vector admits no schedule.
+    Rescheduler(core::TaskChain chain, core::Resources resources, ReschedulePolicy policy = {});
+
+    [[nodiscard]] const core::TaskChain& chain() const noexcept { return chain_; }
+    [[nodiscard]] const core::Resources& resources() const noexcept { return resources_; }
+    [[nodiscard]] const core::Solution& solution() const noexcept { return solution_; }
+    [[nodiscard]] const ReschedulePolicy& policy() const noexcept { return policy_; }
+
+    /// Solves on the current chain and resources: tries the primary and
+    /// fallback strategies plus the applicable OTAC baselines and keeps the
+    /// best (minimum-period) well-formed solution within budget.
+    core::Solution recompute();
+
+    /// Removes `count` cores of `type` (e.g. after the watchdog fenced a
+    /// worker of that type) and recomputes. Throws NoScheduleError when the
+    /// remaining resources cannot run the chain.
+    core::Solution on_core_loss(core::CoreType type, int count = 1);
+
+    /// Feeds one profiler report (average per-task latencies in us, 1-based
+    /// order, both core types). Returns the recomputed solution once drift
+    /// beyond policy.drift_threshold has persisted for policy.drift_patience
+    /// consecutive reports; nullopt otherwise.
+    std::optional<core::Solution> report_profile(const std::vector<double>& big_us,
+                                                 const std::vector<double>& little_us);
+
+    /// Consecutive drifted reports seen so far (for tests/metrics).
+    [[nodiscard]] int drift_streak() const noexcept { return drift_streak_; }
+
+private:
+    core::TaskChain chain_;
+    core::Resources resources_;
+    ReschedulePolicy policy_;
+    core::Solution solution_;
+    int drift_streak_ = 0;
+    std::vector<double> drifted_big_;
+    std::vector<double> drifted_little_;
+};
+
+/// Aggregated outcome of a fault-tolerant run (one or more pipelines).
+struct RecoveryReport {
+    RunResult total;        ///< summed frames/drops/retries; wall-clock elapsed
+    int recoveries = 0;     ///< pipeline hot-swaps performed
+    double recovery_latency_seconds = 0.0; ///< failure detection -> first resumed frame
+    std::vector<core::Solution> solutions; ///< initial + one per recovery
+    bool completed = false; ///< stream reached num_frames
+};
+
+/// Runs the stream [config.first_frame, num_frames) with automatic recovery:
+/// on a degraded run, reduces the resource vector by the lost cores,
+/// recomputes the schedule, and resumes a new pipeline at the drained
+/// stream position. Stops after `max_recoveries` hot-swaps (default: one
+/// per core of the initial budget). Throws NoScheduleError if the degraded
+/// resources cannot run the chain at all.
+template <typename T>
+RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& rescheduler,
+                                 std::uint64_t num_frames, PipelineConfig config = {},
+                                 const std::function<void(T&)>& on_output = {},
+                                 int max_recoveries = -1)
+{
+    if (max_recoveries < 0)
+        max_recoveries = rescheduler.resources().total();
+
+    RecoveryReport report;
+    report.solutions.push_back(rescheduler.solution());
+    report.total.stream_end = config.first_frame;
+    report.total.failure_seconds = -1.0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t next = config.first_frame;
+    // Set when the previous run ended degraded: the instant recovery began.
+    std::optional<std::chrono::steady_clock::time_point> recovering_since;
+
+    for (;;) {
+        config.first_frame = next;
+        Pipeline<T> pipeline{sequence, rescheduler.solution(), config};
+
+        bool saw_first = false;
+        auto wrapped = [&](T& frame) {
+            if (recovering_since && !saw_first) {
+                saw_first = true;
+                report.recovery_latency_seconds += std::chrono::duration<double>(
+                                                       std::chrono::steady_clock::now()
+                                                       - *recovering_since)
+                                                       .count();
+            }
+            if (on_output)
+                on_output(frame);
+        };
+
+        const auto run_start = std::chrono::steady_clock::now();
+        RunResult result = pipeline.run(num_frames, wrapped);
+
+        report.total.frames += result.frames;
+        report.total.frames_dropped += result.frames_dropped;
+        report.total.retries += result.retries;
+        report.total.stream_end = result.stream_end;
+        for (const WorkerLoss& loss : result.losses)
+            report.total.losses.push_back(loss);
+        if (result.failure_seconds >= 0.0 && report.total.failure_seconds < 0.0)
+            report.total.failure_seconds =
+                std::chrono::duration<double>(run_start - t0).count() + result.failure_seconds;
+
+        if (result.degraded()) {
+            // Shrink the budget by every core the watchdog fenced, then
+            // recompute once.
+            for (const WorkerLoss& loss : result.losses)
+                (void)rescheduler.on_core_loss(loss.type, 1);
+        }
+
+        if (result.stream_end >= num_frames) {
+            report.completed = true;
+            break;
+        }
+        if (report.recoveries >= max_recoveries)
+            break;
+
+        ++report.recoveries;
+        report.solutions.push_back(rescheduler.solution());
+        // Latency is measured from the instant the watchdog detected the
+        // failure, so it covers the drain, the reschedule and the restart.
+        recovering_since = result.failure_seconds >= 0.0
+            ? run_start
+                + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(result.failure_seconds))
+            : std::chrono::steady_clock::now();
+        next = result.stream_end;
+    }
+
+    report.total.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return report;
+}
+
+} // namespace amp::rt

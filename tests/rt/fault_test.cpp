@@ -1,0 +1,212 @@
+#include "rt/fault.hpp"
+
+#include "rt/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amp::rt;
+using amp::core::CoreType;
+using amp::core::Solution;
+using amp::core::Stage;
+
+using std::chrono::milliseconds;
+
+struct Frame {
+    std::uint64_t seq = 0;
+    int value = 0;
+};
+
+/// n stateless tasks; task i adds i to the value.
+TaskSequence<Frame> make_sequence(int n)
+{
+    TaskSequence<Frame> seq;
+    for (int i = 1; i <= n; ++i)
+        seq.push_back(make_task<Frame>("t" + std::to_string(i), false,
+                                       [i](Frame& f) { f.value += i; }));
+    return seq;
+}
+
+// -- injector semantics ----------------------------------------------------
+
+TEST(FaultInjector, SameSeedSamePlan)
+{
+    RandomFaultConfig config;
+    config.frames = 500;
+    config.tasks = 6;
+    config.workers = 4;
+    config.transients = 3;
+    config.stalls = 2;
+    config.kills = 1;
+    const auto a = FaultInjector::random_plan(42, config).plan();
+    const auto b = FaultInjector::random_plan(42, config).plan();
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), 6u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].frame, b[i].frame);
+        EXPECT_EQ(a[i].task, b[i].task);
+        EXPECT_EQ(a[i].worker, b[i].worker);
+        EXPECT_EQ(a[i].count, b[i].count);
+        EXPECT_LT(a[i].frame, config.frames);
+        if (a[i].kind == FaultKind::transient) {
+            EXPECT_GE(a[i].task, 1);
+            EXPECT_LE(a[i].task, config.tasks);
+        } else {
+            EXPECT_GE(a[i].worker, 0);
+            EXPECT_LT(a[i].worker, config.workers);
+        }
+    }
+}
+
+TEST(FaultInjector, TransientMatchesExactFrameAndConsumesCount)
+{
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::transient, 7, 2, -1, 2, milliseconds{0}});
+    EXPECT_EQ(injector.pending(), 2u);
+    EXPECT_FALSE(injector.should_throw(1, 7)) << "other task";
+    EXPECT_FALSE(injector.should_throw(2, 6)) << "other frame";
+    EXPECT_TRUE(injector.should_throw(2, 7));
+    EXPECT_TRUE(injector.should_throw(2, 7)) << "count = 2: second attempt also throws";
+    EXPECT_FALSE(injector.should_throw(2, 7)) << "budget consumed";
+    EXPECT_EQ(injector.pending(), 0u);
+    EXPECT_FALSE(injector.has_liveness_faults());
+}
+
+TEST(FaultInjector, LivenessFaultsFireOnFirstFrameAtOrAfterTrigger)
+{
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::stall, 10, 0, 1, 1, milliseconds{30}});
+    injector.add(FaultSpec{FaultKind::kill, 20, 0, 2, 1, milliseconds{0}});
+    EXPECT_TRUE(injector.has_liveness_faults());
+
+    EXPECT_EQ(injector.stall_before(1, 9).count(), 0) << "before the trigger frame";
+    EXPECT_EQ(injector.stall_before(0, 10).count(), 0) << "other worker";
+    EXPECT_EQ(injector.stall_before(1, 12).count(), 30)
+        << "a replica may skip the exact trigger frame";
+    EXPECT_EQ(injector.stall_before(1, 13).count(), 0) << "one-shot";
+
+    EXPECT_FALSE(injector.should_kill(2, 19));
+    EXPECT_TRUE(injector.should_kill(2, 25));
+    EXPECT_FALSE(injector.should_kill(2, 26)) << "one-shot";
+    EXPECT_FALSE(injector.has_liveness_faults());
+}
+
+// -- pipeline under injection ---------------------------------------------
+
+// Acceptance (a): a transient task fault is retried and the run completes
+// with zero frame loss.
+TEST(FaultPipeline, TransientFaultRetriedWithZeroFrameLoss)
+{
+    auto seq = make_sequence(3);
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 2, CoreType::big},
+                             Stage{3, 3, 1, CoreType::big}}};
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::transient, 7, 2, -1, 2, milliseconds{0}});
+
+    PipelineConfig config;
+    config.faults = &injector;
+    config.max_task_retries = 3;
+    config.retry_backoff = std::chrono::microseconds{50};
+
+    Pipeline<Frame> pipeline{seq, solution, config};
+    std::vector<Frame> outputs;
+    const auto result = pipeline.run(50, [&](Frame& f) { outputs.push_back(f); });
+
+    EXPECT_EQ(result.frames, 50u);
+    EXPECT_EQ(result.frames_dropped, 0u) << "retry must absorb the fault without frame loss";
+    EXPECT_EQ(result.retries, 2u) << "the fault threw on two consecutive attempts";
+    EXPECT_EQ(result.stream_end, 50u);
+    EXPECT_FALSE(result.degraded());
+    EXPECT_EQ(injector.pending(), 0u);
+    ASSERT_EQ(outputs.size(), 50u);
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        EXPECT_EQ(outputs[i].seq, i);
+        EXPECT_EQ(outputs[i].value, 1 + 2 + 3)
+            << "payload restored before each retry: no double-processing";
+    }
+}
+
+TEST(FaultPipeline, ExhaustedRetryBudgetPropagatesTheFault)
+{
+    auto seq = make_sequence(2);
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::transient, 3, 1, -1, 5, milliseconds{0}});
+    PipelineConfig config;
+    config.faults = &injector;
+    config.max_task_retries = 1;
+    config.retry_backoff = std::chrono::microseconds{50};
+    Pipeline<Frame> pipeline{seq, Solution{{Stage{1, 2, 1, CoreType::big}}}, config};
+    EXPECT_THROW((void)pipeline.run(20), TransientTaskFault);
+}
+
+TEST(FaultPipeline, StalledReplicaIsFencedAndStreamContinues)
+{
+    auto seq = make_sequence(2);
+    // Workers in stage-major order: 0 = source, 1 and 2 = stage-1 replicas.
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 2, CoreType::little}}};
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::stall, 5, 0, 1, 1, milliseconds{800}});
+
+    PipelineConfig config;
+    config.faults = &injector;
+    config.heartbeat_timeout = milliseconds{150};
+
+    Pipeline<Frame> pipeline{seq, solution, config};
+    const auto result = pipeline.run(60);
+
+    ASSERT_TRUE(result.degraded());
+    ASSERT_EQ(result.losses.size(), 1u);
+    EXPECT_EQ(result.losses[0].worker, 1);
+    EXPECT_EQ(result.losses[0].stage, 1);
+    EXPECT_EQ(result.losses[0].type, CoreType::little);
+    EXPECT_GE(result.failure_seconds, 0.0);
+    EXPECT_EQ(result.frames_dropped, 1u) << "only the frame the stalled worker held is lost";
+    EXPECT_EQ(result.frames + result.frames_dropped, 60u)
+        << "the surviving replica carries the stream to the end";
+    EXPECT_EQ(result.stream_end, 60u);
+}
+
+TEST(FaultPipeline, KilledSoleWorkerTriggersGracefulDrain)
+{
+    auto seq = make_sequence(2);
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::big}}};
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::kill, 10, 0, 1, 1, milliseconds{0}});
+
+    PipelineConfig config;
+    config.faults = &injector;
+    config.heartbeat_timeout = milliseconds{100};
+
+    Pipeline<Frame> pipeline{seq, solution, config};
+    std::vector<std::uint64_t> delivered;
+    const auto result = pipeline.run(200, [&](Frame& f) { delivered.push_back(f.seq); });
+
+    ASSERT_TRUE(result.degraded());
+    ASSERT_EQ(result.losses.size(), 1u);
+    EXPECT_EQ(result.losses[0].stage, 1);
+    EXPECT_LT(result.stream_end, 200u) << "the stream was cut short, not completed";
+    EXPECT_EQ(result.frames + result.frames_dropped, result.stream_end)
+        << "every position before stream_end was delivered or tombstoned";
+    EXPECT_GE(result.frames_dropped, 1u) << "at least the held frame is lost";
+    for (std::size_t i = 0; i < delivered.size(); ++i)
+        EXPECT_EQ(delivered[i], i) << "delivered frames stay contiguous and ordered";
+}
+
+TEST(FaultPipeline, LivenessFaultsRequireTheWatchdog)
+{
+    auto seq = make_sequence(2);
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::kill, 0, 0, 0, 1, milliseconds{0}});
+    PipelineConfig config;
+    config.faults = &injector; // heartbeat_timeout left at zero
+    EXPECT_THROW((Pipeline<Frame>{seq, Solution{{Stage{1, 2, 1, CoreType::big}}}, config}),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -127,4 +127,117 @@ TEST(OrderedQueue, ZeroCapacityClampsToOne)
     EXPECT_EQ(queue.capacity(), 1u);
 }
 
+TEST(OrderedQueue, TryPopForTimesOutOnEmptyQueue)
+{
+    OrderedQueue<int> queue{4};
+    const auto begin = std::chrono::steady_clock::now();
+    const auto result = queue.try_pop_for(std::chrono::milliseconds{20});
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    EXPECT_TRUE(result.timed_out());
+    EXPECT_FALSE(result.envelope.has_value());
+    EXPECT_FALSE(result.done);
+    EXPECT_GE(elapsed, std::chrono::milliseconds{15})
+        << "a timed-out pop must actually have waited";
+}
+
+TEST(OrderedQueue, TryPopForReturnsAvailableEnvelope)
+{
+    OrderedQueue<int> queue{4};
+    queue.push(Envelope<int>::data(0, 42));
+    const auto result = queue.try_pop_for(std::chrono::milliseconds{50});
+    ASSERT_TRUE(result.envelope.has_value());
+    EXPECT_EQ(result.envelope->payload, 42);
+    EXPECT_FALSE(result.done);
+}
+
+TEST(OrderedQueue, TryPopForWakesUpWithoutAbort)
+{
+    // The pre-fault-tolerance behaviour: a consumer blocked on a stalled
+    // upstream could only be released by abort(), which tears the whole
+    // stream down. try_pop_for lets it wake up, notice the world is still
+    // alive, and wait again -- then receive the frame when it arrives.
+    OrderedQueue<int> queue{4};
+    std::atomic<int> wakeups{0};
+    std::atomic<bool> got_frame{false};
+    std::thread consumer{[&] {
+        for (;;) {
+            const auto result = queue.try_pop_for(std::chrono::milliseconds{5});
+            if (result.timed_out()) {
+                ++wakeups;
+                continue;
+            }
+            ASSERT_TRUE(result.envelope.has_value());
+            got_frame = true;
+            return;
+        }
+    }};
+    std::this_thread::sleep_for(std::chrono::milliseconds{30}); // stalled upstream
+    queue.push(Envelope<int>::data(0, 7));
+    consumer.join();
+    EXPECT_TRUE(got_frame);
+    EXPECT_GE(wakeups.load(), 1) << "consumer woke up during the stall without abort()";
+}
+
+TEST(OrderedQueue, TryPopForReportsClosedQueue)
+{
+    OrderedQueue<int> queue{4};
+    queue.push(Envelope<int>::end_of_stream(0));
+    ASSERT_TRUE(queue.pop().has_value()); // consume the end marker
+    const auto result = queue.try_pop_for(std::chrono::milliseconds{5});
+    EXPECT_TRUE(result.done);
+    EXPECT_FALSE(result.envelope.has_value());
+}
+
+TEST(OrderedQueue, TryPushForTimesOutOnFullBufferAndKeepsEnvelope)
+{
+    OrderedQueue<int> queue{1};
+    queue.push(Envelope<int>::data(1, 10)); // out-of-order frame fills capacity
+    auto blocked = Envelope<int>::data(2, 20);
+    EXPECT_EQ(queue.try_push_for(blocked, std::chrono::milliseconds{10}),
+              OrderedQueue<int>::PushOutcome::timed_out);
+    EXPECT_EQ(blocked.payload, 20) << "timed-out push must leave the envelope intact";
+    // The consumer's next frame always bypasses the capacity check.
+    auto awaited = Envelope<int>::data(0, 0);
+    EXPECT_EQ(queue.try_push_for(awaited, std::chrono::milliseconds{10}),
+              OrderedQueue<int>::PushOutcome::pushed);
+}
+
+TEST(OrderedQueue, StalePushIsRejected)
+{
+    // A fenced worker waking up after the watchdog already tombstoned (and
+    // the consumer already skipped) its frame must not wedge the buffer.
+    OrderedQueue<int> queue{4};
+    queue.push(Envelope<int>::data(0, 0));
+    ASSERT_TRUE(queue.pop().has_value());
+    auto stale = Envelope<int>::data(0, 99);
+    EXPECT_EQ(queue.try_push_for(stale, std::chrono::milliseconds{5}),
+              OrderedQueue<int>::PushOutcome::rejected);
+    EXPECT_EQ(queue.buffered(), 0u);
+}
+
+TEST(OrderedQueue, FirstSeqOffsetSupportsResumedStreams)
+{
+    OrderedQueue<int> queue{4, 100};
+    EXPECT_EQ(queue.next_seq(), 100u);
+    queue.push(Envelope<int>::data(100, 1));
+    const auto env = queue.pop();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->seq, 100u);
+    EXPECT_EQ(queue.next_seq(), 101u);
+}
+
+TEST(OrderedQueue, TombstoneFlowsLikeData)
+{
+    OrderedQueue<int> queue{4};
+    queue.push(Envelope<int>::data(0, 5));
+    queue.push(Envelope<int>::tombstone(1));
+    queue.push(Envelope<int>::data(2, 7));
+    EXPECT_FALSE(queue.pop()->dropped);
+    const auto tomb = queue.pop();
+    ASSERT_TRUE(tomb.has_value());
+    EXPECT_TRUE(tomb->dropped);
+    EXPECT_EQ(tomb->seq, 1u);
+    EXPECT_EQ(queue.pop()->seq, 2u) << "the stream continues past the tombstone";
+}
+
 } // namespace

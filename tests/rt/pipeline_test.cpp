@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -190,6 +193,37 @@ TEST(Pipeline, RejectsIllFormedSolutions)
     EXPECT_THROW((Pipeline<Frame>{seq, Solution{{Stage{1, 3, 0, CoreType::big}}}}),
                  std::invalid_argument)
         << "zero cores";
+}
+
+TEST(Pipeline, MidStreamThrowPropagatesAndJoinsAllWorkers)
+{
+    // Regression: a task throwing mid-stream must surface the first
+    // exception from run() with every worker thread joined -- no deadlock
+    // on the adaptors, no stray thread still touching the sequence.
+    std::atomic<int> in_flight{0};
+    TaskSequence<Frame> seq;
+    seq.push_back(make_task<Frame>("gen", false, [](Frame&) {}));
+    seq.push_back(make_task<Frame>("work", false, [&in_flight](Frame& f) {
+        ++in_flight;
+        std::this_thread::sleep_for(std::chrono::microseconds{100});
+        --in_flight;
+        if (f.seq == 11)
+            throw std::runtime_error{"frame 11 failed"};
+    }));
+    seq.push_back(make_task<Frame>("sink", true, [](Frame&) {}));
+    const Solution solution{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 3, CoreType::big},
+                             Stage{3, 3, 1, CoreType::big}}};
+    Pipeline<Frame> pipeline{seq, solution};
+    try {
+        (void)pipeline.run(5000);
+        FAIL() << "the mid-stream failure must propagate to the caller";
+    } catch (const std::runtime_error& error) {
+        EXPECT_STREQ(error.what(), "frame 11 failed");
+    }
+    EXPECT_EQ(in_flight.load(), 0) << "run() returned while a worker still ran a task";
+    // Every thread joined and queues are per-run: the same pipeline object
+    // is immediately reusable (frames restart at 0, below the fault).
+    EXPECT_EQ(pipeline.run(10).frames, 10u);
 }
 
 TEST(Pipeline, RunTwiceOnSameSequence)

@@ -1,0 +1,218 @@
+#include "rt/rescheduler.hpp"
+
+#include "rt/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amp::rt;
+using amp::core::CoreType;
+using amp::core::Resources;
+using amp::core::Solution;
+using amp::core::Stage;
+using amp::core::TaskChain;
+using amp::core::TaskDesc;
+
+using std::chrono::milliseconds;
+
+/// Chain matching the runtime sequences below: task 1 sequential, the rest
+/// replicable; little cores run every task 2x slower.
+TaskChain make_chain(int n, bool first_sequential = true)
+{
+    std::vector<TaskDesc> tasks;
+    for (int i = 1; i <= n; ++i) {
+        const double w = 10.0 + static_cast<double>(i);
+        tasks.push_back(TaskDesc{"t" + std::to_string(i), w, 2.0 * w,
+                                 !(first_sequential && i == 1)});
+    }
+    return TaskChain{std::move(tasks)};
+}
+
+void expect_feasible(const Solution& solution, const TaskChain& chain,
+                     const Resources& budget)
+{
+    ASSERT_FALSE(solution.empty());
+    EXPECT_TRUE(solution.is_well_formed(chain));
+    EXPECT_LE(solution.used(CoreType::big), budget.big);
+    EXPECT_LE(solution.used(CoreType::little), budget.little);
+    const double period = solution.period(chain);
+    EXPECT_TRUE(std::isfinite(period));
+    EXPECT_TRUE(solution.is_valid(chain, budget, period))
+        << "the solution must be period-feasible on its own budget";
+}
+
+TEST(Rescheduler, InitialSolutionIsFeasible)
+{
+    const TaskChain chain = make_chain(5);
+    Rescheduler rescheduler{chain, Resources{3, 2}};
+    expect_feasible(rescheduler.solution(), chain, Resources{3, 2});
+}
+
+TEST(Rescheduler, ThrowsWhenNoResourceAdmitsASchedule)
+{
+    EXPECT_THROW((Rescheduler{make_chain(4), Resources{0, 0}}), NoScheduleError);
+}
+
+TEST(Rescheduler, CoreLossShrinksBudgetDownToOneCoreThenFails)
+{
+    const TaskChain chain = make_chain(5);
+    Rescheduler rescheduler{chain, Resources{2, 2}};
+    // Peel cores off one by one; every intermediate schedule must stay
+    // feasible on the reduced vector.
+    const CoreType losses[] = {CoreType::big, CoreType::little, CoreType::big};
+    Resources expected{2, 2};
+    for (const CoreType lost : losses) {
+        expected.count(lost) -= 1;
+        const Solution next = rescheduler.on_core_loss(lost);
+        EXPECT_EQ(rescheduler.resources(), expected);
+        expect_feasible(next, chain, expected);
+    }
+    EXPECT_EQ(rescheduler.resources().total(), 1);
+    expect_feasible(rescheduler.solution(), chain, Resources{0, 1});
+    EXPECT_THROW((void)rescheduler.on_core_loss(CoreType::little), NoScheduleError);
+}
+
+TEST(Rescheduler, DegradedPeriodNeverImproves)
+{
+    const TaskChain chain = make_chain(6, /*first_sequential=*/false);
+    Rescheduler rescheduler{chain, Resources{4, 2}};
+    double previous = rescheduler.solution().period(chain);
+    for (int i = 0; i < 3; ++i) {
+        const double period = rescheduler.on_core_loss(CoreType::big).period(chain);
+        EXPECT_GE(period, previous - 1e-9) << "fewer cores cannot beat the old period";
+        previous = period;
+    }
+}
+
+TEST(Rescheduler, SmallDriftIsIgnored)
+{
+    const TaskChain chain = make_chain(4);
+    Rescheduler rescheduler{chain, Resources{2, 2}};
+    std::vector<double> big, little;
+    for (int i = 1; i <= chain.size(); ++i) {
+        big.push_back(chain.weight(i, CoreType::big) * 1.05); // 5% < threshold
+        little.push_back(chain.weight(i, CoreType::little) * 1.05);
+    }
+    for (int r = 0; r < 10; ++r) {
+        EXPECT_FALSE(rescheduler.report_profile(big, little).has_value());
+        EXPECT_EQ(rescheduler.drift_streak(), 0);
+    }
+}
+
+TEST(Rescheduler, SustainedDriftRecomputesAfterPatience)
+{
+    const TaskChain chain = make_chain(4);
+    ReschedulePolicy policy;
+    policy.drift_threshold = 0.25;
+    policy.drift_patience = 3;
+    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
+
+    std::vector<double> big, little;
+    for (int i = 1; i <= chain.size(); ++i) {
+        // Task 2 drifted far beyond the threshold; the rest are stable.
+        const double factor = i == 2 ? 2.0 : 1.0;
+        big.push_back(chain.weight(i, CoreType::big) * factor);
+        little.push_back(chain.weight(i, CoreType::little) * factor);
+    }
+
+    EXPECT_FALSE(rescheduler.report_profile(big, little).has_value());
+    EXPECT_EQ(rescheduler.drift_streak(), 1);
+    EXPECT_FALSE(rescheduler.report_profile(big, little).has_value());
+    EXPECT_EQ(rescheduler.drift_streak(), 2);
+    const auto recomputed = rescheduler.report_profile(big, little);
+    ASSERT_TRUE(recomputed.has_value()) << "third consecutive drifted report";
+    EXPECT_EQ(rescheduler.drift_streak(), 0) << "streak resets after the recompute";
+    EXPECT_DOUBLE_EQ(rescheduler.chain().weight(2, CoreType::big), big[1])
+        << "the chain now carries the observed weights";
+    expect_feasible(*recomputed, rescheduler.chain(), rescheduler.resources());
+}
+
+// -- fault-tolerant end-to-end runs ---------------------------------------
+
+struct Frame {
+    std::uint64_t seq = 0;
+    int value = 0;
+};
+
+/// Runtime twin of make_chain: task 1 stateful, the rest stateless.
+TaskSequence<Frame> make_runtime_sequence(int n)
+{
+    TaskSequence<Frame> seq;
+    for (int i = 1; i <= n; ++i)
+        seq.push_back(
+            make_task<Frame>("t" + std::to_string(i), i == 1, [i](Frame& f) { f.value += i; }));
+    return seq;
+}
+
+TEST(RunWithRecovery, HealthyRunCompletesWithoutRecoveries)
+{
+    constexpr int kTasks = 4;
+    const TaskChain chain = make_chain(kTasks);
+    auto seq = make_runtime_sequence(kTasks);
+    Rescheduler rescheduler{chain, Resources{3, 1}};
+    const RecoveryReport report = run_with_recovery<Frame>(seq, rescheduler, 50);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.recoveries, 0);
+    EXPECT_EQ(report.total.frames, 50u);
+    EXPECT_EQ(report.total.frames_dropped, 0u);
+    EXPECT_EQ(report.solutions.size(), 1u);
+}
+
+// Acceptance (b): a permanent worker kill triggers rescheduling onto the
+// remaining cores and the pipeline resumes with a valid (period-feasible)
+// solution, completing the stream.
+TEST(RunWithRecovery, WorkerKillReschedulesAndCompletesTheStream)
+{
+    constexpr int kTasks = 4;
+    constexpr std::uint64_t kFrames = 100;
+    const TaskChain chain = make_chain(kTasks); // task 1 sequential
+    auto seq = make_runtime_sequence(kTasks);
+
+    Rescheduler rescheduler{chain, Resources{3, 1}};
+    const Resources initial_budget = rescheduler.resources();
+
+    // Task 1 is sequential, so stage 0 runs it alone on one worker: killing
+    // worker 0 leaves the stage dead and forces a graceful drain + recovery.
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::kill, 20, 0, 0, 1, milliseconds{0}});
+
+    PipelineConfig config;
+    config.faults = &injector;
+    config.heartbeat_timeout = milliseconds{100};
+
+    std::vector<std::uint64_t> delivered;
+    const RecoveryReport report = run_with_recovery<Frame>(
+        seq, rescheduler, kFrames, config, [&](Frame& f) { delivered.push_back(f.seq); });
+
+    EXPECT_TRUE(report.completed) << "the stream must resume and reach the end";
+    EXPECT_EQ(report.recoveries, 1);
+    ASSERT_EQ(report.total.losses.size(), 1u);
+    EXPECT_EQ(report.total.losses[0].worker, 0);
+    EXPECT_GE(report.total.failure_seconds, 0.0);
+    EXPECT_GT(report.recovery_latency_seconds, 0.0);
+
+    // The budget shrank by exactly the lost core's type.
+    Resources expected = initial_budget;
+    expected.count(report.total.losses[0].type) -= 1;
+    EXPECT_EQ(rescheduler.resources(), expected);
+
+    // The resumed schedule is valid and period-feasible on what remains.
+    ASSERT_EQ(report.solutions.size(), 2u);
+    expect_feasible(report.solutions[1], chain, expected);
+
+    // Stream accounting: every position delivered or tombstoned, in order.
+    EXPECT_EQ(report.total.frames + report.total.frames_dropped, kFrames);
+    EXPECT_GE(report.total.frames_dropped, 1u);
+    EXPECT_EQ(report.total.stream_end, kFrames);
+    ASSERT_EQ(delivered.size(), report.total.frames);
+    for (std::size_t i = 1; i < delivered.size(); ++i)
+        EXPECT_LT(delivered[i - 1], delivered[i]) << "stream order across the hot-swap";
+}
+
+} // namespace
