@@ -8,7 +8,8 @@
 // predicted period for the healthy and degraded schedules.
 //
 // Flags: --frames=N (default 600), --task-us=U per-task service (default
-// 300), --kill-at=F failing frame (default frames/3).
+// 300), --kill-at=F failing frame (default frames/3), --json=<file>
+// amp-bench-v1 report (one record per phase window plus recovery gauges).
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
@@ -16,6 +17,7 @@
 #include "dsim/simulator.hpp"
 #include "rt/fault.hpp"
 #include "rt/rescheduler.hpp"
+#include "support/bench_json.hpp"
 
 #include <chrono>
 #include <cstdio>
@@ -42,6 +44,7 @@ int main(int argc, char** argv)
     const auto task_us = static_cast<int>(args.get_int("task-us", 300));
     const auto kill_at =
         static_cast<std::uint64_t>(args.get_int("kill-at", static_cast<std::int64_t>(frames / 3)));
+    const std::string json_path = args.get("json", "");
 
     // Five tasks; the first is stateful (a source keeping stream state), so
     // every schedule pins it to a sequential single-worker stage -- killing
@@ -130,5 +133,43 @@ int main(int argc, char** argv)
                 "at detection: the silent dead-time before the watchdog fences the worker\n"
                 "(up to the %lld ms heartbeat timeout) drags down the before-loss fps.\n",
                 static_cast<long long>(config.heartbeat_timeout.count()));
+
+    if (!json_path.empty()) {
+        bench::JsonReport json_report{"ext_fault_recovery"};
+        json_report.param("frames", frames)
+            .param("task_us", task_us)
+            .param("kill_at", kill_at)
+            .param("big", budget.big)
+            .param("little", budget.little);
+        const struct {
+            const char* phase;
+            double from;
+            double to;
+            std::uint64_t count;
+            double fps;
+        } phases[] = {
+            {"before_loss", 0.0, fail, before_n, before_fps},
+            {"during_recovery", fail, resume, during_n, during_fps},
+            {"after_recovery", resume, end, after_n, after_fps},
+        };
+        for (const auto& phase : phases)
+            json_report.add_record()
+                .set("phase", phase.phase)
+                .set("window_s", phase.to - phase.from)
+                .set("frames", phase.count)
+                .set("fps", phase.fps);
+        json_report.param("recoveries", static_cast<std::int64_t>(report.recoveries))
+            .param("recovery_latency_s", report.recovery_latency_seconds)
+            .param("frames_dropped", report.total.frames_dropped)
+            .param("healthy_period_us", dsim::expected_period_us(chain, healthy))
+            .param("degraded_period_us", dsim::expected_period_us(chain, degraded))
+            .param("healthy_schedule", healthy.decomposition())
+            .param("degraded_schedule", degraded.decomposition());
+        if (!json_report.write_file(json_path)) {
+            std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::printf("json report: %s\n", json_path.c_str());
+    }
     return 0;
 }

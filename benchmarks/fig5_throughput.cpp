@@ -1,9 +1,12 @@
 // Reproduces Fig. 5: achieved information throughput (Mb/s) of the DVB-S2
 // receiver per platform, resource configuration and strategy, rendered as a
-// text bar chart from the same evaluation pipeline as Table II.
+// text bar chart from the same evaluation pipeline as Table II. Passing
+// --json=<file> also writes an amp-bench-v1 report (one record per
+// platform/strategy pair; see docs/OBSERVABILITY.md).
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
+#include "support/bench_json.hpp"
 #include "support/dvbs2_eval.hpp"
 
 #include <algorithm>
@@ -14,7 +17,8 @@ int main(int argc, char** argv)
 {
     using namespace amp;
     const ArgParse args(argc, argv);
-    (void)args;
+    const std::string json_path = args.get("json", "");
+    bench::JsonReport report{"fig5_throughput"};
 
     std::printf("== Fig. 5: achieved throughput on the DVB-S2 receiver ==\n");
     std::printf("('real' bars from the discrete-event pipeline simulation; 'exp' marks the "
@@ -40,8 +44,28 @@ int main(int argc, char** argv)
             std::printf("  %-9s [%s] real %5.1f Mb/s, exp %5.1f Mb/s\n",
                         core::to_string(eval.strategy), bar.c_str(), eval.real_mbps,
                         eval.expected_mbps);
+            report.add_record()
+                .set("platform", eval.platform)
+                .set("big", eval.resources.big)
+                .set("little", eval.resources.little)
+                .set("strategy", core::to_string(eval.strategy))
+                .set("stages", eval.stage_count)
+                .set("big_used", eval.big_used)
+                .set("little_used", eval.little_used)
+                .set("expected_period_us", eval.expected_period_us)
+                .set("expected_fps", eval.expected_fps)
+                .set("expected_mbps", eval.expected_mbps)
+                .set("real_fps", eval.real_fps)
+                .set("real_mbps", eval.real_mbps);
         }
         std::printf("\n");
+    }
+    if (!json_path.empty()) {
+        if (!report.write_file(json_path)) {
+            std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::printf("json report: %s\n", json_path.c_str());
     }
     return 0;
 }

@@ -1,0 +1,48 @@
+#include "support/bench_json.hpp"
+
+#include <cstdio>
+
+namespace amp::bench {
+
+void JsonRecord::append_to(obs::JsonWriter& writer) const
+{
+    writer.begin_object();
+    for (const auto& [key, rendered] : fields_)
+        writer.key(key).raw(rendered);
+    writer.end_object();
+}
+
+std::string JsonReport::str() const
+{
+    obs::JsonWriter writer;
+    writer.begin_object();
+    writer.key("schema").value("amp-bench-v1");
+    writer.key("bench").value(bench_);
+    writer.key("params");
+    params_.append_to(writer);
+    writer.key("records").begin_array();
+    for (const JsonRecord& record : records_)
+        record.append_to(writer);
+    writer.end_array();
+    if (metrics_.has_value()) {
+        writer.key("metrics");
+        obs::append_metrics_json(writer, *metrics_);
+    }
+    writer.end_object();
+    return writer.str();
+}
+
+bool JsonReport::write_file(const std::string& path) const
+{
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return false;
+    const std::string text = str();
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    const bool ok = written == text.size() && std::fclose(file) == 0;
+    if (written != text.size())
+        std::fclose(file);
+    return ok;
+}
+
+} // namespace amp::bench

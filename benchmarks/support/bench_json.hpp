@@ -1,0 +1,114 @@
+#pragma once
+// Machine-readable benchmark output (the "amp-bench-v1" schema, documented
+// in docs/OBSERVABILITY.md). Every bench keeps its human-readable text
+// tables; passing --json=<file> additionally writes one self-describing
+// JSON document:
+//
+//   {
+//     "schema": "amp-bench-v1",
+//     "bench": "<binary name>",
+//     "params": { "<flag>": <value>, ... },
+//     "records": [ { ... }, ... ],        // one object per measurement
+//     "metrics": { "counters": ..., "gauges": ..., "histograms": ... }
+//   }
+//
+// "metrics" is present only when the bench attaches an obs::MetricsRegistry
+// snapshot; its layout is exactly obs::render_json's.
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amp::bench {
+
+/// One measurement row: insertion-ordered key -> pre-rendered JSON value.
+class JsonRecord {
+public:
+    JsonRecord& set(const std::string& key, const std::string& text)
+    {
+        fields_.emplace_back(key, '"' + obs::json_escape(text) + '"');
+        return *this;
+    }
+    JsonRecord& set(const std::string& key, const char* text)
+    {
+        return set(key, std::string{text});
+    }
+    JsonRecord& set(const std::string& key, double number)
+    {
+        fields_.emplace_back(key, obs::json_number(number));
+        return *this;
+    }
+    JsonRecord& set(const std::string& key, std::int64_t number)
+    {
+        fields_.emplace_back(key, std::to_string(number));
+        return *this;
+    }
+    JsonRecord& set(const std::string& key, std::uint64_t number)
+    {
+        fields_.emplace_back(key, std::to_string(number));
+        return *this;
+    }
+    JsonRecord& set(const std::string& key, int number)
+    {
+        return set(key, static_cast<std::int64_t>(number));
+    }
+    JsonRecord& set(const std::string& key, bool flag)
+    {
+        fields_.emplace_back(key, flag ? "true" : "false");
+        return *this;
+    }
+
+    void append_to(obs::JsonWriter& writer) const;
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates a bench run and renders/writes the amp-bench-v1 document.
+class JsonReport {
+public:
+    explicit JsonReport(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {
+    }
+
+    /// Records an input parameter (a flag the run was invoked with).
+    template <typename V>
+    JsonReport& param(const std::string& key, V&& value)
+    {
+        params_.set(key, std::forward<V>(value));
+        return *this;
+    }
+
+    /// Appends and returns a new measurement row.
+    JsonRecord& add_record()
+    {
+        records_.emplace_back();
+        return records_.back();
+    }
+
+    /// Attaches a metrics snapshot rendered under the "metrics" key.
+    JsonReport& metrics(obs::MetricsSnapshot snapshot)
+    {
+        metrics_ = std::move(snapshot);
+        return *this;
+    }
+
+    [[nodiscard]] std::string str() const;
+
+    /// Writes str() to `path`; false on I/O failure.
+    bool write_file(const std::string& path) const;
+
+private:
+    std::string bench_;
+    JsonRecord params_;
+    std::vector<JsonRecord> records_;
+    std::optional<obs::MetricsSnapshot> metrics_;
+};
+
+} // namespace amp::bench

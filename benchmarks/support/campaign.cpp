@@ -64,4 +64,22 @@ std::vector<ScenarioConfig> paper_scenarios(int chains, std::uint64_t seed)
     return scenarios;
 }
 
+void append_scenario(JsonReport& report, const ScenarioResult& result)
+{
+    for (const auto& [strategy, outcome] : result.outcomes) {
+        report.add_record()
+            .set("big", result.config.resources.big)
+            .set("little", result.config.resources.little)
+            .set("stateless_ratio", result.config.stateless_ratio)
+            .set("chains", result.config.chains)
+            .set("strategy", core::to_string(strategy))
+            .set("pct_optimal", outcome.summary.pct_optimal)
+            .set("slowdown_avg", outcome.summary.average)
+            .set("slowdown_median", outcome.summary.median)
+            .set("slowdown_max", outcome.summary.maximum)
+            .set("avg_big_used", outcome.avg_big_used)
+            .set("avg_little_used", outcome.avg_little_used);
+    }
+}
+
 } // namespace amp::bench

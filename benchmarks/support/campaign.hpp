@@ -6,6 +6,7 @@
 #include "core/scheduler.hpp"
 #include "sim/generator.hpp"
 #include "sim/stats.hpp"
+#include "support/bench_json.hpp"
 
 #include <map>
 #include <vector>
@@ -40,5 +41,9 @@ struct ScenarioResult {
 /// The paper's scenario grid: R in {(16,4),(10,10),(4,16)} x SR in
 /// {0.2, 0.5, 0.8}.
 [[nodiscard]] std::vector<ScenarioConfig> paper_scenarios(int chains, std::uint64_t seed);
+
+/// Flattens one scenario into amp-bench-v1 records: one record per
+/// (scenario, strategy) with the slowdown summary and average core usage.
+void append_scenario(JsonReport& report, const ScenarioResult& result);
 
 } // namespace amp::bench

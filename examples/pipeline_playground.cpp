@@ -4,9 +4,15 @@
 // the static pipeline against the dynamic task-pool executor.
 //
 //   $ ./pipeline_playground [--frames=N] [--big=B] [--little=L]
+//                           [--metrics] [--trace-out=trace.json]
+//
+// --metrics prints the run's Prometheus exposition; --trace-out writes a
+// Chrome trace (open in chrome://tracing or https://ui.perfetto.dev, one
+// track per worker). See docs/OBSERVABILITY.md.
 
 #include "common/argparse.hpp"
 #include "core/scheduler.hpp"
+#include "obs/sink.hpp"
 #include "rt/dynamic_executor.hpp"
 #include "rt/pipeline.hpp"
 #include "rt/profiler.hpp"
@@ -96,6 +102,8 @@ int main(int argc, char** argv)
     const auto frames = static_cast<std::uint64_t>(args.get_int("frames", 400));
     const core::Resources machine{static_cast<int>(args.get_int("big", 3)),
                                   static_cast<int>(args.get_int("little", 2))};
+    const bool want_metrics = args.get_bool("metrics", false);
+    const std::string trace_path = args.get("trace-out", "");
 
     // Profile on this machine; model little cores as 2.5x slower.
     auto chain = build_chain();
@@ -114,7 +122,14 @@ int main(int argc, char** argv)
                 machine.little, solution.decomposition().c_str(),
                 solution.period(core_chain));
 
-    rt::Pipeline<LogBatch> pipeline{chain, solution};
+    obs::SinkConfig sink_config;
+    sink_config.metrics = want_metrics;
+    sink_config.trace = !trace_path.empty();
+    obs::Sink sink{sink_config};
+
+    rt::PipelineConfig pipeline_config;
+    pipeline_config.sink = sink.enabled() ? &sink : nullptr;
+    rt::Pipeline<LogBatch> pipeline{chain, solution, pipeline_config};
     const auto static_result = pipeline.run(frames);
     std::printf("\nstatic pipeline : %7.0f batches/s over %llu batches\n", static_result.fps(),
                 static_cast<unsigned long long>(static_result.frames));
@@ -126,5 +141,15 @@ int main(int argc, char** argv)
                 dynamic_result.fps(),
                 static_cast<double>(dynamic_result.scheduling_events)
                     / static_cast<double>(frames));
+
+    if (want_metrics)
+        std::printf("\n-- metrics (static pipeline) --\n%s", sink.render_prometheus().c_str());
+    if (!trace_path.empty()) {
+        if (sink.write_chrome_trace(trace_path))
+            std::printf("\ntrace written to %s (open in chrome://tracing or Perfetto)\n",
+                        trace_path.c_str());
+        else
+            std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+    }
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "dsim/simulator.hpp"
 
+#include "obs/schema.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -7,6 +9,101 @@
 namespace amp::dsim {
 
 namespace {
+
+/// Telemetry wiring for one stage structure ("epoch"). Tracks are laid out
+/// stage-major exactly like the runtime's global worker indices, so the
+/// simulated trace and a real rt::Pipeline trace of the same schedule are
+/// diffable (obs/schema.hpp). A rescheduled run opens a fresh epoch, which
+/// appends a new track group -- mirroring run_with_recovery's hot-swap.
+struct ObsEpoch {
+    obs::TraceRecorder* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
+    std::size_t track_base = 0;
+    std::size_t watchdog_track = 0;
+    std::vector<std::size_t> stage_offset; ///< first server track per stage
+    std::vector<std::uint32_t> span_names;
+    std::vector<obs::Histogram*> stage_latency;
+    std::vector<obs::Histogram*> queue_wait;
+    std::uint32_t fence_name = 0;
+    std::uint32_t tombstone_name = 0;
+
+    ObsEpoch() = default;
+
+    ObsEpoch(obs::Sink* sink, const core::Solution& solution)
+    {
+        if (sink == nullptr || !sink->enabled())
+            return;
+        const auto& stages = solution.stages();
+        if (sink->trace_enabled()) {
+            trace = &sink->trace();
+            track_base = trace->track_count();
+            std::size_t offset = 0;
+            int worker = 0;
+            for (std::size_t i = 0; i < stages.size(); ++i) {
+                const core::Stage& st = stages[i];
+                stage_offset.push_back(offset);
+                span_names.push_back(trace->intern(
+                    obs::schema::stage_span(static_cast<int>(i), st.first, st.last)));
+                for (int c = 0; c < st.cores; ++c)
+                    trace->add_track(obs::schema::worker_track(worker++, static_cast<int>(i)));
+                offset += static_cast<std::size_t>(st.cores);
+            }
+            watchdog_track = trace->add_track(obs::schema::kWatchdogTrack);
+            fence_name = trace->intern(obs::schema::kFence);
+            tombstone_name = trace->intern(obs::schema::kTombstone);
+        }
+        if (sink->metrics_enabled()) {
+            metrics = &sink->metrics();
+            for (std::size_t i = 0; i < stages.size(); ++i) {
+                stage_latency.push_back(
+                    &metrics->histogram(obs::schema::stage_latency(static_cast<int>(i))));
+                queue_wait.push_back(
+                    &metrics->histogram(obs::schema::queue_wait(static_cast<int>(i))));
+            }
+        }
+    }
+
+    [[nodiscard]] bool active() const noexcept { return trace != nullptr || metrics != nullptr; }
+
+    /// One frame crossing one stage on one server, at virtual time.
+    void record_span(std::size_t stage, std::size_t server, std::uint64_t frame,
+                     double start_us, double service_us, double wait_us)
+    {
+        if (!stage_latency.empty())
+            stage_latency[stage]->record_us(service_us);
+        // Stage 0 sources frames (no input queue), same as the runtime.
+        if (stage > 0 && !queue_wait.empty())
+            queue_wait[stage]->record_us(wait_us);
+        if (trace != nullptr)
+            trace->emit_complete(track_base + stage_offset[stage] + server, span_names[stage],
+                                 start_us, service_us, frame, static_cast<std::int32_t>(stage));
+    }
+
+    /// Watchdog-equivalent fence + tombstone at the failure's virtual time.
+    void record_loss(std::size_t stage, std::uint64_t frame, double ts_us)
+    {
+        if (metrics != nullptr)
+            metrics->counter(obs::schema::kWorkersFenced).inc(0);
+        if (trace != nullptr) {
+            trace->emit_instant(watchdog_track, fence_name, ts_us, frame,
+                                static_cast<std::int32_t>(stage));
+            trace->emit_instant(watchdog_track, tombstone_name, ts_us, frame,
+                                static_cast<std::int32_t>(stage));
+        }
+    }
+
+    /// End-of-run totals, mirroring rt::Pipeline::run's final block.
+    void record_run(std::uint64_t delivered, std::uint64_t dropped, double elapsed_us,
+                    double fps) const
+    {
+        if (metrics == nullptr)
+            return;
+        metrics->counter(obs::schema::kFramesDelivered).add(0, delivered);
+        metrics->counter(obs::schema::kFramesDropped).add(0, dropped);
+        metrics->gauge(obs::schema::kRunElapsedSeconds).set(elapsed_us / 1e6);
+        metrics->gauge(obs::schema::kRunFps).set(fps);
+    }
+};
 
 /// Per-stage service model + server availability for one stage structure.
 struct StageModel {
@@ -83,6 +180,8 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
             : 0.0;
     const double mu = -0.5 * sigma * sigma; // unit-mean lognormal
 
+    ObsEpoch obs{config.sink, solution};
+
     std::vector<double> busy(k, 0.0);
     std::vector<double> service_sum(k, 0.0);
 
@@ -101,6 +200,8 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
             server_free = depart;
             busy[i] += service;
             service_sum[i] += service;
+            if (obs.active())
+                obs.record_span(i, f % r, f, start, service, start - arrival);
             arrival = depart + config.overhead.adaptor_crossing_us;
         }
         const double depart_last = arrival - config.overhead.adaptor_crossing_us;
@@ -114,6 +215,7 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
     const double window = final_departure - window_start;
     result.period_us = window > 0.0 ? window / measured : 0.0;
     result.fps = result.period_us > 0.0 ? 1e6 / result.period_us : 0.0;
+    obs.record_run(config.frames, 0, final_departure, result.fps);
 
     result.stages.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
@@ -148,6 +250,7 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
     FailureSimulationResult result;
     core::Solution current = solution;
     StageModel model{chain, current, config.overhead, 0.0};
+    ObsEpoch obs{config.sink, current};
 
     Rng rng{config.overhead.seed};
     const double cv = config.overhead.jitter_cv;
@@ -182,6 +285,8 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
             }
             record.resources_after = rescheduler.resources();
             if (!result.schedulable) {
+                if (obs.active())
+                    obs.record_loss(stage, f, final_departure + faults.detection_us);
                 result.recoveries.push_back(std::move(record));
                 result.frames_dropped += 1;
                 result.final_solution = current;
@@ -202,6 +307,13 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
             // Hot-swap: every server of the new structure becomes available
             // once the loss is detected and the new schedule deployed.
             const double resume_at = final_departure + record.downtime_us;
+            if (obs.active()) {
+                obs.record_loss(stage, f, final_departure + faults.detection_us);
+                // The resumed pipeline is a fresh track group, exactly like
+                // run_with_recovery appending a hot-swapped Pipeline's
+                // workers to the shared recorder.
+                obs = ObsEpoch{config.sink, next};
+            }
             current = std::move(next);
             model = StageModel{chain, current, config.overhead, resume_at};
         }
@@ -214,13 +326,16 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
         const std::size_t k = current.stage_count();
         for (std::size_t i = 0; i < k; ++i) {
             const auto r = model.last_departures[i].size();
-            double& server_free = model.last_departures[i][static_cast<std::size_t>(
-                departed % static_cast<std::uint64_t>(r))];
+            const auto server =
+                static_cast<std::size_t>(departed % static_cast<std::uint64_t>(r));
+            double& server_free = model.last_departures[i][server];
             const double start = std::max(arrival, server_free);
             const double jitter = sigma > 0.0 ? std::exp(mu + sigma * rng.normal()) : 1.0;
             const double service = model.base_service[i] * model.penalty[i] * jitter;
             const double depart = start + service;
             server_free = depart;
+            if (obs.active())
+                obs.record_span(i, server, f, start, service, start - arrival);
             arrival = depart + config.overhead.adaptor_crossing_us;
         }
         final_departure = arrival - config.overhead.adaptor_crossing_us;
@@ -236,6 +351,7 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
     const double window = final_departure - window_start;
     result.overall.period_us = measured > 0.0 && window > 0.0 ? window / measured : 0.0;
     result.overall.fps = result.overall.period_us > 0.0 ? 1e6 / result.overall.period_us : 0.0;
+    obs.record_run(departed, result.frames_dropped, final_departure, result.overall.fps);
     return result;
 }
 

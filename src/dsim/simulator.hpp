@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "core/chain.hpp"
 #include "core/solution.hpp"
+#include "obs/sink.hpp"
 #include "rt/rescheduler.hpp"
 
 #include <cstdint>
@@ -49,6 +50,12 @@ struct SimulationConfig {
     std::uint64_t frames = 20000;      ///< frames to push through the pipeline
     std::uint64_t warmup_frames = 2000; ///< excluded from the throughput window
     OverheadModel overhead{};
+    /// Optional telemetry sink. The simulator emits the same event and
+    /// metric schema as rt::Pipeline (obs/schema.hpp) at virtual time:
+    /// one track per simulated server, stage spans per frame, queue-wait
+    /// and latency histograms, fence/tombstone instants on failures -- so
+    /// a simulated trace diffs event-by-event against a real one.
+    obs::Sink* sink = nullptr;
 };
 
 struct StageStats {

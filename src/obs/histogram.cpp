@@ -1,0 +1,59 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace amp::obs {
+
+std::uint64_t HistogramSnapshot::percentile_ns(double q) const noexcept
+{
+    if (count_ == 0 || buckets_.empty())
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return std::min(hdr::bucket_upper(i), max_);
+    }
+    return max_;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other)
+{
+    if (other.buckets_.empty())
+        return;
+    if (buckets_.empty())
+        buckets_.assign(hdr::kBucketCount, 0);
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
+HistogramSnapshot Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.buckets_.resize(hdr::kBucketCount);
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < hdr::kBucketCount; ++i) {
+        const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+        snap.buckets_[i] = n;
+        total += n;
+        sum += n * ((hdr::bucket_lower(i) + hdr::bucket_upper(i)) / 2);
+    }
+    // Prefer the exact totals when they agree with the buckets (quiescent
+    // case); under concurrent recording fall back to the bucket-derived
+    // values so count/sum/percentiles stay mutually consistent.
+    const std::uint64_t exact_count = count_.load(std::memory_order_relaxed);
+    const std::uint64_t exact_sum = sum_.load(std::memory_order_relaxed);
+    snap.count_ = total;
+    snap.sum_ = exact_count == total ? exact_sum : sum;
+    snap.max_ = max_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+} // namespace amp::obs

@@ -1,0 +1,157 @@
+#pragma once
+// Log-bucketed latency histograms (HDR-style): fixed memory, lock-free
+// recording, mergeable snapshots, cheap percentiles.
+//
+// Values are nanoseconds (unsigned). The bucket layout is the classic
+// power-of-two major bucket subdivided into 2^kSubBucketBits linear
+// sub-buckets: values below 2^kSubBucketBits are recorded exactly, larger
+// values with a relative error bounded by 2^-kSubBucketBits (~3.1% for the
+// 5-bit layout used here). The whole 64-bit range fits in kBucketCount
+// buckets, so a histogram is ~15 KB and never allocates after construction.
+//
+// Recording uses relaxed atomics only: any thread may record concurrently
+// with any other and with snapshot(), which is what the per-worker pipeline
+// instrumentation and the drift detector need. A snapshot is a plain value
+// type -- merge snapshots from many workers, then read percentiles.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace amp::obs {
+
+namespace hdr {
+
+inline constexpr int kSubBucketBits = 5;
+inline constexpr std::uint64_t kSubBuckets = std::uint64_t{1} << kSubBucketBits;
+// Values >= 2^kSubBucketBits have msb in [kSubBucketBits, 63], i.e. shift
+// in [0, 63 - kSubBucketBits], giving 64 - kSubBucketBits major buckets on
+// top of the exact sub-kSubBuckets range: (64 - kSubBucketBits + 1) groups.
+inline constexpr std::size_t kBucketCount =
+    static_cast<std::size_t>((64 - kSubBucketBits + 1) * kSubBuckets);
+
+/// Index of the bucket that holds `value`. Monotone in `value`.
+[[nodiscard]] constexpr std::size_t bucket_index(std::uint64_t value) noexcept
+{
+    if (value < kSubBuckets)
+        return static_cast<std::size_t>(value);
+    const int msb = std::bit_width(value) - 1;
+    const int shift = msb - kSubBucketBits;
+    return static_cast<std::size_t>(shift + 1) * kSubBuckets
+        + static_cast<std::size_t>((value >> shift) - kSubBuckets);
+}
+
+/// Smallest value mapped to bucket `index`.
+[[nodiscard]] constexpr std::uint64_t bucket_lower(std::size_t index) noexcept
+{
+    if (index < kSubBuckets)
+        return index;
+    const auto shift = static_cast<int>(index / kSubBuckets) - 1;
+    const std::uint64_t sub = index % kSubBuckets + kSubBuckets;
+    return sub << shift;
+}
+
+/// Largest value mapped to bucket `index`.
+[[nodiscard]] constexpr std::uint64_t bucket_upper(std::size_t index) noexcept
+{
+    if (index < kSubBuckets)
+        return index;
+    const auto shift = static_cast<int>(index / kSubBuckets) - 1;
+    return bucket_lower(index) + ((std::uint64_t{1} << shift) - 1);
+}
+
+} // namespace hdr
+
+/// Immutable aggregate of one or more histograms. Plain value type: copy,
+/// merge and query freely, no synchronization needed.
+class HistogramSnapshot {
+public:
+    HistogramSnapshot() = default;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] std::uint64_t sum_ns() const noexcept { return sum_; }
+    [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+    [[nodiscard]] double mean_us() const noexcept
+    {
+        return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) / 1e3 : 0.0;
+    }
+    [[nodiscard]] double max_us() const noexcept { return static_cast<double>(max_) / 1e3; }
+
+    /// Value (ns) at quantile `q` in [0, 1]: the upper bound of the bucket
+    /// holding the ceil(q * count)-th recorded value, clamped to the true
+    /// maximum. 0 for an empty snapshot.
+    [[nodiscard]] std::uint64_t percentile_ns(double q) const noexcept;
+    [[nodiscard]] double percentile_us(double q) const noexcept
+    {
+        return static_cast<double>(percentile_ns(q)) / 1e3;
+    }
+    [[nodiscard]] double p50_us() const noexcept { return percentile_us(0.50); }
+    [[nodiscard]] double p95_us() const noexcept { return percentile_us(0.95); }
+    [[nodiscard]] double p99_us() const noexcept { return percentile_us(0.99); }
+
+    /// Element-wise accumulation of another snapshot.
+    void merge(const HistogramSnapshot& other);
+
+    /// Per-bucket counts (hdr layout); zero-filled when never recorded into.
+    [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+private:
+    friend class Histogram;
+
+    std::vector<std::uint64_t> buckets_; ///< empty until first merge/snapshot
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/// Lock-free recording side. Fixed size, no allocation after construction.
+class Histogram {
+public:
+    Histogram() = default;
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void record(std::uint64_t value_ns) noexcept
+    {
+        buckets_[hdr::bucket_index(value_ns)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value_ns, std::memory_order_relaxed);
+        std::uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (seen < value_ns
+               && !max_.compare_exchange_weak(seen, value_ns, std::memory_order_relaxed)) {
+        }
+    }
+
+    void record_us(double us) noexcept
+    {
+        record(us > 0.0 ? static_cast<std::uint64_t>(std::llround(us * 1e3)) : 0);
+    }
+
+    void record_duration(std::chrono::nanoseconds elapsed) noexcept
+    {
+        record(elapsed.count() > 0 ? static_cast<std::uint64_t>(elapsed.count()) : 0);
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /// Consistent-enough copy for reporting: concurrent recording may leave
+    /// the totals one event ahead of the buckets, never behind.
+    [[nodiscard]] HistogramSnapshot snapshot() const;
+
+private:
+    std::array<std::atomic<std::uint64_t>, hdr::kBucketCount> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+} // namespace amp::obs

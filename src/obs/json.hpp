@@ -1,0 +1,150 @@
+#pragma once
+// Minimal JSON emission used by the observability exporters (Chrome traces,
+// metrics exposition) and the benchmark JSON reports. Emission only -- the
+// repo never parses JSON, so a writer with automatic comma/escape handling
+// is all we need.
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amp::obs {
+
+/// Escapes a string for embedding between JSON quotes.
+[[nodiscard]] inline std::string json_escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/// Renders a double as a JSON number (shortest round-trip form; non-finite
+/// values, which JSON cannot represent, become 0).
+[[nodiscard]] inline std::string json_number(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    return ec == std::errc{} ? std::string(buf, ptr) : std::string{"0"};
+}
+
+/// Streaming JSON writer: tracks nesting and inserts commas automatically.
+/// Usage: w.begin_object().key("a").value(1.0).end_object(); w.str().
+class JsonWriter {
+public:
+    JsonWriter& begin_object() { return open('{'); }
+    JsonWriter& end_object() { return close('}'); }
+    JsonWriter& begin_array() { return open('['); }
+    JsonWriter& end_array() { return close(']'); }
+
+    JsonWriter& key(std::string_view name)
+    {
+        prefix();
+        out_ += '"';
+        out_ += json_escape(name);
+        out_ += "\":";
+        pending_key_ = true;
+        return *this;
+    }
+
+    JsonWriter& value(std::string_view text)
+    {
+        prefix();
+        out_ += '"';
+        out_ += json_escape(text);
+        out_ += '"';
+        return *this;
+    }
+    JsonWriter& value(const char* text) { return value(std::string_view{text}); }
+    JsonWriter& value(double number)
+    {
+        prefix();
+        out_ += json_number(number);
+        return *this;
+    }
+    JsonWriter& value(std::uint64_t number)
+    {
+        prefix();
+        out_ += std::to_string(number);
+        return *this;
+    }
+    JsonWriter& value(std::int64_t number)
+    {
+        prefix();
+        out_ += std::to_string(number);
+        return *this;
+    }
+    JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+    JsonWriter& value(bool flag)
+    {
+        prefix();
+        out_ += flag ? "true" : "false";
+        return *this;
+    }
+
+    /// Splices a pre-rendered JSON fragment in value position.
+    JsonWriter& raw(std::string_view json)
+    {
+        prefix();
+        out_ += json;
+        return *this;
+    }
+
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+private:
+    JsonWriter& open(char bracket)
+    {
+        prefix();
+        out_ += bracket;
+        nesting_.push_back(false);
+        return *this;
+    }
+    JsonWriter& close(char bracket)
+    {
+        nesting_.pop_back();
+        out_ += bracket;
+        return *this;
+    }
+    void prefix()
+    {
+        if (pending_key_) {
+            pending_key_ = false;
+            return;
+        }
+        if (!nesting_.empty()) {
+            if (nesting_.back())
+                out_ += ',';
+            else
+                nesting_.back() = true;
+        }
+    }
+
+    std::string out_;
+    std::vector<char> nesting_; ///< per open container: wrote an element yet?
+    bool pending_key_ = false;
+};
+
+} // namespace amp::obs

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+#include <utility>
+
+namespace amp::obs {
+
+namespace {
+
+/// Splits `amp_name{label="x"}` into ("amp_name", `label="x"`); the label
+/// part is empty for plain names.
+std::pair<std::string, std::string> split_labels(const std::string& name)
+{
+    const auto brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}')
+        return {name, ""};
+    return {name.substr(0, brace), name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string with_labels(const std::string& base, const std::string& labels,
+                        const std::string& extra = "")
+{
+    std::string all = labels;
+    if (!extra.empty()) {
+        if (!all.empty())
+            all += ',';
+        all += extra;
+    }
+    return all.empty() ? base : base + '{' + all + '}';
+}
+
+} // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard lock{mutex_};
+    auto& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>(counter_shards_);
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard lock{mutex_};
+    auto& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard lock{mutex_};
+    auto& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const
+{
+    std::lock_guard lock{mutex_};
+    MetricsSnapshot snap;
+    for (const auto& [name, counter] : counters_)
+        snap.counters[name] = counter->value();
+    for (const auto& [name, gauge] : gauges_)
+        snap.gauges[name] = gauge->value();
+    for (const auto& [name, histogram] : histograms_)
+        snap.histograms[name] = histogram->snapshot();
+    return snap;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot)
+{
+    std::string out;
+    std::string last_type_comment;
+    const auto type_line = [&](const std::string& base, const char* type) {
+        if (base == last_type_comment)
+            return;
+        last_type_comment = base;
+        out += "# TYPE " + base + ' ' + type + '\n';
+    };
+
+    for (const auto& [name, value] : snapshot.counters) {
+        const auto [base, labels] = split_labels(name);
+        type_line(base, "counter");
+        out += with_labels(base, labels) + ' ' + std::to_string(value) + '\n';
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        const auto [base, labels] = split_labels(name);
+        type_line(base, "gauge");
+        out += with_labels(base, labels) + ' ' + json_number(value) + '\n';
+    }
+    for (const auto& [name, histogram] : snapshot.histograms) {
+        const auto [base, labels] = split_labels(name);
+        type_line(base, "summary");
+        for (const auto& [q, v] : {std::pair{"0.5", histogram.p50_us()},
+                                   std::pair{"0.95", histogram.p95_us()},
+                                   std::pair{"0.99", histogram.p99_us()}})
+            out += with_labels(base, labels, std::string{"quantile=\""} + q + '"') + ' '
+                + json_number(v) + '\n';
+        out += with_labels(base + "_sum", labels) + ' '
+            + json_number(static_cast<double>(histogram.sum_ns()) / 1e3) + '\n';
+        out += with_labels(base + "_count", labels) + ' ' + std::to_string(histogram.count())
+            + '\n';
+    }
+    return out;
+}
+
+void append_metrics_json(JsonWriter& writer, const MetricsSnapshot& snapshot)
+{
+    writer.begin_object();
+    writer.key("counters").begin_object();
+    for (const auto& [name, value] : snapshot.counters)
+        writer.key(name).value(value);
+    writer.end_object();
+    writer.key("gauges").begin_object();
+    for (const auto& [name, value] : snapshot.gauges)
+        writer.key(name).value(value);
+    writer.end_object();
+    writer.key("histograms").begin_object();
+    for (const auto& [name, histogram] : snapshot.histograms) {
+        writer.key(name).begin_object();
+        writer.key("count").value(histogram.count());
+        writer.key("mean_us").value(histogram.mean_us());
+        writer.key("p50_us").value(histogram.p50_us());
+        writer.key("p95_us").value(histogram.p95_us());
+        writer.key("p99_us").value(histogram.p99_us());
+        writer.key("max_us").value(histogram.max_us());
+        writer.end_object();
+    }
+    writer.end_object();
+    writer.end_object();
+}
+
+std::string render_json(const MetricsSnapshot& snapshot)
+{
+    JsonWriter writer;
+    append_metrics_json(writer, snapshot);
+    return writer.str();
+}
+
+} // namespace amp::obs

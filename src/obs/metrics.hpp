@@ -1,0 +1,128 @@
+#pragma once
+// Lock-free runtime metrics: sharded counters, gauges and latency
+// histograms behind a named registry, with Prometheus-text and JSON
+// exposition. docs/OBSERVABILITY.md lists the metric names the runtime and
+// simulator emit.
+//
+// Hot-path contract: Counter::add / Gauge::set / Histogram::record are
+// wait-free relaxed atomics. A counter is an array of cache-line-padded
+// slots; each worker increments its own slot (index = worker id), so
+// concurrent workers never contend on a line. Registration (counter() /
+// gauge() / histogram()) takes a mutex and must happen before the hot path
+// -- resolve handles once, then record through them.
+
+#include "obs/histogram.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace amp::obs {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Monotone counter sharded over cache-line-padded slots.
+class Counter {
+public:
+    explicit Counter(std::size_t shards)
+        : slots_(shards > 0 ? shards : 1)
+    {
+    }
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    /// `shard` is typically the caller's worker index; wrapped into range.
+    void add(std::size_t shard, std::uint64_t n = 1) noexcept
+    {
+        slots_[shard % slots_.size()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+    void inc(std::size_t shard) noexcept { add(shard, 1); }
+
+    [[nodiscard]] std::uint64_t value() const noexcept
+    {
+        std::uint64_t total = 0;
+        for (const Slot& slot : slots_)
+            total += slot.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    [[nodiscard]] std::size_t shards() const noexcept { return slots_.size(); }
+
+private:
+    struct alignas(kCacheLine) Slot {
+        std::atomic<std::uint64_t> value{0};
+    };
+    static_assert(sizeof(Slot) == kCacheLine, "one slot per cache line");
+
+    std::vector<Slot> slots_;
+};
+
+/// Last-write-wins scalar (double), relaxed atomics.
+class Gauge {
+public:
+    Gauge() = default;
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time aggregate of a registry, safe to render or ship anywhere.
+struct MetricsSnapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named metric instruments with stable addresses: references returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime.
+/// Metric names may embed Prometheus labels, e.g.
+/// `amp_stage_latency_us{stage="0"}` -- the renderers understand the form.
+class MetricsRegistry {
+public:
+    /// `counter_shards` sizes every counter's slot array; use at least the
+    /// number of concurrent writers (pipeline workers).
+    explicit MetricsRegistry(std::size_t counter_shards = 64)
+        : counter_shards_(counter_shards > 0 ? counter_shards : 1)
+    {
+    }
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    [[nodiscard]] Counter& counter(const std::string& name);
+    [[nodiscard]] Gauge& gauge(const std::string& name);
+    [[nodiscard]] Histogram& histogram(const std::string& name);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    [[nodiscard]] std::size_t counter_shards() const noexcept { return counter_shards_; }
+
+private:
+    mutable std::mutex mutex_;
+    std::size_t counter_shards_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Prometheus text exposition (counters, gauges, histograms as summaries
+/// with p50/p95/p99 quantiles plus _sum/_count in microseconds).
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{...}}.
+[[nodiscard]] std::string render_json(const MetricsSnapshot& snapshot);
+
+/// Appends the render_json object (sans braces handling -- a full object
+/// value) to an existing writer; shared with the bench JSON reports.
+class JsonWriter;
+void append_metrics_json(JsonWriter& writer, const MetricsSnapshot& snapshot);
+
+} // namespace amp::obs

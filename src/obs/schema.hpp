@@ -1,0 +1,61 @@
+#pragma once
+// Telemetry naming contract shared by the real runtime (rt::Pipeline) and
+// the discrete-event simulator (dsim::simulate*): both emit trace events
+// and metrics built from these helpers, so a simulated run and a real run
+// of the same chain/schedule are diffable event-by-event (same names,
+// stage/task ids and phases; only timestamps differ).
+// docs/OBSERVABILITY.md is the human-readable version of this contract.
+
+#include <string>
+
+namespace amp::obs::schema {
+
+// -- trace event names -----------------------------------------------------
+
+/// Span covering one frame through one stage's task interval [first, last].
+[[nodiscard]] inline std::string stage_span(int stage, int first_task, int last_task)
+{
+    return "stage" + std::to_string(stage) + "[t" + std::to_string(first_task) + "-t"
+        + std::to_string(last_task) + "]";
+}
+
+inline constexpr const char* kRetry = "retry";            ///< transient fault absorbed
+inline constexpr const char* kTombstone = "tombstone";    ///< frame dropped, stream kept contiguous
+inline constexpr const char* kFence = "fence";            ///< watchdog declared a worker lost
+inline constexpr const char* kEndOfStream = "end_of_stream";
+
+// -- track (thread) names --------------------------------------------------
+
+/// Worker `worker` (global stage-major index) serving `stage`.
+[[nodiscard]] inline std::string worker_track(int worker, int stage)
+{
+    return "worker " + std::to_string(worker) + " (stage " + std::to_string(stage) + ")";
+}
+
+inline constexpr const char* kWatchdogTrack = "watchdog";
+
+// -- metric names ----------------------------------------------------------
+
+inline constexpr const char* kFramesDelivered = "amp_frames_delivered_total";
+inline constexpr const char* kFramesDropped = "amp_frames_dropped_total";
+inline constexpr const char* kRetries = "amp_task_retries_total";
+inline constexpr const char* kHeartbeats = "amp_worker_heartbeats_total";
+inline constexpr const char* kWorkersFenced = "amp_workers_fenced_total";
+inline constexpr const char* kRunElapsedSeconds = "amp_run_elapsed_seconds";
+inline constexpr const char* kRunFps = "amp_run_fps";
+
+/// Per-stage per-frame task-interval latency (histogram, us).
+[[nodiscard]] inline std::string stage_latency(int stage)
+{
+    return "amp_stage_latency_us{stage=\"" + std::to_string(stage) + "\"}";
+}
+
+/// Per-stage input wait (histogram, us). In rt this is the time a worker
+/// waited to pop its next frame; in dsim the time a frame queued for a free
+/// server -- duals of the same contention signal.
+[[nodiscard]] inline std::string queue_wait(int stage)
+{
+    return "amp_queue_wait_us{stage=\"" + std::to_string(stage) + "\"}";
+}
+
+} // namespace amp::obs::schema

@@ -1,0 +1,62 @@
+#pragma once
+// The injection point for runtime telemetry: one Sink bundles a
+// MetricsRegistry and a TraceRecorder behind enable flags. rt::Pipeline,
+// dsim::simulate* and the benches take a `Sink*`; nullptr (or a Sink
+// constructed with SinkConfig::null()) is the null sink -- instrumented
+// code resolves to a single pointer test on the hot path, verified free by
+// the ablation_obs_overhead bench.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <string>
+
+namespace amp::obs {
+
+struct SinkConfig {
+    bool metrics = true;
+    bool trace = true;
+    std::size_t trace_capacity = 1u << 15; ///< events retained per track
+    std::size_t counter_shards = 64;       ///< >= concurrent writers
+
+    /// A sink that records nothing (both subsystems off).
+    [[nodiscard]] static SinkConfig null() { return SinkConfig{false, false, 1, 1}; }
+};
+
+class Sink {
+public:
+    explicit Sink(SinkConfig config = {})
+        : config_(config)
+        , metrics_(config.counter_shards)
+        , trace_(config.trace_capacity)
+    {
+    }
+
+    [[nodiscard]] bool metrics_enabled() const noexcept { return config_.metrics; }
+    [[nodiscard]] bool trace_enabled() const noexcept { return config_.trace; }
+    [[nodiscard]] bool enabled() const noexcept { return config_.metrics || config_.trace; }
+
+    [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+    [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+    [[nodiscard]] const SinkConfig& config() const noexcept { return config_; }
+
+    [[nodiscard]] std::string render_prometheus() const
+    {
+        return obs::render_prometheus(metrics_.snapshot());
+    }
+    [[nodiscard]] std::string render_json() const { return obs::render_json(metrics_.snapshot()); }
+    [[nodiscard]] std::string chrome_trace_json() const { return trace_.chrome_trace_json(); }
+    bool write_chrome_trace(const std::string& path) const
+    {
+        return trace_.write_chrome_trace(path);
+    }
+
+private:
+    SinkConfig config_;
+    MetricsRegistry metrics_;
+    TraceRecorder trace_;
+};
+
+} // namespace amp::obs

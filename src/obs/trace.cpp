@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace amp::obs {
+
+std::uint32_t TraceRecorder::intern(const std::string& name)
+{
+    std::lock_guard lock{mutex_};
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return static_cast<std::uint32_t>(i);
+    names_.push_back(name);
+    return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+std::size_t TraceRecorder::add_track(const std::string& name)
+{
+    std::lock_guard lock{mutex_};
+    tracks_.push_back(std::make_unique<TraceRing>(capacity_));
+    track_names_.push_back(name);
+    return tracks_.size() - 1;
+}
+
+std::size_t TraceRecorder::track_count() const
+{
+    std::lock_guard lock{mutex_};
+    return tracks_.size();
+}
+
+std::uint64_t TraceRecorder::total_events() const
+{
+    std::lock_guard lock{mutex_};
+    std::uint64_t total = 0;
+    for (const auto& track : tracks_)
+        total += track->size();
+    return total;
+}
+
+std::uint64_t TraceRecorder::total_dropped() const
+{
+    std::lock_guard lock{mutex_};
+    std::uint64_t total = 0;
+    for (const auto& track : tracks_)
+        total += track->dropped();
+    return total;
+}
+
+std::string TraceRecorder::chrome_trace_json() const
+{
+    std::lock_guard lock{mutex_};
+    JsonWriter w;
+    w.begin_object();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").begin_array();
+
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("process_name");
+    w.key("pid").value(0);
+    w.key("args").begin_object().key("name").value("amp").end_object();
+    w.end_object();
+
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        w.begin_object();
+        w.key("ph").value("M");
+        w.key("name").value("thread_name");
+        w.key("pid").value(0);
+        w.key("tid").value(static_cast<std::uint64_t>(t));
+        w.key("args").begin_object().key("name").value(track_names_[t]).end_object();
+        w.end_object();
+    }
+
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        for (const TraceEvent& e : tracks_[t]->events()) {
+            w.begin_object();
+            w.key("name").value(names_[e.name_id]);
+            const char phase[2] = {static_cast<char>(e.phase), '\0'};
+            w.key("ph").value(phase);
+            w.key("pid").value(0);
+            w.key("tid").value(static_cast<std::uint64_t>(t));
+            w.key("ts").value(e.ts_us);
+            if (e.phase == Phase::complete)
+                w.key("dur").value(e.dur_us);
+            if (e.phase == Phase::instant)
+                w.key("s").value("t"); // thread-scoped instant
+            w.key("args").begin_object();
+            if (e.frame != TraceEvent::kNoFrame)
+                w.key("frame").value(static_cast<std::uint64_t>(e.frame));
+            if (e.stage >= 0)
+                w.key("stage").value(static_cast<std::int64_t>(e.stage));
+            if (e.task >= 0)
+                w.key("task").value(static_cast<std::int64_t>(e.task));
+            w.end_object();
+            w.end_object();
+        }
+    }
+
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const
+{
+    const std::string json = chrome_trace_json();
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        return false;
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+    const bool ok = std::fclose(file) == 0 && written == json.size();
+    return ok;
+}
+
+} // namespace amp::obs

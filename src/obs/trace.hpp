@@ -1,0 +1,147 @@
+#pragma once
+// Bounded per-worker event recording with a Chrome-trace exporter.
+//
+// Each worker owns one TraceRing (single producer, fixed capacity, oldest
+// events overwritten) so recording never blocks, allocates or contends.
+// The TraceRecorder maps worker ids to rings ("tracks"), interns event
+// names once at setup, and renders everything as Chrome trace-event JSON
+// that loads directly in chrome://tracing or Perfetto, one track per
+// worker.
+//
+// Threading contract: intern() and add_track() are mutex-protected but
+// must all happen-before any concurrent emit (the pipeline sets tracks up
+// before spawning workers); emit() on distinct tracks is unsynchronized
+// and safe; reading (events(), chrome_trace_json()) requires the producers
+// to have quiesced (workers joined).
+
+#include "obs/json.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace amp::obs {
+
+enum class Phase : char {
+    begin = 'B',
+    end = 'E',
+    complete = 'X',  ///< span with explicit duration
+    instant = 'i',
+};
+
+struct TraceEvent {
+    std::uint32_t name_id = 0; ///< interned via TraceRecorder::intern
+    Phase phase = Phase::instant;
+    double ts_us = 0.0;  ///< relative to the run's start (rt) or virtual time (dsim)
+    double dur_us = 0.0; ///< complete events only
+    std::uint64_t frame = kNoFrame;
+    std::int32_t stage = -1;
+    std::int32_t task = -1;
+
+    static constexpr std::uint64_t kNoFrame = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Fixed-capacity overwrite-oldest event buffer; one producer.
+class TraceRing {
+public:
+    explicit TraceRing(std::size_t capacity)
+        : slots_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    void push(const TraceEvent& event) noexcept
+    {
+        slots_[static_cast<std::size_t>(pushed_ % slots_.size())] = event;
+        ++pushed_;
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+    [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
+    [[nodiscard]] std::size_t size() const noexcept
+    {
+        return static_cast<std::size_t>(std::min<std::uint64_t>(pushed_, slots_.size()));
+    }
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return pushed_ - size(); }
+
+    /// Retained events, oldest first.
+    [[nodiscard]] std::vector<TraceEvent> events() const
+    {
+        std::vector<TraceEvent> out;
+        const std::size_t n = size();
+        out.reserve(n);
+        const std::uint64_t first = pushed_ - n;
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(slots_[static_cast<std::size_t>((first + i) % slots_.size())]);
+        return out;
+    }
+
+private:
+    std::vector<TraceEvent> slots_;
+    std::uint64_t pushed_ = 0;
+};
+
+class TraceRecorder {
+public:
+    explicit TraceRecorder(std::size_t capacity_per_track = 1u << 15)
+        : capacity_(capacity_per_track)
+    {
+    }
+
+    /// Returns a stable id for `name`, reusing the id of an equal name.
+    [[nodiscard]] std::uint32_t intern(const std::string& name);
+
+    /// Appends a track (ring) named `name`; returns its id. Track ids are
+    /// dense and stable, so callers record a base and offset worker ids.
+    std::size_t add_track(const std::string& name);
+
+    [[nodiscard]] std::size_t track_count() const;
+
+    void emit(std::size_t track, const TraceEvent& event) noexcept
+    {
+        tracks_[track]->push(event);
+    }
+    void emit_complete(std::size_t track, std::uint32_t name_id, double ts_us, double dur_us,
+                       std::uint64_t frame, std::int32_t stage, std::int32_t task = -1) noexcept
+    {
+        emit(track, TraceEvent{name_id, Phase::complete, ts_us, dur_us, frame, stage, task});
+    }
+    void emit_instant(std::size_t track, std::uint32_t name_id, double ts_us,
+                      std::uint64_t frame, std::int32_t stage) noexcept
+    {
+        emit(track, TraceEvent{name_id, Phase::instant, ts_us, 0.0, frame, stage, -1});
+    }
+
+    [[nodiscard]] const std::string& name(std::uint32_t name_id) const
+    {
+        return names_[name_id];
+    }
+    [[nodiscard]] const std::string& track_name(std::size_t track) const
+    {
+        return track_names_[track];
+    }
+    [[nodiscard]] std::vector<TraceEvent> events(std::size_t track) const
+    {
+        return tracks_[track]->events();
+    }
+    [[nodiscard]] std::uint64_t total_events() const;
+    [[nodiscard]] std::uint64_t total_dropped() const;
+
+    /// Chrome trace-event JSON ({"traceEvents": [...]}) with thread_name
+    /// metadata per track. Producers must have quiesced.
+    [[nodiscard]] std::string chrome_trace_json() const;
+
+    /// Writes chrome_trace_json() to `path`; false on I/O failure.
+    bool write_chrome_trace(const std::string& path) const;
+
+private:
+    mutable std::mutex mutex_; ///< guards the name/track tables during setup
+    std::size_t capacity_;
+    std::vector<std::string> names_;
+    std::vector<std::unique_ptr<TraceRing>> tracks_;
+    std::vector<std::string> track_names_;
+};
+
+} // namespace amp::obs

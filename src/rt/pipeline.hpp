@@ -25,6 +25,8 @@
 
 #include "core/chain.hpp"
 #include "core/solution.hpp"
+#include "obs/schema.hpp"
+#include "obs/sink.hpp"
 #include "rt/core_emulator.hpp"
 #include "rt/fault.hpp"
 #include "rt/ordered_queue.hpp"
@@ -85,6 +87,11 @@ struct PipelineConfig {
     /// workers get fenced.
     std::chrono::milliseconds heartbeat_timeout{0};
     std::chrono::milliseconds watchdog_poll{2};
+
+    /// Optional telemetry sink (docs/OBSERVABILITY.md): workers record task
+    /// spans, queue waits, heartbeats, retries and tombstones into it.
+    /// nullptr (or a disabled sink) costs one branch per event.
+    obs::Sink* sink = nullptr;
 };
 
 /// One fenced (permanently lost) worker.
@@ -173,6 +180,41 @@ public:
         for (std::size_t s = 0; s < k; ++s)
             st.live_in_stage[s].store(stages[s].cores);
 
+        // Resolve telemetry handles up front; workers then record through
+        // raw pointers (no locks, no lookups) or skip on one branch.
+        obs::Sink* const sink =
+            config_.sink != nullptr && config_.sink->enabled() ? config_.sink : nullptr;
+        ObsHooks& ob = st.obs;
+        if (sink != nullptr) {
+            ob.active = true;
+            if (sink->metrics_enabled()) {
+                obs::MetricsRegistry& m = sink->metrics();
+                ob.metrics = &m;
+                ob.frames_delivered = &m.counter(obs::schema::kFramesDelivered);
+                ob.frames_dropped = &m.counter(obs::schema::kFramesDropped);
+                ob.retries = &m.counter(obs::schema::kRetries);
+                ob.heartbeats = &m.counter(obs::schema::kHeartbeats);
+                ob.fenced = &m.counter(obs::schema::kWorkersFenced);
+                for (std::size_t s = 0; s < k; ++s) {
+                    const int stage_index = static_cast<int>(s);
+                    ob.stage_latency.push_back(
+                        &m.histogram(obs::schema::stage_latency(stage_index)));
+                    ob.queue_wait.push_back(&m.histogram(obs::schema::queue_wait(stage_index)));
+                }
+            }
+            if (sink->trace_enabled()) {
+                obs::TraceRecorder& tr = sink->trace();
+                ob.trace = &tr;
+                ob.track_base = tr.track_count();
+                for (std::size_t s = 0; s < k; ++s)
+                    ob.span_names.push_back(tr.intern(obs::schema::stage_span(
+                        static_cast<int>(s), stages[s].first, stages[s].last)));
+                ob.retry_name = tr.intern(obs::schema::kRetry);
+                ob.tombstone_name = tr.intern(obs::schema::kTombstone);
+                ob.fence_name = tr.intern(obs::schema::kFence);
+            }
+        }
+
         // Per-worker task instances: worker 0 of each stage borrows the
         // originals; extra (replica) workers own clones.
         std::vector<std::vector<std::unique_ptr<Task<T>>>> clone_storage;
@@ -184,6 +226,9 @@ public:
                 record->index = static_cast<int>(st.workers.size());
                 record->stage = static_cast<int>(s);
                 record->last_beat_ns.store(now_ns());
+                if (ob.trace != nullptr)
+                    ob.trace->add_track(
+                        obs::schema::worker_track(record->index, record->stage));
                 st.workers.push_back(std::move(record));
                 if (w == 0) {
                     worker_tasks.push_back(sequence_.stage_view(stage.first, stage.last));
@@ -196,6 +241,9 @@ public:
                 }
             }
         }
+
+        if (ob.trace != nullptr)
+            ob.watchdog_track = ob.trace->add_track(obs::schema::kWatchdogTrack);
 
         std::vector<std::thread> threads;
         threads.reserve(st.workers.size());
@@ -283,6 +331,14 @@ public:
             result.losses = st.losses;
             result.failure_seconds = st.failure_seconds;
         }
+        if (ob.metrics != nullptr) {
+            // Workers have quiesced: bulk-add the drain totals and stamp the
+            // run gauges.
+            ob.frames_delivered->add(0, delivered);
+            ob.frames_dropped->add(0, dropped);
+            ob.metrics->gauge(obs::schema::kRunElapsedSeconds).set(result.elapsed_seconds);
+            ob.metrics->gauge(obs::schema::kRunFps).set(result.fps());
+        }
         return result;
     }
 
@@ -301,8 +357,31 @@ private:
         int stage = 0;
     };
 
+    /// Telemetry handles resolved once per run so the hot path never takes
+    /// the registry mutex or interns names. All pointers null when the run
+    /// has no (enabled) sink.
+    struct ObsHooks {
+        obs::MetricsRegistry* metrics = nullptr;
+        obs::TraceRecorder* trace = nullptr;
+        std::size_t track_base = 0;     ///< worker w records on track_base + w
+        std::size_t watchdog_track = 0; ///< fence/tombstone instants
+        std::vector<obs::Histogram*> stage_latency; ///< per stage, us
+        std::vector<obs::Histogram*> queue_wait;    ///< per stage, us
+        obs::Counter* frames_delivered = nullptr;
+        obs::Counter* frames_dropped = nullptr;
+        obs::Counter* retries = nullptr;
+        obs::Counter* heartbeats = nullptr;
+        obs::Counter* fenced = nullptr;
+        std::vector<std::uint32_t> span_names; ///< per stage, interned
+        std::uint32_t retry_name = 0;
+        std::uint32_t tombstone_name = 0;
+        std::uint32_t fence_name = 0;
+        bool active = false;
+    };
+
     struct RunState {
         std::vector<std::unique_ptr<OrderedQueue<T>>> queues;
+        ObsHooks obs;
         std::vector<std::unique_ptr<WorkerRecord>> workers;
         std::vector<std::atomic<int>> live_in_stage;
         std::atomic<std::uint64_t> next_frame{0};
@@ -332,7 +411,46 @@ private:
             .count();
     }
 
-    static void beat(WorkerRecord& me) { me.last_beat_ns.store(now_ns()); }
+    static void beat(RunState& st, WorkerRecord& me)
+    {
+        me.last_beat_ns.store(now_ns());
+        if (st.obs.heartbeats != nullptr)
+            st.obs.heartbeats->inc(static_cast<std::size_t>(me.index));
+    }
+
+    [[nodiscard]] static double us_since(const RunState& st,
+                                         std::chrono::steady_clock::time_point t)
+    {
+        return std::chrono::duration<double, std::micro>(t - st.start).count();
+    }
+
+    static void obs_record_span(RunState& st, const WorkerRecord& me,
+                                std::chrono::steady_clock::time_point t0,
+                                std::chrono::steady_clock::time_point t1, std::uint64_t seq)
+    {
+        ObsHooks& ob = st.obs;
+        const auto s = static_cast<std::size_t>(me.stage);
+        if (!ob.stage_latency.empty())
+            ob.stage_latency[s]->record_duration(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0));
+        if (ob.trace != nullptr)
+            ob.trace->emit_complete(ob.track_base + static_cast<std::size_t>(me.index),
+                                    ob.span_names[s], us_since(st, t0),
+                                    std::chrono::duration<double, std::micro>(t1 - t0).count(),
+                                    seq, me.stage);
+    }
+
+    static void obs_record_retry(RunState& st, const WorkerRecord& me, std::uint64_t seq)
+    {
+        ObsHooks& ob = st.obs;
+        if (ob.retries != nullptr)
+            ob.retries->inc(static_cast<std::size_t>(me.index));
+        if (ob.trace != nullptr)
+            ob.trace->emit_instant(ob.track_base + static_cast<std::size_t>(me.index),
+                                   ob.retry_name,
+                                   us_since(st, std::chrono::steady_clock::now()), seq,
+                                   me.stage);
+    }
 
     void validate() const
     {
@@ -421,14 +539,16 @@ private:
                 if (attempt >= config_.max_task_retries)
                     throw;
                 st.retries.fetch_add(1);
+                if (st.obs.active)
+                    obs_record_retry(st, me, envelope.seq);
                 if constexpr (restorable)
                     envelope.payload = backup;
                 const auto backoff = std::chrono::microseconds{static_cast<std::int64_t>(
                     static_cast<double>(config_.retry_backoff.count())
                     * std::pow(config_.retry_backoff_factor, attempt))};
-                beat(me);
+                beat(st, me);
                 std::this_thread::sleep_for(backoff);
-                beat(me);
+                beat(st, me);
             }
         }
     }
@@ -445,7 +565,7 @@ private:
                 return true;
             if (outcome == OrderedQueue<T>::PushOutcome::rejected)
                 return false;
-            beat(me);
+            beat(st, me);
         }
     }
 
@@ -453,7 +573,7 @@ private:
                      const std::vector<Task<T>*>& tasks, OrderedQueue<T>& out)
     {
         for (;;) {
-            beat(me);
+            beat(st, me);
             if (me.fenced.load())
                 return; // watchdog already did the bookkeeping
             if (st.stop_source.load())
@@ -475,8 +595,13 @@ private:
             Envelope<T> envelope = Envelope<T>::data(seq, T{});
             if constexpr (requires(T& p) { p.seq = seq; })
                 envelope.payload.seq = seq; // payloads may carry their identity
+            std::chrono::steady_clock::time_point span_begin{};
+            if (st.obs.active)
+                span_begin = std::chrono::steady_clock::now();
             process_frame(st, me, stage, tasks, envelope);
-            beat(me);
+            if (st.obs.active)
+                obs_record_span(st, me, span_begin, std::chrono::steady_clock::now(), seq);
+            beat(st, me);
             if (me.holding.exchange(kNoFrame) == kNoFrame)
                 return; // watchdog presumed us dead and tombstoned the frame
             if (!push_with_beat(st, me, out, std::move(envelope)))
@@ -496,13 +621,28 @@ private:
                     const std::vector<Task<T>*>& tasks, OrderedQueue<T>& in,
                     OrderedQueue<T>& out)
     {
+        // Input-wait accounting spans timed-out pops: the clock starts when
+        // the worker first goes hungry and stops at the successful pop.
+        std::chrono::steady_clock::time_point wait_from{};
+        bool waiting = false;
         for (;;) {
-            beat(me);
+            beat(st, me);
             if (me.fenced.load())
                 return;
+            if (st.obs.active && !waiting) {
+                wait_from = std::chrono::steady_clock::now();
+                waiting = true;
+            }
             auto popped = in.try_pop_for(st.beat_interval);
             if (popped.timed_out())
                 continue;
+            if (st.obs.active) {
+                waiting = false;
+                if (!st.obs.queue_wait.empty())
+                    st.obs.queue_wait[static_cast<std::size_t>(me.stage)]->record_duration(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - wait_from));
+            }
             if (popped.done)
                 break; // aborted, or a sibling forwarded the end marker
             Envelope<T> envelope = std::move(*popped.envelope);
@@ -523,8 +663,14 @@ private:
                 if (stall.count() > 0)
                     std::this_thread::sleep_for(stall);
             }
+            std::chrono::steady_clock::time_point span_begin{};
+            if (st.obs.active)
+                span_begin = std::chrono::steady_clock::now();
             process_frame(st, me, stage, tasks, envelope);
-            beat(me);
+            if (st.obs.active)
+                obs_record_span(st, me, span_begin, std::chrono::steady_clock::now(),
+                                envelope.seq);
+            beat(st, me);
             if (me.holding.exchange(kNoFrame) == kNoFrame)
                 return; // watchdog presumed us dead and tombstoned the frame
             if (!push_with_beat(st, me, out, std::move(envelope)))
@@ -567,6 +713,22 @@ private:
                     std::chrono::duration<double>(std::chrono::steady_clock::now() - st.start)
                         .count();
             st.losses.push_back(WorkerLoss{me.index, me.stage, stage.type, held});
+        }
+        {
+            // Trace instants go on the watchdog's own track: the fenced
+            // worker may still be alive and writing to its ring.
+            ObsHooks& ob = st.obs;
+            if (ob.fenced != nullptr)
+                ob.fenced->inc(static_cast<std::size_t>(me.index));
+            if (ob.trace != nullptr) {
+                const double now_us = us_since(st, std::chrono::steady_clock::now());
+                ob.trace->emit_instant(ob.watchdog_track, ob.fence_name, now_us,
+                                       held == kNoFrame ? obs::TraceEvent::kNoFrame : held,
+                                       me.stage);
+                if (held != kNoFrame)
+                    ob.trace->emit_instant(ob.watchdog_track, ob.tombstone_name, now_us, held,
+                                           me.stage);
+            }
         }
         if (held != kNoFrame)
             watchdog_push(st, *st.queues[static_cast<std::size_t>(me.stage)],

@@ -76,22 +76,28 @@ core::Solution Rescheduler::on_core_loss(core::CoreType type, int count)
     return recompute();
 }
 
-std::optional<core::Solution> Rescheduler::report_profile(const std::vector<double>& big_us,
-                                                          const std::vector<double>& little_us)
+std::optional<core::Solution>
+Rescheduler::report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
+                                      const std::vector<obs::HistogramSnapshot>& little_us)
 {
     const auto n = static_cast<std::size_t>(chain_.size());
     if (big_us.size() != n || little_us.size() != n)
-        throw std::invalid_argument{"report_profile: weight vectors must match chain size"};
+        throw std::invalid_argument{
+            "report_latency_snapshots: snapshot vectors must match chain size"};
 
+    // Drift signal: p95 of the observed latency distribution against the
+    // weight the schedule was computed for. Tasks without samples on a core
+    // type contribute no drift and keep their scheduled weight.
     double max_drift = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         const int task = static_cast<int>(i) + 1;
         const double ref_big = chain_.weight(task, core::CoreType::big);
         const double ref_little = chain_.weight(task, core::CoreType::little);
-        if (ref_big > 0.0)
-            max_drift = std::max(max_drift, std::abs(big_us[i] - ref_big) / ref_big);
-        if (ref_little > 0.0)
-            max_drift = std::max(max_drift, std::abs(little_us[i] - ref_little) / ref_little);
+        if (ref_big > 0.0 && !big_us[i].empty())
+            max_drift = std::max(max_drift, std::abs(big_us[i].p95_us() - ref_big) / ref_big);
+        if (ref_little > 0.0 && !little_us[i].empty())
+            max_drift =
+                std::max(max_drift, std::abs(little_us[i].p95_us() - ref_little) / ref_little);
     }
 
     if (max_drift <= policy_.drift_threshold) {
@@ -99,8 +105,16 @@ std::optional<core::Solution> Rescheduler::report_profile(const std::vector<doub
         return std::nullopt;
     }
     ++drift_streak_;
-    drifted_big_ = big_us;
-    drifted_little_ = little_us;
+    drifted_big_.assign(n, 0.0);
+    drifted_little_.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int task = static_cast<int>(i) + 1;
+        drifted_big_[i] = big_us[i].empty() ? chain_.weight(task, core::CoreType::big)
+                                            : big_us[i].mean_us();
+        drifted_little_[i] = little_us[i].empty()
+            ? chain_.weight(task, core::CoreType::little)
+            : little_us[i].mean_us();
+    }
     if (drift_streak_ < policy_.drift_patience)
         return std::nullopt;
 
@@ -116,6 +130,26 @@ std::optional<core::Solution> Rescheduler::report_profile(const std::vector<doub
     chain_ = core::TaskChain{std::move(descs)};
     drift_streak_ = 0;
     return recompute();
+}
+
+std::optional<core::Solution> Rescheduler::report_profile(const std::vector<double>& big_us,
+                                                          const std::vector<double>& little_us)
+{
+    const auto n = static_cast<std::size_t>(chain_.size());
+    if (big_us.size() != n || little_us.size() != n)
+        throw std::invalid_argument{"report_profile: weight vectors must match chain size"};
+
+    std::vector<obs::HistogramSnapshot> big(n);
+    std::vector<obs::HistogramSnapshot> little(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        obs::Histogram h_big;
+        h_big.record_us(big_us[i]);
+        big[i] = h_big.snapshot();
+        obs::Histogram h_little;
+        h_little.record_us(little_us[i]);
+        little[i] = h_little.snapshot();
+    }
+    return report_latency_snapshots(big, little);
 }
 
 } // namespace amp::rt

@@ -13,6 +13,7 @@
 // frames dropped. See docs/FAULT_MODEL.md for the full fault model.
 
 #include "core/scheduler.hpp"
+#include "obs/histogram.hpp"
 #include "rt/pipeline.hpp"
 
 #include <chrono>
@@ -33,8 +34,8 @@ public:
 struct ReschedulePolicy {
     core::Strategy primary = core::Strategy::herad;
     core::Strategy fallback = core::Strategy::fertac;
-    /// Relative per-task weight drift (max over tasks) that counts a
-    /// profiler report as drifted.
+    /// Relative p95 drift vs. the scheduled weight (max over tasks) that
+    /// counts a latency report as drifted.
     double drift_threshold = 0.25;
     /// Consecutive drifted reports before the chain is re-profiled and the
     /// schedule recomputed (debounces transient load spikes).
@@ -62,10 +63,22 @@ public:
     /// remaining resources cannot run the chain.
     core::Solution on_core_loss(core::CoreType type, int count = 1);
 
-    /// Feeds one profiler report (average per-task latencies in us, 1-based
-    /// order, both core types). Returns the recomputed solution once drift
-    /// beyond policy.drift_threshold has persisted for policy.drift_patience
-    /// consecutive reports; nullopt otherwise.
+    /// Feeds one observation window of per-task latency histograms (1-based
+    /// task order, one snapshot per core type; leave a snapshot empty when
+    /// the task did not run on that core type). A task counts as drifted
+    /// when its p95 departs from the scheduled weight by more than
+    /// policy.drift_threshold (relative). After policy.drift_patience
+    /// consecutive drifted windows, the chain is rebuilt around the
+    /// observed mean latencies and the schedule recomputed; returns the new
+    /// solution then, nullopt otherwise.
+    std::optional<core::Solution>
+    report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
+                             const std::vector<obs::HistogramSnapshot>& little_us);
+
+    /// Feeds one offline profiler report (average per-task latencies in us,
+    /// 1-based order, both core types). Thin wrapper: each average becomes a
+    /// single-sample histogram snapshot and flows through the same
+    /// report_latency_snapshots drift detector as live telemetry.
     std::optional<core::Solution> report_profile(const std::vector<double>& big_us,
                                                  const std::vector<double>& little_us);
 

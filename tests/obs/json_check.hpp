@@ -1,0 +1,181 @@
+#pragma once
+// Minimal recursive-descent JSON well-formedness checker for the obs tests.
+// The repo only ever EMITS JSON (obs/json.hpp), so the tests need an
+// independent reader to prove the emitted documents parse: this one accepts
+// exactly RFC 8259 structure (objects, arrays, strings with escapes,
+// numbers, true/false/null) and nothing else.
+
+#include <cctype>
+#include <string_view>
+
+namespace amp::test {
+
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string_view text)
+        : text_(text)
+    {
+    }
+
+    /// True when the whole input is exactly one valid JSON value.
+    [[nodiscard]] bool valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const { return text_[pos_]; }
+
+    void skip_ws()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (eof() || peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool value()
+    {
+        skip_ws();
+        if (eof())
+            return false;
+        switch (peek()) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool object()
+    {
+        if (!consume('{'))
+            return false;
+        skip_ws();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skip_ws();
+            if (!string())
+                return false;
+            skip_ws();
+            if (!consume(':') || !value())
+                return false;
+            skip_ws();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool array()
+    {
+        if (!consume('['))
+            return false;
+        skip_ws();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            if (!value())
+                return false;
+            skip_ws();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool string()
+    {
+        if (!consume('"'))
+            return false;
+        while (!eof()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // control characters must be escaped
+            if (c == '\\') {
+                if (eof())
+                    return false;
+                const char esc = text_[pos_++];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i)
+                        if (eof() || std::isxdigit(static_cast<unsigned char>(text_[pos_++])) == 0)
+                            return false;
+                } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f'
+                           && esc != 'n' && esc != 'r' && esc != 't') {
+                    return false;
+                }
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool digits()
+    {
+        if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+            return false;
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+            ++pos_;
+        return true;
+    }
+
+    bool number()
+    {
+        consume('-');
+        if (eof())
+            return false;
+        if (peek() == '0')
+            ++pos_; // no leading zeros
+        else if (!digits())
+            return false;
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+[[nodiscard]] inline bool json_valid(std::string_view text)
+{
+    return JsonChecker{text}.valid();
+}
+
+} // namespace amp::test

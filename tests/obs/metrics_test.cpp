@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "json_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace amp::obs;
+
+TEST(Counter, ShardedSlotsAreCacheLinePadded)
+{
+    // One slot per cache line so concurrent workers never false-share.
+    Counter counter{4};
+    EXPECT_EQ(counter.shards(), 4u);
+    counter.add(0, 5);
+    counter.add(1, 7);
+    counter.add(4, 1); // wraps onto shard 0
+    EXPECT_EQ(counter.value(), 13u);
+}
+
+TEST(Counter, ConcurrentIncrementsLoseNothing)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 100000;
+    Counter counter{kThreads};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&counter, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                counter.inc(static_cast<std::size_t>(t));
+        });
+    for (auto& thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Gauge gauge;
+    gauge.set(1.5);
+    gauge.set(-2.25);
+    EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences)
+{
+    MetricsRegistry registry{8};
+    Counter& a = registry.counter("a_total");
+    Gauge& g = registry.gauge("g");
+    Histogram& h = registry.histogram("h_us");
+    // Registering more instruments must not move the earlier ones.
+    for (int i = 0; i < 100; ++i)
+        (void)registry.counter("c" + std::to_string(i));
+    EXPECT_EQ(&registry.counter("a_total"), &a);
+    EXPECT_EQ(&registry.gauge("g"), &g);
+    EXPECT_EQ(&registry.histogram("h_us"), &h);
+    EXPECT_EQ(a.shards(), 8u);
+}
+
+TEST(MetricsRegistry, SnapshotAggregates)
+{
+    MetricsRegistry registry;
+    registry.counter("frames_total").add(0, 42);
+    registry.gauge("fps").set(120.5);
+    registry.histogram("lat_us").record(1500);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counters.at("frames_total"), 42u);
+    EXPECT_DOUBLE_EQ(snapshot.gauges.at("fps"), 120.5);
+    EXPECT_EQ(snapshot.histograms.at("lat_us").count(), 1u);
+}
+
+TEST(Exposition, PrometheusContainsEverySeries)
+{
+    MetricsRegistry registry;
+    registry.counter("amp_frames_delivered_total").add(0, 7);
+    registry.gauge("amp_run_fps").set(100.0);
+    registry.histogram("amp_stage_latency_us{stage=\"0\"}").record_us(25.0);
+    registry.histogram("amp_stage_latency_us{stage=\"1\"}").record_us(50.0);
+    const std::string text = render_prometheus(registry.snapshot());
+
+    EXPECT_NE(text.find("# TYPE amp_frames_delivered_total counter"), std::string::npos);
+    EXPECT_NE(text.find("amp_frames_delivered_total 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE amp_run_fps gauge"), std::string::npos);
+    EXPECT_NE(text.find("amp_stage_latency_us{stage=\"0\",quantile=\"0.95\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("amp_stage_latency_us_count{stage=\"1\"} 1"), std::string::npos);
+    // The two labelled histograms share one family: a single TYPE line.
+    const auto first = text.find("# TYPE amp_stage_latency_us summary");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find("# TYPE amp_stage_latency_us summary", first + 1), std::string::npos);
+}
+
+TEST(Exposition, JsonIsWellFormed)
+{
+    MetricsRegistry registry;
+    registry.counter("a_total").add(0, 1);
+    registry.gauge("weird \"name\"\n").set(3.5);
+    registry.histogram("h_us{stage=\"2\"}").record(12345);
+    const std::string json = render_json(registry.snapshot());
+    EXPECT_TRUE(amp::test::json_valid(json)) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Sink, NullConfigDisablesEverything)
+{
+    Sink sink{SinkConfig::null()};
+    EXPECT_FALSE(sink.enabled());
+    EXPECT_FALSE(sink.metrics_enabled());
+    EXPECT_FALSE(sink.trace_enabled());
+    Sink recording;
+    EXPECT_TRUE(recording.enabled());
+}
+
+} // namespace

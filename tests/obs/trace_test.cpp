@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include "json_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace amp::obs;
+
+TEST(TraceRing, KeepsNewestEventsOnWraparound)
+{
+    TraceRing ring{8};
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        TraceEvent event;
+        event.frame = i;
+        ring.push(event);
+    }
+    EXPECT_EQ(ring.capacity(), 8u);
+    EXPECT_EQ(ring.pushed(), 20u);
+    EXPECT_EQ(ring.size(), 8u);
+    EXPECT_EQ(ring.dropped(), 12u);
+    const std::vector<TraceEvent> events = ring.events();
+    ASSERT_EQ(events.size(), 8u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].frame, 12u + i) << "oldest-first, newest retained";
+}
+
+TEST(TraceRing, ZeroCapacityClampsToOne)
+{
+    TraceRing ring{0};
+    EXPECT_EQ(ring.capacity(), 1u);
+    TraceEvent event;
+    event.frame = 7;
+    ring.push(event);
+    ring.push(event);
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(TraceRecorder, InternDeduplicatesNames)
+{
+    TraceRecorder recorder;
+    const std::uint32_t a = recorder.intern("stage0[t1-t2]");
+    const std::uint32_t b = recorder.intern("stage1[t3-t3]");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(recorder.intern("stage0[t1-t2]"), a);
+    EXPECT_EQ(recorder.name(a), "stage0[t1-t2]");
+}
+
+TEST(TraceRecorder, TracksAreDenseAndNamed)
+{
+    TraceRecorder recorder;
+    EXPECT_EQ(recorder.track_count(), 0u);
+    const std::size_t t0 = recorder.add_track("worker 0 (stage 0)");
+    const std::size_t t1 = recorder.add_track("watchdog");
+    EXPECT_EQ(t0, 0u);
+    EXPECT_EQ(t1, 1u);
+    EXPECT_EQ(recorder.track_count(), 2u);
+    EXPECT_EQ(recorder.track_name(t1), "watchdog");
+}
+
+TEST(TraceRecorder, ChromeJsonIsWellFormedAndComplete)
+{
+    TraceRecorder recorder{16};
+    const std::uint32_t span = recorder.intern("stage0[t1-t1]");
+    const std::uint32_t mark = recorder.intern("tombstone");
+    const std::size_t worker = recorder.add_track("worker 0 (stage 0)");
+    const std::size_t watchdog = recorder.add_track("watchdog");
+    recorder.emit_complete(worker, span, 10.0, 25.5, 0, 0);
+    recorder.emit_complete(worker, span, 40.0, 24.0, 1, 0);
+    recorder.emit_instant(watchdog, mark, 70.0, 1, 0);
+
+    const std::string json = recorder.chrome_trace_json();
+    EXPECT_TRUE(amp::test::json_valid(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Metadata: a process_name plus one thread_name per track.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("worker 0 (stage 0)"), std::string::npos);
+    EXPECT_NE(json.find("\"watchdog\""), std::string::npos);
+    // Complete spans carry ph:X and a duration; instants carry ph:i.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":25.5"), std::string::npos);
+    EXPECT_NE(json.find("\"tombstone\""), std::string::npos);
+}
+
+// Distinct tracks may be written from distinct threads with no
+// synchronization (the pipeline's worker model); TSan in CI verifies the
+// absence of races, this test the absence of lost events.
+TEST(TraceRecorder, UnsynchronizedDistinctTracks)
+{
+    TraceRecorder recorder{1u << 12};
+    const std::uint32_t name = recorder.intern("span");
+    constexpr int kTracks = 4;
+    std::vector<std::size_t> tracks;
+    tracks.reserve(kTracks);
+    for (int t = 0; t < kTracks; ++t)
+        tracks.push_back(recorder.add_track("worker " + std::to_string(t)));
+
+    constexpr std::uint64_t kEvents = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kTracks);
+    for (int t = 0; t < kTracks; ++t)
+        threads.emplace_back([&recorder, &tracks, name, t] {
+            for (std::uint64_t i = 0; i < kEvents; ++i)
+                recorder.emit_complete(tracks[static_cast<std::size_t>(t)], name,
+                                       static_cast<double>(i), 1.0, i, t);
+        });
+    for (auto& thread : threads)
+        thread.join();
+
+    EXPECT_EQ(recorder.total_events(), kTracks * kEvents);
+    EXPECT_EQ(recorder.total_dropped(), 0u);
+    for (const std::size_t track : tracks)
+        EXPECT_EQ(recorder.events(track).size(), kEvents);
+}
+
+TEST(TraceRecorder, WriteChromeTraceRoundTrips)
+{
+    TraceRecorder recorder;
+    recorder.emit_instant(recorder.add_track("w"), recorder.intern("e"), 1.0, 0, 0);
+    const std::string path = testing::TempDir() + "amp_trace_test.json";
+    ASSERT_TRUE(recorder.write_chrome_trace(path));
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    std::string contents;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+        contents.append(buffer, n);
+    std::fclose(file);
+    std::remove(path.c_str());
+    EXPECT_EQ(contents, recorder.chrome_trace_json());
+}
+
+} // namespace

@@ -133,6 +133,78 @@ TEST(Rescheduler, SustainedDriftRecomputesAfterPatience)
     expect_feasible(*recomputed, rescheduler.chain(), rescheduler.resources());
 }
 
+// Live-telemetry path: the same detector fed real histogram snapshots (as
+// the pipeline's obs sink produces them) instead of profiler averages.
+// Drift triggers on p95, so a latency TAIL alone -- stable mean -- must
+// trip it, and the rebuilt chain must carry the observed means.
+TEST(Rescheduler, HistogramSnapshotsDriveDriftDetection)
+{
+    const TaskChain chain = make_chain(3);
+    ReschedulePolicy policy;
+    policy.drift_threshold = 0.25;
+    policy.drift_patience = 2;
+    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
+
+    const auto window = [&](double tail_factor) {
+        std::vector<amp::obs::HistogramSnapshot> big, little;
+        for (int i = 1; i <= chain.size(); ++i) {
+            amp::obs::Histogram h_big, h_little;
+            for (int sample = 0; sample < 100; ++sample) {
+                // Task 2's tail: every 10th sample blows past the weight;
+                // the other tasks (and all means) stay near schedule.
+                const double factor =
+                    (i == 2 && sample % 10 == 0) ? tail_factor : 1.0;
+                h_big.record_us(chain.weight(i, CoreType::big) * factor);
+                h_little.record_us(chain.weight(i, CoreType::little) * factor);
+            }
+            big.push_back(h_big.snapshot());
+            little.push_back(h_little.snapshot());
+        }
+        return rescheduler.report_latency_snapshots(big, little);
+    };
+
+    // Tail below threshold: p95 ~ scheduled weight, no drift accumulates.
+    EXPECT_FALSE(window(1.05).has_value());
+    EXPECT_EQ(rescheduler.drift_streak(), 0);
+
+    // 10% of samples at 3x puts p95 at ~3x the weight: drifted.
+    EXPECT_FALSE(window(3.0).has_value());
+    EXPECT_EQ(rescheduler.drift_streak(), 1);
+    const auto recomputed = window(3.0);
+    ASSERT_TRUE(recomputed.has_value()) << "patience=2 windows reached";
+    EXPECT_EQ(rescheduler.drift_streak(), 0);
+
+    // The rebuilt chain carries the window's MEAN (90 x 1.0 + 10 x 3.0
+    // samples = 1.2x the old weight), not the tail value.
+    const double expected = chain.weight(2, CoreType::big) * 1.2;
+    EXPECT_NEAR(rescheduler.chain().weight(2, CoreType::big), expected, 1e-6);
+    expect_feasible(*recomputed, rescheduler.chain(), rescheduler.resources());
+}
+
+TEST(Rescheduler, EmptySnapshotsKeepScheduledWeights)
+{
+    const TaskChain chain = make_chain(3);
+    ReschedulePolicy policy;
+    policy.drift_patience = 1;
+    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
+
+    // Only task 2 reports (2x drifted); the rest ran on no core this
+    // window. Silence is not drift, and silent tasks keep their weights.
+    std::vector<amp::obs::HistogramSnapshot> big(3), little(3);
+    amp::obs::Histogram h;
+    h.record_us(chain.weight(2, CoreType::big) * 2.0);
+    big[1] = h.snapshot();
+
+    const auto recomputed = rescheduler.report_latency_snapshots(big, little);
+    ASSERT_TRUE(recomputed.has_value());
+    EXPECT_DOUBLE_EQ(rescheduler.chain().weight(2, CoreType::big),
+                     chain.weight(2, CoreType::big) * 2.0);
+    EXPECT_DOUBLE_EQ(rescheduler.chain().weight(1, CoreType::big),
+                     chain.weight(1, CoreType::big));
+    EXPECT_DOUBLE_EQ(rescheduler.chain().weight(3, CoreType::little),
+                     chain.weight(3, CoreType::little));
+}
+
 // -- fault-tolerant end-to-end runs ---------------------------------------
 
 struct Frame {
