@@ -4,11 +4,24 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "sim/generator.hpp"
 #include "sim/timing.hpp"
 
 #include <cstdio>
+
+namespace {
+
+// Option-ablation helper over the unified scheduling entry point.
+amp::core::Solution solve_herad(const amp::core::TaskChain& chain, amp::core::Resources resources,
+                                amp::core::ScheduleOptions options)
+{
+    return amp::core::schedule(
+               amp::core::ScheduleRequest{chain, resources, amp::core::Strategy::herad, options})
+        .solution;
+}
+
+} // namespace
 
 int main(int argc, char** argv)
 {
@@ -35,9 +48,9 @@ int main(int argc, char** argv)
                 core::Solution exact;
                 core::Solution fast;
                 exact_us += sim::time_once_us(
-                    [&] { exact = core::herad(chain, resources, {.fast_u_search = false}); });
+                    [&] { exact = solve_herad(chain, resources, {.fast_u_search = false}); });
                 fast_us += sim::time_once_us(
-                    [&] { fast = core::herad(chain, resources, {.fast_u_search = true}); });
+                    [&] { fast = solve_herad(chain, resources, {.fast_u_search = true}); });
                 equal &= std::abs(exact.period(chain) - fast.period(chain)) < 1e-9;
             }
             table.add_row({std::to_string(tasks),

@@ -4,11 +4,24 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "sim/generator.hpp"
 #include "sim/timing.hpp"
 
 #include <cstdio>
+
+namespace {
+
+// Option-ablation helper over the unified scheduling entry point.
+amp::core::Solution solve_herad(const amp::core::TaskChain& chain, amp::core::Resources resources,
+                                amp::core::ScheduleOptions options)
+{
+    return amp::core::schedule(
+               amp::core::ScheduleRequest{chain, resources, amp::core::Strategy::herad, options})
+        .solution;
+}
+
+} // namespace
 
 int main(int argc, char** argv)
 {
@@ -33,9 +46,9 @@ int main(int argc, char** argv)
                 core::Solution pruned;
                 core::Solution exact;
                 pruned_us += sim::time_once_us(
-                    [&] { pruned = core::herad(chain, resources, {.prune = true}); });
+                    [&] { pruned = solve_herad(chain, resources, {.prune = true}); });
                 exact_us += sim::time_once_us(
-                    [&] { exact = core::herad(chain, resources, {.prune = false}); });
+                    [&] { exact = solve_herad(chain, resources, {.prune = false}); });
                 identical &= pruned.period(chain) == exact.period(chain)
                     && pruned.used() == exact.used();
             }

@@ -65,7 +65,8 @@ int main(int argc, char** argv)
     }
     const core::TaskChain chain{std::move(descs)};
     const core::Resources resources{3, 2};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, resources);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, resources, core::Strategy::herad}).solution;
 
     std::printf("== Ablation: observability overhead on the pipeline hot path ==\n");
     std::printf("chain: %d tasks x %d us, schedule %s, %llu frames, best of %d reps\n\n", kTasks,

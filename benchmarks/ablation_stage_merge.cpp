@@ -4,10 +4,23 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "sim/generator.hpp"
 
 #include <cstdio>
+
+namespace {
+
+// Option-ablation helper over the unified scheduling entry point.
+amp::core::Solution solve_herad(const amp::core::TaskChain& chain, amp::core::Resources resources,
+                                amp::core::ScheduleOptions options)
+{
+    return amp::core::schedule(
+               amp::core::ScheduleRequest{chain, resources, amp::core::Strategy::herad, options})
+        .solution;
+}
+
+} // namespace
 
 int main(int argc, char** argv)
 {
@@ -26,8 +39,8 @@ int main(int argc, char** argv)
         int period_changes = 0;
         for (int c = 0; c < chains; ++c) {
             const auto chain = sim::generate_chain(generator, rng);
-            const auto raw = core::herad(chain, {10, 10}, {.merge_stages = false});
-            const auto merged = core::herad(chain, {10, 10}, {.merge_stages = true});
+            const auto raw = solve_herad(chain, {10, 10}, {.merge_stages = false});
+            const auto merged = solve_herad(chain, {10, 10}, {.merge_stages = true});
             raw_stages += static_cast<double>(raw.stage_count());
             merged_stages += static_cast<double>(merged.stage_count());
             if (merged.period(chain) > raw.period(chain) + 1e-9)

@@ -10,7 +10,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "rt/dynamic_executor.hpp"
 #include "rt/pipeline.hpp"
 
@@ -68,7 +68,9 @@ int main(int argc, char** argv)
                      "sched events/frame"});
     for (const int granularity_us : {10, 50, 200, 1000}) {
         const auto view = scheduling_view(tasks, granularity_us);
-        const auto solution = core::herad(view, {threads, 0});
+        const auto solution =
+            core::schedule(core::ScheduleRequest{view, {threads, 0}, core::Strategy::herad})
+                .solution;
 
         auto static_chain = make_chain(tasks, std::chrono::microseconds{granularity_us});
         rt::Pipeline<Frame> pipeline{static_chain, solution};

@@ -6,8 +6,7 @@
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
-#include "core/fertac.hpp"
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "dvbs2/params.hpp"
 #include "dvbs2/profiles.hpp"
 #include "sim/generator.hpp"
@@ -39,9 +38,15 @@ int main(int argc, char** argv)
             for (int c = 0; c < chains; ++c) {
                 const auto chain = sim::generate_chain(generator, rng);
                 const double optimal = core::herad_optimal_period(chain, resources);
-                const auto lf = core::fertac(chain, resources);
-                const auto bf = core::fertac(chain, resources, nullptr,
-                                             core::FertacPreference::big_first);
+                const auto lf =
+                    core::schedule(core::ScheduleRequest{chain, resources,
+                                                         core::Strategy::fertac})
+                        .solution;
+                const auto bf =
+                    core::schedule(core::ScheduleRequest{
+                                       chain, resources, core::Strategy::fertac,
+                                       {.preference = core::FertacPreference::big_first}})
+                        .solution;
                 slow_little.push_back(lf.period(chain) / optimal);
                 slow_big.push_back(bf.period(chain) / optimal);
                 little_l += lf.used(core::CoreType::little);
@@ -65,9 +70,14 @@ int main(int argc, char** argv)
     for (const auto* profile : {&dvbs2::mac_studio_profile(), &dvbs2::x7ti_profile()}) {
         const auto chain = dvbs2::profile_chain(*profile);
         for (const core::Resources resources : {profile->cores_half, profile->cores_full}) {
-            const auto lf = core::fertac(chain, resources);
+            const auto lf =
+                core::schedule(core::ScheduleRequest{chain, resources, core::Strategy::fertac})
+                    .solution;
             const auto bf =
-                core::fertac(chain, resources, nullptr, core::FertacPreference::big_first);
+                core::schedule(core::ScheduleRequest{
+                                   chain, resources, core::Strategy::fertac,
+                                   {.preference = core::FertacPreference::big_first}})
+                    .solution;
             auto mbps = [&](const core::Solution& s) {
                 return dvbs2::mbps_from_fps(
                     dvbs2::fps_from_period_us(s.period(chain), profile->interframe), 14232);

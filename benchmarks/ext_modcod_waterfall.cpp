@@ -13,15 +13,51 @@
 #include "dvbs2/common/interleaver.hpp"
 #include "dvbs2/common/psk.hpp"
 #include "dvbs2/modcod.hpp"
+#include "dvbs2/profiles.hpp"
+#include "svc/solver_service.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// One (MODCOD, SNR) waterfall point with its observed decoder effort.
+struct WaterfallPoint {
+    std::string modcod;
+    double snr_db = 0.0;
+    double avg_iterations = 0.0;
+};
+
+/// The mac-studio receiver chain with the LDPC decode task's weight scaled
+/// by `multiplier` (the early-stop criterion makes decode latency track the
+/// observed iteration count).
+amp::core::TaskChain scaled_chain(const amp::core::TaskChain& base, double multiplier)
+{
+    std::vector<amp::core::TaskDesc> tasks;
+    tasks.reserve(static_cast<std::size_t>(base.size()));
+    for (int t = 1; t <= base.size(); ++t) {
+        amp::core::TaskDesc desc = base.task(t);
+        if (desc.name == "Decoder LDPC - decode SIHO") {
+            desc.w_big *= multiplier;
+            desc.w_little *= multiplier;
+        }
+        tasks.push_back(std::move(desc));
+    }
+    return amp::core::TaskChain{std::move(tasks)};
+}
+
+} // namespace
 
 int main(int argc, char** argv)
 {
     using namespace amp;
     const ArgParse args(argc, argv);
     const int frames = static_cast<int>(args.get_int("frames", 4));
+    const int workers = static_cast<int>(args.get_int("workers", 0));
+    std::vector<WaterfallPoint> points;
 
     std::printf("== Extension: FEC/modem waterfall per MODCOD (%d frames per point) ==\n\n",
                 frames);
@@ -72,10 +108,62 @@ int main(int argc, char** argv)
                                                      / static_cast<double>(bits),
                                                  6),
                            fmt(iterations / frames, 1)});
+            points.push_back({modcod.name, snr_db, iterations / frames});
         }
         std::printf("%s\n", table.str().c_str());
     }
     std::printf("Expected shape: FER collapses to 0 within ~2 dB of the anchor, and the\n"
-                "early-stopped LDPC iteration count falls towards 1-2 as SNR rises.\n");
+                "early-stopped LDPC iteration count falls towards 1-2 as SNR rises.\n\n");
+
+    // Schedule the whole waterfall as one solver-service batch: each
+    // (MODCOD, SNR) point becomes a receiver chain whose LDPC weight is
+    // scaled by the observed iteration count (relative to the best-SNR
+    // point of its MODCOD), and HeRAD/FERTAC solve all points in parallel.
+    // Points with identical iteration counts dedupe through the cache.
+    const auto& profile = dvbs2::mac_studio_profile();
+    const core::TaskChain base = dvbs2::profile_chain(profile);
+    const core::Resources machine = profile.cores_half;
+
+    std::vector<double> multipliers;
+    for (const WaterfallPoint& point : points) {
+        double best_iters = point.avg_iterations;
+        for (const WaterfallPoint& other : points)
+            if (other.modcod == point.modcod && other.avg_iterations > 0.0)
+                best_iters = std::min(best_iters, other.avg_iterations);
+        multipliers.push_back(best_iters > 0.0 ? point.avg_iterations / best_iters : 1.0);
+    }
+
+    svc::ServiceConfig service_config;
+    service_config.workers = workers;
+    svc::SolverService service{service_config};
+    std::vector<core::ScheduleRequest> requests;
+    for (const double multiplier : multipliers) {
+        const core::TaskChain chain = scaled_chain(base, multiplier);
+        requests.push_back(core::ScheduleRequest{chain, machine, core::Strategy::herad});
+        requests.push_back(core::ScheduleRequest{chain, machine, core::Strategy::fertac});
+    }
+    const std::vector<core::ScheduleResult> solved = service.solve_batch(requests);
+
+    std::printf("== Schedules across the waterfall (mac-studio, R = (%d, %d), "
+                "%d solver workers) ==\n\n",
+                machine.big, machine.little, service.workers());
+    TextTable schedule_table({"MODCOD", "Es/N0 (dB)", "LDPC scale", "HeRAD period (us)",
+                              "FERTAC period (us)", "cached"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        const core::ScheduleResult& herad_result = solved[2 * p];
+        const core::ScheduleResult& fertac_result = solved[2 * p + 1];
+        const core::TaskChain chain = scaled_chain(base, multipliers[p]);
+        schedule_table.add_row(
+            {points[p].modcod, fmt(points[p].snr_db, 1), fmt(multipliers[p], 2),
+             herad_result.ok() ? fmt(herad_result.solution.period(chain), 1) : "-",
+             fertac_result.ok() ? fmt(fertac_result.solution.period(chain), 1) : "-",
+             herad_result.cache_hit || fertac_result.cache_hit ? "yes" : "no"});
+    }
+    std::printf("%s", schedule_table.str().c_str());
+    const auto cache = service.cache_stats();
+    std::printf("\nSolver cache: %llu hits / %llu misses (duplicate iteration counts\n"
+                "collapse to the same chain fingerprint).\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
     return 0;
 }

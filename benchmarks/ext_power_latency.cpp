@@ -30,7 +30,10 @@ int main(int argc, char** argv)
         TextTable table({"Strategy", "Period(us)", "Power(W)", "Energy/frame(mJ)",
                          "Latency(us)", "Stages"});
         for (const core::Strategy strategy : core::kAllStrategies) {
-            const auto solution = core::schedule(strategy, chain, platform_case.resources);
+            const auto solution =
+                core::schedule(
+                    core::ScheduleRequest{chain, platform_case.resources, strategy})
+                    .solution;
             if (solution.empty())
                 continue;
             table.add_row({core::to_string(strategy), fmt(solution.period(chain), 1),

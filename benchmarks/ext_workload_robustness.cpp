@@ -37,9 +37,16 @@ int main(int argc, char** argv)
         for (int c = 0; c < chains; ++c) {
             const auto chain = sim::generate_chain(config, rng);
             const double optimal = core::herad_optimal_period(chain, {10, 10});
-            two.push_back(core::twocatac(chain, {10, 10}).period(chain) / optimal);
-            fer.push_back(core::fertac(chain, {10, 10}).period(chain) / optimal);
-            otb.push_back(core::otac(chain, 10, core::CoreType::big).period(chain) / optimal);
+            const auto period_of = [&](core::Strategy strategy) {
+                return core::schedule(core::ScheduleRequest{chain, {10, 10}, strategy})
+                    .solution.period(chain);
+            };
+            two.push_back(period_of(core::Strategy::twocatac) / optimal);
+            fer.push_back(period_of(core::Strategy::fertac) / optimal);
+            otb.push_back(core::schedule(core::ScheduleRequest{chain, {10, 0},
+                                                               core::Strategy::otac_big})
+                              .solution.period(chain)
+                          / optimal);
         }
         const auto s2 = sim::summarize_slowdowns(two);
         const auto sf = sim::summarize_slowdowns(fer);

@@ -4,12 +4,16 @@
 //
 // Defaults reduced for small machines (--reps=5, HeRAD capped at 120 cores
 // per type for 60 tasks); pass --full for paper scale.
+//
+// Like fig3, the whole sweep goes to a svc::SolverService as one batch with
+// the cache disabled: ScheduleResult::solve_ns supplies the per-solve
+// timings and --workers spreads the grid over solver threads.
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "core/scheduler.hpp"
 #include "sim/generator.hpp"
-#include "sim/timing.hpp"
+#include "svc/solver_service.hpp"
 
 #include <cstdio>
 #include <vector>
@@ -18,20 +22,32 @@ namespace {
 
 using namespace amp;
 
-double mean_time_us(core::Strategy strategy, int tasks, core::Resources resources, double sr,
-                    int reps, std::uint64_t seed)
+struct GridPoint {
+    std::size_t first = 0;
+    int reps = 0;
+};
+
+GridPoint add_point(std::vector<core::ScheduleRequest>& requests, core::Strategy strategy,
+                    int tasks, core::Resources resources, double sr, int reps,
+                    std::uint64_t seed)
 {
     Rng rng{seed ^ static_cast<std::uint64_t>(tasks * 977 + resources.big)};
     sim::GeneratorConfig generator;
     generator.num_tasks = tasks;
     generator.stateless_ratio = sr;
-    double total = 0.0;
-    for (int r = 0; r < reps; ++r) {
-        const auto chain = sim::generate_chain(generator, rng);
-        total += sim::time_once_us(
-            [&] { (void)core::schedule(strategy, chain, resources); });
-    }
-    return total / reps;
+    GridPoint point{requests.size(), reps};
+    for (int r = 0; r < reps; ++r)
+        requests.push_back(
+            core::ScheduleRequest{sim::generate_chain(generator, rng), resources, strategy});
+    return point;
+}
+
+double mean_time_us(const std::vector<core::ScheduleResult>& results, const GridPoint& point)
+{
+    double total_ns = 0.0;
+    for (int r = 0; r < point.reps; ++r)
+        total_ns += static_cast<double>(results[point.first + static_cast<std::size_t>(r)].solve_ns);
+    return total_ns / (1000.0 * point.reps);
 }
 
 } // namespace
@@ -43,28 +59,48 @@ int main(int argc, char** argv)
     const int reps = static_cast<int>(args.get_int("reps", full ? 50 : 5));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xf46));
     const int max_cores = static_cast<int>(args.get_int("max-cores", 160));
+    const int workers = static_cast<int>(args.get_int("workers", 0));
 
+    svc::ServiceConfig config;
+    config.workers = workers;
+    config.cache_capacity = 0; // timing bench: every solve must be cold
+    svc::SolverService service{config};
+
+    std::vector<core::ScheduleRequest> requests;
+    std::vector<GridPoint> points;
     for (const int tasks : {20, 60}) {
-        std::printf("== Fig. 4%s: strategy times (us) vs #cores, %d tasks, %d reps ==\n\n",
-                    tasks == 20 ? "a" : "b", tasks, reps);
+        for (const double sr : {0.2, 0.5, 0.8}) {
+            for (int cores = 20; cores <= max_cores; cores += 20) {
+                const core::Resources resources{cores, cores};
+                for (const core::Strategy strategy :
+                     {core::Strategy::otac_big, core::Strategy::fertac, core::Strategy::twocatac})
+                    points.push_back(
+                        add_point(requests, strategy, tasks, resources, sr, reps, seed));
+                const bool herad_feasible = full || tasks <= 20 || cores <= 120;
+                if (herad_feasible)
+                    points.push_back(add_point(requests, core::Strategy::herad, tasks, resources,
+                                               sr, reps, seed));
+            }
+        }
+    }
+    const std::vector<core::ScheduleResult> results = service.solve_batch(requests);
+
+    std::size_t cursor = 0;
+    for (const int tasks : {20, 60}) {
+        std::printf("== Fig. 4%s: strategy times (us) vs #cores, %d tasks, %d reps, "
+                    "%d solver workers ==\n\n",
+                    tasks == 20 ? "a" : "b", tasks, reps, service.workers());
         for (const double sr : {0.2, 0.5, 0.8}) {
             std::printf("SR = %.1f\n", sr);
             TextTable table({"cores/type", "OTAC (B)", "FERTAC", "2CATAC", "HeRAD"});
             for (int cores = 20; cores <= max_cores; cores += 20) {
-                const core::Resources resources{cores, cores};
                 std::vector<std::string> row{std::to_string(cores)};
-                row.push_back(fmt(
-                    mean_time_us(core::Strategy::otac_big, tasks, resources, sr, reps, seed), 1));
-                row.push_back(fmt(
-                    mean_time_us(core::Strategy::fertac, tasks, resources, sr, reps, seed), 1));
-                row.push_back(fmt(
-                    mean_time_us(core::Strategy::twocatac, tasks, resources, sr, reps, seed), 1));
+                row.push_back(fmt(mean_time_us(results, points[cursor++]), 1));
+                row.push_back(fmt(mean_time_us(results, points[cursor++]), 1));
+                row.push_back(fmt(mean_time_us(results, points[cursor++]), 1));
                 const bool herad_feasible = full || tasks <= 20 || cores <= 120;
-                row.push_back(herad_feasible
-                                  ? fmt(mean_time_us(core::Strategy::herad, tasks, resources, sr,
-                                                     reps, seed),
-                                        1)
-                                  : std::string{"(--full)"});
+                row.push_back(herad_feasible ? fmt(mean_time_us(results, points[cursor++]), 1)
+                                             : std::string{"(--full)"});
                 table.add_row(std::move(row));
             }
             std::printf("%s\n", table.str().c_str());

@@ -48,7 +48,7 @@ int main(int argc, char** argv)
                 .set("platform", eval.platform)
                 .set("big", eval.resources.big)
                 .set("little", eval.resources.little)
-                .set("strategy", core::to_string(eval.strategy))
+                .set("strategy", core::to_key(eval.strategy))
                 .set("stages", eval.stage_count)
                 .set("big_used", eval.big_used)
                 .set("little_used", eval.little_used)

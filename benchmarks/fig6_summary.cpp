@@ -53,7 +53,9 @@ int main(int argc, char** argv)
             const auto chain = sim::generate_chain(generator, rng);
             for (const core::Strategy strategy : core::kAllStrategies)
                 exec_time[strategy] += sim::time_once_us(
-                    [&] { (void)core::schedule(strategy, chain, {10, 10}); });
+                    [&] {
+                        (void)core::schedule(core::ScheduleRequest{chain, {10, 10}, strategy});
+                    });
         }
     }
 

@@ -25,7 +25,8 @@ void BM_Fertac(benchmark::State& state)
     const auto chain = chain_for(static_cast<int>(state.range(0)), 0.5, 0xb1);
     const core::Resources resources{20, 20};
     for (auto _ : state)
-        benchmark::DoNotOptimize(core::fertac(chain, resources));
+        benchmark::DoNotOptimize(
+            core::schedule(core::ScheduleRequest{chain, resources, core::Strategy::fertac}));
 }
 BENCHMARK(BM_Fertac)->Arg(20)->Arg(80)->Arg(160);
 
@@ -34,7 +35,8 @@ void BM_Twocatac(benchmark::State& state)
     const auto chain = chain_for(static_cast<int>(state.range(0)), 0.5, 0xb2);
     const core::Resources resources{20, 20};
     for (auto _ : state)
-        benchmark::DoNotOptimize(core::twocatac(chain, resources));
+        benchmark::DoNotOptimize(
+            core::schedule(core::ScheduleRequest{chain, resources, core::Strategy::twocatac}));
 }
 BENCHMARK(BM_Twocatac)->Arg(20)->Arg(40);
 
@@ -43,7 +45,8 @@ void BM_Herad(benchmark::State& state)
     const auto chain = chain_for(static_cast<int>(state.range(0)), 0.5, 0xb3);
     const core::Resources resources{20, 20};
     for (auto _ : state)
-        benchmark::DoNotOptimize(core::herad(chain, resources));
+        benchmark::DoNotOptimize(
+            core::schedule(core::ScheduleRequest{chain, resources, core::Strategy::herad}));
 }
 BENCHMARK(BM_Herad)->Arg(20)->Arg(40)->Arg(80);
 
@@ -51,7 +54,8 @@ void BM_OtacBig(benchmark::State& state)
 {
     const auto chain = chain_for(static_cast<int>(state.range(0)), 0.5, 0xb4);
     for (auto _ : state)
-        benchmark::DoNotOptimize(core::otac(chain, 20, core::CoreType::big));
+        benchmark::DoNotOptimize(
+            core::schedule(core::ScheduleRequest{chain, {20, 0}, core::Strategy::otac_big}));
 }
 BENCHMARK(BM_OtacBig)->Arg(20)->Arg(80)->Arg(160);
 

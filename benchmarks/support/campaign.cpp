@@ -1,5 +1,9 @@
 #include "support/campaign.hpp"
 
+#include "svc/solver_service.hpp"
+
+#include <iterator>
+
 namespace amp::bench {
 
 ScenarioResult run_scenario(const ScenarioConfig& config)
@@ -19,14 +23,38 @@ ScenarioResult run_scenario(const ScenarioConfig& config)
     for (auto& strategy : core::kAllStrategies)
         result.outcomes[strategy]; // materialize in a stable order
 
-    for (int c = 0; c < config.chains; ++c) {
-        const core::TaskChain chain = sim::generate_chain(generator, rng);
-        const core::Solution optimal = core::herad(chain, config.resources);
+    std::vector<core::TaskChain> chains;
+    chains.reserve(static_cast<std::size_t>(config.chains));
+    for (int c = 0; c < config.chains; ++c)
+        chains.push_back(sim::generate_chain(generator, rng));
+
+    // The whole scenario is one batch: every (chain, strategy) pair solves
+    // through the service, in parallel when it has more than one worker, and
+    // repeated chains become cache hits. HeRAD's result doubles as the
+    // optimal baseline the other strategies are normalized against.
+    const std::size_t per_chain = std::size(core::kAllStrategies);
+    std::vector<core::ScheduleRequest> requests;
+    requests.reserve(chains.size() * per_chain);
+    for (const core::TaskChain& chain : chains)
+        for (const core::Strategy strategy : core::kAllStrategies)
+            requests.push_back(core::ScheduleRequest{chain, config.resources, strategy});
+    const std::vector<core::ScheduleResult> solved =
+        svc::shared_service().solve_batch(requests);
+
+    std::size_t herad_slot = 0;
+    for (std::size_t s = 0; s < per_chain; ++s)
+        if (core::kAllStrategies[s] == core::Strategy::herad)
+            herad_slot = s;
+
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        const core::TaskChain& chain = chains[c];
+        const core::Solution& optimal = solved[c * per_chain + herad_slot].solution;
         const double optimal_period = optimal.period(chain);
         result.herad_usages.push_back(optimal.used());
 
-        for (auto& [strategy, outcome] : result.outcomes) {
-            const core::Solution solution = core::schedule(strategy, chain, config.resources);
+        for (std::size_t s = 0; s < per_chain; ++s) {
+            auto& outcome = result.outcomes[core::kAllStrategies[s]];
+            const core::Solution& solution = solved[c * per_chain + s].solution;
             outcome.slowdowns.push_back(solution.period(chain) / optimal_period);
             outcome.usages.push_back(solution.used());
         }
@@ -72,7 +100,7 @@ void append_scenario(JsonReport& report, const ScenarioResult& result)
             .set("little", result.config.resources.little)
             .set("stateless_ratio", result.config.stateless_ratio)
             .set("chains", result.config.chains)
-            .set("strategy", core::to_string(strategy))
+            .set("strategy", core::to_key(strategy))
             .set("pct_optimal", outcome.summary.pct_optimal)
             .set("slowdown_avg", outcome.summary.average)
             .set("slowdown_median", outcome.summary.median)

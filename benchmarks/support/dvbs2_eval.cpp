@@ -1,6 +1,7 @@
 #include "support/dvbs2_eval.hpp"
 
 #include "dvbs2/params.hpp"
+#include "svc/solver_service.hpp"
 
 namespace amp::bench {
 
@@ -12,14 +13,23 @@ std::vector<ScheduleEvaluation> evaluate_platform(const dvbs2::PlatformProfile& 
     dvbs2::FrameParams params;
     params.interframe = profile.interframe;
 
+    // All strategies for the platform go to the solver service as one
+    // batch; re-evaluations of the same profile hit its cache.
+    std::vector<core::ScheduleRequest> requests;
+    for (const core::Strategy strategy : core::kAllStrategies)
+        requests.push_back(core::ScheduleRequest{chain, resources, strategy});
+    const std::vector<core::ScheduleResult> solved =
+        svc::shared_service().solve_batch(requests);
+
     std::vector<ScheduleEvaluation> evaluations;
-    for (const core::Strategy strategy : core::kAllStrategies) {
+    for (std::size_t s = 0; s < requests.size(); ++s) {
+        const core::Strategy strategy = requests[s].strategy;
         ScheduleEvaluation eval;
         eval.platform = profile.name;
         eval.resources = resources;
         eval.strategy = strategy;
-        eval.solution = core::schedule(strategy, chain, resources);
-        if (eval.solution.empty()) {
+        eval.solution = solved[s].solution;
+        if (!solved[s].ok()) {
             evaluations.push_back(std::move(eval));
             continue;
         }

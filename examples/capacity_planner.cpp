@@ -42,14 +42,16 @@ int main(int argc, char** argv)
         for (int little = 0; little <= max_little; little += 2) {
             const core::Resources machine{big, little};
             auto mbps = [&](core::Strategy strategy) {
-                const auto solution = core::schedule(strategy, chain, machine);
-                if (solution.empty())
+                const auto result = core::schedule(core::ScheduleRequest{chain, machine, strategy});
+                if (!result.ok())
                     return 0.0;
                 return dvbs2::mbps_from_fps(
-                    dvbs2::fps_from_period_us(solution.period(chain), profile.interframe),
+                    dvbs2::fps_from_period_us(result.solution.period(chain), profile.interframe),
                     params.k_bch);
             };
-            const auto optimal = core::herad(chain, machine);
+            const auto optimal =
+                core::schedule(core::ScheduleRequest{chain, machine, core::Strategy::herad})
+                    .solution;
             const double herad_mbps = dvbs2::mbps_from_fps(
                 dvbs2::fps_from_period_us(optimal.period(chain), profile.interframe),
                 params.k_bch);

@@ -45,12 +45,13 @@ int main(int argc, char** argv)
                 core_chain.interval_sum(1, core_chain.size(), core::CoreType::big));
 
     // --- 2. schedule ----------------------------------------------------------
-    const auto solution = core::schedule(strategy, core_chain, machine);
-    if (solution.empty()) {
-        std::fprintf(stderr, "no valid schedule for R = (%d, %d)\n", machine.big,
-                     machine.little);
+    const auto scheduled = core::schedule(core::ScheduleRequest{core_chain, machine, strategy});
+    if (!scheduled.ok()) {
+        std::fprintf(stderr, "no valid schedule for R = (%d, %d): %s\n", machine.big,
+                     machine.little, core::to_string(scheduled.error));
         return 1;
     }
+    const auto& solution = scheduled.solution;
     std::printf("\n%s schedule for R = (%dB, %dL):\n  %s\n  expected period %.0f us "
                 "(%.0f pipeline frames/s)\n",
                 core::to_string(strategy), machine.big, machine.little,

@@ -117,7 +117,9 @@ int main(int argc, char** argv)
                     core_chain.weight(t, core::CoreType::big),
                     core_chain.replicable(t) ? "(replicable)" : "(stateful)");
 
-    const auto solution = core::herad(core_chain, machine);
+    const auto solution =
+        core::schedule(core::ScheduleRequest{core_chain, machine, core::Strategy::herad})
+            .solution;
     std::printf("\nHeRAD on R = (%dB, %dL): %s, expected period %.0f us\n", machine.big,
                 machine.little, solution.decomposition().c_str(),
                 solution.period(core_chain));

@@ -33,22 +33,28 @@ int main()
     std::printf("Chain of %d tasks (%.0f%% replicable) on R = (%dB, %dL)\n\n", chain.size(),
                 chain.stateless_ratio() * 100.0, machine.big, machine.little);
 
-    // 3. Run every strategy and compare.
+    // 3. Run every strategy through the unified entry point and compare.
+    //    schedule() reports failures in ScheduleResult::error instead of an
+    //    empty solution, and times each solve in solve_ns.
     for (const Strategy strategy : kAllStrategies) {
-        const Solution solution = schedule(strategy, chain, machine);
-        if (solution.empty()) {
-            std::printf("%-9s -> no valid schedule\n", to_string(strategy));
+        const ScheduleResult result = schedule(ScheduleRequest{chain, machine, strategy});
+        if (!result.ok()) {
+            std::printf("%-9s -> no valid schedule (%s)\n", to_string(strategy),
+                        to_string(result.error));
             continue;
         }
-        std::printf("%-9s period %7.2f us, throughput %8.1f frames/s, cores (%dB, %dL)\n",
+        const Solution& solution = result.solution;
+        std::printf("%-9s period %7.2f us, throughput %8.1f frames/s, cores (%dB, %dL), "
+                    "solved in %.0f us\n",
                     to_string(strategy), solution.period(chain), 1e6 / solution.period(chain),
-                    solution.used(CoreType::big), solution.used(CoreType::little));
+                    solution.used(CoreType::big), solution.used(CoreType::little),
+                    static_cast<double>(result.solve_ns) / 1000.0);
         std::printf("          stages: %s\n", solution.decomposition().c_str());
     }
 
     // 4. HeRAD is optimal in period AND uses as many little cores as
     //    necessary -- the others may trade one for the other.
-    const Solution best = herad(chain, machine);
+    const Solution best = schedule(ScheduleRequest{chain, machine, Strategy::herad}).solution;
     std::printf("\nOptimal period: %.2f us (HeRAD)\n", best.period(chain));
     return 0;
 }

@@ -58,11 +58,13 @@ int main(int argc, char** argv)
     TextTable table({"Strategy", "Period", "Throughput (items/s)", "Cores (B,L)",
                      args.get_bool("power") ? "Power (W)" : "Stages", "Decomposition"});
     for (const core::Strategy strategy : strategies) {
-        const auto solution = core::schedule(strategy, chain, machine);
-        if (solution.empty()) {
-            table.add_row({core::to_string(strategy), "-", "-", "-", "-", "(none)"});
+        const auto result = core::schedule(core::ScheduleRequest{chain, machine, strategy});
+        if (!result.ok()) {
+            table.add_row({core::to_string(strategy), "-", "-", "-", "-",
+                           std::string{"("} + core::to_string(result.error) + ")"});
             continue;
         }
+        const auto& solution = result.solution;
         table.add_row(
             {core::to_string(strategy), fmt(solution.period(chain), 1),
              fmt(1e6 / solution.period(chain), 0),

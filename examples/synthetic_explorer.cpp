@@ -41,7 +41,8 @@ int main(int argc, char** argv)
         const auto chain = sim::generate_chain(generator, rng);
         const double optimal = core::herad_optimal_period(chain, machine);
         for (const core::Strategy strategy : core::kAllStrategies) {
-            const auto solution = core::schedule(strategy, chain, machine);
+            const auto solution =
+                core::schedule(core::ScheduleRequest{chain, machine, strategy}).solution;
             const double period = solution.period(chain);
             const double slowdown = period / optimal;
             if (strategy == core::Strategy::fertac)

@@ -1,9 +1,26 @@
 #include "core/chain.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace amp::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) noexcept
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (byte * 8)) & 0xffull;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+} // namespace
 
 TaskChain::TaskChain(std::vector<TaskDesc> tasks)
     : tasks_(std::move(tasks))
@@ -41,6 +58,14 @@ TaskChain::TaskChain(std::vector<TaskDesc> tasks)
             max_seq_w_little_ = std::max(max_seq_w_little_, t.w_little);
         }
     }
+
+    std::uint64_t hash = fnv1a(kFnvOffset, static_cast<std::uint64_t>(n));
+    for (const auto& t : tasks_) {
+        hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.w_big));
+        hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.w_little));
+        hash = fnv1a(hash, t.replicable ? 1u : 0u);
+    }
+    fingerprint_ = hash;
 }
 
 } // namespace amp::core

@@ -133,6 +133,12 @@ public:
     /// Number of replicable tasks.
     [[nodiscard]] int replicable_count() const noexcept { return replicable_count_; }
 
+    /// 64-bit FNV-1a digest of the chain's scheduling-relevant content
+    /// (task count, per-task weights and replicability flags; names are
+    /// ignored). Computed once at construction; used as the chain identity
+    /// in svc::SolverService's solution cache.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
     /// Fraction of replicable tasks (the paper's stateless ratio, SR).
     [[nodiscard]] double stateless_ratio() const noexcept
     {
@@ -150,6 +156,7 @@ private:
     double max_seq_w_big_ = 0.0;
     double max_seq_w_little_ = 0.0;
     int replicable_count_ = 0;
+    std::uint64_t fingerprint_ = 0;
 };
 
 } // namespace amp::core

@@ -33,8 +33,8 @@ Solution fertac_compute_solution(const TaskChain& chain, int s, Resources availa
     return rest;
 }
 
-Solution fertac(const TaskChain& chain, Resources resources, ScheduleStats* stats,
-                FertacPreference preference)
+Solution detail::fertac(const TaskChain& chain, Resources resources, ScheduleStats* stats,
+                        FertacPreference preference)
 {
     return schedule_with_binary_search(
         chain, resources,

@@ -25,9 +25,25 @@ fertac_compute_solution(const TaskChain& chain, int s, Resources available,
                         double target_period,
                         FertacPreference preference = FertacPreference::little_first);
 
-/// Full FERTAC schedule (binary search of Algo 1 over Algo 4).
+namespace detail {
+
+/// Full FERTAC schedule (binary search of Algo 1 over Algo 4). Callers
+/// outside the scheduling library itself should go through the unified
+/// core::schedule(ScheduleRequest) API (core/scheduler.hpp).
 [[nodiscard]] Solution fertac(const TaskChain& chain, Resources resources,
                               ScheduleStats* stats = nullptr,
                               FertacPreference preference = FertacPreference::little_first);
+
+} // namespace detail
+
+/// Deprecated forwarder kept for one release; behaves exactly like the old
+/// entry point.
+[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
+inline Solution fertac(const TaskChain& chain, Resources resources,
+                       ScheduleStats* stats = nullptr,
+                       FertacPreference preference = FertacPreference::little_first)
+{
+    return detail::fertac(chain, resources, stats, preference);
+}
 
 } // namespace amp::core

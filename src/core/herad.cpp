@@ -258,7 +258,7 @@ void recompute_cell(int j, Matrix& S, const TaskChain& chain, int b, int l,
 
 } // namespace {anonymous}
 
-Solution herad(const TaskChain& chain, Resources resources, const HeradOptions& options)
+Solution detail::herad(const TaskChain& chain, Resources resources, const HeradOptions& options)
 {
     if (chain.empty())
         return Solution{};
@@ -276,7 +276,7 @@ Solution herad(const TaskChain& chain, Resources resources, const HeradOptions& 
 
 double herad_optimal_period(const TaskChain& chain, Resources resources)
 {
-    return herad(chain, resources).period(chain);
+    return detail::herad(chain, resources).period(chain);
 }
 
 } // namespace amp::core

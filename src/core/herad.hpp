@@ -31,11 +31,26 @@ struct HeradOptions {
     bool fast_u_search = false;
 };
 
-/// Full HeRAD schedule; optimal in period and little-core usage.
+namespace detail {
+
+/// Full HeRAD schedule; optimal in period and little-core usage. Callers
+/// outside the scheduling library itself should go through the unified
+/// core::schedule(ScheduleRequest) API (core/scheduler.hpp).
 [[nodiscard]] Solution herad(const TaskChain& chain, Resources resources,
                              const HeradOptions& options = {});
 
+} // namespace detail
+
 /// The optimal period P*(n, b, l) alone (runs the same DP).
 [[nodiscard]] double herad_optimal_period(const TaskChain& chain, Resources resources);
+
+/// Deprecated forwarder kept for one release; behaves exactly like the old
+/// entry point (including throwing on degenerate resource vectors).
+[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
+inline Solution herad(const TaskChain& chain, Resources resources,
+                      const HeradOptions& options = {})
+{
+    return detail::herad(chain, resources, options);
+}
 
 } // namespace amp::core

@@ -28,7 +28,7 @@ Solution otac_compute_solution(const TaskChain& chain, int s, int cores, CoreTyp
     return rest;
 }
 
-Solution otac(const TaskChain& chain, int cores, CoreType v, ScheduleStats* stats)
+Solution detail::otac(const TaskChain& chain, int cores, CoreType v, ScheduleStats* stats)
 {
     if (chain.empty())
         return Solution{};

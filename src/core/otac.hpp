@@ -15,8 +15,23 @@ namespace amp::core {
 [[nodiscard]] Solution otac_compute_solution(const TaskChain& chain, int s, int cores,
                                              CoreType v, double target_period);
 
+namespace detail {
+
 /// Full OTAC schedule on a homogeneous pool of `cores` cores of type v.
+/// Callers outside the scheduling library itself should go through the
+/// unified core::schedule(ScheduleRequest) API (core/scheduler.hpp).
 [[nodiscard]] Solution otac(const TaskChain& chain, int cores, CoreType v,
                             ScheduleStats* stats = nullptr);
+
+} // namespace detail
+
+/// Deprecated forwarder kept for one release; behaves exactly like the old
+/// entry point (including throwing when cores < 1).
+[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
+inline Solution otac(const TaskChain& chain, int cores, CoreType v,
+                     ScheduleStats* stats = nullptr)
+{
+    return detail::otac(chain, cores, v, stats);
+}
 
 } // namespace amp::core

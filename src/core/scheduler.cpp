@@ -1,5 +1,6 @@
 #include "core/scheduler.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace amp::core {
@@ -19,16 +20,84 @@ Strategy parse_strategy(const std::string& name)
     throw std::invalid_argument{"unknown strategy: " + name};
 }
 
-Solution schedule(Strategy strategy, const TaskChain& chain, Resources resources)
+namespace {
+
+/// Rejects requests the strategy implementations would throw on (or could
+/// only answer with a meaningless empty solution).
+ScheduleError validate(const ScheduleRequest& request)
 {
-    switch (strategy) {
-    case Strategy::herad: return herad(chain, resources);
-    case Strategy::twocatac: return twocatac(chain, resources);
-    case Strategy::fertac: return fertac(chain, resources);
-    case Strategy::otac_big: return otac(chain, resources.big, CoreType::big);
-    case Strategy::otac_little: return otac(chain, resources.little, CoreType::little);
+    if (request.chain.empty())
+        return ScheduleError::invalid_request;
+    if (request.resources.big < 0 || request.resources.little < 0)
+        return ScheduleError::invalid_request;
+    if (request.strategy == Strategy::otac_big && request.resources.big < 1)
+        return ScheduleError::invalid_request;
+    if (request.strategy == Strategy::otac_little && request.resources.little < 1)
+        return ScheduleError::invalid_request;
+    if (request.resources.total() < 1)
+        return ScheduleError::invalid_request;
+    return ScheduleError::ok;
+}
+
+Solution dispatch(const ScheduleRequest& request, ScheduleStats* stats)
+{
+    const TaskChain& chain = request.chain;
+    const Resources resources = request.resources;
+    switch (request.strategy) {
+    case Strategy::herad: return detail::herad(chain, resources, request.options.herad());
+    case Strategy::twocatac: return detail::twocatac(chain, resources, stats);
+    case Strategy::fertac:
+        return detail::fertac(chain, resources, stats, request.options.preference);
+    case Strategy::otac_big:
+        return detail::otac(chain, resources.big, CoreType::big, stats);
+    case Strategy::otac_little:
+        return detail::otac(chain, resources.little, CoreType::little, stats);
     }
     throw std::logic_error{"unreachable"};
+}
+
+} // namespace
+
+ScheduleResult schedule(const ScheduleRequest& request)
+{
+    ScheduleResult result;
+    result.error = validate(request);
+    if (result.error != ScheduleError::ok)
+        return result;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        result.solution = dispatch(request, &result.stats);
+    } catch (const std::invalid_argument&) {
+        result.error = ScheduleError::invalid_request;
+    } catch (...) {
+        result.error = ScheduleError::infeasible;
+    }
+    result.solve_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now()
+                                                             - t0)
+            .count());
+    if (result.error != ScheduleError::ok)
+        return result;
+
+    // The old API signalled infeasibility with an empty solution; surface
+    // that (and any budget overrun or malformed stage list) explicitly.
+    if (result.solution.empty() || !result.solution.is_well_formed(request.chain)) {
+        result.solution.clear();
+        result.error = ScheduleError::infeasible;
+        return result;
+    }
+    const Resources used = result.solution.used();
+    if (used.big > request.resources.big || used.little > request.resources.little) {
+        result.solution.clear();
+        result.error = ScheduleError::infeasible;
+    }
+    return result;
+}
+
+Solution schedule(Strategy strategy, const TaskChain& chain, Resources resources)
+{
+    return schedule(ScheduleRequest{chain, resources, strategy}).solution;
 }
 
 } // namespace amp::core

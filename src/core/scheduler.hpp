@@ -1,5 +1,14 @@
 #pragma once
-// Umbrella header and strategy dispatcher for the scheduling library.
+// Umbrella header and unified scheduling API.
+//
+// The single entry point is `schedule(const ScheduleRequest&)`: it validates
+// the request, dispatches to the strategy implementation, and returns a
+// `ScheduleResult` carrying the solution, the binary-search stats, an
+// explicit error status, and the solve latency. The old per-strategy free
+// functions (`herad`, `fertac`, `otac`, `twocatac`) remain as
+// `[[deprecated]]` inline forwarders for one release; see
+// docs/SOLVER_SERVICE.md for the migration table and for the batched,
+// caching solver service built on top of this API.
 
 #include "core/brute_force.hpp"
 #include "core/chain.hpp"
@@ -10,6 +19,7 @@
 #include "core/solution.hpp"
 #include "core/twocatac.hpp"
 
+#include <cstdint>
 #include <string>
 
 namespace amp::core {
@@ -21,6 +31,7 @@ inline constexpr Strategy kAllStrategies[] = {Strategy::herad, Strategy::twocata
                                               Strategy::fertac, Strategy::otac_big,
                                               Strategy::otac_little};
 
+/// Display name in the paper's notation ("HeRAD", "OTAC (B)", ...).
 [[nodiscard]] constexpr const char* to_string(Strategy strategy) noexcept
 {
     switch (strategy) {
@@ -33,11 +44,106 @@ inline constexpr Strategy kAllStrategies[] = {Strategy::herad, Strategy::twocata
     return "?";
 }
 
+/// Canonical machine key; unlike to_string, round-trips through
+/// parse_strategy. Used by the bench JSON reports and the solver-service
+/// metric labels.
+[[nodiscard]] constexpr const char* to_key(Strategy strategy) noexcept
+{
+    switch (strategy) {
+    case Strategy::herad: return "herad";
+    case Strategy::twocatac: return "2catac";
+    case Strategy::fertac: return "fertac";
+    case Strategy::otac_big: return "otac-b";
+    case Strategy::otac_little: return "otac-l";
+    }
+    return "?";
+}
+
 /// Parses a strategy name ("herad", "2catac", "fertac", "otac-b", "otac-l").
 [[nodiscard]] Strategy parse_strategy(const std::string& name);
 
-/// Runs the given strategy on the chain with resources R = (b, l).
-/// OTAC (B) / OTAC (L) ignore the cores of the other type, as in the paper.
+/// Strategy knobs, unified across all five strategies. Strategies ignore
+/// the fields that do not apply to them (FERTAC reads only `preference`,
+/// HeRAD only the other three, OTAC/2CATAC none), so one options value can
+/// drive a whole request grid.
+struct ScheduleOptions {
+    /// HeRAD: merge consecutive replicable same-type stages (period-neutral).
+    bool merge_stages = true;
+    /// HeRAD: sound lower-bound break on the stage-start loop.
+    bool prune = true;
+    /// HeRAD: binary-search the core-count loop of Eq. (4); period-exact but
+    /// may pick a different period-equal tie than the exhaustive loop.
+    bool fast_u_search = false;
+    /// FERTAC: which core type each stage is offered first.
+    FertacPreference preference = FertacPreference::little_first;
+
+    [[nodiscard]] constexpr bool operator==(const ScheduleOptions&) const noexcept = default;
+
+    /// The HeRAD view of these options.
+    [[nodiscard]] constexpr HeradOptions herad() const noexcept
+    {
+        return {.merge_stages = merge_stages, .prune = prune, .fast_u_search = fast_u_search};
+    }
+
+    /// Dense encoding for cache keys (svc::SolverService).
+    [[nodiscard]] constexpr std::uint8_t key_bits() const noexcept
+    {
+        return static_cast<std::uint8_t>(
+            (merge_stages ? 1u : 0u) | (prune ? 2u : 0u) | (fast_u_search ? 4u : 0u)
+            | (preference == FertacPreference::big_first ? 8u : 0u));
+    }
+};
+
+/// One scheduling query: solve `chain` on resources R = (b, l) with
+/// `strategy`. OTAC (B) / OTAC (L) ignore the cores of the other type, as
+/// in the paper.
+struct ScheduleRequest {
+    TaskChain chain;
+    Resources resources;
+    Strategy strategy = Strategy::herad;
+    ScheduleOptions options{};
+};
+
+/// Explicit failure signal. The old API signalled failure with an empty
+/// Solution (or an exception), which conflated "the request makes no sense"
+/// with "no valid schedule exists within the budget".
+enum class ScheduleError : std::uint8_t {
+    ok = 0,
+    /// The solver ran but produced no valid schedule within the budget.
+    infeasible,
+    /// The request itself is malformed: empty chain, negative or all-zero
+    /// resource vector, or an OTAC variant with zero cores of its type.
+    invalid_request,
+};
+
+[[nodiscard]] constexpr const char* to_string(ScheduleError error) noexcept
+{
+    switch (error) {
+    case ScheduleError::ok: return "ok";
+    case ScheduleError::infeasible: return "infeasible";
+    case ScheduleError::invalid_request: return "invalid_request";
+    }
+    return "?";
+}
+
+/// Outcome of one request. `solution` is empty unless `error == ok`.
+struct ScheduleResult {
+    Solution solution;
+    ScheduleStats stats; ///< binary-search telemetry (zero for HeRAD)
+    ScheduleError error = ScheduleError::ok;
+    bool cache_hit = false;  ///< set by svc::SolverService on cache hits
+    std::uint64_t solve_ns = 0; ///< wall time of the solve (or cache lookup)
+
+    [[nodiscard]] bool ok() const noexcept { return error == ScheduleError::ok; }
+};
+
+/// Unified entry point: validates, dispatches, never throws. Infeasibility
+/// and malformed requests are reported through `ScheduleResult::error`.
+[[nodiscard]] ScheduleResult schedule(const ScheduleRequest& request);
+
+/// Thin convenience wrapper for one-off solves: returns just the solution,
+/// empty on any error (use the request form to distinguish infeasible from
+/// invalid).
 [[nodiscard]] Solution schedule(Strategy strategy, const TaskChain& chain, Resources resources);
 
 } // namespace amp::core

@@ -58,7 +58,7 @@ Solution twocatac_compute_solution(const TaskChain& chain, int s, Resources avai
                                 available, target_period);
 }
 
-Solution twocatac(const TaskChain& chain, Resources resources, ScheduleStats* stats)
+Solution detail::twocatac(const TaskChain& chain, Resources resources, ScheduleStats* stats)
 {
     return schedule_with_binary_search(
         chain, resources,

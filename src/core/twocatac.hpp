@@ -22,8 +22,23 @@ namespace amp::core {
 [[nodiscard]] Solution twocatac_compute_solution(const TaskChain& chain, int s,
                                                  Resources available, double target_period);
 
-/// Full 2CATAC schedule (binary search of Algo 1 over Algo 5).
+namespace detail {
+
+/// Full 2CATAC schedule (binary search of Algo 1 over Algo 5). Callers
+/// outside the scheduling library itself should go through the unified
+/// core::schedule(ScheduleRequest) API (core/scheduler.hpp).
 [[nodiscard]] Solution twocatac(const TaskChain& chain, Resources resources,
                                 ScheduleStats* stats = nullptr);
+
+} // namespace detail
+
+/// Deprecated forwarder kept for one release; behaves exactly like the old
+/// entry point.
+[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
+inline Solution twocatac(const TaskChain& chain, Resources resources,
+                         ScheduleStats* stats = nullptr)
+{
+    return detail::twocatac(chain, resources, stats);
+}
 
 } // namespace amp::core

@@ -6,31 +6,6 @@
 
 namespace amp::rt {
 
-namespace {
-
-/// Runs one strategy defensively: schedulers may throw or return an empty /
-/// over-budget solution on degenerate resource vectors.
-std::optional<core::Solution> try_strategy(core::Strategy strategy, const core::TaskChain& chain,
-                                           core::Resources resources)
-{
-    if (strategy == core::Strategy::otac_big && resources.big == 0)
-        return std::nullopt;
-    if (strategy == core::Strategy::otac_little && resources.little == 0)
-        return std::nullopt;
-    try {
-        core::Solution solution = core::schedule(strategy, chain, resources);
-        if (solution.empty() || !solution.is_well_formed(chain))
-            return std::nullopt;
-        const core::Resources used = solution.used();
-        if (used.big > resources.big || used.little > resources.little)
-            return std::nullopt;
-        return solution;
-    } catch (...) {
-        return std::nullopt;
-    }
-}
-
-} // namespace
 
 Rescheduler::Rescheduler(core::TaskChain chain, core::Resources resources,
                          ReschedulePolicy policy)
@@ -48,17 +23,36 @@ core::Solution Rescheduler::recompute()
     if (resources_.total() < 1)
         throw NoScheduleError{"Rescheduler: no cores left to schedule on"};
 
+    // Candidate strategies go through the solver service as one batch:
+    // they solve in parallel, and a re-solve of an already-seen degraded
+    // (chain, resources) pair is a cache hit. schedule() reports malformed
+    // requests (e.g. an OTAC variant with zero cores of its type) and
+    // infeasibility through ScheduleResult::error, so no pre-filtering or
+    // exception fencing is needed here.
     const core::Strategy candidates[] = {policy_.primary, policy_.fallback,
                                          core::Strategy::otac_big, core::Strategy::otac_little};
+    std::vector<core::ScheduleRequest> requests;
+    requests.reserve(std::size(candidates));
+    for (const core::Strategy strategy : candidates) {
+        bool duplicate = false;
+        for (const core::ScheduleRequest& existing : requests)
+            duplicate = duplicate || existing.strategy == strategy;
+        if (!duplicate)
+            requests.push_back(core::ScheduleRequest{chain_, resources_, strategy});
+    }
+
+    svc::SolverService& service =
+        policy_.service != nullptr ? *policy_.service : svc::shared_service();
+    const std::vector<core::ScheduleResult> results = service.solve_batch(requests);
+
     core::Solution best;
     double best_period = core::kInfiniteWeight;
-    for (const core::Strategy strategy : candidates) {
-        const auto solution = try_strategy(strategy, chain_, resources_);
-        if (!solution)
+    for (const core::ScheduleResult& result : results) {
+        if (!result.ok())
             continue;
-        const double period = solution->period(chain_);
+        const double period = result.solution.period(chain_);
         if (period < best_period) {
-            best = *solution;
+            best = result.solution;
             best_period = period;
         }
     }

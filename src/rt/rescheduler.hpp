@@ -15,6 +15,7 @@
 #include "core/scheduler.hpp"
 #include "obs/histogram.hpp"
 #include "rt/pipeline.hpp"
+#include "svc/solver_service.hpp"
 
 #include <chrono>
 #include <functional>
@@ -40,6 +41,11 @@ struct ReschedulePolicy {
     /// Consecutive drifted reports before the chain is re-profiled and the
     /// schedule recomputed (debounces transient load spikes).
     int drift_patience = 3;
+    /// Solver service every recompute goes through (candidate strategies
+    /// are submitted as one batch, so repeated re-solves of the same
+    /// degraded (chain, resources) pair hit its cache). Null means the
+    /// process-wide svc::shared_service().
+    svc::SolverService* service = nullptr;
 };
 
 class Rescheduler {

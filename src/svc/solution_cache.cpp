@@ -1,0 +1,77 @@
+#include "svc/solution_cache.hpp"
+
+#include <algorithm>
+
+namespace amp::svc {
+
+SolutionCache::SolutionCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity)
+    , per_shard_(shards > 0 ? std::max<std::size_t>(1, capacity / std::max<std::size_t>(1, shards))
+                            : std::max<std::size_t>(1, capacity))
+    , shards_(std::max<std::size_t>(1, shards))
+{
+}
+
+std::optional<core::ScheduleResult> SolutionCache::get(const CacheKey& key)
+{
+    if (!enabled())
+        return std::nullopt;
+    Shard& shard = shard_for(hash_key(key));
+    std::lock_guard lock{shard.mutex};
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    core::ScheduleResult result = it->second->result;
+    result.cache_hit = true;
+    return result;
+}
+
+void SolutionCache::put(const CacheKey& key, const core::ScheduleResult& result)
+{
+    if (!enabled())
+        return;
+    Shard& shard = shard_for(hash_key(key));
+    std::lock_guard lock{shard.mutex};
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+        it->second->result = result;
+        it->second->result.cache_hit = false;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(Entry{key, result});
+    shard.lru.front().result.cache_hit = false;
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() > per_shard_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+}
+
+CacheStats SolutionCache::stats() const
+{
+    CacheStats stats;
+    for (const Shard& shard : shards_) {
+        std::lock_guard lock{shard.mutex};
+        stats.hits += shard.hits;
+        stats.misses += shard.misses;
+        stats.evictions += shard.evictions;
+        stats.entries += shard.lru.size();
+    }
+    return stats;
+}
+
+void SolutionCache::clear()
+{
+    for (Shard& shard : shards_) {
+        std::lock_guard lock{shard.mutex};
+        shard.lru.clear();
+        shard.index.clear();
+    }
+}
+
+} // namespace amp::svc

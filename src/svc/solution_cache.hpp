@@ -1,0 +1,127 @@
+#pragma once
+// Sharded LRU cache of schedule results.
+//
+// The key is the full identity of a solve: the chain's 64-bit FNV-1a
+// fingerprint (weights + replicability flags, computed once at TaskChain
+// construction), the strategy, the resource vector R = (b, l), and the
+// dense ScheduleOptions encoding. Two requests with equal keys are solved
+// identically by the (deterministic) strategies, so a hit returns a
+// bit-identical Solution without running the solver.
+//
+// Sharding: the key hash selects one of `shards` independent LRU maps, each
+// behind its own mutex, so concurrent workers rarely contend. Capacity is
+// split evenly across shards; eviction is strict LRU per shard.
+
+#include "core/scheduler.hpp"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace amp::svc {
+
+/// Cache identity of a ScheduleRequest.
+struct CacheKey {
+    std::uint64_t chain_fingerprint = 0;
+    std::int32_t big = 0;
+    std::int32_t little = 0;
+    std::uint8_t strategy = 0;
+    std::uint8_t options = 0;
+
+    [[nodiscard]] constexpr bool operator==(const CacheKey&) const noexcept = default;
+};
+
+[[nodiscard]] inline CacheKey key_of(const core::ScheduleRequest& request) noexcept
+{
+    return CacheKey{request.chain.fingerprint(), request.resources.big,
+                    request.resources.little, static_cast<std::uint8_t>(request.strategy),
+                    request.options.key_bits()};
+}
+
+/// splitmix64-style mix of the key fields; also decides the shard.
+[[nodiscard]] constexpr std::uint64_t hash_key(const CacheKey& key) noexcept
+{
+    std::uint64_t x = key.chain_fingerprint;
+    x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.big)) << 32)
+        | static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.little));
+    x ^= (static_cast<std::uint64_t>(key.strategy) << 8) | key.options;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Aggregate cache counters (monotone except `entries`).
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept
+    {
+        const double total = static_cast<double>(hits + misses);
+        return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/// Thread-safe sharded LRU map CacheKey -> ScheduleResult.
+class SolutionCache {
+public:
+    /// `capacity` is the total entry budget, split evenly across `shards`
+    /// (each shard holds at least one entry). capacity == 0 disables the
+    /// cache: get() always misses and put() is a no-op.
+    SolutionCache(std::size_t capacity, std::size_t shards);
+
+    SolutionCache(const SolutionCache&) = delete;
+    SolutionCache& operator=(const SolutionCache&) = delete;
+
+    /// Returns the cached result (cache_hit already set) or nullopt.
+    [[nodiscard]] std::optional<core::ScheduleResult> get(const CacheKey& key);
+
+    /// Inserts or refreshes `result` under `key`, evicting the shard's LRU
+    /// entry when full.
+    void put(const CacheKey& key, const core::ScheduleResult& result);
+
+    [[nodiscard]] CacheStats stats() const;
+    [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    void clear();
+
+private:
+    struct Entry {
+        CacheKey key;
+        core::ScheduleResult result;
+    };
+
+    struct KeyHasher {
+        [[nodiscard]] std::size_t operator()(const CacheKey& key) const noexcept
+        {
+            return static_cast<std::size_t>(hash_key(key));
+        }
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; ///< front = most recently used
+        std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHasher> index;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    [[nodiscard]] Shard& shard_for(std::uint64_t hash) noexcept
+    {
+        return shards_[static_cast<std::size_t>(hash) % shards_.size()];
+    }
+
+    std::size_t capacity_;
+    std::size_t per_shard_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace amp::svc

@@ -1,0 +1,219 @@
+#include "svc/solver_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace amp::svc {
+
+namespace {
+
+std::string labelled(const char* name, core::Strategy strategy)
+{
+    return std::string{name} + "{strategy=\"" + core::to_key(strategy) + "\"}";
+}
+
+} // namespace
+
+SolverService::SolverService(ServiceConfig config)
+    : config_(config)
+    , cache_(config.cache_capacity, config.cache_shards)
+{
+    if (config_.metrics != nullptr) {
+        metrics_ = config_.metrics;
+    } else {
+        owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = owned_metrics_.get();
+    }
+
+    instruments_.resize(std::size(core::kAllStrategies));
+    for (const core::Strategy strategy : core::kAllStrategies) {
+        StrategyInstruments& inst = instruments_[static_cast<std::size_t>(strategy)];
+        inst.hits = &metrics_->counter(labelled("amp_svc_cache_hits", strategy));
+        inst.misses = &metrics_->counter(labelled("amp_svc_cache_misses", strategy));
+        inst.errors = &metrics_->counter(labelled("amp_svc_solve_errors", strategy));
+        inst.solve_latency =
+            &metrics_->histogram(labelled("amp_svc_solve_latency_us", strategy));
+    }
+
+    int workers = config_.workers;
+    if (workers <= 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+
+    deques_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        auto deque = std::make_unique<WorkDeque>();
+        deque->jobs.resize(queue_capacity);
+        deques_.push_back(std::move(deque));
+    }
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+SolverService::~SolverService()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard lock{sleep_mutex_};
+    }
+    work_ready_.notify_all();
+    for (std::thread& thread : threads_)
+        thread.join();
+}
+
+bool SolverService::try_push(std::size_t worker_index, const Job& job)
+{
+    WorkDeque& deque = *deques_[worker_index % deques_.size()];
+    {
+        std::lock_guard lock{deque.mutex};
+        if (deque.count == deque.jobs.size())
+            return false;
+        deque.jobs[(deque.head + deque.count) % deque.jobs.size()] = job;
+        ++deque.count;
+    }
+    {
+        std::lock_guard lock{sleep_mutex_};
+    }
+    work_ready_.notify_one();
+    return true;
+}
+
+bool SolverService::try_pop(std::size_t worker_index, Job& out)
+{
+    WorkDeque& deque = *deques_[worker_index];
+    std::lock_guard lock{deque.mutex};
+    if (deque.count == 0)
+        return false;
+    out = deque.jobs[deque.head];
+    deque.head = (deque.head + 1) % deque.jobs.size();
+    --deque.count;
+    return true;
+}
+
+bool SolverService::try_steal(std::size_t thief_index, Job& out)
+{
+    for (std::size_t offset = 1; offset <= deques_.size(); ++offset) {
+        const std::size_t victim = (thief_index + offset) % deques_.size();
+        if (victim == thief_index)
+            continue;
+        WorkDeque& deque = *deques_[victim];
+        std::lock_guard lock{deque.mutex};
+        if (deque.count == 0)
+            continue;
+        // Steal the newest entry (the back); the owner drains the front.
+        --deque.count;
+        out = deque.jobs[(deque.head + deque.count) % deque.jobs.size()];
+        return true;
+    }
+    return false;
+}
+
+void SolverService::worker_loop(std::size_t worker_index)
+{
+    for (;;) {
+        Job job;
+        if (try_pop(worker_index, job) || try_steal(worker_index, job)) {
+            run_job(job, worker_index);
+            continue;
+        }
+        std::unique_lock lock{sleep_mutex_};
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        work_ready_.wait_for(lock, std::chrono::milliseconds(10));
+        if (stop_.load(std::memory_order_acquire))
+            return;
+    }
+}
+
+void SolverService::run_job(const Job& job, std::size_t worker_index)
+{
+    *job.result = solve_on(*job.request, worker_index);
+    if (job.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        {
+            std::lock_guard lock{job.batch->mutex};
+        }
+        job.batch->done.notify_all();
+    }
+}
+
+core::ScheduleResult SolverService::solve_on(const core::ScheduleRequest& request,
+                                             std::size_t worker_index)
+{
+    StrategyInstruments& inst = instruments_[static_cast<std::size_t>(request.strategy)];
+    const CacheKey key = key_of(request);
+
+    if (cache_.enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (auto hit = cache_.get(key)) {
+            hit->solve_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            inst.hits->inc(worker_index);
+            return std::move(*hit);
+        }
+    }
+
+    core::ScheduleResult result = core::schedule(request);
+    inst.misses->inc(worker_index);
+    inst.solve_latency->record(result.solve_ns);
+    if (!result.ok())
+        inst.errors->inc(worker_index);
+    // Infeasible outcomes are deterministic too and worth memoizing;
+    // invalid requests are rejected in microseconds, skip them.
+    if (cache_.enabled() && result.error != core::ScheduleError::invalid_request)
+        cache_.put(key, result);
+    return result;
+}
+
+core::ScheduleResult SolverService::solve(const core::ScheduleRequest& request)
+{
+    return solve_on(request, deques_.size());
+}
+
+std::vector<core::ScheduleResult>
+SolverService::solve_batch(const std::vector<core::ScheduleRequest>& requests)
+{
+    std::vector<core::ScheduleResult> results(requests.size());
+    if (requests.empty())
+        return results;
+
+    Batch batch;
+    batch.remaining.store(requests.size(), std::memory_order_relaxed);
+
+    const std::size_t external = deques_.size();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Job job{&requests[i], &results[i], &batch};
+        const std::size_t start = next_deque_.fetch_add(1, std::memory_order_relaxed);
+        bool queued = false;
+        for (std::size_t attempt = 0; attempt < deques_.size() && !queued; ++attempt)
+            queued = try_push(start + attempt, job);
+        if (!queued)
+            run_job(job, external); // every deque full: backpressure, solve inline
+    }
+
+    // Help drain: steal queued jobs (this batch's or a concurrent one's)
+    // instead of blocking, then wait for in-flight solves to finish.
+    while (batch.remaining.load(std::memory_order_acquire) > 0) {
+        Job job;
+        if (try_steal(external, job)) {
+            run_job(job, external);
+            continue;
+        }
+        std::unique_lock lock{batch.mutex};
+        batch.done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            return batch.remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+    return results;
+}
+
+SolverService& shared_service()
+{
+    static SolverService service{};
+    return service;
+}
+
+} // namespace amp::svc

@@ -1,0 +1,104 @@
+// Pins the deprecated per-strategy entry points to the unified request API:
+// the forwarders must return bit-identical solutions until they are removed.
+// This file is the one place allowed to call them without tripping
+// -Werror=deprecated-declarations.
+
+#include "core/fertac.hpp"
+#include "core/herad.hpp"
+#include "core/otac.hpp"
+#include "core/scheduler.hpp"
+#include "core/twocatac.hpp"
+
+#include "sim/generator.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace {
+
+using namespace amp;
+using amp::testing::make_chain;
+
+std::vector<core::TaskChain> random_chains(int count, std::uint64_t seed)
+{
+    Rng rng{seed};
+    sim::GeneratorConfig config;
+    std::vector<core::TaskChain> chains;
+    chains.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        config.num_tasks = 4 + i % 20;
+        config.stateless_ratio = (i % 5) * 0.25;
+        chains.push_back(sim::generate_chain(config, rng));
+    }
+    return chains;
+}
+
+core::Solution via_request(core::Strategy strategy, const core::TaskChain& chain,
+                           core::Resources resources, core::ScheduleOptions options = {})
+{
+    return core::schedule(core::ScheduleRequest{chain, resources, strategy, options}).solution;
+}
+
+TEST(DeprecatedApi, HeradForwarderMatchesRequestApi)
+{
+    for (const auto& chain : random_chains(10, 11))
+        EXPECT_EQ(core::herad(chain, {3, 3}),
+                  via_request(core::Strategy::herad, chain, {3, 3}));
+}
+
+TEST(DeprecatedApi, HeradForwarderHonoursOptions)
+{
+    core::HeradOptions old_options;
+    old_options.fast_u_search = true;
+    core::ScheduleOptions new_options;
+    new_options.fast_u_search = true;
+    for (const auto& chain : random_chains(6, 12))
+        EXPECT_EQ(core::herad(chain, {4, 2}, old_options),
+                  via_request(core::Strategy::herad, chain, {4, 2}, new_options));
+}
+
+TEST(DeprecatedApi, FertacForwarderMatchesRequestApi)
+{
+    for (const auto& chain : random_chains(10, 13)) {
+        EXPECT_EQ(core::fertac(chain, {3, 3}),
+                  via_request(core::Strategy::fertac, chain, {3, 3}));
+        EXPECT_EQ(core::fertac(chain, {3, 3}, nullptr, core::FertacPreference::big_first),
+                  via_request(core::Strategy::fertac, chain, {3, 3},
+                              {.preference = core::FertacPreference::big_first}));
+    }
+}
+
+TEST(DeprecatedApi, TwocatacForwarderMatchesRequestApi)
+{
+    for (const auto& chain : random_chains(10, 14))
+        EXPECT_EQ(core::twocatac(chain, {3, 3}),
+                  via_request(core::Strategy::twocatac, chain, {3, 3}));
+}
+
+TEST(DeprecatedApi, OtacForwardersMatchRequestApi)
+{
+    for (const auto& chain : random_chains(10, 15)) {
+        EXPECT_EQ(core::otac(chain, 4, core::CoreType::big),
+                  via_request(core::Strategy::otac_big, chain, {4, 0}));
+        EXPECT_EQ(core::otac(chain, 4, core::CoreType::little),
+                  via_request(core::Strategy::otac_little, chain, {0, 4}));
+    }
+}
+
+TEST(DeprecatedApi, ForwardersKeepThrowingOnDegenerateInput)
+{
+    // The old contract threw; the request API reports invalid_request
+    // instead. Both behaviours are pinned until the forwarders go away.
+    const auto chain = make_chain({{10, 20, true}});
+    EXPECT_THROW((void)core::herad(chain, {0, 0}), std::invalid_argument);
+    EXPECT_THROW((void)core::otac(chain, 0, core::CoreType::big), std::invalid_argument);
+    EXPECT_EQ(core::schedule(core::ScheduleRequest{chain, {0, 0}, core::Strategy::herad}).error,
+              core::ScheduleError::invalid_request);
+}
+
+} // namespace
+
+#pragma GCC diagnostic pop

@@ -4,12 +4,14 @@
 #include "core/fertac.hpp"
 #include "core/herad.hpp"
 #include "sim/generator.hpp"
+#include "test_support.hpp"
 
 #include <gtest/gtest.h>
 
 namespace {
 
 using namespace amp::core;
+using amp::testing::solve;
 
 TEST(FertacBigFirst, PrefersBigCoresWhenTheySuffice)
 {
@@ -20,9 +22,9 @@ TEST(FertacBigFirst, PrefersBigCoresWhenTheySuffice)
         tasks.push_back({"t" + std::to_string(i + 1), 10.0, 10.0, false});
     const TaskChain chain{std::move(tasks)};
 
-    const Solution little_first = fertac(chain, {4, 4});
+    const Solution little_first = solve(Strategy::fertac, chain, {4, 4});
     const Solution big_first =
-        fertac(chain, {4, 4}, nullptr, FertacPreference::big_first);
+        solve(Strategy::fertac, chain, {4, 4}, {.preference = FertacPreference::big_first});
     ASSERT_FALSE(little_first.empty());
     ASSERT_FALSE(big_first.empty());
     EXPECT_EQ(little_first.used(CoreType::big), 0);
@@ -39,7 +41,7 @@ TEST(FertacBigFirst, BothVariantsStayValidOnRandomChains)
         const auto chain = amp::sim::generate_chain(config, rng);
         for (const auto preference :
              {FertacPreference::little_first, FertacPreference::big_first}) {
-            const Solution sol = fertac(chain, {3, 3}, nullptr, preference);
+            const Solution sol = solve(Strategy::fertac, chain, {3, 3}, {.preference = preference});
             ASSERT_FALSE(sol.empty());
             ASSERT_TRUE(sol.is_well_formed(chain));
             ASSERT_LE(sol.used(CoreType::big), 3);
@@ -58,8 +60,8 @@ TEST(HeradFastUSearch, PeriodMatchesExactSearch)
         for (int trial = 0; trial < 20; ++trial) {
             const auto chain = amp::sim::generate_chain(config, rng);
             for (const Resources budget : {Resources{6, 6}, Resources{10, 2}}) {
-                const Solution exact = herad(chain, budget, {.fast_u_search = false});
-                const Solution fast = herad(chain, budget, {.fast_u_search = true});
+                const Solution exact = solve(Strategy::herad, chain, budget, {.fast_u_search = false});
+                const Solution fast = solve(Strategy::herad, chain, budget, {.fast_u_search = true});
                 ASSERT_FALSE(fast.empty());
                 ASSERT_TRUE(fast.is_well_formed(chain));
                 ASSERT_NEAR(fast.period(chain), exact.period(chain), 1e-9)
@@ -77,7 +79,7 @@ TEST(HeradFastUSearch, RespectsBudgets)
     config.stateless_ratio = 0.8;
     const auto chain = amp::sim::generate_chain(config, rng);
     const Resources budget{12, 12};
-    const Solution fast = herad(chain, budget, {.fast_u_search = true});
+    const Solution fast = solve(Strategy::herad, chain, budget, {.fast_u_search = true});
     EXPECT_LE(fast.used(CoreType::big), budget.big);
     EXPECT_LE(fast.used(CoreType::little), budget.little);
 }

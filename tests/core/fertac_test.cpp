@@ -9,13 +9,15 @@ namespace {
 
 using namespace amp::core;
 using amp::testing::make_chain;
+using amp::testing::solve;
+using amp::testing::solve_result;
 using amp::testing::uniform_chain;
 
 TEST(Fertac, ProducesValidSolution)
 {
     const auto chain = make_chain({{10, 20, false}, {30, 60, true}, {30, 60, true},
                                    {10, 25, false}, {5, 10, true}});
-    const Solution sol = fertac(chain, {3, 3});
+    const Solution sol = solve(Strategy::fertac, chain, {3, 3});
     ASSERT_FALSE(sol.empty());
     EXPECT_TRUE(sol.is_well_formed(chain));
     EXPECT_LE(sol.used(CoreType::big), 3);
@@ -27,7 +29,7 @@ TEST(Fertac, PrefersLittleCoresWhenTheySuffice)
     // Weights identical on both core types: little cores alone can carry
     // the whole chain at the optimal period, and FERTAC grabs them first.
     const auto chain = uniform_chain(4, 10.0, false);
-    const Solution sol = fertac(chain, {4, 4});
+    const Solution sol = solve(Strategy::fertac, chain, {4, 4});
     ASSERT_FALSE(sol.empty());
     EXPECT_EQ(sol.used(CoreType::big), 0)
         << "little-first policy should not touch big cores: " << sol.decomposition();
@@ -38,7 +40,7 @@ TEST(Fertac, FallsBackToBigForSlowTasks)
 {
     // One heavy sequential task that only meets the period on a big core.
     const auto chain = make_chain({{10, 100, false}, {10, 100, false}});
-    const Solution sol = fertac(chain, {2, 2});
+    const Solution sol = solve(Strategy::fertac, chain, {2, 2});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 10.0);
     EXPECT_EQ(sol.used(CoreType::big), 2);
@@ -47,7 +49,7 @@ TEST(Fertac, FallsBackToBigForSlowTasks)
 TEST(Fertac, SingleTaskChain)
 {
     const auto chain = make_chain({{10, 40, true}});
-    const Solution sol = fertac(chain, {1, 1});
+    const Solution sol = solve(Strategy::fertac, chain, {1, 1});
     ASSERT_FALSE(sol.empty());
     EXPECT_EQ(sol.stage_count(), 1u);
     EXPECT_DOUBLE_EQ(sol.period(chain), 10.0) << "big core is 4x faster here";
@@ -62,8 +64,8 @@ TEST(Fertac, NeverBeatsHeradPeriod)
     };
     for (const auto& chain : chains) {
         for (const Resources budget : {Resources{2, 2}, Resources{1, 3}, Resources{3, 1}}) {
-            const Solution greedy = fertac(chain, budget);
-            const Solution optimal = herad(chain, budget);
+            const Solution greedy = solve(Strategy::fertac, chain, budget);
+            const Solution optimal = solve(Strategy::herad, chain, budget);
             ASSERT_FALSE(greedy.empty());
             ASSERT_FALSE(optimal.empty());
             EXPECT_GE(greedy.period(chain), optimal.period(chain) - 1e-9);
@@ -74,7 +76,7 @@ TEST(Fertac, NeverBeatsHeradPeriod)
 TEST(Fertac, HandlesBigOnlyBudget)
 {
     const auto chain = uniform_chain(4, 10.0, true);
-    const Solution sol = fertac(chain, {3, 0});
+    const Solution sol = solve(Strategy::fertac, chain, {3, 0});
     ASSERT_FALSE(sol.empty());
     EXPECT_EQ(sol.used(CoreType::little), 0);
     EXPECT_TRUE(sol.is_well_formed(chain));
@@ -83,7 +85,7 @@ TEST(Fertac, HandlesBigOnlyBudget)
 TEST(Fertac, HandlesLittleOnlyBudget)
 {
     const auto chain = uniform_chain(4, 10.0, true);
-    const Solution sol = fertac(chain, {0, 3});
+    const Solution sol = solve(Strategy::fertac, chain, {0, 3});
     ASSERT_FALSE(sol.empty());
     EXPECT_EQ(sol.used(CoreType::big), 0);
     EXPECT_TRUE(sol.is_well_formed(chain));
@@ -94,7 +96,7 @@ TEST(Fertac, LittleFasterThanBigStillSchedules)
     // Adversarial profile: tasks run FASTER on little cores. The paper's
     // period bounds assume the opposite; the fallback search must cope.
     const auto chain = make_chain({{100, 10, false}, {100, 10, false}});
-    const Solution sol = fertac(chain, {1, 1});
+    const Solution sol = solve(Strategy::fertac, chain, {1, 1});
     ASSERT_FALSE(sol.empty());
     EXPECT_TRUE(sol.is_well_formed(chain));
 }

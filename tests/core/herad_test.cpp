@@ -9,12 +9,14 @@ namespace {
 
 using namespace amp::core;
 using amp::testing::make_chain;
+using amp::testing::solve;
+using amp::testing::solve_result;
 using amp::testing::uniform_chain;
 
 TEST(Herad, SingleTaskPicksFasterCore)
 {
     const auto chain = make_chain({{10, 40, false}});
-    const Solution sol = herad(chain, {1, 1});
+    const Solution sol = solve(Strategy::herad, chain, {1, 1});
     ASSERT_EQ(sol.stage_count(), 1u);
     EXPECT_EQ(sol.stage(0).type, CoreType::big);
     EXPECT_DOUBLE_EQ(sol.period(chain), 10.0);
@@ -24,7 +26,7 @@ TEST(Herad, SingleTaskTieGoesToLittle)
 {
     // Lemma 1: ties are solved in favour of little cores.
     const auto chain = make_chain({{10, 10, false}});
-    const Solution sol = herad(chain, {1, 1});
+    const Solution sol = solve(Strategy::herad, chain, {1, 1});
     ASSERT_EQ(sol.stage_count(), 1u);
     EXPECT_EQ(sol.stage(0).type, CoreType::little);
 }
@@ -32,7 +34,7 @@ TEST(Herad, SingleTaskTieGoesToLittle)
 TEST(Herad, ReplicableTaskUsesAllUsefulCores)
 {
     const auto chain = make_chain({{12, 12, true}});
-    const Solution sol = herad(chain, {2, 2});
+    const Solution sol = solve(Strategy::herad, chain, {2, 2});
     ASSERT_FALSE(sol.empty());
     // 12/4 with 2B+2L is impossible (single stage, one type); best single
     // type gives 12/2 = 6 using either pair. Little wins the tie.
@@ -45,7 +47,7 @@ TEST(Herad, SplitsReplicableWorkAcrossTypes)
 {
     // Two replicable tasks: one stage per type beats any single-type plan.
     const auto chain = make_chain({{12, 12, true}, {12, 12, true}});
-    const Solution sol = herad(chain, {2, 2});
+    const Solution sol = solve(Strategy::herad, chain, {2, 2});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 6.0);
     EXPECT_EQ(sol.used(CoreType::big), 2);
@@ -55,7 +57,7 @@ TEST(Herad, SplitsReplicableWorkAcrossTypes)
 TEST(Herad, SequentialBottleneckSetsPeriod)
 {
     const auto chain = make_chain({{5, 10, true}, {42, 99, false}, {5, 10, true}});
-    const Solution sol = herad(chain, {2, 2});
+    const Solution sol = solve(Strategy::herad, chain, {2, 2});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 42.0);
 }
@@ -66,7 +68,7 @@ TEST(Herad, UsesAsFewCoresAsNecessary)
     // (sum 20 on little) fit on one little core within that period, so the
     // optimal uses exactly 1 big + 1 little.
     const auto chain = make_chain({{20, 45, false}, {5, 10, true}, {5, 10, true}});
-    const Solution sol = herad(chain, {4, 4});
+    const Solution sol = solve(Strategy::herad, chain, {4, 4});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 20.0);
     EXPECT_LE(sol.used().total(), 2) << sol.decomposition();
@@ -77,7 +79,7 @@ TEST(Herad, PrefersLittleOnPeriodTies)
     // Both types achieve period 10 for this chain; the secondary objective
     // must favour little cores.
     const auto chain = make_chain({{10, 10, false}, {10, 10, false}});
-    const Solution sol = herad(chain, {2, 2});
+    const Solution sol = solve(Strategy::herad, chain, {2, 2});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 10.0);
     EXPECT_EQ(sol.used(CoreType::big), 0) << sol.decomposition();
@@ -87,8 +89,8 @@ TEST(Herad, PrefersLittleOnPeriodTies)
 TEST(Herad, MergePassReducesStageCount)
 {
     const auto chain = uniform_chain(6, 10.0, true);
-    const Solution merged = herad(chain, {0, 3}, {.merge_stages = true});
-    const Solution raw = herad(chain, {0, 3}, {.merge_stages = false});
+    const Solution merged = solve(Strategy::herad, chain, {0, 3}, {.merge_stages = true});
+    const Solution raw = solve(Strategy::herad, chain, {0, 3}, {.merge_stages = false});
     ASSERT_FALSE(merged.empty());
     ASSERT_FALSE(raw.empty());
     EXPECT_DOUBLE_EQ(merged.period(chain), raw.period(chain));
@@ -101,8 +103,8 @@ TEST(Herad, PruneDoesNotChangeResult)
     const auto chain = make_chain({{10, 20, true}, {40, 90, false}, {10, 15, true},
                                    {25, 70, true}, {5, 6, true}, {18, 60, false}});
     for (const Resources budget : {Resources{2, 2}, Resources{3, 1}, Resources{1, 4}}) {
-        const Solution pruned = herad(chain, budget, {.prune = true});
-        const Solution exact = herad(chain, budget, {.prune = false});
+        const Solution pruned = solve(Strategy::herad, chain, budget, {.prune = true});
+        const Solution exact = solve(Strategy::herad, chain, budget, {.prune = false});
         EXPECT_DOUBLE_EQ(pruned.period(chain), exact.period(chain));
         EXPECT_EQ(pruned.used(), exact.used());
     }
@@ -117,7 +119,7 @@ TEST(Herad, MatchesBruteForceOnFixedInstances)
     };
     for (const auto& chain : chains) {
         for (const Resources budget : {Resources{2, 2}, Resources{1, 3}, Resources{3, 1}}) {
-            const Solution sol = herad(chain, budget);
+            const Solution sol = solve(Strategy::herad, chain, budget);
             ASSERT_FALSE(sol.empty());
             EXPECT_TRUE(sol.is_well_formed(chain));
             const auto reference = brute_force(chain, budget);
@@ -132,23 +134,24 @@ TEST(Herad, OptimalPeriodHelperAgrees)
     const auto chain = make_chain({{10, 20, true}, {40, 90, false}, {10, 15, true}});
     const Resources budget{2, 2};
     EXPECT_DOUBLE_EQ(herad_optimal_period(chain, budget),
-                     herad(chain, budget).period(chain));
+                     solve(Strategy::herad, chain, budget).period(chain));
 }
 
 TEST(Herad, EmptyChainAndErrors)
 {
-    EXPECT_TRUE(herad(TaskChain{}, {1, 1}).empty());
+    EXPECT_TRUE(solve(Strategy::herad, TaskChain{}, {1, 1}).empty());
     const auto chain = uniform_chain(2, 1.0, true);
-    EXPECT_THROW((void)herad(chain, {0, 0}), std::invalid_argument);
+    EXPECT_EQ(solve_result(Strategy::herad, chain, {0, 0}).error,
+              ScheduleError::invalid_request);
 }
 
 TEST(Herad, BigOnlyAndLittleOnlyBudgets)
 {
     const auto chain = make_chain({{10, 30, true}, {20, 25, false}, {10, 30, true}});
-    const Solution big_only = herad(chain, {3, 0});
+    const Solution big_only = solve(Strategy::herad, chain, {3, 0});
     ASSERT_FALSE(big_only.empty());
     EXPECT_EQ(big_only.used(CoreType::little), 0);
-    const Solution little_only = herad(chain, {0, 3});
+    const Solution little_only = solve(Strategy::herad, chain, {0, 3});
     ASSERT_FALSE(little_only.empty());
     EXPECT_EQ(little_only.used(CoreType::big), 0);
     EXPECT_TRUE(big_only.is_well_formed(chain));

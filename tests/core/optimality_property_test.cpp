@@ -8,6 +8,7 @@
 
 #include "core/scheduler.hpp"
 #include "sim/generator.hpp"
+#include "test_support.hpp"
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 namespace {
 
 using namespace amp::core;
+using amp::testing::solve;
 
 struct PropertyCase {
     int num_tasks;
@@ -46,7 +48,7 @@ TEST_P(OptimalityProperty, HeradMatchesBruteForcePeriod)
     for (int trial = 0; trial < kTrialsPerCase; ++trial) {
         const TaskChain chain = random_chain(param, rng);
         const Resources budget{param.big, param.little};
-        const Solution sol = herad(chain, budget);
+        const Solution sol = solve(Strategy::herad, chain, budget);
         ASSERT_FALSE(sol.empty());
         ASSERT_TRUE(sol.is_well_formed(chain));
         const auto reference = brute_force(chain, budget);
@@ -63,7 +65,7 @@ TEST_P(OptimalityProperty, HeradUsageIsParetoMinimal)
     for (int trial = 0; trial < kTrialsPerCase; ++trial) {
         const TaskChain chain = random_chain(param, rng);
         const Resources budget{param.big, param.little};
-        const Solution sol = herad(chain, budget);
+        const Solution sol = solve(Strategy::herad, chain, budget);
         const Resources usage = sol.used();
         const auto reference = brute_force(chain, budget);
         // No optimal-period solution may strictly dominate HeRAD's usage.
@@ -107,14 +109,14 @@ TEST_P(OptimalityProperty, OtacOptimalOnHomogeneousPools)
     for (int trial = 0; trial < kTrialsPerCase / 2; ++trial) {
         const TaskChain chain = random_chain(param, rng);
         if (param.big >= 1) {
-            const Solution sol = otac(chain, param.big, CoreType::big);
+            const Solution sol = solve(Strategy::otac_big, chain, {param.big, 0});
             ASSERT_FALSE(sol.empty());
             ASSERT_NEAR(sol.period(chain), brute_force_optimal_period(chain, {param.big, 0}),
                         1e-9)
                 << "big pool, trial " << trial;
         }
         if (param.little >= 1) {
-            const Solution sol = otac(chain, param.little, CoreType::little);
+            const Solution sol = solve(Strategy::otac_little, chain, {0, param.little});
             ASSERT_FALSE(sol.empty());
             ASSERT_NEAR(sol.period(chain), brute_force_optimal_period(chain, {0, param.little}),
                         1e-9)

@@ -9,12 +9,14 @@ namespace {
 
 using namespace amp::core;
 using amp::testing::make_chain;
+using amp::testing::solve;
+using amp::testing::solve_result;
 using amp::testing::uniform_chain;
 
 TEST(Otac, SingleCoreSingleStage)
 {
     const auto chain = uniform_chain(4, 10.0, false);
-    const Solution sol = otac(chain, 1, CoreType::big);
+    const Solution sol = solve(Strategy::otac_big, chain, {1, 0});
     ASSERT_FALSE(sol.empty());
     EXPECT_TRUE(sol.is_well_formed(chain));
     EXPECT_EQ(sol.stage_count(), 1u);
@@ -26,7 +28,7 @@ TEST(Otac, AllReplicableUsesOneReplicatedStage)
     // With homogeneous cores and a fully replicable chain, the optimum is a
     // single stage replicated over all cores (paper §II).
     const auto chain = uniform_chain(6, 10.0, true);
-    const Solution sol = otac(chain, 4, CoreType::big);
+    const Solution sol = solve(Strategy::otac_big, chain, {4, 0});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 15.0); // 60 / 4
     EXPECT_EQ(sol.used(CoreType::big), 4);
@@ -37,7 +39,7 @@ TEST(Otac, SequentialChainBalancedPartition)
 {
     // 4 sequential tasks of weight 10 on 2 cores: optimum is 20.
     const auto chain = uniform_chain(4, 10.0, false);
-    const Solution sol = otac(chain, 2, CoreType::big);
+    const Solution sol = solve(Strategy::otac_big, chain, {2, 0});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 20.0);
     EXPECT_LE(sol.used(CoreType::big), 2);
@@ -46,7 +48,7 @@ TEST(Otac, SequentialChainBalancedPartition)
 TEST(Otac, LittleCoresUseLittleWeights)
 {
     const auto chain = make_chain({{10, 30, false}, {10, 30, false}});
-    const Solution sol = otac(chain, 2, CoreType::little);
+    const Solution sol = solve(Strategy::otac_little, chain, {0, 2});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 30.0);
     EXPECT_EQ(sol.used(CoreType::big), 0);
@@ -55,7 +57,7 @@ TEST(Otac, LittleCoresUseLittleWeights)
 TEST(Otac, PeriodBoundedBySlowestSequentialTask)
 {
     const auto chain = make_chain({{5, 5, true}, {50, 50, false}, {5, 5, true}});
-    const Solution sol = otac(chain, 8, CoreType::big);
+    const Solution sol = solve(Strategy::otac_big, chain, {8, 0});
     ASSERT_FALSE(sol.empty());
     EXPECT_DOUBLE_EQ(sol.period(chain), 50.0);
 }
@@ -71,7 +73,7 @@ TEST(Otac, MatchesBruteForceOnSmallInstances)
     };
     for (const auto& chain : chains) {
         for (int cores = 1; cores <= 4; ++cores) {
-            const Solution sol = otac(chain, cores, CoreType::big);
+            const Solution sol = solve(Strategy::otac_big, chain, {cores, 0});
             ASSERT_FALSE(sol.empty());
             EXPECT_TRUE(sol.is_well_formed(chain));
             const double reference = brute_force_optimal_period(chain, {cores, 0});
@@ -84,12 +86,13 @@ TEST(Otac, MatchesBruteForceOnSmallInstances)
 TEST(Otac, ThrowsWithoutCores)
 {
     const auto chain = uniform_chain(2, 1.0, true);
-    EXPECT_THROW((void)otac(chain, 0, CoreType::big), std::invalid_argument);
+    EXPECT_EQ(solve_result(Strategy::otac_big, chain, {0, 0}).error,
+              ScheduleError::invalid_request);
 }
 
 TEST(Otac, EmptyChain)
 {
-    EXPECT_TRUE(otac(TaskChain{}, 2, CoreType::big).empty());
+    EXPECT_TRUE(solve(Strategy::otac_big, TaskChain{}, {2, 0}).empty());
 }
 
 } // namespace

@@ -9,6 +9,8 @@ namespace {
 
 using namespace amp::core;
 using amp::testing::make_chain;
+using amp::testing::solve;
+using amp::testing::solve_result;
 using amp::testing::uniform_chain;
 
 TEST(Power, SolutionPowerCountsUsedCores)
@@ -46,7 +48,7 @@ TEST(Power, LittleCoresReduceEnergyOnTies)
     EXPECT_EQ(big.period(chain), little.period(chain));
     EXPECT_LT(energy_per_item(chain, little, model), energy_per_item(chain, big, model));
     // And HeRAD indeed picks the little-core schedule.
-    const Solution herad_sol = herad(chain, {2, 2});
+    const Solution herad_sol = solve(Strategy::herad, chain, {2, 2});
     EXPECT_DOUBLE_EQ(energy_per_item(chain, herad_sol, model),
                      energy_per_item(chain, little, model));
 }

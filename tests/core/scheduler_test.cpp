@@ -111,4 +111,62 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, DegenerateChains,
                              return "unknown";
                          });
 
+TEST(Scheduler, ToKeyRoundTripsThroughParseStrategy)
+{
+    // to_string's display names ("OTAC (B)") do not parse back;
+    // to_key's machine names must, for every strategy.
+    for (const Strategy strategy : kAllStrategies)
+        EXPECT_EQ(parse_strategy(to_key(strategy)), strategy) << to_key(strategy);
+}
+
+TEST(Scheduler, RequestApiReportsInvalidRequests)
+{
+    const auto chain = make_chain({{10, 20, true}});
+    EXPECT_EQ(schedule(ScheduleRequest{TaskChain{}, {2, 2}, Strategy::herad}).error,
+              ScheduleError::invalid_request);
+    EXPECT_EQ(schedule(ScheduleRequest{chain, {0, 0}, Strategy::herad}).error,
+              ScheduleError::invalid_request);
+    EXPECT_EQ(schedule(ScheduleRequest{chain, {-1, 2}, Strategy::herad}).error,
+              ScheduleError::invalid_request);
+    EXPECT_EQ(schedule(ScheduleRequest{chain, {0, 4}, Strategy::otac_big}).error,
+              ScheduleError::invalid_request);
+    EXPECT_EQ(schedule(ScheduleRequest{chain, {4, 0}, Strategy::otac_little}).error,
+              ScheduleError::invalid_request);
+    // Failed requests carry an empty solution.
+    EXPECT_TRUE(schedule(ScheduleRequest{chain, {0, 0}, Strategy::herad}).solution.empty());
+}
+
+TEST(Scheduler, RequestApiTimesAndValidatesSuccessfulSolves)
+{
+    const auto chain = make_chain({{10, 20, false}, {30, 60, true}, {5, 9, true}});
+    for (const Strategy strategy : kAllStrategies) {
+        const ScheduleResult result = schedule(ScheduleRequest{chain, {2, 2}, strategy});
+        ASSERT_TRUE(result.ok()) << to_key(strategy);
+        EXPECT_FALSE(result.cache_hit) << "core::schedule never touches a cache";
+        EXPECT_GT(result.solve_ns, 0u) << to_key(strategy);
+        EXPECT_TRUE(result.solution.is_well_formed(chain)) << to_key(strategy);
+    }
+}
+
+TEST(Scheduler, ConvenienceWrapperMatchesRequestApi)
+{
+    const auto chain = make_chain({{10, 20, false}, {30, 60, true}, {5, 9, true},
+                                   {12, 25, true}, {4, 8, false}});
+    for (const Strategy strategy : kAllStrategies) {
+        const Solution via_wrapper = schedule(strategy, chain, {3, 2});
+        const Solution via_request =
+            schedule(ScheduleRequest{chain, {3, 2}, strategy}).solution;
+        EXPECT_EQ(via_wrapper, via_request) << to_key(strategy);
+    }
+}
+
+TEST(Scheduler, DefaultOptionsCompareEqual)
+{
+    EXPECT_EQ(ScheduleOptions{}, ScheduleOptions{});
+    ScheduleOptions fast;
+    fast.fast_u_search = true;
+    EXPECT_NE(fast, ScheduleOptions{});
+    EXPECT_NE(fast.key_bits(), ScheduleOptions{}.key_bits());
+}
+
 } // namespace

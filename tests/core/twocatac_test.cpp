@@ -10,6 +10,8 @@ namespace {
 
 using namespace amp::core;
 using amp::testing::make_chain;
+using amp::testing::solve;
+using amp::testing::solve_result;
 using amp::testing::uniform_chain;
 
 TEST(ChooseBestSolution, PicksOnlyValidCandidate)
@@ -47,7 +49,7 @@ TEST(Twocatac, ProducesValidSolution)
 {
     const auto chain = make_chain({{10, 20, false}, {30, 60, true}, {30, 60, true},
                                    {10, 25, false}, {5, 10, true}});
-    const Solution sol = twocatac(chain, {3, 3});
+    const Solution sol = solve(Strategy::twocatac, chain, {3, 3});
     ASSERT_FALSE(sol.empty());
     EXPECT_TRUE(sol.is_well_formed(chain));
     EXPECT_LE(sol.used(CoreType::big), 3);
@@ -67,8 +69,8 @@ TEST(Twocatac, NeverWorseThanFertacHere)
     };
     for (const auto& chain : chains) {
         for (const Resources budget : {Resources{2, 2}, Resources{4, 2}, Resources{2, 4}}) {
-            const double p_two = twocatac(chain, budget).period(chain);
-            const double p_fer = fertac(chain, budget).period(chain);
+            const double p_two = solve(Strategy::twocatac, chain, budget).period(chain);
+            const double p_fer = solve(Strategy::fertac, chain, budget).period(chain);
             EXPECT_LE(p_two, p_fer + 1e-9);
         }
     }
@@ -79,8 +81,8 @@ TEST(Twocatac, NeverBeatsHeradPeriod)
     const auto chain = make_chain({{10, 20, true}, {40, 90, false}, {10, 15, true},
                                    {25, 70, true}, {5, 6, true}});
     for (const Resources budget : {Resources{2, 2}, Resources{1, 3}, Resources{3, 1}}) {
-        const double p_two = twocatac(chain, budget).period(chain);
-        const double p_opt = herad(chain, budget).period(chain);
+        const double p_two = solve(Strategy::twocatac, chain, budget).period(chain);
+        const double p_opt = solve(Strategy::herad, chain, budget).period(chain);
         EXPECT_GE(p_two, p_opt - 1e-9);
     }
 }
@@ -91,7 +93,7 @@ TEST(Twocatac, UsesLittleCoresLateInPipeline)
     // for the tail. Both must still be valid.
     const auto chain = make_chain({{10, 12, false}, {50, 120, true}, {50, 120, true},
                                    {10, 12, false}});
-    const Solution sol = twocatac(chain, {3, 1});
+    const Solution sol = solve(Strategy::twocatac, chain, {3, 1});
     ASSERT_FALSE(sol.empty());
     EXPECT_TRUE(sol.is_well_formed(chain));
 }
@@ -99,10 +101,10 @@ TEST(Twocatac, UsesLittleCoresLateInPipeline)
 TEST(Twocatac, SingleResourceType)
 {
     const auto chain = uniform_chain(4, 10.0, true);
-    const Solution big_only = twocatac(chain, {2, 0});
+    const Solution big_only = solve(Strategy::twocatac, chain, {2, 0});
     ASSERT_FALSE(big_only.empty());
     EXPECT_EQ(big_only.used(CoreType::little), 0);
-    const Solution little_only = twocatac(chain, {0, 2});
+    const Solution little_only = solve(Strategy::twocatac, chain, {0, 2});
     ASSERT_FALSE(little_only.empty());
     EXPECT_EQ(little_only.used(CoreType::big), 0);
 }

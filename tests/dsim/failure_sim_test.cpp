@@ -51,7 +51,8 @@ TEST(FailureSim, NoFailuresMatchesPlainSimulation)
 {
     const core::TaskChain chain = make_chain(5);
     const core::Resources budget{3, 2};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, budget);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
     ASSERT_FALSE(solution.empty());
 
     const auto config = small_config();
@@ -73,7 +74,8 @@ TEST(FailureSim, RecoveryDecisionsAreDeterministicFromSeed)
 {
     const core::TaskChain chain = make_chain(6);
     const core::Resources budget{3, 2};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, budget);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
     ASSERT_FALSE(solution.empty());
 
     const auto config = small_config();
@@ -108,7 +110,8 @@ TEST(FailureSim, MirrorsRuntimeReschedulerDecisions)
 {
     const core::TaskChain chain = make_chain(6);
     const core::Resources budget{3, 2};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, budget);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
     ASSERT_FALSE(solution.empty());
 
     const auto config = small_config();
@@ -134,7 +137,8 @@ TEST(FailureSim, ReportsUnschedulableWhenNoCoreRemains)
 {
     const core::TaskChain chain = make_chain(3);
     const core::Resources budget{1, 0};
-    const core::Solution solution = core::schedule(core::Strategy::otac_big, chain, budget);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::otac_big}).solution;
     ASSERT_FALSE(solution.empty());
 
     auto config = small_config();
@@ -151,7 +155,8 @@ TEST(FailureSim, ThroughputDegradesAfterCoreLoss)
 {
     const core::TaskChain chain = make_chain(6);
     const core::Resources budget{3, 2};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, budget);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
     ASSERT_FALSE(solution.empty());
 
     const auto config = small_config();

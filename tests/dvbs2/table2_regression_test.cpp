@@ -29,7 +29,8 @@ struct PinnedRow {
 
 Solution compute(const PinnedRow& row)
 {
-    return schedule(row.strategy, profile_chain(row.profile), row.resources);
+    return schedule(ScheduleRequest{profile_chain(row.profile), row.resources, row.strategy})
+        .solution;
 }
 
 class Table2Regression : public ::testing::TestWithParam<PinnedRow> {};
@@ -107,12 +108,16 @@ TEST(Table2Regression, HeradDominatesAllStrategiesInPeriod)
     for (const auto* profile : {&mac_studio_profile(), &x7ti_profile()}) {
         const auto chain = profile_chain(*profile);
         for (const Resources resources : {profile->cores_half, profile->cores_full}) {
-            const double optimal = herad(chain, resources).period(chain);
+            const double optimal = schedule(ScheduleRequest{chain, resources, Strategy::herad})
+                                       .solution.period(chain);
             for (const Strategy strategy : kAllStrategies) {
-                const Solution solution = schedule(strategy, chain, resources);
-                if (!solution.empty())
+                const ScheduleResult result =
+                    schedule(ScheduleRequest{chain, resources, strategy});
+                const Solution& solution = result.solution;
+                if (result.ok()) {
                     EXPECT_GE(solution.period(chain), optimal - 1e-6)
                         << to_string(strategy) << " on " << profile->name;
+                }
             }
         }
     }

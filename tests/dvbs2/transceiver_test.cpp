@@ -5,7 +5,7 @@
 #include "dvbs2/receiver.hpp"
 
 #include "dvbs2/profiles.hpp"
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "rt/pipeline.hpp"
 #include "rt/profiler.hpp"
 
@@ -99,7 +99,10 @@ TEST(Transceiver, SchedulerSolutionsAreRunnable)
     // runtime on the real chain (stage boundaries compatible with state).
     const auto& profile = mac_studio_profile();
     const auto core_chain = profile_chain(profile);
-    const auto solution = amp::core::herad(core_chain, profile.cores_half);
+    const auto solution = amp::core::schedule(amp::core::ScheduleRequest{
+                                                  core_chain, profile.cores_half,
+                                                  amp::core::Strategy::herad})
+                              .solution;
     ASSERT_FALSE(solution.empty());
 
     auto config = test_config();

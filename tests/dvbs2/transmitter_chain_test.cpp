@@ -1,6 +1,6 @@
 #include "dvbs2/transmitter_chain.hpp"
 
-#include "core/herad.hpp"
+#include "core/scheduler.hpp"
 #include "dvbs2/tx/transmitter.hpp"
 #include "rt/pipeline.hpp"
 #include "rt/profiler.hpp"
@@ -98,7 +98,9 @@ TEST(TransmitterChain, SchedulableFromItsOwnProfile)
     const auto profile = amp::rt::profile_sequence(chain.sequence, 3, 1);
     const auto core_chain = amp::rt::to_scheduler_chain(chain.sequence, profile,
                                                         std::vector<double>(10, 2.0));
-    const auto solution = amp::core::herad(core_chain, {3, 3});
+    const auto solution = amp::core::schedule(amp::core::ScheduleRequest{
+                                                  core_chain, {3, 3}, amp::core::Strategy::herad})
+                              .solution;
     ASSERT_FALSE(solution.empty());
     EXPECT_TRUE(solution.is_well_formed(core_chain));
     amp::rt::Pipeline<TxFrame> pipeline{chain.sequence, solution};

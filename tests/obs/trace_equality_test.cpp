@@ -51,7 +51,8 @@ TEST(TraceEquality, RealAndSimulatedRunsEmitTheSameSchema)
         sequence.push_back(rt::make_task<Frame>("t" + std::to_string(i), i == 1, [](Frame&) {}));
     }
     const core::TaskChain chain{std::move(descs)};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, {2, 1});
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, {2, 1}, core::Strategy::herad}).solution;
 
     constexpr std::uint64_t kFrames = 8;
 
@@ -110,7 +111,8 @@ TEST(TraceEquality, SimulatedFailureEmitsFenceAndTombstone)
         descs.push_back(core::TaskDesc{"t" + std::to_string(i), 10.0, 20.0, i != 1});
     const core::TaskChain chain{std::move(descs)};
     const core::Resources budget{2, 1};
-    const core::Solution solution = core::schedule(core::Strategy::herad, chain, budget);
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
 
     obs::Sink sink;
     dsim::SimulationConfig config;

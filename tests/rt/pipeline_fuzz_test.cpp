@@ -61,7 +61,8 @@ TEST_P(PipelineFuzz, EveryStrategyScheduleExecutesFaithfully)
     const auto expected = sequential_digests(chain, kFrames);
 
     for (const core::Strategy strategy : core::kAllStrategies) {
-        const auto solution = core::schedule(strategy, chain, machine);
+        const auto solution =
+            core::schedule(core::ScheduleRequest{chain, machine, strategy}).solution;
         ASSERT_FALSE(solution.empty()) << core::to_string(strategy);
         auto twin = runtime_twin(chain);
         rt::PipelineConfig pipeline_config;

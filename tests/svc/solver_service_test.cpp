@@ -1,0 +1,200 @@
+#include "svc/solver_service.hpp"
+
+#include "sim/generator.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+using amp::testing::make_chain;
+
+std::vector<core::TaskChain> random_chains(int count, std::uint64_t seed)
+{
+    Rng rng{seed};
+    sim::GeneratorConfig config;
+    std::vector<core::TaskChain> chains;
+    chains.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        config.num_tasks = 5 + i % 23;
+        config.stateless_ratio = (i % 5) * 0.25;
+        chains.push_back(sim::generate_chain(config, rng));
+    }
+    return chains;
+}
+
+TEST(SolverService, SolveMatchesCoreScheduleForEveryStrategy)
+{
+    svc::SolverService service{{.workers = 1}};
+    for (const auto& chain : random_chains(8, 42)) {
+        for (const core::Strategy strategy : core::kAllStrategies) {
+            const core::ScheduleRequest request{chain, {3, 3}, strategy};
+            const core::ScheduleResult via_service = service.solve(request);
+            const core::ScheduleResult via_core = core::schedule(request);
+            EXPECT_EQ(via_service.error, via_core.error) << core::to_key(strategy);
+            EXPECT_EQ(via_service.solution, via_core.solution) << core::to_key(strategy);
+        }
+    }
+}
+
+// The cache must be invisible except for speed: a hit returns a solution
+// bit-identical to a fresh solve, for every strategy over random chains.
+TEST(SolverService, CacheHitsAreBitIdenticalToFreshSolves)
+{
+    svc::SolverService service{{.workers = 1}};
+    for (const auto& chain : random_chains(12, 7)) {
+        for (const core::Strategy strategy : core::kAllStrategies) {
+            const core::ScheduleRequest request{chain, {4, 2}, strategy};
+            const core::ScheduleResult cold = service.solve(request);
+            EXPECT_FALSE(cold.cache_hit);
+            const core::ScheduleResult warm = service.solve(request);
+            EXPECT_TRUE(warm.cache_hit) << core::to_key(strategy);
+            EXPECT_EQ(warm.solution, cold.solution) << core::to_key(strategy);
+            EXPECT_EQ(warm.error, cold.error);
+            EXPECT_EQ(warm.solution, core::schedule(request).solution);
+        }
+    }
+    EXPECT_GT(service.cache_stats().hits, 0u);
+}
+
+TEST(SolverService, DistinctOptionsDoNotShareCacheEntries)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}, {30, 60, true}, {5, 9, false}});
+    core::ScheduleRequest fast{chain, {3, 3}, core::Strategy::herad};
+    fast.options.fast_u_search = true;
+    (void)service.solve(core::ScheduleRequest{chain, {3, 3}, core::Strategy::herad});
+    const core::ScheduleResult result = service.solve(fast);
+    EXPECT_FALSE(result.cache_hit) << "options must be part of the cache key";
+}
+
+TEST(SolverService, BatchResultsAlignWithRequests)
+{
+    svc::SolverService service{{.workers = 2, .cache_capacity = 0}};
+    const auto chains = random_chains(10, 99);
+    std::vector<core::ScheduleRequest> requests;
+    for (const auto& chain : chains)
+        for (const core::Strategy strategy : core::kAllStrategies)
+            requests.push_back(core::ScheduleRequest{chain, {3, 3}, strategy});
+
+    const auto results = service.solve_batch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const core::ScheduleResult expected = core::schedule(requests[i]);
+        EXPECT_EQ(results[i].error, expected.error) << i;
+        EXPECT_EQ(results[i].solution, expected.solution) << i;
+    }
+}
+
+TEST(SolverService, BatchSecondPassIsFullyCached)
+{
+    svc::SolverService service{{.workers = 2}};
+    std::vector<core::ScheduleRequest> requests;
+    for (const auto& chain : random_chains(6, 3))
+        for (const core::Strategy strategy : core::kAllStrategies)
+            requests.push_back(core::ScheduleRequest{chain, {2, 2}, strategy});
+
+    const auto cold = service.solve_batch(requests);
+    const auto warm = service.solve_batch(requests);
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_TRUE(warm[i].cache_hit) << i;
+        EXPECT_EQ(warm[i].solution, cold[i].solution) << i;
+    }
+}
+
+TEST(SolverService, ErrorsPropagateThroughTheService)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}});
+    const auto bad = service.solve(core::ScheduleRequest{chain, {0, 0}, core::Strategy::herad});
+    EXPECT_EQ(bad.error, core::ScheduleError::invalid_request);
+    EXPECT_TRUE(bad.solution.empty());
+
+    const auto snapshot = service.metrics().snapshot();
+    const auto it = snapshot.counters.find("amp_svc_solve_errors{strategy=\"herad\"}");
+    ASSERT_NE(it, snapshot.counters.end());
+    EXPECT_EQ(it->second, 1u);
+}
+
+TEST(SolverService, MetricsCountHitsMissesAndLatency)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}, {5, 9, false}});
+    const core::ScheduleRequest request{chain, {2, 2}, core::Strategy::fertac};
+    (void)service.solve(request);
+    (void)service.solve(request);
+    (void)service.solve(request);
+
+    const auto snapshot = service.metrics().snapshot();
+    EXPECT_EQ(snapshot.counters.at("amp_svc_cache_misses{strategy=\"fertac\"}"), 1u);
+    EXPECT_EQ(snapshot.counters.at("amp_svc_cache_hits{strategy=\"fertac\"}"), 2u);
+    const auto hist = snapshot.histograms.find("amp_svc_solve_latency_us{strategy=\"fertac\"}");
+    ASSERT_NE(hist, snapshot.histograms.end());
+}
+
+TEST(SolverService, ClearCacheForcesResolve)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}, {5, 9, false}});
+    const core::ScheduleRequest request{chain, {2, 2}, core::Strategy::herad};
+    (void)service.solve(request);
+    EXPECT_TRUE(service.solve(request).cache_hit);
+    service.clear_cache();
+    EXPECT_FALSE(service.solve(request).cache_hit);
+}
+
+TEST(SolverService, ZeroWorkerConfigFallsBackToHardware)
+{
+    svc::SolverService service{{.workers = 0}};
+    EXPECT_GE(service.workers(), 1);
+}
+
+// Exercised under TSan in CI: several threads submit overlapping batches
+// concurrently; every result must still match a fresh sequential solve.
+TEST(SolverService, ConcurrentBatchesFromManyThreads)
+{
+    svc::SolverService service{{.workers = 2, .queue_capacity = 8}};
+    const auto chains = random_chains(8, 1234);
+    std::vector<core::ScheduleRequest> requests;
+    for (const auto& chain : chains)
+        for (const core::Strategy strategy : core::kAllStrategies)
+            requests.push_back(core::ScheduleRequest{chain, {3, 2}, strategy});
+    std::vector<core::ScheduleResult> expected;
+    expected.reserve(requests.size());
+    for (const auto& request : requests)
+        expected.push_back(core::schedule(request));
+
+    constexpr int kSubmitters = 4;
+    std::vector<std::thread> submitters;
+    std::vector<int> failures(kSubmitters, 0);
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int round = 0; round < 3; ++round) {
+                const auto results = service.solve_batch(requests);
+                for (std::size_t i = 0; i < requests.size(); ++i)
+                    if (results[i].solution != expected[i].solution ||
+                        results[i].error != expected[i].error)
+                        ++failures[static_cast<std::size_t>(t)];
+            }
+        });
+    }
+    for (auto& thread : submitters)
+        thread.join();
+    for (int t = 0; t < kSubmitters; ++t)
+        EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << "submitter " << t;
+}
+
+TEST(SharedService, IsASingleProcessWideInstance)
+{
+    svc::SolverService& first = svc::shared_service();
+    svc::SolverService& second = svc::shared_service();
+    EXPECT_EQ(&first, &second);
+    EXPECT_GE(first.workers(), 1);
+}
+
+} // namespace

@@ -2,6 +2,7 @@
 // Helpers shared across the test suite.
 
 #include "core/chain.hpp"
+#include "core/scheduler.hpp"
 #include "core/solution.hpp"
 
 #include <initializer_list>
@@ -9,6 +10,23 @@
 #include <vector>
 
 namespace amp::testing {
+
+/// Solves through the unified core::schedule(ScheduleRequest) API and
+/// returns just the solution (empty on infeasible/invalid), which is what
+/// most algorithm tests assert on.
+inline core::Solution solve(core::Strategy strategy, const core::TaskChain& chain,
+                            core::Resources resources, core::ScheduleOptions options = {})
+{
+    return core::schedule(core::ScheduleRequest{chain, resources, strategy, options}).solution;
+}
+
+/// Full-result variant for tests that inspect the error status or stats.
+inline core::ScheduleResult solve_result(core::Strategy strategy, const core::TaskChain& chain,
+                                         core::Resources resources,
+                                         core::ScheduleOptions options = {})
+{
+    return core::schedule(core::ScheduleRequest{chain, resources, strategy, options});
+}
 
 /// Builds a chain from (w_big, w_little, replicable) triples.
 struct TaskSpec {
