@@ -20,6 +20,14 @@ constexpr std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) noexcept
     return hash;
 }
 
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 } // namespace
 
 TaskChain::TaskChain(std::vector<TaskDesc> tasks)
@@ -60,12 +68,17 @@ TaskChain::TaskChain(std::vector<TaskDesc> tasks)
     }
 
     std::uint64_t hash = fnv1a(kFnvOffset, static_cast<std::uint64_t>(n));
+    std::uint64_t hash2 = splitmix64(static_cast<std::uint64_t>(n));
     for (const auto& t : tasks_) {
         hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.w_big));
         hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.w_little));
         hash = fnv1a(hash, t.replicable ? 1u : 0u);
+        hash2 = splitmix64(hash2 ^ std::bit_cast<std::uint64_t>(t.w_big));
+        hash2 = splitmix64(hash2 ^ std::bit_cast<std::uint64_t>(t.w_little));
+        hash2 = splitmix64(hash2 ^ (t.replicable ? 1u : 0u));
     }
     fingerprint_ = hash;
+    fingerprint2_ = hash2;
 }
 
 } // namespace amp::core

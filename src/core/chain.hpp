@@ -139,6 +139,13 @@ public:
     /// in svc::SolverService's solution cache.
     [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
 
+    /// Second digest of the same content, built with an independent hash
+    /// construction (splitmix64 chaining instead of FNV-1a). The solution
+    /// cache keys on both digests plus the task count, so a silent cache
+    /// collision needs two unrelated 64-bit hashes to collide at once on
+    /// chains of equal length.
+    [[nodiscard]] std::uint64_t fingerprint2() const noexcept { return fingerprint2_; }
+
     /// Fraction of replicable tasks (the paper's stateless ratio, SR).
     [[nodiscard]] double stateless_ratio() const noexcept
     {
@@ -157,6 +164,7 @@ private:
     double max_seq_w_little_ = 0.0;
     int replicable_count_ = 0;
     std::uint64_t fingerprint_ = 0;
+    std::uint64_t fingerprint2_ = 0;
 };
 
 } // namespace amp::core

@@ -4,11 +4,23 @@
 
 namespace amp::svc {
 
+namespace {
+
+// At least one shard, and never more shards than total entries: with
+// 0 < capacity < shards, one-entry shards would otherwise admit up to
+// `shards` entries, exceeding the configured budget.
+[[nodiscard]] std::size_t shard_count(std::size_t capacity, std::size_t shards) noexcept
+{
+    const std::size_t requested = std::max<std::size_t>(1, shards);
+    return capacity > 0 ? std::min(requested, capacity) : requested;
+}
+
+} // namespace
+
 SolutionCache::SolutionCache(std::size_t capacity, std::size_t shards)
     : capacity_(capacity)
-    , per_shard_(shards > 0 ? std::max<std::size_t>(1, capacity / std::max<std::size_t>(1, shards))
-                            : std::max<std::size_t>(1, capacity))
-    , shards_(std::max<std::size_t>(1, shards))
+    , per_shard_(capacity / shard_count(capacity, shards))
+    , shards_(shard_count(capacity, shards))
 {
 }
 

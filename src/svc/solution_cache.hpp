@@ -1,12 +1,13 @@
 #pragma once
 // Sharded LRU cache of schedule results.
 //
-// The key is the full identity of a solve: the chain's 64-bit FNV-1a
-// fingerprint (weights + replicability flags, computed once at TaskChain
-// construction), the strategy, the resource vector R = (b, l), and the
-// dense ScheduleOptions encoding. Two requests with equal keys are solved
-// identically by the (deterministic) strategies, so a hit returns a
-// bit-identical Solution without running the solver.
+// The key is the full identity of a solve: the chain's two independent
+// 64-bit digests (FNV-1a and splitmix64 over weights + replicability flags,
+// computed once at TaskChain construction) plus its task count, the
+// strategy, the resource vector R = (b, l), and the dense ScheduleOptions
+// encoding. Two requests with equal keys are solved identically by the
+// (deterministic) strategies, so a hit returns a bit-identical Solution
+// without running the solver.
 //
 // Sharding: the key hash selects one of `shards` independent LRU maps, each
 // behind its own mutex, so concurrent workers rarely contend. Capacity is
@@ -23,9 +24,15 @@
 
 namespace amp::svc {
 
-/// Cache identity of a ScheduleRequest.
+/// Cache identity of a ScheduleRequest. Chain identity is two independent
+/// 64-bit digests plus the task count: a silent collision (a hit returning
+/// another chain's solution) requires FNV-1a and splitmix64 to collide
+/// simultaneously on chains of equal length, instead of a single 64-bit
+/// birthday bound.
 struct CacheKey {
     std::uint64_t chain_fingerprint = 0;
+    std::uint64_t chain_fingerprint2 = 0;
+    std::int32_t chain_tasks = 0;
     std::int32_t big = 0;
     std::int32_t little = 0;
     std::uint8_t strategy = 0;
@@ -36,18 +43,20 @@ struct CacheKey {
 
 [[nodiscard]] inline CacheKey key_of(const core::ScheduleRequest& request) noexcept
 {
-    return CacheKey{request.chain.fingerprint(), request.resources.big,
-                    request.resources.little, static_cast<std::uint8_t>(request.strategy),
-                    request.options.key_bits()};
+    return CacheKey{request.chain.fingerprint(), request.chain.fingerprint2(),
+                    request.chain.size(), request.resources.big, request.resources.little,
+                    static_cast<std::uint8_t>(request.strategy), request.options.key_bits()};
 }
 
 /// splitmix64-style mix of the key fields; also decides the shard.
 [[nodiscard]] constexpr std::uint64_t hash_key(const CacheKey& key) noexcept
 {
     std::uint64_t x = key.chain_fingerprint;
+    x ^= key.chain_fingerprint2 * 0xff51afd7ed558ccdull;
     x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.big)) << 32)
         | static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.little));
-    x ^= (static_cast<std::uint64_t>(key.strategy) << 8) | key.options;
+    x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.chain_tasks)) << 16)
+        ^ (static_cast<std::uint64_t>(key.strategy) << 8) ^ key.options;
     x += 0x9e3779b97f4a7c15ull;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
@@ -71,8 +80,9 @@ struct CacheStats {
 /// Thread-safe sharded LRU map CacheKey -> ScheduleResult.
 class SolutionCache {
 public:
-    /// `capacity` is the total entry budget, split evenly across `shards`
-    /// (each shard holds at least one entry). capacity == 0 disables the
+    /// `capacity` is the total entry budget, split evenly across `shards`.
+    /// The shard count is clamped to `capacity` so the cache never admits
+    /// more than `capacity` entries in total. capacity == 0 disables the
     /// cache: get() always misses and put() is a no-op.
     SolutionCache(std::size_t capacity, std::size_t shards);
 

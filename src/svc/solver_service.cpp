@@ -73,9 +73,10 @@ bool SolverService::try_push(std::size_t worker_index, const Job& job)
         deque.jobs[(deque.head + deque.count) % deque.jobs.size()] = job;
         ++deque.count;
     }
-    {
-        std::lock_guard lock{sleep_mutex_};
-    }
+    // Unfenced notify: a worker racing between its failed pop and its wait
+    // can miss this wakeup, but the 10ms wait_for poll in worker_loop bounds
+    // the latency. Taking sleep_mutex_ here would serialize every submitter
+    // on one global lock for a correctness property the poll already gives.
     work_ready_.notify_one();
     return true;
 }
@@ -130,12 +131,12 @@ void SolverService::worker_loop(std::size_t worker_index)
 void SolverService::run_job(const Job& job, std::size_t worker_index)
 {
     *job.result = solve_on(*job.request, worker_index);
-    if (job.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        {
-            std::lock_guard lock{job.batch->mutex};
-        }
+    // Decrement and notify while holding the batch mutex: the submitter only
+    // concludes completion under the same mutex, so it cannot observe
+    // remaining == 0 and destroy the Batch while we are still touching it.
+    std::lock_guard lock{job.batch->mutex};
+    if (job.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
         job.batch->done.notify_all();
-    }
 }
 
 core::ScheduleResult SolverService::solve_on(const core::ScheduleRequest& request,
@@ -195,17 +196,23 @@ SolverService::solve_batch(const std::vector<core::ScheduleRequest>& requests)
     }
 
     // Help drain: steal queued jobs (this batch's or a concurrent one's)
-    // instead of blocking, then wait for in-flight solves to finish.
-    while (batch.remaining.load(std::memory_order_acquire) > 0) {
+    // instead of blocking, then wait for in-flight solves to finish. Only
+    // conclude completion while holding batch.mutex — workers decrement
+    // `remaining` under that mutex, so once we see 0 here the last worker
+    // has released the mutex and will never touch the Batch again; a naked
+    // atomic load could observe 0 while that worker is still about to
+    // notify, letting us destroy the Batch under it.
+    for (;;) {
         Job job;
         if (try_steal(external, job)) {
             run_job(job, external);
             continue;
         }
         std::unique_lock lock{batch.mutex};
-        batch.done.wait_for(lock, std::chrono::milliseconds(1), [&] {
-            return batch.remaining.load(std::memory_order_acquire) == 0;
-        });
+        if (batch.done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+                return batch.remaining.load(std::memory_order_acquire) == 0;
+            }))
+            break;
     }
     return results;
 }

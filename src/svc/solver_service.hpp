@@ -77,6 +77,12 @@ public:
     void clear_cache() { cache_.clear(); }
 
 private:
+    /// Completion state of one solve_batch call, stack-allocated by the
+    /// submitter. Lifetime protocol: workers decrement `remaining` and
+    /// notify `done` while holding `mutex`, and the submitter only treats
+    /// the batch as complete after observing remaining == 0 under the same
+    /// mutex — so the last worker is guaranteed to have released the Batch
+    /// before the submitter can return and destroy it.
     struct Batch {
         std::mutex mutex;
         std::condition_variable done;

@@ -16,6 +16,11 @@ TEST(ChainFingerprint, IdenticalChainsShareAFingerprint)
     const auto b = make_chain({{10, 20, true}, {5, 9, false}});
     EXPECT_EQ(a.fingerprint(), b.fingerprint());
     EXPECT_NE(a.fingerprint(), 0u);
+    EXPECT_EQ(a.fingerprint2(), b.fingerprint2());
+    EXPECT_NE(a.fingerprint2(), 0u);
+    // The two digests use unrelated constructions; equal values would mean
+    // one of them degenerated.
+    EXPECT_NE(a.fingerprint(), a.fingerprint2());
 }
 
 TEST(ChainFingerprint, SensitiveToEveryTaskField)
@@ -25,6 +30,10 @@ TEST(ChainFingerprint, SensitiveToEveryTaskField)
     EXPECT_NE(base.fingerprint(), make_chain({{10, 21, true}, {5, 9, false}}).fingerprint());
     EXPECT_NE(base.fingerprint(), make_chain({{10, 20, false}, {5, 9, false}}).fingerprint());
     EXPECT_NE(base.fingerprint(), make_chain({{10, 20, true}, {5, 9, true}}).fingerprint());
+    EXPECT_NE(base.fingerprint2(), make_chain({{11, 20, true}, {5, 9, false}}).fingerprint2());
+    EXPECT_NE(base.fingerprint2(), make_chain({{10, 21, true}, {5, 9, false}}).fingerprint2());
+    EXPECT_NE(base.fingerprint2(), make_chain({{10, 20, false}, {5, 9, false}}).fingerprint2());
+    EXPECT_NE(base.fingerprint2(), make_chain({{10, 20, true}, {5, 9, true}}).fingerprint2());
 }
 
 TEST(ChainFingerprint, SensitiveToTaskOrderAndCount)
@@ -53,15 +62,19 @@ TEST(ChainFingerprint, NoCollisionsAcrossAGeneratedPopulation)
     Rng rng{2025};
     sim::GeneratorConfig config;
     std::set<std::uint64_t> seen;
+    std::set<std::uint64_t> seen2;
     constexpr int kChains = 2000;
     for (int i = 0; i < kChains; ++i) {
         config.num_tasks = 2 + i % 40;
         config.stateless_ratio = (i % 5) * 0.25;
-        seen.insert(sim::generate_chain(config, rng).fingerprint());
+        const auto chain = sim::generate_chain(config, rng);
+        seen.insert(chain.fingerprint());
+        seen2.insert(chain.fingerprint2());
     }
-    // FNV-1a over 64 bits: any collision within a few thousand random
-    // chains would signal a broken mixing step, not bad luck.
+    // 64-bit digests: any collision within a few thousand random chains
+    // would signal a broken mixing step, not bad luck.
     EXPECT_EQ(seen.size(), static_cast<std::size_t>(kChains));
+    EXPECT_EQ(seen2.size(), static_cast<std::size_t>(kChains));
 }
 
 } // namespace

@@ -32,6 +32,26 @@ TEST(CacheKey, DistinguishesEveryRequestField)
     EXPECT_NE(base, svc::key_of(no_merge));
 }
 
+TEST(CacheKey, ChainIdentityIsBothDigestsPlusTaskCount)
+{
+    // A primary-fingerprint collision alone must not make two keys equal:
+    // the key also carries the independent second digest and the task
+    // count, so a silent wrong-chain hit needs all three to coincide.
+    const auto chain = make_chain({{10, 20, true}, {5, 9, false}});
+    const svc::CacheKey base = svc::key_of(request_for(chain, {2, 2}, core::Strategy::herad));
+    EXPECT_EQ(base.chain_fingerprint, chain.fingerprint());
+    EXPECT_EQ(base.chain_fingerprint2, chain.fingerprint2());
+    EXPECT_EQ(base.chain_tasks, chain.size());
+
+    svc::CacheKey fp2_collision = base;
+    fp2_collision.chain_fingerprint2 ^= 1;
+    EXPECT_NE(base, fp2_collision);
+
+    svc::CacheKey count_collision = base;
+    count_collision.chain_tasks += 1;
+    EXPECT_NE(base, count_collision);
+}
+
 TEST(CacheKey, OptionBitsCoverEveryOption)
 {
     core::ScheduleOptions options;
@@ -94,6 +114,20 @@ TEST(SolutionCache, EvictsLeastRecentlyUsedWithinShard)
     EXPECT_TRUE(cache.get(key_for(3)).has_value());
     EXPECT_EQ(cache.stats().evictions, 1u);
     EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SolutionCache, ShardCountClampedToCapacity)
+{
+    // capacity < shards: without clamping, 16 one-entry shards could hold
+    // 16 entries, four times the configured budget.
+    svc::SolutionCache cache{4, 16};
+    const auto chain = make_chain({{10, 20, true}});
+    const core::ScheduleResult result =
+        core::schedule(request_for(chain, {1, 1}, core::Strategy::fertac));
+    for (int big = 1; big <= 32; ++big)
+        cache.put(svc::key_of(request_for(chain, {big, 1}, core::Strategy::fertac)), result);
+    EXPECT_LE(cache.stats().entries, 4u);
+    EXPECT_GT(cache.stats().entries, 0u);
 }
 
 TEST(SolutionCache, ZeroCapacityDisablesCaching)

@@ -189,6 +189,37 @@ TEST(SolverService, ConcurrentBatchesFromManyThreads)
         EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << "submitter " << t;
 }
 
+// Regression stress for the Batch lifetime protocol (use-after-free on
+// completion): a tiny batch is destroyed by the submitter the instant its
+// last job finishes, so a worker that still touched the Batch after its
+// decrement would race with the destruction. Caching is off so every
+// request actually flows through the worker pool. Caught under TSan.
+TEST(SolverService, TinyBatchChurnStressesBatchLifetime)
+{
+    svc::SolverService service{{.workers = 4, .cache_capacity = 0, .queue_capacity = 2}};
+    const auto chains = random_chains(2, 99);
+    constexpr int kSubmitters = 4;
+    std::vector<std::thread> submitters;
+    std::vector<int> failures(kSubmitters, 0);
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int round = 0; round < 200; ++round) {
+                const std::vector<core::ScheduleRequest> batch{core::ScheduleRequest{
+                    chains[static_cast<std::size_t>(round) % chains.size()],
+                    {2, 1},
+                    core::Strategy::fertac}};
+                const auto results = service.solve_batch(batch);
+                if (results.size() != 1 || !results[0].ok())
+                    ++failures[static_cast<std::size_t>(t)];
+            }
+        });
+    }
+    for (auto& thread : submitters)
+        thread.join();
+    for (int t = 0; t < kSubmitters; ++t)
+        EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << "submitter " << t;
+}
+
 TEST(SharedService, IsASingleProcessWideInstance)
 {
     svc::SolverService& first = svc::shared_service();
