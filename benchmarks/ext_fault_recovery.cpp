@@ -7,9 +7,17 @@
 // (detection + drain + reschedule + restart) and after -- plus the model's
 // predicted period for the healthy and degraded schedules.
 //
+// A second scenario compares the two recovery modes on the same failure
+// script: a full pipeline rebuild (allow_delta = false) against the
+// incremental plan-delta hot-swap (plan::diff + Pipeline::apply_delta).
+// The chain is built so the degraded optimum keeps the healthy stage cut,
+// making the kill delta-compatible by construction; the report shows
+// recovery latency, frames dropped and pure swap time for both modes.
+//
 // Flags: --frames=N (default 600), --task-us=U per-task service (default
-// 300), --kill-at=F failing frame (default frames/3), --json=<file>
-// amp-bench-v1 report (one record per phase window plus recovery gauges).
+// 300), --kill-at=F failing frame (default frames/3), --swap-reps=R best-of
+// repetitions per recovery mode (default 3), --json=<file> amp-bench-v1
+// report (one record per phase window and per recovery mode, plus gauges).
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
@@ -134,6 +142,87 @@ int main(int argc, char** argv)
                 "(up to the %lld ms heartbeat timeout) drags down the before-loss fps.\n",
                 static_cast<long long>(config.heartbeat_timeout.count()));
 
+    // -- rebuild vs delta hot-swap on the same failure script ---------------
+    // t1 is stateful and big-favored; t2..t5 are replicable with a slightly
+    // lopsided little-core interval sum, so on R = (1, 3) the optimum is
+    // [t1]x1B | [t2-t5]x3L and after losing the big core it stays the SAME
+    // cut: [t1]x1L | [t2-t5]x2L. The kill is therefore delta-compatible
+    // (stage 0 rebound, stage 1 resized) and the two modes differ only in
+    // how the swap itself is performed.
+    const auto swap_reps = static_cast<int>(args.get_int("swap-reps", 3));
+    std::vector<core::TaskDesc> cmp_descs;
+    cmp_descs.push_back(core::TaskDesc{"t1", 1.0 * task_us, 1.2 * task_us, false});
+    const double cmp_little[] = {0.75, 0.75, 0.75, 0.76};
+    for (int i = 2; i <= kTasks; ++i)
+        cmp_descs.push_back(core::TaskDesc{"t" + std::to_string(i), 0.6 * task_us,
+                                           cmp_little[i - 2] * task_us, true});
+    const core::TaskChain cmp_chain{std::move(cmp_descs)};
+    const core::Resources cmp_budget{1, 3};
+
+    struct ModeStats {
+        double latency_s = 1e9;
+        double swap_s = 0.0;
+        std::uint64_t dropped = 0;
+        int delta_swaps = 0;
+        int rebuild_swaps = 0;
+        bool valid = false;
+    };
+    const auto run_mode = [&](bool allow_delta) {
+        ModeStats best;
+        for (int rep = 0; rep < swap_reps; ++rep) {
+            rt::TaskSequence<Frame> cmp_sequence;
+            for (int i = 1; i <= kTasks; ++i)
+                cmp_sequence.push_back(
+                    rt::make_task<Frame>("t" + std::to_string(i), i == 1, [task_us](Frame&) {
+                        std::this_thread::sleep_for(microseconds{task_us});
+                    }));
+            rt::Rescheduler cmp_rescheduler{cmp_chain, cmp_budget};
+            rt::FaultInjector cmp_injector;
+            cmp_injector.add(rt::FaultSpec{rt::FaultKind::kill, kill_at, 0, 0, 1, milliseconds{0}});
+            rt::PipelineConfig cmp_config;
+            cmp_config.faults = &cmp_injector;
+            cmp_config.heartbeat_timeout = milliseconds{100};
+            cmp_config.watchdog_poll = milliseconds{2};
+            rt::RecoveryOptions options;
+            options.allow_delta = allow_delta;
+            const rt::RecoveryReport r = rt::run_with_recovery<Frame>(
+                cmp_sequence, cmp_rescheduler, frames, cmp_config, {}, -1, options);
+            if (r.recoveries != 1 || !r.completed)
+                continue;
+            if (r.recovery_latency_seconds < best.latency_s) {
+                best.latency_s = r.recovery_latency_seconds;
+                best.swap_s = r.swap_seconds;
+                best.dropped = r.total.frames_dropped;
+                best.delta_swaps = r.delta_swaps;
+                best.rebuild_swaps = r.rebuild_swaps;
+                best.valid = true;
+            }
+        }
+        return best;
+    };
+    const ModeStats rebuild = run_mode(/*allow_delta=*/false);
+    const ModeStats delta = run_mode(/*allow_delta=*/true);
+
+    std::printf("\n== Recovery mode: full rebuild vs incremental plan delta ==\n");
+    std::printf("chain: same cut before and after the loss on R = (%d, %d); best of %d runs\n",
+                cmp_budget.big, cmp_budget.little, swap_reps);
+    if (rebuild.valid && delta.valid) {
+        TextTable swap_table(
+            {"mode", "recovery latency (ms)", "swap (ms)", "frames dropped", "swaps"});
+        swap_table.add_row({"rebuild", fmt(rebuild.latency_s * 1e3, 2),
+                            fmt(rebuild.swap_s * 1e3, 3), std::to_string(rebuild.dropped),
+                            std::to_string(rebuild.rebuild_swaps) + " rebuild"});
+        swap_table.add_row({"delta", fmt(delta.latency_s * 1e3, 2), fmt(delta.swap_s * 1e3, 3),
+                            std::to_string(delta.dropped),
+                            std::to_string(delta.delta_swaps) + " delta"});
+        std::printf("%s\n", swap_table.str().c_str());
+        std::printf("delta vs rebuild : %.2fx recovery latency, %.2fx swap time\n",
+                    rebuild.latency_s / delta.latency_s, delta.swap_s > 0.0
+                        ? rebuild.swap_s / delta.swap_s : 0.0);
+    } else {
+        std::printf("comparison skipped: a mode failed to recover exactly once\n");
+    }
+
     if (!json_path.empty()) {
         bench::JsonReport json_report{"ext_fault_recovery"};
         json_report.param("frames", frames)
@@ -158,6 +247,21 @@ int main(int argc, char** argv)
                 .set("window_s", phase.to - phase.from)
                 .set("frames", phase.count)
                 .set("fps", phase.fps);
+        for (const auto& [mode, stats] :
+             {std::pair<const char*, const ModeStats&>{"rebuild", rebuild},
+              std::pair<const char*, const ModeStats&>{"delta", delta}})
+            if (stats.valid)
+                json_report.add_record()
+                    .set("phase", std::string{"recovery_"} + mode)
+                    .set("mode", mode)
+                    .set("recovery_latency_s", stats.latency_s)
+                    .set("swap_s", stats.swap_s)
+                    .set("frames_dropped", stats.dropped)
+                    .set("delta_swaps", stats.delta_swaps)
+                    .set("rebuild_swaps", stats.rebuild_swaps);
+        if (rebuild.valid && delta.valid && delta.latency_s > 0.0)
+            json_report.param("delta_latency_speedup", rebuild.latency_s / delta.latency_s)
+                .param("swap_reps", static_cast<std::int64_t>(swap_reps));
         json_report.param("recoveries", static_cast<std::int64_t>(report.recoveries))
             .param("recovery_latency_s", report.recovery_latency_seconds)
             .param("frames_dropped", report.total.frames_dropped)

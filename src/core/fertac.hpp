@@ -36,14 +36,4 @@ namespace detail {
 
 } // namespace detail
 
-/// Deprecated forwarder kept for one release; behaves exactly like the old
-/// entry point.
-[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
-inline Solution fertac(const TaskChain& chain, Resources resources,
-                       ScheduleStats* stats = nullptr,
-                       FertacPreference preference = FertacPreference::little_first)
-{
-    return detail::fertac(chain, resources, stats, preference);
-}
-
 } // namespace amp::core

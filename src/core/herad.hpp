@@ -44,13 +44,4 @@ namespace detail {
 /// The optimal period P*(n, b, l) alone (runs the same DP).
 [[nodiscard]] double herad_optimal_period(const TaskChain& chain, Resources resources);
 
-/// Deprecated forwarder kept for one release; behaves exactly like the old
-/// entry point (including throwing on degenerate resource vectors).
-[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
-inline Solution herad(const TaskChain& chain, Resources resources,
-                      const HeradOptions& options = {})
-{
-    return detail::herad(chain, resources, options);
-}
-
 } // namespace amp::core

@@ -25,13 +25,4 @@ namespace detail {
 
 } // namespace detail
 
-/// Deprecated forwarder kept for one release; behaves exactly like the old
-/// entry point (including throwing when cores < 1).
-[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
-inline Solution otac(const TaskChain& chain, int cores, CoreType v,
-                     ScheduleStats* stats = nullptr)
-{
-    return detail::otac(chain, cores, v, stats);
-}
-
 } // namespace amp::core

@@ -5,10 +5,10 @@
 // the request, dispatches to the strategy implementation, and returns a
 // `ScheduleResult` carrying the solution, the binary-search stats, an
 // explicit error status, and the solve latency. The old per-strategy free
-// functions (`herad`, `fertac`, `otac`, `twocatac`) remain as
-// `[[deprecated]]` inline forwarders for one release; see
-// docs/SOLVER_SERVICE.md for the migration table and for the batched,
-// caching solver service built on top of this API.
+// functions (`herad`, `fertac`, `otac`, `twocatac`) are gone -- the
+// strategy implementations live in `core::detail` and are reachable only
+// through this API; see docs/SOLVER_SERVICE.md for the batched, caching
+// solver service built on top of it.
 
 #include "core/brute_force.hpp"
 #include "core/chain.hpp"

@@ -32,13 +32,4 @@ namespace detail {
 
 } // namespace detail
 
-/// Deprecated forwarder kept for one release; behaves exactly like the old
-/// entry point.
-[[deprecated("use core::schedule(ScheduleRequest) from core/scheduler.hpp")]] [[nodiscard]]
-inline Solution twocatac(const TaskChain& chain, Resources resources,
-                         ScheduleStats* stats = nullptr)
-{
-    return detail::twocatac(chain, resources, stats);
-}
-
 } // namespace amp::core

@@ -10,11 +10,12 @@ namespace amp::dsim {
 
 namespace {
 
-/// Telemetry wiring for one stage structure ("epoch"). Tracks are laid out
-/// stage-major exactly like the runtime's global worker indices, so the
-/// simulated trace and a real rt::Pipeline trace of the same schedule are
-/// diffable (obs/schema.hpp). A rescheduled run opens a fresh epoch, which
-/// appends a new track group -- mirroring run_with_recovery's hot-swap.
+/// Telemetry wiring for one stage structure ("epoch"). Tracks are keyed on
+/// the plan's stable worker ids exactly like the runtime's, so the simulated
+/// trace and a real rt::Pipeline trace of the same plan are diffable
+/// (obs/schema.hpp). A rescheduled run opens a fresh epoch from a freshly
+/// compiled plan, which appends a new track group -- mirroring
+/// run_with_recovery's hot-swap.
 struct ObsEpoch {
     obs::TraceRecorder* trace = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
@@ -29,24 +30,22 @@ struct ObsEpoch {
 
     ObsEpoch() = default;
 
-    ObsEpoch(obs::Sink* sink, const core::Solution& solution)
+    ObsEpoch(obs::Sink* sink, const plan::ExecutionPlan& plan)
     {
         if (sink == nullptr || !sink->enabled())
             return;
-        const auto& stages = solution.stages();
+        const auto& stages = plan.stages();
         if (sink->trace_enabled()) {
             trace = &sink->trace();
             track_base = trace->track_count();
             std::size_t offset = 0;
-            int worker = 0;
-            for (std::size_t i = 0; i < stages.size(); ++i) {
-                const core::Stage& st = stages[i];
+            for (const plan::PlanStage& st : stages) {
                 stage_offset.push_back(offset);
-                span_names.push_back(trace->intern(
-                    obs::schema::stage_span(static_cast<int>(i), st.first, st.last)));
-                for (int c = 0; c < st.cores; ++c)
-                    trace->add_track(obs::schema::worker_track(worker++, static_cast<int>(i)));
-                offset += static_cast<std::size_t>(st.cores);
+                span_names.push_back(
+                    trace->intern(obs::schema::stage_span(st.index, st.first, st.last)));
+                for (const int worker : st.worker_ids)
+                    trace->add_track(obs::schema::worker_track(worker, st.index));
+                offset += st.worker_ids.size();
             }
             watchdog_track = trace->add_track(obs::schema::kWatchdogTrack);
             fence_name = trace->intern(obs::schema::kFence);
@@ -54,11 +53,9 @@ struct ObsEpoch {
         }
         if (sink->metrics_enabled()) {
             metrics = &sink->metrics();
-            for (std::size_t i = 0; i < stages.size(); ++i) {
-                stage_latency.push_back(
-                    &metrics->histogram(obs::schema::stage_latency(static_cast<int>(i))));
-                queue_wait.push_back(
-                    &metrics->histogram(obs::schema::queue_wait(static_cast<int>(i))));
+            for (const plan::PlanStage& st : stages) {
+                stage_latency.push_back(&metrics->histogram(obs::schema::stage_latency(st.index)));
+                queue_wait.push_back(&metrics->histogram(obs::schema::queue_wait(st.index)));
             }
         }
     }
@@ -105,30 +102,32 @@ struct ObsEpoch {
     }
 };
 
-/// Per-stage service model + server availability for one stage structure.
+/// Per-stage service model + server availability for one plan epoch. The
+/// base service weights come straight from the plan's IR (PlanStage::
+/// service_us), so simulator and runtime agree by construction on what each
+/// stage costs.
 struct StageModel {
     std::vector<double> base_service;
     std::vector<double> penalty;
     std::vector<std::vector<double>> last_departures; ///< ring per stage
 
-    StageModel(const core::TaskChain& chain, const core::Solution& solution,
-               const OverheadModel& overhead, double ready_at)
+    StageModel(const plan::ExecutionPlan& plan, const OverheadModel& overhead, double ready_at)
     {
-        const auto& stages = solution.stages();
+        const auto& stages = plan.stages();
         const std::size_t k = stages.size();
         base_service.resize(k);
         penalty.resize(k);
         last_departures.resize(k);
         for (std::size_t i = 0; i < k; ++i) {
-            const core::Stage& st = stages[i];
-            base_service[i] = chain.interval_sum(st.first, st.last, st.type);
+            const plan::PlanStage& st = stages[i];
+            base_service[i] = st.service_us;
             penalty[i] = 1.0 + overhead.service_inflation;
-            if (st.cores > 1) {
+            if (st.replicas > 1) {
                 penalty[i] += overhead.replication_penalty;
                 if (st.type == core::CoreType::little)
                     penalty[i] += overhead.little_replication_penalty;
             }
-            last_departures[i].assign(static_cast<std::size_t>(st.cores), ready_at);
+            last_departures[i].assign(static_cast<std::size_t>(st.replicas), ready_at);
         }
     }
 };
@@ -140,38 +139,18 @@ double expected_period_us(const core::TaskChain& chain, const core::Solution& so
     return solution.period(chain);
 }
 
-SimulationResult simulate(const core::TaskChain& chain, const core::Solution& solution,
-                          const SimulationConfig& config)
+SimulationResult simulate(const plan::ExecutionPlan& plan, const SimulationConfig& config)
 {
-    if (solution.empty())
-        throw std::invalid_argument{"simulate: empty solution"};
-    if (!solution.is_well_formed(chain))
-        throw std::invalid_argument{"simulate: solution does not fit the chain"};
+    if (!plan.has_profile())
+        throw std::invalid_argument{
+            "simulate: plan has no task-weight profile (compile it from a TaskChain)"};
     if (config.frames <= config.warmup_frames)
         throw std::invalid_argument{"simulate: frames must exceed warmup_frames"};
 
-    const auto& stages = solution.stages();
+    const auto& stages = plan.stages();
     const std::size_t k = stages.size();
 
-    // Base per-frame service time of each stage: the whole interval's
-    // latency on the stage's core type (each replica handles whole frames).
-    std::vector<double> base_service(k);
-    std::vector<double> penalty(k);
-    for (std::size_t i = 0; i < k; ++i) {
-        const core::Stage& st = stages[i];
-        base_service[i] = chain.interval_sum(st.first, st.last, st.type);
-        penalty[i] = 1.0 + config.overhead.service_inflation;
-        if (st.cores > 1) {
-            penalty[i] += config.overhead.replication_penalty;
-            if (st.type == core::CoreType::little)
-                penalty[i] += config.overhead.little_replication_penalty;
-        }
-    }
-
-    // Departure-time ring buffer per stage: depart[i][f mod r_i].
-    std::vector<std::vector<double>> last_departures(k);
-    for (std::size_t i = 0; i < k; ++i)
-        last_departures[i].assign(static_cast<std::size_t>(stages[i].cores), 0.0);
+    StageModel model{plan, config.overhead, 0.0};
 
     Rng rng{config.overhead.seed};
     const double sigma =
@@ -180,7 +159,7 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
             : 0.0;
     const double mu = -0.5 * sigma * sigma; // unit-mean lognormal
 
-    ObsEpoch obs{config.sink, solution};
+    ObsEpoch obs{config.sink, plan};
 
     std::vector<double> busy(k, 0.0);
     std::vector<double> service_sum(k, 0.0);
@@ -191,11 +170,11 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
     for (std::uint64_t f = 0; f < config.frames; ++f) {
         double arrival = 0.0; // stage 0 sources frames continuously
         for (std::size_t i = 0; i < k; ++i) {
-            const auto r = static_cast<std::size_t>(stages[i].cores);
-            double& server_free = last_departures[i][f % r];
+            const auto r = model.last_departures[i].size();
+            double& server_free = model.last_departures[i][f % r];
             const double start = std::max(arrival, server_free);
             const double jitter = sigma > 0.0 ? std::exp(mu + sigma * rng.normal()) : 1.0;
-            const double service = base_service[i] * penalty[i] * jitter;
+            const double service = model.base_service[i] * model.penalty[i] * jitter;
             const double depart = start + service;
             server_free = depart;
             busy[i] += service;
@@ -219,11 +198,24 @@ SimulationResult simulate(const core::TaskChain& chain, const core::Solution& so
 
     result.stages.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
-        const double capacity = final_departure * static_cast<double>(stages[i].cores);
+        const double capacity = final_departure * static_cast<double>(stages[i].replicas);
         result.stages[i].utilization = capacity > 0.0 ? std::min(1.0, busy[i] / capacity) : 0.0;
         result.stages[i].mean_service_us = service_sum[i] / static_cast<double>(config.frames);
     }
     return result;
+}
+
+SimulationResult simulate(const core::TaskChain& chain, const core::Solution& solution,
+                          const SimulationConfig& config)
+{
+    // Legacy pre-checks kept verbatim: callers pin these messages.
+    if (solution.empty())
+        throw std::invalid_argument{"simulate: empty solution"};
+    if (!solution.is_well_formed(chain))
+        throw std::invalid_argument{"simulate: solution does not fit the chain"};
+    if (config.frames <= config.warmup_frames)
+        throw std::invalid_argument{"simulate: frames must exceed warmup_frames"};
+    return simulate(plan::ExecutionPlan::compile(chain, solution), config);
 }
 
 FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
@@ -249,8 +241,9 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
 
     FailureSimulationResult result;
     core::Solution current = solution;
-    StageModel model{chain, current, config.overhead, 0.0};
-    ObsEpoch obs{config.sink, current};
+    plan::ExecutionPlan current_plan = plan::ExecutionPlan::compile(chain, current);
+    StageModel model{current_plan, config.overhead, 0.0};
+    ObsEpoch obs{config.sink, current_plan};
 
     Rng rng{config.overhead.seed};
     const double cv = config.overhead.jitter_cv;
@@ -300,6 +293,15 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
                 return result;
             }
             record.new_solution = next;
+
+            // Would the runtime hot-swap in place? Same decision rule as
+            // run_with_recovery: plan::diff against the running plan.
+            plan::ExecutionPlan next_plan = plan::ExecutionPlan::compile(chain, next);
+            const plan::PlanDelta delta = plan::diff(current_plan, next_plan);
+            record.delta_applied = delta.compatible;
+            if (faults.delta_swap_us.has_value() && delta.compatible)
+                record.downtime_us = faults.detection_us + *faults.delta_swap_us;
+
             result.recoveries.push_back(record);
             result.frames_dropped += 1;
             frame_lost = true;
@@ -312,10 +314,11 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
                 // The resumed pipeline is a fresh track group, exactly like
                 // run_with_recovery appending a hot-swapped Pipeline's
                 // workers to the shared recorder.
-                obs = ObsEpoch{config.sink, next};
+                obs = ObsEpoch{config.sink, next_plan};
             }
             current = std::move(next);
-            model = StageModel{chain, current, config.overhead, resume_at};
+            current_plan = std::move(next_plan);
+            model = StageModel{current_plan, config.overhead, resume_at};
         }
         if (frame_lost)
             continue; // consumed by the failure event(s)
@@ -379,4 +382,3 @@ std::vector<SimFailure> random_failures(std::uint64_t seed, int count, std::uint
 }
 
 } // namespace amp::dsim
-

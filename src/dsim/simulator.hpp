@@ -21,9 +21,11 @@
 #include "core/chain.hpp"
 #include "core/solution.hpp"
 #include "obs/sink.hpp"
+#include "plan/execution_plan.hpp"
 #include "rt/rescheduler.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace amp::dsim {
@@ -69,8 +71,17 @@ struct SimulationResult {
     std::vector<StageStats> stages;
 };
 
+/// Simulates a compiled execution plan -- the same object rt::Pipeline
+/// executes, so a simulated and a real run of one plan are diffable
+/// event-by-event. The plan must carry a task-weight profile
+/// (plan::ExecutionPlan::has_profile()); throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] SimulationResult simulate(const plan::ExecutionPlan& plan,
+                                        const SimulationConfig& config = {});
+
 /// Simulates the execution of `solution` over `chain` task latencies (in
-/// microseconds, as in the paper's profiles).
+/// microseconds, as in the paper's profiles). Convenience wrapper: compiles
+/// the pair into a plan::ExecutionPlan and simulates that.
 [[nodiscard]] SimulationResult simulate(const core::TaskChain& chain,
                                         const core::Solution& solution,
                                         const SimulationConfig& config = {});
@@ -101,7 +112,12 @@ struct SimFailure {
 struct FailureModel {
     std::vector<SimFailure> failures;
     double detection_us = 200.0;  ///< watchdog heartbeat-timeout equivalent
-    double reschedule_us = 50.0;  ///< solver + pipeline hot-swap cost
+    double reschedule_us = 50.0;  ///< solver + full pipeline rebuild cost
+    /// Swap cost when the post-loss schedule is plan-delta-compatible with
+    /// the running one (same stage cut: rt::Pipeline hot-swaps in place
+    /// instead of rebuilding). Unset = every recovery is charged
+    /// `reschedule_us`, i.e. the pre-delta behaviour.
+    std::optional<double> delta_swap_us{};
     rt::ReschedulePolicy policy{};
 };
 
@@ -112,8 +128,11 @@ struct RecoveryRecord {
     core::CoreType lost_type = core::CoreType::big;
     core::Resources resources_after{}; ///< degraded resource vector
     core::Solution new_solution;       ///< schedule the pipeline resumed with
-    double downtime_us = 0.0;          ///< detection + reschedule stall
+    double downtime_us = 0.0;          ///< detection + reschedule/swap stall
     std::uint64_t frames_dropped = 0;  ///< in-flight frames lost to the event
+    /// True when the new schedule keeps the old stage cut (plan::diff
+    /// compatible), i.e. the runtime would hot-swap in place.
+    bool delta_applied = false;
 };
 
 struct FailureSimulationResult {

@@ -1,0 +1,230 @@
+#include "plan/execution_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace amp::plan {
+
+ChainShape ChainShape::of(const core::TaskChain& chain)
+{
+    ChainShape shape;
+    shape.tasks = chain.size();
+    shape.replicable.reserve(static_cast<std::size_t>(chain.size()));
+    for (int i = 1; i <= chain.size(); ++i)
+        shape.replicable.push_back(chain.replicable(i));
+    return shape;
+}
+
+ExecutionPlan ExecutionPlan::compile(const ChainShape& shape, const core::Solution& solution,
+                                     PlanOptions options)
+{
+    ExecutionPlan p;
+    p.shape_ = shape;
+    p.solution_ = solution;
+    p.options_ = options;
+    if (p.options_.queue_capacity == 0)
+        p.options_.queue_capacity = 1; // the queues clamp the same way
+
+    if (shape.tasks <= 0 || shape.replicable.size() != static_cast<std::size_t>(shape.tasks))
+        throw PlanError{"plan: chain shape is empty or inconsistent"};
+    if (solution.empty())
+        throw PlanError{"plan: empty solution"};
+
+    const auto& stages = solution.stages();
+    p.stages_.reserve(stages.size());
+    int expected = 1;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const core::Stage& st = stages[s];
+        if (st.first != expected || st.last < st.first)
+            throw PlanError{"plan: stages must tile the chain contiguously"};
+        if (st.last > shape.tasks)
+            throw PlanError{"plan: stage interval exceeds the chain"};
+        if (st.cores < 1)
+            throw PlanError{"plan: every stage needs at least one core"};
+
+        PlanStage stage;
+        stage.index = static_cast<int>(s);
+        stage.first = st.first;
+        stage.last = st.last;
+        stage.replicas = st.cores;
+        stage.type = st.type;
+        stage.replicated = st.cores > 1;
+        stage.sequential = false;
+        for (int i = st.first; i <= st.last; ++i)
+            if (!shape.task_replicable(i))
+                stage.sequential = true;
+        if (stage.replicated && stage.sequential)
+            throw PlanError{"plan: replicated stage [" + std::to_string(st.first) + ", "
+                            + std::to_string(st.last) + "] contains a sequential task"};
+
+        stage.worker_ids.reserve(static_cast<std::size_t>(st.cores));
+        for (int slot = 0; slot < st.cores; ++slot) {
+            const int id = p.next_worker_id_++;
+            stage.worker_ids.push_back(id);
+            p.workers_.push_back(WorkerSlot{id, stage.index, slot, stage.type});
+        }
+        p.stages_.push_back(std::move(stage));
+        expected = st.last + 1;
+    }
+    if (expected != shape.tasks + 1)
+        throw PlanError{"plan: solution does not cover the whole chain"};
+
+    const int k = static_cast<int>(p.stages_.size());
+    p.queues_.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        p.queues_.push_back(QueueSpec{i, i, i + 1 < k ? i + 1 : QueueSpec::kDrain,
+                                      p.options_.queue_capacity});
+    return p;
+}
+
+ExecutionPlan ExecutionPlan::compile(const core::TaskChain& chain, const core::Solution& solution,
+                                     PlanOptions options)
+{
+    ExecutionPlan p = compile(ChainShape::of(chain), solution, options);
+    p.chain_ = chain;
+    for (PlanStage& stage : p.stages_)
+        stage.service_us = chain.interval_sum(stage.first, stage.last, stage.type);
+    return p;
+}
+
+double ExecutionPlan::period_us() const noexcept
+{
+    double period = 0.0;
+    for (const PlanStage& stage : stages_) {
+        const double weight = stage.sequential
+            ? stage.service_us
+            : stage.service_us / static_cast<double>(stage.replicas);
+        period = std::max(period, weight);
+    }
+    return period;
+}
+
+std::string ExecutionPlan::summary() const
+{
+    std::ostringstream out;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const PlanStage& stage = stages_[s];
+        if (s > 0)
+            out << " | ";
+        out << '[' << stage.first << ',' << stage.last << "]x" << stage.replicas
+            << core::to_string(stage.type);
+    }
+    out << " (cap " << options_.queue_capacity << ')';
+    return out.str();
+}
+
+PlanDelta diff(const ExecutionPlan& before, const ExecutionPlan& after)
+{
+    PlanDelta delta;
+    const auto incompatible = [&delta](std::string reason) {
+        delta.compatible = false;
+        delta.reason = std::move(reason);
+        delta.stages.clear();
+        delta.spawned = delta.retired = delta.rebound = 0;
+        return delta;
+    };
+    if (before.task_count() != after.task_count())
+        return incompatible("task count changed");
+    if (before.stage_count() != after.stage_count())
+        return incompatible("stage count changed (recut)");
+    if (before.options().queue_capacity != after.options().queue_capacity)
+        return incompatible("queue capacity changed");
+    for (std::size_t s = 0; s < before.stage_count(); ++s) {
+        const PlanStage& b = before.stage(s);
+        const PlanStage& a = after.stage(s);
+        if (b.first != a.first || b.last != a.last)
+            return incompatible("stage " + std::to_string(s) + " interval recut");
+    }
+    for (std::size_t s = 0; s < before.stage_count(); ++s) {
+        const PlanStage& b = before.stage(s);
+        const PlanStage& a = after.stage(s);
+        StageDelta sd;
+        sd.stage = static_cast<int>(s);
+        sd.replicas_before = b.replicas;
+        sd.replicas_after = a.replicas;
+        sd.type_before = b.type;
+        sd.type_after = a.type;
+        if (b.type != a.type) {
+            sd.action = StageAction::rebound;
+            ++delta.rebound;
+        } else if (b.replicas != a.replicas) {
+            sd.action = StageAction::resized;
+        }
+        if (a.replicas > b.replicas) {
+            sd.spawn_count = a.replicas - b.replicas;
+            delta.spawned += sd.spawn_count;
+        } else if (a.replicas < b.replicas) {
+            // Retire the highest slots; kept workers keep their slot order.
+            const auto keep = static_cast<std::size_t>(a.replicas);
+            sd.retire_worker_ids.assign(b.worker_ids.begin() + static_cast<std::ptrdiff_t>(keep),
+                                        b.worker_ids.end());
+            delta.retired += static_cast<int>(sd.retire_worker_ids.size());
+        }
+        delta.stages.push_back(std::move(sd));
+    }
+    return delta;
+}
+
+ExecutionPlan apply(const ExecutionPlan& base, const PlanDelta& delta)
+{
+    if (!delta.compatible)
+        throw PlanError{"plan: cannot apply an incompatible delta (" + delta.reason + ")"};
+    if (delta.stages.size() != base.stage_count())
+        throw PlanError{"plan: delta does not match the base plan's stage count"};
+
+    ExecutionPlan next = base;
+    next.workers_.clear();
+    std::vector<core::Stage> stages;
+    stages.reserve(next.stages_.size());
+    for (std::size_t s = 0; s < next.stages_.size(); ++s) {
+        PlanStage& stage = next.stages_[s];
+        const StageDelta& sd = delta.stages[s];
+        if (stage.replicas != sd.replicas_before || stage.type != sd.type_before)
+            throw PlanError{"plan: delta was computed against a different base plan"};
+        stage.type = sd.type_after;
+        for (const int id : sd.retire_worker_ids) {
+            const auto it = std::find(stage.worker_ids.begin(), stage.worker_ids.end(), id);
+            if (it == stage.worker_ids.end())
+                throw PlanError{"plan: delta retires unknown worker id "
+                                + std::to_string(id)};
+            stage.worker_ids.erase(it);
+        }
+        for (int i = 0; i < sd.spawn_count; ++i)
+            stage.worker_ids.push_back(next.next_worker_id_++);
+        stage.replicas = static_cast<int>(stage.worker_ids.size());
+        if (stage.replicas != sd.replicas_after)
+            throw PlanError{"plan: delta replica arithmetic does not add up"};
+        if (stage.replicas < 1)
+            throw PlanError{"plan: delta leaves a stage with no workers"};
+        stage.replicated = stage.replicas > 1;
+        if (stage.replicated && stage.sequential)
+            throw PlanError{"plan: delta replicates a sequential stage"};
+        if (next.chain_.has_value())
+            stage.service_us =
+                next.chain_->interval_sum(stage.first, stage.last, stage.type);
+        for (std::size_t slot = 0; slot < stage.worker_ids.size(); ++slot)
+            next.workers_.push_back(WorkerSlot{stage.worker_ids[slot], stage.index,
+                                               static_cast<int>(slot), stage.type});
+        stages.push_back(core::Stage{stage.first, stage.last, stage.replicas, stage.type});
+    }
+    next.solution_ = core::Solution{std::move(stages)};
+    return next;
+}
+
+bool same_topology(const ExecutionPlan& a, const ExecutionPlan& b)
+{
+    if (a.stage_count() != b.stage_count())
+        return false;
+    if (a.options().queue_capacity != b.options().queue_capacity)
+        return false;
+    for (std::size_t s = 0; s < a.stage_count(); ++s) {
+        const PlanStage& x = a.stage(s);
+        const PlanStage& y = b.stage(s);
+        if (x.first != y.first || x.last != y.last || x.replicas != y.replicas
+            || x.type != y.type)
+            return false;
+    }
+    return true;
+}
+
+} // namespace amp::plan

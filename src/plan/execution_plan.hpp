@@ -1,0 +1,226 @@
+#pragma once
+// Compiled execution-plan IR: the one place a core::Solution is turned into
+// the facts every executor needs.
+//
+// rt::Pipeline, dsim::Simulator and the recovery path in rt::Rescheduler all
+// used to re-derive the same structure from a raw Solution -- stage task
+// intervals, core-type bindings, replica counts, queue topology -- each with
+// its own ad-hoc audit. ExecutionPlan::compile performs that derivation and
+// validation once, loudly (PlanError on anything malformed), and the
+// executors consume the resulting IR:
+//
+//   * PlanStage   -- task interval, core type, replica count, sequential
+//                    constraint, per-frame service weight, stable worker ids
+//   * WorkerSlot  -- one replica slot; ids are stable across deltas so a
+//                    hot-swap can name exactly the workers it spawns/retires
+//   * QueueSpec   -- inter-stage queue endpoints and capacities (queue i
+//                    connects stage i to stage i+1; the last feeds the drain)
+//
+// diff(before, after) compares two plans and produces a PlanDelta: per stage
+// kept / resized (replica count changed) / rebound (core type changed), or a
+// whole-plan incompatibility (recut stage structure, different chain or
+// queue capacity) that forces a full rebuild. apply(base, delta) yields the
+// successor plan with untouched workers keeping their ids -- the substrate
+// for rt::Pipeline's in-place hot-swap (docs/EXECUTION_PLAN.md).
+
+#include "core/chain.hpp"
+#include "core/solution.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace amp::plan {
+
+/// Raised by compile()/apply() on a malformed solution or delta. Derives
+/// from std::invalid_argument so callers that used to catch the executors'
+/// ad-hoc validation errors keep working.
+class PlanError : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Executor-independent knobs baked into the plan (mirrors the shape of
+/// rt::PipelineConfig without depending on rt).
+struct PlanOptions {
+    std::size_t queue_capacity = 8; ///< per inter-stage queue, in frames
+    [[nodiscard]] constexpr bool operator==(const PlanOptions&) const noexcept = default;
+};
+
+/// The structural facts compile() validates against: task count and per-task
+/// replicability. Derivable from a core::TaskChain (the profiled path) or
+/// from an rt::TaskSequence's stateful flags (the runtime-only path).
+struct ChainShape {
+    int tasks = 0;
+    std::vector<bool> replicable; ///< replicable[i - 1] for task i (1-based)
+
+    [[nodiscard]] static ChainShape of(const core::TaskChain& chain);
+    [[nodiscard]] bool task_replicable(int i) const
+    {
+        return replicable.at(static_cast<std::size_t>(i - 1));
+    }
+};
+
+/// One replica slot of one stage. `id` is stable: apply() never renumbers a
+/// kept worker, so executors can key threads, trace tracks and heartbeats on
+/// it across hot-swaps.
+struct WorkerSlot {
+    int id = 0;
+    int stage = 0;
+    int slot = 0; ///< position within the stage, 0-based
+    core::CoreType type = core::CoreType::big;
+};
+
+/// One pipeline stage of the compiled plan.
+struct PlanStage {
+    int index = 0;
+    int first = 0; ///< 1-based inclusive task interval [first, last]
+    int last = 0;
+    int replicas = 1;
+    core::CoreType type = core::CoreType::big;
+    bool replicated = false;  ///< replicas > 1
+    bool sequential = false;  ///< interval contains a non-replicable task
+    double service_us = 0.0;  ///< interval weight on `type`; 0 without a profile
+    std::vector<int> worker_ids; ///< stable ids, slot order
+
+    [[nodiscard]] int task_count() const noexcept { return last - first + 1; }
+};
+
+/// One inter-stage queue. consumer_stage == kDrain marks the final queue,
+/// drained in stream order by the executor's output side.
+struct QueueSpec {
+    static constexpr int kDrain = -1;
+
+    int index = 0;
+    int producer_stage = 0;
+    int consumer_stage = kDrain;
+    std::size_t capacity = 8;
+};
+
+/// What happened to one stage between two compatible plans.
+enum class StageAction : std::uint8_t {
+    kept,    ///< identical replicas and core type
+    resized, ///< replica count changed (same core type)
+    rebound, ///< core type changed (replica count may also have changed)
+};
+
+[[nodiscard]] constexpr const char* to_string(StageAction a) noexcept
+{
+    switch (a) {
+    case StageAction::kept: return "kept";
+    case StageAction::resized: return "resized";
+    case StageAction::rebound: return "rebound";
+    }
+    return "?";
+}
+
+struct StageDelta {
+    int stage = 0;
+    StageAction action = StageAction::kept;
+    int replicas_before = 0;
+    int replicas_after = 0;
+    core::CoreType type_before = core::CoreType::big;
+    core::CoreType type_after = core::CoreType::big;
+    int spawn_count = 0;                ///< workers apply() adds (fresh ids)
+    std::vector<int> retire_worker_ids; ///< ids apply() removes (highest slots)
+};
+
+/// Difference between two plans. When `compatible` is false the stage cut
+/// (or the chain, or the queue topology) changed and no in-place swap is
+/// possible -- `reason` says why and `stages` is empty; the executor must
+/// fall back to a full rebuild.
+struct PlanDelta {
+    bool compatible = true;
+    std::string reason;             ///< set when !compatible
+    std::vector<StageDelta> stages; ///< one per stage when compatible
+    int spawned = 0;
+    int retired = 0;
+    int rebound = 0;
+
+    [[nodiscard]] bool empty() const noexcept
+    {
+        return compatible && spawned == 0 && retired == 0 && rebound == 0;
+    }
+};
+
+/// Validated, immutable execution plan. Copyable; a copy is an independent
+/// plan with the same worker ids.
+class ExecutionPlan {
+public:
+    ExecutionPlan() = default;
+
+    /// Compiles a profiled plan: structure from `solution`, per-stage
+    /// service weights from `chain`. Throws PlanError when the solution is
+    /// empty, does not tile [1, n] contiguously, assigns a stage fewer than
+    /// one core, or replicates an interval containing a sequential task.
+    [[nodiscard]] static ExecutionPlan compile(const core::TaskChain& chain,
+                                               const core::Solution& solution,
+                                               PlanOptions options = {});
+
+    /// Structure-only compile for executors that have no task-weight
+    /// profile (service_us stays 0; has_profile() is false).
+    [[nodiscard]] static ExecutionPlan compile(const ChainShape& shape,
+                                               const core::Solution& solution,
+                                               PlanOptions options = {});
+
+    [[nodiscard]] const std::vector<PlanStage>& stages() const noexcept { return stages_; }
+    [[nodiscard]] const PlanStage& stage(std::size_t i) const { return stages_.at(i); }
+    [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
+    [[nodiscard]] const std::vector<QueueSpec>& queues() const noexcept { return queues_; }
+    [[nodiscard]] const std::vector<WorkerSlot>& workers() const noexcept { return workers_; }
+    [[nodiscard]] int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
+
+    [[nodiscard]] const core::Solution& solution() const noexcept { return solution_; }
+    [[nodiscard]] const PlanOptions& options() const noexcept { return options_; }
+    [[nodiscard]] const ChainShape& shape() const noexcept { return shape_; }
+    [[nodiscard]] int task_count() const noexcept { return shape_.tasks; }
+
+    /// True when the plan was compiled from a TaskChain (service weights
+    /// and chain() are meaningful).
+    [[nodiscard]] bool has_profile() const noexcept { return chain_.has_value(); }
+    [[nodiscard]] const core::TaskChain& chain() const { return chain_.value(); }
+
+    /// First id apply() hands to a spawned worker; monotone across deltas.
+    [[nodiscard]] int next_worker_id() const noexcept { return next_worker_id_; }
+
+    /// Model period in us: max over stages of service_us / replicas for
+    /// replicable intervals (0 without a profile). Matches Solution::period.
+    [[nodiscard]] double period_us() const noexcept;
+
+    /// Human-readable one-liner, e.g. "[1,1]x1B | [2,5]x3L (cap 8)".
+    [[nodiscard]] std::string summary() const;
+
+private:
+    ChainShape shape_;
+    std::optional<core::TaskChain> chain_;
+    core::Solution solution_;
+    PlanOptions options_;
+    std::vector<PlanStage> stages_;
+    std::vector<QueueSpec> queues_;
+    std::vector<WorkerSlot> workers_;
+    int next_worker_id_ = 0;
+
+    friend ExecutionPlan apply(const ExecutionPlan& base, const PlanDelta& delta);
+};
+
+/// Structural diff. Compatible iff both plans cut the same task count into
+/// the same stage intervals with the same queue capacity; then each stage is
+/// kept, resized or rebound. Anything else (recut, different chain length,
+/// different queue capacity) is incompatible and names the reason.
+[[nodiscard]] PlanDelta diff(const ExecutionPlan& before, const ExecutionPlan& after);
+
+/// Applies a compatible delta: kept workers retain their ids, retired slots
+/// are removed, spawned slots get fresh ids from base.next_worker_id().
+/// Throws PlanError when the delta is incompatible or was computed against
+/// a different base.
+[[nodiscard]] ExecutionPlan apply(const ExecutionPlan& base, const PlanDelta& delta);
+
+/// True when the two plans describe the same executable topology: same
+/// stage intervals, replica counts, core types and queue capacities (worker
+/// id labels are ignored -- they are identity, not structure).
+[[nodiscard]] bool same_topology(const ExecutionPlan& a, const ExecutionPlan& b);
+
+} // namespace amp::plan

@@ -128,6 +128,21 @@ public:
         not_full_.notify_all();
     }
 
+    /// Re-arms the queue for a new stream segment starting at `first_seq`:
+    /// drops any buffered envelopes and clears the closed/aborted latches.
+    /// The caller must guarantee no concurrent producers or consumers (the
+    /// pipeline resets its queues only between segments, with every worker
+    /// parked).
+    void reset(std::uint64_t first_seq)
+    {
+        std::lock_guard lock{mutex_};
+        buffer_.clear();
+        next_seq_ = first_seq;
+        closed_ = false;
+        aborted_ = false;
+        not_full_.notify_all();
+    }
+
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
     /// Number of buffered envelopes (for tests/metrics).

@@ -1,14 +1,23 @@
 #pragma once
-// Threaded pipeline executor: turns a scheduling Solution into running
-// worker threads connected by order-restoring bounded queues (the StreamPU
+// Threaded pipeline executor: runs a compiled plan::ExecutionPlan as worker
+// threads connected by order-restoring bounded queues (the StreamPU
 // execution model, including the v1.6.0 extension that connects consecutive
 // replicated stages -- possibly of different core types).
 //
-// Stage i of the solution becomes r_i workers, each executing the stage's
-// task interval on every frame it pulls. Replicated stages clone their
+// Stage i of the plan becomes r_i workers, each executing the stage's task
+// interval on every frame it pulls. Replicated stages clone their
 // (stateless) tasks once per extra worker. Sequential stages keep a single
 // worker and therefore observe frames in stream order, which is what makes
 // stateful tasks safe.
+//
+// Workers are persistent: threads are spawned once (lazily, on the first
+// run) and parked on an epoch condition variable between stream segments,
+// so run() can be called repeatedly -- and, after a degraded run,
+// apply_delta() hot-swaps the pipeline in place: untouched stages keep
+// their threads and queues alive; only the workers a plan::PlanDelta names
+// are spawned or retired, and rebound stages just re-read their core-type
+// binding at the next segment. An incompatible delta (recut stage
+// structure) requires constructing a new Pipeline (docs/EXECUTION_PLAN.md).
 //
 // Fault tolerance (docs/FAULT_MODEL.md): every worker maintains a heartbeat
 // that it refreshes whenever it makes progress or wakes from a bounded wait.
@@ -20,21 +29,24 @@
 // stage's input in stream order (as tombstones), and the run returns a
 // degraded-but-ordered result instead of aborting. Transient task failures
 // are absorbed by a bounded retry with exponential backoff. A run that ends
-// early reports `stream_end`, the exact resume point for a rescheduled
-// pipeline (see rt/rescheduler.hpp).
+// early reports `stream_end`, the exact resume point for the next segment
+// (see rt/rescheduler.hpp).
 
 #include "core/chain.hpp"
 #include "core/solution.hpp"
 #include "obs/schema.hpp"
 #include "obs/sink.hpp"
+#include "plan/execution_plan.hpp"
 #include "rt/core_emulator.hpp"
 #include "rt/fault.hpp"
 #include "rt/ordered_queue.hpp"
 #include "rt/task.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -96,7 +108,7 @@ struct PipelineConfig {
 
 /// One fenced (permanently lost) worker.
 struct WorkerLoss {
-    int worker = -1;                          ///< global stage-major index
+    int worker = -1;                          ///< stable plan worker id
     int stage = -1;                           ///< stage the worker served
     core::CoreType type = core::CoreType::big; ///< core type lost with it
     std::uint64_t held_frame = 0;             ///< frame it held (kNoFrame if idle)
@@ -141,14 +153,43 @@ inline bool pin_current_thread_to_cpu([[maybe_unused]] int cpu)
 template <typename T>
 class Pipeline {
 public:
-    /// The sequence must outlive the pipeline. Throws if the solution does
-    /// not cover the chain or replicates a stage containing stateful tasks.
+    /// The sequence must outlive the pipeline. Compiles the solution into a
+    /// plan::ExecutionPlan internally; throws (PlanError, a subclass of
+    /// std::invalid_argument) if the solution does not cover the chain or
+    /// replicates a stage containing stateful tasks.
     Pipeline(TaskSequence<T>& sequence, core::Solution solution, PipelineConfig config = {})
+        : Pipeline(sequence,
+                   plan::ExecutionPlan::compile(shape_of(sequence), solution,
+                                                plan::PlanOptions{config.queue_capacity}),
+                   config)
+    {
+    }
+
+    /// Runs a pre-compiled plan (e.g. from svc::SolverService::solve_planned
+    /// or plan::apply). The plan's queue capacity wins over
+    /// config.queue_capacity: the plan *is* the queue topology.
+    Pipeline(TaskSequence<T>& sequence, plan::ExecutionPlan plan, PipelineConfig config = {})
         : sequence_(sequence)
-        , solution_(std::move(solution))
+        , plan_(std::move(plan))
         , config_(config)
     {
-        validate();
+        validate_against_sequence(plan_);
+        rebuild_stage_specs();
+    }
+
+    Pipeline(const Pipeline&) = delete;
+    Pipeline& operator=(const Pipeline&) = delete;
+
+    ~Pipeline()
+    {
+        {
+            std::lock_guard lock{epoch_mutex_};
+            shutdown_ = true;
+        }
+        epoch_cv_.notify_all();
+        for (auto& worker : workers_)
+            if (worker->thread.joinable())
+                worker->thread.join();
     }
 
     /// Processes frames [config.first_frame, num_frames) end to end.
@@ -156,138 +197,86 @@ public:
     /// order, with each final frame.
     RunResult run(std::uint64_t num_frames, const std::function<void(T&)>& on_output = {})
     {
-        if (config_.first_frame > num_frames)
+        return run_from(config_.first_frame, num_frames, on_output);
+    }
+
+    /// Like run(), but resumes the stream at `first_frame` (ignores
+    /// config.first_frame). Used by run_with_recovery to continue a stream
+    /// on the same pipeline after a delta hot-swap.
+    RunResult run_from(std::uint64_t first_frame, std::uint64_t num_frames,
+                       const std::function<void(T&)>& on_output = {})
+    {
+        if (first_frame > num_frames)
             throw std::invalid_argument{"Pipeline::run: first_frame past the stream end"};
+        if (!materialized_)
+            materialize();
 
-        const auto& stages = solution_.stages();
-        const std::size_t k = stages.size();
+        SegmentState& st = seg_;
+        const std::size_t k = stages_.size();
 
-        RunState st;
+        // -- reset the per-segment state (all workers are parked) ---------
         st.num_frames = num_frames;
-        st.next_frame.store(config_.first_frame);
+        st.first_frame = first_frame;
+        st.next_frame.store(first_frame);
+        st.retries.store(0);
+        st.stop_source.store(false);
+        st.end_pushed.store(false);
+        st.over.store(false);
+        st.first_error = nullptr;
+        st.losses.clear();
+        st.failure_seconds = -1.0;
         st.beat_interval = config_.heartbeat_timeout.count() > 0
             ? std::max<std::chrono::milliseconds>(std::chrono::milliseconds{1},
                                                   config_.heartbeat_timeout / 4)
             : std::chrono::milliseconds{50};
+        for (auto& queue : queues_)
+            queue->reset(first_frame);
+        resolve_obs_hooks(st);
 
-        // Queue q[i] connects stage i to stage i+1; q[k-1] feeds the drain.
-        st.queues.reserve(k);
-        for (std::size_t i = 0; i < k; ++i)
-            st.queues.push_back(
-                std::make_unique<OrderedQueue<T>>(config_.queue_capacity, config_.first_frame));
-
-        st.live_in_stage = std::vector<std::atomic<int>>(k);
-        for (std::size_t s = 0; s < k; ++s)
-            st.live_in_stage[s].store(stages[s].cores);
-
-        // Resolve telemetry handles up front; workers then record through
-        // raw pointers (no locks, no lookups) or skip on one branch.
-        obs::Sink* const sink =
-            config_.sink != nullptr && config_.sink->enabled() ? config_.sink : nullptr;
-        ObsHooks& ob = st.obs;
-        if (sink != nullptr) {
-            ob.active = true;
-            if (sink->metrics_enabled()) {
-                obs::MetricsRegistry& m = sink->metrics();
-                ob.metrics = &m;
-                ob.frames_delivered = &m.counter(obs::schema::kFramesDelivered);
-                ob.frames_dropped = &m.counter(obs::schema::kFramesDropped);
-                ob.retries = &m.counter(obs::schema::kRetries);
-                ob.heartbeats = &m.counter(obs::schema::kHeartbeats);
-                ob.fenced = &m.counter(obs::schema::kWorkersFenced);
-                for (std::size_t s = 0; s < k; ++s) {
-                    const int stage_index = static_cast<int>(s);
-                    ob.stage_latency.push_back(
-                        &m.histogram(obs::schema::stage_latency(stage_index)));
-                    ob.queue_wait.push_back(&m.histogram(obs::schema::queue_wait(stage_index)));
-                }
-            }
-            if (sink->trace_enabled()) {
-                obs::TraceRecorder& tr = sink->trace();
-                ob.trace = &tr;
-                ob.track_base = tr.track_count();
-                for (std::size_t s = 0; s < k; ++s)
-                    ob.span_names.push_back(tr.intern(obs::schema::stage_span(
-                        static_cast<int>(s), stages[s].first, stages[s].last)));
-                ob.retry_name = tr.intern(obs::schema::kRetry);
-                ob.tombstone_name = tr.intern(obs::schema::kTombstone);
-                ob.fence_name = tr.intern(obs::schema::kFence);
-            }
+        std::vector<int> live(k, 0);
+        std::size_t entered = 0;
+        for (auto& worker : workers_) {
+            if (worker->gone.load() || worker->fenced.load() || worker->dismissed.load())
+                continue;
+            worker->holding.store(kNoFrame);
+            worker->exited.store(false);
+            worker->retired.store(false);
+            worker->last_beat_ns.store(now_ns());
+            ++live[static_cast<std::size_t>(worker->stage)];
+            ++entered;
         }
-
-        // Per-worker task instances: worker 0 of each stage borrows the
-        // originals; extra (replica) workers own clones.
-        std::vector<std::vector<std::unique_ptr<Task<T>>>> clone_storage;
-        std::vector<std::vector<Task<T>*>> worker_tasks;
         for (std::size_t s = 0; s < k; ++s) {
-            const core::Stage& stage = stages[s];
-            for (int w = 0; w < stage.cores; ++w) {
-                auto record = std::make_unique<WorkerRecord>();
-                record->index = static_cast<int>(st.workers.size());
-                record->stage = static_cast<int>(s);
-                record->last_beat_ns.store(now_ns());
-                if (ob.trace != nullptr)
-                    ob.trace->add_track(
-                        obs::schema::worker_track(record->index, record->stage));
-                st.workers.push_back(std::move(record));
-                if (w == 0) {
-                    worker_tasks.push_back(sequence_.stage_view(stage.first, stage.last));
-                } else {
-                    clone_storage.push_back(sequence_.stage_clones(stage.first, stage.last));
-                    std::vector<Task<T>*> tasks;
-                    for (auto& owned : clone_storage.back())
-                        tasks.push_back(owned.get());
-                    worker_tasks.push_back(std::move(tasks));
-                }
-            }
+            if (live[s] == 0)
+                throw std::logic_error{
+                    "Pipeline::run: stage " + std::to_string(s)
+                    + " has no live workers; apply a delta or rebuild the pipeline"};
+            st.live_in_stage[s].store(live[s]);
         }
 
-        if (ob.trace != nullptr)
-            ob.watchdog_track = ob.trace->add_track(obs::schema::kWatchdogTrack);
-
-        std::vector<std::thread> threads;
-        threads.reserve(st.workers.size());
         const auto start = std::chrono::steady_clock::now();
         st.start = start;
+
+        // -- release the workers into this segment ------------------------
+        {
+            std::lock_guard lock{epoch_mutex_};
+            parked_ = 0;
+            ++epoch_;
+        }
+        epoch_cv_.notify_all();
 
         std::thread watchdog;
         if (config_.heartbeat_timeout.count() > 0)
             watchdog = std::thread{[this, &st] { watchdog_loop(st); }};
-
-        for (std::size_t w = 0; w < st.workers.size(); ++w) {
-            WorkerRecord& me = *st.workers[w];
-            const core::Stage& stage = stages[static_cast<std::size_t>(me.stage)];
-            OrderedQueue<T>* in = me.stage == 0 ? nullptr : st.queues[me.stage - 1].get();
-            OrderedQueue<T>* out = st.queues[me.stage].get();
-            const int pin_cpu = config_.core_map.empty()
-                ? -1
-                : config_.core_map[w % config_.core_map.size()];
-            threads.emplace_back([this, &st, &me, &stage, in, out, pin_cpu,
-                                  tasks = std::move(worker_tasks[w])] {
-                if (pin_cpu >= 0)
-                    (void)pin_current_thread_to_cpu(pin_cpu);
-                try {
-                    if (in == nullptr)
-                        source_loop(st, me, stage, tasks, *out);
-                    else
-                        stage_loop(st, me, stage, tasks, *in, *out);
-                } catch (...) {
-                    me.exited.store(true);
-                    record_error(st, std::current_exception());
-                    (void)retire(st, me);
-                }
-            });
-        }
 
         // Drain the final queue in order on this thread. Tombstones are
         // frames lost to worker failures; they keep the stream contiguous
         // but are not handed to `on_output`.
         std::uint64_t delivered = 0;
         std::uint64_t dropped = 0;
-        std::uint64_t end_seq = config_.first_frame;
+        std::uint64_t end_seq = first_frame;
         bool end_seen = false;
         try {
-            while (auto envelope = st.queues.back()->pop()) {
+            while (auto envelope = queues_.back()->pop()) {
                 if (envelope->end) {
                     end_seq = envelope->seq;
                     end_seen = true;
@@ -305,15 +294,19 @@ public:
             record_error(st, std::current_exception());
         }
 
-        for (auto& thread : threads)
-            thread.join();
-        st.shutdown.store(true);
+        // -- wait for every entered worker to park ------------------------
+        {
+            std::unique_lock lock{epoch_mutex_};
+            parked_cv_.wait(lock, [&] { return parked_ >= entered; });
+        }
+        st.over.store(true);
         if (watchdog.joinable())
             watchdog.join();
         {
             std::lock_guard lock{st.scavenger_mutex};
             for (auto& scavenger : st.scavengers)
                 scavenger.join();
+            st.scavengers.clear();
         }
         const auto stop = std::chrono::steady_clock::now();
 
@@ -325,12 +318,13 @@ public:
         result.elapsed_seconds = std::chrono::duration<double>(stop - start).count();
         result.frames_dropped = dropped;
         result.retries = st.retries.load();
-        result.stream_end = end_seen ? end_seq : config_.first_frame + delivered + dropped;
+        result.stream_end = end_seen ? end_seq : first_frame + delivered + dropped;
         {
             std::lock_guard lock{st.loss_mutex};
             result.losses = st.losses;
             result.failure_seconds = st.failure_seconds;
         }
+        ObsHooks& ob = st.obs;
         if (ob.metrics != nullptr) {
             // Workers have quiesced: bulk-add the drain totals and stamp the
             // run gauges.
@@ -342,28 +336,101 @@ public:
         return result;
     }
 
-    [[nodiscard]] const core::Solution& solution() const noexcept { return solution_; }
+    /// In-place hot-swap: reconfigures the pipeline to the plan obtained by
+    /// applying `delta` to the current plan. Untouched stages keep their
+    /// worker threads and queues alive; fenced workers are reaped; only the
+    /// replica-count changes the delta names spawn or retire threads, and
+    /// rebound stages pick up their new core type at the next segment.
+    /// Must be called between segments (never while run() is in flight).
+    /// Throws std::invalid_argument when the delta is incompatible (recut
+    /// structure -- construct a new Pipeline instead).
+    void apply_delta(const plan::PlanDelta& delta)
+    {
+        if (!delta.compatible)
+            throw std::invalid_argument{
+                "Pipeline::apply_delta: incompatible delta (" + delta.reason
+                + "); construct a new Pipeline instead"};
+        plan::ExecutionPlan next = plan::apply(plan_, delta);
+        validate_against_sequence(next);
+
+        plan_ = std::move(next);
+        rebuild_stage_specs();
+        if (!materialized_)
+            return;
+        // Stay ahead of the plan's id counter: replacement workers spawned
+        // for fenced slots (which the plan does not know about) must never
+        // reuse an id a future delta could hand out.
+        next_worker_id_ = std::max(next_worker_id_, plan_.next_worker_id());
+
+        reap_dead_workers();
+        const auto& plan_stages = plan_.stages();
+        for (std::size_t s = 0; s < plan_stages.size(); ++s) {
+            const int target = plan_stages[s].replicas;
+            int alive = live_worker_count(static_cast<int>(s));
+            while (alive > target) {
+                dismiss_one(static_cast<int>(s));
+                --alive;
+            }
+            while (alive < target) {
+                spawn_worker(static_cast<int>(s));
+                ++alive;
+            }
+        }
+    }
+
+    /// The compiled plan this pipeline currently executes.
+    [[nodiscard]] const plan::ExecutionPlan& execution_plan() const noexcept { return plan_; }
+
+    [[nodiscard]] const core::Solution& solution() const noexcept { return plan_.solution(); }
+
+    /// Worker threads currently alive (not fenced, not retired); for tests
+    /// and the recovery bench.
+    [[nodiscard]] int live_workers() const
+    {
+        int count = 0;
+        for (const auto& worker : workers_)
+            if (!worker->gone.load() && !worker->fenced.load() && !worker->dismissed.load())
+                ++count;
+        return count;
+    }
+
+    /// Total worker threads ever spawned by this pipeline (monotone; grows
+    /// by exactly the delta's spawn count on each hot-swap).
+    [[nodiscard]] int spawned_workers() const noexcept { return spawned_total_; }
 
 private:
     static constexpr std::uint64_t kNoFrame = WorkerLoss::kNoFrame;
 
-    struct WorkerRecord {
+    /// One persistent worker: identity and task instances live across
+    /// segments; the atomics are reset at every segment start.
+    struct Worker {
+        // -- persistent identity (mutated only between segments) ----------
+        int id = 0;    ///< stable plan worker id (tracks, heartbeats, faults)
+        int stage = 0;
+        std::vector<std::unique_ptr<Task<T>>> clones; ///< empty when borrowing
+        std::vector<Task<T>*> tasks;
+        bool owns_originals = false;
+        std::size_t track = 0; ///< trace track (valid when tracing)
+        std::thread thread;
+
+        // -- lifecycle -----------------------------------------------------
+        std::atomic<bool> dismissed{false}; ///< retire request (apply_delta)
+        std::atomic<bool> gone{false};      ///< thread exited for good
+
+        // -- per-segment ---------------------------------------------------
         std::atomic<std::int64_t> last_beat_ns{0};
         std::atomic<std::uint64_t> holding{WorkerLoss::kNoFrame};
         std::atomic<bool> fenced{false};
         std::atomic<bool> exited{false};
         std::atomic<bool> retired{false};
-        int index = 0;
-        int stage = 0;
     };
 
-    /// Telemetry handles resolved once per run so the hot path never takes
-    /// the registry mutex or interns names. All pointers null when the run
-    /// has no (enabled) sink.
+    /// Telemetry handles resolved once per segment so the hot path never
+    /// takes the registry mutex or interns names. All pointers null when
+    /// the run has no (enabled) sink.
     struct ObsHooks {
         obs::MetricsRegistry* metrics = nullptr;
         obs::TraceRecorder* trace = nullptr;
-        std::size_t track_base = 0;     ///< worker w records on track_base + w
         std::size_t watchdog_track = 0; ///< fence/tombstone instants
         std::vector<obs::Histogram*> stage_latency; ///< per stage, us
         std::vector<obs::Histogram*> queue_wait;    ///< per stage, us
@@ -379,17 +446,18 @@ private:
         bool active = false;
     };
 
-    struct RunState {
-        std::vector<std::unique_ptr<OrderedQueue<T>>> queues;
+    /// Everything scoped to one stream segment (one run_from call). Reused
+    /// across segments; reset by run_from while all workers are parked.
+    struct SegmentState {
         ObsHooks obs;
-        std::vector<std::unique_ptr<WorkerRecord>> workers;
         std::vector<std::atomic<int>> live_in_stage;
         std::atomic<std::uint64_t> next_frame{0};
         std::atomic<std::uint64_t> retries{0};
         std::atomic<bool> stop_source{false};
         std::atomic<bool> end_pushed{false};
-        std::atomic<bool> shutdown{false};
+        std::atomic<bool> over{false}; ///< segment finished (drain + park done)
         std::uint64_t num_frames = 0;
+        std::uint64_t first_frame = 0;
         std::chrono::milliseconds beat_interval{50};
         std::chrono::steady_clock::time_point start{};
 
@@ -404,6 +472,16 @@ private:
         std::vector<std::thread> scavengers;
     };
 
+    [[nodiscard]] static plan::ChainShape shape_of(const TaskSequence<T>& sequence)
+    {
+        plan::ChainShape shape;
+        shape.tasks = sequence.size();
+        shape.replicable.reserve(static_cast<std::size_t>(sequence.size()));
+        for (int i = 1; i <= sequence.size(); ++i)
+            shape.replicable.push_back(sequence.task(i).replicable());
+        return shape;
+    }
+
     [[nodiscard]] static std::int64_t now_ns()
     {
         return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -411,20 +489,20 @@ private:
             .count();
     }
 
-    static void beat(RunState& st, WorkerRecord& me)
+    static void beat(SegmentState& st, Worker& me)
     {
         me.last_beat_ns.store(now_ns());
         if (st.obs.heartbeats != nullptr)
-            st.obs.heartbeats->inc(static_cast<std::size_t>(me.index));
+            st.obs.heartbeats->inc(static_cast<std::size_t>(me.id));
     }
 
-    [[nodiscard]] static double us_since(const RunState& st,
+    [[nodiscard]] static double us_since(const SegmentState& st,
                                          std::chrono::steady_clock::time_point t)
     {
         return std::chrono::duration<double, std::micro>(t - st.start).count();
     }
 
-    static void obs_record_span(RunState& st, const WorkerRecord& me,
+    static void obs_record_span(SegmentState& st, const Worker& me,
                                 std::chrono::steady_clock::time_point t0,
                                 std::chrono::steady_clock::time_point t1, std::uint64_t seq)
     {
@@ -434,44 +512,37 @@ private:
             ob.stage_latency[s]->record_duration(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0));
         if (ob.trace != nullptr)
-            ob.trace->emit_complete(ob.track_base + static_cast<std::size_t>(me.index),
-                                    ob.span_names[s], us_since(st, t0),
+            ob.trace->emit_complete(me.track, ob.span_names[s], us_since(st, t0),
                                     std::chrono::duration<double, std::micro>(t1 - t0).count(),
                                     seq, me.stage);
     }
 
-    static void obs_record_retry(RunState& st, const WorkerRecord& me, std::uint64_t seq)
+    static void obs_record_retry(SegmentState& st, const Worker& me, std::uint64_t seq)
     {
         ObsHooks& ob = st.obs;
         if (ob.retries != nullptr)
-            ob.retries->inc(static_cast<std::size_t>(me.index));
+            ob.retries->inc(static_cast<std::size_t>(me.id));
         if (ob.trace != nullptr)
-            ob.trace->emit_instant(ob.track_base + static_cast<std::size_t>(me.index),
-                                   ob.retry_name,
+            ob.trace->emit_instant(me.track, ob.retry_name,
                                    us_since(st, std::chrono::steady_clock::now()), seq,
                                    me.stage);
     }
 
-    void validate() const
+    /// Runtime-side checks the plan cannot do on its own: the plan's shape
+    /// may come from a profiled TaskChain, but the tasks that actually run
+    /// are the sequence's -- replication is only safe when *they* are
+    /// stateless. Also audits fault-injection preconditions.
+    void validate_against_sequence(const plan::ExecutionPlan& plan) const
     {
-        if (solution_.empty())
-            throw std::invalid_argument{"Pipeline: empty solution"};
-        int expected = 1;
-        for (const core::Stage& stage : solution_.stages()) {
-            if (stage.first != expected || stage.last < stage.first)
-                throw std::invalid_argument{"Pipeline: stages must tile the chain contiguously"};
-            if (stage.cores < 1)
-                throw std::invalid_argument{"Pipeline: every stage needs at least one core"};
-            if (stage.cores > 1)
+        if (plan.task_count() != sequence_.size())
+            throw std::invalid_argument{"Pipeline: plan does not cover the task sequence"};
+        for (const plan::PlanStage& stage : plan.stages())
+            if (stage.replicas > 1)
                 for (int i = stage.first; i <= stage.last; ++i)
                     if (sequence_.task(i).stateful())
                         throw std::invalid_argument{
                             "Pipeline: replicated stage contains stateful task '"
                             + sequence_.task(i).name() + "'"};
-            expected = stage.last + 1;
-        }
-        if (expected != sequence_.size() + 1)
-            throw std::invalid_argument{"Pipeline: solution does not cover the whole chain"};
         if (config_.faults != nullptr && config_.faults->has_liveness_faults()
             && config_.heartbeat_timeout.count() == 0)
             throw std::invalid_argument{
@@ -479,20 +550,254 @@ private:
                 "(set PipelineConfig::heartbeat_timeout)"};
     }
 
-    void record_error(RunState& st, std::exception_ptr error)
+    void rebuild_stage_specs()
+    {
+        stages_.clear();
+        stages_.reserve(plan_.stage_count());
+        for (const plan::PlanStage& stage : plan_.stages())
+            stages_.push_back(core::Stage{stage.first, stage.last, stage.replicas, stage.type});
+    }
+
+    /// First call of run(): creates the queues and spawns the initial
+    /// worker threads (parked until the first epoch). Trace tracks are laid
+    /// out stage-major, then the watchdog track -- the same layout one
+    /// run() of the non-persistent executor produced.
+    void materialize()
+    {
+        const std::size_t k = stages_.size();
+        queues_.reserve(k);
+        for (std::size_t i = 0; i < k; ++i)
+            queues_.push_back(std::make_unique<OrderedQueue<T>>(plan_.options().queue_capacity,
+                                                                config_.first_frame));
+        seg_.live_in_stage = std::vector<std::atomic<int>>(k);
+
+        if (config_.sink != nullptr && config_.sink->enabled()
+            && config_.sink->trace_enabled())
+            trace_ = &config_.sink->trace();
+
+        for (const plan::WorkerSlot& slot : plan_.workers())
+            spawn_worker(slot.stage, slot.id);
+        next_worker_id_ = plan_.next_worker_id();
+        if (trace_ != nullptr)
+            watchdog_track_ = trace_->add_track(obs::schema::kWatchdogTrack);
+        materialized_ = true;
+    }
+
+    /// Spawns one parked worker thread for `stage`. The first worker of a
+    /// stage borrows the sequence's original task instances (required for
+    /// stateful stages, whose tasks cannot clone); every other worker owns
+    /// clones. `id` < 0 allocates the next pipeline-local id.
+    void spawn_worker(int stage, int id = -1)
+    {
+        auto worker = std::make_unique<Worker>();
+        worker->id = id >= 0 ? id : next_worker_id_++;
+        worker->stage = stage;
+        const core::Stage& spec = stages_[static_cast<std::size_t>(stage)];
+        if (!originals_in_use(stage)) {
+            worker->tasks = sequence_.stage_view(spec.first, spec.last);
+            worker->owns_originals = true;
+        } else {
+            worker->clones = sequence_.stage_clones(spec.first, spec.last);
+            worker->tasks.reserve(worker->clones.size());
+            for (auto& owned : worker->clones)
+                worker->tasks.push_back(owned.get());
+        }
+        if (trace_ != nullptr)
+            worker->track = trace_->add_track(obs::schema::worker_track(worker->id, stage));
+        worker->last_beat_ns.store(now_ns());
+
+        std::uint64_t born_epoch = 0;
+        {
+            std::lock_guard lock{epoch_mutex_};
+            born_epoch = epoch_; // sleep until the *next* segment starts
+        }
+        const int pin_cpu = config_.core_map.empty()
+            ? -1
+            : config_.core_map[static_cast<std::size_t>(worker->id)
+                               % config_.core_map.size()];
+        Worker* raw = worker.get();
+        worker->thread = std::thread{[this, raw, born_epoch, pin_cpu] {
+            if (pin_cpu >= 0)
+                (void)pin_current_thread_to_cpu(pin_cpu);
+            worker_main(*raw, born_epoch);
+        }};
+        workers_.push_back(std::move(worker));
+        ++spawned_total_;
+    }
+
+    [[nodiscard]] bool originals_in_use(int stage) const
+    {
+        for (const auto& worker : workers_)
+            if (worker->stage == stage && worker->owns_originals && !worker->gone.load()
+                && !worker->fenced.load() && !worker->dismissed.load())
+                return true;
+        return false;
+    }
+
+    [[nodiscard]] int live_worker_count(int stage) const
+    {
+        int count = 0;
+        for (const auto& worker : workers_)
+            if (worker->stage == stage && !worker->gone.load() && !worker->fenced.load()
+                && !worker->dismissed.load())
+                ++count;
+        return count;
+    }
+
+    /// Joins and removes workers whose threads are finished or doomed:
+    /// fenced by the watchdog (their thread exits at the next epoch wake)
+    /// or already gone. Only called between segments.
+    void reap_dead_workers()
+    {
+        bool any = false;
+        for (auto& worker : workers_)
+            if (worker->fenced.load() || worker->gone.load()) {
+                worker->dismissed.store(true);
+                any = true;
+            }
+        if (!any)
+            return;
+        epoch_cv_.notify_all();
+        std::erase_if(workers_, [](const std::unique_ptr<Worker>& worker) {
+            if (!worker->dismissed.load())
+                return false;
+            if (worker->thread.joinable())
+                worker->thread.join();
+            return true;
+        });
+    }
+
+    /// Retires one live worker of `stage` (a clone owner when possible, so
+    /// the originals stay owned) and joins its thread.
+    void dismiss_one(int stage)
+    {
+        Worker* victim = nullptr;
+        for (auto& worker : workers_) {
+            if (worker->stage != stage || worker->gone.load() || worker->fenced.load()
+                || worker->dismissed.load())
+                continue;
+            if (victim == nullptr || victim->owns_originals)
+                victim = worker.get();
+        }
+        if (victim == nullptr)
+            return;
+        victim->dismissed.store(true);
+        epoch_cv_.notify_all();
+        std::erase_if(workers_, [victim](const std::unique_ptr<Worker>& worker) {
+            if (worker.get() != victim)
+                return false;
+            if (worker->thread.joinable())
+                worker->thread.join();
+            return true;
+        });
+    }
+
+    void resolve_obs_hooks(SegmentState& st)
+    {
+        st.obs = ObsHooks{};
+        obs::Sink* const sink =
+            config_.sink != nullptr && config_.sink->enabled() ? config_.sink : nullptr;
+        if (sink == nullptr)
+            return;
+        ObsHooks& ob = st.obs;
+        const std::size_t k = stages_.size();
+        ob.active = true;
+        if (sink->metrics_enabled()) {
+            obs::MetricsRegistry& m = sink->metrics();
+            ob.metrics = &m;
+            ob.frames_delivered = &m.counter(obs::schema::kFramesDelivered);
+            ob.frames_dropped = &m.counter(obs::schema::kFramesDropped);
+            ob.retries = &m.counter(obs::schema::kRetries);
+            ob.heartbeats = &m.counter(obs::schema::kHeartbeats);
+            ob.fenced = &m.counter(obs::schema::kWorkersFenced);
+            for (std::size_t s = 0; s < k; ++s) {
+                const int stage_index = static_cast<int>(s);
+                ob.stage_latency.push_back(&m.histogram(obs::schema::stage_latency(stage_index)));
+                ob.queue_wait.push_back(&m.histogram(obs::schema::queue_wait(stage_index)));
+            }
+        }
+        if (trace_ != nullptr) {
+            ob.trace = trace_;
+            ob.watchdog_track = watchdog_track_;
+            for (std::size_t s = 0; s < k; ++s)
+                ob.span_names.push_back(trace_->intern(obs::schema::stage_span(
+                    static_cast<int>(s), stages_[s].first, stages_[s].last)));
+            ob.retry_name = trace_->intern(obs::schema::kRetry);
+            ob.tombstone_name = trace_->intern(obs::schema::kTombstone);
+            ob.fence_name = trace_->intern(obs::schema::kFence);
+        }
+    }
+
+    // -- worker lifetime ---------------------------------------------------
+
+    /// Thread body of a persistent worker: park on the epoch cv, run one
+    /// segment, report parked, repeat. Exits on pipeline shutdown, on a
+    /// dismiss request (hot-swap retired the slot) or after being fenced
+    /// (the thread is dead to the pipeline; it never re-enters).
+    void worker_main(Worker& me, std::uint64_t seen_epoch)
+    {
+        for (;;) {
+            {
+                std::unique_lock lock{epoch_mutex_};
+                epoch_cv_.wait(lock, [&] {
+                    return shutdown_ || me.dismissed.load() || epoch_ > seen_epoch;
+                });
+                if (shutdown_ || me.dismissed.load()) {
+                    me.gone.store(true);
+                    return;
+                }
+                seen_epoch = epoch_;
+                if (me.fenced.load()) { // fenced while parked: never re-enter
+                    me.gone.store(true);
+                    return;
+                }
+            }
+            run_segment(me);
+            const bool lost = me.fenced.load();
+            {
+                std::lock_guard lock{epoch_mutex_};
+                ++parked_;
+            }
+            parked_cv_.notify_all();
+            if (lost) {
+                me.gone.store(true);
+                return;
+            }
+        }
+    }
+
+    void run_segment(Worker& me)
+    {
+        SegmentState& st = seg_;
+        const core::Stage& stage = stages_[static_cast<std::size_t>(me.stage)];
+        OrderedQueue<T>* in = me.stage == 0 ? nullptr : queues_[static_cast<std::size_t>(me.stage - 1)].get();
+        OrderedQueue<T>& out = *queues_[static_cast<std::size_t>(me.stage)];
+        try {
+            if (in == nullptr)
+                source_loop(st, me, stage, me.tasks, out);
+            else
+                stage_loop(st, me, stage, me.tasks, *in, out);
+        } catch (...) {
+            me.exited.store(true);
+            record_error(st, std::current_exception());
+            (void)retire(st, me);
+        }
+    }
+
+    void record_error(SegmentState& st, std::exception_ptr error)
     {
         {
             std::lock_guard lock{st.error_mutex};
             if (!st.first_error)
                 st.first_error = error;
         }
-        for (auto& queue : st.queues)
+        for (auto& queue : queues_)
             queue->abort();
     }
 
     /// Decrements the stage's live-worker count exactly once per worker.
     /// Returns true when this call retired the stage's last worker.
-    static bool retire(RunState& st, WorkerRecord& me)
+    static bool retire(SegmentState& st, Worker& me)
     {
         if (me.retired.exchange(true))
             return false;
@@ -521,7 +826,7 @@ private:
 
     /// Runs the stage's tasks on one frame with the bounded-retry policy.
     /// Throws (the last failure) once the retry budget is exhausted.
-    void process_frame(RunState& st, WorkerRecord& me, const core::Stage& stage,
+    void process_frame(SegmentState& st, Worker& me, const core::Stage& stage,
                        const std::vector<Task<T>*>& tasks, Envelope<T>& envelope)
     {
         constexpr bool restorable =
@@ -556,7 +861,7 @@ private:
     /// Pushes with periodic heartbeats so a worker blocked on a full queue
     /// stays visibly alive. Returns false when the queue rejected the
     /// envelope (abort, or the frame was already delivered as a tombstone).
-    bool push_with_beat(RunState& st, WorkerRecord& me, OrderedQueue<T>& out,
+    bool push_with_beat(SegmentState& st, Worker& me, OrderedQueue<T>& out,
                         Envelope<T> envelope)
     {
         for (;;) {
@@ -569,7 +874,7 @@ private:
         }
     }
 
-    void source_loop(RunState& st, WorkerRecord& me, const core::Stage& stage,
+    void source_loop(SegmentState& st, Worker& me, const core::Stage& stage,
                      const std::vector<Task<T>*>& tasks, OrderedQueue<T>& out)
     {
         for (;;) {
@@ -586,9 +891,9 @@ private:
             }
             me.holding.store(seq);
             if (config_.faults != nullptr) {
-                if (config_.faults->should_kill(me.index, seq))
+                if (config_.faults->should_kill(me.id, seq))
                     return; // silent death, frame still held -> watchdog recovers
-                const auto stall = config_.faults->stall_before(me.index, seq);
+                const auto stall = config_.faults->stall_before(me.id, seq);
                 if (stall.count() > 0)
                     std::this_thread::sleep_for(stall);
             }
@@ -617,7 +922,7 @@ private:
         }
     }
 
-    void stage_loop(RunState& st, WorkerRecord& me, const core::Stage& stage,
+    void stage_loop(SegmentState& st, Worker& me, const core::Stage& stage,
                     const std::vector<Task<T>*>& tasks, OrderedQueue<T>& in,
                     OrderedQueue<T>& out)
     {
@@ -657,9 +962,9 @@ private:
             }
             me.holding.store(envelope.seq);
             if (config_.faults != nullptr) {
-                if (config_.faults->should_kill(me.index, envelope.seq))
+                if (config_.faults->should_kill(me.id, envelope.seq))
                     return; // silent death, frame still held -> watchdog recovers
-                const auto stall = config_.faults->stall_before(me.index, envelope.seq);
+                const auto stall = config_.faults->stall_before(me.id, envelope.seq);
                 if (stall.count() > 0)
                     std::this_thread::sleep_for(stall);
             }
@@ -682,16 +987,17 @@ private:
 
     // -- watchdog ---------------------------------------------------------
 
-    void watchdog_loop(RunState& st)
+    void watchdog_loop(SegmentState& st)
     {
         const auto timeout_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(config_.heartbeat_timeout)
                 .count();
-        while (!st.shutdown.load()) {
+        while (!st.over.load()) {
             std::this_thread::sleep_for(config_.watchdog_poll);
             const std::int64_t now = now_ns();
-            for (auto& worker : st.workers) {
-                if (worker->exited.load() || worker->fenced.load())
+            for (auto& worker : workers_) {
+                if (worker->exited.load() || worker->fenced.load() || worker->gone.load()
+                    || worker->dismissed.load())
                     continue;
                 if (now - worker->last_beat_ns.load() > timeout_ns)
                     fence(st, *worker);
@@ -701,10 +1007,10 @@ private:
 
     /// Declares a worker permanently lost: records the loss, tombstones the
     /// frame it held, and starts a graceful drain if its stage is now empty.
-    void fence(RunState& st, WorkerRecord& me)
+    void fence(SegmentState& st, Worker& me)
     {
         me.fenced.store(true);
-        const core::Stage& stage = solution_.stage(static_cast<std::size_t>(me.stage));
+        const core::Stage& stage = stages_[static_cast<std::size_t>(me.stage)];
         const std::uint64_t held = me.holding.exchange(kNoFrame);
         {
             std::lock_guard lock{st.loss_mutex};
@@ -712,14 +1018,14 @@ private:
                 st.failure_seconds =
                     std::chrono::duration<double>(std::chrono::steady_clock::now() - st.start)
                         .count();
-            st.losses.push_back(WorkerLoss{me.index, me.stage, stage.type, held});
+            st.losses.push_back(WorkerLoss{me.id, me.stage, stage.type, held});
         }
         {
             // Trace instants go on the watchdog's own track: the fenced
             // worker may still be alive and writing to its ring.
             ObsHooks& ob = st.obs;
             if (ob.fenced != nullptr)
-                ob.fenced->inc(static_cast<std::size_t>(me.index));
+                ob.fenced->inc(static_cast<std::size_t>(me.id));
             if (ob.trace != nullptr) {
                 const double now_us = us_since(st, std::chrono::steady_clock::now());
                 ob.trace->emit_instant(ob.watchdog_track, ob.fence_name, now_us,
@@ -731,7 +1037,7 @@ private:
             }
         }
         if (held != kNoFrame)
-            watchdog_push(st, *st.queues[static_cast<std::size_t>(me.stage)],
+            watchdog_push(st, *queues_[static_cast<std::size_t>(me.stage)],
                           Envelope<T>::tombstone(held));
         if (retire(st, me))
             initiate_drain(st, me.stage);
@@ -739,13 +1045,13 @@ private:
 
     /// The stage lost its last worker: no frame can cross it any more. Stop
     /// the source and flush everything already in flight, in stream order.
-    void initiate_drain(RunState& st, int stage)
+    void initiate_drain(SegmentState& st, int stage)
     {
         st.stop_source.store(true);
         if (stage == 0) {
             if (!st.end_pushed.exchange(true)) {
                 const std::uint64_t end_seq = std::min(st.next_frame.load(), st.num_frames);
-                watchdog_push(st, *st.queues[0], Envelope<T>::end_of_stream(end_seq));
+                watchdog_push(st, *queues_[0], Envelope<T>::end_of_stream(end_seq));
             }
             return;
         }
@@ -756,14 +1062,14 @@ private:
     /// Stands in for a fully-dead stage: converts its input frames into
     /// tombstones on its output queue and forwards the end marker, so the
     /// tail of the pipeline drains in order.
-    void scavenge(RunState& st, int stage)
+    void scavenge(SegmentState& st, int stage)
     {
-        OrderedQueue<T>& in = *st.queues[static_cast<std::size_t>(stage - 1)];
-        OrderedQueue<T>& out = *st.queues[static_cast<std::size_t>(stage)];
+        OrderedQueue<T>& in = *queues_[static_cast<std::size_t>(stage - 1)];
+        OrderedQueue<T>& out = *queues_[static_cast<std::size_t>(stage)];
         for (;;) {
             auto popped = in.try_pop_for(std::chrono::milliseconds{5});
             if (popped.timed_out()) {
-                if (st.shutdown.load())
+                if (st.over.load())
                     return;
                 continue;
             }
@@ -780,21 +1086,43 @@ private:
     }
 
     /// Bounded-retry push used by the watchdog and scavengers (they have no
-    /// heartbeat; they just refuse to block past shutdown).
-    void watchdog_push(RunState& st, OrderedQueue<T>& queue, Envelope<T> envelope)
+    /// heartbeat; they just refuse to block past the segment's end).
+    void watchdog_push(SegmentState& st, OrderedQueue<T>& queue, Envelope<T> envelope)
     {
         for (;;) {
             if (queue.try_push_for(envelope, std::chrono::milliseconds{5})
                 != OrderedQueue<T>::PushOutcome::timed_out)
                 return;
-            if (st.shutdown.load())
+            if (st.over.load())
                 return;
         }
     }
 
     TaskSequence<T>& sequence_;
-    core::Solution solution_;
+    plan::ExecutionPlan plan_;
     PipelineConfig config_;
+
+    std::vector<core::Stage> stages_; ///< runtime stage specs (follow plan_)
+    std::vector<std::unique_ptr<OrderedQueue<T>>> queues_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    int next_worker_id_ = 0;
+    int spawned_total_ = 0;
+    bool materialized_ = false;
+
+    obs::TraceRecorder* trace_ = nullptr; ///< resolved once at materialize
+    std::size_t watchdog_track_ = 0;
+
+    // Segment synchronization: run_from bumps epoch_ to release the parked
+    // workers, each worker increments parked_ when its segment work is done,
+    // and run_from returns only after parked_ reaches the entered count.
+    std::mutex epoch_mutex_;
+    std::condition_variable epoch_cv_;
+    std::condition_variable parked_cv_;
+    std::uint64_t epoch_ = 0;
+    std::size_t parked_ = 0;
+    bool shutdown_ = false;
+
+    SegmentState seg_;
 };
 
 } // namespace amp::rt

@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -101,26 +102,41 @@ private:
     std::vector<double> drifted_little_;
 };
 
-/// Aggregated outcome of a fault-tolerant run (one or more pipelines).
+/// Aggregated outcome of a fault-tolerant run (one pipeline, possibly
+/// hot-swapped several times).
 struct RecoveryReport {
     RunResult total;        ///< summed frames/drops/retries; wall-clock elapsed
-    int recoveries = 0;     ///< pipeline hot-swaps performed
+    int recoveries = 0;     ///< schedule hot-swaps performed
     double recovery_latency_seconds = 0.0; ///< failure detection -> first resumed frame
     std::vector<core::Solution> solutions; ///< initial + one per recovery
     bool completed = false; ///< stream reached num_frames
+    int delta_swaps = 0;    ///< recoveries applied in place via plan::PlanDelta
+    int rebuild_swaps = 0;  ///< recoveries that rebuilt the pipeline
+    double swap_seconds = 0.0; ///< time spent applying deltas / rebuilding
+};
+
+/// Knobs for run_with_recovery's hot-swap path.
+struct RecoveryOptions {
+    /// Apply compatible schedule changes in place (plan::diff + apply_delta:
+    /// untouched stages keep their threads and queues) instead of tearing
+    /// the pipeline down and rebuilding. Incompatible deltas (a recut stage
+    /// structure) always fall back to a full rebuild.
+    bool allow_delta = true;
 };
 
 /// Runs the stream [config.first_frame, num_frames) with automatic recovery:
 /// on a degraded run, reduces the resource vector by the lost cores,
-/// recomputes the schedule, and resumes a new pipeline at the drained
-/// stream position. Stops after `max_recoveries` hot-swaps (default: one
-/// per core of the initial budget). Throws NoScheduleError if the degraded
-/// resources cannot run the chain at all.
+/// recomputes the schedule, hot-swaps the pipeline -- in place via a plan
+/// delta when the new stage cut is compatible, by a full rebuild otherwise
+/// -- and resumes the stream at the exact frame the degraded run drained
+/// to. Stops after `max_recoveries` hot-swaps (default: one per core of the
+/// initial budget). Throws NoScheduleError if the degraded resources cannot
+/// run the chain at all.
 template <typename T>
 RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& rescheduler,
                                  std::uint64_t num_frames, PipelineConfig config = {},
                                  const std::function<void(T&)>& on_output = {},
-                                 int max_recoveries = -1)
+                                 int max_recoveries = -1, RecoveryOptions options = {})
 {
     if (max_recoveries < 0)
         max_recoveries = rescheduler.resources().total();
@@ -132,28 +148,27 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
 
     const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t next = config.first_frame;
-    // Set when the previous run ended degraded: the instant recovery began.
+    // Engaged while a recovery is in flight: from failure detection until
+    // the first post-recovery frame reaches the drain.
     std::optional<std::chrono::steady_clock::time_point> recovering_since;
 
-    for (;;) {
-        config.first_frame = next;
-        Pipeline<T> pipeline{sequence, rescheduler.solution(), config};
+    auto pipeline = std::make_unique<Pipeline<T>>(sequence, rescheduler.solution(), config);
 
-        bool saw_first = false;
+    for (;;) {
         auto wrapped = [&](T& frame) {
-            if (recovering_since && !saw_first) {
-                saw_first = true;
+            if (recovering_since) {
                 report.recovery_latency_seconds += std::chrono::duration<double>(
                                                        std::chrono::steady_clock::now()
                                                        - *recovering_since)
                                                        .count();
+                recovering_since.reset();
             }
             if (on_output)
                 on_output(frame);
         };
 
         const auto run_start = std::chrono::steady_clock::now();
-        RunResult result = pipeline.run(num_frames, wrapped);
+        RunResult result = pipeline->run_from(next, num_frames, wrapped);
 
         report.total.frames += result.frames;
         report.total.frames_dropped += result.frames_dropped;
@@ -182,14 +197,40 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
         ++report.recoveries;
         report.solutions.push_back(rescheduler.solution());
         // Latency is measured from the instant the watchdog detected the
-        // failure, so it covers the drain, the reschedule and the restart.
+        // failure, so it covers the drain, the reschedule and the swap.
         recovering_since = result.failure_seconds >= 0.0
             ? run_start
                 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(result.failure_seconds))
             : std::chrono::steady_clock::now();
         next = result.stream_end;
+
+        const auto swap_begin = std::chrono::steady_clock::now();
+        plan::ExecutionPlan candidate =
+            plan::ExecutionPlan::compile(rescheduler.chain(), rescheduler.solution(),
+                                         plan::PlanOptions{config.queue_capacity});
+        const plan::PlanDelta delta = plan::diff(pipeline->execution_plan(), candidate);
+        if (options.allow_delta && delta.compatible) {
+            pipeline->apply_delta(delta);
+            ++report.delta_swaps;
+        } else {
+            pipeline.reset(); // join the old workers before spawning new ones
+            config.first_frame = next;
+            pipeline = std::make_unique<Pipeline<T>>(sequence, std::move(candidate), config);
+            ++report.rebuild_swaps;
+        }
+        report.swap_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - swap_begin)
+                .count();
     }
+
+    // A recovery that never produced another frame (the stream ended, or the
+    // swap budget ran out, mid-recovery) is still downtime: close the open
+    // interval instead of dropping it.
+    if (recovering_since)
+        report.recovery_latency_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - *recovering_since)
+                .count();
 
     report.total.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -174,6 +174,17 @@ core::ScheduleResult SolverService::solve(const core::ScheduleRequest& request)
     return solve_on(request, deques_.size());
 }
 
+PlannedSchedule SolverService::solve_planned(const core::ScheduleRequest& request,
+                                             plan::PlanOptions options)
+{
+    PlannedSchedule planned;
+    planned.result = solve(request);
+    if (planned.result.ok())
+        planned.plan =
+            plan::ExecutionPlan::compile(request.chain, planned.result.solution, options);
+    return planned;
+}
+
 std::vector<core::ScheduleResult>
 SolverService::solve_batch(const std::vector<core::ScheduleRequest>& requests)
 {

@@ -25,6 +25,7 @@
 
 #include "core/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "plan/execution_plan.hpp"
 #include "svc/solution_cache.hpp"
 
 #include <atomic>
@@ -32,10 +33,21 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace amp::svc {
+
+/// A schedule plus its compiled execution plan: what an executor needs to
+/// run the solution without re-deriving (and re-validating) its structure.
+/// `plan` is engaged iff the solve succeeded.
+struct PlannedSchedule {
+    core::ScheduleResult result;
+    std::optional<plan::ExecutionPlan> plan;
+
+    [[nodiscard]] bool ok() const noexcept { return result.ok() && plan.has_value(); }
+};
 
 struct ServiceConfig {
     /// Worker threads; 0 means hardware_concurrency (at least 1).
@@ -60,6 +72,15 @@ public:
 
     /// Solves one request through the cache, on the calling thread.
     [[nodiscard]] core::ScheduleResult solve(const core::ScheduleRequest& request);
+
+    /// Like solve(), but also compiles the winning solution into a
+    /// plan::ExecutionPlan (profiled against the request's chain) that
+    /// rt::Pipeline or dsim::simulate can execute directly. The plan is
+    /// only compiled on success; compilation failures (a solver bug --
+    /// schedulers never emit malformed solutions) propagate as
+    /// plan::PlanError rather than being swallowed.
+    [[nodiscard]] PlannedSchedule solve_planned(const core::ScheduleRequest& request,
+                                                plan::PlanOptions options = {});
 
     /// Solves a batch of independent requests, in parallel across the
     /// worker pool; the calling thread helps drain the batch. Results are

@@ -1,0 +1,116 @@
+// The plan-layer half of the trace-equality contract: rt::Pipeline and
+// dsim::simulate driven by the SAME plan::ExecutionPlan object produce
+// traces that agree event-by-event and track-by-track. This is the property
+// the legacy (chain, solution) entry points inherit by compiling through
+// the plan internally.
+
+#include "dsim/simulator.hpp"
+#include "obs/schema.hpp"
+#include "obs/sink.hpp"
+#include "plan/execution_plan.hpp"
+#include "rt/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+
+struct Frame {
+    std::uint64_t seq = 0;
+};
+
+/// (event name, frame, stage, phase) -- everything but time and track.
+using EventKey = std::tuple<std::string, std::uint64_t, std::int32_t, char>;
+
+std::vector<EventKey> collect_events(const obs::TraceRecorder& recorder)
+{
+    std::vector<EventKey> keys;
+    for (std::size_t track = 0; track < recorder.track_count(); ++track)
+        for (const obs::TraceEvent& event : recorder.events(track))
+            keys.emplace_back(recorder.name(event.name_id), event.frame, event.stage,
+                              static_cast<char>(event.phase));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+TEST(PlanTraceEquality, PipelineAndSimulatorExecuteTheSamePlan)
+{
+    // Three tasks, the first stateful; on R = (2, 1) HeRAD pipelines and
+    // replicates, so the plan covers sequential AND replicated stages.
+    std::vector<core::TaskDesc> descs;
+    rt::TaskSequence<Frame> sequence;
+    for (int i = 1; i <= 3; ++i) {
+        const double w = 10.0 + i;
+        descs.push_back(core::TaskDesc{"t" + std::to_string(i), w, 2.0 * w, i != 1});
+        sequence.push_back(rt::make_task<Frame>("t" + std::to_string(i), i == 1, [](Frame&) {}));
+    }
+    const core::TaskChain chain{std::move(descs)};
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, {2, 1}, core::Strategy::herad}).solution;
+    ASSERT_FALSE(solution.empty());
+
+    // ONE compiled plan drives both executors.
+    const plan::ExecutionPlan shared = plan::ExecutionPlan::compile(chain, solution);
+
+    constexpr std::uint64_t kFrames = 8;
+
+    obs::Sink real_sink;
+    rt::PipelineConfig config;
+    config.sink = &real_sink;
+    rt::Pipeline<Frame> pipeline{sequence, shared, config};
+    const rt::RunResult result = pipeline.run(kFrames, {});
+    ASSERT_EQ(result.frames, kFrames);
+
+    obs::Sink sim_sink;
+    dsim::SimulationConfig sim_config;
+    sim_config.frames = kFrames;
+    sim_config.warmup_frames = 1;
+    sim_config.sink = &sim_sink;
+    (void)dsim::simulate(shared, sim_config);
+
+    const std::vector<EventKey> real_events = collect_events(real_sink.trace());
+    const std::vector<EventKey> sim_events = collect_events(sim_sink.trace());
+    ASSERT_FALSE(real_events.empty());
+    EXPECT_EQ(real_events, sim_events);
+    EXPECT_EQ(real_events.size(), kFrames * shared.stage_count());
+
+    // Track layout: identical names in identical order, one per plan worker
+    // id plus the watchdog.
+    const obs::TraceRecorder& real = real_sink.trace();
+    const obs::TraceRecorder& sim = sim_sink.trace();
+    ASSERT_EQ(real.track_count(), sim.track_count());
+    EXPECT_EQ(real.track_count(), static_cast<std::size_t>(shared.worker_count()) + 1);
+    std::vector<std::string> real_tracks, sim_tracks;
+    for (std::size_t t = 0; t < real.track_count(); ++t) {
+        real_tracks.push_back(real.track_name(t));
+        sim_tracks.push_back(sim.track_name(t));
+    }
+    EXPECT_EQ(real_tracks, sim_tracks);
+
+    EXPECT_EQ(real_sink.metrics().snapshot().counters.at(obs::schema::kFramesDelivered), kFrames);
+    EXPECT_EQ(sim_sink.metrics().snapshot().counters.at(obs::schema::kFramesDelivered), kFrames);
+}
+
+TEST(PlanTraceEquality, SimulatingAProfilelessPlanFailsLoudly)
+{
+    // A plan compiled from a bare shape has no task weights; the simulator
+    // must refuse it rather than simulate a zero-cost pipeline.
+    plan::ChainShape shape;
+    shape.tasks = 2;
+    shape.replicable = {false, true};
+    const core::Solution solution{
+        std::vector<core::Stage>{{1, 2, 1, core::CoreType::big}}};
+    const plan::ExecutionPlan bare = plan::ExecutionPlan::compile(shape, solution);
+
+    dsim::SimulationConfig config;
+    config.frames = 10;
+    EXPECT_THROW((void)dsim::simulate(bare, config), std::invalid_argument);
+}
+
+} // namespace
