@@ -14,6 +14,13 @@
 // making the kill delta-compatible by construction; the report shows
 // recovery latency, frames dropped and pure swap time for both modes.
 //
+// A third scenario pushes further: an all-little chain whose degraded
+// optimum keeps the healthy cut on the SAME core types (stage 1 merely
+// resized), so the kill is resize-only and qualifies for the mid-segment
+// frame swap (Pipeline::try_apply_delta_in_flight). It compares all three
+// recovery modes -- drain + rebuild, drain + delta swap, and the in-flight
+// frame swap that never stops the stream.
+//
 // Flags: --frames=N (default 600), --task-us=U per-task service (default
 // 300), --kill-at=F failing frame (default frames/3), --swap-reps=R best-of
 // repetitions per recovery mode (default 3), --json=<file> amp-bench-v1
@@ -90,14 +97,22 @@ int main(int argc, char** argv)
     std::printf("healthy schedule: %s (model period %.0f us)\n\n",
                 healthy.decomposition().c_str(), dsim::expected_period_us(chain, healthy));
 
+    // Drain-based recovery only: the window analysis below assumes the
+    // stream actually stops (before / during / after), so the in-flight
+    // frame swap is measured in its own scenario instead.
+    rt::RecoveryOptions window_options;
+    window_options.allow_frame_swap = false;
+
     std::vector<double> stamps; // output delivery times, seconds since start
     stamps.reserve(static_cast<std::size_t>(frames));
     const auto t0 = std::chrono::steady_clock::now();
     const rt::RecoveryReport report = rt::run_with_recovery<Frame>(
-        sequence, rescheduler, frames, config, [&](Frame&) {
+        sequence, rescheduler, frames, config,
+        [&](Frame&) {
             stamps.push_back(
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
-        });
+        },
+        -1, window_options);
 
     if (report.total.failure_seconds < 0.0 || report.recoveries == 0) {
         std::printf("no failure occurred (kill frame past the stream end?)\n");
@@ -165,28 +180,29 @@ int main(int argc, char** argv)
         std::uint64_t dropped = 0;
         int delta_swaps = 0;
         int rebuild_swaps = 0;
+        int frame_swaps = 0;
         bool valid = false;
     };
-    const auto run_mode = [&](bool allow_delta) {
+    const auto run_mode = [&](const core::TaskChain& mode_chain, core::Resources mode_budget,
+                              rt::RecoveryOptions options) {
         ModeStats best;
         for (int rep = 0; rep < swap_reps; ++rep) {
-            rt::TaskSequence<Frame> cmp_sequence;
+            rt::TaskSequence<Frame> mode_sequence;
             for (int i = 1; i <= kTasks; ++i)
-                cmp_sequence.push_back(
+                mode_sequence.push_back(
                     rt::make_task<Frame>("t" + std::to_string(i), i == 1, [task_us](Frame&) {
                         std::this_thread::sleep_for(microseconds{task_us});
                     }));
-            rt::Rescheduler cmp_rescheduler{cmp_chain, cmp_budget};
-            rt::FaultInjector cmp_injector;
-            cmp_injector.add(rt::FaultSpec{rt::FaultKind::kill, kill_at, 0, 0, 1, milliseconds{0}});
-            rt::PipelineConfig cmp_config;
-            cmp_config.faults = &cmp_injector;
-            cmp_config.heartbeat_timeout = milliseconds{100};
-            cmp_config.watchdog_poll = milliseconds{2};
-            rt::RecoveryOptions options;
-            options.allow_delta = allow_delta;
+            rt::Rescheduler mode_rescheduler{mode_chain, mode_budget};
+            rt::FaultInjector mode_injector;
+            mode_injector.add(
+                rt::FaultSpec{rt::FaultKind::kill, kill_at, 0, 0, 1, milliseconds{0}});
+            rt::PipelineConfig mode_config;
+            mode_config.faults = &mode_injector;
+            mode_config.heartbeat_timeout = milliseconds{100};
+            mode_config.watchdog_poll = milliseconds{2};
             const rt::RecoveryReport r = rt::run_with_recovery<Frame>(
-                cmp_sequence, cmp_rescheduler, frames, cmp_config, {}, -1, options);
+                mode_sequence, mode_rescheduler, frames, mode_config, {}, -1, options);
             if (r.recoveries != 1 || !r.completed)
                 continue;
             if (r.recovery_latency_seconds < best.latency_s) {
@@ -195,13 +211,19 @@ int main(int argc, char** argv)
                 best.dropped = r.total.frames_dropped;
                 best.delta_swaps = r.delta_swaps;
                 best.rebuild_swaps = r.rebuild_swaps;
+                best.frame_swaps = r.frame_swaps;
                 best.valid = true;
             }
         }
         return best;
     };
-    const ModeStats rebuild = run_mode(/*allow_delta=*/false);
-    const ModeStats delta = run_mode(/*allow_delta=*/true);
+    rt::RecoveryOptions rebuild_options;
+    rebuild_options.allow_delta = false;
+    rebuild_options.allow_frame_swap = false;
+    rt::RecoveryOptions delta_options;
+    delta_options.allow_frame_swap = false;
+    const ModeStats rebuild = run_mode(cmp_chain, cmp_budget, rebuild_options);
+    const ModeStats delta = run_mode(cmp_chain, cmp_budget, delta_options);
 
     std::printf("\n== Recovery mode: full rebuild vs incremental plan delta ==\n");
     std::printf("chain: same cut before and after the loss on R = (%d, %d); best of %d runs\n",
@@ -219,6 +241,54 @@ int main(int argc, char** argv)
         std::printf("delta vs rebuild : %.2fx recovery latency, %.2fx swap time\n",
                     rebuild.latency_s / delta.latency_s, delta.swap_s > 0.0
                         ? rebuild.swap_s / delta.swap_s : 0.0);
+    } else {
+        std::printf("comparison skipped: a mode failed to recover exactly once\n");
+    }
+
+    // -- three-way: rebuild vs drain-delta vs in-flight frame swap ----------
+    // All-little chain on R = (0, 4): t1 is stateful (sequential stage), the
+    // rest replicable with the same lopsided little-core interval sums as
+    // above. Healthy optimum [t1]x1L | [t2-t5]x3L; after losing one little
+    // it stays [t1]x1L | [t2-t5]x2L -- the SAME cut on the SAME core type,
+    // stage 1 merely resized. The kill delta is resize-only by construction,
+    // so the frame-swap mode can replace the fenced source worker and shrink
+    // stage 1 mid-segment, without ever draining the stream.
+    std::vector<core::TaskDesc> fs_descs;
+    fs_descs.push_back(core::TaskDesc{"t1", 1.0 * task_us, 0.9 * task_us, false});
+    for (int i = 2; i <= kTasks; ++i)
+        fs_descs.push_back(core::TaskDesc{"t" + std::to_string(i), 0.6 * task_us,
+                                          cmp_little[i - 2] * task_us, true});
+    const core::TaskChain fs_chain{std::move(fs_descs)};
+    const core::Resources fs_budget{0, 4};
+    rt::RecoveryOptions frame_options; // allow_delta and allow_frame_swap both on
+
+    const ModeStats fs_rebuild = run_mode(fs_chain, fs_budget, rebuild_options);
+    const ModeStats fs_delta = run_mode(fs_chain, fs_budget, delta_options);
+    const ModeStats fs_frame = run_mode(fs_chain, fs_budget, frame_options);
+
+    std::printf("\n== Recovery mode: drain-rebuild vs drain-delta vs frame swap ==\n");
+    std::printf("resize-only loss on R = (%d, %d): same cut, same types; best of %d runs\n",
+                fs_budget.big, fs_budget.little, swap_reps);
+    if (fs_rebuild.valid && fs_delta.valid && fs_frame.valid) {
+        TextTable fs_table(
+            {"mode", "recovery latency (ms)", "swap (ms)", "frames dropped", "swaps"});
+        fs_table.add_row({"rebuild", fmt(fs_rebuild.latency_s * 1e3, 2),
+                          fmt(fs_rebuild.swap_s * 1e3, 3), std::to_string(fs_rebuild.dropped),
+                          std::to_string(fs_rebuild.rebuild_swaps) + " rebuild"});
+        fs_table.add_row({"delta", fmt(fs_delta.latency_s * 1e3, 2),
+                          fmt(fs_delta.swap_s * 1e3, 3), std::to_string(fs_delta.dropped),
+                          std::to_string(fs_delta.delta_swaps) + " delta"});
+        fs_table.add_row({"frame", fmt(fs_frame.latency_s * 1e3, 2),
+                          fmt(fs_frame.swap_s * 1e3, 3), std::to_string(fs_frame.dropped),
+                          std::to_string(fs_frame.frame_swaps) + " frame"});
+        std::printf("%s\n", fs_table.str().c_str());
+        std::printf("frame swap vs delta   : %.2fx recovery latency\n",
+                    fs_delta.latency_s / fs_frame.latency_s);
+        std::printf("frame swap vs rebuild : %.2fx recovery latency\n",
+                    fs_rebuild.latency_s / fs_frame.latency_s);
+        std::printf("The frame swap never drains: replacement workers join the live stream\n"
+                    "at the next frame boundary, so its latency is dominated by failure\n"
+                    "detection and one solver call rather than drain + restart.\n");
     } else {
         std::printf("comparison skipped: a mode failed to recover exactly once\n");
     }
@@ -247,21 +317,37 @@ int main(int argc, char** argv)
                 .set("window_s", phase.to - phase.from)
                 .set("frames", phase.count)
                 .set("fps", phase.fps);
-        for (const auto& [mode, stats] :
-             {std::pair<const char*, const ModeStats&>{"rebuild", rebuild},
-              std::pair<const char*, const ModeStats&>{"delta", delta}})
-            if (stats.valid)
+        const struct {
+            const char* phase;
+            const char* mode;
+            const ModeStats* stats;
+        } mode_records[] = {
+            {"recovery_rebuild", "rebuild", &rebuild},
+            {"recovery_delta", "delta", &delta},
+            {"frameswap_rebuild", "rebuild", &fs_rebuild},
+            {"frameswap_delta", "delta", &fs_delta},
+            {"frameswap_frame", "frame", &fs_frame},
+        };
+        for (const auto& rec : mode_records)
+            if (rec.stats->valid)
                 json_report.add_record()
-                    .set("phase", std::string{"recovery_"} + mode)
-                    .set("mode", mode)
-                    .set("recovery_latency_s", stats.latency_s)
-                    .set("swap_s", stats.swap_s)
-                    .set("frames_dropped", stats.dropped)
-                    .set("delta_swaps", stats.delta_swaps)
-                    .set("rebuild_swaps", stats.rebuild_swaps);
+                    .set("phase", rec.phase)
+                    .set("mode", rec.mode)
+                    .set("recovery_latency_s", rec.stats->latency_s)
+                    .set("swap_s", rec.stats->swap_s)
+                    .set("frames_dropped", rec.stats->dropped)
+                    .set("delta_swaps", rec.stats->delta_swaps)
+                    .set("rebuild_swaps", rec.stats->rebuild_swaps)
+                    .set("frame_swaps", rec.stats->frame_swaps);
         if (rebuild.valid && delta.valid && delta.latency_s > 0.0)
             json_report.param("delta_latency_speedup", rebuild.latency_s / delta.latency_s)
                 .param("swap_reps", static_cast<std::int64_t>(swap_reps));
+        if (fs_delta.valid && fs_frame.valid && fs_frame.latency_s > 0.0)
+            json_report.param("frame_latency_speedup_vs_delta",
+                              fs_delta.latency_s / fs_frame.latency_s);
+        if (fs_rebuild.valid && fs_frame.valid && fs_frame.latency_s > 0.0)
+            json_report.param("frame_latency_speedup_vs_rebuild",
+                              fs_rebuild.latency_s / fs_frame.latency_s);
         json_report.param("recoveries", static_cast<std::int64_t>(report.recoveries))
             .param("recovery_latency_s", report.recovery_latency_seconds)
             .param("frames_dropped", report.total.frames_dropped)

@@ -301,6 +301,12 @@ FailureSimulationResult simulate_with_failures(const core::TaskChain& chain,
             record.delta_applied = delta.compatible;
             if (faults.delta_swap_us.has_value() && delta.compatible)
                 record.downtime_us = faults.detection_us + *faults.delta_swap_us;
+            // Frame-granular in-flight swap: a resize-only delta skips the
+            // drain entirely, so the stall is detection + in-flight spawn.
+            if (faults.frame_swap_us.has_value() && delta.resize_only()) {
+                record.frame_swap_applied = true;
+                record.downtime_us = faults.detection_us + *faults.frame_swap_us;
+            }
 
             result.recoveries.push_back(record);
             result.frames_dropped += 1;

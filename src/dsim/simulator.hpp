@@ -118,6 +118,13 @@ struct FailureModel {
     /// instead of rebuilding). Unset = every recovery is charged
     /// `reschedule_us`, i.e. the pre-delta behaviour.
     std::optional<double> delta_swap_us{};
+    /// Swap cost when the delta is additionally *resize-only* (every stage
+    /// kept or resized, nothing rebound): the runtime applies it mid-segment
+    /// without draining (Pipeline::try_apply_delta_in_flight), so the stall
+    /// is the in-flight spawn cost, not a drain. Takes precedence over
+    /// `delta_swap_us` when both are set and the delta qualifies. Unset =
+    /// resize-only deltas are charged like any compatible delta.
+    std::optional<double> frame_swap_us{};
     rt::ReschedulePolicy policy{};
 };
 
@@ -133,6 +140,9 @@ struct RecoveryRecord {
     /// True when the new schedule keeps the old stage cut (plan::diff
     /// compatible), i.e. the runtime would hot-swap in place.
     bool delta_applied = false;
+    /// True when the delta is resize-only *and* FailureModel::frame_swap_us
+    /// is set: the runtime would swap mid-segment without draining.
+    bool frame_swap_applied = false;
 };
 
 struct FailureSimulationResult {

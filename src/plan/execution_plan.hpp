@@ -144,6 +144,13 @@ struct PlanDelta {
     {
         return compatible && spawned == 0 && retired == 0 && rebound == 0;
     }
+
+    /// True when every stage is kept or resized -- no rebinds (and, being
+    /// compatible, no recuts). Such a delta only changes per-stage replica
+    /// counts, which is what qualifies it for a frame-granular in-flight
+    /// hot-swap (rt::Pipeline::try_apply_delta_in_flight): queues, stage
+    /// intervals and core-type bindings all survive untouched.
+    [[nodiscard]] bool resize_only() const noexcept { return compatible && rebound == 0; }
 };
 
 /// Validated, immutable execution plan. Copyable; a copy is an independent

@@ -19,6 +19,16 @@
 // binding at the next segment. An incompatible delta (recut stage
 // structure) requires constructing a new Pipeline (docs/EXECUTION_PLAN.md).
 //
+// Resize-only deltas (PlanDelta::resize_only(): every stage kept or
+// resized, nothing rebound) go one step further: try_apply_delta_in_flight
+// applies them at a frame boundary *without draining the stream*. Queues
+// and untouched stages survive; spawned workers enter the current epoch
+// and start pulling frames immediately; retired workers finish their
+// in-flight frame and park. A loss handler (set_loss_handler) installed by
+// run_with_recovery turns a watchdog fence into such an in-flight swap,
+// which is what cuts recovery latency below the drain time
+// (docs/FAULT_MODEL.md).
+//
 // Fault tolerance (docs/FAULT_MODEL.md): every worker maintains a heartbeat
 // that it refreshes whenever it makes progress or wakes from a bounded wait.
 // An optional watchdog thread (enabled by PipelineConfig::heartbeat_timeout)
@@ -208,6 +218,13 @@ public:
     {
         if (first_frame > num_frames)
             throw std::invalid_argument{"Pipeline::run: first_frame past the stream end"};
+
+        // Segment setup mutates the same state an in-flight swap touches
+        // (plan_, stage specs, the worker census). A caller may legally
+        // invoke try_apply_delta_in_flight from another thread at any time,
+        // including while a segment is starting -- serialize against it, and
+        // release before the output drain so mid-segment swaps proceed.
+        std::unique_lock swap_lock{swap_mutex_};
         if (!materialized_)
             materialize();
 
@@ -235,15 +252,19 @@ public:
 
         std::vector<int> live(k, 0);
         std::size_t entered = 0;
-        for (auto& worker : workers_) {
-            if (worker->gone.load() || worker->fenced.load() || worker->dismissed.load())
-                continue;
-            worker->holding.store(kNoFrame);
-            worker->exited.store(false);
-            worker->retired.store(false);
-            worker->last_beat_ns.store(now_ns());
-            ++live[static_cast<std::size_t>(worker->stage)];
-            ++entered;
+        {
+            std::lock_guard lock{workers_mutex_};
+            for (auto& worker : workers_) {
+                if (worker->gone.load() || worker->fenced.load() || worker->dismissed.load())
+                    continue;
+                worker->holding.store(kNoFrame);
+                worker->exited.store(false);
+                worker->retired.store(false);
+                worker->seg_done.store(false);
+                worker->last_beat_ns.store(now_ns());
+                ++live[static_cast<std::size_t>(worker->stage)];
+                ++entered;
+            }
         }
         for (std::size_t s = 0; s < k; ++s) {
             if (live[s] == 0)
@@ -260,9 +281,12 @@ public:
         {
             std::lock_guard lock{epoch_mutex_};
             parked_ = 0;
+            st.entered = entered;
+            segment_active_ = true;
             ++epoch_;
         }
         epoch_cv_.notify_all();
+        swap_lock.unlock();
 
         std::thread watchdog;
         if (config_.heartbeat_timeout.count() > 0)
@@ -295,9 +319,15 @@ public:
         }
 
         // -- wait for every entered worker to park ------------------------
+        // The predicate re-reads st.entered: an in-flight swap may admit
+        // workers into this segment while we wait. segment_active_ flips
+        // under the same lock, so a swap either admits before we re-check
+        // (and we wait for its workers too) or sees the segment closed and
+        // parks its spawns for the next one.
         {
             std::unique_lock lock{epoch_mutex_};
-            parked_cv_.wait(lock, [&] { return parked_ >= entered; });
+            parked_cv_.wait(lock, [&] { return parked_ >= st.entered; });
+            segment_active_ = false;
         }
         st.over.store(true);
         if (watchdog.joinable())
@@ -350,6 +380,7 @@ public:
             throw std::invalid_argument{
                 "Pipeline::apply_delta: incompatible delta (" + delta.reason
                 + "); construct a new Pipeline instead"};
+        std::lock_guard swap_lock{swap_mutex_};
         plan::ExecutionPlan next = plan::apply(plan_, delta);
         validate_against_sequence(next);
 
@@ -362,6 +393,7 @@ public:
         // reuse an id a future delta could hand out.
         next_worker_id_ = std::max(next_worker_id_, plan_.next_worker_id());
 
+        std::lock_guard lock{workers_mutex_};
         reap_dead_workers();
         const auto& plan_stages = plan_.stages();
         for (std::size_t s = 0; s < plan_stages.size(); ++s) {
@@ -378,6 +410,86 @@ public:
         }
     }
 
+    /// Invoked on the watchdog thread after it fences a worker (the loss is
+    /// recorded and the held frame tombstoned) and *before* any graceful
+    /// drain starts. Returning true means the handler restored the pipeline
+    /// (typically via try_apply_delta_in_flight) and the drain is skipped;
+    /// returning false keeps the legacy fence-then-drain behavior. Install
+    /// between runs only.
+    using LossHandler = std::function<bool(const WorkerLoss&)>;
+    void set_loss_handler(LossHandler handler) { loss_handler_ = std::move(handler); }
+
+    /// Frame-granular hot-swap: applies a resize-only delta while a stream
+    /// segment is in flight, without draining. Queues and untouched stages
+    /// survive; spawned workers enter the *current* epoch (they start
+    /// pulling frames at the next frame boundary) and retired workers
+    /// finish their in-flight frame and park. Returns false -- without
+    /// mutating anything -- when the delta does not qualify (incompatible,
+    /// or it rebinds a stage) or when a dead sequential stage's original
+    /// task instances cannot be reclaimed within `reclaim_timeout` (the
+    /// previous owner may still be running; fall back to apply_delta after
+    /// the drain). Safe to call from the loss handler (watchdog thread) or
+    /// any other thread; concurrent calls serialize. Workers spawned
+    /// mid-segment are not traced (obs tracks cannot be added while
+    /// producers emit); their metrics are recorded as usual.
+    bool try_apply_delta_in_flight(const plan::PlanDelta& delta,
+                                   std::chrono::milliseconds reclaim_timeout =
+                                       std::chrono::milliseconds{200})
+    {
+        if (!delta.resize_only())
+            return false;
+        std::lock_guard swap_lock{swap_mutex_};
+        plan::ExecutionPlan next = plan::apply(plan_, delta);
+        validate_against_sequence(next);
+
+        if (!materialized_) { // never ran: plain between-segment swap
+            plan_ = std::move(next);
+            rebuild_stage_specs();
+            next_worker_id_ = std::max(next_worker_id_, plan_.next_worker_id());
+            return true;
+        }
+
+        // Pass 1 (no mutation yet): a stage below target whose tasks cannot
+        // clone can only be refilled with the sequence's original task
+        // instances -- wait (bounded) for the previous owner to finish its
+        // in-flight frame, then give up cleanly if it never does (e.g. a
+        // stalled-but-alive fenced worker still running user code).
+        const auto deadline = std::chrono::steady_clock::now() + reclaim_timeout;
+        for (const plan::PlanStage& stage : next.stages()) {
+            if (stage_cloneable(stage.index))
+                continue;
+            for (;;) {
+                {
+                    std::lock_guard lock{workers_mutex_};
+                    if (live_worker_count(stage.index) >= stage.replicas
+                        || originals_free(stage.index, /*in_flight=*/true))
+                        break;
+                }
+                if (std::chrono::steady_clock::now() >= deadline)
+                    return false;
+                std::this_thread::sleep_for(std::chrono::microseconds{100});
+            }
+        }
+
+        plan_ = std::move(next);
+        next_worker_id_ = std::max(next_worker_id_, plan_.next_worker_id());
+        update_stage_replicas(); // in place: workers hold Stage references
+
+        std::lock_guard lock{workers_mutex_};
+        for (const plan::PlanStage& stage : plan_.stages()) {
+            int alive = live_worker_count(stage.index);
+            while (alive > stage.replicas) {
+                dismiss_one_in_flight(stage.index);
+                --alive;
+            }
+            while (alive < stage.replicas) {
+                spawn_worker(stage.index, -1, /*enter_current=*/true);
+                ++alive;
+            }
+        }
+        return true;
+    }
+
     /// The compiled plan this pipeline currently executes.
     [[nodiscard]] const plan::ExecutionPlan& execution_plan() const noexcept { return plan_; }
 
@@ -387,6 +499,7 @@ public:
     /// and the recovery bench.
     [[nodiscard]] int live_workers() const
     {
+        std::lock_guard lock{workers_mutex_};
         int count = 0;
         for (const auto& worker : workers_)
             if (!worker->gone.load() && !worker->fenced.load() && !worker->dismissed.load())
@@ -396,7 +509,7 @@ public:
 
     /// Total worker threads ever spawned by this pipeline (monotone; grows
     /// by exactly the delta's spawn count on each hot-swap).
-    [[nodiscard]] int spawned_workers() const noexcept { return spawned_total_; }
+    [[nodiscard]] int spawned_workers() const noexcept { return spawned_total_.load(); }
 
 private:
     static constexpr std::uint64_t kNoFrame = WorkerLoss::kNoFrame;
@@ -410,7 +523,8 @@ private:
         std::vector<std::unique_ptr<Task<T>>> clones; ///< empty when borrowing
         std::vector<Task<T>*> tasks;
         bool owns_originals = false;
-        std::size_t track = 0; ///< trace track (valid when tracing)
+        std::size_t track = 0; ///< trace track (valid when tracing && traced)
+        bool traced = true;    ///< false for mid-segment spawns (no track)
         std::thread thread;
 
         // -- lifecycle -----------------------------------------------------
@@ -423,6 +537,10 @@ private:
         std::atomic<bool> fenced{false};
         std::atomic<bool> exited{false};
         std::atomic<bool> retired{false};
+        /// Set once the worker will not touch its task instances again this
+        /// segment (its segment body returned). Lets an in-flight swap
+        /// reclaim a dead stage's original task instances safely.
+        std::atomic<bool> seg_done{false};
     };
 
     /// Telemetry handles resolved once per segment so the hot path never
@@ -458,6 +576,10 @@ private:
         std::atomic<bool> over{false}; ///< segment finished (drain + park done)
         std::uint64_t num_frames = 0;
         std::uint64_t first_frame = 0;
+        /// Workers participating in this segment (parked_ must reach it
+        /// before the segment ends). Guarded by epoch_mutex_: in-flight
+        /// spawns increment it while the main thread waits on parked_cv_.
+        std::size_t entered = 0;
         std::chrono::milliseconds beat_interval{50};
         std::chrono::steady_clock::time_point start{};
 
@@ -511,7 +633,7 @@ private:
         if (!ob.stage_latency.empty())
             ob.stage_latency[s]->record_duration(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0));
-        if (ob.trace != nullptr)
+        if (ob.trace != nullptr && me.traced)
             ob.trace->emit_complete(me.track, ob.span_names[s], us_since(st, t0),
                                     std::chrono::duration<double, std::micro>(t1 - t0).count(),
                                     seq, me.stage);
@@ -522,7 +644,7 @@ private:
         ObsHooks& ob = st.obs;
         if (ob.retries != nullptr)
             ob.retries->inc(static_cast<std::size_t>(me.id));
-        if (ob.trace != nullptr)
+        if (ob.trace != nullptr && me.traced)
             ob.trace->emit_instant(me.track, ob.retry_name,
                                    us_since(st, std::chrono::steady_clock::now()), seq,
                                    me.stage);
@@ -583,17 +705,23 @@ private:
         materialized_ = true;
     }
 
-    /// Spawns one parked worker thread for `stage`. The first worker of a
-    /// stage borrows the sequence's original task instances (required for
+    /// Spawns one worker thread for `stage`. The first worker of a stage
+    /// borrows the sequence's original task instances (required for
     /// stateful stages, whose tasks cannot clone); every other worker owns
-    /// clones. `id` < 0 allocates the next pipeline-local id.
-    void spawn_worker(int stage, int id = -1)
+    /// clones. `id` < 0 allocates the next pipeline-local id. With
+    /// `enter_current` set and a segment in flight, the worker joins the
+    /// *current* epoch (it starts pulling frames immediately) instead of
+    /// parking for the next one. Caller holds workers_mutex_ (or no other
+    /// thread can touch workers_).
+    void spawn_worker(int stage, int id = -1, bool enter_current = false)
     {
         auto worker = std::make_unique<Worker>();
         worker->id = id >= 0 ? id : next_worker_id_++;
         worker->stage = stage;
         const core::Stage& spec = stages_[static_cast<std::size_t>(stage)];
-        if (!originals_in_use(stage)) {
+        const bool borrow = enter_current ? originals_free(stage, /*in_flight=*/true)
+                                          : !originals_in_use(stage);
+        if (borrow) {
             worker->tasks = sequence_.stage_view(spec.first, spec.last);
             worker->owns_originals = true;
         } else {
@@ -602,14 +730,26 @@ private:
             for (auto& owned : worker->clones)
                 worker->tasks.push_back(owned.get());
         }
-        if (trace_ != nullptr)
-            worker->track = trace_->add_track(obs::schema::worker_track(worker->id, stage));
+        if (trace_ != nullptr) {
+            // Track tables cannot grow while producers emit; mid-segment
+            // spawns run untraced (metrics still flow).
+            if (enter_current)
+                worker->traced = false;
+            else
+                worker->track = trace_->add_track(obs::schema::worker_track(worker->id, stage));
+        }
         worker->last_beat_ns.store(now_ns());
 
         std::uint64_t born_epoch = 0;
         {
             std::lock_guard lock{epoch_mutex_};
-            born_epoch = epoch_; // sleep until the *next* segment starts
+            if (enter_current && segment_active_) {
+                born_epoch = epoch_ - 1; // wait predicate is already true
+                ++seg_.entered;
+                seg_.live_in_stage[static_cast<std::size_t>(stage)].fetch_add(1);
+            } else {
+                born_epoch = epoch_; // sleep until the *next* segment starts
+            }
         }
         const int pin_cpu = config_.core_map.empty()
             ? -1
@@ -622,7 +762,7 @@ private:
             worker_main(*raw, born_epoch);
         }};
         workers_.push_back(std::move(worker));
-        ++spawned_total_;
+        spawned_total_.fetch_add(1);
     }
 
     [[nodiscard]] bool originals_in_use(int stage) const
@@ -632,6 +772,35 @@ private:
                 && !worker->fenced.load() && !worker->dismissed.load())
                 return true;
         return false;
+    }
+
+    /// Whether the stage's original task instances can be (re)borrowed. The
+    /// between-segment test only excludes live owners; in flight, a fenced
+    /// or dismissed owner may *still be executing* user code, so the
+    /// originals stay off-limits until its segment body returns (seg_done)
+    /// or its thread is gone.
+    [[nodiscard]] bool originals_free(int stage, bool in_flight) const
+    {
+        for (const auto& worker : workers_) {
+            if (worker->stage != stage || !worker->owns_originals)
+                continue;
+            if (!worker->gone.load() && !worker->fenced.load() && !worker->dismissed.load())
+                return false; // live owner
+            if (in_flight && !worker->gone.load() && !worker->seg_done.load())
+                return false; // doomed owner, possibly mid-frame
+        }
+        return true;
+    }
+
+    /// True when every task of the stage can clone (no stateful task), so
+    /// an in-flight spawn never needs the originals.
+    [[nodiscard]] bool stage_cloneable(int stage) const
+    {
+        const core::Stage& spec = stages_[static_cast<std::size_t>(stage)];
+        for (int i = spec.first; i <= spec.last; ++i)
+            if (sequence_.task(i).stateful())
+                return false;
+        return true;
     }
 
     [[nodiscard]] int live_worker_count(int stage) const
@@ -690,6 +859,38 @@ private:
                 worker->thread.join();
             return true;
         });
+    }
+
+    /// Mid-segment retire: marks one live worker of `stage` dismissed (a
+    /// clone owner when possible) and returns. The worker finishes its
+    /// in-flight frame, retires itself from the stage count and parks; its
+    /// thread is joined by the next between-segment reap (never here -- the
+    /// caller may be the watchdog, and blocking it stalls fencing). Caller
+    /// holds workers_mutex_.
+    void dismiss_one_in_flight(int stage)
+    {
+        Worker* victim = nullptr;
+        for (auto& worker : workers_) {
+            if (worker->stage != stage || worker->gone.load() || worker->fenced.load()
+                || worker->dismissed.load())
+                continue;
+            if (victim == nullptr || victim->owns_originals)
+                victim = worker.get();
+        }
+        if (victim == nullptr)
+            return;
+        victim->dismissed.store(true);
+        epoch_cv_.notify_all(); // in case it already parked (segment tail)
+    }
+
+    /// Follows a resize-only plan change without touching the stage vector
+    /// itself: running workers hold `const core::Stage&` references into
+    /// stages_, so only the replica counts may be rewritten, in place.
+    void update_stage_replicas()
+    {
+        const auto& plan_stages = plan_.stages();
+        for (std::size_t s = 0; s < plan_stages.size(); ++s)
+            stages_[s].cores = plan_stages[s].replicas;
     }
 
     void resolve_obs_hooks(SegmentState& st)
@@ -753,6 +954,9 @@ private:
                 }
             }
             run_segment(me);
+            // Order matters: seg_done (task instances released) must be
+            // visible before parked_ satisfies the segment-end predicate.
+            me.seg_done.store(true);
             const bool lost = me.fenced.load();
             {
                 std::lock_guard lock{epoch_mutex_};
@@ -881,6 +1085,8 @@ private:
             beat(st, me);
             if (me.fenced.load())
                 return; // watchdog already did the bookkeeping
+            if (me.dismissed.load())
+                break; // retired by an in-flight swap: previous frame was our last
             if (st.stop_source.load())
                 break;
             const std::uint64_t seq = st.next_frame.fetch_add(1, std::memory_order_relaxed);
@@ -934,6 +1140,8 @@ private:
             beat(st, me);
             if (me.fenced.load())
                 return;
+            if (me.dismissed.load())
+                break; // retired by an in-flight swap: previous frame was our last
             if (st.obs.active && !waiting) {
                 wait_from = std::chrono::steady_clock::now();
                 waiting = true;
@@ -992,16 +1200,28 @@ private:
         const auto timeout_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(config_.heartbeat_timeout)
                 .count();
+        std::vector<Worker*> stale;
         while (!st.over.load()) {
             std::this_thread::sleep_for(config_.watchdog_poll);
             const std::int64_t now = now_ns();
-            for (auto& worker : workers_) {
-                if (worker->exited.load() || worker->fenced.load() || worker->gone.load()
-                    || worker->dismissed.load())
-                    continue;
-                if (now - worker->last_beat_ns.load() > timeout_ns)
-                    fence(st, *worker);
+            // Scan under workers_mutex_ (an in-flight swap may be growing
+            // the vector), but fence outside it: the loss handler may
+            // itself spawn replacements, which needs the same mutex.
+            // Worker objects are stable for the whole segment -- in-flight
+            // retires only mark workers dismissed, they never erase.
+            stale.clear();
+            {
+                std::lock_guard lock{workers_mutex_};
+                for (auto& worker : workers_) {
+                    if (worker->exited.load() || worker->fenced.load() || worker->gone.load()
+                        || worker->dismissed.load())
+                        continue;
+                    if (now - worker->last_beat_ns.load() > timeout_ns)
+                        stale.push_back(worker.get());
+                }
             }
+            for (Worker* worker : stale)
+                fence(st, *worker);
         }
     }
 
@@ -1039,7 +1259,15 @@ private:
         if (held != kNoFrame)
             watchdog_push(st, *queues_[static_cast<std::size_t>(me.stage)],
                           Envelope<T>::tombstone(held));
-        if (retire(st, me))
+        const bool stage_empty = retire(st, me);
+        // Give the loss handler (rt::run_with_recovery) a chance to restore
+        // the pipeline with an in-flight frame swap before falling back to
+        // the graceful drain. The handler runs on this (watchdog) thread;
+        // losses it declines keep the legacy fence-then-drain behavior.
+        bool restored = false;
+        if (loss_handler_ && !st.over.load())
+            restored = loss_handler_(WorkerLoss{me.id, me.stage, stage.type, held});
+        if (stage_empty && !restored)
             initiate_drain(st, me.stage);
     }
 
@@ -1106,8 +1334,16 @@ private:
     std::vector<std::unique_ptr<OrderedQueue<T>>> queues_;
     std::vector<std::unique_ptr<Worker>> workers_;
     int next_worker_id_ = 0;
-    int spawned_total_ = 0;
+    std::atomic<int> spawned_total_{0};
     bool materialized_ = false;
+
+    /// Guards the workers_ vector whenever a segment is in flight: the
+    /// watchdog scans it while an in-flight swap may be appending to it.
+    /// Erasure stays a between-segment affair, so Worker* stay valid for a
+    /// whole segment. Acquired before epoch_mutex_ when both are needed.
+    mutable std::mutex workers_mutex_;
+    std::mutex swap_mutex_; ///< serializes try_apply_delta_in_flight calls
+    LossHandler loss_handler_;
 
     obs::TraceRecorder* trace_ = nullptr; ///< resolved once at materialize
     std::size_t watchdog_track_ = 0;
@@ -1121,6 +1357,9 @@ private:
     std::uint64_t epoch_ = 0;
     std::size_t parked_ = 0;
     bool shutdown_ = false;
+    /// True while run_from has a segment open (guarded by epoch_mutex_):
+    /// decides whether an in-flight spawn joins the current epoch or parks.
+    bool segment_active_ = false;
 
     SegmentState seg_;
 };

@@ -66,8 +66,13 @@ core::Solution Rescheduler::recompute()
 
 core::Solution Rescheduler::on_core_loss(core::CoreType type, int count)
 {
-    resources_.count(type) = std::max(0, resources_.count(type) - count);
+    remove_cores(type, count);
     return recompute();
+}
+
+void Rescheduler::remove_cores(core::CoreType type, int count)
+{
+    resources_.count(type) = std::max(0, resources_.count(type) - count);
 }
 
 std::optional<core::Solution>
@@ -95,34 +100,46 @@ Rescheduler::report_latency_snapshots(const std::vector<obs::HistogramSnapshot>&
     }
 
     if (max_drift <= policy_.drift_threshold) {
+        // Streak broken: the partial sums belong to an abandoned streak and
+        // must not leak into a future rebuild.
         drift_streak_ = 0;
+        drifted_big_.clear();
+        drifted_little_.clear();
         return std::nullopt;
     }
     ++drift_streak_;
-    drifted_big_.assign(n, 0.0);
-    drifted_little_.assign(n, 0.0);
+    if (drifted_big_.size() != n || drifted_little_.size() != n) {
+        drifted_big_.assign(n, 0.0);
+        drifted_little_.assign(n, 0.0);
+    }
+    // Accumulate this window's means; the rebuild below averages over the
+    // whole streak, so every drifted window carries equal weight instead of
+    // only the one that happened to arrive last.
     for (std::size_t i = 0; i < n; ++i) {
         const int task = static_cast<int>(i) + 1;
-        drifted_big_[i] = big_us[i].empty() ? chain_.weight(task, core::CoreType::big)
-                                            : big_us[i].mean_us();
-        drifted_little_[i] = little_us[i].empty()
+        drifted_big_[i] += big_us[i].empty() ? chain_.weight(task, core::CoreType::big)
+                                             : big_us[i].mean_us();
+        drifted_little_[i] += little_us[i].empty()
             ? chain_.weight(task, core::CoreType::little)
             : little_us[i].mean_us();
     }
     if (drift_streak_ < policy_.drift_patience)
         return std::nullopt;
 
-    // Sustained drift: rebuild the chain around the observed weights and
-    // recompute the schedule.
+    // Sustained drift: rebuild the chain around the streak-average observed
+    // weights and recompute the schedule.
+    const double inv_streak = 1.0 / static_cast<double>(drift_streak_);
     std::vector<core::TaskDesc> descs;
     descs.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         const core::TaskDesc& old = chain_.task(static_cast<int>(i) + 1);
-        descs.push_back(core::TaskDesc{old.name, drifted_big_[i], drifted_little_[i],
-                                       old.replicable});
+        descs.push_back(core::TaskDesc{old.name, drifted_big_[i] * inv_streak,
+                                       drifted_little_[i] * inv_streak, old.replicable});
     }
     chain_ = core::TaskChain{std::move(descs)};
     drift_streak_ = 0;
+    drifted_big_.clear();
+    drifted_little_.clear();
     return recompute();
 }
 

@@ -17,9 +17,12 @@
 #include "rt/pipeline.hpp"
 #include "svc/solver_service.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -70,6 +73,13 @@ public:
     /// remaining resources cannot run the chain.
     core::Solution on_core_loss(core::CoreType type, int count = 1);
 
+    /// Shrinks the resource vector without recomputing. Lets a caller that
+    /// observed several simultaneous losses account for all of them first
+    /// and then solve a single batch (run_with_recovery does exactly this),
+    /// instead of paying one solver batch -- and transiently adopting an
+    /// intermediate solution -- per lost core.
+    void remove_cores(core::CoreType type, int count = 1);
+
     /// Feeds one observation window of per-task latency histograms (1-based
     /// task order, one snapshot per core type; leave a snapshot empty when
     /// the task did not run on that core type). A task counts as drifted
@@ -98,6 +108,10 @@ private:
     ReschedulePolicy policy_;
     core::Solution solution_;
     int drift_streak_ = 0;
+    /// Running *sums* of the per-window observed means across the current
+    /// drift streak (averaged at rebuild time; cleared when the streak
+    /// resets), so the rebuilt chain reflects the whole streak rather than
+    /// whichever window happened to arrive last.
     std::vector<double> drifted_big_;
     std::vector<double> drifted_little_;
 };
@@ -110,8 +124,11 @@ struct RecoveryReport {
     double recovery_latency_seconds = 0.0; ///< failure detection -> first resumed frame
     std::vector<core::Solution> solutions; ///< initial + one per recovery
     bool completed = false; ///< stream reached num_frames
-    int delta_swaps = 0;    ///< recoveries applied in place via plan::PlanDelta
+    int delta_swaps = 0;    ///< recoveries applied between segments via plan::PlanDelta
     int rebuild_swaps = 0;  ///< recoveries that rebuilt the pipeline
+    /// Recoveries applied mid-segment by an in-flight frame swap (no drain:
+    /// the stream never stopped; see Pipeline::try_apply_delta_in_flight).
+    int frame_swaps = 0;
     double swap_seconds = 0.0; ///< time spent applying deltas / rebuilding
 };
 
@@ -122,6 +139,13 @@ struct RecoveryOptions {
     /// the pipeline down and rebuilding. Incompatible deltas (a recut stage
     /// structure) always fall back to a full rebuild.
     bool allow_delta = true;
+    /// When a loss re-solves to a *resize-only* delta (every stage kept or
+    /// resized, nothing rebound), apply it mid-segment without draining:
+    /// replacement workers join the live stream at the next frame boundary.
+    /// Losses whose delta does not qualify -- or whose in-flight apply
+    /// cannot reclaim a stateful stage's task instances in time -- fall
+    /// back to the drain path above.
+    bool allow_frame_swap = true;
 };
 
 /// Runs the stream [config.first_frame, num_frames) with automatic recovery:
@@ -148,14 +172,88 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
 
     const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t next = config.first_frame;
-    // Engaged while a recovery is in flight: from failure detection until
-    // the first post-recovery frame reaches the drain.
+    // Engaged while a drain-based recovery is in flight: from failure
+    // detection until the first post-recovery frame reaches the drain.
     std::optional<std::chrono::steady_clock::time_point> recovering_since;
+
+    // State shared with the in-flight loss handler, which runs on the
+    // pipeline's watchdog thread while run_from is in flight. Everything
+    // here is either guarded by `mutex` or touched only between runs (the
+    // watchdog is joined before run_from returns).
+    struct FrameSwapState {
+        std::mutex mutex;
+        int swaps = 0;             ///< frame swaps applied this run
+        double swap_seconds = 0.0; ///< in-flight apply time this run
+        std::vector<core::Solution> solutions; ///< one per frame swap
+        std::vector<int> handled_workers; ///< losses already shrunk by the handler
+        bool infeasible = false;   ///< handler hit NoScheduleError
+        std::atomic<bool> latency_armed{false}; ///< swap applied, awaiting a frame
+        std::chrono::steady_clock::time_point detect{};
+    } swap_state;
 
     auto pipeline = std::make_unique<Pipeline<T>>(sequence, rescheduler.solution(), config);
 
+    // On every fence: shrink the budget and re-solve immediately (so even a
+    // declined swap leaves rescheduler.solution() ready for the drain path
+    // with no second batch), then frame-swap in flight when the delta is
+    // resize-only. Runs on the watchdog thread; `report` and `max_recoveries`
+    // are safe to read -- the main thread only writes them between runs.
+    auto install_handler = [&](Pipeline<T>& p) {
+        if (!options.allow_frame_swap)
+            return;
+        p.set_loss_handler([&](const WorkerLoss& loss) -> bool {
+            std::lock_guard lock{swap_state.mutex};
+            if (swap_state.infeasible)
+                return false;
+            if (report.recoveries + swap_state.swaps >= max_recoveries)
+                return false; // out of swap budget: let the drain path stop the run
+            const auto detect = std::chrono::steady_clock::now();
+            core::Solution degraded;
+            try {
+                degraded = rescheduler.on_core_loss(loss.type, 1);
+            } catch (const NoScheduleError&) {
+                swap_state.infeasible = true;
+                swap_state.handled_workers.push_back(loss.worker);
+                return false;
+            }
+            swap_state.handled_workers.push_back(loss.worker);
+            if (!options.allow_delta)
+                return false; // drain-and-rebuild mode: solution is ready, no swap
+            plan::ExecutionPlan candidate =
+                plan::ExecutionPlan::compile(rescheduler.chain(), degraded,
+                                             plan::PlanOptions{config.queue_capacity});
+            const plan::PlanDelta delta = plan::diff(p.execution_plan(), candidate);
+            if (!delta.resize_only())
+                return false;
+            const auto swap_begin = std::chrono::steady_clock::now();
+            if (!p.try_apply_delta_in_flight(delta))
+                return false;
+            ++swap_state.swaps;
+            swap_state.swap_seconds +=
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - swap_begin)
+                    .count();
+            swap_state.solutions.push_back(std::move(degraded));
+            swap_state.detect = detect;
+            swap_state.latency_armed.store(true, std::memory_order_release);
+            return true;
+        });
+    };
+    install_handler(*pipeline);
+
     for (;;) {
         auto wrapped = [&](T& frame) {
+            if (swap_state.latency_armed.load(std::memory_order_acquire)) {
+                // First frame delivered after an in-flight swap completed:
+                // close the frame-swap recovery interval.
+                std::lock_guard lock{swap_state.mutex};
+                if (swap_state.latency_armed.load(std::memory_order_relaxed)) {
+                    report.recovery_latency_seconds +=
+                        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                                      - swap_state.detect)
+                            .count();
+                    swap_state.latency_armed.store(false, std::memory_order_relaxed);
+                }
+            }
             if (recovering_since) {
                 report.recovery_latency_seconds += std::chrono::duration<double>(
                                                        std::chrono::steady_clock::now()
@@ -170,6 +268,29 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
         const auto run_start = std::chrono::steady_clock::now();
         RunResult result = pipeline->run_from(next, num_frames, wrapped);
 
+        // The watchdog (and with it the loss handler) is quiesced: merge the
+        // frame swaps this run applied into the report.
+        {
+            std::lock_guard lock{swap_state.mutex};
+            report.recoveries += swap_state.swaps;
+            report.frame_swaps += swap_state.swaps;
+            report.swap_seconds += swap_state.swap_seconds;
+            for (core::Solution& solution : swap_state.solutions)
+                report.solutions.push_back(std::move(solution));
+            swap_state.swaps = 0;
+            swap_state.swap_seconds = 0.0;
+            swap_state.solutions.clear();
+            if (swap_state.latency_armed.load(std::memory_order_relaxed)) {
+                // Swap applied but no frame made it out before the stream
+                // ended: the open interval is still downtime.
+                report.recovery_latency_seconds +=
+                    std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                                  - swap_state.detect)
+                        .count();
+                swap_state.latency_armed.store(false, std::memory_order_relaxed);
+            }
+        }
+
         report.total.frames += result.frames;
         report.total.frames_dropped += result.frames_dropped;
         report.total.retries += result.retries;
@@ -180,12 +301,24 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
             report.total.failure_seconds =
                 std::chrono::duration<double>(run_start - t0).count() + result.failure_seconds;
 
+        if (swap_state.infeasible)
+            throw NoScheduleError{
+                "run_with_recovery: remaining resources cannot run the chain"};
         if (result.degraded()) {
-            // Shrink the budget by every core the watchdog fenced, then
-            // recompute once.
-            for (const WorkerLoss& loss : result.losses)
-                (void)rescheduler.on_core_loss(loss.type, 1);
+            // Shrink the budget by every core the in-flight handler did not
+            // already account for, then recompute once -- not once per loss.
+            int unhandled = 0;
+            for (const WorkerLoss& loss : result.losses) {
+                const auto& handled = swap_state.handled_workers;
+                if (std::find(handled.begin(), handled.end(), loss.worker) != handled.end())
+                    continue;
+                rescheduler.remove_cores(loss.type, 1);
+                ++unhandled;
+            }
+            if (unhandled > 0)
+                (void)rescheduler.recompute();
         }
+        swap_state.handled_workers.clear();
 
         if (result.stream_end >= num_frames) {
             report.completed = true;
@@ -217,6 +350,7 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
             pipeline.reset(); // join the old workers before spawning new ones
             config.first_frame = next;
             pipeline = std::make_unique<Pipeline<T>>(sequence, std::move(candidate), config);
+            install_handler(*pipeline);
             ++report.rebuild_swaps;
         }
         report.swap_seconds +=

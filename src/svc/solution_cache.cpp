@@ -42,7 +42,31 @@ std::optional<core::ScheduleResult> SolutionCache::get(const CacheKey& key)
     return result;
 }
 
+std::optional<SolutionCache::PlannedHit> SolutionCache::get_planned(const CacheKey& key)
+{
+    if (!enabled())
+        return std::nullopt;
+    Shard& shard = shard_for(hash_key(key));
+    std::lock_guard lock{shard.mutex};
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    PlannedHit hit{it->second->result, it->second->plan};
+    hit.result.cache_hit = true;
+    return hit;
+}
+
 void SolutionCache::put(const CacheKey& key, const core::ScheduleResult& result)
+{
+    put_planned(key, result, nullptr);
+}
+
+void SolutionCache::put_planned(const CacheKey& key, const core::ScheduleResult& result,
+                                std::shared_ptr<const plan::ExecutionPlan> plan)
 {
     if (!enabled())
         return;
@@ -51,10 +75,12 @@ void SolutionCache::put(const CacheKey& key, const core::ScheduleResult& result)
     if (const auto it = shard.index.find(key); it != shard.index.end()) {
         it->second->result = result;
         it->second->result.cache_hit = false;
+        if (plan != nullptr) // refresh keeps an already-attached plan
+            it->second->plan = std::move(plan);
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    shard.lru.push_front(Entry{key, result});
+    shard.lru.push_front(Entry{key, result, std::move(plan)});
     shard.lru.front().result.cache_hit = false;
     shard.index.emplace(key, shard.lru.begin());
     if (shard.lru.size() > per_shard_) {
@@ -62,6 +88,17 @@ void SolutionCache::put(const CacheKey& key, const core::ScheduleResult& result)
         shard.lru.pop_back();
         ++shard.evictions;
     }
+}
+
+void SolutionCache::attach_plan(const CacheKey& key,
+                                std::shared_ptr<const plan::ExecutionPlan> plan)
+{
+    if (!enabled())
+        return;
+    Shard& shard = shard_for(hash_key(key));
+    std::lock_guard lock{shard.mutex};
+    if (const auto it = shard.index.find(key); it != shard.index.end())
+        it->second->plan = std::move(plan);
 }
 
 CacheStats SolutionCache::stats() const

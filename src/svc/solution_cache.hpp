@@ -17,10 +17,15 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
+
+namespace amp::plan {
+class ExecutionPlan; // entries may carry a compiled plan (see get_planned)
+}
 
 namespace amp::svc {
 
@@ -92,9 +97,31 @@ public:
     /// Returns the cached result (cache_hit already set) or nullopt.
     [[nodiscard]] std::optional<core::ScheduleResult> get(const CacheKey& key);
 
+    /// A hit that also carries the entry's compiled execution plan, when one
+    /// has been admitted (null otherwise). The plan is shared, immutable and
+    /// identical across hits -- svc::solve_planned returns it with zero
+    /// compile work.
+    struct PlannedHit {
+        core::ScheduleResult result;
+        std::shared_ptr<const plan::ExecutionPlan> plan;
+    };
+
+    /// Like get(), but also returns the compiled plan stored with the entry
+    /// (null when the result was admitted without one).
+    [[nodiscard]] std::optional<PlannedHit> get_planned(const CacheKey& key);
+
     /// Inserts or refreshes `result` under `key`, evicting the shard's LRU
-    /// entry when full.
+    /// entry when full. A refresh keeps any compiled plan already attached
+    /// to the entry (the result is bit-identical for an equal key).
     void put(const CacheKey& key, const core::ScheduleResult& result);
+
+    /// put() that also stores the compiled plan alongside the result.
+    void put_planned(const CacheKey& key, const core::ScheduleResult& result,
+                     std::shared_ptr<const plan::ExecutionPlan> plan);
+
+    /// Attaches a compiled plan to an existing entry (no-op when the entry
+    /// has been evicted meanwhile).
+    void attach_plan(const CacheKey& key, std::shared_ptr<const plan::ExecutionPlan> plan);
 
     [[nodiscard]] CacheStats stats() const;
     [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
@@ -106,6 +133,7 @@ private:
     struct Entry {
         CacheKey key;
         core::ScheduleResult result;
+        std::shared_ptr<const plan::ExecutionPlan> plan; ///< null until attached
     };
 
     struct KeyHasher {

@@ -177,11 +177,47 @@ core::ScheduleResult SolverService::solve(const core::ScheduleRequest& request)
 PlannedSchedule SolverService::solve_planned(const core::ScheduleRequest& request,
                                              plan::PlanOptions options)
 {
+    const std::size_t external = deques_.size();
+    StrategyInstruments& inst = instruments_[static_cast<std::size_t>(request.strategy)];
+    const CacheKey key = key_of(request);
+
     PlannedSchedule planned;
-    planned.result = solve(request);
+    if (cache_.enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (auto hit = cache_.get_planned(key)) {
+            hit->result.solve_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            inst.hits->inc(external);
+            planned.result = std::move(hit->result);
+            if (hit->plan != nullptr && hit->plan->options() == options) {
+                planned.plan = std::move(hit->plan); // zero compile work
+                return planned;
+            }
+            if (planned.result.ok()) {
+                // Result hit without a (matching) compiled plan: compile
+                // once and attach, so the next hit skips this too.
+                auto compiled = std::make_shared<const plan::ExecutionPlan>(
+                    plan::ExecutionPlan::compile(request.chain, planned.result.solution,
+                                                 options));
+                cache_.attach_plan(key, compiled);
+                planned.plan = std::move(compiled);
+            }
+            return planned;
+        }
+    }
+
+    planned.result = core::schedule(request);
+    inst.misses->inc(external);
+    inst.solve_latency->record(planned.result.solve_ns);
+    if (!planned.result.ok())
+        inst.errors->inc(external);
     if (planned.result.ok())
-        planned.plan =
-            plan::ExecutionPlan::compile(request.chain, planned.result.solution, options);
+        planned.plan = std::make_shared<const plan::ExecutionPlan>(
+            plan::ExecutionPlan::compile(request.chain, planned.result.solution, options));
+    if (cache_.enabled() && planned.result.error != core::ScheduleError::invalid_request)
+        cache_.put_planned(key, planned.result, planned.plan);
     return planned;
 }
 

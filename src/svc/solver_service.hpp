@@ -41,12 +41,15 @@ namespace amp::svc {
 
 /// A schedule plus its compiled execution plan: what an executor needs to
 /// run the solution without re-deriving (and re-validating) its structure.
-/// `plan` is engaged iff the solve succeeded.
+/// `plan` is non-null iff the solve succeeded. The plan is shared with the
+/// solution cache: repeated solve_planned calls for an equal request return
+/// the *same* immutable plan object with zero compile work (executors copy
+/// it when they need a mutable instance, e.g. rt::Pipeline).
 struct PlannedSchedule {
     core::ScheduleResult result;
-    std::optional<plan::ExecutionPlan> plan;
+    std::shared_ptr<const plan::ExecutionPlan> plan;
 
-    [[nodiscard]] bool ok() const noexcept { return result.ok() && plan.has_value(); }
+    [[nodiscard]] bool ok() const noexcept { return result.ok() && plan != nullptr; }
 };
 
 struct ServiceConfig {
@@ -75,10 +78,13 @@ public:
 
     /// Like solve(), but also compiles the winning solution into a
     /// plan::ExecutionPlan (profiled against the request's chain) that
-    /// rt::Pipeline or dsim::simulate can execute directly. The plan is
-    /// only compiled on success; compilation failures (a solver bug --
-    /// schedulers never emit malformed solutions) propagate as
-    /// plan::PlanError rather than being swallowed.
+    /// rt::Pipeline or dsim::simulate can execute directly. The compiled
+    /// plan is stored in the solution cache alongside the result, so a
+    /// cache hit whose stored plan was compiled with the same PlanOptions
+    /// returns that exact plan object -- zero compile work, pointer-equal
+    /// across hits. The plan is only compiled on success; compilation
+    /// failures (a solver bug -- schedulers never emit malformed solutions)
+    /// propagate as plan::PlanError rather than being swallowed.
     [[nodiscard]] PlannedSchedule solve_planned(const core::ScheduleRequest& request,
                                                 plan::PlanOptions options = {});
 

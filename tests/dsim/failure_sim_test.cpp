@@ -151,6 +151,82 @@ TEST(FailureSim, ReportsUnschedulableWhenNoCoreRemains)
     EXPECT_EQ(result.recoveries[0].resources_after, (core::Resources{0, 0}));
 }
 
+// The virtual-time mirror of the runtime's frame-granular swap: when the
+// recovery delta is resize-only and FailureModel::frame_swap_us is set,
+// downtime collapses to detection + frame swap instead of the drain-based
+// delta-swap cost.
+TEST(FailureSim, FrameSwapModelShortensDowntimeForResizeOnlyDeltas)
+{
+    // All-little chain: t1 stateful, the rest replicable with lopsided
+    // little sums. On R = (0, 4) the optimum is [t1]x1L | [t2-t5]x3L and
+    // losing a little from stage 1 keeps the cut and types (stage 1 merely
+    // resized 3 -> 2): resize-only by construction.
+    std::vector<core::TaskDesc> tasks;
+    tasks.push_back(core::TaskDesc{"t1", 100.0, 90.0, false});
+    const double littles[] = {75.0, 75.0, 75.0, 76.0};
+    for (int i = 2; i <= 5; ++i)
+        tasks.push_back(core::TaskDesc{"t" + std::to_string(i), 60.0, littles[i - 2], true});
+    const core::TaskChain chain{std::move(tasks)};
+    const core::Resources budget{0, 4};
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
+    ASSERT_FALSE(solution.empty());
+
+    const auto config = small_config();
+    dsim::FailureModel faults;
+    faults.detection_us = 200.0;
+    faults.delta_swap_us = 1000.0;
+    faults.failures.push_back(dsim::SimFailure{500, 1}); // a little from stage 1
+
+    // Drain-based delta swap: detection + delta swap.
+    const auto drained = dsim::simulate_with_failures(chain, solution, budget, config, faults);
+    ASSERT_TRUE(drained.schedulable);
+    ASSERT_EQ(drained.recoveries.size(), 1u);
+    EXPECT_TRUE(drained.recoveries[0].delta_applied);
+    EXPECT_FALSE(drained.recoveries[0].frame_swap_applied);
+    EXPECT_DOUBLE_EQ(drained.recoveries[0].downtime_us, 200.0 + 1000.0);
+
+    // Frame swap modelled: the resize-only delta takes the cheaper path.
+    faults.frame_swap_us = 100.0;
+    const auto swapped = dsim::simulate_with_failures(chain, solution, budget, config, faults);
+    ASSERT_EQ(swapped.recoveries.size(), 1u);
+    EXPECT_TRUE(swapped.recoveries[0].frame_swap_applied);
+    EXPECT_DOUBLE_EQ(swapped.recoveries[0].downtime_us, 200.0 + 100.0);
+    EXPECT_EQ(swapped.recoveries[0].new_solution, drained.recoveries[0].new_solution)
+        << "the swap mechanism must not change the scheduling decision";
+}
+
+TEST(FailureSim, FrameSwapModelIgnoresNonResizeOnlyDeltas)
+{
+    // Mixed-type sibling: on R = (1, 3) losing the big rebinds stage 0
+    // big -> little -- delta-compatible, but NOT resize-only, so the
+    // frame-swap cost must not apply even when modelled.
+    std::vector<core::TaskDesc> tasks;
+    tasks.push_back(core::TaskDesc{"t1", 100.0, 120.0, false});
+    const double littles[] = {75.0, 75.0, 75.0, 76.0};
+    for (int i = 2; i <= 5; ++i)
+        tasks.push_back(core::TaskDesc{"t" + std::to_string(i), 60.0, littles[i - 2], true});
+    const core::TaskChain chain{std::move(tasks)};
+    const core::Resources budget{1, 3};
+    const core::Solution solution =
+        core::schedule(core::ScheduleRequest{chain, budget, core::Strategy::herad}).solution;
+    ASSERT_FALSE(solution.empty());
+
+    const auto config = small_config();
+    dsim::FailureModel faults;
+    faults.detection_us = 200.0;
+    faults.delta_swap_us = 1000.0;
+    faults.frame_swap_us = 100.0;
+    faults.failures.push_back(dsim::SimFailure{500, 0}); // the big from stage 0
+
+    const auto result = dsim::simulate_with_failures(chain, solution, budget, config, faults);
+    ASSERT_TRUE(result.schedulable);
+    ASSERT_EQ(result.recoveries.size(), 1u);
+    EXPECT_TRUE(result.recoveries[0].delta_applied) << "same cut: still delta-compatible";
+    EXPECT_FALSE(result.recoveries[0].frame_swap_applied) << "rebound: not resize-only";
+    EXPECT_DOUBLE_EQ(result.recoveries[0].downtime_us, 200.0 + 1000.0);
+}
+
 TEST(FailureSim, ThroughputDegradesAfterCoreLoss)
 {
     const core::TaskChain chain = make_chain(6);

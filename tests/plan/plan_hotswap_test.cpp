@@ -195,7 +195,7 @@ TEST(SolverServicePlans, SolvePlannedReturnsACompiledPlan)
 
     const svc::PlannedSchedule planned = service.solve_planned(request);
     ASSERT_TRUE(planned.ok());
-    ASSERT_TRUE(planned.plan.has_value());
+    ASSERT_NE(planned.plan, nullptr);
     EXPECT_EQ(planned.plan->solution(), planned.result.solution);
     EXPECT_TRUE(planned.plan->has_profile());
     EXPECT_EQ(planned.plan->task_count(), chain.size());
@@ -204,7 +204,7 @@ TEST(SolverServicePlans, SolvePlannedReturnsACompiledPlan)
     const svc::PlannedSchedule infeasible = service.solve_planned(
         core::ScheduleRequest{chain, Resources{0, 0}, core::Strategy::herad, {}});
     EXPECT_FALSE(infeasible.ok());
-    EXPECT_FALSE(infeasible.plan.has_value());
+    EXPECT_EQ(infeasible.plan, nullptr);
 }
 
 } // namespace

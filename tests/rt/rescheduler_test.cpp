@@ -1,6 +1,7 @@
 #include "rt/rescheduler.hpp"
 
 #include "rt/fault.hpp"
+#include "svc/solver_service.hpp"
 
 #include <gtest/gtest.h>
 
@@ -131,6 +132,77 @@ TEST(Rescheduler, SustainedDriftRecomputesAfterPatience)
     EXPECT_DOUBLE_EQ(rescheduler.chain().weight(2, CoreType::big), big[1])
         << "the chain now carries the observed weights";
     expect_feasible(*recomputed, rescheduler.chain(), rescheduler.resources());
+}
+
+// Regression: report_latency_snapshots used to OVERWRITE the remembered
+// means with the latest window's, so a rebuild after N drifted windows
+// reflected only whichever window arrived last. The rebuilt chain must
+// carry the average across the whole streak.
+TEST(Rescheduler, DriftRebuildAveragesTheWholeStreak)
+{
+    const TaskChain chain = make_chain(4);
+    ReschedulePolicy policy;
+    policy.drift_threshold = 0.25;
+    policy.drift_patience = 2;
+    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
+
+    const auto window = [&](double factor) {
+        std::vector<double> big, little;
+        for (int i = 1; i <= chain.size(); ++i) {
+            big.push_back(chain.weight(i, CoreType::big) * factor);
+            little.push_back(chain.weight(i, CoreType::little) * factor);
+        }
+        return rescheduler.report_profile(big, little);
+    };
+
+    EXPECT_FALSE(window(2.0).has_value());
+    const auto recomputed = window(3.0);
+    ASSERT_TRUE(recomputed.has_value()) << "patience=2 windows reached";
+
+    // Streak average (2.0 + 3.0) / 2 = 2.5x -- not the last window's 3.0x.
+    for (int i = 1; i <= chain.size(); ++i) {
+        EXPECT_NEAR(rescheduler.chain().weight(i, CoreType::big),
+                    chain.weight(i, CoreType::big) * 2.5, 1e-9)
+            << "task " << i;
+        EXPECT_NEAR(rescheduler.chain().weight(i, CoreType::little),
+                    chain.weight(i, CoreType::little) * 2.5, 1e-9)
+            << "task " << i;
+    }
+    expect_feasible(*recomputed, rescheduler.chain(), rescheduler.resources());
+}
+
+// Regression companion: a stable window resets the streak AND discards the
+// accumulated means, so a later rebuild only averages its own streak.
+TEST(Rescheduler, StreakResetDiscardsStaleDriftMeans)
+{
+    const TaskChain chain = make_chain(4);
+    ReschedulePolicy policy;
+    policy.drift_threshold = 0.25;
+    policy.drift_patience = 2;
+    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
+
+    const auto window = [&](double factor) {
+        std::vector<double> big, little;
+        for (int i = 1; i <= chain.size(); ++i) {
+            big.push_back(chain.weight(i, CoreType::big) * factor);
+            little.push_back(chain.weight(i, CoreType::little) * factor);
+        }
+        return rescheduler.report_profile(big, little);
+    };
+
+    EXPECT_FALSE(window(5.0).has_value()); // drifted: streak 1
+    EXPECT_FALSE(window(1.0).has_value()); // stable: streak (and sums) reset
+    EXPECT_EQ(rescheduler.drift_streak(), 0);
+    EXPECT_FALSE(window(4.0).has_value()); // new streak
+    const auto recomputed = window(4.0);
+    ASSERT_TRUE(recomputed.has_value());
+
+    // Exactly 4.0x: the abandoned 5.0x window must not leak into the
+    // average (stale sums would give (5 + 4 + 4) / 2 = 6.5x).
+    for (int i = 1; i <= chain.size(); ++i)
+        EXPECT_NEAR(rescheduler.chain().weight(i, CoreType::big),
+                    chain.weight(i, CoreType::big) * 4.0, 1e-9)
+            << "task " << i;
 }
 
 // Live-telemetry path: the same detector fed real histogram snapshots (as
@@ -285,6 +357,62 @@ TEST(RunWithRecovery, WorkerKillReschedulesAndCompletesTheStream)
     ASSERT_EQ(delivered.size(), report.total.frames);
     for (std::size_t i = 1; i < delivered.size(); ++i)
         EXPECT_LT(delivered[i - 1], delivered[i]) << "stream order across the hot-swap";
+}
+
+// Regression: losing several cores in one run used to trigger one full
+// recompute (one solver batch) PER fenced core, transiently adopting
+// intermediate solutions. The degraded path must shrink for every loss
+// first and then solve exactly once -- pinned through the solver-service
+// counters of an injected private service.
+TEST(RunWithRecovery, MultiCoreLossSolvesExactlyOneBatch)
+{
+    constexpr std::uint64_t kFrames = 120;
+    // t1 stateful and big-bound, t2..t5 replicable littles: on R = (1, 3)
+    // the optimum is [t1]x1B | [t2-t5]x3L, so stage 1 holds worker ids
+    // 1..3 and survives two of them dying (no drain, one single run).
+    std::vector<TaskDesc> tasks;
+    tasks.push_back(TaskDesc{"t1", 100.0, 120.0, false});
+    const double littles[] = {75.0, 75.0, 75.0, 76.0};
+    for (int i = 2; i <= 5; ++i)
+        tasks.push_back(TaskDesc{"t" + std::to_string(i), 60.0, littles[i - 2], true});
+    const TaskChain chain{std::move(tasks)};
+
+    amp::svc::SolverService service{amp::svc::ServiceConfig{}}; // private metrics
+    ReschedulePolicy policy;
+    policy.service = &service;
+    Rescheduler rescheduler{chain, Resources{1, 3}, policy};
+
+    auto seq = make_runtime_sequence(5);
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::kill, 20, 0, 1, 1, milliseconds{0}});
+    injector.add(FaultSpec{FaultKind::kill, 24, 0, 2, 1, milliseconds{0}});
+
+    PipelineConfig config;
+    config.faults = &injector;
+    config.heartbeat_timeout = milliseconds{50};
+
+    RecoveryOptions options;
+    options.allow_frame_swap = false; // pin the post-run (drain-path) accounting
+
+    const RecoveryReport report =
+        run_with_recovery<Frame>(seq, rescheduler, kFrames, config, {}, -1, options);
+
+    EXPECT_TRUE(report.completed);
+    ASSERT_EQ(report.total.losses.size(), 2u);
+    EXPECT_EQ(rescheduler.resources(), (Resources{1, 1}))
+        << "both lost littles accounted before the solve";
+    expect_feasible(rescheduler.solution(), chain, Resources{1, 1});
+
+    const auto snapshot = service.metrics().snapshot();
+    const auto count = [&](const std::string& name) -> std::uint64_t {
+        const auto it = snapshot.counters.find(name);
+        return it == snapshot.counters.end() ? 0u : it->second;
+    };
+    EXPECT_EQ(count("amp_svc_cache_misses{strategy=\"herad\"}")
+                  + count("amp_svc_cache_hits{strategy=\"herad\"}"),
+              2u)
+        << "one solver batch for the initial solution and ONE for the "
+           "double loss -- not one per fenced core";
 }
 
 } // namespace

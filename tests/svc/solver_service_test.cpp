@@ -220,6 +220,68 @@ TEST(SolverService, TinyBatchChurnStressesBatchLifetime)
         EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << "submitter " << t;
 }
 
+// The plan-aware cache: a solve_planned hit returns the SAME immutable
+// compiled plan object as the miss that populated it -- zero recompiles,
+// pinned by pointer identity.
+TEST(SolverService, SolvePlannedHitsSharePointerIdenticalPlans)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}, {30, 60, true}, {5, 9, false}});
+    const core::ScheduleRequest request{chain, {2, 2}, core::Strategy::herad};
+
+    const svc::PlannedSchedule cold = service.solve_planned(request);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_FALSE(cold.result.cache_hit);
+
+    const svc::PlannedSchedule warm = service.solve_planned(request);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm.result.cache_hit);
+    EXPECT_EQ(warm.plan.get(), cold.plan.get())
+        << "a cache hit must reuse the stored plan, not recompile";
+    EXPECT_EQ(warm.result.solution, cold.result.solution);
+}
+
+// An entry admitted by plain solve() carries no plan; the first
+// solve_planned hit compiles once and attaches it, and every later hit
+// shares that attached plan.
+TEST(SolverService, SolvePlannedAttachesAPlanToAPlainEntry)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}, {30, 60, true}, {5, 9, false}});
+    const core::ScheduleRequest request{chain, {2, 2}, core::Strategy::herad};
+
+    (void)service.solve(request); // plan-less cache entry
+
+    const svc::PlannedSchedule first = service.solve_planned(request);
+    EXPECT_TRUE(first.result.cache_hit);
+    ASSERT_NE(first.plan, nullptr) << "the hit path compiles and attaches once";
+
+    const svc::PlannedSchedule second = service.solve_planned(request);
+    EXPECT_TRUE(second.result.cache_hit);
+    EXPECT_EQ(second.plan.get(), first.plan.get());
+}
+
+// Plans are only shared across hits with equal PlanOptions; a mismatched
+// hit recompiles with the requested options instead of handing back a plan
+// whose queues are sized differently.
+TEST(SolverService, SolvePlannedRecompilesOnDifferentPlanOptions)
+{
+    svc::SolverService service{{.workers = 1}};
+    const auto chain = make_chain({{10, 20, true}, {30, 60, true}, {5, 9, false}});
+    const core::ScheduleRequest request{chain, {2, 2}, core::Strategy::herad};
+
+    const svc::PlannedSchedule narrow = service.solve_planned(request);
+    ASSERT_TRUE(narrow.ok());
+
+    plan::PlanOptions wide;
+    wide.queue_capacity = 64;
+    const svc::PlannedSchedule other = service.solve_planned(request, wide);
+    ASSERT_TRUE(other.ok());
+    EXPECT_TRUE(other.result.cache_hit) << "the schedule itself is still cached";
+    EXPECT_NE(other.plan.get(), narrow.plan.get());
+    EXPECT_EQ(other.plan->options(), wide);
+}
+
 TEST(SharedService, IsASingleProcessWideInstance)
 {
     svc::SolverService& first = svc::shared_service();
