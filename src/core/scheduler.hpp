@@ -102,6 +102,22 @@ struct ScheduleRequest {
     Resources resources;
     Strategy strategy = Strategy::herad;
     ScheduleOptions options{};
+
+    // -- admission metadata (svc::SolverService, docs/SOLVER_SERVICE.md) --
+    // Neither field is part of the cache identity (svc::key_of): two
+    // requests that differ only in deadline/priority share one solution.
+
+    /// Absolute deadline as steady-clock nanoseconds since epoch (0 = no
+    /// deadline). A request whose deadline has passed by the time it is
+    /// picked up is answered with ScheduleError::deadline_exceeded instead
+    /// of being solved. The dsim admission model interprets the same field
+    /// in virtual time.
+    std::int64_t deadline_ns = 0;
+
+    /// Admission priority: higher wins under the priority_aware shedding
+    /// policy. Recovery re-solves (rt::Rescheduler) submit at
+    /// svc::kRecoveryPriority so overload never sheds them first.
+    std::int8_t priority = 0;
 };
 
 /// Explicit failure signal. The old API signalled failure with an empty
@@ -114,6 +130,12 @@ enum class ScheduleError : std::uint8_t {
     /// The request itself is malformed: empty chain, negative or all-zero
     /// resource vector, or an OTAC variant with zero cores of its type.
     invalid_request,
+    /// Shed by admission control (queue full, circuit breaker open, or the
+    /// service is stopping) before the solver ran. Unlike infeasible this
+    /// says nothing about the chain: retrying later may succeed.
+    rejected,
+    /// The request's deadline passed before a worker could start solving it.
+    deadline_exceeded,
 };
 
 [[nodiscard]] constexpr const char* to_string(ScheduleError error) noexcept
@@ -122,6 +144,8 @@ enum class ScheduleError : std::uint8_t {
     case ScheduleError::ok: return "ok";
     case ScheduleError::infeasible: return "infeasible";
     case ScheduleError::invalid_request: return "invalid_request";
+    case ScheduleError::rejected: return "rejected";
+    case ScheduleError::deadline_exceeded: return "deadline_exceeded";
     }
     return "?";
 }
@@ -132,6 +156,11 @@ struct ScheduleResult {
     ScheduleStats stats; ///< binary-search telemetry (zero for HeRAD)
     ScheduleError error = ScheduleError::ok;
     bool cache_hit = false;  ///< set by svc::SolverService on cache hits
+    /// Brownout serving (svc::SolverService): the solution is a *stale*
+    /// cached schedule for the same chain (possibly solved for a smaller
+    /// resource vector or different options), served under pressure while a
+    /// background refinement re-solves the exact request.
+    bool degraded = false;
     std::uint64_t solve_ns = 0; ///< wall time of the solve (or cache lookup)
 
     [[nodiscard]] bool ok() const noexcept { return error == ScheduleError::ok; }

@@ -58,4 +58,34 @@ inline constexpr const char* kRunFps = "amp_run_fps";
     return "amp_queue_wait_us{stage=\"" + std::to_string(stage) + "\"}";
 }
 
+// -- overload protection (docs/FAULT_MODEL.md, "Overload model") -----------
+
+/// Frames deliberately tombstoned by the pipeline's load shedder (a subset
+/// of amp_frames_dropped_total -- every shed is counted, never silent).
+inline constexpr const char* kFramesShed = "amp_frames_shed_total";
+/// rt::BrownoutController level (0 = normal, 1 = browned out).
+inline constexpr const char* kBrownoutLevel = "amp_brownout_level";
+inline constexpr const char* kBrownoutEntries = "amp_brownout_entries_total";
+
+/// Buffered envelopes in the stage's output queue (gauge, sampled by the
+/// pipeline's overload monitor).
+[[nodiscard]] inline std::string queue_depth(int stage)
+{
+    return "amp_queue_depth{stage=\"" + std::to_string(stage) + "\"}";
+}
+
+// Solver-service admission control / circuit breaker / brownout serving
+// (docs/SOLVER_SERVICE.md). The dsim admission model reuses the runtime's
+// decision classes, so these names cover both.
+inline constexpr const char* kSvcAdmissionRejected = "amp_svc_admission_rejected_total";
+inline constexpr const char* kSvcAdmissionDisplaced = "amp_svc_admission_displaced_total";
+inline constexpr const char* kSvcAdmissionDepth = "amp_svc_admission_depth";
+inline constexpr const char* kSvcDeadlineExceeded = "amp_svc_deadline_exceeded_total";
+inline constexpr const char* kSvcDegradedServes = "amp_svc_degraded_serves_total";
+inline constexpr const char* kSvcRefinements = "amp_svc_refinements_total";
+inline constexpr const char* kSvcBreakerRejected = "amp_svc_breaker_rejected_total";
+inline constexpr const char* kSvcBreakerTrips = "amp_svc_breaker_trips_total";
+/// Gauge mirroring svc::BreakerState (0 closed, 1 open, 2 half-open).
+inline constexpr const char* kSvcBreakerState = "amp_svc_breaker_state";
+
 } // namespace amp::obs::schema

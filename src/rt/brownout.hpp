@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic brownout controller (docs/FAULT_MODEL.md, "Overload
+// model").
+//
+// The pipeline's overload monitor periodically samples a pressure signal in
+// [0, 1] -- the worst queue-depth fraction across stages -- and feeds it
+// here. The controller answers one question: is the pipeline browned out
+// (allowed to shed load) right now? Two defenses against flapping:
+// distinct enter/exit thresholds (hysteresis in value) and a patience count
+// on each side (hysteresis in time) -- a single spiky sample neither enters
+// nor exits brownout. The state machine is a pure function of the fed
+// sample sequence: no clocks, no randomness, so tests and dsim can replay
+// it exactly.
+
+#include <cstdint>
+
+namespace amp::rt {
+
+struct BrownoutPolicy {
+    /// Pressure at or above which samples count toward entering brownout.
+    double enter_pressure = 0.75;
+    /// Pressure at or below which samples count toward exiting brownout.
+    /// Clamped to enter_pressure (exit above enter would oscillate).
+    double exit_pressure = 0.50;
+    /// Consecutive qualifying samples required to enter / exit.
+    int enter_patience = 3;
+    int exit_patience = 3;
+};
+
+class BrownoutController {
+public:
+    explicit BrownoutController(BrownoutPolicy policy = {})
+        : policy_(policy)
+    {
+        if (policy_.exit_pressure > policy_.enter_pressure)
+            policy_.exit_pressure = policy_.enter_pressure;
+        if (policy_.enter_patience < 1)
+            policy_.enter_patience = 1;
+        if (policy_.exit_patience < 1)
+            policy_.exit_patience = 1;
+    }
+
+    /// Feeds one pressure sample; returns the (possibly updated) state.
+    bool feed(double pressure)
+    {
+        if (!browned_out_) {
+            if (pressure >= policy_.enter_pressure) {
+                if (++streak_ >= policy_.enter_patience) {
+                    browned_out_ = true;
+                    ++entries_;
+                    streak_ = 0;
+                }
+            } else {
+                streak_ = 0;
+            }
+        } else {
+            if (pressure <= policy_.exit_pressure) {
+                if (++streak_ >= policy_.exit_patience) {
+                    browned_out_ = false;
+                    streak_ = 0;
+                }
+            } else {
+                streak_ = 0;
+            }
+        }
+        return browned_out_;
+    }
+
+    [[nodiscard]] bool browned_out() const noexcept { return browned_out_; }
+    /// Times the controller entered brownout (monotone).
+    [[nodiscard]] std::uint64_t entries() const noexcept { return entries_; }
+    [[nodiscard]] const BrownoutPolicy& policy() const noexcept { return policy_; }
+
+private:
+    BrownoutPolicy policy_;
+    bool browned_out_ = false;
+    int streak_ = 0;
+    std::uint64_t entries_ = 0;
+};
+
+} // namespace amp::rt

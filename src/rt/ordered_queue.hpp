@@ -20,6 +20,7 @@
 
 #include "rt/envelope.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -32,11 +33,17 @@ namespace amp::rt {
 template <typename T>
 class OrderedQueue {
 public:
-    /// Outcome of a timed push.
+    /// Outcome of a timed push. `timed_out` is the only retryable outcome;
+    /// `closed` and `stale` both consume the envelope but mean different
+    /// things to the producer: closed says the whole stream is torn down
+    /// (stop retrying, park), stale says only this frame is obsolete (a
+    /// tombstone or replacement was already delivered past it -- drop it
+    /// and move on to the next frame).
     enum class PushOutcome {
         pushed,    ///< envelope accepted (buffered)
         timed_out, ///< buffer still full after the timeout; envelope untouched
-        rejected,  ///< queue aborted, or stale seq already delivered (dropped)
+        closed,    ///< queue aborted; no envelope will ever be accepted again
+        stale,     ///< seq already delivered (e.g. tombstoned); envelope dropped
     };
 
     /// Outcome of a timed pop. `envelope` is engaged iff an in-order
@@ -73,8 +80,8 @@ public:
     }
 
     /// Timed push. On `timed_out` the envelope is left intact in `envelope`
-    /// so the caller can heartbeat and retry; on `pushed`/`rejected` it has
-    /// been consumed (moved from or dropped).
+    /// so the caller can heartbeat and retry; on `pushed`/`closed`/`stale`
+    /// it has been consumed (moved from or dropped).
     PushOutcome try_push_for(Envelope<T>& envelope, std::chrono::steady_clock::duration timeout)
     {
         std::unique_lock lock{mutex_};
@@ -83,11 +90,33 @@ public:
         });
         if (!ready)
             return PushOutcome::timed_out;
-        if (aborted_ || envelope.seq < next_seq_)
-            return PushOutcome::rejected;
+        if (aborted_)
+            return PushOutcome::closed;
+        if (envelope.seq < next_seq_)
+            return PushOutcome::stale;
         buffer_.emplace(envelope.seq, std::move(envelope));
         not_empty_.notify_all();
         return PushOutcome::pushed;
+    }
+
+    /// Unconditional push for control envelopes (tombstones and end-of-
+    /// stream markers): never blocks and never refuses for capacity. The
+    /// watchdog uses it to fill stream holes left by fenced workers -- a
+    /// capacity-bounded push there can deadlock the whole pipeline: with
+    /// the buffer full of frames *past* a hole, a tombstone for a seq
+    /// other than `next_seq_` would wait forever, and while the watchdog
+    /// waits it can never fence the worker whose tombstone *would* fill
+    /// the hole. Control envelopes carry no payload, and each fence or
+    /// scavenged frame contributes at most one, so the transient overfill
+    /// is small and bounded. Stale and aborted envelopes are still
+    /// dropped (both are consumed silently, exactly like push()).
+    void force_push(Envelope<T> envelope)
+    {
+        std::lock_guard lock{mutex_};
+        if (aborted_ || envelope.seq < next_seq_)
+            return;
+        buffer_.emplace(envelope.seq, std::move(envelope));
+        not_empty_.notify_all();
     }
 
     /// Pops the next in-order envelope. Returns nullopt once the end-of-
@@ -143,6 +172,56 @@ public:
         not_full_.notify_all();
     }
 
+    // -- overload protection (docs/FAULT_MODEL.md, "Overload model") ------
+
+    /// Arms high/low watermark backpressure: congested() latches true once
+    /// the buffer reaches `high` and releases only after it drains to
+    /// `low` or below (hysteresis, so the shedder does not flap around one
+    /// threshold). `high` == 0 disables; `low` is clamped below `high`.
+    /// Call before producers start (pipeline materialization).
+    void set_watermarks(std::size_t high, std::size_t low)
+    {
+        std::lock_guard lock{mutex_};
+        high_watermark_ = high;
+        low_watermark_ = high == 0 ? 0 : std::min(low, high - 1);
+        congested_ = false;
+    }
+
+    /// Current state of the watermark latch (always false when disabled).
+    [[nodiscard]] bool congested() const
+    {
+        std::lock_guard lock{mutex_};
+        if (high_watermark_ == 0)
+            return false;
+        if (!congested_ && buffer_.size() >= high_watermark_)
+            congested_ = true;
+        else if (congested_ && buffer_.size() <= low_watermark_)
+            congested_ = false;
+        return congested_;
+    }
+
+    /// Load shedding: converts up to `max_shed` of the *oldest* buffered
+    /// data envelopes into tombstones in place (payload released, dropped
+    /// flag set) -- the stream stays contiguous and the consumer still
+    /// delivers every sequence number, but the work behind the shed frames
+    /// is discarded so the queue drains at tombstone speed. End-of-stream
+    /// markers and existing tombstones are skipped (idempotent until new
+    /// data arrives). Returns the number of envelopes actually shed; the
+    /// caller owns counting them into metrics -- a shed is never silent.
+    std::size_t shed_oldest(std::size_t max_shed)
+    {
+        std::lock_guard lock{mutex_};
+        std::size_t shed = 0;
+        for (auto it = buffer_.begin(); it != buffer_.end() && shed < max_shed; ++it) {
+            Envelope<T>& envelope = it->second;
+            if (envelope.end || envelope.dropped)
+                continue;
+            envelope = Envelope<T>::tombstone(envelope.seq);
+            ++shed;
+        }
+        return shed;
+    }
+
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
     /// Number of buffered envelopes (for tests/metrics).
@@ -184,6 +263,9 @@ private:
     std::uint64_t next_seq_ = 0;
     bool closed_ = false;
     bool aborted_ = false;
+    std::size_t high_watermark_ = 0; ///< 0 = watermark backpressure disabled
+    std::size_t low_watermark_ = 0;
+    mutable bool congested_ = false; ///< hysteresis latch, updated in congested()
 };
 
 } // namespace amp::rt

@@ -47,6 +47,7 @@
 #include "obs/schema.hpp"
 #include "obs/sink.hpp"
 #include "plan/execution_plan.hpp"
+#include "rt/brownout.hpp"
 #include "rt/core_emulator.hpp"
 #include "rt/fault.hpp"
 #include "rt/ordered_queue.hpp"
@@ -114,6 +115,30 @@ struct PipelineConfig {
     /// spans, queue waits, heartbeats, retries and tombstones into it.
     /// nullptr (or a disabled sink) costs one branch per event.
     obs::Sink* sink = nullptr;
+
+    /// Overload protection (docs/FAULT_MODEL.md, "Overload model"). When
+    /// enabled, the watchdog thread doubles as an overload monitor: it
+    /// samples every inter-stage queue's depth, feeds the worst fraction to
+    /// a BrownoutController, and -- while browned out -- sheds the oldest
+    /// buffered frames of congested non-final queues as tombstones (counted
+    /// in RunResult::frames_shed and amp_frames_shed_total, never silent).
+    /// Enabling overload protection alone (heartbeat_timeout == 0) starts
+    /// the monitor thread without worker fencing.
+    struct OverloadPolicy {
+        bool enabled = false;
+        /// Queue watermarks (envelopes). 0 derives them from the queue
+        /// capacity: high = 3/4 * capacity (at least 1), low = high / 2.
+        std::size_t high_watermark = 0;
+        std::size_t low_watermark = 0;
+        /// Enter/exit thresholds over the worst queue-depth fraction.
+        BrownoutPolicy brownout{};
+        /// Frames shed per congested queue per monitor pass while browned
+        /// out (small: the controller's patience gates sustained shedding).
+        std::size_t shed_batch = 2;
+        /// Monitor sampling period.
+        std::chrono::milliseconds poll{5};
+    };
+    OverloadPolicy overload{};
 };
 
 /// One fenced (permanently lost) worker.
@@ -131,6 +156,11 @@ struct RunResult {
     double elapsed_seconds = 0.0;
     std::uint64_t frames_dropped = 0; ///< tombstones (frames lost to failures)
     std::uint64_t retries = 0;        ///< transient faults absorbed by retry
+    /// Frames deliberately tombstoned by the load shedder -- a subset of
+    /// frames_dropped (every shed frame is also a dropped frame).
+    std::uint64_t frames_shed = 0;
+    /// Times the brownout controller entered brownout during this run.
+    std::uint64_t brownout_entries = 0;
     /// One past the last stream position this run accounted for (delivered
     /// or dropped). Equals the requested frame count on a full run; on a
     /// degraded early drain it is the exact `first_frame` to resume from.
@@ -242,6 +272,8 @@ public:
         st.first_error = nullptr;
         st.losses.clear();
         st.failure_seconds = -1.0;
+        st.frames_shed.store(0);
+        st.brownout = BrownoutController{config_.overload.brownout};
         st.beat_interval = config_.heartbeat_timeout.count() > 0
             ? std::max<std::chrono::milliseconds>(std::chrono::milliseconds{1},
                                                   config_.heartbeat_timeout / 4)
@@ -289,7 +321,7 @@ public:
         swap_lock.unlock();
 
         std::thread watchdog;
-        if (config_.heartbeat_timeout.count() > 0)
+        if (config_.heartbeat_timeout.count() > 0 || config_.overload.enabled)
             watchdog = std::thread{[this, &st] { watchdog_loop(st); }};
 
         // Drain the final queue in order on this thread. Tombstones are
@@ -348,6 +380,8 @@ public:
         result.elapsed_seconds = std::chrono::duration<double>(stop - start).count();
         result.frames_dropped = dropped;
         result.retries = st.retries.load();
+        result.frames_shed = st.frames_shed.load();
+        result.brownout_entries = st.brownout.entries();
         result.stream_end = end_seen ? end_seq : first_frame + delivered + dropped;
         {
             std::lock_guard lock{st.loss_mutex};
@@ -557,6 +591,10 @@ private:
         obs::Counter* retries = nullptr;
         obs::Counter* heartbeats = nullptr;
         obs::Counter* fenced = nullptr;
+        obs::Counter* frames_shed = nullptr;     ///< overload monitor only
+        obs::Counter* brownout_entries = nullptr;
+        obs::Gauge* brownout_level = nullptr;
+        std::vector<obs::Gauge*> queue_depth; ///< per stage, sampled
         std::vector<std::uint32_t> span_names; ///< per stage, interned
         std::uint32_t retry_name = 0;
         std::uint32_t tombstone_name = 0;
@@ -571,6 +609,9 @@ private:
         std::vector<std::atomic<int>> live_in_stage;
         std::atomic<std::uint64_t> next_frame{0};
         std::atomic<std::uint64_t> retries{0};
+        std::atomic<std::uint64_t> frames_shed{0};
+        /// Overload state; touched only by the watchdog/monitor thread.
+        BrownoutController brownout;
         std::atomic<bool> stop_source{false};
         std::atomic<bool> end_pushed{false};
         std::atomic<bool> over{false}; ///< segment finished (drain + park done)
@@ -691,6 +732,17 @@ private:
         for (std::size_t i = 0; i < k; ++i)
             queues_.push_back(std::make_unique<OrderedQueue<T>>(plan_.options().queue_capacity,
                                                                 config_.first_frame));
+        if (config_.overload.enabled) {
+            const std::size_t cap = std::max<std::size_t>(1, plan_.options().queue_capacity);
+            std::size_t high = config_.overload.high_watermark;
+            if (high == 0 || high > cap)
+                high = std::max<std::size_t>(1, cap * 3 / 4);
+            std::size_t low = config_.overload.low_watermark;
+            if (low == 0 || low >= high)
+                low = high / 2;
+            for (auto& queue : queues_)
+                queue->set_watermarks(high, low);
+        }
         seg_.live_in_stage = std::vector<std::atomic<int>>(k);
 
         if (config_.sink != nullptr && config_.sink->enabled()
@@ -916,6 +968,14 @@ private:
                 ob.stage_latency.push_back(&m.histogram(obs::schema::stage_latency(stage_index)));
                 ob.queue_wait.push_back(&m.histogram(obs::schema::queue_wait(stage_index)));
             }
+            if (config_.overload.enabled) {
+                ob.frames_shed = &m.counter(obs::schema::kFramesShed);
+                ob.brownout_entries = &m.counter(obs::schema::kBrownoutEntries);
+                ob.brownout_level = &m.gauge(obs::schema::kBrownoutLevel);
+                for (std::size_t s = 0; s < k; ++s)
+                    ob.queue_depth.push_back(
+                        &m.gauge(obs::schema::queue_depth(static_cast<int>(s))));
+            }
         }
         if (trace_ != nullptr) {
             ob.trace = trace_;
@@ -1063,16 +1123,20 @@ private:
     }
 
     /// Pushes with periodic heartbeats so a worker blocked on a full queue
-    /// stays visibly alive. Returns false when the queue rejected the
-    /// envelope (abort, or the frame was already delivered as a tombstone).
+    /// stays visibly alive. Returns false only when the queue is closed
+    /// (aborted teardown): the worker should stop its segment. A stale
+    /// outcome -- just this frame obsolete, e.g. already delivered as a
+    /// tombstone by the watchdog or the load shedder -- consumes the
+    /// envelope and returns true so the worker moves on to the next frame.
     bool push_with_beat(SegmentState& st, Worker& me, OrderedQueue<T>& out,
                         Envelope<T> envelope)
     {
         for (;;) {
             const auto outcome = out.try_push_for(envelope, st.beat_interval);
-            if (outcome == OrderedQueue<T>::PushOutcome::pushed)
+            if (outcome == OrderedQueue<T>::PushOutcome::pushed
+                || outcome == OrderedQueue<T>::PushOutcome::stale)
                 return true;
-            if (outcome == OrderedQueue<T>::PushOutcome::rejected)
+            if (outcome == OrderedQueue<T>::PushOutcome::closed)
                 return false;
             beat(st, me);
         }
@@ -1200,9 +1264,23 @@ private:
         const auto timeout_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(config_.heartbeat_timeout)
                 .count();
+        const bool fencing = timeout_ns > 0; // overload-only runs never fence
+        const auto poll = fencing ? config_.watchdog_poll
+                                  : std::max(config_.overload.poll, std::chrono::milliseconds{1});
+        auto next_overload_sample = std::chrono::steady_clock::now();
         std::vector<Worker*> stale;
         while (!st.over.load()) {
-            std::this_thread::sleep_for(config_.watchdog_poll);
+            std::this_thread::sleep_for(poll);
+            if (config_.overload.enabled) {
+                const auto now = std::chrono::steady_clock::now();
+                if (now >= next_overload_sample) {
+                    overload_poll(st);
+                    next_overload_sample =
+                        now + std::max(config_.overload.poll, std::chrono::milliseconds{1});
+                }
+            }
+            if (!fencing)
+                continue;
             const std::int64_t now = now_ns();
             // Scan under workers_mutex_ (an in-flight swap may be growing
             // the vector), but fence outside it: the loss handler may
@@ -1222,6 +1300,44 @@ private:
             }
             for (Worker* worker : stale)
                 fence(st, *worker);
+        }
+    }
+
+    /// One overload-monitor pass, on the watchdog thread: sample queue
+    /// depths, feed the worst fraction to the brownout controller, and --
+    /// while browned out -- shed the oldest frames of congested non-final
+    /// queues. The final queue is never shed: its frames are finished work
+    /// the drain is about to deliver. queues_ is sized once at materialize,
+    /// so iterating it here without a lock is safe; each queue's own mutex
+    /// guards its contents.
+    void overload_poll(SegmentState& st)
+    {
+        const double cap =
+            static_cast<double>(std::max<std::size_t>(1, plan_.options().queue_capacity));
+        double worst = 0.0;
+        for (std::size_t s = 0; s < queues_.size(); ++s) {
+            const std::size_t depth = queues_[s]->buffered();
+            worst = std::max(worst, static_cast<double>(depth) / cap);
+            if (!st.obs.queue_depth.empty())
+                st.obs.queue_depth[s]->set(static_cast<double>(depth));
+        }
+        const bool was = st.brownout.browned_out();
+        const bool browned = st.brownout.feed(std::min(1.0, worst));
+        if (st.obs.brownout_level != nullptr)
+            st.obs.brownout_level->set(browned ? 1.0 : 0.0);
+        if (browned && !was && st.obs.brownout_entries != nullptr)
+            st.obs.brownout_entries->inc(0);
+        if (!browned)
+            return;
+        for (std::size_t s = 0; s + 1 < queues_.size(); ++s) {
+            if (!queues_[s]->congested())
+                continue;
+            const std::size_t shed = queues_[s]->shed_oldest(config_.overload.shed_batch);
+            if (shed == 0)
+                continue;
+            st.frames_shed.fetch_add(shed);
+            if (st.obs.frames_shed != nullptr)
+                st.obs.frames_shed->add(0, shed); // a shed is never silent
         }
     }
 
@@ -1313,17 +1429,16 @@ private:
         }
     }
 
-    /// Bounded-retry push used by the watchdog and scavengers (they have no
-    /// heartbeat; they just refuse to block past the segment's end).
-    void watchdog_push(SegmentState& st, OrderedQueue<T>& queue, Envelope<T> envelope)
+    /// Push used by the watchdog and scavengers -- always a tombstone or an
+    /// end-of-stream marker, delivered unconditionally. It must never block:
+    /// the watchdog fences stale workers one at a time, and a fence blocked
+    /// on a full queue would keep the *next* fence (whose tombstone may be
+    /// the very hole the consumer is stuck on) from ever happening -- a
+    /// deadlock we hit in practice when two workers died close together
+    /// with the survivor keeping the output queue at capacity.
+    void watchdog_push(SegmentState&, OrderedQueue<T>& queue, Envelope<T> envelope)
     {
-        for (;;) {
-            if (queue.try_push_for(envelope, std::chrono::milliseconds{5})
-                != OrderedQueue<T>::PushOutcome::timed_out)
-                return;
-            if (st.over.load())
-                return;
-        }
+        queue.force_push(std::move(envelope));
     }
 
     TaskSequence<T>& sequence_;

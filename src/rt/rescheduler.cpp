@@ -37,8 +37,14 @@ core::Solution Rescheduler::recompute()
         bool duplicate = false;
         for (const core::ScheduleRequest& existing : requests)
             duplicate = duplicate || existing.strategy == strategy;
-        if (!duplicate)
-            requests.push_back(core::ScheduleRequest{chain_, resources_, strategy});
+        if (!duplicate) {
+            core::ScheduleRequest request{chain_, resources_, strategy};
+            // Recovery re-solves must not be shed behind bulk traffic: a
+            // saturated admission queue would turn a core loss into a dead
+            // pipeline (docs/FAULT_MODEL.md, "Overload model").
+            request.priority = svc::kRecoveryPriority;
+            requests.push_back(std::move(request));
+        }
     }
 
     svc::SolverService& service =

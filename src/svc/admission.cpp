@@ -1,0 +1,130 @@
+#include "svc/admission.hpp"
+
+#include <algorithm>
+
+namespace amp::svc {
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config)
+    : config_(config)
+{
+}
+
+void AdmissionQueue::compact_locked()
+{
+    std::erase_if(pending_, [](const std::shared_ptr<AdmissionTicket>& ticket) {
+        return ticket->state.load(std::memory_order_acquire)
+            != AdmissionTicket::State::queued;
+    });
+}
+
+AdmissionQueue::Offer AdmissionQueue::offer(const std::shared_ptr<AdmissionTicket>& ticket)
+{
+    if (!enabled())
+        return Offer{Verdict::admitted, nullptr};
+
+    std::lock_guard lock{mutex_};
+    compact_locked();
+    if (pending_.size() < config_.max_pending) {
+        pending_.push_back(ticket);
+        ++stats_.admitted;
+        return Offer{Verdict::admitted, nullptr};
+    }
+
+    switch (config_.policy) {
+    case ShedPolicy::reject_newest:
+        break; // fall through to rejecting the newcomer
+
+    case ShedPolicy::drop_oldest:
+        // The front may lose its CAS to a worker claiming it concurrently;
+        // in that case the slot is free anyway and the loop retries.
+        while (!pending_.empty()) {
+            std::shared_ptr<AdmissionTicket> victim = pending_.front();
+            pending_.pop_front();
+            if (victim->shed()) {
+                pending_.push_back(ticket);
+                ++stats_.admitted;
+                ++stats_.displaced;
+                return Offer{Verdict::displaced, std::move(victim)};
+            }
+        }
+        pending_.push_back(ticket);
+        ++stats_.admitted;
+        return Offer{Verdict::admitted, nullptr};
+
+    case ShedPolicy::priority_aware:
+        for (;;) {
+            // Lowest priority loses; among equals the oldest is kept (so
+            // the victim is the *last* minimum). The newcomer must be
+            // strictly higher than the victim to displace it -- equal
+            // priorities shed the newcomer, keeping admission stable under
+            // a flood of same-priority traffic.
+            auto victim_it = pending_.end();
+            for (auto it = pending_.begin(); it != pending_.end(); ++it)
+                if (victim_it == pending_.end()
+                    || (*it)->priority <= (*victim_it)->priority)
+                    victim_it = it;
+            if (victim_it == pending_.end()) { // queue drained concurrently
+                pending_.push_back(ticket);
+                ++stats_.admitted;
+                return Offer{Verdict::admitted, nullptr};
+            }
+            if ((*victim_it)->priority >= ticket->priority)
+                break; // newcomer not strictly higher: reject it
+            std::shared_ptr<AdmissionTicket> victim = *victim_it;
+            pending_.erase(victim_it);
+            if (!victim->shed())
+                continue; // claimed under us: its slot is free, rescan
+            pending_.push_back(ticket);
+            ++stats_.admitted;
+            ++stats_.displaced;
+            return Offer{Verdict::displaced, std::move(victim)};
+        }
+        break;
+    }
+
+    // Reject the newcomer. If a worker somehow claimed it already the
+    // caller's claim/shed race resolves it; report rejected only when the
+    // shed actually landed.
+    if (ticket->shed()) {
+        ++stats_.rejected;
+        return Offer{Verdict::rejected, ticket};
+    }
+    return Offer{Verdict::admitted, nullptr};
+}
+
+void AdmissionQueue::release(const AdmissionTicket& ticket)
+{
+    if (!enabled())
+        return;
+    std::lock_guard lock{mutex_};
+    std::erase_if(pending_, [&](const std::shared_ptr<AdmissionTicket>& pending) {
+        return pending.get() == &ticket;
+    });
+}
+
+std::size_t AdmissionQueue::depth() const
+{
+    std::lock_guard lock{mutex_};
+    std::size_t queued = 0;
+    for (const auto& ticket : pending_)
+        if (ticket->state.load(std::memory_order_acquire)
+            == AdmissionTicket::State::queued)
+            ++queued;
+    return queued;
+}
+
+double AdmissionQueue::pressure() const
+{
+    if (!enabled())
+        return 0.0;
+    return std::min(1.0,
+                    static_cast<double>(depth()) / static_cast<double>(config_.max_pending));
+}
+
+AdmissionStats AdmissionQueue::stats() const
+{
+    std::lock_guard lock{mutex_};
+    return stats_;
+}
+
+} // namespace amp::svc

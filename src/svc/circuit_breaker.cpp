@@ -1,0 +1,111 @@
+#include "svc/circuit_breaker.hpp"
+
+namespace amp::svc {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config)
+    : config_(config)
+{
+}
+
+void CircuitBreaker::transition_locked(BreakerState to, std::int64_t now_ns)
+{
+    if (state_ == to)
+        return;
+    if (transitions_.size() < kMaxTransitions)
+        transitions_.push_back(BreakerTransition{state_, to, now_ns});
+    if (to == BreakerState::open)
+        ++trips_;
+    state_ = to;
+}
+
+bool CircuitBreaker::allow(std::int64_t now_ns)
+{
+    if (!config_.enabled())
+        return true;
+    std::lock_guard lock{mutex_};
+    switch (state_) {
+    case BreakerState::closed: return true;
+    case BreakerState::open:
+        if (now_ns - opened_at_ns_ < config_.open_ns)
+            return false;
+        transition_locked(BreakerState::half_open, now_ns);
+        probes_in_flight_ = 1; // this caller is the first probe
+        probe_successes_ = 0;
+        return true;
+    case BreakerState::half_open:
+        if (probes_in_flight_ >= config_.half_open_probes)
+            return false;
+        ++probes_in_flight_;
+        return true;
+    }
+    return true;
+}
+
+void CircuitBreaker::on_success(std::int64_t now_ns)
+{
+    if (!config_.enabled())
+        return;
+    std::lock_guard lock{mutex_};
+    switch (state_) {
+    case BreakerState::closed: consecutive_failures_ = 0; return;
+    case BreakerState::open:
+        // A straggler from before the trip; says nothing about recovery.
+        return;
+    case BreakerState::half_open:
+        if (probes_in_flight_ > 0)
+            --probes_in_flight_;
+        if (++probe_successes_ >= config_.close_threshold) {
+            transition_locked(BreakerState::closed, now_ns);
+            consecutive_failures_ = 0;
+            probes_in_flight_ = 0;
+            probe_successes_ = 0;
+        }
+        return;
+    }
+}
+
+void CircuitBreaker::on_failure(std::int64_t now_ns)
+{
+    if (!config_.enabled())
+        return;
+    std::lock_guard lock{mutex_};
+    switch (state_) {
+    case BreakerState::closed:
+        if (++consecutive_failures_ >= config_.failure_threshold) {
+            transition_locked(BreakerState::open, now_ns);
+            opened_at_ns_ = now_ns;
+            consecutive_failures_ = 0;
+        }
+        return;
+    case BreakerState::open:
+        // Stragglers do not extend the cooldown: the half-open probe is the
+        // only evidence that matters once tripped.
+        return;
+    case BreakerState::half_open:
+        transition_locked(BreakerState::open, now_ns);
+        opened_at_ns_ = now_ns;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+        return;
+    }
+}
+
+BreakerState CircuitBreaker::state() const
+{
+    std::lock_guard lock{mutex_};
+    return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const
+{
+    std::lock_guard lock{mutex_};
+    return trips_;
+}
+
+std::vector<BreakerTransition> CircuitBreaker::transitions() const
+{
+    std::lock_guard lock{mutex_};
+    return transitions_;
+}
+
+} // namespace amp::svc

@@ -1,0 +1,100 @@
+#pragma once
+// Circuit breaker for the solver service (docs/FAULT_MODEL.md, "Overload
+// model").
+//
+// State machine: closed -> open after `failure_threshold` consecutive
+// solver failures (exceptions or solves slower than the service's
+// slow-solve budget); open -> half_open after `open_ns` of cooldown, at
+// which point up to `half_open_probes` requests are let through as probes;
+// `close_threshold` consecutive probe successes close the breaker, any
+// probe failure re-opens it (restarting the cooldown). While open, requests
+// fail fast with core::ScheduleError::rejected -- or are served a stale
+// cached plan when brownout serving is enabled.
+//
+// Time is injected: every call takes an explicit steady-clock-style
+// nanosecond timestamp, so the exact same breaker runs against virtual
+// time inside dsim::simulate_admission -- the runtime and the simulator
+// cannot drift apart in semantics.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace amp::svc {
+
+enum class BreakerState : std::uint8_t { closed = 0, open = 1, half_open = 2 };
+
+[[nodiscard]] constexpr const char* to_string(BreakerState state) noexcept
+{
+    switch (state) {
+    case BreakerState::closed: return "closed";
+    case BreakerState::open: return "open";
+    case BreakerState::half_open: return "half_open";
+    }
+    return "?";
+}
+
+struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker; <= 0
+    /// disables the breaker entirely (allow() is always true).
+    int failure_threshold = 5;
+    /// Cooldown after tripping before half-open probes are admitted.
+    std::int64_t open_ns = 100'000'000; // 100 ms
+    /// Concurrent probe requests admitted while half-open.
+    int half_open_probes = 1;
+    /// Consecutive probe successes that close the breaker again.
+    int close_threshold = 1;
+
+    [[nodiscard]] constexpr bool enabled() const noexcept { return failure_threshold > 0; }
+};
+
+/// One recorded state change (for tests, the soak bench and dsim's
+/// trace-equality pin).
+struct BreakerTransition {
+    BreakerState from = BreakerState::closed;
+    BreakerState to = BreakerState::closed;
+    std::int64_t at_ns = 0;
+
+    [[nodiscard]] constexpr bool operator==(const BreakerTransition&) const noexcept = default;
+};
+
+/// Thread-safe; deterministic given a serial sequence of calls with their
+/// timestamps (no internal clock).
+class CircuitBreaker {
+public:
+    explicit CircuitBreaker(BreakerConfig config = {});
+
+    /// May this request proceed at `now_ns`? Transitions open -> half_open
+    /// once the cooldown has elapsed (the caller becomes the first probe).
+    [[nodiscard]] bool allow(std::int64_t now_ns);
+
+    /// Reports the outcome of a previously-allowed request.
+    void on_success(std::int64_t now_ns);
+    void on_failure(std::int64_t now_ns);
+
+    [[nodiscard]] BreakerState state() const;
+    /// Times the breaker transitioned closed/half_open -> open.
+    [[nodiscard]] std::uint64_t trips() const;
+    /// Recorded transitions, oldest first (capped at kMaxTransitions;
+    /// `trips()` keeps counting past the cap).
+    [[nodiscard]] std::vector<BreakerTransition> transitions() const;
+
+    [[nodiscard]] const BreakerConfig& config() const noexcept { return config_; }
+
+    static constexpr std::size_t kMaxTransitions = 4096;
+
+private:
+    void transition_locked(BreakerState to, std::int64_t now_ns);
+
+    BreakerConfig config_;
+    mutable std::mutex mutex_;
+    BreakerState state_ = BreakerState::closed;
+    int consecutive_failures_ = 0;
+    int probes_in_flight_ = 0;
+    int probe_successes_ = 0;
+    std::int64_t opened_at_ns_ = 0;
+    std::uint64_t trips_ = 0;
+    std::vector<BreakerTransition> transitions_;
+};
+
+} // namespace amp::svc

@@ -1,0 +1,256 @@
+// dsim::simulate_admission: scripted scenarios with hand-computed
+// timelines, and the determinism pin the whole overload model rests on --
+// the simulator drives the *same* svc::AdmissionQueue and
+// svc::CircuitBreaker the runtime uses, so a reproducible decision trace
+// here pins the shared semantics (docs/FAULT_MODEL.md, "Overload model").
+
+#include "dsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace amp;
+using dsim::AdmissionArrival;
+using dsim::AdmissionDecision;
+using dsim::AdmissionOutcome;
+using dsim::AdmissionSimConfig;
+using dsim::simulate_admission;
+
+TEST(AdmissionSim, UnloadedServerServesEveryArrival)
+{
+    std::vector<AdmissionArrival> arrivals;
+    for (int i = 0; i < 5; ++i)
+        arrivals.push_back(AdmissionArrival{i * 100, 10});
+    const auto result = simulate_admission(arrivals, {});
+    ASSERT_EQ(result.decisions.size(), arrivals.size());
+    EXPECT_EQ(result.served, 5u);
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        EXPECT_EQ(result.decisions[i].request, i);
+        EXPECT_EQ(result.decisions[i].outcome, AdmissionOutcome::served);
+        EXPECT_EQ(result.decisions[i].at_us, static_cast<std::int64_t>(i) * 100 + 10);
+    }
+}
+
+TEST(AdmissionSim, DropOldestDisplacesTheQueuedVictim)
+{
+    AdmissionSimConfig config;
+    config.admission = svc::AdmissionConfig{1, svc::ShedPolicy::drop_oldest};
+    // A occupies the server until t=10; B queues; C displaces B at t=2.
+    const std::vector<AdmissionArrival> arrivals = {
+        {0, 10},
+        {1, 10},
+        {2, 10},
+    };
+    const auto result = simulate_admission(arrivals, config);
+    const std::vector<AdmissionDecision> expected = {
+        {0, AdmissionOutcome::served, 10},
+        {1, AdmissionOutcome::displaced, 2},
+        {2, AdmissionOutcome::served, 20},
+    };
+    EXPECT_EQ(result.decisions, expected);
+    EXPECT_EQ(result.admission_stats.displaced, 1u);
+}
+
+TEST(AdmissionSim, PriorityAwareKeepsHighPriorityAndRejectsTies)
+{
+    AdmissionSimConfig config;
+    config.admission = svc::AdmissionConfig{1, svc::ShedPolicy::priority_aware};
+    const std::vector<AdmissionArrival> arrivals = {
+        {0, 10, 0, 0},  // A: runs immediately
+        {1, 10, 0, 0},  // B: queues at priority 0
+        {2, 10, 0, 5},  // C: displaces B (strictly higher)
+        {3, 10, 0, 5},  // D: ties with C -> the newcomer loses
+    };
+    const auto result = simulate_admission(arrivals, config);
+    // Decision order is call order, not time order: A's completion (t=10)
+    // is discovered while processing B's arrival, so it is recorded first.
+    const std::vector<AdmissionDecision> expected = {
+        {0, AdmissionOutcome::served, 10},
+        {1, AdmissionOutcome::displaced, 2},
+        {3, AdmissionOutcome::rejected_queue, 3},
+        {2, AdmissionOutcome::served, 20},
+    };
+    EXPECT_EQ(result.decisions, expected);
+}
+
+TEST(AdmissionSim, DeadlineIsCheckedWhenTheServerPicksTheJobUp)
+{
+    const std::vector<AdmissionArrival> arrivals = {
+        {0, 10},            // busy until t=10
+        {1, 10, 5},         // deadline t=5 passes while queued
+        {2, 10, 50},        // deadline t=50 is comfortably met
+    };
+    const auto result = simulate_admission(arrivals, {});
+    const std::vector<AdmissionDecision> expected = {
+        {0, AdmissionOutcome::served, 10},
+        {1, AdmissionOutcome::deadline_exceeded, 10},
+        {2, AdmissionOutcome::served, 20},
+    };
+    EXPECT_EQ(result.decisions, expected);
+    EXPECT_EQ(result.deadline_exceeded, 1u);
+}
+
+TEST(AdmissionSim, BreakerTripsCoolsDownAndRecoversThroughAProbe)
+{
+    AdmissionSimConfig config;
+    config.breaker = svc::BreakerConfig{1, 5'000, 1, 1}; // trips on 1 failure, 5us cooldown
+    const std::vector<AdmissionArrival> arrivals = {
+        {0, 2, 0, 0, true},  // fails at t=2: breaker opens
+        {3, 2},              // picked up at t=3, inside the cooldown
+        {10, 2},             // t=10: cooldown over, runs as the half-open probe
+        {13, 2},             // breaker closed again
+    };
+    const auto result = simulate_admission(arrivals, config);
+    const std::vector<AdmissionDecision> expected = {
+        {0, AdmissionOutcome::failed, 2},
+        {1, AdmissionOutcome::rejected_breaker, 3},
+        {2, AdmissionOutcome::served, 12},
+        {3, AdmissionOutcome::served, 15},
+    };
+    EXPECT_EQ(result.decisions, expected);
+    EXPECT_EQ(result.breaker_trips, 1u);
+    ASSERT_EQ(result.breaker_transitions.size(), 3u);
+    EXPECT_EQ(result.breaker_transitions[0],
+              (svc::BreakerTransition{svc::BreakerState::closed, svc::BreakerState::open, 2'000}));
+    EXPECT_EQ(result.breaker_transitions[1],
+              (svc::BreakerTransition{svc::BreakerState::open, svc::BreakerState::half_open,
+                                      10'000}));
+    EXPECT_EQ(result.breaker_transitions[2],
+              (svc::BreakerTransition{svc::BreakerState::half_open, svc::BreakerState::closed,
+                                      12'000}));
+}
+
+TEST(AdmissionSim, MultipleServersDrainInParallel)
+{
+    AdmissionSimConfig config;
+    config.servers = 2;
+    const std::vector<AdmissionArrival> arrivals = {
+        {0, 10},
+        {0, 10},
+        {0, 10}, // waits for the first server to free up
+    };
+    const auto result = simulate_admission(arrivals, config);
+    ASSERT_EQ(result.decisions.size(), 3u);
+    EXPECT_EQ(result.decisions[0].at_us, 10);
+    EXPECT_EQ(result.decisions[1].at_us, 10);
+    EXPECT_EQ(result.decisions[2].at_us, 20);
+    EXPECT_EQ(result.served, 3u);
+}
+
+/// Deterministic pseudo-burst workload covering every decision path:
+/// bursts saturate the queue (rejections/displacements), some requests
+/// fail (breaker trips and recoveries), some carry deadlines.
+std::vector<AdmissionArrival> chaos_arrivals(int count)
+{
+    std::vector<AdmissionArrival> arrivals;
+    arrivals.reserve(static_cast<std::size_t>(count));
+    std::int64_t at = 0;
+    for (int i = 0; i < count; ++i) {
+        // Bursty arrivals: 8-packet bursts, then a short gap. The offered
+        // load clearly exceeds two servers' capacity, so the admission
+        // queue saturates and sheds.
+        at += (i % 8 == 0) ? 20 : 1;
+        AdmissionArrival arrival;
+        arrival.at_us = at;
+        arrival.service_us = 10 + (i * 7) % 13;
+        arrival.priority = static_cast<std::int8_t>(i % 3);
+        if (i % 5 == 2)
+            arrival.deadline_us = at + 12;
+        // Failures come in bursts of four so consecutive executed failures
+        // (what trips the breaker) actually occur.
+        arrival.fails = (i % 17) >= 5 && (i % 17) < 9;
+        arrivals.push_back(arrival);
+    }
+    return arrivals;
+}
+
+TEST(AdmissionSim, EveryArrivalGetsExactlyOneDecision)
+{
+    AdmissionSimConfig config;
+    config.admission = svc::AdmissionConfig{3, svc::ShedPolicy::priority_aware};
+    config.breaker = svc::BreakerConfig{2, 40'000, 1, 1};
+    config.servers = 2;
+    const auto arrivals = chaos_arrivals(300);
+    const auto result = simulate_admission(arrivals, config);
+
+    ASSERT_EQ(result.decisions.size(), arrivals.size());
+    std::vector<int> seen(arrivals.size(), 0);
+    for (const auto& decision : result.decisions)
+        ++seen.at(decision.request);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "arrival " << i;
+    EXPECT_EQ(result.served + result.failed + result.rejected_queue + result.displaced
+                  + result.rejected_breaker + result.deadline_exceeded,
+              arrivals.size());
+    EXPECT_EQ(result.admission_stats.admitted + result.admission_stats.rejected,
+              arrivals.size())
+        << "every arrival passes the admission door exactly once";
+    // The scenario is built to exercise every protection mechanism; if one
+    // of these is zero the scenario silently stopped covering that path.
+    EXPECT_GT(result.rejected_queue + result.displaced, 0u);
+    EXPECT_GT(result.breaker_trips, 0u);
+    EXPECT_GT(result.deadline_exceeded, 0u);
+    EXPECT_GT(result.served, 0u);
+}
+
+// The pin the tentpole acceptance asks for: identical inputs produce
+// identical decision traces and breaker transition logs, run after run.
+TEST(AdmissionSim, TraceEqualityAcrossRepeatedRuns)
+{
+    AdmissionSimConfig config;
+    config.admission = svc::AdmissionConfig{3, svc::ShedPolicy::priority_aware};
+    config.breaker = svc::BreakerConfig{2, 40'000, 1, 2};
+    config.servers = 3;
+    const auto arrivals = chaos_arrivals(500);
+
+    const auto first = simulate_admission(arrivals, config);
+    const auto second = simulate_admission(arrivals, config);
+    EXPECT_EQ(first.decisions, second.decisions);
+    EXPECT_EQ(first.breaker_transitions, second.breaker_transitions);
+    EXPECT_EQ(first.breaker_trips, second.breaker_trips);
+    EXPECT_EQ(first.admission_stats.admitted, second.admission_stats.admitted);
+    EXPECT_EQ(first.admission_stats.rejected, second.admission_stats.rejected);
+    EXPECT_EQ(first.admission_stats.displaced, second.admission_stats.displaced);
+}
+
+// Cross-check: replaying the sim's own breaker transition log against a
+// fresh CircuitBreaker fed the same outcome sequence must reproduce the
+// exact same log -- the sim adds no hidden breaker state of its own.
+TEST(AdmissionSim, BreakerLogReplaysAgainstAFreshBreaker)
+{
+    AdmissionSimConfig config;
+    config.breaker = svc::BreakerConfig{1, 5'000, 1, 1};
+    const std::vector<AdmissionArrival> arrivals = {
+        {0, 2, 0, 0, true}, {3, 2}, {10, 2, 0, 0, true}, {20, 2}, {23, 2},
+    };
+    const auto result = simulate_admission(arrivals, config);
+
+    svc::CircuitBreaker replay{config.breaker};
+    for (const auto& decision : result.decisions) {
+        const std::int64_t now = decision.at_us * 1000;
+        switch (decision.outcome) {
+        case AdmissionOutcome::served:
+            ASSERT_TRUE(replay.allow((decision.at_us - arrivals[decision.request].service_us)
+                                     * 1000));
+            replay.on_success(now);
+            break;
+        case AdmissionOutcome::failed:
+            ASSERT_TRUE(replay.allow((decision.at_us - arrivals[decision.request].service_us)
+                                     * 1000));
+            replay.on_failure(now);
+            break;
+        case AdmissionOutcome::rejected_breaker:
+            EXPECT_FALSE(replay.allow(now));
+            break;
+        default:
+            break;
+        }
+    }
+    EXPECT_EQ(replay.transitions(), result.breaker_transitions);
+    EXPECT_EQ(replay.trips(), result.breaker_trips);
+}
+
+} // namespace

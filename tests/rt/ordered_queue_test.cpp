@@ -202,16 +202,57 @@ TEST(OrderedQueue, TryPushForTimesOutOnFullBufferAndKeepsEnvelope)
               OrderedQueue<int>::PushOutcome::pushed);
 }
 
-TEST(OrderedQueue, StalePushIsRejected)
+TEST(OrderedQueue, StalePushIsDroppedAsStale)
 {
     // A fenced worker waking up after the watchdog already tombstoned (and
-    // the consumer already skipped) its frame must not wedge the buffer.
+    // the consumer already skipped) its frame must not wedge the buffer --
+    // and must be told the frame (not the stream) is dead, so it moves on
+    // to its next frame instead of parking.
     OrderedQueue<int> queue{4};
     queue.push(Envelope<int>::data(0, 0));
     ASSERT_TRUE(queue.pop().has_value());
     auto stale = Envelope<int>::data(0, 99);
     EXPECT_EQ(queue.try_push_for(stale, std::chrono::milliseconds{5}),
-              OrderedQueue<int>::PushOutcome::rejected);
+              OrderedQueue<int>::PushOutcome::stale);
+    EXPECT_EQ(queue.buffered(), 0u);
+}
+
+TEST(OrderedQueue, ForcePushBypassesCapacityToFillHoles)
+{
+    // Regression: the watchdog's tombstone for a fenced worker must land
+    // even when the surviving workers keep the buffer at capacity with
+    // frames *past* the hole. A capacity-bounded push there deadlocks the
+    // watchdog: while it retries one tombstone (seq != next_seq), it never
+    // fences the other dead worker whose tombstone would fill the hole the
+    // consumer is stuck on.
+    OrderedQueue<int> queue{4};
+    for (std::uint64_t seq = 2; seq < 6; ++seq)
+        queue.push(Envelope<int>::data(seq, static_cast<int>(seq))); // full; holes at 0, 1
+    auto blocked = Envelope<int>::data(6, 6);
+    ASSERT_EQ(queue.try_push_for(blocked, std::chrono::milliseconds{5}),
+              OrderedQueue<int>::PushOutcome::timed_out);
+
+    queue.force_push(Envelope<int>::tombstone(1)); // the "first fence", not the hole
+    EXPECT_EQ(queue.buffered(), 5u) << "control envelopes overfill instead of blocking";
+    queue.force_push(Envelope<int>::tombstone(0)); // the hole-filling fence
+    for (std::uint64_t expected = 0; expected < 6; ++expected) {
+        const auto env = queue.pop();
+        ASSERT_TRUE(env.has_value());
+        EXPECT_EQ(env->seq, expected);
+        EXPECT_EQ(env->dropped, expected < 2);
+    }
+    EXPECT_EQ(queue.buffered(), 0u);
+}
+
+TEST(OrderedQueue, ForcePushDropsStaleAndAbortedEnvelopes)
+{
+    OrderedQueue<int> queue{4};
+    queue.push(Envelope<int>::data(0, 0));
+    ASSERT_TRUE(queue.pop().has_value());
+    queue.force_push(Envelope<int>::tombstone(0)); // stale: already delivered
+    EXPECT_EQ(queue.buffered(), 0u);
+    queue.abort();
+    queue.force_push(Envelope<int>::tombstone(5));
     EXPECT_EQ(queue.buffered(), 0u);
 }
 

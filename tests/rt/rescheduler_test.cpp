@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -413,6 +415,89 @@ TEST(RunWithRecovery, MultiCoreLossSolvesExactlyOneBatch)
               2u)
         << "one solver batch for the initial solution and ONE for the "
            "double loss -- not one per fenced core";
+}
+
+// Overload model (docs/FAULT_MODEL.md): a watchdog core loss while the
+// service's admission queue is saturated with bulk traffic must still
+// re-solve exactly once and recover -- recovery re-solves carry
+// svc::kRecoveryPriority, so the priority_aware shedder displaces junk for
+// them instead of shedding them behind it.
+TEST(RunWithRecovery, CoreLossUnderAdmissionSaturationStillSolvesExactlyOnce)
+{
+    constexpr std::uint64_t kFrames = 120;
+    std::vector<TaskDesc> tasks;
+    tasks.push_back(TaskDesc{"t1", 100.0, 120.0, false});
+    const double littles[] = {75.0, 75.0, 75.0, 76.0};
+    for (int i = 2; i <= 5; ++i)
+        tasks.push_back(TaskDesc{"t" + std::to_string(i), 60.0, littles[i - 2], true});
+    const TaskChain chain{std::move(tasks)};
+
+    amp::svc::ServiceConfig service_config;
+    service_config.admission =
+        amp::svc::AdmissionConfig{4, amp::svc::ShedPolicy::priority_aware};
+    amp::svc::SolverService service{service_config};
+    ReschedulePolicy policy;
+    policy.service = &service;
+    Rescheduler rescheduler{chain, Resources{1, 3}, policy};
+
+    // Junk tenant: floods the shared service with low-priority batches of a
+    // strategy outside the rescheduler's candidate set (twocatac), so the
+    // herad counters below stay attributable to recovery alone. Distinct
+    // chains defeat the cache -- every junk request is real solver work.
+    std::atomic<bool> quit{false};
+    std::thread junk{[&] {
+        std::uint64_t round = 0;
+        while (!quit.load(std::memory_order_acquire)) {
+            std::vector<amp::core::ScheduleRequest> requests;
+            for (int i = 0; i < 8; ++i) {
+                const double jitter = static_cast<double>(round * 8 + i % 8) * 0.125;
+                std::vector<TaskDesc> junk_tasks;
+                for (int t = 1; t <= 6; ++t)
+                    junk_tasks.push_back(TaskDesc{"j" + std::to_string(t),
+                                                  10.0 + jitter + t, 20.0 + jitter + t,
+                                                  t != 1});
+                requests.push_back(amp::core::ScheduleRequest{
+                    TaskChain{std::move(junk_tasks)}, Resources{2, 2},
+                    amp::core::Strategy::twocatac});
+            }
+            (void)service.solve_batch(requests);
+            ++round;
+        }
+    }};
+
+    auto seq = make_runtime_sequence(5);
+    FaultInjector injector;
+    injector.add(FaultSpec{FaultKind::kill, 20, 0, 1, 1, milliseconds{0}});
+
+    PipelineConfig config;
+    config.faults = &injector;
+    config.heartbeat_timeout = milliseconds{50};
+
+    const RecoveryReport report =
+        run_with_recovery<Frame>(seq, rescheduler, kFrames, config, {});
+    quit.store(true, std::memory_order_release);
+    junk.join();
+
+    EXPECT_TRUE(report.completed);
+    ASSERT_EQ(report.total.losses.size(), 1u);
+    EXPECT_EQ(rescheduler.resources(), (Resources{1, 2}));
+    expect_feasible(rescheduler.solution(), chain, Resources{1, 2});
+    EXPECT_EQ(report.total.stream_end, kFrames) << "every frame delivered or tombstoned";
+
+    const auto snapshot = service.metrics().snapshot();
+    const auto count = [&](const std::string& name) -> std::uint64_t {
+        const auto it = snapshot.counters.find(name);
+        return it == snapshot.counters.end() ? 0u : it->second;
+    };
+    EXPECT_EQ(count("amp_svc_cache_misses{strategy=\"herad\"}")
+                  + count("amp_svc_cache_hits{strategy=\"herad\"}"),
+              2u)
+        << "initial solve + exactly one recovery re-solve, with the queue "
+           "saturated by the junk tenant";
+    const amp::svc::AdmissionStats stats = service.admission_stats();
+    EXPECT_GT(stats.rejected + stats.displaced, 0u)
+        << "the admission queue must actually have been saturated, or this "
+           "test proves nothing";
 }
 
 } // namespace

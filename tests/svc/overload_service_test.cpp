@@ -1,0 +1,296 @@
+// Service-level overload protection: deadlines, circuit breaking, brownout
+// stale serving with background refinement, admission shedding under load,
+// and shutdown hardening (docs/FAULT_MODEL.md, "Overload model").
+//
+// Everything here is either fully deterministic (breaker paths, deadlines)
+// or asserts timing-independent invariants (shedding accounting, shutdown
+// liveness) -- no test depends on how fast the machine solves.
+
+#include "svc/solver_service.hpp"
+
+#include "obs/schema.hpp"
+#include "sim/generator.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+using amp::testing::make_chain;
+
+core::TaskChain small_chain()
+{
+    return make_chain({{10, 20, true}, {30, 60, true}, {5, 9, false}});
+}
+
+std::vector<core::TaskChain> random_chains(int count, std::uint64_t seed)
+{
+    Rng rng{seed};
+    sim::GeneratorConfig config;
+    config.num_tasks = 60; // big enough that a solve is not instantaneous
+    std::vector<core::TaskChain> chains;
+    chains.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        chains.push_back(sim::generate_chain(config, rng));
+    return chains;
+}
+
+TEST(OverloadService, ExpiredDeadlineIsAnsweredNotSolved)
+{
+    svc::SolverService service{{.workers = 1}};
+    core::ScheduleRequest request{small_chain(), {2, 2}, core::Strategy::herad};
+    request.deadline_ns = 1; // steady-clock epoch + 1ns: long gone
+    const core::ScheduleResult result = service.solve(request);
+    EXPECT_EQ(result.error, core::ScheduleError::deadline_exceeded);
+    EXPECT_TRUE(result.solution.empty());
+    EXPECT_EQ(service.metrics().counter(obs::schema::kSvcDeadlineExceeded).value(), 1u)
+        << "a deadline miss is never silent";
+    EXPECT_EQ(service.cache_stats().misses, 0u) << "the solver must not have run";
+}
+
+TEST(OverloadService, FutureDeadlineSolvesNormally)
+{
+    svc::SolverService service{{.workers = 1}};
+    core::ScheduleRequest request{small_chain(), {2, 2}, core::Strategy::herad};
+    request.deadline_ns = std::numeric_limits<std::int64_t>::max();
+    const core::ScheduleResult result = service.solve(request);
+    EXPECT_TRUE(result.ok());
+    EXPECT_FALSE(result.degraded);
+}
+
+// With slow_solve_ns = 1 every real solve counts as a breaker failure, so
+// the breaker dynamics are deterministic regardless of machine speed.
+TEST(OverloadService, BreakerTripsOnSlowSolvesAndFailsFast)
+{
+    svc::SolverService service{{
+        .workers = 1,
+        .breaker = svc::BreakerConfig{1, std::numeric_limits<std::int64_t>::max() / 2, 1, 1},
+        .slow_solve_ns = 1,
+    }};
+    const auto chain = small_chain();
+    const core::ScheduleRequest first{chain, {1, 1}, core::Strategy::herad};
+    EXPECT_TRUE(service.solve(first).ok()) << "a slow solve still returns its result";
+    EXPECT_EQ(service.breaker().state(), svc::BreakerState::open);
+    EXPECT_EQ(service.breaker().trips(), 1u);
+    EXPECT_TRUE(service.under_pressure());
+
+    // Open breaker, no brownout: fail fast with rejected.
+    const core::ScheduleRequest second{chain, {4, 4}, core::Strategy::herad};
+    const core::ScheduleResult rejected = service.solve(second);
+    EXPECT_EQ(rejected.error, core::ScheduleError::rejected);
+    EXPECT_GE(service.metrics().counter(obs::schema::kSvcBreakerRejected).value(), 1u);
+    EXPECT_EQ(service.metrics().counter(obs::schema::kSvcBreakerTrips).value(), 1u);
+
+    // An exact cache hit bypasses the breaker entirely: hits are free.
+    const core::ScheduleResult hit = service.solve(first);
+    EXPECT_TRUE(hit.ok());
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_FALSE(hit.degraded);
+}
+
+TEST(OverloadService, CacheHitsNeverTripTheBreaker)
+{
+    svc::SolverService service{{
+        .workers = 1,
+        .breaker = svc::BreakerConfig{2, 1'000'000, 1, 1},
+        .slow_solve_ns = 1,
+    }};
+    const core::ScheduleRequest request{small_chain(), {2, 2}, core::Strategy::herad};
+    ASSERT_TRUE(service.solve(request).ok()); // 1 slow solve: one failure
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(service.solve(request).cache_hit);
+    EXPECT_EQ(service.breaker().state(), svc::BreakerState::closed)
+        << "hits must not count as slow solves";
+}
+
+TEST(OverloadService, BrownoutServesStaleCompatiblePlanWhenBreakerOpen)
+{
+    std::mutex mutex;
+    std::condition_variable refined_cv;
+    std::vector<svc::RefineOutcome> refined;
+    svc::SolverService service{{
+        .workers = 1,
+        // Effectively-infinite cooldown: the breaker stays open for the
+        // whole test. Refinements deliberately bypass it (they are the
+        // probe traffic), so the stale entry still gets refreshed.
+        .breaker = svc::BreakerConfig{1, std::numeric_limits<std::int64_t>::max() / 2, 1, 1},
+        .slow_solve_ns = 1,
+        .brownout = true,
+        .on_refined =
+            [&](const svc::RefineOutcome& outcome) {
+                std::lock_guard lock{mutex};
+                refined.push_back(outcome);
+                refined_cv.notify_all();
+            },
+    }};
+    const auto chain = small_chain();
+
+    // Warm the cache with a *planned* solve on a small resource vector;
+    // this slow solve also trips the breaker.
+    const core::ScheduleRequest small{chain, {1, 1}, core::Strategy::herad};
+    const svc::PlannedSchedule warm = service.solve_planned(small);
+    ASSERT_TRUE(warm.ok());
+    ASSERT_EQ(service.breaker().state(), svc::BreakerState::open);
+
+    // Same chain, bigger budget: the cached (1,1) schedule fits inside
+    // (4,4), so brownout serves it degraded instead of rejecting.
+    const core::ScheduleRequest big{chain, {4, 4}, core::Strategy::herad};
+    const svc::PlannedSchedule stale = service.solve_planned(big);
+    ASSERT_TRUE(stale.ok());
+    EXPECT_TRUE(stale.result.degraded);
+    EXPECT_EQ(stale.result.solution, warm.result.solution)
+        << "the degraded answer is the stale cached schedule";
+    EXPECT_EQ(stale.plan, warm.plan) << "and the very plan object that was cached";
+    EXPECT_GE(service.metrics().counter(obs::schema::kSvcDegradedServes).value(), 1u);
+
+    // The background refinement re-solves the exact request and reports a
+    // delta against the plan that was served.
+    {
+        std::unique_lock lock{mutex};
+        ASSERT_TRUE(refined_cv.wait_for(lock, std::chrono::seconds{30},
+                                        [&] { return !refined.empty(); }))
+            << "refinement never completed";
+        const svc::RefineOutcome& outcome = refined.front();
+        EXPECT_EQ(outcome.request.resources.big, 4);
+        EXPECT_EQ(outcome.stale, warm.plan);
+        ASSERT_TRUE(outcome.fresh.ok());
+        EXPECT_FALSE(outcome.fresh.result.degraded);
+        EXPECT_EQ(outcome.fresh.result.solution,
+                  core::schedule(core::ScheduleRequest{chain, {4, 4}, core::Strategy::herad})
+                      .solution);
+    }
+    EXPECT_GE(service.metrics().counter(obs::schema::kSvcRefinements).value(), 1u);
+
+    // The refinement memoized the fresh solve: the same request is now an
+    // exact cache hit, not a degraded serve, even though the breaker is
+    // still open.
+    const svc::PlannedSchedule after = service.solve_planned(big);
+    EXPECT_TRUE(after.result.cache_hit);
+    EXPECT_FALSE(after.result.degraded);
+}
+
+TEST(OverloadService, BrownoutNeverServesAnIncompatibleBudget)
+{
+    svc::SolverService service{{
+        .workers = 1,
+        .breaker = svc::BreakerConfig{1, std::numeric_limits<std::int64_t>::max() / 2, 1, 1},
+        .slow_solve_ns = 1,
+        .brownout = true,
+    }};
+    const auto chain = small_chain();
+    // Cached entry needs (3, 3); a (1, 1) request cannot run it.
+    ASSERT_TRUE(service.solve(core::ScheduleRequest{chain, {3, 3}, core::Strategy::herad}).ok());
+    ASSERT_EQ(service.breaker().state(), svc::BreakerState::open);
+    const core::ScheduleResult result =
+        service.solve(core::ScheduleRequest{chain, {1, 1}, core::Strategy::herad});
+    EXPECT_EQ(result.error, core::ScheduleError::rejected)
+        << "a stale schedule that oversubscribes the budget must not be served";
+    EXPECT_FALSE(result.degraded);
+}
+
+// Timing-independent shedding accounting: whatever the interleaving, every
+// shed is answered with `rejected` and counted -- results, admission stats
+// and obs counters must agree exactly (zero silent drops).
+TEST(OverloadService, SheddingIsNeverSilentUnderBatchOverload)
+{
+    svc::SolverService service{{
+        .workers = 1,
+        .cache_capacity = 0, // every job is a real solve
+        .admission = svc::AdmissionConfig{2, svc::ShedPolicy::drop_oldest},
+    }};
+    const auto chains = random_chains(24, 0xfeed);
+    std::vector<core::ScheduleRequest> requests;
+    requests.reserve(chains.size());
+    for (const auto& chain : chains)
+        requests.push_back(core::ScheduleRequest{chain, {3, 3}, core::Strategy::herad});
+
+    const std::vector<core::ScheduleResult> results = service.solve_batch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+
+    std::uint64_t rejected_results = 0;
+    for (const core::ScheduleResult& result : results) {
+        EXPECT_TRUE(result.ok() || result.error == core::ScheduleError::rejected)
+            << core::to_string(result.error);
+        rejected_results += result.error == core::ScheduleError::rejected ? 1u : 0u;
+    }
+    const svc::AdmissionStats stats = service.admission_stats();
+    EXPECT_EQ(stats.admitted + stats.rejected, requests.size())
+        << "every request passes the admission door exactly once";
+    EXPECT_EQ(rejected_results, stats.rejected + stats.displaced)
+        << "every shed ticket must surface as a rejected result";
+    EXPECT_EQ(service.metrics().counter(obs::schema::kSvcAdmissionRejected).value(),
+              stats.rejected);
+    EXPECT_EQ(service.metrics().counter(obs::schema::kSvcAdmissionDisplaced).value(),
+              stats.displaced);
+    EXPECT_EQ(service.admission_depth(), 0u) << "the batch drained completely";
+}
+
+TEST(OverloadService, StoppedServiceRejectsInsteadOfHanging)
+{
+    svc::SolverService service{{.workers = 2}};
+    service.stop();
+    EXPECT_TRUE(service.stopped());
+    const core::ScheduleRequest request{small_chain(), {2, 2}, core::Strategy::herad};
+    EXPECT_EQ(service.solve(request).error, core::ScheduleError::rejected);
+    EXPECT_EQ(service.solve_planned(request).result.error, core::ScheduleError::rejected);
+    const auto batch = service.solve_batch({request, request});
+    ASSERT_EQ(batch.size(), 2u);
+    for (const auto& result : batch)
+        EXPECT_EQ(result.error, core::ScheduleError::rejected);
+    service.stop(); // idempotent
+}
+
+// Satellite pin: submits racing stop() must resolve cleanly -- every result
+// is ok or rejected and no solve_batch caller is left on its condvar. Run
+// under TSan in CI (tsan-rt builds this target) to pin the data-race
+// freedom of the shutdown path, not just its liveness.
+TEST(OverloadService, ShutdownChurnNeverHangsOrDropsResults)
+{
+    const auto chains = random_chains(4, 0xdead);
+    for (int round = 0; round < 12; ++round) {
+        svc::SolverService service{{
+            .workers = 2,
+            .cache_capacity = 0,
+            .queue_capacity = 4,
+            .admission = svc::AdmissionConfig{8, svc::ShedPolicy::priority_aware},
+        }};
+        std::atomic<bool> quit{false};
+        std::atomic<std::uint64_t> bad{0};
+        std::vector<std::thread> submitters;
+        for (int t = 0; t < 4; ++t) {
+            submitters.emplace_back([&, t] {
+                std::vector<core::ScheduleRequest> requests;
+                for (const auto& chain : chains)
+                    requests.push_back(core::ScheduleRequest{
+                        chain, {2 + t % 2, 2}, core::Strategy::herad});
+                while (!quit.load(std::memory_order_acquire)) {
+                    const auto results = service.solve_batch(requests);
+                    if (results.size() != requests.size()) {
+                        bad.fetch_add(1);
+                        continue;
+                    }
+                    for (const auto& result : results)
+                        if (!result.ok() && result.error != core::ScheduleError::rejected)
+                            bad.fetch_add(1);
+                }
+            });
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{2 + round % 3});
+        service.stop(); // races in-flight submits by design
+        quit.store(true, std::memory_order_release);
+        for (auto& thread : submitters)
+            thread.join();
+        EXPECT_EQ(bad.load(), 0u) << "round " << round;
+    }
+}
+
+} // namespace
