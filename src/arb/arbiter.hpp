@@ -1,0 +1,240 @@
+#pragma once
+// amp::arb::Arbiter -- multi-tenant arbiter serving many concurrent task
+// chains from one shared (b, l) core pool (docs/ARBITER.md).
+//
+// The paper schedules ONE partially-replicable chain on a fixed resource
+// vector. The arbiter sits above svc::SolverService and serves MANY chains
+// (tenants) competing for one big.LITTLE machine: each tenant registers a
+// TenantSpec (chain, fair-share weight, per-type quota floor/cap,
+// priority); rearbitrate() runs a global allocation loop that splits the
+// pool by weighted max-min fairness over achievable periods (arb::allocate,
+// water-filling on each tenant's period-vs-budget curve, probed via batched
+// solve_batch calls through the service's solution cache), solves every
+// tenant's chain on its granted budget, and pushes the resulting
+// plan::ExecutionPlan to the tenant's live executor as a hot-swap:
+//
+//   * budget unchanged            -> nothing (SwapKind::none)
+//   * resize-only delta, live     -> frame-granular in-flight swap, no drain
+//                                    (rt::Pipeline::try_apply_delta_in_flight)
+//   * compatible delta, parked    -> between-segment delta swap
+//   * incompatible (recut/rebind) -> SwapKind::rebuild_required; the new
+//                                    plan is stored in the tenant status and
+//                                    the owner rebuilds its executor from it
+//
+// Tenant join / leave / weight change / chain drift mark the arbiter dirty;
+// the owner (or dsim::simulate_multi_tenant, which replays the same loop in
+// virtual time) calls rearbitrate() to re-run the allocation. Probe and
+// re-solve requests are stamped with the tenant's admission priority, so a
+// service running priority_aware shedding sheds low-priority tenants'
+// arbitration traffic first under overload.
+//
+// Telemetry: amp_arb_* counters/gauges (obs/schema.hpp, table in
+// docs/SOLVER_SERVICE.md) recorded into an injected registry or the
+// service's own.
+
+#include "arb/allocation.hpp"
+#include "arb/tenant.hpp"
+#include "obs/metrics.hpp"
+#include "plan/execution_plan.hpp"
+#include "svc/solver_service.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace amp::arb {
+
+/// How a re-arbitrated budget reached the tenant's executor.
+enum class SwapKind : std::uint8_t {
+    none,             ///< budget unchanged; nothing recomputed or pushed
+    planned,          ///< new plan stored; no live endpoint bound
+    frame,            ///< in-flight frame-granular swap (no drain)
+    delta,            ///< between-segment delta swap
+    rebuild_required, ///< endpoint could not apply; owner must rebuild
+};
+
+[[nodiscard]] constexpr const char* to_string(SwapKind kind) noexcept
+{
+    switch (kind) {
+    case SwapKind::none: return "none";
+    case SwapKind::planned: return "planned";
+    case SwapKind::frame: return "frame";
+    case SwapKind::delta: return "delta";
+    case SwapKind::rebuild_required: return "rebuild_required";
+    }
+    return "?";
+}
+
+/// Type-erased handle to a tenant's live executor. rt::PipelineTenantEndpoint
+/// adapts rt::Pipeline<T>; tests inject fakes. Calls arrive on the thread
+/// that invoked Arbiter::rearbitrate(), serialized by the arbiter's lock.
+class TenantEndpoint {
+public:
+    virtual ~TenantEndpoint() = default;
+
+    /// The plan the executor currently runs (diff base for the next swap).
+    [[nodiscard]] virtual const plan::ExecutionPlan& current_plan() const = 0;
+
+    /// Applies `next` (with `delta` = diff(current_plan(), next)) and
+    /// reports how: frame, delta, or rebuild_required when the executor
+    /// cannot absorb the change live.
+    [[nodiscard]] virtual SwapKind apply(const plan::ExecutionPlan& next,
+                                         const plan::PlanDelta& delta) = 0;
+};
+
+struct ArbiterConfig {
+    /// The shared machine the tenants compete for.
+    core::Resources pool{};
+    AllocPolicy policy = AllocPolicy::weighted_max_min;
+    /// Solver service for probes and plan solves; null = svc::shared_service().
+    svc::SolverService* service = nullptr;
+    /// Queue capacity baked into every tenant plan.
+    plan::PlanOptions plan_options{};
+    /// Metrics registry for the amp_arb_* instruments; null = the service's.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Minimum period improvement (us) worth one more core (see
+    /// AllocationConfig::improvement_epsilon_us).
+    double improvement_epsilon_us = 1e-9;
+};
+
+/// Public view of one tenant between rearbitrations.
+struct TenantStatus {
+    TenantId id = 0;
+    std::string name;
+    double weight = 1.0;
+    std::int8_t priority = 0;
+    core::Resources budget{};
+    double period_us = kInfinitePeriod;
+    double weighted_rate = 0.0; ///< (1/period)/weight; the fairness share
+    bool starved = false;       ///< quota floor not covered by the pool
+    std::uint64_t generation = 0; ///< rearbitration that last changed the budget
+    /// Current plan (result + compiled ExecutionPlan); plan is null until
+    /// the first rearbitration grants a feasible budget.
+    svc::PlannedSchedule planned;
+};
+
+/// What one rearbitration did to one tenant.
+struct TenantChange {
+    TenantId id = 0;
+    core::Resources before{};
+    core::Resources after{};
+    SwapKind swap = SwapKind::none;
+    /// diff(previous plan, new plan); default-constructed (empty,
+    /// compatible) when either side is missing.
+    plan::PlanDelta delta;
+};
+
+/// Outcome of one global allocation pass. `allocation.steps` is the
+/// deterministic water-filling trace; `ids` aligns allocation.tenants /
+/// changes with tenant identities (ascending id order).
+struct ArbitrationReport {
+    std::uint64_t generation = 0;
+    std::vector<TenantId> ids;
+    AllocationResult allocation;
+    std::vector<TenantChange> changes;
+
+    /// Changes that reached a live executor without a drain.
+    [[nodiscard]] int frame_swaps() const noexcept;
+    [[nodiscard]] int rebuilds_required() const noexcept;
+};
+
+/// Thread-safe tenant registry + global allocation loop. All public methods
+/// lock one mutex; rearbitrate() runs the solver probes and endpoint swaps
+/// under it, so mutations observed by a concurrent caller are atomic per
+/// arbitration pass.
+class Arbiter {
+public:
+    explicit Arbiter(ArbiterConfig config);
+
+    Arbiter(const Arbiter&) = delete;
+    Arbiter& operator=(const Arbiter&) = delete;
+
+    /// Registers a tenant (weight must be positive; throws otherwise).
+    /// The tenant holds no cores until the next rearbitrate().
+    TenantId add_tenant(TenantSpec spec);
+
+    /// Unregisters; the tenant's cores return to the pool at the next
+    /// rearbitrate(). False when the id is unknown. A bound endpoint is
+    /// forgotten (never invoked again).
+    bool remove_tenant(TenantId id);
+
+    /// Updates the fair-share weight (positive; throws otherwise).
+    void set_weight(TenantId id, double weight);
+
+    /// Replaces the tenant's chain (e.g. after drift re-profiling by
+    /// rt::Rescheduler rebuilt the weights); next rearbitrate() re-solves
+    /// on the new chain.
+    void update_chain(TenantId id, core::TaskChain chain);
+
+    /// Grows or shrinks the shared pool (machine reconfiguration).
+    void set_pool(core::Resources pool);
+
+    /// Binds (or, with null, unbinds) the live executor hot-swap handle.
+    /// The endpoint must outlive the binding.
+    void bind_endpoint(TenantId id, TenantEndpoint* endpoint);
+
+    /// Runs the global allocation loop: probes period curves (batched,
+    /// cached), water-fills the pool, re-solves every tenant whose budget
+    /// changed and pushes the change to its endpoint. Deterministic apart
+    /// from wall-clock metrics: equal registry state yields an identical
+    /// report (steps, budgets, periods) on every run.
+    ArbitrationReport rearbitrate();
+
+    /// rearbitrate() only when membership, weights, chains or the pool
+    /// changed since the last pass; nullopt otherwise.
+    std::optional<ArbitrationReport> rearbitrate_if_dirty();
+
+    [[nodiscard]] bool dirty() const;
+    [[nodiscard]] core::Resources pool() const;
+    [[nodiscard]] std::size_t tenant_count() const;
+    [[nodiscard]] std::uint64_t generation() const;
+
+    /// Status snapshot; throws std::out_of_range on an unknown id.
+    [[nodiscard]] TenantStatus status(TenantId id) const;
+    /// All tenants, ascending id order.
+    [[nodiscard]] std::vector<TenantStatus> tenants() const;
+
+private:
+    struct Tenant {
+        TenantSpec spec;
+        core::Resources budget{};
+        double period_us = kInfinitePeriod;
+        double weighted_rate = 0.0;
+        bool starved = false;
+        std::uint64_t generation = 0;
+        svc::PlannedSchedule planned;
+        TenantEndpoint* endpoint = nullptr;
+    };
+
+    struct Instruments {
+        obs::Counter* rearbitrations = nullptr;
+        obs::Counter* probes = nullptr;
+        obs::Counter* grants = nullptr;
+        obs::Counter* frame_swaps = nullptr;
+        obs::Counter* delta_swaps = nullptr;
+        obs::Counter* rebuilds_required = nullptr;
+        obs::Gauge* tenant_count = nullptr;
+        obs::Gauge* starved = nullptr;
+        obs::Gauge* pool_free_big = nullptr;
+        obs::Gauge* pool_free_little = nullptr;
+    };
+
+    [[nodiscard]] svc::SolverService& service() const;
+    [[nodiscard]] core::ScheduleRequest request_for(const Tenant& tenant,
+                                                    core::Resources budget) const;
+    ArbitrationReport rearbitrate_locked();
+    [[nodiscard]] TenantStatus status_of(TenantId id, const Tenant& tenant) const;
+
+    ArbiterConfig config_;
+    Instruments instruments_;
+
+    mutable std::mutex mutex_;
+    std::map<TenantId, Tenant> tenants_; ///< ordered: deterministic scans
+    TenantId next_id_ = 1;
+    std::uint64_t generation_ = 0;
+    bool dirty_ = false;
+};
+
+} // namespace amp::arb

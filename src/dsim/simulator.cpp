@@ -500,4 +500,167 @@ AdmissionSimResult simulate_admission(const std::vector<AdmissionArrival>& arriv
     return result;
 }
 
+// -- multi-tenant arbitration ---------------------------------------------
+
+namespace {
+
+/// Accumulates one tenant's rate integrals over its presence intervals.
+struct TenantAccumulator {
+    bool present = false;
+    double period_us = arb::kInfinitePeriod;
+    double weight = 1.0;
+    double present_us = 0.0;
+    double frames = 0.0;
+    double goodput_frames = 0.0;      ///< demand-capped frames
+    double weighted_rate_us = 0.0;    ///< integral of (1/period)/weight dt
+    bool ever_present = false;
+};
+
+} // namespace
+
+MultiTenantResult simulate_multi_tenant(const MultiTenantScenario& scenario)
+{
+    if (scenario.horizon_us <= 0)
+        throw std::invalid_argument{"simulate_multi_tenant: horizon must be positive"};
+    for (std::size_t e = 0; e < scenario.events.size(); ++e) {
+        const TenantEvent& event = scenario.events[e];
+        if (event.at_us < 0 || event.at_us >= scenario.horizon_us)
+            throw std::invalid_argument{
+                "simulate_multi_tenant: event outside [0, horizon)"};
+        if (e > 0 && event.at_us < scenario.events[e - 1].at_us)
+            throw std::invalid_argument{
+                "simulate_multi_tenant: events must be sorted by at_us"};
+        if (event.kind != TenantEventKind::set_pool
+            && event.tenant >= scenario.tenants.size())
+            throw std::invalid_argument{
+                "simulate_multi_tenant: event references unknown tenant"};
+    }
+
+    arb::ArbiterConfig config;
+    config.pool = scenario.pool;
+    config.policy = scenario.policy;
+    config.service = scenario.service;
+    arb::Arbiter arbiter{config};
+
+    // Scenario index <-> arbiter id. Ids are handed out in join order, so a
+    // rejoin gets a fresh id; the reverse map tracks only live tenants.
+    std::vector<arb::TenantId> id_of(scenario.tenants.size(), 0);
+    std::vector<TenantAccumulator> acc(scenario.tenants.size());
+
+    MultiTenantResult result;
+    std::int64_t now_us = 0;
+
+    const auto integrate_to = [&](std::int64_t t_us) {
+        const double dt = static_cast<double>(t_us - now_us);
+        if (dt <= 0.0)
+            return;
+        for (std::size_t t = 0; t < acc.size(); ++t) {
+            TenantAccumulator& a = acc[t];
+            if (!a.present)
+                continue;
+            a.present_us += dt;
+            if (std::isinf(a.period_us) || a.period_us <= 0.0)
+                continue;
+            const double rate_fps = 1e6 / a.period_us; // frames per second
+            a.frames += dt / a.period_us;
+            const double demand = scenario.tenants[t].demand_fps;
+            const double good_fps = demand > 0.0 ? std::min(rate_fps, demand) : rate_fps;
+            a.goodput_frames += dt * (good_fps / 1e6);
+            a.weighted_rate_us += dt * (1.0 / a.period_us) / a.weight;
+        }
+        now_us = t_us;
+    };
+
+    const auto rearbitrate_and_record = [&](std::int64_t at_us) {
+        const arb::ArbitrationReport report = arbiter.rearbitrate();
+        result.rearbitrations += 1;
+        result.probes += report.allocation.probes;
+
+        ArbEventRecord record;
+        record.at_us = at_us;
+        record.generation = report.generation;
+        record.steps = report.allocation.steps;
+        record.tenants.reserve(report.ids.size());
+        record.budgets.reserve(report.ids.size());
+        record.periods_us.reserve(report.ids.size());
+        for (std::size_t i = 0; i < report.ids.size(); ++i) {
+            const arb::TenantId id = report.ids[i];
+            const std::size_t scenario_index = static_cast<std::size_t>(
+                std::find(id_of.begin(), id_of.end(), id) - id_of.begin());
+            record.tenants.push_back(scenario_index);
+            record.budgets.push_back(report.allocation.tenants[i].budget);
+            record.periods_us.push_back(report.allocation.tenants[i].period_us);
+            TenantAccumulator& a = acc[scenario_index];
+            a.period_us = report.allocation.tenants[i].period_us;
+        }
+        result.trace.push_back(std::move(record));
+    };
+
+    std::size_t e = 0;
+    while (e < scenario.events.size()) {
+        const std::int64_t at_us = scenario.events[e].at_us;
+        integrate_to(at_us);
+        // Apply every event sharing this timestamp, then rearbitrate once.
+        for (; e < scenario.events.size() && scenario.events[e].at_us == at_us; ++e) {
+            const TenantEvent& event = scenario.events[e];
+            switch (event.kind) {
+            case TenantEventKind::join: {
+                if (acc[event.tenant].present)
+                    throw std::invalid_argument{
+                        "simulate_multi_tenant: join of a present tenant"};
+                id_of[event.tenant] = arbiter.add_tenant(scenario.tenants[event.tenant].spec);
+                TenantAccumulator& a = acc[event.tenant];
+                a.present = true;
+                a.ever_present = true;
+                a.period_us = arb::kInfinitePeriod;
+                a.weight = scenario.tenants[event.tenant].spec.weight;
+                break;
+            }
+            case TenantEventKind::leave:
+                if (!acc[event.tenant].present)
+                    throw std::invalid_argument{
+                        "simulate_multi_tenant: leave of an absent tenant"};
+                arbiter.remove_tenant(id_of[event.tenant]);
+                id_of[event.tenant] = 0;
+                acc[event.tenant].present = false;
+                acc[event.tenant].period_us = arb::kInfinitePeriod;
+                break;
+            case TenantEventKind::set_weight:
+                if (!acc[event.tenant].present)
+                    throw std::invalid_argument{
+                        "simulate_multi_tenant: set_weight of an absent tenant"};
+                arbiter.set_weight(id_of[event.tenant], event.weight);
+                acc[event.tenant].weight = event.weight;
+                break;
+            case TenantEventKind::set_pool:
+                arbiter.set_pool(event.pool);
+                break;
+            }
+        }
+        rearbitrate_and_record(at_us);
+    }
+    integrate_to(scenario.horizon_us);
+
+    result.tenants.resize(scenario.tenants.size());
+    double goodput_frames = 0.0;
+    std::vector<double> shares;
+    for (std::size_t t = 0; t < acc.size(); ++t) {
+        const TenantAccumulator& a = acc[t];
+        TenantSimStats& stats = result.tenants[t];
+        stats.present_us = a.present_us;
+        stats.frames = a.frames;
+        if (a.present_us > 0.0) {
+            stats.goodput_fps = a.goodput_frames / (a.present_us / 1e6);
+            stats.mean_weighted_rate = a.weighted_rate_us / a.present_us;
+        }
+        goodput_frames += a.goodput_frames;
+        if (a.ever_present)
+            shares.push_back(stats.mean_weighted_rate);
+    }
+    result.aggregate_goodput_fps =
+        goodput_frames / (static_cast<double>(scenario.horizon_us) / 1e6);
+    result.jain_weighted = arb::jain_index(shares);
+    return result;
+}
+
 } // namespace amp::dsim

@@ -17,6 +17,7 @@
 // replicate the slowest tasks on little cores. This is the documented
 // substitute for the hybrid-core machines (DESIGN.md, substitution 1).
 
+#include "arb/arbiter.hpp"
 #include "common/rng.hpp"
 #include "core/chain.hpp"
 #include "core/solution.hpp"
@@ -254,5 +255,97 @@ struct AdmissionSimResult {
 [[nodiscard]] AdmissionSimResult
 simulate_admission(const std::vector<AdmissionArrival>& arrivals,
                    const AdmissionSimConfig& config = {});
+
+// -- multi-tenant arbitration ---------------------------------------------
+//
+// Virtual-time replay of the arbiter's global allocation loop
+// (docs/ARBITER.md). As with the admission simulation, the decision logic
+// is not re-implemented: the scenario drives a real arb::Arbiter -- the
+// same registry, water-filling loop and solver probes the runtime uses --
+// through a scripted sequence of join/leave/weight/pool events, and
+// integrates each tenant's delivered frames over the intervals between
+// rearbitrations. The arbiter is wall-clock-free and the solvers are
+// bit-deterministic, so two replays of one scenario produce identical
+// rearbitration traces; the trace-equality test pins this.
+
+/// One tenant of a simulated multi-tenant machine.
+struct SimTenant {
+    arb::TenantSpec spec;
+    /// Offered load in frames per second: the tenant's goodput contribution
+    /// is min(achieved rate, demand). <= 0 means unbounded demand (every
+    /// delivered frame is useful).
+    double demand_fps = 0.0;
+};
+
+enum class TenantEventKind : std::uint8_t {
+    join,       ///< tenant appears and starts competing for cores
+    leave,      ///< tenant departs; its cores return to the pool
+    set_weight, ///< fair-share weight change (e.g. plan upgrade)
+    set_pool,   ///< machine reconfiguration: the shared pool itself changes
+};
+
+/// One scripted control-plane event. Events at equal times are applied
+/// together (in index order) and followed by a single rearbitration.
+struct TenantEvent {
+    std::int64_t at_us = 0;
+    TenantEventKind kind = TenantEventKind::join;
+    std::size_t tenant = 0;  ///< index into MultiTenantScenario::tenants
+    double weight = 1.0;     ///< set_weight only
+    core::Resources pool{};  ///< set_pool only
+};
+
+struct MultiTenantScenario {
+    core::Resources pool{};
+    arb::AllocPolicy policy = arb::AllocPolicy::weighted_max_min;
+    std::vector<SimTenant> tenants; ///< catalog; events reference by index
+    std::vector<TenantEvent> events;
+    std::int64_t horizon_us = 1'000'000; ///< end of the simulated window
+    /// Solver service backing the arbiter's probes; null = shared_service().
+    svc::SolverService* service = nullptr;
+};
+
+/// One rearbitration of the replay -- the deterministic trace. `tenants`
+/// maps the arbiter's id-ordered rows back to scenario indices; exact
+/// (bitwise) double equality in operator== is intentional, as with
+/// arb::AllocStep.
+struct ArbEventRecord {
+    std::int64_t at_us = 0;
+    std::uint64_t generation = 0;
+    std::vector<std::size_t> tenants;       ///< scenario indices, id order
+    std::vector<core::Resources> budgets;   ///< aligned with `tenants`
+    std::vector<double> periods_us;         ///< aligned with `tenants`
+    std::vector<arb::AllocStep> steps;      ///< water-filling grant log
+
+    [[nodiscard]] bool operator==(const ArbEventRecord&) const noexcept = default;
+};
+
+/// Integrated outcome of one tenant over the scenario window.
+struct TenantSimStats {
+    double present_us = 0.0;   ///< total virtual time joined
+    double frames = 0.0;       ///< delivered frames (sum interval/period)
+    double goodput_fps = 0.0;  ///< min(rate, demand), averaged over presence
+    /// Time-averaged (1/period)/weight while present -- the fairness share.
+    double mean_weighted_rate = 0.0;
+};
+
+struct MultiTenantResult {
+    std::vector<ArbEventRecord> trace;   ///< one record per rearbitration
+    std::vector<TenantSimStats> tenants; ///< aligned with scenario.tenants
+    /// Sum of per-tenant goodputs weighted by presence time, over the
+    /// horizon: useful frames per second the whole machine produced.
+    double aggregate_goodput_fps = 0.0;
+    /// Jain index of the tenants' mean weighted rates (tenants that were
+    /// ever present); 1 = throughput exactly proportional to weight.
+    double jain_weighted = 0.0;
+    std::uint64_t rearbitrations = 0;
+    std::uint64_t probes = 0; ///< period queries the allocation loops issued
+};
+
+/// Replays `scenario` through a real arb::Arbiter in virtual time. Events
+/// must be sorted by at_us (stable within a timestamp) and lie in
+/// [0, horizon_us); a join of an already-present tenant, or any other event
+/// on an absent one, throws std::invalid_argument. Purely deterministic:
+/// equal scenarios produce identical traces on every platform.
+[[nodiscard]] MultiTenantResult simulate_multi_tenant(const MultiTenantScenario& scenario);
 
 } // namespace amp::dsim

@@ -88,4 +88,27 @@ inline constexpr const char* kSvcBreakerTrips = "amp_svc_breaker_trips_total";
 /// Gauge mirroring svc::BreakerState (0 closed, 1 open, 2 half-open).
 inline constexpr const char* kSvcBreakerState = "amp_svc_breaker_state";
 
+// -- multi-tenant arbiter (docs/ARBITER.md) --------------------------------
+//
+// Recorded by arb::Arbiter into its configured registry (the solver
+// service's by default); counter table in docs/SOLVER_SERVICE.md.
+
+inline constexpr const char* kArbRearbitrations = "amp_arb_rearbitrations_total";
+/// Period-curve queries issued by the allocation loop (most are served by
+/// the solution cache; compare with amp_svc_*_cache_miss to see real work).
+inline constexpr const char* kArbProbes = "amp_arb_probes_total";
+/// Single-core grants made by the filling loop.
+inline constexpr const char* kArbGrants = "amp_arb_grants_total";
+/// Budget changes applied to live executors without a drain.
+inline constexpr const char* kArbFrameSwaps = "amp_arb_frame_swaps_total";
+/// Budget changes applied as between-segment plan deltas.
+inline constexpr const char* kArbDeltaSwaps = "amp_arb_delta_swaps_total";
+/// Budget changes a live executor could not absorb (owner must rebuild).
+inline constexpr const char* kArbRebuildsRequired = "amp_arb_rebuilds_required_total";
+inline constexpr const char* kArbTenants = "amp_arb_tenants";
+/// Tenants whose quota floor the pool could not cover, last arbitration.
+inline constexpr const char* kArbStarvedTenants = "amp_arb_starved_tenants";
+inline constexpr const char* kArbPoolFreeBig = "amp_arb_pool_free_big";
+inline constexpr const char* kArbPoolFreeLittle = "amp_arb_pool_free_little";
+
 } // namespace amp::obs::schema

@@ -1,0 +1,79 @@
+#pragma once
+// Adapts rt::Pipeline<T> to the arbiter's type-erased hot-swap handle
+// (arb::TenantEndpoint, docs/ARBITER.md). Bind with
+// Arbiter::bind_endpoint(id, &endpoint); on each rearbitration whose grant
+// changes this tenant's budget the arbiter calls apply(next, delta) and the
+// adapter picks the cheapest swap the pipeline can absorb:
+//
+//   * empty delta                 -> SwapKind::none
+//   * incompatible (recut)        -> SwapKind::rebuild_required; the owner
+//                                    rebuilds the pipeline from the plan in
+//                                    its TenantStatus
+//   * parked (no segment running) -> Pipeline::apply_delta, SwapKind::delta
+//   * live + resize-only          -> Pipeline::try_apply_delta_in_flight,
+//                                    SwapKind::frame (no drain)
+//   * live, anything else         -> SwapKind::rebuild_required (apply_delta
+//                                    must not run mid-segment)
+//
+// The owner flips set_live() around run()/run_from() so the adapter knows
+// which swap path is legal; it defaults to parked. The arbiter serializes
+// apply() calls under its own lock, and the in-flight path additionally
+// serializes against the pipeline's swap mutex, so a watchdog-triggered
+// recovery swap and an arbiter budget swap cannot interleave mid-apply.
+
+#include "arb/arbiter.hpp"
+#include "rt/pipeline.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace amp::rt {
+
+template <typename T>
+class PipelineTenantEndpoint final : public arb::TenantEndpoint {
+public:
+    explicit PipelineTenantEndpoint(Pipeline<T>& pipeline,
+                                    std::chrono::milliseconds reclaim_timeout =
+                                        std::chrono::milliseconds{200})
+        : pipeline_(&pipeline)
+        , reclaim_timeout_(reclaim_timeout)
+    {
+    }
+
+    /// True while a stream segment is in flight (set it before run(), clear
+    /// it after); gates which swap path apply() may take.
+    void set_live(bool live) noexcept { live_.store(live, std::memory_order_release); }
+    [[nodiscard]] bool live() const noexcept
+    {
+        return live_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] const plan::ExecutionPlan& current_plan() const override
+    {
+        return pipeline_->execution_plan();
+    }
+
+    [[nodiscard]] arb::SwapKind apply(const plan::ExecutionPlan& next,
+                                      const plan::PlanDelta& delta) override
+    {
+        (void)next; // the pipeline re-derives it from its own plan + delta
+        if (delta.empty())
+            return arb::SwapKind::none;
+        if (!delta.compatible)
+            return arb::SwapKind::rebuild_required;
+        if (!live()) {
+            pipeline_->apply_delta(delta);
+            return arb::SwapKind::delta;
+        }
+        if (delta.resize_only() && pipeline_->try_apply_delta_in_flight(delta, reclaim_timeout_))
+            return arb::SwapKind::frame;
+        return arb::SwapKind::rebuild_required;
+    }
+
+private:
+    Pipeline<T>* pipeline_;
+    std::chrono::milliseconds reclaim_timeout_;
+    std::atomic<bool> live_{false};
+};
+
+} // namespace amp::rt

@@ -621,10 +621,21 @@ SolverService::solve_batch(const std::vector<core::ScheduleRequest>& requests)
     return results;
 }
 
+namespace {
+std::atomic<SolverService*> shared_override{nullptr};
+} // namespace
+
 SolverService& shared_service()
 {
+    if (SolverService* override_service = shared_override.load(std::memory_order_acquire))
+        return *override_service;
     static SolverService service{};
     return service;
+}
+
+SolverService* set_shared_service_for_test(SolverService* service) noexcept
+{
+    return shared_override.exchange(service, std::memory_order_acq_rel);
 }
 
 } // namespace amp::svc

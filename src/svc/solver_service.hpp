@@ -318,4 +318,12 @@ private:
 /// through this instance unless a ReschedulePolicy injects its own.
 [[nodiscard]] SolverService& shared_service();
 
+/// Redirects shared_service() to `service` (tests only: lets a fixture
+/// substitute an instrumented instance and count the solves reaching it
+/// from components that default to the shared service, e.g. arb::Arbiter
+/// or rt::Rescheduler). Pass nullptr to restore the real shared instance.
+/// Returns the previous override. Not thread-safe against concurrent
+/// shared_service() callers; swap only while quiescent.
+SolverService* set_shared_service_for_test(SolverService* service) noexcept;
+
 } // namespace amp::svc

@@ -1,0 +1,248 @@
+// Unit tests for the pure allocation policy (arb::allocate): weighted
+// max-min water-filling, quota floors/caps, baseline policies and the
+// deterministic grant trace. The oracle is synthetic here -- solver-backed
+// behaviour is covered by arbiter_test.cpp.
+
+#include "arb/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace amp::arb {
+namespace {
+
+/// Linear-speedup oracle: tenant t achieves period base[t] / (big + little
+/// * little_value) microseconds; infeasible on an empty budget.
+BatchPeriodOracle linear_oracle(std::vector<double> base, double little_value = 0.5)
+{
+    return [base = std::move(base), little_value](const std::vector<PeriodProbe>& probes) {
+        std::vector<double> periods;
+        periods.reserve(probes.size());
+        for (const PeriodProbe& probe : probes) {
+            const double power = static_cast<double>(probe.budget.big)
+                + little_value * static_cast<double>(probe.budget.little);
+            periods.push_back(power > 0.0 ? base[probe.tenant] / power : kInfinitePeriod);
+        }
+        return periods;
+    };
+}
+
+TEST(Allocation, WeightedMaxMinSplitsCoresProportionallyToWeight)
+{
+    // Equal chains, weights 1:3, 8 big cores: the fair point is 2 vs 6.
+    const std::vector<TenantDemand> demands{{1.0, {}, 0}, {3.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{8, 0};
+    const AllocationResult result =
+        allocate(demands, config, linear_oracle({100.0, 100.0}));
+
+    EXPECT_EQ(result.tenants[0].budget, (core::Resources{2, 0}));
+    EXPECT_EQ(result.tenants[1].budget, (core::Resources{6, 0}));
+    EXPECT_EQ(result.pool_left, (core::Resources{0, 0}));
+    // At the fair point the weighted rates are equal (up to rounding).
+    EXPECT_NEAR(result.tenants[0].weighted_rate, result.tenants[1].weighted_rate, 1e-12);
+    EXPECT_GT(result.min_weighted_rate(), 0.0);
+}
+
+TEST(Allocation, TraceIsDeterministic)
+{
+    const std::vector<TenantDemand> demands{{1.0, {}, 0}, {2.0, {}, 0}, {4.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{6, 5};
+    const BatchPeriodOracle oracle = linear_oracle({80.0, 120.0, 50.0});
+
+    const AllocationResult a = allocate(demands, config, oracle);
+    const AllocationResult b = allocate(demands, config, oracle);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.probes, b.probes);
+    for (std::size_t t = 0; t < demands.size(); ++t) {
+        EXPECT_EQ(a.tenants[t].budget, b.tenants[t].budget);
+        EXPECT_EQ(a.tenants[t].period_us, b.tenants[t].period_us);
+    }
+}
+
+TEST(Allocation, StepsRecordEveryGrantInDecisionOrder)
+{
+    const std::vector<TenantDemand> demands{{1.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{3, 0};
+    const AllocationResult result = allocate(demands, config, linear_oracle({60.0}));
+
+    ASSERT_EQ(result.steps.size(), 3u);
+    for (std::size_t s = 0; s < result.steps.size(); ++s) {
+        EXPECT_EQ(result.steps[s].tenant, 0u);
+        EXPECT_EQ(result.steps[s].granted, core::CoreType::big);
+        EXPECT_EQ(result.steps[s].budget_after.big, static_cast<int>(s) + 1);
+        // Each grant improves the period.
+        EXPECT_LT(result.steps[s].period_after_us, result.steps[s].period_before_us);
+    }
+}
+
+TEST(Allocation, QuotaFloorIsGrantedBeforeFairShareFilling)
+{
+    TenantQuota reserved;
+    reserved.min = core::Resources{3, 0};
+    // Without the floor, weight 1 vs 9 would give tenant 0 almost nothing.
+    const std::vector<TenantDemand> demands{{1.0, reserved, 0}, {9.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{4, 0};
+    const AllocationResult result =
+        allocate(demands, config, linear_oracle({100.0, 100.0}));
+
+    EXPECT_GE(result.tenants[0].budget.big, 3);
+    EXPECT_FALSE(result.tenants[0].starved);
+}
+
+TEST(Allocation, OversubscribedFloorsClampToPoolAndMarkStarved)
+{
+    TenantQuota big_floor;
+    big_floor.min = core::Resources{4, 0};
+    const std::vector<TenantDemand> demands{{1.0, big_floor, 0}, {1.0, big_floor, 5}};
+    AllocationConfig config;
+    config.pool = core::Resources{6, 0};
+    const AllocationResult result =
+        allocate(demands, config, linear_oracle({100.0, 100.0}));
+
+    // Higher priority floor is served first; the leftover 2 go to tenant 0.
+    EXPECT_EQ(result.tenants[1].budget, (core::Resources{4, 0}));
+    EXPECT_FALSE(result.tenants[1].starved);
+    EXPECT_EQ(result.tenants[0].budget, (core::Resources{2, 0}));
+    EXPECT_TRUE(result.tenants[0].starved);
+}
+
+TEST(Allocation, QuotaCapStopsTheFillAndReleasesCoresToOthers)
+{
+    TenantQuota capped;
+    capped.max = core::Resources{1, 0};
+    const std::vector<TenantDemand> demands{{10.0, capped, 0}, {1.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{5, 0};
+    const AllocationResult result =
+        allocate(demands, config, linear_oracle({100.0, 100.0}));
+
+    EXPECT_EQ(result.tenants[0].budget, (core::Resources{1, 0}));
+    EXPECT_FALSE(result.tenants[0].saturated) << "cap-limited, not period-limited";
+    EXPECT_EQ(result.tenants[1].budget, (core::Resources{4, 0}));
+}
+
+TEST(Allocation, SaturatedTenantLeavesCoresUnallocated)
+{
+    // Period never improves past 2 cores: the third grant is refused and the
+    // pool keeps the remainder.
+    const BatchPeriodOracle plateau = [](const std::vector<PeriodProbe>& probes) {
+        std::vector<double> periods;
+        for (const PeriodProbe& probe : probes)
+            periods.push_back(probe.budget.total() == 0
+                                  ? kInfinitePeriod
+                                  : 100.0 / std::min(probe.budget.total(), 2));
+        return periods;
+    };
+    const std::vector<TenantDemand> demands{{1.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{6, 0};
+    const AllocationResult result = allocate(demands, config, plateau);
+
+    EXPECT_EQ(result.tenants[0].budget.total(), 2);
+    EXPECT_TRUE(result.tenants[0].saturated);
+    EXPECT_EQ(result.pool_left, (core::Resources{4, 0}));
+}
+
+TEST(Allocation, InfeasibleTenantGetsZeroRateAndZeroObjective)
+{
+    const BatchPeriodOracle never = [](const std::vector<PeriodProbe>& probes) {
+        return std::vector<double>(probes.size(), kInfinitePeriod);
+    };
+    const std::vector<TenantDemand> demands{{1.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{4, 4};
+    const AllocationResult result = allocate(demands, config, never);
+
+    EXPECT_TRUE(std::isinf(result.tenants[0].period_us));
+    EXPECT_EQ(result.tenants[0].weighted_rate, 0.0);
+    EXPECT_EQ(result.min_weighted_rate(), 0.0);
+}
+
+TEST(Allocation, EvenSplitIgnoresWeights)
+{
+    const std::vector<TenantDemand> demands{{1.0, {}, 0}, {100.0, {}, 0}};
+    AllocationConfig config;
+    config.pool = core::Resources{4, 2};
+    config.policy = AllocPolicy::even_split;
+    const AllocationResult result =
+        allocate(demands, config, linear_oracle({100.0, 100.0}));
+
+    EXPECT_EQ(result.tenants[0].budget, (core::Resources{2, 1}));
+    EXPECT_EQ(result.tenants[1].budget, (core::Resources{2, 1}));
+}
+
+TEST(Allocation, PriorityOnlyServesHigherPriorityFirst)
+{
+    // The plateau oracle saturates each tenant at 2 cores, so strict
+    // priority gives the high tenant its fill and the rest trickles down.
+    const BatchPeriodOracle plateau = [](const std::vector<PeriodProbe>& probes) {
+        std::vector<double> periods;
+        for (const PeriodProbe& probe : probes)
+            periods.push_back(probe.budget.total() == 0
+                                  ? kInfinitePeriod
+                                  : 100.0 / std::min(probe.budget.total(), 2));
+        return periods;
+    };
+    const std::vector<TenantDemand> demands{{1.0, {}, -1}, {1.0, {}, 7}};
+    AllocationConfig config;
+    config.pool = core::Resources{3, 0};
+    config.policy = AllocPolicy::priority_only;
+    const AllocationResult result = allocate(demands, config, plateau);
+
+    EXPECT_EQ(result.tenants[1].budget.total(), 2) << "high priority fills first";
+    EXPECT_EQ(result.tenants[0].budget.total(), 1);
+}
+
+TEST(Allocation, ValidatesInputs)
+{
+    const BatchPeriodOracle oracle = linear_oracle({100.0});
+    AllocationConfig config;
+    config.pool = core::Resources{-1, 0};
+    EXPECT_THROW(allocate({TenantDemand{}}, config, oracle), std::invalid_argument);
+
+    config.pool = core::Resources{2, 0};
+    EXPECT_THROW(allocate({TenantDemand{0.0, {}, 0}}, config, oracle),
+                 std::invalid_argument);
+
+    const BatchPeriodOracle wrong_size = [](const std::vector<PeriodProbe>&) {
+        return std::vector<double>{};
+    };
+    EXPECT_THROW(allocate({TenantDemand{}}, config, wrong_size), std::invalid_argument);
+}
+
+TEST(Allocation, EmptyDemandsYieldEmptyResultWithoutProbing)
+{
+    std::size_t calls = 0;
+    const BatchPeriodOracle counting = [&](const std::vector<PeriodProbe>& probes) {
+        ++calls;
+        return std::vector<double>(probes.size(), 1.0);
+    };
+    AllocationConfig config;
+    config.pool = core::Resources{4, 4};
+    const AllocationResult result = allocate({}, config, counting);
+    EXPECT_TRUE(result.tenants.empty());
+    EXPECT_EQ(result.pool_left, config.pool);
+    EXPECT_EQ(calls, 0u);
+    EXPECT_EQ(result.min_weighted_rate(), 0.0);
+}
+
+TEST(Allocation, JainIndexBounds)
+{
+    EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0}), 0.5);
+    EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+    EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 0.0);
+    const double skewed = jain_index({4.0, 1.0, 1.0});
+    EXPECT_GT(skewed, 0.0);
+    EXPECT_LT(skewed, 1.0);
+}
+
+} // namespace
+} // namespace amp::arb

@@ -133,6 +133,47 @@ TEST(AdmissionQueue, PriorityAwareRejectsNewcomerOnTie)
     EXPECT_EQ(queue.offer(winner).verdict, AdmissionQueue::Verdict::displaced);
 }
 
+TEST(AdmissionQueue, PriorityAwareKeepsFifoOrderAmongEqualPriorities)
+{
+    // Pin the tie rule the arbiter's probe traffic relies on: when several
+    // queued tickets share the minimum priority, the victim is always the
+    // NEWEST of them, so the survivors are served in arrival (FIFO) order
+    // and a displacement flood can never starve the oldest equal-priority
+    // request.
+    AdmissionQueue queue{AdmissionConfig{3, ShedPolicy::priority_aware}};
+    ASSERT_EQ(queue.offer(make_ticket(1, 0)).verdict, AdmissionQueue::Verdict::admitted);
+    ASSERT_EQ(queue.offer(make_ticket(2, 0)).verdict, AdmissionQueue::Verdict::admitted);
+    ASSERT_EQ(queue.offer(make_ticket(3, 0)).verdict, AdmissionQueue::Verdict::admitted);
+
+    // First displacement: ids {1, 2, 3} all at priority 0 -> id 3 loses.
+    const auto first = queue.offer(make_ticket(4, 5));
+    ASSERT_EQ(first.verdict, AdmissionQueue::Verdict::displaced);
+    ASSERT_NE(first.victim, nullptr);
+    EXPECT_EQ(first.victim->id, 3u) << "newest equal-priority ticket must lose first";
+
+    // Second: {1, 2, high} -> id 2 loses; id 1 (the oldest) still survives.
+    const auto second = queue.offer(make_ticket(5, 5));
+    ASSERT_EQ(second.verdict, AdmissionQueue::Verdict::displaced);
+    ASSERT_NE(second.victim, nullptr);
+    EXPECT_EQ(second.victim->id, 2u);
+
+    // Third: {1, high, high} -> id 1 is finally the only minimum left.
+    const auto third = queue.offer(make_ticket(6, 5));
+    ASSERT_EQ(third.verdict, AdmissionQueue::Verdict::displaced);
+    ASSERT_NE(third.victim, nullptr);
+    EXPECT_EQ(third.victim->id, 1u);
+
+    // Among the equal-priority survivors the queue itself stays in arrival
+    // order: a fourth equal-priority newcomer displaces the newest of the
+    // high tickets, never an older one.
+    const auto fourth = queue.offer(make_ticket(7, 6));
+    ASSERT_EQ(fourth.verdict, AdmissionQueue::Verdict::displaced);
+    ASSERT_NE(fourth.victim, nullptr);
+    EXPECT_EQ(fourth.victim->id, 6u)
+        << "FIFO among equals: the most recent admission is the tie victim";
+    EXPECT_EQ(queue.stats().displaced, 4u);
+}
+
 TEST(AdmissionQueue, RecoveryPriorityAlwaysDisplacesBulkTraffic)
 {
     AdmissionQueue queue{AdmissionConfig{1, ShedPolicy::priority_aware}};
