@@ -8,7 +8,7 @@
 // predicted period for the healthy and degraded schedules.
 //
 // A second scenario compares the two recovery modes on the same failure
-// script: a full pipeline rebuild (allow_delta = false) against the
+// script: a full pipeline rebuild (SwapPolicy::rebuild_only) against the
 // incremental plan-delta hot-swap (plan::diff + Pipeline::apply_delta).
 // The chain is built so the degraded optimum keeps the healthy stage cut,
 // making the kill delta-compatible by construction; the report shows
@@ -101,7 +101,7 @@ int main(int argc, char** argv)
     // stream actually stops (before / during / after), so the in-flight
     // frame swap is measured in its own scenario instead.
     rt::RecoveryOptions window_options;
-    window_options.allow_frame_swap = false;
+    window_options.swap = rt::SwapPolicy::delta;
 
     std::vector<double> stamps; // output delivery times, seconds since start
     stamps.reserve(static_cast<std::size_t>(frames));
@@ -218,10 +218,9 @@ int main(int argc, char** argv)
         return best;
     };
     rt::RecoveryOptions rebuild_options;
-    rebuild_options.allow_delta = false;
-    rebuild_options.allow_frame_swap = false;
+    rebuild_options.swap = rt::SwapPolicy::rebuild_only;
     rt::RecoveryOptions delta_options;
-    delta_options.allow_frame_swap = false;
+    delta_options.swap = rt::SwapPolicy::delta;
     const ModeStats rebuild = run_mode(cmp_chain, cmp_budget, rebuild_options);
     const ModeStats delta = run_mode(cmp_chain, cmp_budget, delta_options);
 
@@ -260,7 +259,7 @@ int main(int argc, char** argv)
                                           cmp_little[i - 2] * task_us, true});
     const core::TaskChain fs_chain{std::move(fs_descs)};
     const core::Resources fs_budget{0, 4};
-    rt::RecoveryOptions frame_options; // allow_delta and allow_frame_swap both on
+    rt::RecoveryOptions frame_options; // SwapPolicy::frame_first (the default)
 
     const ModeStats fs_rebuild = run_mode(fs_chain, fs_budget, rebuild_options);
     const ModeStats fs_delta = run_mode(fs_chain, fs_budget, delta_options);

@@ -98,6 +98,18 @@ void Arbiter::set_weight(TenantId id, double weight)
     }
 }
 
+void Arbiter::set_quota(TenantId id, TenantQuota quota)
+{
+    if (quota.min.big < 0 || quota.min.little < 0)
+        throw std::invalid_argument{"Arbiter::set_quota: negative quota floor"};
+    std::lock_guard lock{mutex_};
+    Tenant& tenant = tenants_.at(id);
+    if (tenant.spec.quota != quota) {
+        tenant.spec.quota = quota;
+        dirty_ = true;
+    }
+}
+
 void Arbiter::update_chain(TenantId id, core::TaskChain chain)
 {
     if (chain.empty())

@@ -168,6 +168,13 @@ public:
     /// on the new chain.
     void update_chain(TenantId id, core::TaskChain chain);
 
+    /// Replaces the tenant's quota bounds (throws std::out_of_range on an
+    /// unknown id, std::invalid_argument on a negative min). This is how an
+    /// autoscaling tenant opts in to returning cores to the shared pool:
+    /// rt::Autoscaler's on_resize hook lowers the cap to the shrunken
+    /// budget and the next rearbitrate() redistributes the freed cores.
+    void set_quota(TenantId id, TenantQuota quota);
+
     /// Grows or shrinks the shared pool (machine reconfiguration).
     void set_pool(core::Resources pool);
 

@@ -7,7 +7,9 @@
 
 namespace amp::core {
 
-namespace {
+// Not anonymous: HeradFrontier::Impl (external linkage) embeds Matrix, and
+// an anonymous-namespace member type would trip GCC's -Wsubobject-linkage.
+namespace herad_impl {
 
 /// One DP cell: the optimal partial solution for (tasks 1..j, b big, l
 /// little). `prev_*` index the predecessor cell (state before the last
@@ -49,7 +51,10 @@ struct Cell {
 class Matrix {
 public:
     Matrix(int n, int b, int l)
-        : stride_b_(static_cast<std::size_t>(l) + 1)
+        : tasks_(n)
+        , big_(b)
+        , little_(l)
+        , stride_b_(static_cast<std::size_t>(l) + 1)
         , stride_j_(static_cast<std::size_t>(b + 1) * stride_b_)
         , cells_(static_cast<std::size_t>(n + 1) * stride_j_)
     {
@@ -69,50 +74,84 @@ public:
                       + static_cast<std::size_t>(rb) * stride_b_ + static_cast<std::size_t>(rl)];
     }
 
+    [[nodiscard]] int tasks() const noexcept { return tasks_; }
+    [[nodiscard]] int big() const noexcept { return big_; }
+    [[nodiscard]] int little() const noexcept { return little_; }
+    [[nodiscard]] std::size_t bytes() const noexcept { return cells_.size() * sizeof(Cell); }
+
+    /// A copy of this matrix embedded into a larger (b, l) budget box; the
+    /// new cells stay default-initialized (the extension pass fills them).
+    [[nodiscard]] Matrix widened(int b, int l) const
+    {
+        Matrix out(tasks_, b, l);
+        for (int j = 0; j <= tasks_; ++j)
+            for (int rb = 0; rb <= big_; ++rb)
+                for (int rl = 0; rl <= little_; ++rl)
+                    out.at(j, rb, rl) = at(j, rb, rl);
+        return out;
+    }
+
 private:
+    int tasks_;
+    int big_;
+    int little_;
     std::size_t stride_b_;
     std::size_t stride_j_;
     std::vector<Cell> cells_;
 };
 
-/// SingleStageSolution (Algo 8): seeds row t with the best single-stage
-/// schedules [1, t] for every (rb, rl) budget.
-void single_stage_solution(int t, Matrix& S, const TaskChain& chain, int b, int l)
+/// The single-stage schedule [1, t] on budget (rb, rl) as a pure function
+/// of the chain -- the per-cell seed of SingleStageSolution (Algo 8). The
+/// extension pass must seed from here rather than from the old matrix: the
+/// little column it would otherwise compare against has already been
+/// overwritten by RecomputeCell, and reading it would shift period-equal
+/// tie-breaks away from the cold solve.
+[[nodiscard]] Cell single_stage_seed(int t, int rb, int rl, const TaskChain& chain)
 {
     const bool replicable = chain.interval_replicable(1, t);
 
-    // Little-core single stage for every little budget (big budget 0).
-    for (int rl = 1; rl <= l; ++rl) {
-        Cell& cell = S.at(t, 0, rl);
-        cell.pbest = chain.stage_weight(1, t, rl, CoreType::little);
-        cell.acc_b = 0;
-        cell.acc_l = static_cast<std::uint16_t>(replicable ? rl : 1);
-        cell.prev_b = 0;
-        cell.prev_l = 0;
-        cell.v = CoreType::little;
-        cell.start = 1;
+    Cell little; // pbest stays infinite when rl == 0
+    if (rl >= 1) {
+        little.pbest = chain.stage_weight(1, t, rl, CoreType::little);
+        little.acc_b = 0;
+        little.acc_l = static_cast<std::uint16_t>(replicable ? rl : 1);
+        little.prev_b = 0;
+        little.prev_l = 0;
+        little.v = CoreType::little;
+        little.start = 1;
     }
+    if (rb < 1)
+        return little;
 
-    // Big-core single stage, compared against the little-core one.
-    for (int rb = 1; rb <= b; ++rb) {
-        const double w_big = chain.stage_weight(1, t, rb, CoreType::big);
-        const auto used_big = static_cast<std::uint16_t>(replicable ? rb : 1);
-        for (int rl = 0; rl <= l; ++rl) {
-            Cell& cell = S.at(t, rb, rl);
-            const Cell& little_cell = S.at(t, 0, rl);
-            if (w_big < little_cell.pbest) {
-                cell.pbest = w_big;
-                cell.acc_b = used_big;
-                cell.acc_l = 0;
-                cell.prev_b = 0;
-                cell.prev_l = 0;
-                cell.v = CoreType::big;
-                cell.start = 1;
-            } else {
-                cell = little_cell;
-            }
-        }
+    const double w_big = chain.stage_weight(1, t, rb, CoreType::big);
+    if (w_big < little.pbest) {
+        Cell big;
+        big.pbest = w_big;
+        big.acc_b = static_cast<std::uint16_t>(replicable ? rb : 1);
+        big.acc_l = 0;
+        big.prev_b = 0;
+        big.prev_l = 0;
+        big.v = CoreType::big;
+        big.start = 1;
+        return big;
     }
+    return little;
+}
+
+/// SingleStageSolution (Algo 8): seeds row t with the best single-stage
+/// schedules [1, t] for every (rb, rl) budget. Budgets inside the
+/// (skip_b, skip_l) box already hold final values from a previous solve
+/// and are left untouched (cold solves pass -1, -1).
+void seed_row(int t, Matrix& S, const TaskChain& chain, int skip_b, int skip_l)
+{
+    for (int rb = 0; rb <= S.big(); ++rb)
+        for (int rl = 0; rl <= S.little(); ++rl) {
+            if (rb <= skip_b && rl <= skip_l)
+                continue;
+            if (rb == 0 && rl == 0)
+                continue; // stays infeasible
+            S.at(t, rb, rl) = single_stage_seed(t, rb, rl, chain);
+        }
 }
 
 /// RecomputeCell (Algo 9): computes P*(j, b, l) from all stage starts i and
@@ -237,23 +276,97 @@ void recompute_cell(int j, Matrix& S, const TaskChain& chain, int b, int l,
     return Solution{std::move(stages)};
 }
 
-[[nodiscard]] Matrix run_dp(const TaskChain& chain, Resources resources,
-                            const HeradOptions& options)
+/// Runs the recurrence over every budget outside the (skip_b, skip_l) box.
+/// The visit order (rows ascending, then (ub, ul) lexicographic) matches
+/// the cold solve's exactly, and every skipped cell already holds the value
+/// the cold solve would have computed, so the new cells see bit-identical
+/// inputs whether the box is empty (cold) or a previous solve's bounds
+/// (extension).
+void run_dp(Matrix& S, const TaskChain& chain, const HeradOptions& options, int skip_b = -1,
+            int skip_l = -1)
 {
-    const int n = chain.size();
-    const int b = resources.big;
-    const int l = resources.little;
-    Matrix S(n, b, l);
-
-    single_stage_solution(1, S, chain, b, l);
-    for (int e = 2; e <= n; ++e) {
-        single_stage_solution(e, S, chain, b, l);
-        for (int ub = 0; ub <= b; ++ub)
-            for (int ul = 0; ul <= l; ++ul)
+    seed_row(1, S, chain, skip_b, skip_l);
+    for (int e = 2; e <= S.tasks(); ++e) {
+        seed_row(e, S, chain, skip_b, skip_l);
+        for (int ub = 0; ub <= S.big(); ++ub)
+            for (int ul = 0; ul <= S.little(); ++ul) {
+                if (ub <= skip_b && ul <= skip_l)
+                    continue;
                 if (ub != 0 || ul != 0)
                     recompute_cell(e, S, chain, ub, ul, options);
+            }
     }
-    return S;
+}
+
+void validate_budget(Resources resources)
+{
+    if (resources.total() < 1)
+        throw std::invalid_argument{"herad: at least one core is required"};
+    if (resources.big > 0xffff || resources.little > 0xffff)
+        throw std::invalid_argument{"herad: resource counts exceed the DP cell capacity"};
+}
+
+} // namespace herad_impl
+
+using herad_impl::extract_solution;
+using herad_impl::Matrix;
+using herad_impl::run_dp;
+using herad_impl::validate_budget;
+
+struct HeradFrontier::Impl {
+    Matrix matrix;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t fingerprint2 = 0;
+    bool prune = true;
+    bool fast_u_search = false;
+};
+
+HeradFrontier::HeradFrontier() = default;
+HeradFrontier::~HeradFrontier() = default;
+
+int HeradFrontier::tasks() const noexcept { return impl_->matrix.tasks(); }
+
+Resources HeradFrontier::computed() const noexcept
+{
+    return Resources{impl_->matrix.big(), impl_->matrix.little()};
+}
+
+bool HeradFrontier::matches(const TaskChain& chain, const HeradOptions& options) const noexcept
+{
+    return impl_->matrix.tasks() == chain.size() && impl_->fingerprint == chain.fingerprint()
+           && impl_->fingerprint2 == chain.fingerprint2() && impl_->prune == options.prune
+           && impl_->fast_u_search == options.fast_u_search;
+}
+
+std::size_t HeradFrontier::bytes() const noexcept { return impl_->matrix.bytes(); }
+
+/// Internal factory/accessor: keeps Matrix out of the public header while
+/// letting the solve paths below build and read frontiers.
+struct HeradFrontierAccess {
+    [[nodiscard]] static std::shared_ptr<const HeradFrontier>
+    make(Matrix matrix, const TaskChain& chain, const HeradOptions& options)
+    {
+        auto frontier = std::shared_ptr<HeradFrontier>(new HeradFrontier());
+        frontier->impl_ = std::make_unique<HeradFrontier::Impl>(HeradFrontier::Impl{
+            std::move(matrix), chain.fingerprint(), chain.fingerprint2(), options.prune,
+            options.fast_u_search});
+        return frontier;
+    }
+
+    [[nodiscard]] static const Matrix& matrix(const HeradFrontier& frontier) noexcept
+    {
+        return frontier.impl_->matrix;
+    }
+};
+
+namespace {
+
+[[nodiscard]] Solution finish(Solution solution, const TaskChain& chain,
+                              const HeradOptions& options)
+{
+    if (options.merge_stages)
+        solution.merge_replicable_stages(chain);
+    return solution;
 }
 
 } // namespace {anonymous}
@@ -262,16 +375,63 @@ Solution detail::herad(const TaskChain& chain, Resources resources, const HeradO
 {
     if (chain.empty())
         return Solution{};
-    if (resources.total() < 1)
-        throw std::invalid_argument{"herad: at least one core is required"};
-    if (resources.big > 0xffff || resources.little > 0xffff)
-        throw std::invalid_argument{"herad: resource counts exceed the DP cell capacity"};
+    validate_budget(resources);
 
-    const Matrix S = run_dp(chain, resources, options);
-    Solution solution = extract_solution(S, chain, resources.big, resources.little);
-    if (options.merge_stages)
-        solution.merge_replicable_stages(chain);
-    return solution;
+    Matrix S(chain.size(), resources.big, resources.little);
+    run_dp(S, chain, options);
+    return finish(extract_solution(S, chain, resources.big, resources.little), chain, options);
+}
+
+WarmSolveResult detail::herad_with_frontier(const TaskChain& chain, Resources resources,
+                                            const HeradOptions& options)
+{
+    WarmSolveResult out;
+    if (chain.empty())
+        return out;
+    validate_budget(resources);
+
+    Matrix S(chain.size(), resources.big, resources.little);
+    run_dp(S, chain, options);
+    out.solution =
+        finish(extract_solution(S, chain, resources.big, resources.little), chain, options);
+    out.frontier = HeradFrontierAccess::make(std::move(S), chain, options);
+    return out;
+}
+
+WarmSolveResult detail::herad_warm(const TaskChain& chain, Resources resources,
+                                   std::shared_ptr<const HeradFrontier> base,
+                                   const HeradOptions& options)
+{
+    if (base == nullptr || !base->matches(chain, options))
+        throw std::invalid_argument{
+            "herad_warm: the frontier belongs to a different chain or recurrence options"};
+    if (chain.empty())
+        return WarmSolveResult{};
+    validate_budget(resources);
+
+    const Matrix& computed = HeradFrontierAccess::matrix(*base);
+    WarmSolveResult out;
+    out.incremental = true;
+    if (resources.big <= computed.big() && resources.little <= computed.little()) {
+        // Shrink (or repeat): the matrix already holds the optimum for every
+        // sub-budget -- a pure backwalk, no recurrence at all.
+        out.solution =
+            finish(extract_solution(computed, chain, resources.big, resources.little), chain,
+                   options);
+        out.frontier = std::move(base);
+        return out;
+    }
+
+    // Grow: widen the budget box and run the recurrence over the new cells
+    // only. Bounds take the max per axis so a mixed grow/shrink step still
+    // extends one axis and extracts at the other.
+    Matrix S = computed.widened(std::max(resources.big, computed.big()),
+                                std::max(resources.little, computed.little()));
+    run_dp(S, chain, options, computed.big(), computed.little());
+    out.solution =
+        finish(extract_solution(S, chain, resources.big, resources.little), chain, options);
+    out.frontier = HeradFrontierAccess::make(std::move(S), chain, options);
+    return out;
 }
 
 double herad_optimal_period(const TaskChain& chain, Resources resources)

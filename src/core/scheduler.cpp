@@ -1,23 +1,53 @@
 #include "core/scheduler.hpp"
 
+#include <array>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 namespace amp::core {
 
+StrategyParseError::StrategyParseError(std::string name)
+    : std::invalid_argument{"unknown strategy: " + name
+                            + " (expected one of: herad, 2catac, fertac, otac-b, otac-l)"}
+    , name_{std::move(name)}
+{
+}
+
+std::optional<Strategy> try_parse_strategy(std::string_view name) noexcept
+{
+    // Normalize into a fixed buffer (lowercase, spaces dropped) so the
+    // noexcept promise holds: every accepted spelling fits, anything longer
+    // is unknown anyway.
+    std::array<char, 16> buffer{};
+    std::size_t length = 0;
+    for (const char c : name) {
+        if (c == ' ')
+            continue;
+        if (length == buffer.size())
+            return std::nullopt;
+        buffer[length++] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+    }
+    const std::string_view key{buffer.data(), length};
+
+    if (key == "herad")
+        return Strategy::herad;
+    if (key == "2catac" || key == "twocatac")
+        return Strategy::twocatac;
+    if (key == "fertac")
+        return Strategy::fertac;
+    if (key == "otac-b" || key == "otac_big" || key == "otac(b)")
+        return Strategy::otac_big;
+    if (key == "otac-l" || key == "otac_little" || key == "otac(l)")
+        return Strategy::otac_little;
+    return std::nullopt;
+}
+
 Strategy parse_strategy(const std::string& name)
 {
-    if (name == "herad" || name == "HeRAD")
-        return Strategy::herad;
-    if (name == "2catac" || name == "twocatac" || name == "2CATAC")
-        return Strategy::twocatac;
-    if (name == "fertac" || name == "FERTAC")
-        return Strategy::fertac;
-    if (name == "otac-b" || name == "otac_big" || name == "OTAC(B)")
-        return Strategy::otac_big;
-    if (name == "otac-l" || name == "otac_little" || name == "OTAC(L)")
-        return Strategy::otac_little;
-    throw std::invalid_argument{"unknown strategy: " + name};
+    if (const auto strategy = try_parse_strategy(name))
+        return *strategy;
+    throw StrategyParseError{name};
 }
 
 namespace {
@@ -39,19 +69,43 @@ ScheduleError validate(const ScheduleRequest& request)
     return ScheduleError::ok;
 }
 
-Solution dispatch(const ScheduleRequest& request, ScheduleStats* stats)
+void dispatch(const ScheduleRequest& request, ScheduleResult& result)
 {
     const TaskChain& chain = request.chain;
     const Resources resources = request.resources;
     switch (request.strategy) {
-    case Strategy::herad: return detail::herad(chain, resources, request.options.herad());
-    case Strategy::twocatac: return detail::twocatac(chain, resources, stats);
+    case Strategy::herad: {
+        const HeradOptions options = request.options.herad();
+        if (request.warm.engaged()) {
+            // Warm path: reuse the hinted frontier when it matches this
+            // chain/options, otherwise run cold but retain a fresh frontier
+            // for the next re-solve. Either way the solution is identical
+            // to detail::herad's.
+            const auto& base = request.warm.frontier;
+            WarmSolveResult warm = (base != nullptr && base->matches(chain, options))
+                                       ? detail::herad_warm(chain, resources, base, options)
+                                       : detail::herad_with_frontier(chain, resources, options);
+            result.solution = std::move(warm.solution);
+            result.frontier = std::move(warm.frontier);
+            result.warm_start = warm.incremental;
+            return;
+        }
+        result.solution = detail::herad(chain, resources, options);
+        return;
+    }
+    case Strategy::twocatac:
+        result.solution = detail::twocatac(chain, resources, &result.stats);
+        return;
     case Strategy::fertac:
-        return detail::fertac(chain, resources, stats, request.options.preference);
+        result.solution =
+            detail::fertac(chain, resources, &result.stats, request.options.preference);
+        return;
     case Strategy::otac_big:
-        return detail::otac(chain, resources.big, CoreType::big, stats);
+        result.solution = detail::otac(chain, resources.big, CoreType::big, &result.stats);
+        return;
     case Strategy::otac_little:
-        return detail::otac(chain, resources.little, CoreType::little, stats);
+        result.solution = detail::otac(chain, resources.little, CoreType::little, &result.stats);
+        return;
     }
     throw std::logic_error{"unreachable"};
 }
@@ -67,7 +121,7 @@ ScheduleResult schedule(const ScheduleRequest& request)
 
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        result.solution = dispatch(request, &result.stats);
+        dispatch(request, result);
     } catch (const std::invalid_argument&) {
         result.error = ScheduleError::invalid_request;
     } catch (...) {
@@ -77,19 +131,26 @@ ScheduleResult schedule(const ScheduleRequest& request)
         std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now()
                                                              - t0)
             .count());
-    if (result.error != ScheduleError::ok)
+    if (result.error != ScheduleError::ok) {
+        result.frontier.reset();
+        result.warm_start = false;
         return result;
+    }
 
     // The old API signalled infeasibility with an empty solution; surface
     // that (and any budget overrun or malformed stage list) explicitly.
     if (result.solution.empty() || !result.solution.is_well_formed(request.chain)) {
         result.solution.clear();
+        result.frontier.reset();
+        result.warm_start = false;
         result.error = ScheduleError::infeasible;
         return result;
     }
     const Resources used = result.solution.used();
     if (used.big > request.resources.big || used.little > request.resources.little) {
         result.solution.clear();
+        result.frontier.reset();
+        result.warm_start = false;
         result.error = ScheduleError::infeasible;
     }
     return result;

@@ -20,7 +20,11 @@
 #include "core/twocatac.hpp"
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace amp::core {
 
@@ -59,7 +63,27 @@ inline constexpr Strategy kAllStrategies[] = {Strategy::herad, Strategy::twocata
     return "?";
 }
 
-/// Parses a strategy name ("herad", "2catac", "fertac", "otac-b", "otac-l").
+/// parse_strategy failure: the name matched no strategy. Derives from
+/// std::invalid_argument so pre-existing handlers keep working; `name()`
+/// carries the offending spelling.
+class StrategyParseError : public std::invalid_argument {
+public:
+    explicit StrategyParseError(std::string name);
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+};
+
+/// Parses a strategy name, case-insensitively and ignoring spaces: every
+/// to_key spelling ("herad", "2catac", "fertac", "otac-b", "otac-l"), the
+/// paper display names ("HeRAD", "OTAC (B)", ...) and the legacy aliases
+/// ("twocatac", "otac_big", "otac_little"). Returns nullopt on anything
+/// else.
+[[nodiscard]] std::optional<Strategy> try_parse_strategy(std::string_view name) noexcept;
+
+/// Throwing form of try_parse_strategy: raises StrategyParseError (never a
+/// silent default) when the name matches no strategy.
 [[nodiscard]] Strategy parse_strategy(const std::string& name);
 
 /// Strategy knobs, unified across all five strategies. Strategies ignore
@@ -94,6 +118,28 @@ struct ScheduleOptions {
     }
 };
 
+/// Warm-start hint for resize re-solves (the autoscaling control loop,
+/// docs/AUTOSCALING.md): carry the DP frontier retained by a previous HeRAD
+/// solve of the SAME chain and the solver answers a changed resource vector
+/// incrementally -- a shrink by a pure backwalk, a grow by computing only
+/// the new budget cells -- with a solution bit-identical to the cold solve.
+/// Like deadline/priority, the hint is NOT part of the cache identity
+/// (svc::key_of): it changes how fast the answer is computed, never what it
+/// is. Non-HeRAD strategies and mismatched frontiers fall back to the cold
+/// solve transparently.
+struct WarmStart {
+    /// Frontier from a previous solve (ScheduleResult::frontier); null on
+    /// the first solve of a control loop.
+    std::shared_ptr<const HeradFrontier> frontier;
+    /// Retain a frontier on the result even when `frontier` is null (or no
+    /// longer matches), so the NEXT re-solve can warm-start. Implied by a
+    /// non-null `frontier`.
+    bool keep_frontier = false;
+
+    /// True when the hint asks for warm-start handling at all.
+    [[nodiscard]] bool engaged() const noexcept { return frontier != nullptr || keep_frontier; }
+};
+
 /// One scheduling query: solve `chain` on resources R = (b, l) with
 /// `strategy`. OTAC (B) / OTAC (L) ignore the cores of the other type, as
 /// in the paper.
@@ -102,6 +148,10 @@ struct ScheduleRequest {
     Resources resources;
     Strategy strategy = Strategy::herad;
     ScheduleOptions options{};
+
+    /// Warm-start hint; like the admission metadata below, never part of
+    /// the cache identity.
+    WarmStart warm{};
 
     // -- admission metadata (svc::SolverService, docs/SOLVER_SERVICE.md) --
     // Neither field is part of the cache identity (svc::key_of): two
@@ -162,6 +212,15 @@ struct ScheduleResult {
     /// background refinement re-solves the exact request.
     bool degraded = false;
     std::uint64_t solve_ns = 0; ///< wall time of the solve (or cache lookup)
+
+    /// DP frontier for warm-starting the next re-solve. Set only for HeRAD
+    /// requests with an engaged WarmStart hint; a frontier is O(n * b * l)
+    /// cells, so svc::SolverService strips it from cached copies (a cache
+    /// hit returns none -- keep the one you already hold, it still matches).
+    std::shared_ptr<const HeradFrontier> frontier;
+    /// True when the solve reused the hint's frontier (backwalk or
+    /// extension) instead of running the full recurrence.
+    bool warm_start = false;
 
     [[nodiscard]] bool ok() const noexcept { return error == ScheduleError::ok; }
 };

@@ -663,4 +663,126 @@ MultiTenantResult simulate_multi_tenant(const MultiTenantScenario& scenario)
     return result;
 }
 
+AutoscaleSimResult simulate_autoscale(const AutoscaleScenario& scenario)
+{
+    if (scenario.chain.empty())
+        throw std::invalid_argument{"simulate_autoscale: empty chain"};
+    if (scenario.load.empty())
+        throw std::invalid_argument{"simulate_autoscale: empty load profile"};
+    for (std::size_t i = 1; i < scenario.load.size(); ++i)
+        if (scenario.load[i].at_us < scenario.load[i - 1].at_us)
+            throw std::invalid_argument{"simulate_autoscale: load profile must be sorted"};
+    if (scenario.sample_period_us <= 0)
+        throw std::invalid_argument{"simulate_autoscale: sample period must be positive"};
+    if (scenario.horizon_us <= 0)
+        throw std::invalid_argument{"simulate_autoscale: horizon must be positive"};
+    if (scenario.initial.total() < 1)
+        throw std::invalid_argument{"simulate_autoscale: empty initial pool"};
+
+    // Same clamp defaulting as the live Autoscaler: an unset max would
+    // forbid every grow.
+    rt::AutoscalePolicy policy = scenario.policy;
+    policy.max_pool.big = std::max(policy.max_pool.big, scenario.initial.big);
+    policy.max_pool.little = std::max(policy.max_pool.little, scenario.initial.little);
+
+    AutoscaleSimResult result;
+    result.final_pool = scenario.initial;
+
+    // One warm-start chain threads through every re-solve of the replay,
+    // exactly like the live Autoscaler's retained frontier.
+    std::shared_ptr<const core::HeradFrontier> frontier;
+    std::uint64_t resolves = 0;
+    std::uint64_t warm_resolves = 0;
+    const auto solve_pool = [&](core::Resources target) -> core::ScheduleResult {
+        core::ScheduleRequest request{scenario.chain, target, core::Strategy::herad,
+                                      scenario.options};
+        request.priority = svc::kRecoveryPriority;
+        request.warm.frontier = frontier;
+        request.warm.keep_frontier = true;
+        core::ScheduleResult solved = scenario.service != nullptr
+                                          ? scenario.service->solve(request)
+                                          : core::schedule(request);
+        if (solved.ok()) {
+            if (solved.frontier != nullptr)
+                frontier = solved.frontier;
+            ++resolves;
+            // A service cache hit skipped the DP just like the incremental
+            // path did; count both as warm so replays through a shared
+            // (pre-populated) service stay trace-equal.
+            if (solved.warm_start || solved.cache_hit)
+                ++warm_resolves;
+        }
+        return solved;
+    };
+
+    const core::ScheduleResult first = solve_pool(scenario.initial);
+    if (!first.ok())
+        throw std::invalid_argument{"simulate_autoscale: initial pool admits no schedule"};
+    double period_us = expected_period_us(scenario.chain, first.solution);
+
+    rt::AutoscaleController controller{policy};
+    double tracking_error_sum = 0.0;
+    std::int64_t last_landed_us = std::numeric_limits<std::int64_t>::min();
+    result.min_action_gap_us = scenario.horizon_us;
+    std::size_t load_index = 0;
+
+    for (std::int64_t now_us = scenario.sample_period_us; now_us < scenario.horizon_us;
+         now_us += scenario.sample_period_us) {
+        while (load_index + 1 < scenario.load.size()
+               && scenario.load[load_index + 1].at_us <= now_us)
+            ++load_index;
+        const double offered_fps = scenario.load[load_index].offered_fps;
+        // Utilization = offered load over delivered capacity, the virtual
+        // stand-in for the pipeline's worst queue-depth fraction.
+        const double capacity_fps = period_us > 0.0 ? 1e6 / period_us : 0.0;
+        const double utilization = capacity_fps > 0.0 ? offered_fps / capacity_fps : 0.0;
+        ++result.samples;
+        tracking_error_sum += std::abs(utilization - policy.target_utilization);
+        result.max_utilization = std::max(result.max_utilization, utilization);
+
+        const rt::ScaleDecision decision = controller.observe(utilization, now_us * 1000);
+        if (decision == rt::ScaleDecision::hold)
+            continue;
+
+        AutoscaleEventRecord event;
+        event.at_us = now_us;
+        event.decision = decision;
+        event.before = result.final_pool;
+        event.after = result.final_pool;
+        event.utilization = utilization;
+        event.period_us = period_us;
+
+        const auto target = rt::AutoscaleController::stepped(policy, result.final_pool, decision);
+        if (!target) {
+            ++result.clamped;
+            result.events.push_back(event);
+            continue;
+        }
+        const core::ScheduleResult solved = solve_pool(*target);
+        if (!solved.ok()) {
+            ++result.infeasible;
+            result.events.push_back(event);
+            continue;
+        }
+        result.final_pool = *target;
+        period_us = expected_period_us(scenario.chain, solved.solution);
+        event.after = *target;
+        event.period_us = period_us;
+        event.warm = solved.warm_start || solved.cache_hit;
+        (decision == rt::ScaleDecision::grow ? result.grows : result.shrinks) += 1;
+        if (last_landed_us != std::numeric_limits<std::int64_t>::min())
+            result.min_action_gap_us =
+                std::min(result.min_action_gap_us, now_us - last_landed_us);
+        last_landed_us = now_us;
+        result.events.push_back(event);
+    }
+
+    result.warm_fraction =
+        resolves > 0 ? static_cast<double>(warm_resolves) / static_cast<double>(resolves) : 0.0;
+    result.mean_tracking_error =
+        result.samples > 0 ? tracking_error_sum / static_cast<double>(result.samples) : 0.0;
+    result.final_period_us = period_us;
+    return result;
+}
+
 } // namespace amp::dsim

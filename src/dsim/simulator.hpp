@@ -23,6 +23,7 @@
 #include "core/solution.hpp"
 #include "obs/sink.hpp"
 #include "plan/execution_plan.hpp"
+#include "rt/autoscaler.hpp"
 #include "rt/rescheduler.hpp"
 #include "svc/admission.hpp"
 #include "svc/circuit_breaker.hpp"
@@ -347,5 +348,82 @@ struct MultiTenantResult {
 /// on an absent one, throws std::invalid_argument. Purely deterministic:
 /// equal scenarios produce identical traces on every platform.
 [[nodiscard]] MultiTenantResult simulate_multi_tenant(const MultiTenantScenario& scenario);
+
+// ---------------------------------------------------------------------------
+// Autoscaling replay (docs/AUTOSCALING.md)
+//
+// Virtual-time replay of the rt::Autoscaler control loop against a scripted
+// offered-load profile. As with the admission and multi-tenant replays the
+// decision logic is not re-implemented: the replay drives the real
+// rt::AutoscaleController (hysteresis, patience, cooldown, clamps) and the
+// real warm-start solver, so a live autoscaler fed the same utilization
+// series takes the same actions. Utilization is offered load over delivered
+// capacity (offered_fps * period_us / 1e6); both sides of the loop are
+// deterministic, so equal scenarios produce identical event traces.
+
+/// One step of the offered-load profile: from `at_us` on, the stream offers
+/// `offered_fps` frames per second (step-hold until the next point).
+struct LoadPoint {
+    std::int64_t at_us = 0;
+    double offered_fps = 0.0;
+};
+
+struct AutoscaleScenario {
+    core::TaskChain chain;
+    core::Resources initial{};
+    rt::AutoscalePolicy policy{};
+    core::ScheduleOptions options{};
+    /// Offered-load profile, sorted by at_us; the first point's rate also
+    /// holds before its timestamp. Must be non-empty.
+    std::vector<LoadPoint> load;
+    std::int64_t horizon_us = 1'000'000;
+    /// Controller observation window (one utilization sample per period).
+    std::int64_t sample_period_us = 5'000;
+    /// Solver service for the re-solves; null = direct core::schedule calls
+    /// (no cache). With a service, a replayed re-solve may be answered from
+    /// cache -- the event's `warm` flag covers both, keeping traces equal.
+    svc::SolverService* service = nullptr;
+};
+
+/// One non-hold controller action of the replay (landed or clamped).
+struct AutoscaleEventRecord {
+    std::int64_t at_us = 0;
+    rt::ScaleDecision decision = rt::ScaleDecision::hold;
+    core::Resources before{};
+    core::Resources after{};       ///< == before when clamped/infeasible
+    double utilization = 0.0;      ///< the sample that tripped the action
+    double period_us = 0.0;        ///< achieved period after the action
+    /// Re-solve avoided the cold DP: incremental warm path or a service
+    /// cache hit (the two are equivalent for trace determinism).
+    bool warm = false;
+
+    [[nodiscard]] bool operator==(const AutoscaleEventRecord&) const noexcept = default;
+};
+
+struct AutoscaleSimResult {
+    std::vector<AutoscaleEventRecord> events;
+    std::uint64_t samples = 0;
+    std::uint64_t grows = 0;
+    std::uint64_t shrinks = 0;
+    std::uint64_t clamped = 0;    ///< decisions absorbed by min/max clamps
+    std::uint64_t infeasible = 0; ///< targets admitting no schedule
+    double warm_fraction = 0.0;   ///< warm re-solves / total re-solves
+    /// Mean |utilization - policy.target_utilization| over all samples:
+    /// the controller tracking error the bench gates on.
+    double mean_tracking_error = 0.0;
+    double max_utilization = 0.0;
+    core::Resources final_pool{};
+    double final_period_us = 0.0;
+    /// Smallest virtual-time gap between two landed actions (horizon_us
+    /// when fewer than two landed): >= policy.cooldown_ns / 1000 proves
+    /// the controller never flapped within the cooldown.
+    std::int64_t min_action_gap_us = 0;
+};
+
+/// Replays `scenario` through the real controller + warm solver in virtual
+/// time. Throws std::invalid_argument on an empty chain/load profile, an
+/// unsorted profile, or a non-positive sample period. Deterministic: equal
+/// scenarios produce identical traces on every platform.
+[[nodiscard]] AutoscaleSimResult simulate_autoscale(const AutoscaleScenario& scenario);
 
 } // namespace amp::dsim

@@ -453,6 +453,16 @@ public:
     using LossHandler = std::function<bool(const WorkerLoss&)>;
     void set_loss_handler(LossHandler handler) { loss_handler_ = std::move(handler); }
 
+    /// Invoked on the watchdog thread once per overload-monitor pass with
+    /// the worst inter-stage queue depth as a fraction of queue capacity
+    /// (uncapped: > 1.0 when force-pushed frames exceed the nominal
+    /// capacity). Requires PipelineConfig::overload.enabled -- that is what
+    /// runs the monitor; the brownout watermarks may stay at their
+    /// defaults. rt::Autoscaler samples its utilization signal here.
+    /// Install between runs only, like the loss handler.
+    using MonitorHook = std::function<void(double)>;
+    void set_monitor_hook(MonitorHook hook) { monitor_hook_ = std::move(hook); }
+
     /// Frame-granular hot-swap: applies a resize-only delta while a stream
     /// segment is in flight, without draining. Queues and untouched stages
     /// survive; spawned workers enter the *current* epoch (they start
@@ -1321,6 +1331,8 @@ private:
             if (!st.obs.queue_depth.empty())
                 st.obs.queue_depth[s]->set(static_cast<double>(depth));
         }
+        if (monitor_hook_)
+            monitor_hook_(worst);
         const bool was = st.brownout.browned_out();
         const bool browned = st.brownout.feed(std::min(1.0, worst));
         if (st.obs.brownout_level != nullptr)
@@ -1459,6 +1471,7 @@ private:
     mutable std::mutex workers_mutex_;
     std::mutex swap_mutex_; ///< serializes try_apply_delta_in_flight calls
     LossHandler loss_handler_;
+    MonitorHook monitor_hook_;
 
     obs::TraceRecorder* trace_ = nullptr; ///< resolved once at materialize
     std::size_t watchdog_track_ = 0;

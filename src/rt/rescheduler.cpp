@@ -81,14 +81,16 @@ void Rescheduler::remove_cores(core::CoreType type, int count)
     resources_.count(type) = std::max(0, resources_.count(type) - count);
 }
 
-std::optional<core::Solution>
-Rescheduler::report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
-                                      const std::vector<obs::HistogramSnapshot>& little_us)
+std::optional<core::Solution> Rescheduler::observe(const TelemetrySnapshot& telemetry)
 {
+    const std::vector<obs::HistogramSnapshot>& big_us = telemetry.big_us;
+    const std::vector<obs::HistogramSnapshot>& little_us = telemetry.little_us;
+    if (big_us.empty() && little_us.empty())
+        return std::nullopt; // load-only snapshot: nothing for the drift detector
+
     const auto n = static_cast<std::size_t>(chain_.size());
     if (big_us.size() != n || little_us.size() != n)
-        throw std::invalid_argument{
-            "report_latency_snapshots: snapshot vectors must match chain size"};
+        throw std::invalid_argument{"observe: snapshot vectors must match chain size"};
 
     // Drift signal: p95 of the observed latency distribution against the
     // weight the schedule was computed for. Tasks without samples on a core
@@ -149,24 +151,79 @@ Rescheduler::report_latency_snapshots(const std::vector<obs::HistogramSnapshot>&
     return recompute();
 }
 
+// Deprecated forwarders, kept for one PR: both legacy entry points wrap
+// their arguments into a TelemetrySnapshot and flow through observe().
+// (Defining a [[deprecated]] function does not warn; only calls do.)
+std::optional<core::Solution>
+Rescheduler::report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
+                                      const std::vector<obs::HistogramSnapshot>& little_us)
+{
+    TelemetrySnapshot telemetry;
+    telemetry.big_us = big_us;
+    telemetry.little_us = little_us;
+    if (telemetry.big_us.empty() && telemetry.little_us.empty())
+        throw std::invalid_argument{"observe: snapshot vectors must match chain size"};
+    return observe(telemetry);
+}
+
 std::optional<core::Solution> Rescheduler::report_profile(const std::vector<double>& big_us,
                                                           const std::vector<double>& little_us)
 {
     const auto n = static_cast<std::size_t>(chain_.size());
     if (big_us.size() != n || little_us.size() != n)
-        throw std::invalid_argument{"report_profile: weight vectors must match chain size"};
+        throw std::invalid_argument{"observe: weight vectors must match chain size"};
 
-    std::vector<obs::HistogramSnapshot> big(n);
-    std::vector<obs::HistogramSnapshot> little(n);
+    TelemetrySnapshot telemetry;
+    telemetry.big_us.resize(n);
+    telemetry.little_us.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         obs::Histogram h_big;
         h_big.record_us(big_us[i]);
-        big[i] = h_big.snapshot();
+        telemetry.big_us[i] = h_big.snapshot();
         obs::Histogram h_little;
         h_little.record_us(little_us[i]);
-        little[i] = h_little.snapshot();
+        telemetry.little_us[i] = h_little.snapshot();
     }
-    return report_latency_snapshots(big, little);
+    return observe(telemetry);
+}
+
+core::Solution Rescheduler::resize_to(core::Resources target)
+{
+    if (target.big < 0 || target.little < 0 || target.total() < 1)
+        throw NoScheduleError{"resize_to: the target resource vector is empty"};
+    if (target == resources_)
+        return solution_;
+
+    // Warm fast path: a HeRAD primary answers a resize from the retained DP
+    // frontier (backwalk or extension) instead of re-running the candidate
+    // batch. The first resize runs cold and collects the frontier.
+    if (policy_.primary == core::Strategy::herad) {
+        core::ScheduleRequest request{chain_, target, core::Strategy::herad};
+        request.priority = svc::kRecoveryPriority;
+        request.warm.frontier = frontier_;
+        request.warm.keep_frontier = true;
+        svc::SolverService& service =
+            policy_.service != nullptr ? *policy_.service : svc::shared_service();
+        core::ScheduleResult result = service.solve(request);
+        if (result.ok()) {
+            if (result.frontier != nullptr)
+                frontier_ = std::move(result.frontier);
+            resources_ = target;
+            solution_ = std::move(result.solution);
+            return solution_;
+        }
+        // Infeasible/rejected: fall through to the full candidate batch,
+        // which throws NoScheduleError with the budget in the message.
+    }
+
+    const core::Resources keep = resources_;
+    resources_ = target;
+    try {
+        return recompute();
+    } catch (...) {
+        resources_ = keep;
+        throw;
+    }
 }
 
 } // namespace amp::rt

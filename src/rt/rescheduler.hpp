@@ -52,6 +52,27 @@ struct ReschedulePolicy {
     svc::SolverService* service = nullptr;
 };
 
+/// One observation window of runtime telemetry -- the single input both
+/// control loops consume: Rescheduler::observe runs drift detection over
+/// the per-task latency histograms, rt::Autoscaler feeds the load fields
+/// (queue depth / p95) to its scaling controller. Producers fill what they
+/// sampled and leave the rest at the "not sampled" defaults.
+struct TelemetrySnapshot {
+    /// Per-task latency histograms, 1-based task order, one per core type.
+    /// Leave both vectors empty to skip drift detection entirely (a
+    /// load-only snapshot); leave an element empty when the task did not
+    /// run on that core type this window.
+    std::vector<obs::HistogramSnapshot> big_us;
+    std::vector<obs::HistogramSnapshot> little_us;
+    /// Worst inter-stage queue depth as a fraction of queue capacity (the
+    /// pipeline monitor hook's signal); negative = not sampled.
+    double queue_depth_frac = -1.0;
+    /// End-to-end p95 latency in microseconds; <= 0 = not sampled.
+    double p95_us = 0.0;
+    /// Steady-clock timestamp of the window end in nanoseconds (0 = now).
+    std::int64_t at_ns = 0;
+};
+
 class Rescheduler {
 public:
     /// Computes the initial solution eagerly; throws NoScheduleError when
@@ -80,24 +101,36 @@ public:
     /// intermediate solution -- per lost core.
     void remove_cores(core::CoreType type, int count = 1);
 
-    /// Feeds one observation window of per-task latency histograms (1-based
-    /// task order, one snapshot per core type; leave a snapshot empty when
-    /// the task did not run on that core type). A task counts as drifted
-    /// when its p95 departs from the scheduled weight by more than
+    /// Feeds one telemetry window: runs drift detection over the per-task
+    /// latency histograms when the snapshot carries any. A task counts as
+    /// drifted when its p95 departs from the scheduled weight by more than
     /// policy.drift_threshold (relative). After policy.drift_patience
     /// consecutive drifted windows, the chain is rebuilt around the
     /// observed mean latencies and the schedule recomputed; returns the new
-    /// solution then, nullopt otherwise.
+    /// solution then, nullopt otherwise. The load fields (queue depth, p95)
+    /// are not consumed here -- rt::Autoscaler::observe reads the same
+    /// snapshot, so one telemetry producer feeds both control loops.
+    std::optional<core::Solution> observe(const TelemetrySnapshot& telemetry);
+
+    [[deprecated("collapsed into observe(TelemetrySnapshot): wrap the two "
+                 "vectors in a TelemetrySnapshot{big, little} instead")]]
     std::optional<core::Solution>
     report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
                              const std::vector<obs::HistogramSnapshot>& little_us);
 
-    /// Feeds one offline profiler report (average per-task latencies in us,
-    /// 1-based order, both core types). Thin wrapper: each average becomes a
-    /// single-sample histogram snapshot and flows through the same
-    /// report_latency_snapshots drift detector as live telemetry.
+    [[deprecated("collapsed into observe(TelemetrySnapshot): wrap each "
+                 "average as a single-sample obs::Histogram snapshot")]]
     std::optional<core::Solution> report_profile(const std::vector<double>& big_us,
                                                  const std::vector<double>& little_us);
+
+    /// Re-solves for a changed resource vector -- the autoscaler's
+    /// grow/shrink step -- and adopts chain/resources/solution on success.
+    /// A HeRAD primary re-solves incrementally from the DP frontier
+    /// retained across calls (core::WarmStart), so ±k-core steps cost a
+    /// small fraction of a cold solve; other strategies recompute the full
+    /// candidate batch. Throws NoScheduleError when the target admits no
+    /// schedule (the previous state is kept).
+    core::Solution resize_to(core::Resources target);
 
     /// Consecutive drifted reports seen so far (for tests/metrics).
     [[nodiscard]] int drift_streak() const noexcept { return drift_streak_; }
@@ -107,6 +140,10 @@ private:
     core::Resources resources_;
     ReschedulePolicy policy_;
     core::Solution solution_;
+    /// Warm-start frontier retained across resize_to calls (HeRAD primary
+    /// only; invalidated implicitly when the chain is rebuilt -- a stale
+    /// frontier no longer matches and the solver runs cold, refreshing it).
+    std::shared_ptr<const core::HeradFrontier> frontier_;
     int drift_streak_ = 0;
     /// Running *sums* of the per-window observed means across the current
     /// drift streak (averaged at rebuild time; cleared when the streak
@@ -132,20 +169,42 @@ struct RecoveryReport {
     double swap_seconds = 0.0; ///< time spent applying deltas / rebuilding
 };
 
+/// How a schedule change may land on a live pipeline. One ladder shared by
+/// run_with_recovery, the arbiter's pipeline endpoint
+/// (rt::PipelineTenantEndpoint) and the autoscaler (rt::Autoscaler); it
+/// replaces the old RecoveryOptions::{allow_delta, allow_frame_swap} bool
+/// pair (mapping table in docs/EXECUTION_PLAN.md §3.2). Each level
+/// includes everything below it as fallback.
+enum class SwapPolicy : std::uint8_t {
+    /// Never mutate a built pipeline: every change drains, tears down and
+    /// rebuilds.
+    rebuild_only,
+    /// Apply compatible deltas between segments (plan::diff + apply_delta:
+    /// untouched stages keep their threads and queues); incompatible
+    /// (recut) changes rebuild. No mid-segment swaps.
+    delta,
+    /// Land *resize-only* changes mid-segment without draining
+    /// (Pipeline::try_apply_delta_in_flight): replacement workers join the
+    /// live stream at the next frame boundary. Changes that do not qualify
+    /// -- rebound stages, recuts, or a stateful reclaim timeout -- fall
+    /// down the ladder. The default.
+    frame_first,
+};
+
+[[nodiscard]] constexpr const char* to_string(SwapPolicy policy) noexcept
+{
+    switch (policy) {
+    case SwapPolicy::rebuild_only: return "rebuild_only";
+    case SwapPolicy::delta: return "delta";
+    case SwapPolicy::frame_first: return "frame_first";
+    }
+    return "?";
+}
+
 /// Knobs for run_with_recovery's hot-swap path.
 struct RecoveryOptions {
-    /// Apply compatible schedule changes in place (plan::diff + apply_delta:
-    /// untouched stages keep their threads and queues) instead of tearing
-    /// the pipeline down and rebuilding. Incompatible deltas (a recut stage
-    /// structure) always fall back to a full rebuild.
-    bool allow_delta = true;
-    /// When a loss re-solves to a *resize-only* delta (every stage kept or
-    /// resized, nothing rebound), apply it mid-segment without draining:
-    /// replacement workers join the live stream at the next frame boundary.
-    /// Losses whose delta does not qualify -- or whose in-flight apply
-    /// cannot reclaim a stateful stage's task instances in time -- fall
-    /// back to the drain path above.
-    bool allow_frame_swap = true;
+    /// How recoveries may land on the running pipeline.
+    SwapPolicy swap = SwapPolicy::frame_first;
 };
 
 /// Runs the stream [config.first_frame, num_frames) with automatic recovery:
@@ -199,7 +258,7 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
     // resize-only. Runs on the watchdog thread; `report` and `max_recoveries`
     // are safe to read -- the main thread only writes them between runs.
     auto install_handler = [&](Pipeline<T>& p) {
-        if (!options.allow_frame_swap)
+        if (options.swap != SwapPolicy::frame_first)
             return;
         p.set_loss_handler([&](const WorkerLoss& loss) -> bool {
             std::lock_guard lock{swap_state.mutex};
@@ -217,8 +276,6 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
                 return false;
             }
             swap_state.handled_workers.push_back(loss.worker);
-            if (!options.allow_delta)
-                return false; // drain-and-rebuild mode: solution is ready, no swap
             plan::ExecutionPlan candidate =
                 plan::ExecutionPlan::compile(rescheduler.chain(), degraded,
                                              plan::PlanOptions{config.queue_capacity});
@@ -345,7 +402,7 @@ RecoveryReport run_with_recovery(TaskSequence<T>& sequence, Rescheduler& resched
             plan::ExecutionPlan::compile(rescheduler.chain(), rescheduler.solution(),
                                          plan::PlanOptions{config.queue_capacity});
         const plan::PlanDelta delta = plan::diff(pipeline->execution_plan(), candidate);
-        if (options.allow_delta && delta.compatible) {
+        if (options.swap != SwapPolicy::rebuild_only && delta.compatible) {
             pipeline->apply_delta(delta);
             ++report.delta_swaps;
         } else {

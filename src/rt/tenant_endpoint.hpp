@@ -15,6 +15,12 @@
 //   * live, anything else         -> SwapKind::rebuild_required (apply_delta
 //                                    must not run mid-segment)
 //
+// The rungs above are the SwapPolicy::frame_first ladder (the default); a
+// stricter policy caps how far up the adapter may climb:
+// SwapPolicy::delta declines in-flight swaps (live tenants report
+// rebuild_required instead of frame-swapping) and SwapPolicy::rebuild_only
+// reports rebuild_required for every non-empty delta.
+//
 // The owner flips set_live() around run()/run_from() so the adapter knows
 // which swap path is legal; it defaults to parked. The arbiter serializes
 // apply() calls under its own lock, and the in-flight path additionally
@@ -23,6 +29,7 @@
 
 #include "arb/arbiter.hpp"
 #include "rt/pipeline.hpp"
+#include "rt/rescheduler.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -33,9 +40,11 @@ template <typename T>
 class PipelineTenantEndpoint final : public arb::TenantEndpoint {
 public:
     explicit PipelineTenantEndpoint(Pipeline<T>& pipeline,
+                                    SwapPolicy policy = SwapPolicy::frame_first,
                                     std::chrono::milliseconds reclaim_timeout =
                                         std::chrono::milliseconds{200})
         : pipeline_(&pipeline)
+        , policy_(policy)
         , reclaim_timeout_(reclaim_timeout)
     {
     }
@@ -59,19 +68,21 @@ public:
         (void)next; // the pipeline re-derives it from its own plan + delta
         if (delta.empty())
             return arb::SwapKind::none;
-        if (!delta.compatible)
+        if (!delta.compatible || policy_ == SwapPolicy::rebuild_only)
             return arb::SwapKind::rebuild_required;
         if (!live()) {
             pipeline_->apply_delta(delta);
             return arb::SwapKind::delta;
         }
-        if (delta.resize_only() && pipeline_->try_apply_delta_in_flight(delta, reclaim_timeout_))
+        if (policy_ == SwapPolicy::frame_first && delta.resize_only()
+            && pipeline_->try_apply_delta_in_flight(delta, reclaim_timeout_))
             return arb::SwapKind::frame;
         return arb::SwapKind::rebuild_required;
     }
 
 private:
     Pipeline<T>* pipeline_;
+    SwapPolicy policy_;
     std::chrono::milliseconds reclaim_timeout_;
     std::atomic<bool> live_{false};
 };

@@ -456,9 +456,16 @@ core::ScheduleResult SolverService::solve_on(const core::ScheduleRequest& reques
         inst.errors->inc(worker_index);
     record_breaker_outcome(result);
     // Infeasible outcomes are deterministic too and worth memoizing;
-    // invalid requests are rejected in microseconds, skip them.
-    if (cache_.enabled() && result.error != core::ScheduleError::invalid_request)
-        cache_.put(key, result);
+    // invalid requests are rejected in microseconds, skip them. Cache the
+    // solution WITHOUT the warm-start frontier -- a frontier is the whole
+    // O(n * b * l) DP matrix, and the LRU must hold solutions, not matrices
+    // (callers chain frontiers through the returned result instead).
+    if (cache_.enabled() && result.error != core::ScheduleError::invalid_request) {
+        core::ScheduleResult memo = result;
+        memo.frontier.reset();
+        memo.warm_start = false;
+        cache_.put(key, std::move(memo));
+    }
     return result;
 }
 
@@ -482,8 +489,14 @@ PlannedSchedule SolverService::solve_fresh_planned(const core::ScheduleRequest& 
     if (planned.result.ok())
         planned.plan = std::make_shared<const plan::ExecutionPlan>(
             plan::ExecutionPlan::compile(request.chain, planned.result.solution, options));
-    if (cache_.enabled() && planned.result.error != core::ScheduleError::invalid_request)
-        cache_.put_planned(key_of(request), planned.result, planned.plan);
+    if (cache_.enabled() && planned.result.error != core::ScheduleError::invalid_request) {
+        // Same frontier stripping as solve_on: the cache keeps solutions
+        // and compiled plans, never DP matrices.
+        core::ScheduleResult memo = planned.result;
+        memo.frontier.reset();
+        memo.warm_start = false;
+        cache_.put_planned(key_of(request), std::move(memo), planned.plan);
+    }
     return planned;
 }
 

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+#include <string_view>
+
 namespace {
 
 using namespace amp::core;
@@ -113,10 +117,44 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, DegenerateChains,
 
 TEST(Scheduler, ToKeyRoundTripsThroughParseStrategy)
 {
-    // to_string's display names ("OTAC (B)") do not parse back;
-    // to_key's machine names must, for every strategy.
     for (const Strategy strategy : kAllStrategies)
         EXPECT_EQ(parse_strategy(to_key(strategy)), strategy) << to_key(strategy);
+}
+
+TEST(Scheduler, ParseStrategyIsCaseAndSpaceInsensitive)
+{
+    // Both spelling families round-trip in any casing: to_key's machine
+    // names and to_string's display names ("OTAC (B)" -- spaces ignored).
+    for (const Strategy strategy : kAllStrategies) {
+        std::string shouty = to_key(strategy);
+        for (char& c : shouty)
+            c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        EXPECT_EQ(parse_strategy(shouty), strategy) << shouty;
+        EXPECT_EQ(parse_strategy(to_string(strategy)), strategy) << to_string(strategy);
+    }
+    EXPECT_EQ(parse_strategy("  He RAD  "), Strategy::herad);
+}
+
+TEST(Scheduler, ParseStrategyThrowsTypedErrorCarryingTheInput)
+{
+    try {
+        (void)parse_strategy("heradx");
+        FAIL() << "expected StrategyParseError";
+    } catch (const StrategyParseError& error) {
+        EXPECT_EQ(error.name(), "heradx");
+        EXPECT_NE(std::string_view{error.what()}.find("heradx"), std::string_view::npos);
+    }
+    // ...and stays an invalid_argument for pre-existing catch sites.
+    EXPECT_THROW((void)parse_strategy(""), std::invalid_argument);
+}
+
+TEST(Scheduler, TryParseStrategyReturnsNulloptInsteadOfThrowing)
+{
+    EXPECT_EQ(try_parse_strategy("OtAc-L"), Strategy::otac_little);
+    EXPECT_EQ(try_parse_strategy("nonsense"), std::nullopt);
+    EXPECT_EQ(try_parse_strategy(""), std::nullopt);
+    EXPECT_EQ(try_parse_strategy(std::string(1000, 'h')), std::nullopt)
+        << "overlong names are unknown, not an allocation hazard";
 }
 
 TEST(Scheduler, RequestApiReportsInvalidRequests)

@@ -282,7 +282,7 @@ TEST(RunWithRecoveryFrameSwap, ReboundLossFallsBackToTheDrainPath)
 TEST(RunWithRecoveryFrameSwap, DisablingFrameSwapForcesTheDrainPath)
 {
     rt::RecoveryOptions options;
-    options.allow_frame_swap = false;
+    options.swap = rt::SwapPolicy::delta;
     const rt::RecoveryReport report =
         run_kill(resize_only_chain(), Resources{0, 4}, options);
     EXPECT_EQ(report.frame_swaps, 0);

@@ -130,7 +130,7 @@ TEST(PipelineApplyDelta, RejectsIncompatibleDelta)
 /// Shared scenario: killing stage 0's only worker (a big core) re-solves to
 /// the same two-stage cut on (0, 3) -- stage 0 rebound big -> little, stage 1
 /// resized 3 -> 2 -- so the recovery is delta-compatible by construction.
-rt::RecoveryReport run_kill_scenario(bool allow_delta,
+rt::RecoveryReport run_kill_scenario(rt::SwapPolicy swap,
                                      std::vector<std::uint64_t>* delivered = nullptr)
 {
     constexpr std::uint64_t kFrames = 100;
@@ -146,7 +146,7 @@ rt::RecoveryReport run_kill_scenario(bool allow_delta,
     config.heartbeat_timeout = milliseconds{100};
 
     rt::RecoveryOptions options;
-    options.allow_delta = allow_delta;
+    options.swap = swap;
 
     const rt::RecoveryReport report = rt::run_with_recovery<Frame>(
         seq, rescheduler, kFrames, config,
@@ -168,7 +168,7 @@ rt::RecoveryReport run_kill_scenario(bool allow_delta,
 TEST(RunWithRecoveryDelta, CompatibleKillHotSwapsInPlace)
 {
     std::vector<std::uint64_t> delivered;
-    const rt::RecoveryReport report = run_kill_scenario(/*allow_delta=*/true, &delivered);
+    const rt::RecoveryReport report = run_kill_scenario(rt::SwapPolicy::frame_first, &delivered);
     EXPECT_EQ(report.delta_swaps, 1) << "same-cut recovery must take the delta path";
     EXPECT_EQ(report.rebuild_swaps, 0);
     for (std::size_t i = 1; i < delivered.size(); ++i)
@@ -178,7 +178,7 @@ TEST(RunWithRecoveryDelta, CompatibleKillHotSwapsInPlace)
 TEST(RunWithRecoveryDelta, DisablingDeltaForcesRebuild)
 {
     std::vector<std::uint64_t> delivered;
-    const rt::RecoveryReport report = run_kill_scenario(/*allow_delta=*/false, &delivered);
+    const rt::RecoveryReport report = run_kill_scenario(rt::SwapPolicy::rebuild_only, &delivered);
     EXPECT_EQ(report.delta_swaps, 0);
     EXPECT_EQ(report.rebuild_swaps, 1);
     for (std::size_t i = 1; i < delivered.size(); ++i)

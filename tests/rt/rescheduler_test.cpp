@@ -37,6 +37,26 @@ TaskChain make_chain(int n, bool first_sequential = true)
     return TaskChain{std::move(tasks)};
 }
 
+
+/// Wraps per-task mean latencies into the TelemetrySnapshot observe()
+/// consumes (what the retired report_profile forwarder did internally).
+TelemetrySnapshot profile_window(const std::vector<double>& big_us,
+                                 const std::vector<double>& little_us)
+{
+    TelemetrySnapshot telemetry;
+    for (const double w : big_us) {
+        amp::obs::Histogram h;
+        h.record_us(w);
+        telemetry.big_us.push_back(h.snapshot());
+    }
+    for (const double w : little_us) {
+        amp::obs::Histogram h;
+        h.record_us(w);
+        telemetry.little_us.push_back(h.snapshot());
+    }
+    return telemetry;
+}
+
 void expect_feasible(const Solution& solution, const TaskChain& chain,
                      const Resources& budget)
 {
@@ -103,7 +123,7 @@ TEST(Rescheduler, SmallDriftIsIgnored)
         little.push_back(chain.weight(i, CoreType::little) * 1.05);
     }
     for (int r = 0; r < 10; ++r) {
-        EXPECT_FALSE(rescheduler.report_profile(big, little).has_value());
+        EXPECT_FALSE(rescheduler.observe(profile_window(big, little)).has_value());
         EXPECT_EQ(rescheduler.drift_streak(), 0);
     }
 }
@@ -124,11 +144,11 @@ TEST(Rescheduler, SustainedDriftRecomputesAfterPatience)
         little.push_back(chain.weight(i, CoreType::little) * factor);
     }
 
-    EXPECT_FALSE(rescheduler.report_profile(big, little).has_value());
+    EXPECT_FALSE(rescheduler.observe(profile_window(big, little)).has_value());
     EXPECT_EQ(rescheduler.drift_streak(), 1);
-    EXPECT_FALSE(rescheduler.report_profile(big, little).has_value());
+    EXPECT_FALSE(rescheduler.observe(profile_window(big, little)).has_value());
     EXPECT_EQ(rescheduler.drift_streak(), 2);
-    const auto recomputed = rescheduler.report_profile(big, little);
+    const auto recomputed = rescheduler.observe(profile_window(big, little));
     ASSERT_TRUE(recomputed.has_value()) << "third consecutive drifted report";
     EXPECT_EQ(rescheduler.drift_streak(), 0) << "streak resets after the recompute";
     EXPECT_DOUBLE_EQ(rescheduler.chain().weight(2, CoreType::big), big[1])
@@ -136,7 +156,7 @@ TEST(Rescheduler, SustainedDriftRecomputesAfterPatience)
     expect_feasible(*recomputed, rescheduler.chain(), rescheduler.resources());
 }
 
-// Regression: report_latency_snapshots used to OVERWRITE the remembered
+// Regression: observe() used to OVERWRITE the remembered
 // means with the latest window's, so a rebuild after N drifted windows
 // reflected only whichever window arrived last. The rebuilt chain must
 // carry the average across the whole streak.
@@ -154,7 +174,7 @@ TEST(Rescheduler, DriftRebuildAveragesTheWholeStreak)
             big.push_back(chain.weight(i, CoreType::big) * factor);
             little.push_back(chain.weight(i, CoreType::little) * factor);
         }
-        return rescheduler.report_profile(big, little);
+        return rescheduler.observe(profile_window(big, little));
     };
 
     EXPECT_FALSE(window(2.0).has_value());
@@ -189,7 +209,7 @@ TEST(Rescheduler, StreakResetDiscardsStaleDriftMeans)
             big.push_back(chain.weight(i, CoreType::big) * factor);
             little.push_back(chain.weight(i, CoreType::little) * factor);
         }
-        return rescheduler.report_profile(big, little);
+        return rescheduler.observe(profile_window(big, little));
     };
 
     EXPECT_FALSE(window(5.0).has_value()); // drifted: streak 1
@@ -234,7 +254,7 @@ TEST(Rescheduler, HistogramSnapshotsDriveDriftDetection)
             big.push_back(h_big.snapshot());
             little.push_back(h_little.snapshot());
         }
-        return rescheduler.report_latency_snapshots(big, little);
+        return rescheduler.observe(TelemetrySnapshot{.big_us = big, .little_us = little});
     };
 
     // Tail below threshold: p95 ~ scheduled weight, no drift accumulates.
@@ -269,7 +289,7 @@ TEST(Rescheduler, EmptySnapshotsKeepScheduledWeights)
     h.record_us(chain.weight(2, CoreType::big) * 2.0);
     big[1] = h.snapshot();
 
-    const auto recomputed = rescheduler.report_latency_snapshots(big, little);
+    const auto recomputed = rescheduler.observe(TelemetrySnapshot{.big_us = big, .little_us = little});
     ASSERT_TRUE(recomputed.has_value());
     EXPECT_DOUBLE_EQ(rescheduler.chain().weight(2, CoreType::big),
                      chain.weight(2, CoreType::big) * 2.0);
@@ -277,6 +297,35 @@ TEST(Rescheduler, EmptySnapshotsKeepScheduledWeights)
                      chain.weight(1, CoreType::big));
     EXPECT_DOUBLE_EQ(rescheduler.chain().weight(3, CoreType::little),
                      chain.weight(3, CoreType::little));
+}
+
+
+// The [[deprecated]] forwarders (one-PR grace window) must stay
+// behavior-identical to observe(): same drift accounting, same mismatch
+// throw on an all-empty profile window.
+TEST(Rescheduler, DeprecatedReportForwardersMatchObserve)
+{
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const TaskChain chain = make_chain(3);
+    ReschedulePolicy policy;
+    policy.drift_threshold = 0.25;
+    policy.drift_patience = 1;
+    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
+
+    std::vector<double> big, little;
+    for (int i = 1; i <= chain.size(); ++i) {
+        big.push_back(chain.weight(i, CoreType::big) * 2.0);
+        little.push_back(chain.weight(i, CoreType::little) * 2.0);
+    }
+    const auto recomputed = rescheduler.report_profile(big, little);
+    ASSERT_TRUE(recomputed.has_value());
+    EXPECT_DOUBLE_EQ(rescheduler.chain().weight(1, CoreType::big), big[0]);
+
+    EXPECT_THROW((void)rescheduler.report_latency_snapshots({}, {}),
+                 std::invalid_argument)
+        << "the old API treated an all-empty window as a size mismatch";
+#pragma GCC diagnostic pop
 }
 
 // -- fault-tolerant end-to-end runs ---------------------------------------
@@ -394,7 +443,7 @@ TEST(RunWithRecovery, MultiCoreLossSolvesExactlyOneBatch)
     config.heartbeat_timeout = milliseconds{50};
 
     RecoveryOptions options;
-    options.allow_frame_swap = false; // pin the post-run (drain-path) accounting
+    options.swap = SwapPolicy::delta; // pin the post-run (drain-path) accounting
 
     const RecoveryReport report =
         run_with_recovery<Frame>(seq, rescheduler, kFrames, config, {}, -1, options);
