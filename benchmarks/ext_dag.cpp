@@ -1,0 +1,205 @@
+// Extension bench: one fused TX+RX split DAG plan vs two independent linear
+// pipelines on the same core budget.
+//
+// The workload is dvbs2::tx_rx_split_workload -- a full-duplex modem whose
+// front end (source + radio) fans out into a TX encode branch and the
+// profiled RX decode branch, joining at a sink/monitor branch. The baseline
+// runs the two directions as separate linear chains (each duplicating the
+// front end and the sink) with the cores statically partitioned between
+// them -- the strongest such baseline: every split is tried and the one
+// maximizing the paired rate is kept. The DAG plan instead shares one front
+// end and lets svc::schedule_graph water-fill the whole budget across the
+// branches, so an imbalanced TX/RX load is rebalanced core by core instead
+// of being locked behind a partition.
+//
+// The paired rate of the two-pipeline baseline is min(fps_tx, fps_rx): a
+// full-duplex modem is gated by its slower direction. Reported per budget:
+// the analytic model period (Solution::period / ExecutionPlan::period_us)
+// and the dsim throughput under the default overhead model.
+//
+// Note the baseline is an *idealized upper bound*: it duplicates the radio
+// front end and the sink (one per direction), which a single-antenna modem
+// cannot actually do. The interesting readout is therefore twofold: where
+// the fused plan closes the gap, and how many cores it needs to do so --
+// water-filling stops granting cores once the bottleneck branch cannot
+// improve, so the DAG typically matches the paired rate with cores left
+// over, while on starved budgets its one-core-per-branch floor (nearly idle
+// front/sink branches still own a core) lets the static split win.
+//
+// --json=<file> writes an amp-bench-v1 report; CI uploads it as
+// BENCH_ext_dag.json (record keys: big, little, split_big_tx, split_little_tx,
+// split_fps_model, fused_fps_model, model_speedup, split_fps_sim,
+// fused_fps_sim, sim_speedup, fused_cores, solves).
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "dsim/simulator.hpp"
+#include "dvbs2/graph_workloads.hpp"
+#include "dvbs2/profiles.hpp"
+#include "support/bench_json.hpp"
+#include "svc/graph_schedule.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+
+/// The linear single-direction chain: the shared front and sink branches
+/// plus one middle branch (TX or RX) of the split workload.
+core::TaskChain direction_chain(const dvbs2::GraphWorkload& workload, int middle_branch)
+{
+    const plan::GraphShape& shape = workload.shape;
+    std::vector<core::TaskDesc> tasks;
+    for (const int b : {shape.source_branch(), middle_branch, shape.sink_branch()})
+        for (int i = shape.branches[static_cast<std::size_t>(b)].first;
+             i <= shape.branches[static_cast<std::size_t>(b)].last; ++i)
+            tasks.push_back(workload.chain.task(i));
+    return core::TaskChain{std::move(tasks)};
+}
+
+struct SplitBaseline {
+    bool feasible = false;
+    core::Resources tx_budget;
+    double period_us = std::numeric_limits<double>::infinity(); ///< max direction period
+    core::Solution tx_solution;
+    core::Solution rx_solution;
+};
+
+/// Best static partition of (big, little) between the TX and RX chains:
+/// both directions must admit a schedule and the paired rate (min fps ==
+/// 1 / max period) is maximized.
+SplitBaseline best_split(const core::TaskChain& tx, const core::TaskChain& rx,
+                         core::Resources budget, svc::SolverService& service)
+{
+    SplitBaseline best;
+    for (int big_tx = 0; big_tx <= budget.big; ++big_tx) {
+        for (int little_tx = 0; little_tx <= budget.little; ++little_tx) {
+            const core::Resources tx_budget{big_tx, little_tx};
+            const core::Resources rx_budget{budget.big - big_tx,
+                                            budget.little - little_tx};
+            if (tx_budget.big + tx_budget.little == 0
+                || rx_budget.big + rx_budget.little == 0)
+                continue;
+            const core::ScheduleResult tx_result =
+                service.solve(core::ScheduleRequest{tx, tx_budget, core::Strategy::herad});
+            if (!tx_result.ok() || tx_result.solution.empty())
+                continue;
+            const core::ScheduleResult rx_result =
+                service.solve(core::ScheduleRequest{rx, rx_budget, core::Strategy::herad});
+            if (!rx_result.ok() || rx_result.solution.empty())
+                continue;
+            const double period = std::max(tx_result.solution.period(tx),
+                                           rx_result.solution.period(rx));
+            if (period < best.period_us) {
+                best.feasible = true;
+                best.tx_budget = tx_budget;
+                best.period_us = period;
+                best.tx_solution = tx_result.solution;
+                best.rx_solution = rx_result.solution;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const ArgParse args(argc, argv);
+    const auto frames = static_cast<std::uint64_t>(args.get_int("frames", 20000));
+    const double encode_ratio = args.get_double("encode-ratio", 0.3);
+    const dvbs2::PlatformProfile profile = args.has("x7ti") ? dvbs2::x7ti_profile()
+                                                            : dvbs2::mac_studio_profile();
+
+    const dvbs2::GraphWorkload workload =
+        dvbs2::tx_rx_split_workload(profile, encode_ratio);
+    const core::TaskChain tx = direction_chain(workload, 1);
+    const core::TaskChain rx = direction_chain(workload, 2);
+
+    std::printf("== Extension: fused TX+RX DAG plan vs two linear pipelines ==\n");
+    std::printf("(%s, encode ratio %.2f, %d DAG tasks; baseline = best static core "
+                "split, paired rate = min direction fps)\n\n",
+                profile.name.c_str(), encode_ratio, workload.chain.size());
+
+    bench::JsonReport report{"ext_dag"};
+    report.param("platform", profile.name)
+        .param("frames", static_cast<std::int64_t>(frames))
+        .param("encode_ratio", encode_ratio)
+        .param("tasks", workload.chain.size());
+
+    dsim::SimulationConfig sim_config;
+    sim_config.frames = frames;
+    sim_config.warmup_frames = frames / 10;
+
+    svc::SolverService service{{.workers = 1}};
+    TextTable table({"budget (B+L)", "split fps", "fused fps", "model speedup",
+                     "sim speedup", "fused cores"});
+
+    std::vector<core::Resources> budgets{{4, 0}, {6, 2}, {8, 4}};
+    budgets.push_back({profile.cores_full.big, profile.cores_full.little});
+    for (const core::Resources budget : budgets) {
+        const SplitBaseline split = best_split(tx, rx, budget, service);
+
+        svc::GraphScheduleRequest request;
+        request.chain = workload.chain;
+        request.shape = workload.shape;
+        request.resources = budget;
+        const svc::GraphSchedule fused = svc::schedule_graph(request, service);
+
+        const std::string label =
+            std::to_string(budget.big) + "+" + std::to_string(budget.little);
+        if (!split.feasible || !fused.ok) {
+            table.add_row({label, split.feasible ? "ok" : "infeasible",
+                           fused.ok ? "ok" : fused.error, "-", "-", "-"});
+            continue;
+        }
+
+        const double split_fps_model = 1e6 / split.period_us;
+        const double fused_fps_model = 1e6 / fused.period_us;
+
+        const double tx_fps_sim = dsim::simulate(tx, split.tx_solution, sim_config).fps;
+        const double rx_fps_sim = dsim::simulate(rx, split.rx_solution, sim_config).fps;
+        const double split_fps_sim = std::min(tx_fps_sim, rx_fps_sim);
+        const double fused_fps_sim = dsim::simulate(fused.plan, sim_config).fps;
+
+        int fused_cores = 0;
+        for (const svc::BranchSchedule& branch : fused.branches)
+            fused_cores += branch.budget.big + branch.budget.little;
+
+        table.add_row({label, fmt(split_fps_model, 0), fmt(fused_fps_model, 0),
+                       fmt(fused_fps_model / split_fps_model, 2),
+                       fmt(fused_fps_sim / split_fps_sim, 2),
+                       std::to_string(fused_cores)});
+
+        report.add_record()
+            .set("big", budget.big)
+            .set("little", budget.little)
+            .set("split_big_tx", split.tx_budget.big)
+            .set("split_little_tx", split.tx_budget.little)
+            .set("split_fps_model", split_fps_model)
+            .set("fused_fps_model", fused_fps_model)
+            .set("model_speedup", fused_fps_model / split_fps_model)
+            .set("split_fps_sim", split_fps_sim)
+            .set("fused_fps_sim", fused_fps_sim)
+            .set("sim_speedup", fused_fps_sim / split_fps_sim)
+            .set("fused_cores", fused_cores)
+            .set("solves", fused.solves);
+    }
+
+    std::printf("%s", table.str().c_str());
+    std::printf("\nExpected shape: the speedup climbs toward 1.0 as the budget grows and the\n"
+                "fused plan reaches parity with cores to spare (water-filling stops at the\n"
+                "bottleneck; the baseline burns its full partition AND duplicates the radio\n"
+                "front end, which a single-antenna modem cannot do). On starved budgets the\n"
+                "static split wins: the DAG's one-core-per-branch floor parks cores on the\n"
+                "nearly idle front/sink branches.\n");
+
+    if (args.has("json") && !report.write_file(args.get("json", "")))
+        std::fprintf(stderr, "warning: could not write %s\n", args.get("json", "").c_str());
+    return 0;
+}

@@ -168,6 +168,15 @@ struct ScheduleRequest {
     /// policy. Recovery re-solves (rt::Rescheduler) submit at
     /// svc::kRecoveryPriority so overload never sheds them first.
     std::int8_t priority = 0;
+
+    /// Cache-identity namespace -- unlike the admission metadata above this
+    /// IS part of svc::key_of. Solves whose answers may legitimately differ
+    /// for byte-identical chains must not share cache entries: a graph
+    /// branch sub-chain (svc::kGraphBranchDomain) is solved and *planned*
+    /// in its branch context, and its compiled plan must never be returned
+    /// for an identical standalone chain (or vice versa). 0 is the default
+    /// whole-chain domain.
+    std::uint8_t cache_domain = 0;
 };
 
 /// Explicit failure signal. The old API signalled failure with an empty

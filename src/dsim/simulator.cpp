@@ -169,23 +169,32 @@ SimulationResult simulate(const plan::ExecutionPlan& plan, const SimulationConfi
     double window_start = 0.0; // departure time of the last warmup frame
     double final_departure = 0.0;
 
+    // Per-frame departure times, indexed by stage. Stages are branch-major
+    // and plan edges point forward, so every predecessor's departure is
+    // already computed when a stage is visited; a fan-in stage starts once
+    // the *latest* predecessor copy of the frame has crossed its adaptor
+    // (the runtime's merge gate pops one envelope per input). Linear plans
+    // reduce to the classic single-chain recurrence, value for value.
+    std::vector<double> depart(k, 0.0);
     for (std::uint64_t f = 0; f < config.frames; ++f) {
-        double arrival = 0.0; // stage 0 sources frames continuously
         for (std::size_t i = 0; i < k; ++i) {
+            double arrival = 0.0; // source stages produce frames continuously
+            for (const int p : stages[i].preds)
+                arrival = std::max(arrival, depart[static_cast<std::size_t>(p)]
+                                                + config.overhead.adaptor_crossing_us);
             const auto r = model.last_departures[i].size();
             double& server_free = model.last_departures[i][f % r];
             const double start = std::max(arrival, server_free);
             const double jitter = sigma > 0.0 ? std::exp(mu + sigma * rng.normal()) : 1.0;
             const double service = model.base_service[i] * model.penalty[i] * jitter;
-            const double depart = start + service;
-            server_free = depart;
+            depart[i] = start + service;
+            server_free = depart[i];
             busy[i] += service;
             service_sum[i] += service;
             if (obs.active())
                 obs.record_span(i, f % r, f, start, service, start - arrival);
-            arrival = depart + config.overhead.adaptor_crossing_us;
         }
-        const double depart_last = arrival - config.overhead.adaptor_crossing_us;
+        const double depart_last = depart[static_cast<std::size_t>(plan.sink_stage())];
         if (f == config.warmup_frames - 1)
             window_start = depart_last;
         final_departure = depart_last;

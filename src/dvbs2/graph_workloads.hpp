@@ -1,0 +1,229 @@
+#pragma once
+// DVB-S2 graph-shaped workloads: the fan-out/fan-in counterparts of the
+// linear receiver chain (profiles.hpp), used by the DAG-plan tests and the
+// ext_dag bench.
+//
+// Two workloads, both series-parallel diamonds over the paper's Table III
+// task latencies:
+//
+//  * tx_rx_split_workload -- a full-duplex modem: one front-end branch
+//    (source + radio) fans out into a TX encode branch and the profiled RX
+//    decode branch, which join at a sink/monitor branch. The paper profiles
+//    only the receiver, so the TX branch derives its weights from the RX
+//    counterparts at a fixed encode/decode cost ratio (iterative decoding
+//    dominates encoding).
+//
+//  * ab_decode_workload -- one front end feeding two redundant decode paths
+//    (A/B codeword halves) that rejoin for descrambling and monitoring; the
+//    decode tasks carry the profiled LDPC/BCH weights on both branches.
+//
+// Task order is branch-concatenated (branch 0 tasks, then branch 1, ...),
+// matching plan::GraphShape's contiguous-interval convention, so the chains
+// feed svc::schedule_graph and plan::ExecutionPlan::compile directly.
+
+#include "core/chain.hpp"
+#include "dvbs2/profiles.hpp"
+#include "plan/graph_shape.hpp"
+#include "rt/task.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amp::dvbs2 {
+
+/// A graph-shaped scheduling workload: the global (branch-concatenated)
+/// chain, its branch structure, and per-task display names.
+struct GraphWorkload {
+    core::TaskChain chain;
+    plan::GraphShape shape;
+    std::vector<std::string> names; ///< global task order, aligned with chain
+};
+
+/// Runtime frame payload for graph pipelines: each task stamps the bit of
+/// its (global, 1-based) task index, and the fan-in merge unions the stamps
+/// and sums the branches' numeric products -- so a test can assert that
+/// every branch processed every frame exactly once.
+struct GraphFrame {
+    std::uint64_t seq = 0;
+    std::uint64_t visited = 0; ///< bit (i-1) set once task i ran on the frame
+    double accum = 0.0;
+
+    void merge_from(const GraphFrame& other)
+    {
+        visited |= other.visited;
+        accum += other.accum;
+    }
+};
+
+namespace detail {
+
+struct BranchDraft {
+    std::vector<int> task_ids;      ///< Table III indices (0-based), or -1
+    std::vector<double> big_us;     ///< used when task_ids entry is -1
+    std::vector<double> little_us;
+    std::vector<bool> replicable;
+    std::vector<std::string> names;
+    std::vector<int> preds;
+    std::vector<int> succs;
+};
+
+[[nodiscard]] inline GraphWorkload assemble(const PlatformProfile& profile,
+                                            const std::vector<BranchDraft>& drafts)
+{
+    const auto& names = receiver_task_names();
+    const auto& replicable = receiver_task_replicable();
+    GraphWorkload w;
+    std::vector<core::TaskDesc> tasks;
+    int next = 1;
+    for (std::size_t b = 0; b < drafts.size(); ++b) {
+        const BranchDraft& d = drafts[b];
+        plan::GraphBranch branch;
+        branch.index = static_cast<int>(b);
+        branch.first = next;
+        for (std::size_t t = 0; t < d.task_ids.size(); ++t) {
+            const int id = d.task_ids[t];
+            core::TaskDesc task;
+            if (id >= 0) {
+                task = core::TaskDesc{names[static_cast<std::size_t>(id)],
+                                      profile.big_us[static_cast<std::size_t>(id)],
+                                      profile.little_us[static_cast<std::size_t>(id)],
+                                      replicable[static_cast<std::size_t>(id)]};
+            } else {
+                task = core::TaskDesc{d.names[t], d.big_us[t], d.little_us[t],
+                                      d.replicable[t]};
+            }
+            w.names.push_back(task.name);
+            tasks.push_back(std::move(task));
+            ++next;
+        }
+        branch.last = next - 1;
+        branch.preds = d.preds;
+        branch.succs = d.succs;
+        w.shape.branches.push_back(std::move(branch));
+    }
+    w.shape.chain.tasks = static_cast<int>(tasks.size());
+    for (const core::TaskDesc& task : tasks)
+        w.shape.chain.replicable.push_back(task.replicable);
+    w.chain = core::TaskChain{std::move(tasks)};
+    w.shape.validate();
+    return w;
+}
+
+} // namespace detail
+
+/// Full-duplex modem diamond: front end -> {TX encode, RX decode} -> sink.
+/// The RX branch carries the profiled receiver middle (AGC through binary
+/// descrambling); the TX branch mirrors the symmetric subset at
+/// `encode_ratio` of the decode cost (default 0.3 -- encoding is cheap next
+/// to iterative decoding).
+[[nodiscard]] inline GraphWorkload tx_rx_split_workload(const PlatformProfile& profile,
+                                                        double encode_ratio = 0.3)
+{
+    const auto& names = receiver_task_names();
+    const auto& replicable = receiver_task_replicable();
+
+    detail::BranchDraft front;
+    front.task_ids = {21, 0}; // Source - generate, Radio - receive
+    front.succs = {1, 2};
+
+    // TX encode path, mirrored from the RX counterparts (Table III is
+    // receiver-only): binary scramble, BCH/LDPC encode, interleave,
+    // modulate, PLH insert, symbol scramble, shaping filter, radio send.
+    detail::BranchDraft tx;
+    tx.preds = {0};
+    tx.succs = {3};
+    const int mirrored[] = {19, 18, 17, 16, 15, 13, 10, 3, 0};
+    const char* tx_names[] = {
+        "Scrambler Binary - scramble", "Encoder BCH - encode HIHO",
+        "Encoder LDPC - encode",       "Interleaver - interleave",
+        "Modem QPSK - modulate",       "Framer PLH - insert",
+        "Scrambler Symbol - scramble", "Filter Shaping - filter",
+        "Radio - send",
+    };
+    for (std::size_t t = 0; t < std::size(mirrored); ++t) {
+        const auto id = static_cast<std::size_t>(mirrored[t]);
+        tx.task_ids.push_back(-1);
+        tx.names.emplace_back(tx_names[t]);
+        tx.big_us.push_back(profile.big_us[id] * encode_ratio);
+        tx.little_us.push_back(profile.little_us[id] * encode_ratio);
+        // The radio endpoint stays sequential like its RX counterpart.
+        tx.replicable.push_back(t + 1 < std::size(mirrored) ? replicable[id] : false);
+    }
+
+    detail::BranchDraft rx;
+    rx.preds = {0};
+    rx.succs = {3};
+    for (int id = 1; id <= 19; ++id) // AGC .. Scrambler Binary - descramble
+        rx.task_ids.push_back(id);
+    (void)names;
+
+    detail::BranchDraft sink;
+    sink.preds = {1, 2};
+    sink.task_ids = {20, 22}; // Sink Binary File - send, Monitor - check errors
+
+    return detail::assemble(profile, {front, tx, rx, sink});
+}
+
+/// Redundant decode diamond: the profiled front end (radio through
+/// deinterleaving) fans out into two identical LDPC+BCH decode paths (A/B
+/// codeword halves) that rejoin for descrambling, sinking and monitoring.
+[[nodiscard]] inline GraphWorkload ab_decode_workload(const PlatformProfile& profile)
+{
+    detail::BranchDraft front;
+    front.task_ids.resize(17); // Radio - receive .. Interleaver - deinterleave
+    for (int id = 0; id <= 16; ++id)
+        front.task_ids[static_cast<std::size_t>(id)] = id;
+    front.succs = {1, 2};
+
+    const auto decode_path = [&](const char* tag) {
+        detail::BranchDraft path;
+        path.preds = {0};
+        path.succs = {3};
+        for (const int id : {17, 18}) { // Decoder LDPC, Decoder BCH
+            const auto i = static_cast<std::size_t>(id);
+            path.task_ids.push_back(-1);
+            path.names.push_back(std::string{receiver_task_names()[i]} + " (" + tag + ")");
+            path.big_us.push_back(profile.big_us[i]);
+            path.little_us.push_back(profile.little_us[i]);
+            path.replicable.push_back(receiver_task_replicable()[i]);
+        }
+        return path;
+    };
+
+    detail::BranchDraft tail;
+    tail.preds = {1, 2};
+    tail.task_ids = {19, 20, 22}; // descramble, sink, monitor
+
+    return detail::assemble(profile, {front, decode_path("A"), decode_path("B"), tail});
+}
+
+/// Builds a runnable task sequence for a graph workload: task i stamps bit
+/// (i-1) into GraphFrame::visited and adds its index to `accum`; with
+/// `time_scale` > 0 each task additionally spins time_scale * w_big
+/// microseconds, so real pipeline runs reproduce the profiled load shape.
+/// Statefulness follows the chain's replicability flags.
+[[nodiscard]] inline rt::TaskSequence<GraphFrame> graph_sequence(const GraphWorkload& w,
+                                                                 double time_scale = 0.0)
+{
+    rt::TaskSequence<GraphFrame> sequence;
+    for (int i = 1; i <= w.chain.size(); ++i) {
+        const core::TaskDesc& task = w.chain.task(i);
+        const auto spin_us = time_scale > 0.0 ? task.w_big * time_scale : 0.0;
+        sequence.push_back(rt::make_task<GraphFrame>(
+            task.name, !task.replicable, [i, spin_us](GraphFrame& frame) {
+                frame.visited |= std::uint64_t{1} << (i - 1);
+                frame.accum += static_cast<double>(i);
+                if (spin_us > 0.0) {
+                    const auto deadline = std::chrono::steady_clock::now()
+                        + std::chrono::duration<double, std::micro>(spin_us);
+                    while (std::chrono::steady_clock::now() < deadline) {
+                    }
+                }
+            }));
+    }
+    return sequence;
+}
+
+} // namespace amp::dvbs2

@@ -10,58 +10,47 @@
 // executors consume the resulting IR:
 //
 //   * PlanStage   -- task interval, core type, replica count, sequential
-//                    constraint, per-frame service weight, stable worker ids
+//                    constraint, per-frame service weight, stable worker ids,
+//                    and explicit predecessor/successor stage edges with the
+//                    input/output queues that realize them
 //   * WorkerSlot  -- one replica slot; ids are stable across deltas so a
 //                    hot-swap can name exactly the workers it spawns/retires
-//   * QueueSpec   -- inter-stage queue endpoints and capacities (queue i
-//                    connects stage i to stage i+1; the last feeds the drain)
+//   * QueueSpec   -- inter-stage queue endpoints and capacities; a linear
+//                    plan has exactly one queue between consecutive stages
+//                    (queue i connects stage i to stage i+1), a graph plan
+//                    one queue per stage edge plus one drain queue
+//
+// A plan is a series-parallel DAG of stages described by a plan::GraphShape
+// (graph_shape.hpp); the historical linear chain is the one-branch
+// degenerate case and compiles bit-identically to the pre-DAG IR. Graph
+// plans are stitched from per-branch solutions: each branch is a linear
+// sub-chain solved independently, and the combined period bound is the max
+// over all stages -- exactly period_us().
 //
 // diff(before, after) compares two plans and produces a PlanDelta: per stage
 // kept / resized (replica count changed) / rebound (core type changed), or a
-// whole-plan incompatibility (recut stage structure, different chain or
-// queue capacity) that forces a full rebuild. apply(base, delta) yields the
-// successor plan with untouched workers keeping their ids -- the substrate
-// for rt::Pipeline's in-place hot-swap (docs/EXECUTION_PLAN.md).
+// whole-plan incompatibility (recut stage structure, different chain, queue
+// capacity or queue topology) that forces a full rebuild. apply(base, delta)
+// yields the successor plan with untouched workers keeping their ids -- the
+// substrate for rt::Pipeline's in-place hot-swap (docs/EXECUTION_PLAN.md).
 
 #include "core/chain.hpp"
 #include "core/solution.hpp"
+#include "plan/graph_shape.hpp"
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace amp::plan {
-
-/// Raised by compile()/apply() on a malformed solution or delta. Derives
-/// from std::invalid_argument so callers that used to catch the executors'
-/// ad-hoc validation errors keep working.
-class PlanError : public std::invalid_argument {
-public:
-    using std::invalid_argument::invalid_argument;
-};
 
 /// Executor-independent knobs baked into the plan (mirrors the shape of
 /// rt::PipelineConfig without depending on rt).
 struct PlanOptions {
     std::size_t queue_capacity = 8; ///< per inter-stage queue, in frames
     [[nodiscard]] constexpr bool operator==(const PlanOptions&) const noexcept = default;
-};
-
-/// The structural facts compile() validates against: task count and per-task
-/// replicability. Derivable from a core::TaskChain (the profiled path) or
-/// from an rt::TaskSequence's stateful flags (the runtime-only path).
-struct ChainShape {
-    int tasks = 0;
-    std::vector<bool> replicable; ///< replicable[i - 1] for task i (1-based)
-
-    [[nodiscard]] static ChainShape of(const core::TaskChain& chain);
-    [[nodiscard]] bool task_replicable(int i) const
-    {
-        return replicable.at(static_cast<std::size_t>(i - 1));
-    }
 };
 
 /// One replica slot of one stage. `id` is stable: apply() never renumbers a
@@ -85,12 +74,19 @@ struct PlanStage {
     bool sequential = false;  ///< interval contains a non-replicable task
     double service_us = 0.0;  ///< interval weight on `type`; 0 without a profile
     std::vector<int> worker_ids; ///< stable ids, slot order
+    int branch = 0;              ///< GraphShape branch this stage belongs to
+    std::vector<int> preds;      ///< predecessor stage indices; empty == source
+    std::vector<int> succs;      ///< successor stage indices; empty == sink
+    std::vector<int> in_queues;  ///< queue indices feeding this stage, pred order
+    std::vector<int> out_queues; ///< queue indices this stage pushes to (incl. drain)
 
     [[nodiscard]] int task_count() const noexcept { return last - first + 1; }
 };
 
-/// One inter-stage queue. consumer_stage == kDrain marks the final queue,
-/// drained in stream order by the executor's output side.
+/// One inter-stage queue. consumer_stage == kDrain marks the drain queue,
+/// drained in stream order by the executor's output side. A fan-out stage
+/// produces into several queues (one per successor); a fan-in stage consumes
+/// several, merging envelopes of equal sequence number.
 struct QueueSpec {
     static constexpr int kDrain = -1;
 
@@ -173,6 +169,25 @@ public:
                                                const core::Solution& solution,
                                                PlanOptions options = {});
 
+    /// Compiles a graph plan from per-branch solutions. `branch_solutions`
+    /// holds one solution per GraphShape branch, each in *local* task
+    /// coordinates (1-based within its branch sub-chain); compile() offsets
+    /// them into the global task order and stitches the stages into one
+    /// plan, wiring one queue per stage edge plus a drain queue after the
+    /// sink stage. A one-branch graph reproduces the linear layout exactly.
+    /// Throws PlanError on an invalid graph or any malformed branch
+    /// solution (same rules as the linear path, applied per branch).
+    [[nodiscard]] static ExecutionPlan compile(const GraphShape& graph,
+                                               const std::vector<core::Solution>& branch_solutions,
+                                               PlanOptions options = {});
+
+    /// Profiled graph compile: `chain` is the global branch-concatenated
+    /// task order (graph.chain must match its shape).
+    [[nodiscard]] static ExecutionPlan compile(const core::TaskChain& chain,
+                                               const GraphShape& graph,
+                                               const std::vector<core::Solution>& branch_solutions,
+                                               PlanOptions options = {});
+
     [[nodiscard]] const std::vector<PlanStage>& stages() const noexcept { return stages_; }
     [[nodiscard]] const PlanStage& stage(std::size_t i) const { return stages_.at(i); }
     [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
@@ -183,7 +198,18 @@ public:
     [[nodiscard]] const core::Solution& solution() const noexcept { return solution_; }
     [[nodiscard]] const PlanOptions& options() const noexcept { return options_; }
     [[nodiscard]] const ChainShape& shape() const noexcept { return shape_; }
+    [[nodiscard]] const GraphShape& graph() const noexcept { return graph_; }
     [[nodiscard]] int task_count() const noexcept { return shape_.tasks; }
+
+    /// True for the degenerate one-branch (chain-shaped) plan. Recovery
+    /// paths that re-solve through the linear core::schedule entry point
+    /// only accept linear plans.
+    [[nodiscard]] bool linear() const noexcept { return graph_.is_linear(); }
+
+    /// The unique stage with no predecessors / no successors. For a linear
+    /// plan these are 0 and stage_count() - 1.
+    [[nodiscard]] int source_stage() const noexcept { return source_stage_; }
+    [[nodiscard]] int sink_stage() const noexcept { return sink_stage_; }
 
     /// True when the plan was compiled from a TaskChain (service weights
     /// and chain() are meaningful).
@@ -202,21 +228,26 @@ public:
 
 private:
     ChainShape shape_;
+    GraphShape graph_;
     std::optional<core::TaskChain> chain_;
-    core::Solution solution_;
+    core::Solution solution_; ///< stitched global solution, branch-major
     PlanOptions options_;
     std::vector<PlanStage> stages_;
     std::vector<QueueSpec> queues_;
     std::vector<WorkerSlot> workers_;
     int next_worker_id_ = 0;
+    int source_stage_ = 0;
+    int sink_stage_ = 0;
 
     friend ExecutionPlan apply(const ExecutionPlan& base, const PlanDelta& delta);
 };
 
 /// Structural diff. Compatible iff both plans cut the same task count into
-/// the same stage intervals with the same queue capacity; then each stage is
-/// kept, resized or rebound. Anything else (recut, different chain length,
-/// different queue capacity) is incompatible and names the reason.
+/// the same stage intervals with the same queue capacity and the same queue
+/// topology (stage edges); then each stage is kept, resized or rebound.
+/// Anything else (recut, different chain length, different queue capacity,
+/// rewired edges -- e.g. a DAG plan against a linear plan with the same
+/// cut) is incompatible and names the reason.
 [[nodiscard]] PlanDelta diff(const ExecutionPlan& before, const ExecutionPlan& after);
 
 /// Applies a compatible delta: kept workers retain their ids, retired slots

@@ -1,0 +1,104 @@
+#include "plan/graph_shape.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace amp::plan {
+
+ChainShape ChainShape::of(const core::TaskChain& chain)
+{
+    ChainShape shape;
+    shape.tasks = chain.size();
+    shape.replicable.reserve(static_cast<std::size_t>(chain.size()));
+    for (int i = 1; i <= chain.size(); ++i)
+        shape.replicable.push_back(chain.replicable(i));
+    return shape;
+}
+
+GraphShape GraphShape::linear(ChainShape shape)
+{
+    GraphShape graph;
+    graph.branches.push_back(GraphBranch{0, 1, shape.tasks, {}, {}});
+    graph.chain = std::move(shape);
+    return graph;
+}
+
+GraphShape GraphShape::of(const core::TaskChain& chain)
+{
+    return linear(ChainShape::of(chain));
+}
+
+int GraphShape::source_branch() const
+{
+    for (const GraphBranch& b : branches)
+        if (b.preds.empty())
+            return b.index;
+    throw PlanError{"plan: graph has no source branch"};
+}
+
+int GraphShape::sink_branch() const
+{
+    for (const GraphBranch& b : branches)
+        if (b.succs.empty())
+            return b.index;
+    throw PlanError{"plan: graph has no sink branch"};
+}
+
+void GraphShape::validate() const
+{
+    if (chain.tasks <= 0 || chain.replicable.size() != static_cast<std::size_t>(chain.tasks))
+        throw PlanError{"plan: chain shape is empty or inconsistent"};
+    if (branches.empty())
+        throw PlanError{"plan: graph has no branches"};
+
+    const int n = static_cast<int>(branches.size());
+    int expected = 1;
+    int sources = 0;
+    int sinks = 0;
+    for (int b = 0; b < n; ++b) {
+        const GraphBranch& branch = branches[static_cast<std::size_t>(b)];
+        if (branch.index != b)
+            throw PlanError{"plan: graph branches must be indexed in order"};
+        if (branch.first != expected || branch.last < branch.first)
+            throw PlanError{"plan: graph branches must tile the chain contiguously"};
+        if (branch.last > chain.tasks)
+            throw PlanError{"plan: graph branch interval exceeds the chain"};
+        expected = branch.last + 1;
+
+        const auto forward_sorted = [b, n](const std::vector<int>& edges, bool succ) {
+            int prev = -1;
+            for (const int e : edges) {
+                if (e < 0 || e >= n || e == b || e <= prev)
+                    return false;
+                if (succ ? e < b : e > b)
+                    return false;
+                prev = e;
+            }
+            return true;
+        };
+        if (!forward_sorted(branch.succs, true) || !forward_sorted(branch.preds, false))
+            throw PlanError{"plan: graph edges must be forward, sorted and duplicate-free"};
+        for (const int s : branch.succs) {
+            const auto& back = branches[static_cast<std::size_t>(s)].preds;
+            if (std::find(back.begin(), back.end(), b) == back.end())
+                throw PlanError{"plan: graph edge " + std::to_string(b) + "->"
+                                + std::to_string(s) + " is not mirrored in preds"};
+        }
+        for (const int p : branch.preds) {
+            const auto& fwd = branches[static_cast<std::size_t>(p)].succs;
+            if (std::find(fwd.begin(), fwd.end(), b) == fwd.end())
+                throw PlanError{"plan: graph edge " + std::to_string(p) + "->"
+                                + std::to_string(b) + " is not mirrored in succs"};
+        }
+        sources += branch.preds.empty() ? 1 : 0;
+        sinks += branch.succs.empty() ? 1 : 0;
+    }
+    if (expected != chain.tasks + 1)
+        throw PlanError{"plan: graph branches do not cover the whole chain"};
+    if (sources != 1)
+        throw PlanError{"plan: graph needs exactly one source branch"};
+    if (sinks != 1)
+        throw PlanError{"plan: graph needs exactly one sink branch"};
+}
+
+} // namespace amp::plan

@@ -213,6 +213,16 @@ public:
         , config_(std::move(config))
         , controller_(config_.policy)
     {
+        // Autoscaling re-solves the chain as one linear pipeline and lands
+        // the delta on the wrapped plan. A DAG plan's stage cut never
+        // matches such a candidate (plan::diff would reject every delta as
+        // a queue-topology change), so refuse up front instead of silently
+        // declining every resize. Graph plans rescale through
+        // svc::schedule_graph + a new Pipeline.
+        if (!pipeline_->execution_plan().linear())
+            throw std::invalid_argument{
+                "Autoscaler: the pipeline runs a DAG plan; autoscaling "
+                "requires a linear (single-branch) plan"};
         // An unset max clamp would forbid every grow; default to "resize
         // within the initial budget per axis, at least one of each present".
         if (config_.policy.max_pool.big < initial.big)

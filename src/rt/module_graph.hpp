@@ -10,7 +10,14 @@
 // checks the graph (every input bound exactly once, no cycles, a unique
 // topological order compatible with the declaration of a *chain*) before
 // emitting the TaskSequence the Pipeline executes.
+//
+// `decompose()` is the DAG-preserving alternative: instead of flattening
+// fan-out/fan-in into one line, it groups the modules into maximal linear
+// *branches* and emits a plan::GraphShape describing the branch edges, so a
+// graph pipeline can compile through amp::plan (per-branch solve + stitch;
+// see docs/EXECUTION_PLAN.md).
 
+#include "plan/graph_shape.hpp"
 #include "rt/task.hpp"
 
 #include <algorithm>
@@ -43,6 +50,17 @@ public:
             if (existing.name == name)
                 throw std::invalid_argument{"ModuleGraph: duplicate module name '" + name
                                             + "'"};
+        const auto check_ports = [&name](const std::vector<std::string>& ports,
+                                         const char* kind) {
+            for (std::size_t a = 0; a < ports.size(); ++a)
+                for (std::size_t b = a + 1; b < ports.size(); ++b)
+                    if (ports[a] == ports[b])
+                        throw std::invalid_argument{"ModuleGraph: module '" + name
+                                                    + "' declares duplicate " + kind
+                                                    + " port '" + ports[a] + "'"};
+        };
+        check_ports(inputs, "input");
+        check_ports(outputs, "output");
         Entry entry;
         entry.name = std::move(name);
         entry.stateful = stateful;
@@ -94,41 +112,8 @@ public:
     ///     deterministic).
     [[nodiscard]] TaskSequence<T> linearize() const
     {
-        if (modules_.empty())
-            throw std::invalid_argument{"ModuleGraph: no modules"};
-
-        // Check all inputs bound; build adjacency.
-        std::vector<std::set<int>> successors(modules_.size());
-        std::vector<int> in_degree(modules_.size(), 0);
-        for (std::size_t m = 0; m < modules_.size(); ++m) {
-            const Entry& module = modules_[m];
-            for (const auto& port : module.inputs)
-                if (module.bound_inputs.count(port) == 0)
-                    throw std::invalid_argument{"ModuleGraph: input '" + module.name + "."
-                                                + port + "' is not bound"};
-            for (const auto& [port, producer] : module.bound_inputs)
-                if (successors[static_cast<std::size_t>(producer)].insert(static_cast<int>(m))
-                        .second)
-                    ++in_degree[m];
-        }
-
-        // Kahn topological sort, smallest declaration index first.
-        std::vector<int> order;
-        std::set<int> ready;
-        for (std::size_t m = 0; m < modules_.size(); ++m)
-            if (in_degree[m] == 0)
-                ready.insert(static_cast<int>(m));
-        while (!ready.empty()) {
-            const int next = *ready.begin();
-            ready.erase(ready.begin());
-            order.push_back(next);
-            for (const int succ : successors[static_cast<std::size_t>(next)])
-                if (--in_degree[static_cast<std::size_t>(succ)] == 0)
-                    ready.insert(succ);
-        }
-        if (order.size() != modules_.size())
-            throw std::invalid_argument{"ModuleGraph: binding cycle detected"};
-
+        std::vector<std::set<int>> successors;
+        const std::vector<int> order = topological_order(successors);
         TaskSequence<T> sequence;
         for (const int index : order) {
             const Entry& module = modules_[static_cast<std::size_t>(index)];
@@ -136,6 +121,98 @@ public:
                 make_task<T>(module.name, module.stateful, module.fn));
         }
         return sequence;
+    }
+
+    /// The DAG view of the graph: the task sequence in *branch-concatenated*
+    /// order (every branch's modules contiguous, branches topologically
+    /// ordered) plus the plan::GraphShape naming each branch's global task
+    /// interval and the branch edges. A chain-shaped graph yields one
+    /// branch, so GraphSpec subsumes linearize() for plan compilation.
+    struct GraphSpec {
+        TaskSequence<T> sequence;       ///< branch-concatenated order
+        plan::GraphShape shape;
+        std::vector<std::string> names; ///< task names, same order (1-based task i
+                                        ///< is names[i - 1])
+    };
+
+    /// Groups the modules into maximal linear branches: a module extends its
+    /// producer's branch iff it is that producer's only consumer and the
+    /// producer is its only input -- every fan-out, fan-in or join point
+    /// starts a new branch. Validation matches linearize() (all inputs
+    /// bound, acyclic) and additionally requires a unique source module and
+    /// a unique sink module, because the compiled plan's executors need one
+    /// frame injection point and one drain.
+    [[nodiscard]] GraphSpec decompose() const
+    {
+        std::vector<std::set<int>> successors;
+        const std::vector<int> order = topological_order(successors);
+
+        int source_modules = 0;
+        int sink_modules = 0;
+        for (std::size_t m = 0; m < modules_.size(); ++m) {
+            if (modules_[m].bound_inputs.empty())
+                ++source_modules;
+            if (successors[m].empty())
+                ++sink_modules;
+        }
+        if (source_modules != 1)
+            throw std::invalid_argument{
+                "ModuleGraph: decompose needs exactly one source module"};
+        if (sink_modules != 1)
+            throw std::invalid_argument{
+                "ModuleGraph: decompose needs exactly one sink module"};
+
+        // Walk the topological order grouping modules into branches.
+        std::vector<std::vector<int>> branch_modules; // module indices, in order
+        std::vector<std::vector<int>> branch_preds;
+        std::vector<int> branch_of(modules_.size(), -1);
+        for (const int m : order) {
+            const Entry& module = modules_[static_cast<std::size_t>(m)];
+            std::set<int> producers;
+            for (const auto& [port, producer] : module.bound_inputs)
+                producers.insert(producer);
+
+            if (producers.size() == 1) {
+                const int p = *producers.begin();
+                const int pb = branch_of[static_cast<std::size_t>(p)];
+                if (successors[static_cast<std::size_t>(p)].size() == 1
+                    && branch_modules[static_cast<std::size_t>(pb)].back() == p) {
+                    branch_modules[static_cast<std::size_t>(pb)].push_back(m);
+                    branch_of[static_cast<std::size_t>(m)] = pb;
+                    continue;
+                }
+            }
+            const int b = static_cast<int>(branch_modules.size());
+            branch_modules.push_back({m});
+            std::set<int> preds;
+            for (const int p : producers)
+                preds.insert(branch_of[static_cast<std::size_t>(p)]);
+            branch_preds.emplace_back(preds.begin(), preds.end());
+            branch_of[static_cast<std::size_t>(m)] = b;
+        }
+
+        GraphSpec spec;
+        spec.shape.branches.resize(branch_modules.size());
+        int next_task = 1;
+        for (std::size_t b = 0; b < branch_modules.size(); ++b) {
+            plan::GraphBranch& branch = spec.shape.branches[b];
+            branch.index = static_cast<int>(b);
+            branch.first = next_task;
+            for (const int m : branch_modules[b]) {
+                const Entry& module = modules_[static_cast<std::size_t>(m)];
+                spec.sequence.push_back(make_task<T>(module.name, module.stateful, module.fn));
+                spec.names.push_back(module.name);
+                spec.shape.chain.replicable.push_back(!module.stateful);
+                ++next_task;
+            }
+            branch.last = next_task - 1;
+            branch.preds = branch_preds[b];
+            for (const int p : branch.preds)
+                spec.shape.branches[static_cast<std::size_t>(p)].succs.push_back(branch.index);
+        }
+        spec.shape.chain.tasks = next_task - 1;
+        spec.shape.validate();
+        return spec;
     }
 
     /// Names in linearized order (for inspection and tests).
@@ -158,6 +235,46 @@ private:
         std::vector<std::string> outputs;
         std::map<std::string, int> bound_inputs; ///< port -> producer index
     };
+
+    /// Validates bindings and acyclicity, fills `successors`, and returns
+    /// the Kahn topological order (smallest declaration index first, so the
+    /// result is deterministic). Shared by linearize() and decompose().
+    [[nodiscard]] std::vector<int> topological_order(std::vector<std::set<int>>& successors) const
+    {
+        if (modules_.empty())
+            throw std::invalid_argument{"ModuleGraph: no modules"};
+
+        successors.assign(modules_.size(), {});
+        std::vector<int> in_degree(modules_.size(), 0);
+        for (std::size_t m = 0; m < modules_.size(); ++m) {
+            const Entry& module = modules_[m];
+            for (const auto& port : module.inputs)
+                if (module.bound_inputs.count(port) == 0)
+                    throw std::invalid_argument{"ModuleGraph: input '" + module.name + "."
+                                                + port + "' is not bound"};
+            for (const auto& [port, producer] : module.bound_inputs)
+                if (successors[static_cast<std::size_t>(producer)].insert(static_cast<int>(m))
+                        .second)
+                    ++in_degree[m];
+        }
+
+        std::vector<int> order;
+        std::set<int> ready;
+        for (std::size_t m = 0; m < modules_.size(); ++m)
+            if (in_degree[m] == 0)
+                ready.insert(static_cast<int>(m));
+        while (!ready.empty()) {
+            const int next = *ready.begin();
+            ready.erase(ready.begin());
+            order.push_back(next);
+            for (const int succ : successors[static_cast<std::size_t>(next)])
+                if (--in_degree[static_cast<std::size_t>(succ)] == 0)
+                    ready.insert(succ);
+        }
+        if (order.size() != modules_.size())
+            throw std::invalid_argument{"ModuleGraph: binding cycle detected"};
+        return order;
+    }
 
     [[nodiscard]] const Entry& entry(ModuleHandle handle, const char* context) const
     {

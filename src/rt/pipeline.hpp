@@ -10,6 +10,14 @@
 // worker and therefore observe frames in stream order, which is what makes
 // stateful tasks safe.
 //
+// DAG plans (plan::GraphShape, docs/EXECUTION_PLAN.md): a stage may feed
+// several successor queues -- fan-out pushes each envelope to every out
+// queue, copying the payload -- and a stage may consume several predecessor
+// queues -- fan-in merges one envelope per input by sequence number through
+// a FanInGate (rt/fan_in.hpp), so the merged stream leaves in stream order
+// with zero reordering. Linear plans are the degenerate one-branch case and
+// execute exactly as before (one in queue, one out queue per stage).
+//
 // Workers are persistent: threads are spawned once (lazily, on the first
 // run) and parked on an epoch condition variable between stream segments,
 // so run() can be called repeatedly -- and, after a degraded run,
@@ -49,6 +57,7 @@
 #include "plan/execution_plan.hpp"
 #include "rt/brownout.hpp"
 #include "rt/core_emulator.hpp"
+#include "rt/fan_in.hpp"
 #include "rt/fault.hpp"
 #include "rt/ordered_queue.hpp"
 #include "rt/task.hpp"
@@ -217,6 +226,14 @@ public:
         rebuild_stage_specs();
     }
 
+    /// Payload merge for fan-in stages: combines input `ordinal`'s popped
+    /// payload `from` into the accumulated payload `into` (input 0's copy).
+    /// When unset, `T::merge_from(const T&)` is used if the payload type
+    /// provides it; otherwise input 0 wins and the other copies are
+    /// discarded. Install before the first run.
+    using Merge = typename FanInGate<T>::Merge;
+    void set_merge(Merge merge) { merge_ = std::move(merge); }
+
     Pipeline(const Pipeline&) = delete;
     Pipeline& operator=(const Pipeline&) = delete;
 
@@ -280,6 +297,8 @@ public:
             : std::chrono::milliseconds{50};
         for (auto& queue : queues_)
             queue->reset(first_frame);
+        for (auto& gate : gates_)
+            gate->reset();
         resolve_obs_hooks(st);
 
         std::vector<int> live(k, 0);
@@ -332,7 +351,7 @@ public:
         std::uint64_t end_seq = first_frame;
         bool end_seen = false;
         try {
-            while (auto envelope = queues_.back()->pop()) {
+            while (auto envelope = drain_->pop()) {
                 if (envelope->end) {
                     end_seq = envelope->seq;
                     end_seen = true;
@@ -558,6 +577,16 @@ public:
 private:
     static constexpr std::uint64_t kNoFrame = WorkerLoss::kNoFrame;
 
+    /// A stage's queue endpoints, resolved once at materialize (the queue
+    /// topology is immutable for the pipeline's lifetime -- compatible
+    /// deltas never change it). Fan-in stages (>1 input) share one merge
+    /// gate between their workers.
+    struct StageIO {
+        std::vector<OrderedQueue<T>*> ins;  ///< plan order (pred order)
+        std::vector<OrderedQueue<T>*> outs; ///< plan order (succ order)
+        FanInGate<T>* gate = nullptr;       ///< non-null iff ins.size() > 1
+    };
+
     /// One persistent worker: identity and task instances live across
     /// segments; the atomics are reset at every segment start.
     struct Worker {
@@ -716,6 +745,14 @@ private:
                         throw std::invalid_argument{
                             "Pipeline: replicated stage contains stateful task '"
                             + sequence_.task(i).name() + "'"};
+        if constexpr (!std::is_copy_constructible_v<T>) {
+            // Fan-out duplicates the payload onto every successor queue.
+            for (const plan::PlanStage& stage : plan.stages())
+                if (stage.out_queues.size() > 1)
+                    throw std::invalid_argument{
+                        "Pipeline: fan-out stage " + std::to_string(stage.index)
+                        + " requires a copy-constructible frame type"};
+        }
         if (config_.faults != nullptr && config_.faults->has_liveness_faults()
             && config_.heartbeat_timeout.count() == 0)
             throw std::invalid_argument{
@@ -738,10 +775,11 @@ private:
     void materialize()
     {
         const std::size_t k = stages_.size();
-        queues_.reserve(k);
-        for (std::size_t i = 0; i < k; ++i)
-            queues_.push_back(std::make_unique<OrderedQueue<T>>(plan_.options().queue_capacity,
-                                                                config_.first_frame));
+        const auto& specs = plan_.queues();
+        queues_.reserve(specs.size());
+        for (const plan::QueueSpec& spec : specs)
+            queues_.push_back(
+                std::make_unique<OrderedQueue<T>>(spec.capacity, config_.first_frame));
         if (config_.overload.enabled) {
             const std::size_t cap = std::max<std::size_t>(1, plan_.options().queue_capacity);
             std::size_t high = config_.overload.high_watermark;
@@ -753,6 +791,29 @@ private:
             for (auto& queue : queues_)
                 queue->set_watermarks(high, low);
         }
+
+        // Queue wiring follows the plan's DAG: each stage reads its
+        // in_queues (fan-in stages behind a merge gate) and writes every
+        // out_queues entry. Linear plans reduce to one in, one out.
+        io_.clear();
+        io_.resize(k);
+        for (const plan::PlanStage& stage : plan_.stages()) {
+            StageIO& io = io_[static_cast<std::size_t>(stage.index)];
+            for (const int q : stage.in_queues)
+                io.ins.push_back(queues_[static_cast<std::size_t>(q)].get());
+            for (const int q : stage.out_queues)
+                io.outs.push_back(queues_[static_cast<std::size_t>(q)].get());
+        }
+        gates_.clear();
+        for (StageIO& io : io_)
+            if (io.ins.size() > 1) {
+                gates_.push_back(std::make_unique<FanInGate<T>>(io.ins, merge_fn()));
+                io.gate = gates_.back().get();
+            }
+        for (const plan::QueueSpec& spec : specs)
+            if (spec.consumer_stage == plan::QueueSpec::kDrain)
+                drain_ = queues_[static_cast<std::size_t>(spec.index)].get();
+
         seg_.live_in_stage = std::vector<std::atomic<int>>(k);
 
         if (config_.sink != nullptr && config_.sink->enabled()
@@ -982,9 +1043,11 @@ private:
                 ob.frames_shed = &m.counter(obs::schema::kFramesShed);
                 ob.brownout_entries = &m.counter(obs::schema::kBrownoutEntries);
                 ob.brownout_level = &m.gauge(obs::schema::kBrownoutLevel);
-                for (std::size_t s = 0; s < k; ++s)
+                // One gauge per queue (DAG plans have more queues than
+                // stages); for linear plans queue index == stage index.
+                for (std::size_t q = 0; q < queues_.size(); ++q)
                     ob.queue_depth.push_back(
-                        &m.gauge(obs::schema::queue_depth(static_cast<int>(s))));
+                        &m.gauge(obs::schema::queue_depth(static_cast<int>(q))));
             }
         }
         if (trace_ != nullptr) {
@@ -1044,13 +1107,12 @@ private:
     {
         SegmentState& st = seg_;
         const core::Stage& stage = stages_[static_cast<std::size_t>(me.stage)];
-        OrderedQueue<T>* in = me.stage == 0 ? nullptr : queues_[static_cast<std::size_t>(me.stage - 1)].get();
-        OrderedQueue<T>& out = *queues_[static_cast<std::size_t>(me.stage)];
+        StageIO& io = io_[static_cast<std::size_t>(me.stage)];
         try {
-            if (in == nullptr)
-                source_loop(st, me, stage, me.tasks, out);
+            if (io.ins.empty())
+                source_loop(st, me, stage, me.tasks, io);
             else
-                stage_loop(st, me, stage, me.tasks, *in, out);
+                stage_loop(st, me, stage, me.tasks, io);
         } catch (...) {
             me.exited.store(true);
             record_error(st, std::current_exception());
@@ -1152,8 +1214,59 @@ private:
         }
     }
 
+    /// Fan-out push: delivers `envelope` to every out queue of the stage
+    /// (data payloads are copied for all but the last queue; control
+    /// envelopes -- end markers and tombstones -- are rebuilt, never
+    /// copied). Returns false once any out queue reports closed.
+    bool push_all_with_beat(SegmentState& st, Worker& me,
+                            const std::vector<OrderedQueue<T>*>& outs, Envelope<T> envelope)
+    {
+        bool alive = true;
+        for (std::size_t o = 0; o + 1 < outs.size(); ++o) {
+            Envelope<T> copy = Envelope<T>::tombstone(envelope.seq);
+            if (envelope.end) {
+                copy = Envelope<T>::end_of_stream(envelope.seq);
+            } else if (!envelope.dropped) {
+                if constexpr (std::is_copy_constructible_v<T>)
+                    copy = Envelope<T>::data(envelope.seq, envelope.payload);
+                // move-only T cannot reach here: validate_against_sequence
+                // rejects fan-out stages for such payloads at construction.
+            }
+            alive = push_with_beat(st, me, *outs[o], std::move(copy)) && alive;
+        }
+        alive = push_with_beat(st, me, *outs.back(), std::move(envelope)) && alive;
+        return alive;
+    }
+
+    /// The configured fan-in payload merge, or the default: use
+    /// T::merge_from when the payload provides it, else input 0 wins.
+    [[nodiscard]] Merge merge_fn() const
+    {
+        if (merge_)
+            return merge_;
+        return [](T& into, T& from, int) {
+            if constexpr (requires(T& a, T& b) { a.merge_from(b); })
+                into.merge_from(from);
+            else
+                (void)into, (void)from;
+        };
+    }
+
+    /// Pops the next input envelope for a stage: through the merge gate for
+    /// fan-in stages, straight off the single input queue otherwise. The
+    /// result mirrors OrderedQueue::PopResult (timed_out / done / envelope).
+    typename FanInGate<T>::Result pop_input(SegmentState& st, Worker& me, StageIO& io)
+    {
+        if (io.gate != nullptr)
+            return io.gate->pop_round(
+                st.beat_interval, [&] { beat(st, me); },
+                [&] { return me.fenced.load() || me.dismissed.load(); });
+        auto popped = io.ins.front()->try_pop_for(st.beat_interval);
+        return {std::move(popped.envelope), popped.done};
+    }
+
     void source_loop(SegmentState& st, Worker& me, const core::Stage& stage,
-                     const std::vector<Task<T>*>& tasks, OrderedQueue<T>& out)
+                     const std::vector<Task<T>*>& tasks, StageIO& io)
     {
         for (;;) {
             beat(st, me);
@@ -1166,7 +1279,8 @@ private:
             const std::uint64_t seq = st.next_frame.fetch_add(1, std::memory_order_relaxed);
             if (seq >= st.num_frames) {
                 if (seq == st.num_frames && !st.end_pushed.exchange(true))
-                    push_with_beat(st, me, out, Envelope<T>::end_of_stream(st.num_frames));
+                    push_all_with_beat(st, me, io.outs,
+                                       Envelope<T>::end_of_stream(st.num_frames));
                 break;
             }
             me.holding.store(seq);
@@ -1189,7 +1303,7 @@ private:
             beat(st, me);
             if (me.holding.exchange(kNoFrame) == kNoFrame)
                 return; // watchdog presumed us dead and tombstoned the frame
-            if (!push_with_beat(st, me, out, std::move(envelope)))
+            if (!push_all_with_beat(st, me, io.outs, std::move(envelope)))
                 break;
         }
         me.exited.store(true);
@@ -1198,13 +1312,12 @@ private:
         // of seq == num_frames already pushed it above.
         if (retire(st, me) && !st.end_pushed.exchange(true)) {
             const std::uint64_t end_seq = std::min(st.next_frame.load(), st.num_frames);
-            push_with_beat(st, me, out, Envelope<T>::end_of_stream(end_seq));
+            push_all_with_beat(st, me, io.outs, Envelope<T>::end_of_stream(end_seq));
         }
     }
 
     void stage_loop(SegmentState& st, Worker& me, const core::Stage& stage,
-                    const std::vector<Task<T>*>& tasks, OrderedQueue<T>& in,
-                    OrderedQueue<T>& out)
+                    const std::vector<Task<T>*>& tasks, StageIO& io)
     {
         // Input-wait accounting spans timed-out pops: the clock starts when
         // the worker first goes hungry and stops at the successful pop.
@@ -1220,7 +1333,7 @@ private:
                 wait_from = std::chrono::steady_clock::now();
                 waiting = true;
             }
-            auto popped = in.try_pop_for(st.beat_interval);
+            auto popped = pop_input(st, me, io);
             if (popped.timed_out())
                 continue;
             if (st.obs.active) {
@@ -1234,11 +1347,11 @@ private:
                 break; // aborted, or a sibling forwarded the end marker
             Envelope<T> envelope = std::move(*popped.envelope);
             if (envelope.end) {
-                push_with_beat(st, me, out, std::move(envelope));
+                push_all_with_beat(st, me, io.outs, std::move(envelope));
                 break;
             }
             if (envelope.dropped) { // tombstone: forward unprocessed
-                if (!push_with_beat(st, me, out, std::move(envelope)))
+                if (!push_all_with_beat(st, me, io.outs, std::move(envelope)))
                     break;
                 continue;
             }
@@ -1260,7 +1373,7 @@ private:
             beat(st, me);
             if (me.holding.exchange(kNoFrame) == kNoFrame)
                 return; // watchdog presumed us dead and tombstoned the frame
-            if (!push_with_beat(st, me, out, std::move(envelope)))
+            if (!push_all_with_beat(st, me, io.outs, std::move(envelope)))
                 break;
         }
         me.exited.store(true);
@@ -1341,7 +1454,10 @@ private:
             st.obs.brownout_entries->inc(0);
         if (!browned)
             return;
-        for (std::size_t s = 0; s + 1 < queues_.size(); ++s) {
+        const auto& specs = plan_.queues();
+        for (std::size_t s = 0; s < queues_.size(); ++s) {
+            if (specs[s].consumer_stage == plan::QueueSpec::kDrain)
+                continue; // finished work the drain is about to deliver
             if (!queues_[s]->congested())
                 continue;
             const std::size_t shed = queues_[s]->shed_oldest(config_.overload.shed_batch);
@@ -1385,8 +1501,8 @@ private:
             }
         }
         if (held != kNoFrame)
-            watchdog_push(st, *queues_[static_cast<std::size_t>(me.stage)],
-                          Envelope<T>::tombstone(held));
+            for (OrderedQueue<T>* out : io_[static_cast<std::size_t>(me.stage)].outs)
+                watchdog_push(st, *out, Envelope<T>::tombstone(held));
         const bool stage_empty = retire(st, me);
         // Give the loss handler (rt::run_with_recovery) a chance to restore
         // the pipeline with an in-flight frame swap before falling back to
@@ -1404,10 +1520,12 @@ private:
     void initiate_drain(SegmentState& st, int stage)
     {
         st.stop_source.store(true);
-        if (stage == 0) {
+        StageIO& io = io_[static_cast<std::size_t>(stage)];
+        if (io.ins.empty()) { // the source itself died: just close the stream
             if (!st.end_pushed.exchange(true)) {
                 const std::uint64_t end_seq = std::min(st.next_frame.load(), st.num_frames);
-                watchdog_push(st, *queues_[0], Envelope<T>::end_of_stream(end_seq));
+                for (OrderedQueue<T>* out : io.outs)
+                    watchdog_push(st, *out, Envelope<T>::end_of_stream(end_seq));
             }
             return;
         }
@@ -1416,14 +1534,21 @@ private:
     }
 
     /// Stands in for a fully-dead stage: converts its input frames into
-    /// tombstones on its output queue and forwards the end marker, so the
-    /// tail of the pipeline drains in order.
+    /// tombstones on its output queues and forwards the end marker, so the
+    /// tail of the pipeline drains in order. A dead fan-in stage is drained
+    /// through its merge gate, which keeps the per-input pops aligned.
     void scavenge(SegmentState& st, int stage)
     {
-        OrderedQueue<T>& in = *queues_[static_cast<std::size_t>(stage - 1)];
-        OrderedQueue<T>& out = *queues_[static_cast<std::size_t>(stage)];
+        StageIO& io = io_[static_cast<std::size_t>(stage)];
         for (;;) {
-            auto popped = in.try_pop_for(std::chrono::milliseconds{5});
+            typename FanInGate<T>::Result popped;
+            if (io.gate != nullptr) {
+                popped = io.gate->pop_round(
+                    std::chrono::milliseconds{5}, [] {}, [&] { return st.over.load(); });
+            } else {
+                auto r = io.ins.front()->try_pop_for(std::chrono::milliseconds{5});
+                popped = {std::move(r.envelope), r.done};
+            }
             if (popped.timed_out()) {
                 if (st.over.load())
                     return;
@@ -1431,12 +1556,12 @@ private:
             }
             if (popped.done)
                 return;
-            Envelope<T> envelope = std::move(*popped.envelope);
-            const bool end = envelope.end;
-            if (!end && !envelope.dropped)
-                envelope = Envelope<T>::tombstone(envelope.seq);
-            watchdog_push(st, out, std::move(envelope));
-            if (end)
+            const Envelope<T>& envelope = *popped.envelope;
+            for (OrderedQueue<T>* out : io.outs)
+                watchdog_push(st, *out,
+                              envelope.end ? Envelope<T>::end_of_stream(envelope.seq)
+                                           : Envelope<T>::tombstone(envelope.seq));
+            if (envelope.end)
                 return;
         }
     }
@@ -1456,9 +1581,13 @@ private:
     TaskSequence<T>& sequence_;
     plan::ExecutionPlan plan_;
     PipelineConfig config_;
+    Merge merge_; ///< fan-in payload merge (set_merge); null = default
 
     std::vector<core::Stage> stages_; ///< runtime stage specs (follow plan_)
     std::vector<std::unique_ptr<OrderedQueue<T>>> queues_;
+    std::vector<StageIO> io_;         ///< per stage, follows plan_ wiring
+    std::vector<std::unique_ptr<FanInGate<T>>> gates_;
+    OrderedQueue<T>* drain_ = nullptr; ///< the queue run_from consumes
     std::vector<std::unique_ptr<Worker>> workers_;
     int next_worker_id_ = 0;
     std::atomic<int> spawned_total_{0};

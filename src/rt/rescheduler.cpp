@@ -151,42 +151,6 @@ std::optional<core::Solution> Rescheduler::observe(const TelemetrySnapshot& tele
     return recompute();
 }
 
-// Deprecated forwarders, kept for one PR: both legacy entry points wrap
-// their arguments into a TelemetrySnapshot and flow through observe().
-// (Defining a [[deprecated]] function does not warn; only calls do.)
-std::optional<core::Solution>
-Rescheduler::report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
-                                      const std::vector<obs::HistogramSnapshot>& little_us)
-{
-    TelemetrySnapshot telemetry;
-    telemetry.big_us = big_us;
-    telemetry.little_us = little_us;
-    if (telemetry.big_us.empty() && telemetry.little_us.empty())
-        throw std::invalid_argument{"observe: snapshot vectors must match chain size"};
-    return observe(telemetry);
-}
-
-std::optional<core::Solution> Rescheduler::report_profile(const std::vector<double>& big_us,
-                                                          const std::vector<double>& little_us)
-{
-    const auto n = static_cast<std::size_t>(chain_.size());
-    if (big_us.size() != n || little_us.size() != n)
-        throw std::invalid_argument{"observe: weight vectors must match chain size"};
-
-    TelemetrySnapshot telemetry;
-    telemetry.big_us.resize(n);
-    telemetry.little_us.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        obs::Histogram h_big;
-        h_big.record_us(big_us[i]);
-        telemetry.big_us[i] = h_big.snapshot();
-        obs::Histogram h_little;
-        h_little.record_us(little_us[i]);
-        telemetry.little_us[i] = h_little.snapshot();
-    }
-    return observe(telemetry);
-}
-
 core::Solution Rescheduler::resize_to(core::Resources target)
 {
     if (target.big < 0 || target.little < 0 || target.total() < 1)

@@ -112,17 +112,6 @@ public:
     /// snapshot, so one telemetry producer feeds both control loops.
     std::optional<core::Solution> observe(const TelemetrySnapshot& telemetry);
 
-    [[deprecated("collapsed into observe(TelemetrySnapshot): wrap the two "
-                 "vectors in a TelemetrySnapshot{big, little} instead")]]
-    std::optional<core::Solution>
-    report_latency_snapshots(const std::vector<obs::HistogramSnapshot>& big_us,
-                             const std::vector<obs::HistogramSnapshot>& little_us);
-
-    [[deprecated("collapsed into observe(TelemetrySnapshot): wrap each "
-                 "average as a single-sample obs::Histogram snapshot")]]
-    std::optional<core::Solution> report_profile(const std::vector<double>& big_us,
-                                                 const std::vector<double>& little_us);
-
     /// Re-solves for a changed resource vector -- the autoscaler's
     /// grow/shrink step -- and adopts chain/resources/solution on success.
     /// A HeRAD primary re-solves incrementally from the DP frontier

@@ -1,0 +1,163 @@
+#include "svc/graph_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace amp::svc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Max branch period if branch `b` moved to `candidate` while the others
+/// stay at their current periods.
+double bottleneck_with(const std::vector<double>& periods, std::size_t b, double candidate)
+{
+    double worst = candidate;
+    for (std::size_t i = 0; i < periods.size(); ++i)
+        if (i != b)
+            worst = std::max(worst, periods[i]);
+    return worst;
+}
+
+} // namespace
+
+std::vector<core::TaskChain> branch_chains(const core::TaskChain& chain,
+                                           const plan::GraphShape& shape)
+{
+    shape.validate();
+    if (chain.size() != shape.tasks())
+        throw plan::PlanError{"graph: chain does not match the shape's task count"};
+    std::vector<core::TaskChain> chains;
+    chains.reserve(shape.branches.size());
+    for (const plan::GraphBranch& branch : shape.branches) {
+        std::vector<core::TaskDesc> tasks;
+        tasks.reserve(static_cast<std::size_t>(branch.task_count()));
+        for (int i = branch.first; i <= branch.last; ++i)
+            tasks.push_back(chain.task(i));
+        chains.emplace_back(std::move(tasks));
+    }
+    return chains;
+}
+
+GraphSchedule schedule_graph(const GraphScheduleRequest& request, SolverService& service)
+{
+    GraphSchedule out;
+    const std::vector<core::TaskChain> chains = branch_chains(request.chain, request.shape);
+    const auto nb = chains.size();
+
+    // OTAC variants schedule on one core type only; the other pool is
+    // unusable and handing its cores out would just produce invalid solves.
+    core::Resources remaining = request.resources;
+    if (request.strategy == core::Strategy::otac_big)
+        remaining.little = 0;
+    else if (request.strategy == core::Strategy::otac_little)
+        remaining.big = 0;
+    if (static_cast<std::size_t>(remaining.big + remaining.little) < nb) {
+        out.error = "graph: fewer usable cores than branches";
+        return out;
+    }
+
+    const auto probe = [&](std::size_t b, core::Resources budget) {
+        core::ScheduleRequest rq;
+        rq.chain = chains[b];
+        rq.resources = budget;
+        rq.strategy = request.strategy;
+        rq.options = request.options;
+        rq.cache_domain = kGraphBranchDomain;
+        ++out.solves;
+        return service.solve(rq);
+    };
+    const auto period_of = [&](std::size_t b, const core::ScheduleResult& result) {
+        return result.ok() ? result.solution.period(chains[b]) : kInf;
+    };
+
+    // Seed: one core per branch, whichever usable type yields the lower
+    // solo period (big on ties -- deterministic).
+    out.branches.resize(nb);
+    std::vector<double> periods(nb, kInf);
+    for (std::size_t b = 0; b < nb; ++b) {
+        BranchSchedule& bs = out.branches[b];
+        core::ScheduleResult big_r;
+        core::ScheduleResult little_r;
+        double big_p = kInf;
+        double little_p = kInf;
+        if (remaining.big > 0) {
+            big_r = probe(b, {1, 0});
+            big_p = period_of(b, big_r);
+        }
+        if (remaining.little > 0) {
+            little_r = probe(b, {0, 1});
+            little_p = period_of(b, little_r);
+        }
+        if (big_p <= little_p && big_p < kInf) {
+            bs.budget = {1, 0};
+            bs.result = std::move(big_r);
+            periods[b] = big_p;
+            --remaining.big;
+        } else if (little_p < kInf) {
+            bs.budget = {0, 1};
+            bs.result = std::move(little_r);
+            periods[b] = little_p;
+            --remaining.little;
+        } else {
+            out.error = "graph: branch " + std::to_string(b) + " admits no schedule on one core";
+            return out;
+        }
+        bs.period_us = periods[b];
+    }
+
+    // Water-filling: grant one core at a time to the (branch, type)
+    // assignment that most reduces the bottleneck period; stop when no
+    // assignment strictly improves it (leftover cores stay unused -- a
+    // bigger budget that cannot lower the period only burns power).
+    while (remaining.big + remaining.little > 0) {
+        double best_bottleneck = kInf;
+        std::size_t best_branch = nb;
+        core::CoreType best_type = core::CoreType::big;
+        core::ScheduleResult best_result;
+        const double current = *std::max_element(periods.begin(), periods.end());
+        for (std::size_t b = 0; b < nb; ++b) {
+            for (const core::CoreType type : {core::CoreType::big, core::CoreType::little}) {
+                if ((type == core::CoreType::big ? remaining.big : remaining.little) <= 0)
+                    continue;
+                core::Resources budget = out.branches[b].budget;
+                (type == core::CoreType::big ? budget.big : budget.little) += 1;
+                core::ScheduleResult r = probe(b, budget);
+                const double p = period_of(b, r);
+                const double bn = bottleneck_with(periods, b, p);
+                if (bn < best_bottleneck) {
+                    best_bottleneck = bn;
+                    best_branch = b;
+                    best_type = type;
+                    best_result = std::move(r);
+                }
+            }
+        }
+        if (best_branch == nb || best_bottleneck >= current)
+            break;
+        BranchSchedule& bs = out.branches[best_branch];
+        (best_type == core::CoreType::big ? bs.budget.big : bs.budget.little) += 1;
+        (best_type == core::CoreType::big ? remaining.big : remaining.little) -= 1;
+        bs.result = std::move(best_result);
+        periods[best_branch] = period_of(best_branch, bs.result);
+        bs.period_us = periods[best_branch];
+    }
+
+    std::vector<core::Solution> solutions;
+    solutions.reserve(nb);
+    for (const BranchSchedule& bs : out.branches)
+        solutions.push_back(bs.result.solution);
+    out.plan = plan::ExecutionPlan::compile(request.chain, request.shape, solutions,
+                                            request.plan_options);
+    out.period_us = out.plan.period_us();
+    out.ok = true;
+    return out;
+}
+
+GraphSchedule schedule_graph(const GraphScheduleRequest& request)
+{
+    return schedule_graph(request, shared_service());
+}
+
+} // namespace amp::svc

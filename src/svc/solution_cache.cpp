@@ -85,7 +85,8 @@ std::optional<SolutionCache::PlannedHit> SolutionCache::find_stale(const CacheKe
         for (const Entry& entry : shard.lru) {
             if (entry.key.chain_fingerprint != want.chain_fingerprint
                 || entry.key.chain_fingerprint2 != want.chain_fingerprint2
-                || entry.key.chain_tasks != want.chain_tasks)
+                || entry.key.chain_tasks != want.chain_tasks
+                || entry.key.domain != want.domain)
                 continue;
             if (!entry.result.ok())
                 continue;

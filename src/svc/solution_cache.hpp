@@ -42,15 +42,24 @@ struct CacheKey {
     std::int32_t little = 0;
     std::uint8_t strategy = 0;
     std::uint8_t options = 0;
+    /// ScheduleRequest::cache_domain: separates namespaces whose entries
+    /// must not mix even for byte-identical chains -- e.g. a linearized
+    /// graph branch (kGraphBranchDomain) carries a branch-context compiled
+    /// plan that an identical standalone chain must never receive.
+    std::uint8_t domain = 0;
 
     [[nodiscard]] constexpr bool operator==(const CacheKey&) const noexcept = default;
 };
+
+/// Domain for graph-branch sub-chain solves (svc::schedule_graph).
+inline constexpr std::uint8_t kGraphBranchDomain = 1;
 
 [[nodiscard]] inline CacheKey key_of(const core::ScheduleRequest& request) noexcept
 {
     return CacheKey{request.chain.fingerprint(), request.chain.fingerprint2(),
                     request.chain.size(), request.resources.big, request.resources.little,
-                    static_cast<std::uint8_t>(request.strategy), request.options.key_bits()};
+                    static_cast<std::uint8_t>(request.strategy), request.options.key_bits(),
+                    request.cache_domain};
 }
 
 /// splitmix64-style mix of the key fields; also decides the shard.
@@ -61,7 +70,8 @@ struct CacheKey {
     x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.big)) << 32)
         | static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.little));
     x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.chain_tasks)) << 16)
-        ^ (static_cast<std::uint64_t>(key.strategy) << 8) ^ key.options;
+        ^ (static_cast<std::uint64_t>(key.strategy) << 8) ^ key.options
+        ^ (static_cast<std::uint64_t>(key.domain) << 24);
     x += 0x9e3779b97f4a7c15ull;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;

@@ -1,0 +1,196 @@
+// svc::schedule_graph: branch splitting, greedy water-filling over the
+// shared core budget, determinism, the cache-domain separation that keeps a
+// branch sub-chain from colliding with an identical standalone chain, and
+// the infeasibility error paths.
+
+#include "svc/graph_schedule.hpp"
+
+#include "dvbs2/graph_workloads.hpp"
+#include "dvbs2/profiles.hpp"
+#include "svc/solution_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+using core::CoreType;
+using core::Resources;
+using core::Strategy;
+using core::TaskChain;
+using core::TaskDesc;
+using plan::GraphBranch;
+using plan::GraphShape;
+
+/// src(1) -> {mid-a(2..3) replicable, mid-b(4)} -> sink(5), deliberately
+/// unbalanced: mid-a carries most of the weight so water-filling must grant
+/// it the extra cores.
+svc::GraphScheduleRequest diamond_request(Resources budget,
+                                          Strategy strategy = Strategy::herad)
+{
+    svc::GraphScheduleRequest request;
+    std::vector<TaskDesc> descs;
+    descs.push_back(TaskDesc{"src", 10.0, 20.0, false});
+    descs.push_back(TaskDesc{"mid-a1", 60.0, 120.0, true});
+    descs.push_back(TaskDesc{"mid-a2", 60.0, 120.0, true});
+    descs.push_back(TaskDesc{"mid-b", 25.0, 50.0, false});
+    descs.push_back(TaskDesc{"sink", 10.0, 20.0, false});
+    request.chain = TaskChain{std::move(descs)};
+    request.shape.chain = plan::ChainShape::of(request.chain);
+    request.shape.branches = {
+        GraphBranch{0, 1, 1, {}, {1, 2}},
+        GraphBranch{1, 2, 3, {0}, {3}},
+        GraphBranch{2, 4, 4, {0}, {3}},
+        GraphBranch{3, 5, 5, {1, 2}, {}},
+    };
+    request.resources = budget;
+    request.strategy = strategy;
+    return request;
+}
+
+TEST(BranchChains, SplitsTheGlobalChainByBranchIntervals)
+{
+    const svc::GraphScheduleRequest request = diamond_request({4, 0});
+    const std::vector<TaskChain> chains = svc::branch_chains(request.chain, request.shape);
+    ASSERT_EQ(chains.size(), 4u);
+    EXPECT_EQ(chains[0].size(), 1);
+    EXPECT_EQ(chains[1].size(), 2);
+    EXPECT_EQ(chains[1].task(1).name, "mid-a1");
+    EXPECT_EQ(chains[1].task(2).name, "mid-a2");
+    EXPECT_EQ(chains[3].task(1).name, "sink");
+
+    // Local task ids restart at 1 per branch and weights survive the split.
+    EXPECT_DOUBLE_EQ(chains[2].task(1).w_big, 25.0);
+
+    TaskChain short_chain{std::vector<TaskDesc>{{"only", 1.0, 2.0, true}}};
+    EXPECT_THROW((void)svc::branch_chains(short_chain, request.shape), plan::PlanError);
+}
+
+TEST(ScheduleGraph, WaterFillingGrantsTheBottleneckBranch)
+{
+    svc::SolverService service{{.workers = 1}};
+    const svc::GraphScheduleRequest request = diamond_request({6, 0});
+    const svc::GraphSchedule schedule = svc::schedule_graph(request, service);
+    ASSERT_TRUE(schedule.ok) << schedule.error;
+    ASSERT_EQ(schedule.branches.size(), 4u);
+    EXPECT_GT(schedule.solves, 4);
+
+    // The replicable heavy branch must have received more than its seed core.
+    const svc::BranchSchedule& heavy = schedule.branches[1];
+    EXPECT_GT(heavy.budget.big + heavy.budget.little, 1);
+
+    // The stitched plan reports the combined bound: max branch period.
+    double worst = 0.0;
+    for (const svc::BranchSchedule& branch : schedule.branches)
+        worst = std::max(worst, branch.period_us);
+    EXPECT_DOUBLE_EQ(schedule.period_us, worst);
+    EXPECT_DOUBLE_EQ(schedule.plan.period_us(), worst);
+    EXPECT_FALSE(schedule.plan.linear());
+    EXPECT_TRUE(schedule.plan.has_profile());
+    EXPECT_EQ(schedule.plan.graph().branch_count(), 4);
+
+    // With mid-a split over >= 2 big cores its period is at most 60, so the
+    // bottleneck cannot be the un-replicable 120 us branch load.
+    EXPECT_LE(schedule.period_us, 60.0 + 1e-9);
+}
+
+TEST(ScheduleGraph, IsDeterministicAcrossRunsAndServices)
+{
+    const svc::GraphScheduleRequest request = diamond_request({5, 2});
+    svc::SolverService first{{.workers = 1}};
+    svc::SolverService second{{.workers = 2}};
+    const svc::GraphSchedule a = svc::schedule_graph(request, first);
+    const svc::GraphSchedule b = svc::schedule_graph(request, second);
+    const svc::GraphSchedule c = svc::schedule_graph(request, first); // cache-warm rerun
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    ASSERT_TRUE(c.ok);
+    EXPECT_DOUBLE_EQ(a.period_us, b.period_us);
+    EXPECT_DOUBLE_EQ(a.period_us, c.period_us);
+    EXPECT_EQ(a.plan.summary(), b.plan.summary());
+    EXPECT_EQ(a.plan.summary(), c.plan.summary());
+    for (std::size_t i = 0; i < a.branches.size(); ++i) {
+        EXPECT_EQ(a.branches[i].budget.big, b.branches[i].budget.big);
+        EXPECT_EQ(a.branches[i].budget.little, b.branches[i].budget.little);
+        EXPECT_EQ(a.branches[i].result.solution, c.branches[i].result.solution);
+    }
+}
+
+TEST(ScheduleGraph, BranchCacheDomainNeverCollidesWithStandaloneChains)
+{
+    // Identical (chain, resources, strategy) in the default domain and the
+    // graph-branch domain must key differently...
+    const svc::GraphScheduleRequest request = diamond_request({4, 0});
+    const std::vector<TaskChain> chains = svc::branch_chains(request.chain, request.shape);
+    core::ScheduleRequest standalone;
+    standalone.chain = chains[1];
+    standalone.resources = {1, 0};
+    standalone.strategy = Strategy::herad;
+    core::ScheduleRequest branch = standalone;
+    branch.cache_domain = svc::kGraphBranchDomain;
+    EXPECT_FALSE(svc::key_of(standalone) == svc::key_of(branch));
+    EXPECT_NE(svc::hash_key(svc::key_of(standalone)), svc::hash_key(svc::key_of(branch)));
+
+    // ...and behaviorally: after a graph solve warmed the branch domain, an
+    // identical standalone solve still misses (no cross-domain hits).
+    svc::SolverService service{{.workers = 1}};
+    const svc::GraphSchedule schedule = svc::schedule_graph(request, service);
+    ASSERT_TRUE(schedule.ok) << schedule.error;
+    const svc::CacheStats warmed = service.cache_stats();
+    (void)service.solve(standalone);
+    const svc::CacheStats after = service.cache_stats();
+    EXPECT_EQ(after.misses, warmed.misses + 1)
+        << "a standalone chain identical to a branch sub-chain must not hit "
+           "the branch-domain entry";
+    // The reverse direction stays cached: re-probing the branch domain hits.
+    (void)service.solve(branch);
+    EXPECT_EQ(service.cache_stats().hits, after.hits + 1);
+}
+
+TEST(ScheduleGraph, ReportsInfeasibilityInsteadOfThrowing)
+{
+    svc::SolverService service{{.workers = 1}};
+
+    // Fewer cores than branches.
+    const svc::GraphSchedule starved =
+        svc::schedule_graph(diamond_request({2, 1}), service);
+    EXPECT_FALSE(starved.ok);
+    EXPECT_EQ(starved.error, "graph: fewer usable cores than branches");
+
+    // OTAC variants can only spend one pool; a big budget of littles does
+    // not help OTAC (B).
+    const svc::GraphSchedule otac =
+        svc::schedule_graph(diamond_request({2, 8}, Strategy::otac_big), service);
+    EXPECT_FALSE(otac.ok);
+    EXPECT_EQ(otac.error, "graph: fewer usable cores than branches");
+
+    // A malformed shape still throws (programming error, not infeasibility).
+    svc::GraphScheduleRequest malformed = diamond_request({4, 0});
+    malformed.shape.branches[1].preds.clear();
+    EXPECT_THROW((void)svc::schedule_graph(malformed, service), plan::PlanError);
+}
+
+TEST(ScheduleGraph, SolvesTheDvbs2Workloads)
+{
+    svc::SolverService service{{.workers = 2}};
+    const dvbs2::PlatformProfile profile = dvbs2::mac_studio_profile();
+
+    for (const auto& workload :
+         {dvbs2::tx_rx_split_workload(profile), dvbs2::ab_decode_workload(profile)}) {
+        svc::GraphScheduleRequest request;
+        request.chain = workload.chain;
+        request.shape = workload.shape;
+        request.resources = {8, 4};
+        const svc::GraphSchedule schedule = svc::schedule_graph(request, service);
+        ASSERT_TRUE(schedule.ok) << schedule.error;
+        EXPECT_FALSE(schedule.plan.linear());
+        EXPECT_EQ(schedule.plan.task_count(), workload.chain.size());
+        EXPECT_GT(schedule.period_us, 0.0);
+        EXPECT_EQ(static_cast<int>(workload.names.size()), workload.chain.size());
+    }
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+// plan::GraphShape structural validation: the branch-interval tiling, the
+// forward/sorted/mirrored edge rules, and the unique-source/unique-sink
+// requirement that makes a validated shape a series-parallel diamond.
+
+#include "plan/graph_shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amp;
+using plan::ChainShape;
+using plan::GraphBranch;
+using plan::GraphShape;
+using plan::PlanError;
+
+ChainShape chain_of(int tasks)
+{
+    ChainShape shape;
+    shape.tasks = tasks;
+    shape.replicable.assign(static_cast<std::size_t>(tasks), true);
+    return shape;
+}
+
+/// src(1) -> {mid-a(2..3), mid-b(4)} -> sink(5): the canonical diamond.
+GraphShape diamond()
+{
+    GraphShape graph;
+    graph.chain = chain_of(5);
+    graph.branches = {
+        GraphBranch{0, 1, 1, {}, {1, 2}},
+        GraphBranch{1, 2, 3, {0}, {3}},
+        GraphBranch{2, 4, 4, {0}, {3}},
+        GraphBranch{3, 5, 5, {1, 2}, {}},
+    };
+    return graph;
+}
+
+std::string validate_error(const GraphShape& graph)
+{
+    try {
+        graph.validate();
+    } catch (const PlanError& error) {
+        return error.what();
+    }
+    return {};
+}
+
+TEST(GraphShape, ValidDiamondPasses)
+{
+    const GraphShape graph = diamond();
+    EXPECT_NO_THROW(graph.validate());
+    EXPECT_FALSE(graph.is_linear());
+    EXPECT_EQ(graph.branch_count(), 4);
+    EXPECT_EQ(graph.tasks(), 5);
+    EXPECT_EQ(graph.source_branch(), 0);
+    EXPECT_EQ(graph.sink_branch(), 3);
+}
+
+TEST(GraphShape, LinearFactoryIsTheDegenerateOneBranchGraph)
+{
+    const GraphShape graph = GraphShape::linear(chain_of(4));
+    EXPECT_NO_THROW(graph.validate());
+    EXPECT_TRUE(graph.is_linear());
+    ASSERT_EQ(graph.branch_count(), 1);
+    EXPECT_EQ(graph.branches[0].first, 1);
+    EXPECT_EQ(graph.branches[0].last, 4);
+    EXPECT_EQ(graph.source_branch(), 0);
+    EXPECT_EQ(graph.sink_branch(), 0);
+
+    const core::TaskChain chain{std::vector<core::TaskDesc>{
+        {"a", 1.0, 2.0, false}, {"b", 3.0, 4.0, true}}};
+    const GraphShape from_chain = GraphShape::of(chain);
+    EXPECT_TRUE(from_chain.is_linear());
+    EXPECT_EQ(from_chain.chain.replicable, (std::vector<bool>{false, true}));
+}
+
+TEST(GraphShape, RejectsEmptyShapes)
+{
+    GraphShape graph;
+    EXPECT_EQ(validate_error(graph), "plan: chain shape is empty or inconsistent");
+
+    graph.chain = chain_of(3);
+    EXPECT_EQ(validate_error(graph), "plan: graph has no branches");
+
+    graph.chain.replicable.pop_back(); // tasks and flags disagree
+    graph.branches = {GraphBranch{0, 1, 3, {}, {}}};
+    EXPECT_EQ(validate_error(graph), "plan: chain shape is empty or inconsistent");
+}
+
+TEST(GraphShape, RejectsBadBranchIndexing)
+{
+    GraphShape graph = diamond();
+    std::swap(graph.branches[1].index, graph.branches[2].index);
+    EXPECT_EQ(validate_error(graph), "plan: graph branches must be indexed in order");
+}
+
+TEST(GraphShape, RejectsNonContiguousTiling)
+{
+    GraphShape graph = diamond();
+    graph.branches[1].first = 3; // leaves task 2 uncovered
+    EXPECT_EQ(validate_error(graph), "plan: graph branches must tile the chain contiguously");
+
+    GraphShape inverted = diamond();
+    inverted.branches[1].last = 1; // last < first
+    EXPECT_EQ(validate_error(inverted),
+              "plan: graph branches must tile the chain contiguously");
+
+    GraphShape overrun = diamond();
+    overrun.branches[3].last = 6; // beyond the chain
+    EXPECT_EQ(validate_error(overrun), "plan: graph branch interval exceeds the chain");
+
+    GraphShape uncovered = diamond();
+    uncovered.chain = chain_of(6); // branches stop at task 5
+    EXPECT_EQ(validate_error(uncovered), "plan: graph branches do not cover the whole chain");
+}
+
+TEST(GraphShape, RejectsMalformedEdges)
+{
+    GraphShape backward = diamond();
+    backward.branches[3].succs = {0}; // edge pointing backwards
+    EXPECT_EQ(validate_error(backward),
+              "plan: graph edges must be forward, sorted and duplicate-free");
+
+    GraphShape unsorted = diamond();
+    unsorted.branches[0].succs = {2, 1};
+    EXPECT_EQ(validate_error(unsorted),
+              "plan: graph edges must be forward, sorted and duplicate-free");
+
+    GraphShape duplicate = diamond();
+    duplicate.branches[0].succs = {1, 1, 2};
+    EXPECT_EQ(validate_error(duplicate),
+              "plan: graph edges must be forward, sorted and duplicate-free");
+
+    GraphShape self = diamond();
+    self.branches[1].succs = {1, 3};
+    EXPECT_EQ(validate_error(self),
+              "plan: graph edges must be forward, sorted and duplicate-free");
+
+    GraphShape out_of_range = diamond();
+    out_of_range.branches[0].succs = {1, 2, 7};
+    EXPECT_EQ(validate_error(out_of_range),
+              "plan: graph edges must be forward, sorted and duplicate-free");
+}
+
+TEST(GraphShape, RejectsUnmirroredEdges)
+{
+    GraphShape missing_pred = diamond();
+    missing_pred.branches[1].preds.clear(); // 0->1 no longer mirrored
+    EXPECT_EQ(validate_error(missing_pred), "plan: graph edge 0->1 is not mirrored in preds");
+
+    GraphShape missing_succ = diamond();
+    missing_succ.branches[1].succs.clear(); // 1->3 gone, but 3 still lists pred 1
+    EXPECT_EQ(validate_error(missing_succ), "plan: graph edge 1->3 is not mirrored in succs");
+}
+
+TEST(GraphShape, RequiresExactlyOneSourceAndSink)
+{
+    // Cutting edge 0->2 / pred 0 off branch 2 makes it a second source.
+    GraphShape two_sources = diamond();
+    two_sources.branches[0].succs = {1};
+    two_sources.branches[2].preds = {};
+    EXPECT_EQ(validate_error(two_sources), "plan: graph needs exactly one source branch");
+
+    // Cutting edge 2->3 off makes branch 2 a second sink.
+    GraphShape two_sinks = diamond();
+    two_sinks.branches[2].succs = {};
+    two_sinks.branches[3].preds = {1};
+    EXPECT_EQ(validate_error(two_sinks), "plan: graph needs exactly one sink branch");
+}
+
+TEST(GraphShape, SourceAndSinkLookupsThrowOnMalformedShapes)
+{
+    // A 2-branch cycle-free shape where every branch has an edge: not
+    // reachable through validate(), but the accessors must still fail loudly.
+    GraphShape graph;
+    graph.chain = chain_of(2);
+    graph.branches = {GraphBranch{0, 1, 1, {1}, {1}}, GraphBranch{1, 2, 2, {0}, {0}}};
+    EXPECT_THROW((void)graph.source_branch(), PlanError);
+    EXPECT_THROW((void)graph.sink_branch(), PlanError);
+}
+
+} // namespace

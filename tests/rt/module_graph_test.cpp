@@ -113,6 +113,100 @@ TEST(ModuleGraph, LinearizedSequenceRunsInPipeline)
         EXPECT_EQ(value, 9); // 3 + 6
 }
 
+TEST(ModuleGraph, RejectsDuplicatePortNames)
+{
+    ModuleGraph<Frame> graph;
+    EXPECT_THROW(graph.add("dup-in", false, [](Frame&) {}, {"a", "a"}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(graph.add("dup-out", false, [](Frame&) {}, {}, {"x", "x"}),
+                 std::invalid_argument);
+    // The same name on an input AND an output is fine (in-place update).
+    EXPECT_NO_THROW(graph.add("inout", false, [](Frame&) {}, {"a"}, {"a"}));
+}
+
+TEST(ModuleGraph, SingleModuleGraphLinearizesAndDecomposes)
+{
+    ModuleGraph<Frame> graph;
+    (void)graph.add("solo", true, [](Frame& f) { f.a = 1; });
+    EXPECT_EQ(graph.linearized_names(), (std::vector<std::string>{"solo"}));
+
+    const auto spec = graph.decompose();
+    EXPECT_EQ(spec.sequence.size(), 1);
+    EXPECT_TRUE(spec.shape.is_linear());
+    ASSERT_EQ(spec.shape.branch_count(), 1);
+    EXPECT_EQ(spec.shape.branches[0].first, 1);
+    EXPECT_EQ(spec.shape.branches[0].last, 1);
+    EXPECT_EQ(spec.names, (std::vector<std::string>{"solo"}));
+}
+
+TEST(ModuleGraph, BindingCycleIsRejectedByDecomposeToo)
+{
+    ModuleGraph<Frame> graph;
+    const auto a = graph.add("a", false, [](Frame&) {}, {"in"}, {"out"});
+    const auto b = graph.add("b", false, [](Frame&) {}, {"in"}, {"out"});
+    graph.bind(a, "out", b, "in");
+    graph.bind(b, "out", a, "in");
+    EXPECT_THROW((void)graph.linearize(), std::invalid_argument);
+    EXPECT_THROW((void)graph.decompose(), std::invalid_argument);
+}
+
+TEST(ModuleGraph, DecomposeRequiresUniqueSourceAndSink)
+{
+    // Two sources feeding one sink.
+    {
+        ModuleGraph<Frame> graph;
+        const auto s1 = graph.add("s1", true, [](Frame&) {}, {}, {"a"});
+        const auto s2 = graph.add("s2", true, [](Frame&) {}, {}, {"b"});
+        const auto sink = graph.add("sink", true, [](Frame&) {}, {"a", "b"}, {});
+        graph.bind(s1, "a", sink, "a");
+        graph.bind(s2, "b", sink, "b");
+        EXPECT_THROW((void)graph.decompose(), std::invalid_argument);
+    }
+    // One source feeding two sinks.
+    {
+        ModuleGraph<Frame> graph;
+        const auto src = graph.add("src", true, [](Frame&) {}, {}, {"a"});
+        const auto d1 = graph.add("d1", true, [](Frame&) {}, {"a"}, {});
+        const auto d2 = graph.add("d2", true, [](Frame&) {}, {"a"}, {});
+        graph.bind(src, "a", d1, "a");
+        graph.bind(src, "a", d2, "a");
+        EXPECT_THROW((void)graph.decompose(), std::invalid_argument);
+    }
+}
+
+TEST(ModuleGraph, DecomposesDiamondIntoFourBranches)
+{
+    // src -> {left1 -> left2, right} -> join: the classic fan-out/fan-in
+    // diamond. decompose() must group left1+left2 into one branch and give
+    // the join both branch predecessors.
+    ModuleGraph<Frame> graph;
+    const auto src = graph.add("src", true, [](Frame& f) { f.a = 1; }, {}, {"a"});
+    const auto left1 = graph.add("left1", false, [](Frame&) {}, {"a"}, {"b"});
+    const auto left2 = graph.add("left2", false, [](Frame&) {}, {"b"}, {"c"});
+    const auto right = graph.add("right", false, [](Frame&) {}, {"a"}, {"d"});
+    const auto join = graph.add("join", true, [](Frame&) {}, {"c", "d"}, {});
+    graph.bind(src, "a", left1, "a");
+    graph.bind(left1, "b", left2, "b");
+    graph.bind(src, "a", right, "a");
+    graph.bind(left2, "c", join, "c");
+    graph.bind(right, "d", join, "d");
+
+    const auto spec = graph.decompose();
+    EXPECT_FALSE(spec.shape.is_linear());
+    ASSERT_EQ(spec.shape.branch_count(), 4);
+    EXPECT_EQ(spec.names,
+              (std::vector<std::string>{"src", "left1", "left2", "right", "join"}));
+    EXPECT_EQ(spec.shape.source_branch(), 0);
+    EXPECT_EQ(spec.shape.sink_branch(), 3);
+    EXPECT_EQ(spec.shape.branches[0].succs, (std::vector<int>{1, 2}));
+    EXPECT_EQ(spec.shape.branches[1].first, 2);
+    EXPECT_EQ(spec.shape.branches[1].last, 3);
+    EXPECT_EQ(spec.shape.branches[3].preds, (std::vector<int>{1, 2}));
+    // Replicability mirrors statefulness.
+    EXPECT_EQ(spec.shape.chain.replicable,
+              (std::vector<bool>{false, true, true, true, false}));
+}
+
 TEST(ModuleGraph, FanOutProducerFeedsTwoConsumers)
 {
     ModuleGraph<Frame> graph;

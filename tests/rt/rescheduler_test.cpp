@@ -39,7 +39,7 @@ TaskChain make_chain(int n, bool first_sequential = true)
 
 
 /// Wraps per-task mean latencies into the TelemetrySnapshot observe()
-/// consumes (what the retired report_profile forwarder did internally).
+/// consumes (each latency becomes a single-sample histogram snapshot).
 TelemetrySnapshot profile_window(const std::vector<double>& big_us,
                                  const std::vector<double>& little_us)
 {
@@ -299,34 +299,6 @@ TEST(Rescheduler, EmptySnapshotsKeepScheduledWeights)
                      chain.weight(3, CoreType::little));
 }
 
-
-// The [[deprecated]] forwarders (one-PR grace window) must stay
-// behavior-identical to observe(): same drift accounting, same mismatch
-// throw on an all-empty profile window.
-TEST(Rescheduler, DeprecatedReportForwardersMatchObserve)
-{
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const TaskChain chain = make_chain(3);
-    ReschedulePolicy policy;
-    policy.drift_threshold = 0.25;
-    policy.drift_patience = 1;
-    Rescheduler rescheduler{chain, Resources{2, 2}, policy};
-
-    std::vector<double> big, little;
-    for (int i = 1; i <= chain.size(); ++i) {
-        big.push_back(chain.weight(i, CoreType::big) * 2.0);
-        little.push_back(chain.weight(i, CoreType::little) * 2.0);
-    }
-    const auto recomputed = rescheduler.report_profile(big, little);
-    ASSERT_TRUE(recomputed.has_value());
-    EXPECT_DOUBLE_EQ(rescheduler.chain().weight(1, CoreType::big), big[0]);
-
-    EXPECT_THROW((void)rescheduler.report_latency_snapshots({}, {}),
-                 std::invalid_argument)
-        << "the old API treated an all-empty window as a size mismatch";
-#pragma GCC diagnostic pop
-}
 
 // -- fault-tolerant end-to-end runs ---------------------------------------
 
