@@ -1,14 +1,24 @@
 // Extension bench: power, energy-per-frame and pipeline latency of every
 // strategy's DVB-S2 schedules (the paper's future-work directions: direct
-// power models and shorter pipelines). Uses a generic big/little power model
-// (4 W / 1 W active, typical P-core vs E-core ratios).
+// power models and shorter pipelines), plus the energy-vs-throughput Pareto
+// sweep of the min_energy_under_period objective (docs/ENERGY.md). Uses a
+// generic big/little power model (4 W / 1 W active, typical P-core vs
+// E-core ratios).
+//
+// Flags: --big-watts / --little-watts / --idle-watts tune the model,
+// --json=<file> writes the amp-bench-v1 report (one record per Pareto
+// point plus a dominance-gate summary per platform).
 
 #include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "core/power.hpp"
+#include "support/bench_json.hpp"
 #include "support/dvbs2_eval.hpp"
+#include "svc/pareto.hpp"
+#include "svc/solver_service.hpp"
 
 #include <cstdio>
+#include <vector>
 
 int main(int argc, char** argv)
 {
@@ -17,6 +27,12 @@ int main(int argc, char** argv)
     core::PowerModel model;
     model.big_watts = args.get_double("big-watts", 4.0);
     model.little_watts = args.get_double("little-watts", 1.0);
+    model.idle_watts = args.get_double("idle-watts", 0.1);
+
+    bench::JsonReport report{"ext_power_latency"};
+    report.param("big_watts", model.big_watts)
+        .param("little_watts", model.little_watts)
+        .param("idle_watts", model.idle_watts);
 
     std::printf("== Extension: power / energy / latency of the DVB-S2 schedules ==\n");
     std::printf("(power model: big %.1f W, little %.1f W active)\n\n", model.big_watts,
@@ -45,6 +61,95 @@ int main(int argc, char** argv)
         std::printf("%s\n", table.str().c_str());
     }
     std::printf("Energy/frame = active power x period. HeRAD's little-core preference\n"
-                "lowers power at equal period; OTAC (B) burns the most energy per bit.\n");
-    return 0;
+                "lowers power at equal period; OTAC (B) burns the most energy per bit.\n\n");
+
+    // -- energy/throughput Pareto sweep ------------------------------------
+    // For each platform: HeRAD's min-period optimum P*, then the cheapest
+    // schedule under target = P* x factor for a grid of slack factors. The
+    // gate: at every feasible target the energy objective never costs more
+    // active energy than the min-period schedule (which also meets any
+    // target >= P*) -- energy-aware solving dominates, it never regresses.
+    std::printf("== Energy/throughput Pareto sweep (min_energy_under_period) ==\n");
+    const std::vector<double> factors{1.0, 1.1, 1.25, 1.5, 1.75, 2.0};
+    svc::SolverService service{svc::ServiceConfig{}};
+    bool dominance_pass = true;
+    for (const auto& platform_case : bench::paper_platform_cases()) {
+        const auto& profile = *platform_case.profile;
+        const auto chain = dvbs2::profile_chain(profile);
+        const core::Resources resources = platform_case.resources;
+
+        const core::Solution fastest =
+            core::schedule(core::ScheduleRequest{chain, resources, core::Strategy::herad})
+                .solution;
+        if (fastest.empty())
+            continue;
+        const double p_star = fastest.period(chain);
+        const double min_period_energy = core::energy_per_item(chain, fastest, model);
+
+        std::vector<double> targets;
+        targets.reserve(factors.size());
+        for (const double factor : factors)
+            targets.push_back(p_star * factor);
+        const auto points =
+            svc::energy_pareto_sweep(service, chain, resources, model, targets);
+
+        std::printf("%s, R = (%dB, %dL): P* = %.1f us, min-period energy %.3f mJ\n",
+                    profile.name.c_str(), resources.big, resources.little, p_star,
+                    min_period_energy / 1e3);
+        TextTable pareto_table(
+            {"Target(xP*)", "Period(us)", "Energy/frame(mJ)", "Power(W)", "Saved"});
+        bool platform_pass = true;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto& point = points[i];
+            if (!point.ok) {
+                pareto_table.add_row({fmt(factors[i], 2), "-", "-", "-", "-"});
+                continue;
+            }
+            const double saved =
+                min_period_energy > 0.0
+                    ? 1.0 - point.energy_per_item / min_period_energy
+                    : 0.0;
+            const bool dominated = point.energy_per_item <= min_period_energy * (1.0 + 1e-9);
+            platform_pass = platform_pass && dominated;
+            pareto_table.add_row({fmt(factors[i], 2), fmt(point.period, 1),
+                                  fmt(point.energy_per_item / 1e3, 3),
+                                  fmt(point.power_watts, 1), fmt(saved * 100.0, 1) + "%"});
+            report.add_record()
+                .set("scenario", "pareto")
+                .set("platform", profile.name)
+                .set("big", resources.big)
+                .set("little", resources.little)
+                .set("factor", factors[i])
+                .set("target_period_us", point.target_period)
+                .set("period_us", point.period)
+                .set("energy_per_frame_uj", point.energy_per_item)
+                .set("power_watts", point.power_watts)
+                .set("min_period_energy_uj", min_period_energy)
+                .set("energy_saved_frac", saved)
+                .set("dominates_min_period", dominated);
+        }
+        dominance_pass = dominance_pass && platform_pass;
+        std::printf("%s\n", pareto_table.str().c_str());
+        report.add_record()
+            .set("scenario", "pareto_summary")
+            .set("platform", profile.name)
+            .set("big", resources.big)
+            .set("little", resources.little)
+            .set("p_star_us", p_star)
+            .set("min_period_energy_uj", min_period_energy)
+            .set("pass", platform_pass);
+    }
+    std::printf("At every slack factor the energy objective matches or undercuts the\n"
+                "min-period schedule's energy (dominance gate) -- %s\n",
+                dominance_pass ? "PASS" : "FAIL");
+
+    if (args.has("json")) {
+        const std::string path = args.get("json", "");
+        if (!report.write_file(path)) {
+            std::fprintf(stderr, "failed to write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("json report: %s\n", path.c_str());
+    }
+    return dominance_pass ? 0 : 2;
 }

@@ -108,4 +108,67 @@ double brute_force_optimal_period(const TaskChain& chain, Resources resources)
     return brute_force(chain, resources).optimal_period;
 }
 
+namespace {
+
+/// Enumerates every schedule with period <= target, tracking the cheapest
+/// by active energy. Same stage enumeration as Enumerator, but the prune is
+/// the fixed target instead of the best period found so far.
+struct EnergyEnumerator {
+    const TaskChain& chain;
+    const PowerModel& model;
+    double target;
+    double best_energy = kInfiniteWeight;
+    Solution best;
+    std::vector<Stage> current;
+
+    void recurse(int s, Resources available, double energy_so_far)
+    {
+        if (energy_so_far >= best_energy)
+            return; // energy is additive and positive: cannot improve
+        const int n = chain.size();
+        for (int e = s; e <= n; ++e) {
+            const bool replicable = chain.interval_replicable(s, e);
+            for (const CoreType v : {CoreType::big, CoreType::little}) {
+                const int max_r = replicable ? available.count(v) : std::min(available.count(v), 1);
+                const double stage_energy = model.watts(v) * chain.energy_sum(s, e, v);
+                const double energy = energy_so_far + stage_energy;
+                if (energy >= best_energy)
+                    continue;
+                for (int r = 1; r <= max_r; ++r) {
+                    if (chain.stage_weight(s, e, r, v) > target * (1.0 + kTieTol))
+                        continue;
+                    current.push_back(Stage{s, e, r, v});
+                    if (e == n) {
+                        if (energy < best_energy) { // first minimal-energy find wins
+                            best_energy = energy;
+                            best = Solution{current};
+                        }
+                    } else {
+                        Resources remaining = available;
+                        remaining.count(v) -= r;
+                        recurse(e + 1, remaining, energy);
+                    }
+                    current.pop_back();
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+EnergyBruteForceResult brute_force_min_energy(const TaskChain& chain, Resources resources,
+                                              double target_period, const PowerModel& model)
+{
+    EnergyBruteForceResult result;
+    if (chain.empty() || resources.total() < 1 || !(target_period > 0.0))
+        return result;
+    EnergyEnumerator enumerator{.chain = chain, .model = model, .target = target_period,
+                                .best_energy = kInfiniteWeight, .best = {}, .current = {}};
+    enumerator.recurse(1, resources, 0.0);
+    result.best_energy = enumerator.best_energy;
+    result.best_solution = std::move(enumerator.best);
+    return result;
+}
+
 } // namespace amp::core

@@ -8,6 +8,7 @@
 // solutions (the precise meaning of "as many little cores as necessary").
 
 #include "core/chain.hpp"
+#include "core/power.hpp"
 #include "core/solution.hpp"
 
 #include <vector>
@@ -29,5 +30,22 @@ struct BruteForceResult {
 
 /// Convenience: the optimal period only.
 [[nodiscard]] double brute_force_optimal_period(const TaskChain& chain, Resources resources);
+
+/// Exhaustive reference for the min_energy_under_period objective
+/// (docs/ENERGY.md): minimum active energy_per_item among ALL schedules
+/// with period <= target_period within the budget.
+struct EnergyBruteForceResult {
+    /// +inf when no feasible schedule meets the target.
+    double best_energy = kInfiniteWeight;
+    /// One representative minimum-energy solution (empty when infeasible).
+    Solution best_solution;
+};
+
+/// Exhaustive search; exponential, intended for n <= ~10 and small budgets.
+/// Validates EnergyHeRAD's optimality (tests/core/energy_schedule_test.cpp).
+[[nodiscard]] EnergyBruteForceResult brute_force_min_energy(const TaskChain& chain,
+                                                            Resources resources,
+                                                            double target_period,
+                                                            const PowerModel& model);
 
 } // namespace amp::core

@@ -38,15 +38,26 @@ TaskChain::TaskChain(std::vector<TaskDesc> tasks)
         if (!(t.w_big > 0.0) || !(t.w_little > 0.0))
             throw std::invalid_argument{
                 "TaskChain: task weights must be strictly positive (task '" + t.name + "')"};
+        if (!(t.energy > 0.0))
+            throw std::invalid_argument{
+                "TaskChain: task energy weights must be strictly positive (task '" + t.name
+                + "')"};
     }
 
     prefix_big_.assign(static_cast<std::size_t>(n) + 1, 0.0);
     prefix_little_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    eprefix_big_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+    eprefix_little_.assign(static_cast<std::size_t>(n) + 1, 0.0);
     for (int i = 1; i <= n; ++i) {
+        const auto& t = tasks_[static_cast<std::size_t>(i - 1)];
         prefix_big_[static_cast<std::size_t>(i)] =
-            prefix_big_[static_cast<std::size_t>(i - 1)] + tasks_[static_cast<std::size_t>(i - 1)].w_big;
+            prefix_big_[static_cast<std::size_t>(i - 1)] + t.w_big;
         prefix_little_[static_cast<std::size_t>(i)] =
-            prefix_little_[static_cast<std::size_t>(i - 1)] + tasks_[static_cast<std::size_t>(i - 1)].w_little;
+            prefix_little_[static_cast<std::size_t>(i - 1)] + t.w_little;
+        eprefix_big_[static_cast<std::size_t>(i)] =
+            eprefix_big_[static_cast<std::size_t>(i - 1)] + t.energy * t.w_big;
+        eprefix_little_[static_cast<std::size_t>(i)] =
+            eprefix_little_[static_cast<std::size_t>(i - 1)] + t.energy * t.w_little;
     }
 
     next_sequential_.assign(static_cast<std::size_t>(n) + 2, n + 1);
@@ -73,9 +84,11 @@ TaskChain::TaskChain(std::vector<TaskDesc> tasks)
         hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.w_big));
         hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.w_little));
         hash = fnv1a(hash, t.replicable ? 1u : 0u);
+        hash = fnv1a(hash, std::bit_cast<std::uint64_t>(t.energy));
         hash2 = splitmix64(hash2 ^ std::bit_cast<std::uint64_t>(t.w_big));
         hash2 = splitmix64(hash2 ^ std::bit_cast<std::uint64_t>(t.w_little));
         hash2 = splitmix64(hash2 ^ (t.replicable ? 1u : 0u));
+        hash2 = splitmix64(hash2 ^ std::bit_cast<std::uint64_t>(t.energy));
     }
     fingerprint_ = hash;
     fingerprint2_ = hash2;

@@ -50,6 +50,12 @@ struct TaskDesc {
     double w_big = 0.0;
     double w_little = 0.0;
     bool replicable = false;
+    /// Per-task energy weight: a dimensionless multiplier on the task's
+    /// active energy (energy of running task i on core type v is
+    /// energy * w(i, v) * watts(v), see core/power.hpp). 1.0 models a task
+    /// whose energy is proportional to its runtime; memory-bound or
+    /// accelerator-offloaded tasks can scale it. Must be strictly positive.
+    double energy = 1.0;
 };
 
 constexpr double kInfiniteWeight = std::numeric_limits<double>::infinity();
@@ -87,6 +93,19 @@ public:
         if (s > e)
             return 0.0;
         const auto& prefix = v == CoreType::big ? prefix_big_ : prefix_little_;
+        return prefix[static_cast<std::size_t>(e)] - prefix[static_cast<std::size_t>(s - 1)];
+    }
+
+    /// Energy-weighted work of tasks s..e on core type v:
+    /// sum of energy_i * w(i, v). This is the active energy of the interval
+    /// per stream item up to the core type's watts factor (core/power.hpp);
+    /// replication-invariant, so energy objectives decompose over stages.
+    [[nodiscard]] double energy_sum(int s, int e, CoreType v) const
+    {
+        assert(s >= 1 && e <= size());
+        if (s > e)
+            return 0.0;
+        const auto& prefix = v == CoreType::big ? eprefix_big_ : eprefix_little_;
         return prefix[static_cast<std::size_t>(e)] - prefix[static_cast<std::size_t>(s - 1)];
     }
 
@@ -134,9 +153,12 @@ public:
     [[nodiscard]] int replicable_count() const noexcept { return replicable_count_; }
 
     /// 64-bit FNV-1a digest of the chain's scheduling-relevant content
-    /// (task count, per-task weights and replicability flags; names are
-    /// ignored). Computed once at construction; used as the chain identity
-    /// in svc::SolverService's solution cache.
+    /// (task count, per-task weights, replicability flags and energy
+    /// weights; names are ignored). Computed once at construction; used as
+    /// the chain identity in svc::SolverService's solution cache. Energy
+    /// weights are part of the digest because they change what an
+    /// energy-objective solve returns -- two chains differing only in
+    /// energy must not share cache identity.
     [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
 
     /// Second digest of the same content, built with an independent hash
@@ -156,6 +178,8 @@ private:
     std::vector<TaskDesc> tasks_;
     std::vector<double> prefix_big_;    // prefix_big_[i] = sum of w^B of tasks 1..i
     std::vector<double> prefix_little_; // prefix_little_[i] = sum of w^L of tasks 1..i
+    std::vector<double> eprefix_big_;    // eprefix_big_[i] = sum of e * w^B of tasks 1..i
+    std::vector<double> eprefix_little_; // eprefix_little_[i] = sum of e * w^L of tasks 1..i
     std::vector<int> next_sequential_;  // next_sequential_[i] = min j >= i with tau_j
                                         // sequential, or n+1 if none (index 0 unused)
     double max_w_big_ = 0.0;

@@ -1,6 +1,21 @@
 #include "core/power.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace amp::core {
+
+namespace {
+
+void check_fits(const Solution& solution, const Resources& machine, const char* who)
+{
+    const Resources used = solution.used();
+    if (used.big > machine.big || used.little > machine.little)
+        throw std::invalid_argument{std::string{who}
+                                    + ": solution uses more cores than the machine has"};
+}
+
+} // namespace
 
 double solution_power(const Solution& solution, const PowerModel& model)
 {
@@ -11,14 +26,34 @@ double solution_power(const Solution& solution, const PowerModel& model)
 double platform_power(const Solution& solution, const Resources& machine,
                       const PowerModel& model)
 {
+    check_fits(solution, machine, "platform_power");
     const int idle = machine.total() - solution.used().total();
-    return solution_power(solution, model) + (idle > 0 ? idle * model.idle_watts : 0.0);
+    return solution_power(solution, model) + idle * model.idle_watts;
 }
 
 double energy_per_item(const TaskChain& chain, const Solution& solution,
                        const PowerModel& model)
 {
-    return solution_power(solution, model) * solution.period(chain);
+    double energy = 0.0;
+    for (const Stage& stage : solution.stages())
+        energy += model.watts(stage.type) * chain.energy_sum(stage.first, stage.last, stage.type);
+    return energy;
+}
+
+double platform_energy_per_item(const TaskChain& chain, const Solution& solution,
+                                const Resources& machine, const PowerModel& model)
+{
+    check_fits(solution, machine, "platform_energy_per_item");
+    if (solution.empty())
+        return 0.0;
+    const double period = solution.period(chain);
+    double busy = 0.0;
+    for (const Stage& stage : solution.stages())
+        busy += chain.interval_sum(stage.first, stage.last, stage.type);
+    // Every stage weight is <= period, so busy <= used.total() * period <=
+    // machine.total() * period up to rounding noise; clamp the noise.
+    const double idle_time = std::max(0.0, machine.total() * period - busy);
+    return energy_per_item(chain, solution, model) + model.idle_watts * idle_time;
 }
 
 double pipeline_latency(const TaskChain& chain, const Solution& solution)

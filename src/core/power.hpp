@@ -1,11 +1,28 @@
 #pragma once
-// Power model for schedules (paper §III and future work: "use direct power
-// measurements instead of assumptions about the architectures").
+// Power and energy model for schedules (paper §III and future work: "use
+// direct power measurements instead of assumptions about the architectures";
+// the follow-up paper makes per-core-type power explicit).
 //
 // The paper's secondary objective treats little-core usage as a power proxy;
 // this extension makes the proxy explicit: each core type has an active
-// power draw, and a solution's power is the draw of the cores it uses. An
-// energy-per-bit metric combines it with the achieved period.
+// power draw, and idle-but-powered cores a (smaller) idle draw.
+//
+// Two energy metrics, with deliberately different scopes:
+//
+//   * energy_per_item -- ACTIVE energy only: the energy spent computing one
+//     stream item, sum over stages of watts(type) * energy-weighted work of
+//     the stage's interval (TaskChain::energy_sum). Replication-invariant
+//     (each item is processed exactly once regardless of the replica count)
+//     and period-invariant (idle slack burns no active energy), so it is
+//     additive over stages -- the property the EnergyHeRAD DP
+//     (core/energy.hpp) relies on for exact optimality.
+//   * platform_energy_per_item -- active energy PLUS idle draw: every
+//     core-microsecond of the machine over one period is either active
+//     (covered above) or idle (machine.total() * period minus the busy
+//     core-time), charged at idle_watts. Use this one for brownout and
+//     Pareto comparisons where keeping cores powered has a real cost;
+//     energy_per_item alone would rank a 10-core and a 2-core schedule of
+//     equal active work as equally cheap.
 
 #include "core/chain.hpp"
 #include "core/solution.hpp"
@@ -16,19 +33,40 @@ struct PowerModel {
     double big_watts = 4.0;    ///< active power of one big core
     double little_watts = 1.0; ///< active power of one little core
     double idle_watts = 0.1;   ///< per unused-but-powered core (optional)
+
+    [[nodiscard]] constexpr double watts(CoreType v) const noexcept
+    {
+        return v == CoreType::big ? big_watts : little_watts;
+    }
+
+    [[nodiscard]] constexpr bool operator==(const PowerModel&) const noexcept = default;
 };
 
 /// Active power draw of a solution: cores used x per-type power.
 [[nodiscard]] double solution_power(const Solution& solution, const PowerModel& model);
 
-/// Total platform power including idle cores that remain powered.
+/// Total platform power including idle cores that remain powered. Throws
+/// std::invalid_argument when the solution uses more cores of either type
+/// than the machine has -- such a "negative idle" budget overrun used to be
+/// silently clamped to zero idle draw, under-reporting platform power for
+/// exactly the solutions that are already invalid for the machine.
 [[nodiscard]] double platform_power(const Solution& solution, const Resources& machine,
                                     const PowerModel& model);
 
-/// Energy per processed stream item: power x period (J if period in s;
-/// returns watt-microseconds for microsecond periods).
+/// ACTIVE energy per processed stream item (see the header comment): sum
+/// over stages of watts(stage type) x chain.energy_sum(stage interval).
+/// Watt-microseconds for microsecond weights. Ignores idle cores entirely;
+/// use platform_energy_per_item when idle draw matters.
 [[nodiscard]] double energy_per_item(const TaskChain& chain, const Solution& solution,
                                      const PowerModel& model);
+
+/// Active energy plus idle draw per item: energy_per_item +
+/// idle_watts x (machine.total() x period - busy core-time per item), where
+/// the busy core-time is the sum of the stages' interval times (each item
+/// crosses every task once). Throws std::invalid_argument on a per-type
+/// budget overrun, like platform_power.
+[[nodiscard]] double platform_energy_per_item(const TaskChain& chain, const Solution& solution,
+                                              const Resources& machine, const PowerModel& model);
 
 /// Pipeline latency of a solution: the time one item spends traversing all
 /// stages (sum of stage latencies; a replicated stage's latency is its full

@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <array>
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -50,12 +51,33 @@ Strategy parse_strategy(const std::string& name)
     throw StrategyParseError{name};
 }
 
+std::uint64_t ScheduleOptions::energy_fingerprint() const noexcept
+{
+    if (objective == Objective::min_period)
+        return 0;
+    constexpr auto splitmix64 = [](std::uint64_t x) noexcept {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    std::uint64_t hash = splitmix64(static_cast<std::uint64_t>(objective));
+    hash = splitmix64(hash ^ std::bit_cast<std::uint64_t>(target_period));
+    hash = splitmix64(hash ^ std::bit_cast<std::uint64_t>(power.big_watts));
+    hash = splitmix64(hash ^ std::bit_cast<std::uint64_t>(power.little_watts));
+    hash = splitmix64(hash ^ std::bit_cast<std::uint64_t>(power.idle_watts));
+    return hash != 0 ? hash : 1; // 0 is reserved for "no energy identity"
+}
+
 namespace {
 
 /// Rejects requests the strategy implementations would throw on (or could
 /// only answer with a meaningless empty solution).
 ScheduleError validate(const ScheduleRequest& request)
 {
+    if (request.options.objective == Objective::min_energy_under_period
+        && !(request.options.target_period > 0.0))
+        return ScheduleError::invalid_request;
     if (request.chain.empty())
         return ScheduleError::invalid_request;
     if (request.resources.big < 0 || request.resources.little < 0)
@@ -73,6 +95,35 @@ void dispatch(const ScheduleRequest& request, ScheduleResult& result)
 {
     const TaskChain& chain = request.chain;
     const Resources resources = request.resources;
+    if (request.options.objective == Objective::min_energy_under_period) {
+        // Energy objective: dispatch to the energy-aware variants. Warm
+        // hints are intentionally ignored -- the retained HeRAD frontier is
+        // a period DP and cannot answer an energy query; callers fall back
+        // to cold solves (and the solution cache) transparently.
+        const double target = request.options.target_period;
+        const PowerModel& power = request.options.power;
+        switch (request.strategy) {
+        case Strategy::herad:
+            result.solution = detail::energy_herad(chain, resources, target, power,
+                                                   request.options.merge_stages);
+            return;
+        case Strategy::twocatac:
+            result.solution = detail::energy_twocatac(chain, resources, target, power);
+            return;
+        case Strategy::fertac:
+            result.solution = detail::energy_fertac(chain, resources, target, power);
+            return;
+        case Strategy::otac_big:
+            result.solution =
+                detail::energy_otac(chain, resources.big, CoreType::big, target);
+            return;
+        case Strategy::otac_little:
+            result.solution =
+                detail::energy_otac(chain, resources.little, CoreType::little, target);
+            return;
+        }
+        throw std::logic_error{"unreachable"};
+    }
     switch (request.strategy) {
     case Strategy::herad: {
         const HeradOptions options = request.options.herad();

@@ -12,10 +12,12 @@
 
 #include "core/brute_force.hpp"
 #include "core/chain.hpp"
+#include "core/energy.hpp"
 #include "core/fertac.hpp"
 #include "core/greedy_common.hpp"
 #include "core/herad.hpp"
 #include "core/otac.hpp"
+#include "core/power.hpp"
 #include "core/solution.hpp"
 #include "core/twocatac.hpp"
 
@@ -86,10 +88,31 @@ private:
 /// silent default) when the name matches no strategy.
 [[nodiscard]] Strategy parse_strategy(const std::string& name);
 
+/// What a solve optimizes (docs/ENERGY.md). min_period is the paper's
+/// objective: the smallest achievable period (with each strategy's own
+/// secondary objective). min_energy_under_period minimizes the active
+/// energy_per_item (core/power.hpp) subject to period <= target_period;
+/// every strategy has an energy-aware variant behind the same entry point
+/// (EnergyHeRAD is exact, the greedy variants are heuristics, the OTAC
+/// variants reduce to feasibility at the target).
+enum class Objective : std::uint8_t { min_period = 0, min_energy_under_period = 1 };
+
+[[nodiscard]] constexpr const char* to_string(Objective objective) noexcept
+{
+    switch (objective) {
+    case Objective::min_period: return "min_period";
+    case Objective::min_energy_under_period: return "min_energy_under_period";
+    }
+    return "?";
+}
+
 /// Strategy knobs, unified across all five strategies. Strategies ignore
 /// the fields that do not apply to them (FERTAC reads only `preference`,
 /// HeRAD only the other three, OTAC/2CATAC none), so one options value can
-/// drive a whole request grid.
+/// drive a whole request grid. The objective block at the bottom applies to
+/// every strategy: with min_energy_under_period, `target_period` must be
+/// strictly positive (invalid_request otherwise) and `power` parameterizes
+/// the energy being minimized.
 struct ScheduleOptions {
     /// HeRAD: merge consecutive replicable same-type stages (period-neutral).
     bool merge_stages = true;
@@ -101,6 +124,15 @@ struct ScheduleOptions {
     /// FERTAC: which core type each stage is offered first.
     FertacPreference preference = FertacPreference::little_first;
 
+    // -- objective (docs/ENERGY.md) ---------------------------------------
+    /// What to optimize; min_period ignores the two fields below.
+    Objective objective = Objective::min_period;
+    /// Period bound for min_energy_under_period (same unit as the task
+    /// weights); must be > 0 for that objective.
+    double target_period = 0.0;
+    /// Power model the energy objective minimizes against.
+    PowerModel power{};
+
     [[nodiscard]] constexpr bool operator==(const ScheduleOptions&) const noexcept = default;
 
     /// The HeRAD view of these options.
@@ -109,13 +141,27 @@ struct ScheduleOptions {
         return {.merge_stages = merge_stages, .prune = prune, .fast_u_search = fast_u_search};
     }
 
-    /// Dense encoding for cache keys (svc::SolverService).
-    [[nodiscard]] constexpr std::uint8_t key_bits() const noexcept
+    /// Dense encoding of the boolean/enum options for cache keys
+    /// (svc::SolverService). Widened to 16 bits: the original 8-bit
+    /// encoding had 4 of 8 bits in use, and packing the objective (and any
+    /// future flags) into the remaining nibble would have silently aliased
+    /// cache entries once it overflowed. The continuous objective
+    /// parameters (target_period, power) do NOT fit in bit flags -- they
+    /// are carried by energy_fingerprint() in a separate key field.
+    [[nodiscard]] constexpr std::uint16_t key_bits() const noexcept
     {
-        return static_cast<std::uint8_t>(
+        return static_cast<std::uint16_t>(
             (merge_stages ? 1u : 0u) | (prune ? 2u : 0u) | (fast_u_search ? 4u : 0u)
-            | (preference == FertacPreference::big_first ? 8u : 0u));
+            | (preference == FertacPreference::big_first ? 8u : 0u)
+            | (objective == Objective::min_energy_under_period ? 16u : 0u));
     }
+
+    /// Digest of the continuous objective parameters for cache identity:
+    /// 0 for min_period requests (which ignore them), otherwise a
+    /// splitmix64 chain over target_period and the power model, so two
+    /// energy solves differing only in target or watts never share a cache
+    /// entry (svc::CacheKey::energy).
+    [[nodiscard]] std::uint64_t energy_fingerprint() const noexcept;
 };
 
 /// Warm-start hint for resize re-solves (the autoscaling control loop,

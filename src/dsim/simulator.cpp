@@ -208,11 +208,14 @@ SimulationResult simulate(const plan::ExecutionPlan& plan, const SimulationConfi
     obs.record_run(config.frames, 0, final_departure, result.fps);
 
     result.stages.resize(k);
+    double active_energy = 0.0; // watt-us over the whole run
     for (std::size_t i = 0; i < k; ++i) {
         const double capacity = final_departure * static_cast<double>(stages[i].replicas);
         result.stages[i].utilization = capacity > 0.0 ? std::min(1.0, busy[i] / capacity) : 0.0;
         result.stages[i].mean_service_us = service_sum[i] / static_cast<double>(config.frames);
+        active_energy += busy[i] * config.power.watts(stages[i].type);
     }
+    result.energy_per_frame = active_energy / static_cast<double>(config.frames);
     return result;
 }
 
@@ -728,6 +731,7 @@ AutoscaleSimResult simulate_autoscale(const AutoscaleScenario& scenario)
     if (!first.ok())
         throw std::invalid_argument{"simulate_autoscale: initial pool admits no schedule"};
     double period_us = expected_period_us(scenario.chain, first.solution);
+    double energy_item = core::energy_per_item(scenario.chain, first.solution, scenario.power);
 
     rt::AutoscaleController controller{policy};
     double tracking_error_sum = 0.0;
@@ -760,23 +764,57 @@ AutoscaleSimResult simulate_autoscale(const AutoscaleScenario& scenario)
         event.after = result.final_pool;
         event.utilization = utilization;
         event.period_us = period_us;
+        event.energy_per_item = energy_item;
 
-        const auto target = rt::AutoscaleController::stepped(policy, result.final_pool, decision);
-        if (!target) {
-            ++result.clamped;
-            result.events.push_back(event);
-            continue;
+        // Mirror of rt::Autoscaler::feed: a grow has one stepped target; a
+        // shrink tries every legal candidate in preference order (cheapest
+        // resulting allocation first under policy.shrink_cheapest_first)
+        // until one admits a schedule.
+        core::ScheduleResult solved;
+        if (decision == rt::ScaleDecision::shrink) {
+            const auto candidates =
+                rt::AutoscaleController::shrink_candidates(policy, result.final_pool);
+            if (candidates.count == 0) {
+                ++result.clamped;
+                result.events.push_back(event);
+                continue;
+            }
+            bool landed = false;
+            for (int i = 0; i < candidates.count && !landed; ++i) {
+                const core::Resources target = candidates.target[static_cast<std::size_t>(i)];
+                solved = solve_pool(target);
+                if (solved.ok()) {
+                    result.final_pool = target;
+                    landed = true;
+                } else {
+                    ++result.infeasible;
+                }
+            }
+            if (!landed) {
+                result.events.push_back(event);
+                continue;
+            }
+        } else {
+            const auto target =
+                rt::AutoscaleController::stepped(policy, result.final_pool, decision);
+            if (!target) {
+                ++result.clamped;
+                result.events.push_back(event);
+                continue;
+            }
+            solved = solve_pool(*target);
+            if (!solved.ok()) {
+                ++result.infeasible;
+                result.events.push_back(event);
+                continue;
+            }
+            result.final_pool = *target;
         }
-        const core::ScheduleResult solved = solve_pool(*target);
-        if (!solved.ok()) {
-            ++result.infeasible;
-            result.events.push_back(event);
-            continue;
-        }
-        result.final_pool = *target;
         period_us = expected_period_us(scenario.chain, solved.solution);
-        event.after = *target;
+        energy_item = core::energy_per_item(scenario.chain, solved.solution, scenario.power);
+        event.after = result.final_pool;
         event.period_us = period_us;
+        event.energy_per_item = energy_item;
         event.warm = solved.warm_start || solved.cache_hit;
         (decision == rt::ScaleDecision::grow ? result.grows : result.shrinks) += 1;
         if (last_landed_us != std::numeric_limits<std::int64_t>::min())

@@ -20,6 +20,7 @@
 #include "arb/arbiter.hpp"
 #include "common/rng.hpp"
 #include "core/chain.hpp"
+#include "core/power.hpp"
 #include "core/solution.hpp"
 #include "obs/sink.hpp"
 #include "plan/execution_plan.hpp"
@@ -56,6 +57,8 @@ struct SimulationConfig {
     std::uint64_t frames = 20000;      ///< frames to push through the pipeline
     std::uint64_t warmup_frames = 2000; ///< excluded from the throughput window
     OverheadModel overhead{};
+    /// Rates for the simulated active-energy accounting (energy_per_frame).
+    core::PowerModel power{};
     /// Optional telemetry sink. The simulator emits the same event and
     /// metric schema as rt::Pipeline (obs/schema.hpp) at virtual time:
     /// one track per simulated server, stage spans per frame, queue-wait
@@ -72,6 +75,15 @@ struct StageStats {
 struct SimulationResult {
     double fps = 0.0;            ///< pipeline frames per second (steady state)
     double period_us = 0.0;      ///< observed inter-departure time
+    /// Simulated ACTIVE energy per frame (watt-us): busy core-time per stage
+    /// x the stage type's active watts, averaged over all frames. The
+    /// measured analog of core::energy_per_item, except it charges the
+    /// *simulated* service times (inflation, jitter, replication penalties
+    /// included) and assumes unit per-task energy weights -- the compiled
+    /// plan profile carries service times, not energy weights. Populated by
+    /// simulate(); 0 in the failure replay's `overall` (no per-stage
+    /// accounting across reschedules).
+    double energy_per_frame = 0.0;
     std::vector<StageStats> stages;
 };
 
@@ -373,6 +385,9 @@ struct AutoscaleScenario {
     core::Resources initial{};
     rt::AutoscalePolicy policy{};
     core::ScheduleOptions options{};
+    /// Rates for the per-event energy_per_item accounting (and, through
+    /// policy.shrink_cheapest_first, the shrink candidate ordering).
+    core::PowerModel power{};
     /// Offered-load profile, sorted by at_us; the first point's rate also
     /// holds before its timestamp. Must be non-empty.
     std::vector<LoadPoint> load;
@@ -393,6 +408,9 @@ struct AutoscaleEventRecord {
     core::Resources after{};       ///< == before when clamped/infeasible
     double utilization = 0.0;      ///< the sample that tripped the action
     double period_us = 0.0;        ///< achieved period after the action
+    /// Active energy per item (scenario.power) of the schedule in force
+    /// after the action -- unchanged when the action was absorbed.
+    double energy_per_item = 0.0;
     /// Re-solve avoided the cold DP: incremental warm path or a service
     /// cache hit (the two are equivalent for trace determinism).
     bool warm = false;

@@ -22,6 +22,7 @@
 // measures warm vs cold re-solve latency and controller tracking.
 
 #include "core/chain.hpp"
+#include "core/power.hpp"
 #include "core/scheduler.hpp"
 #include "plan/execution_plan.hpp"
 #include "rt/pipeline.hpp"
@@ -30,6 +31,7 @@
 #include "svc/solver_service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -79,6 +81,15 @@ struct AutoscalePolicy {
     core::Resources max_pool{0, 1};
     /// Which core type a grow tries first (a shrink frees it last).
     core::CoreType grow_first = core::CoreType::little;
+    /// Energy-aware scale-down (docs/ENERGY.md): order shrink candidates by
+    /// the power of the RESULTING allocation, ascending, so a shrink frees
+    /// the most expensive cores first (under the default model: big before
+    /// little, regardless of grow_first). Ties keep the legacy
+    /// reverse-of-grow order, so the flag is behavior-neutral under a
+    /// uniform power model.
+    bool shrink_cheapest_first = false;
+    /// Rates for the ordering above; unused unless shrink_cheapest_first.
+    core::PowerModel power{};
 };
 
 /// The pure controller. Single-threaded by design; Autoscaler<T> guards it
@@ -121,11 +132,51 @@ public:
         return ScaleDecision::hold;
     }
 
+    /// The legal one-step shrink targets (one per core type with slack),
+    /// best first. Legacy order frees the reverse of grow_first; with
+    /// policy.shrink_cheapest_first the candidates are reordered by the
+    /// power of the resulting allocation, ascending (ties keep the legacy
+    /// order). Autoscaler::feed tries them in order until one lands, so an
+    /// infeasible cheapest target degrades to the next candidate instead of
+    /// absorbing the shrink.
+    struct ShrinkCandidates {
+        std::array<core::Resources, 2> target{};
+        int count = 0;
+    };
+
+    [[nodiscard]] static ShrinkCandidates shrink_candidates(const AutoscalePolicy& policy,
+                                                            core::Resources current) noexcept
+    {
+        ShrinkCandidates out;
+        if (policy.step < 1)
+            return out;
+        const core::CoreType first = policy.grow_first;
+        const core::CoreType second = core::other(first);
+        for (const core::CoreType type : {second, first}) {
+            core::Resources next = current;
+            const int slack = next.count(type) - policy.min_pool.count(type);
+            const int take = std::min({policy.step, slack, next.total() - 1});
+            if (take > 0) {
+                next.count(type) -= take;
+                out.target[static_cast<std::size_t>(out.count++)] = next;
+            }
+        }
+        if (policy.shrink_cheapest_first && out.count == 2) {
+            const auto allocation_watts = [&policy](core::Resources r) noexcept {
+                return static_cast<double>(r.big) * policy.power.big_watts
+                    + static_cast<double>(r.little) * policy.power.little_watts;
+            };
+            if (allocation_watts(out.target[1]) < allocation_watts(out.target[0]))
+                std::swap(out.target[0], out.target[1]);
+        }
+        return out;
+    }
+
     /// The deterministic one-action resource step: grow adds policy.step
     /// cores of grow_first (falling back to the other type once that axis
-    /// is at max_pool), shrink frees them in the reverse order down to
-    /// min_pool, never dropping the last core. nullopt when the clamps
-    /// leave no legal step (the decision is absorbed).
+    /// is at max_pool), shrink frees the first shrink_candidates() target
+    /// down to min_pool, never dropping the last core. nullopt when the
+    /// clamps leave no legal step (the decision is absorbed).
     [[nodiscard]] static std::optional<core::Resources>
     stepped(const AutoscalePolicy& policy, core::Resources current, ScaleDecision decision) noexcept
     {
@@ -144,15 +195,10 @@ public:
             }
             return std::nullopt;
         }
-        for (const core::CoreType type : {second, first}) {
-            const int slack = next.count(type) - policy.min_pool.count(type);
-            const int take = std::min({policy.step, slack, next.total() - 1});
-            if (take > 0) {
-                next.count(type) -= take;
-                return next;
-            }
-        }
-        return std::nullopt;
+        const ShrinkCandidates candidates = shrink_candidates(policy, current);
+        if (candidates.count == 0)
+            return std::nullopt;
+        return candidates.target[0];
     }
 
     [[nodiscard]] const AutoscalePolicy& policy() const noexcept { return policy_; }
@@ -257,6 +303,25 @@ public:
         const ScaleDecision decision = controller_.observe(utilization, now_ns);
         if (decision == ScaleDecision::hold)
             return ScaleDecision::hold;
+        if (decision == ScaleDecision::shrink) {
+            // Try every legal shrink target in preference order (cheapest
+            // resulting allocation first under shrink_cheapest_first): a
+            // target the solver can't schedule shouldn't absorb the shrink
+            // while the other axis still has cores to give back.
+            const auto candidates =
+                AutoscaleController::shrink_candidates(config_.policy, current_);
+            if (candidates.count == 0) {
+                ++stats_.clamped;
+                return ScaleDecision::hold;
+            }
+            for (int i = 0; i < candidates.count; ++i) {
+                if (resize_locked(candidates.target[static_cast<std::size_t>(i)])) {
+                    ++stats_.shrinks;
+                    return ScaleDecision::shrink;
+                }
+            }
+            return ScaleDecision::hold;
+        }
         const auto target = AutoscaleController::stepped(config_.policy, current_, decision);
         if (!target) {
             ++stats_.clamped;
@@ -264,7 +329,7 @@ public:
         }
         if (!resize_locked(*target))
             return ScaleDecision::hold;
-        (decision == ScaleDecision::grow ? stats_.grows : stats_.shrinks) += 1;
+        ++stats_.grows;
         return decision;
     }
 

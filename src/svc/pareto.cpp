@@ -1,0 +1,46 @@
+#include "svc/pareto.hpp"
+
+#include "svc/solver_service.hpp"
+
+namespace amp::svc {
+
+std::vector<ParetoPoint> energy_pareto_sweep(SolverService& service,
+                                             const core::TaskChain& chain,
+                                             core::Resources resources,
+                                             const core::PowerModel& power,
+                                             const std::vector<double>& target_periods,
+                                             core::Strategy strategy,
+                                             core::ScheduleOptions base)
+{
+    base.objective = core::Objective::min_energy_under_period;
+    base.power = power;
+
+    std::vector<core::ScheduleRequest> requests;
+    requests.reserve(target_periods.size());
+    for (const double target : target_periods) {
+        core::ScheduleRequest request{chain, resources, strategy};
+        request.options = base;
+        request.options.target_period = target;
+        requests.push_back(std::move(request));
+    }
+    const std::vector<core::ScheduleResult> results = service.solve_batch(requests);
+
+    std::vector<ParetoPoint> points;
+    points.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ParetoPoint point;
+        point.target_period = target_periods[i];
+        point.ok = results[i].ok();
+        point.cache_hit = results[i].cache_hit;
+        if (point.ok) {
+            point.period = results[i].solution.period(chain);
+            point.energy_per_item = core::energy_per_item(chain, results[i].solution, power);
+            point.power_watts = core::solution_power(results[i].solution, power);
+            point.solution = results[i].solution;
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+} // namespace amp::svc

@@ -1,0 +1,45 @@
+#pragma once
+// Batched energy-vs-throughput Pareto probing (docs/ENERGY.md).
+//
+// A Pareto sweep asks, for a grid of target periods, "what is the cheapest
+// schedule (by active energy per item) that still meets this target?" --
+// one min_energy_under_period request per target, solved as a single batch
+// through the SolverService so the sweep parallelizes across workers and
+// repeated probes (autoscaler deliberation, benchmark grids, dashboards)
+// hit the solution cache instead of re-running the DP.
+
+#include "core/power.hpp"
+#include "core/scheduler.hpp"
+
+#include <vector>
+
+namespace amp::svc {
+
+class SolverService;
+
+/// One point of an energy/period trade-off curve.
+struct ParetoPoint {
+    double target_period = 0.0; ///< the probe's period budget
+    bool ok = false;            ///< false: no schedule meets the target
+    bool cache_hit = false;
+    /// Achieved period / energy / allocation power of the winning schedule
+    /// (all 0 when !ok).
+    double period = 0.0;
+    double energy_per_item = 0.0;
+    double power_watts = 0.0;
+    core::Solution solution;
+};
+
+/// Solves one min_energy_under_period request per entry of `target_periods`
+/// (in order) via service.solve_batch. `base` supplies the non-energy
+/// options (merge/prune/...); its objective, target_period and power fields
+/// are overwritten per probe. Infeasible targets yield ok == false points
+/// rather than being dropped, so the curve keeps one point per target.
+[[nodiscard]] std::vector<ParetoPoint>
+energy_pareto_sweep(SolverService& service, const core::TaskChain& chain,
+                    core::Resources resources, const core::PowerModel& power,
+                    const std::vector<double>& target_periods,
+                    core::Strategy strategy = core::Strategy::herad,
+                    core::ScheduleOptions base = {});
+
+} // namespace amp::svc

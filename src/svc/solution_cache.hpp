@@ -37,11 +37,20 @@ namespace amp::svc {
 struct CacheKey {
     std::uint64_t chain_fingerprint = 0;
     std::uint64_t chain_fingerprint2 = 0;
+    /// ScheduleOptions::energy_fingerprint(): 0 for min_period, otherwise a
+    /// digest of (objective, target_period, PowerModel). Energy-objective
+    /// solves depend on these continuous parameters, which cannot fit in the
+    /// dense `options` bitmask, so they get their own 64-bit identity.
+    std::uint64_t energy = 0;
     std::int32_t chain_tasks = 0;
     std::int32_t big = 0;
     std::int32_t little = 0;
     std::uint8_t strategy = 0;
-    std::uint8_t options = 0;
+    /// ScheduleOptions::key_bits(): dense boolean/enum option encoding.
+    /// 16 bits wide -- 5 are in use (merge, prune, fast upper bound,
+    /// big-first preference, energy objective) and the headroom keeps the
+    /// next option from silently truncating.
+    std::uint16_t options = 0;
     /// ScheduleRequest::cache_domain: separates namespaces whose entries
     /// must not mix even for byte-identical chains -- e.g. a linearized
     /// graph branch (kGraphBranchDomain) carries a branch-context compiled
@@ -56,10 +65,15 @@ inline constexpr std::uint8_t kGraphBranchDomain = 1;
 
 [[nodiscard]] inline CacheKey key_of(const core::ScheduleRequest& request) noexcept
 {
-    return CacheKey{request.chain.fingerprint(), request.chain.fingerprint2(),
-                    request.chain.size(), request.resources.big, request.resources.little,
-                    static_cast<std::uint8_t>(request.strategy), request.options.key_bits(),
-                    request.cache_domain};
+    return CacheKey{.chain_fingerprint = request.chain.fingerprint(),
+                    .chain_fingerprint2 = request.chain.fingerprint2(),
+                    .energy = request.options.energy_fingerprint(),
+                    .chain_tasks = request.chain.size(),
+                    .big = request.resources.big,
+                    .little = request.resources.little,
+                    .strategy = static_cast<std::uint8_t>(request.strategy),
+                    .options = request.options.key_bits(),
+                    .domain = request.cache_domain};
 }
 
 /// splitmix64-style mix of the key fields; also decides the shard.
@@ -67,10 +81,12 @@ inline constexpr std::uint8_t kGraphBranchDomain = 1;
 {
     std::uint64_t x = key.chain_fingerprint;
     x ^= key.chain_fingerprint2 * 0xff51afd7ed558ccdull;
+    x ^= key.energy * 0xc2b2ae3d27d4eb4full;
     x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.big)) << 32)
         | static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.little));
     x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.chain_tasks)) << 16)
-        ^ (static_cast<std::uint64_t>(key.strategy) << 8) ^ key.options
+        ^ (static_cast<std::uint64_t>(key.strategy) << 40)
+        ^ (static_cast<std::uint64_t>(key.options) << 48)
         ^ (static_cast<std::uint64_t>(key.domain) << 24);
     x += 0x9e3779b97f4a7c15ull;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;

@@ -1,0 +1,248 @@
+// Energy-aware scheduling (docs/ENERGY.md): EnergyHeRAD's exactness against
+// the exhaustive reference, validity of the greedy variants, plumbing of the
+// min_energy_under_period objective through core::schedule, determinism, and
+// the dsim energy accounting.
+
+#include "core/brute_force.hpp"
+#include "core/energy.hpp"
+#include "core/power.hpp"
+#include "core/scheduler.hpp"
+#include "common/rng.hpp"
+#include "dsim/simulator.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace amp::core;
+using amp::Rng;
+using amp::testing::make_chain;
+using amp::testing::solve_result;
+using amp::testing::uniform_chain;
+
+constexpr double kTol = 1e-9;
+
+TaskChain random_chain(Rng& rng, int n)
+{
+    std::vector<TaskDesc> tasks;
+    tasks.reserve(static_cast<std::size_t>(n));
+    for (int i = 1; i <= n; ++i) {
+        TaskDesc t;
+        t.name = "t" + std::to_string(i);
+        t.w_big = static_cast<double>(rng.uniform_int(1, 20));
+        t.w_little = t.w_big * rng.uniform_real(1.2, 3.0);
+        t.replicable = rng.bernoulli(0.6);
+        t.energy = rng.uniform_real(0.5, 3.0);
+        tasks.push_back(std::move(t));
+    }
+    return TaskChain{std::move(tasks)};
+}
+
+TEST(EnergyHerad, MatchesBruteForceOnRandomChains)
+{
+    // The optimality pin: on every (chain, budget, target) instance small
+    // enough to enumerate, the DP's active energy equals the exhaustive
+    // minimum, and the DP finds a schedule iff one exists.
+    Rng rng{0xE4E61};
+    const PowerModel model{4.0, 1.0, 0.1};
+    int feasible_instances = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        const int n = static_cast<int>(rng.uniform_int(1, 6));
+        const TaskChain chain = random_chain(rng, n);
+        const Resources budget{static_cast<int>(rng.uniform_int(1, 3)),
+                               static_cast<int>(rng.uniform_int(0, 3))};
+        if (budget.total() < 1)
+            continue;
+        const double p_star = brute_force_optimal_period(chain, budget);
+        for (const double factor : {1.0, 1.3, 2.0}) {
+            const double target = p_star * factor;
+            const EnergyBruteForceResult reference =
+                brute_force_min_energy(chain, budget, target, model);
+            const Solution dp = detail::energy_herad(chain, budget, target, model);
+            ASSERT_FALSE(dp.empty()) << "brute force found a schedule the DP missed";
+            EXPECT_TRUE(dp.is_valid(chain, budget, target * (1.0 + 1e-9)));
+            EXPECT_NEAR(energy_per_item(chain, dp, model), reference.best_energy, kTol)
+                << "trial " << trial << " n=" << n << " target=" << target;
+            ++feasible_instances;
+        }
+    }
+    EXPECT_GT(feasible_instances, 100) << "the sweep must exercise real instances";
+}
+
+TEST(EnergyHerad, PrefersCheapCoresWhenSlackAllows)
+{
+    // Two tasks, 10us big / 20us little. At a tight target only big cores
+    // work; with 2x slack the littles (1W vs 4W) win on energy.
+    const TaskChain slow_little{
+        {TaskDesc{"a", 10, 20, false}, TaskDesc{"b", 10, 20, false}}};
+    const PowerModel model{4.0, 1.0, 0.1};
+    const Solution tight = detail::energy_herad(slow_little, {2, 2}, 10.0, model);
+    ASSERT_FALSE(tight.empty());
+    EXPECT_DOUBLE_EQ(energy_per_item(slow_little, tight, model), 4.0 * 20.0);
+    const Solution slack = detail::energy_herad(slow_little, {2, 2}, 20.0, model);
+    ASSERT_FALSE(slack.empty());
+    EXPECT_DOUBLE_EQ(energy_per_item(slow_little, slack, model), 1.0 * 40.0);
+}
+
+TEST(EnergyHerad, InfeasibleTargetReturnsEmpty)
+{
+    const auto chain = make_chain({{10, 20, false}, {10, 20, false}});
+    const PowerModel model{};
+    EXPECT_TRUE(detail::energy_herad(chain, {2, 2}, 5.0, model).empty())
+        << "no stage split gets a 10us sequential task under 5us";
+    EXPECT_TRUE(detail::energy_herad(chain, {0, 0}, 100.0, model).empty());
+    EXPECT_TRUE(detail::energy_herad(TaskChain{}, {2, 2}, 100.0, model).empty());
+}
+
+TEST(EnergyHerad, EnergyWeightsSteerTheSchedule)
+{
+    // Same weights, but task b burns 10x energy per unit work. With the
+    // energy weight the DP routes b to the little core (cheaper watts)
+    // whenever the target permits, even though b alone would fit on big.
+    const TaskChain hot_b{{TaskDesc{"a", 10, 20, false, 1.0},
+                           TaskDesc{"b", 10, 20, false, 10.0}}};
+    const PowerModel model{4.0, 1.0, 0.0};
+    const Solution sol = detail::energy_herad(hot_b, {2, 2}, 20.0, model);
+    ASSERT_FALSE(sol.empty());
+    // Exhaustive check agrees -- the weighting is not a tiebreak artifact.
+    const EnergyBruteForceResult reference = brute_force_min_energy(hot_b, {2, 2}, 20.0, model);
+    EXPECT_NEAR(energy_per_item(hot_b, sol, model), reference.best_energy, kTol);
+    // b on little costs 1W * 10 * 20 = 200; on big 4W * 10 * 10 = 400.
+    EXPECT_LE(energy_per_item(hot_b, sol, model), 1.0 * 20.0 + 1.0 * 200.0 + kTol);
+}
+
+TEST(EnergyGreedy, VariantsAreValidAndNeverBeatTheDp)
+{
+    Rng rng{0xFE47AC};
+    const PowerModel model{4.0, 1.0, 0.1};
+    for (int trial = 0; trial < 40; ++trial) {
+        const TaskChain chain = random_chain(rng, static_cast<int>(rng.uniform_int(2, 7)));
+        const Resources budget{2, 3};
+        const double target = brute_force_optimal_period(chain, budget) * 1.5;
+        const Solution dp = detail::energy_herad(chain, budget, target, model);
+        ASSERT_FALSE(dp.empty());
+        const double optimal = energy_per_item(chain, dp, model);
+        const Solution fertac = detail::energy_fertac(chain, budget, target, model);
+        if (!fertac.empty()) {
+            EXPECT_TRUE(fertac.is_valid(chain, budget, target * (1.0 + 1e-9)));
+            EXPECT_GE(energy_per_item(chain, fertac, model), optimal - kTol);
+        }
+        const Solution twocatac = detail::energy_twocatac(chain, budget, target, model);
+        if (!twocatac.empty()) {
+            EXPECT_TRUE(twocatac.is_valid(chain, budget, target * (1.0 + 1e-9)));
+            EXPECT_GE(energy_per_item(chain, twocatac, model), optimal - kTol);
+        }
+        for (const CoreType v : {CoreType::big, CoreType::little}) {
+            const Solution otac = detail::energy_otac(chain, budget.count(v), v, target);
+            if (!otac.empty()) {
+                Resources single;
+                single.count(v) = budget.count(v);
+                EXPECT_TRUE(otac.is_valid(chain, single, target * (1.0 + 1e-9)));
+            }
+        }
+    }
+}
+
+TEST(EnergyObjective, PlumbsThroughTheUnifiedEntryPoint)
+{
+    const auto chain = make_chain({{10, 20, false}, {10, 20, false}});
+    const PowerModel model{4.0, 1.0, 0.1};
+
+    ScheduleOptions options;
+    options.objective = Objective::min_energy_under_period;
+    options.target_period = 20.0;
+    options.power = model;
+
+    // Every strategy answers the energy objective through core::schedule,
+    // and HeRAD's answer is exactly the detail DP's.
+    const ScheduleResult herad = solve_result(Strategy::herad, chain, {2, 2}, options);
+    ASSERT_TRUE(herad.ok());
+    EXPECT_EQ(herad.solution, detail::energy_herad(chain, {2, 2}, 20.0, model));
+    for (const Strategy strategy : kAllStrategies) {
+        const ScheduleResult result = solve_result(strategy, chain, {2, 2}, options);
+        if (result.ok()) {
+            EXPECT_TRUE(result.solution.is_valid(chain, {2, 2}, 20.0 * (1.0 + 1e-9)))
+                << to_string(strategy);
+        }
+    }
+
+    // A missing (or non-positive) target is a malformed request, not a
+    // silent fall-back to min_period.
+    ScheduleOptions no_target = options;
+    no_target.target_period = 0.0;
+    EXPECT_EQ(solve_result(Strategy::herad, chain, {2, 2}, no_target).error,
+              ScheduleError::invalid_request);
+    no_target.target_period = -1.0;
+    EXPECT_EQ(solve_result(Strategy::herad, chain, {2, 2}, no_target).error,
+              ScheduleError::invalid_request);
+
+    // An unreachable target is infeasible, same signal as min_period.
+    ScheduleOptions tight = options;
+    tight.target_period = 5.0;
+    EXPECT_EQ(solve_result(Strategy::herad, chain, {2, 2}, tight).error,
+              ScheduleError::infeasible);
+}
+
+TEST(EnergyObjective, NeverCostsMoreThanMinPeriodAtItsOwnPeriod)
+{
+    // At target = the min-period optimum, the energy objective returns a
+    // schedule at most as expensive as the min-period one -- the Pareto
+    // dominance the bench gates on.
+    Rng rng{0xD071};
+    const PowerModel model{4.0, 1.0, 0.1};
+    for (int trial = 0; trial < 30; ++trial) {
+        const TaskChain chain = random_chain(rng, static_cast<int>(rng.uniform_int(2, 6)));
+        const Resources budget{2, 2};
+        const Solution fastest = amp::testing::solve(Strategy::herad, chain, budget);
+        ASSERT_FALSE(fastest.empty());
+        const double p_star = fastest.period(chain);
+        const Solution cheap =
+            detail::energy_herad(chain, budget, p_star * (1.0 + 1e-12), model);
+        ASSERT_FALSE(cheap.empty());
+        EXPECT_LE(energy_per_item(chain, cheap, model),
+                  energy_per_item(chain, fastest, model) + kTol);
+    }
+}
+
+TEST(EnergyObjective, SolvesAreDeterministic)
+{
+    Rng rng{0x5EED5};
+    const PowerModel model{3.5, 0.9, 0.2};
+    for (int trial = 0; trial < 20; ++trial) {
+        const TaskChain chain = random_chain(rng, 6);
+        ScheduleOptions options;
+        options.objective = Objective::min_energy_under_period;
+        options.target_period = brute_force_optimal_period(chain, {2, 2}) * 1.4;
+        options.power = model;
+        const ScheduleResult a = solve_result(Strategy::herad, chain, {2, 2}, options);
+        const ScheduleResult b = solve_result(Strategy::herad, chain, {2, 2}, options);
+        ASSERT_TRUE(a.ok());
+        EXPECT_EQ(a.solution, b.solution);
+    }
+}
+
+TEST(EnergyDsim, SimulatedEnergyTracksTheModel)
+{
+    // The simulator's measured active energy per frame approximates the
+    // model's energy_per_item (unit energy weights, overheads inflate the
+    // measured value by a few percent).
+    const auto chain = make_chain({{10, 20, true}, {15, 30, false}, {5, 9, true}});
+    const Solution sol = amp::testing::solve(Strategy::herad, chain, {2, 2});
+    ASSERT_FALSE(sol.empty());
+    amp::dsim::SimulationConfig config;
+    config.frames = 4000;
+    config.warmup_frames = 400;
+    config.power = PowerModel{4.0, 1.0, 0.1};
+    config.overhead.jitter_cv = 0.0;
+    const amp::dsim::SimulationResult result = amp::dsim::simulate(chain, sol, config);
+    const double model_energy = energy_per_item(chain, sol, config.power);
+    EXPECT_GT(result.energy_per_frame, model_energy * 0.95);
+    EXPECT_LT(result.energy_per_frame, model_energy * 1.35)
+        << "measured energy should stay within the overhead envelope";
+}
+
+} // namespace

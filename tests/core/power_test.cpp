@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace {
 
 using namespace amp::core;
@@ -51,6 +53,89 @@ TEST(Power, LittleCoresReduceEnergyOnTies)
     const Solution herad_sol = solve(Strategy::herad, chain, {2, 2});
     EXPECT_DOUBLE_EQ(energy_per_item(chain, herad_sol, model),
                      energy_per_item(chain, little, model));
+}
+
+TEST(Power, EnergyPerItemOfEmptySolutionIsZero)
+{
+    const auto chain = uniform_chain(2, 10.0, false);
+    EXPECT_DOUBLE_EQ(energy_per_item(chain, Solution{}, PowerModel{}), 0.0);
+}
+
+TEST(Power, EnergyPerItemIsReplicationInvariant)
+{
+    // Each stream item is processed exactly once regardless of the replica
+    // count, so replicating an all-replicable chain changes throughput but
+    // not active energy per item.
+    const auto chain = uniform_chain(3, 12.0, true);
+    const PowerModel model{4.0, 1.0, 0.1};
+    const Solution narrow{{Stage{1, 3, 1, CoreType::big}}};
+    const Solution wide{{Stage{1, 3, 3, CoreType::big}}};
+    EXPECT_LT(wide.period(chain), narrow.period(chain));
+    EXPECT_DOUBLE_EQ(energy_per_item(chain, narrow, model),
+                     energy_per_item(chain, wide, model));
+}
+
+TEST(Power, EnergyPerItemOnSingleStage)
+{
+    const auto chain = make_chain({{10, 30, true}});
+    const PowerModel model{4.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(energy_per_item(chain, Solution{{Stage{1, 1, 1, CoreType::big}}}, model),
+                     4.0 * 10.0);
+    EXPECT_DOUBLE_EQ(
+        energy_per_item(chain, Solution{{Stage{1, 1, 1, CoreType::little}}}, model),
+        1.0 * 30.0);
+}
+
+TEST(Power, EnergyPerItemScalesWithTaskEnergyWeights)
+{
+    // A task with energy weight 3 charges 3x the energy of its unit-weight
+    // twin, while periods (and hence schedules) are untouched.
+    const TaskChain plain{{TaskDesc{"a", 10, 20, false}, TaskDesc{"b", 5, 9, false}}};
+    const TaskChain weighted{{TaskDesc{"a", 10, 20, false, 3.0}, TaskDesc{"b", 5, 9, false}}};
+    const Solution sol{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::little}}};
+    const PowerModel model{2.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(sol.period(plain), sol.period(weighted));
+    EXPECT_DOUBLE_EQ(energy_per_item(plain, sol, model), 2.0 * 10.0 + 1.0 * 9.0);
+    EXPECT_DOUBLE_EQ(energy_per_item(weighted, sol, model), 2.0 * 3.0 * 10.0 + 1.0 * 9.0);
+}
+
+TEST(Power, TaskEnergyWeightsMustBeStrictlyPositive)
+{
+    EXPECT_THROW((TaskChain{{TaskDesc{"a", 10, 20, false, 0.0}}}), std::invalid_argument);
+    EXPECT_THROW((TaskChain{{TaskDesc{"a", 10, 20, false, -1.0}}}), std::invalid_argument);
+}
+
+TEST(Power, PlatformPowerRejectsBudgetOveruse)
+{
+    // Using more cores than the machine has used to clamp idle draw to zero
+    // silently; it is now an explicit error.
+    const Solution sol{{Stage{1, 2, 3, CoreType::big}}};
+    EXPECT_THROW((void)platform_power(sol, {2, 4}, PowerModel{}), std::invalid_argument);
+    const Solution littles{{Stage{1, 2, 2, CoreType::little}}};
+    EXPECT_THROW((void)platform_power(littles, {4, 1}, PowerModel{}), std::invalid_argument);
+}
+
+TEST(Power, PlatformEnergyAddsIdleDraw)
+{
+    // One big core busy 20us per item on a 3-core machine with period 20:
+    // active 2*20, idle (3*20 - 20) * 0.5.
+    const auto chain = uniform_chain(2, 10.0, false);
+    const Solution sol{{Stage{1, 1, 1, CoreType::big}, Stage{2, 2, 1, CoreType::big}}};
+    const PowerModel model{2.0, 1.0, 0.5};
+    const double active = energy_per_item(chain, sol, model);
+    EXPECT_DOUBLE_EQ(active, 40.0);
+    // period 10, machine total 3 -> 3*10 core-us per item, 20 busy, 10 idle.
+    EXPECT_DOUBLE_EQ(platform_energy_per_item(chain, sol, {2, 1}, model),
+                     active + 0.5 * (3 * 10.0 - 20.0));
+    // With zero idle draw the two metrics coincide.
+    const PowerModel no_idle{2.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(platform_energy_per_item(chain, sol, {2, 1}, no_idle),
+                     energy_per_item(chain, sol, no_idle));
+    // Empty solution: nothing runs, nothing idles per item.
+    EXPECT_DOUBLE_EQ(platform_energy_per_item(chain, Solution{}, {2, 1}, model), 0.0);
+    // Budget overuse is an error here too.
+    EXPECT_THROW((void)platform_energy_per_item(chain, sol, {1, 0}, model),
+                 std::invalid_argument);
 }
 
 TEST(Power, PipelineLatencySumsStageTraversal)

@@ -36,6 +36,28 @@ TEST(ChainFingerprint, SensitiveToEveryTaskField)
     EXPECT_NE(base.fingerprint2(), make_chain({{10, 20, true}, {5, 9, true}}).fingerprint2());
 }
 
+TEST(ChainFingerprint, SensitiveToEnergyWeights)
+{
+    // Energy weights change what an energy-objective solve returns, so two
+    // chains differing only in them must not share cache identity -- for
+    // BOTH digests, like every other task field.
+    const core::TaskChain base{{core::TaskDesc{"a", 10, 20, true},
+                                core::TaskDesc{"b", 5, 9, false}}};
+    const core::TaskChain reweighted{{core::TaskDesc{"a", 10, 20, true, 2.0},
+                                      core::TaskDesc{"b", 5, 9, false}}};
+    const core::TaskChain reweighted_other{{core::TaskDesc{"a", 10, 20, true},
+                                            core::TaskDesc{"b", 5, 9, false, 0.5}}};
+    EXPECT_NE(base.fingerprint(), reweighted.fingerprint());
+    EXPECT_NE(base.fingerprint2(), reweighted.fingerprint2());
+    EXPECT_NE(base.fingerprint(), reweighted_other.fingerprint());
+    EXPECT_NE(base.fingerprint2(), reweighted_other.fingerprint2());
+    // The default weight (1.0) hashes identically whether spelled or not.
+    const core::TaskChain spelled{{core::TaskDesc{"a", 10, 20, true, 1.0},
+                                   core::TaskDesc{"b", 5, 9, false, 1.0}}};
+    EXPECT_EQ(base.fingerprint(), spelled.fingerprint());
+    EXPECT_EQ(base.fingerprint2(), spelled.fingerprint2());
+}
+
 TEST(ChainFingerprint, SensitiveToTaskOrderAndCount)
 {
     const auto ab = make_chain({{10, 20, true}, {5, 9, false}});

@@ -30,6 +30,17 @@ TEST(CacheKey, DistinguishesEveryRequestField)
     core::ScheduleRequest no_merge = request_for(chain_a, {2, 2}, core::Strategy::herad);
     no_merge.options.merge_stages = false;
     EXPECT_NE(base, svc::key_of(no_merge));
+
+    core::ScheduleRequest energy = request_for(chain_a, {2, 2}, core::Strategy::herad);
+    energy.options.objective = core::Objective::min_energy_under_period;
+    energy.options.target_period = 25.0;
+    EXPECT_NE(base, svc::key_of(energy));
+    core::ScheduleRequest other_target = energy;
+    other_target.options.target_period = 26.0;
+    EXPECT_NE(svc::key_of(energy), svc::key_of(other_target));
+    core::ScheduleRequest other_power = energy;
+    other_power.options.power.little_watts = 0.5;
+    EXPECT_NE(svc::key_of(energy), svc::key_of(other_power));
 }
 
 TEST(CacheKey, ChainIdentityIsBothDigestsPlusTaskCount)
@@ -56,7 +67,7 @@ TEST(CacheKey, OptionBitsCoverEveryOption)
 {
     core::ScheduleOptions options;
     const auto bits = [](core::ScheduleOptions o) { return o.key_bits(); };
-    const std::uint8_t base = bits(options);
+    const std::uint16_t base = bits(options);
     options.merge_stages = false;
     EXPECT_NE(bits(options), base);
     options = {};
@@ -67,6 +78,9 @@ TEST(CacheKey, OptionBitsCoverEveryOption)
     EXPECT_NE(bits(options), base);
     options = {};
     options.preference = core::FertacPreference::big_first;
+    EXPECT_NE(bits(options), base);
+    options = {};
+    options.objective = core::Objective::min_energy_under_period;
     EXPECT_NE(bits(options), base);
 }
 
